@@ -1,0 +1,108 @@
+//! **Fig. 6** — percentage of time hot spots (>85 °C) are observed, per
+//! policy, for the average workload and the maximum-utilization benchmark,
+//! on the 2- and 4-tier 3D MPSoCs.
+
+use cmosaic::experiments::fig6_dataset;
+use cmosaic_bench::{banner, f, paper_vs, section, Table};
+use cmosaic_floorplan::GridSpec;
+
+fn main() {
+    banner("Fig. 6: % of time hot spots are observed (threshold 85 C)");
+
+    let grid = GridSpec::new(12, 12).expect("static dims");
+    let seconds = 150;
+    let rows = fig6_dataset(seconds, 7, grid).expect("simulation");
+
+    let mut t = Table::new(&[
+        "Config",
+        "%hot avg/core (avg util)",
+        "%hot any (avg util)",
+        "%hot avg/core (max util)",
+        "%hot any (max util)",
+        "Peak (C)",
+    ]);
+    for r in &rows {
+        t.row(&[
+            format!("{}-tier {}", r.tiers, r.policy),
+            f(r.hotspot_avg_workload_per_core, 1),
+            f(r.hotspot_avg_workload_any, 1),
+            f(r.hotspot_max_util_per_core, 1),
+            f(r.hotspot_max_util_any, 1),
+            f(r.peak_celsius, 1),
+        ]);
+    }
+    t.print();
+
+    section("Paper-vs-measured (qualitative series of Fig. 6 + quoted peaks)");
+    let find = |tiers: usize, name: &str| {
+        rows.iter()
+            .find(|r| r.tiers == tiers && r.policy.to_string() == name)
+            .expect("config present")
+    };
+    let ac2 = find(2, "AC_LB");
+    let tdvfs2 = find(2, "AC_TDVFS_LB");
+    let lc2 = find(2, "LC_LB");
+    let fz2 = find(2, "LC_FUZZY");
+    let ac4 = find(4, "AC_LB");
+    let lc4 = find(4, "LC_LB");
+    paper_vs(
+        "2-tier AC_LB peak temperature",
+        "87 C",
+        format!("{} C", f(ac2.peak_celsius, 1)),
+    );
+    paper_vs(
+        "2-tier AC_TDVFS_LB peak temperature",
+        "85 C",
+        format!("{} C", f(tdvfs2.peak_celsius, 1)),
+    );
+    paper_vs(
+        "TDVFS reduces AC hot spots",
+        "yes",
+        format!(
+            "{} -> {} % (max util, avg/core)",
+            f(ac2.hotspot_max_util_per_core, 1),
+            f(tdvfs2.hotspot_max_util_per_core, 1)
+        ),
+    );
+    paper_vs(
+        "Liquid cooling removes all hot spots",
+        "0 %",
+        format!(
+            "LC_LB {} %, LC_FUZZY {} % (all workloads)",
+            f(lc2.hotspot_max_util_per_core + lc2.hotspot_avg_workload_per_core, 1),
+            f(fz2.hotspot_max_util_per_core + fz2.hotspot_avg_workload_per_core, 1)
+        ),
+    );
+    paper_vs(
+        "4-tier AC_LB maximum temperature",
+        ">110 C, up to 178 C",
+        format!("{} C", f(ac4.peak_celsius, 1)),
+    );
+    paper_vs(
+        "2-tier LC_LB peak temperature",
+        "56 C",
+        format!("{} C", f(lc2.peak_celsius, 1)),
+    );
+    paper_vs(
+        "LC_FUZZY runs warmer than LC_LB but below 85 C",
+        "68 C vs 56 C",
+        format!(
+            "{} C vs {} C",
+            f(fz2.peak_celsius, 1),
+            f(lc2.peak_celsius, 1)
+        ),
+    );
+    paper_vs(
+        "4-tier LC cooler than 2-tier LC",
+        "yes",
+        format!(
+            "{} C vs {} C",
+            f(lc4.peak_celsius, 1),
+            f(lc2.peak_celsius, 1)
+        ),
+    );
+    println!(
+        "\n  ({} s per run, 12x12 grid per layer, traces: web-server/database/multimedia + max-utilization)",
+        seconds
+    );
+}

@@ -1,0 +1,92 @@
+//! **Fig. 7** — normalized energy consumption (system + pump, left axis)
+//! and performance degradation (right axis) for every policy, plus the
+//! abstract's headline LC_FUZZY savings.
+
+use cmosaic::experiments::{fig7_dataset, headline_savings};
+use cmosaic_bench::{banner, f, paper_vs, section, Table};
+use cmosaic_floorplan::GridSpec;
+
+fn main() {
+    banner("Fig. 7: normalized energy and performance degradation");
+
+    let grid = GridSpec::new(12, 12).expect("static dims");
+    let seconds = 150;
+    let rows = fig7_dataset(seconds, 7, grid).expect("simulation");
+
+    let mut t = Table::new(&[
+        "Config",
+        "System energy (norm)",
+        "Pump energy (norm)",
+        "Perf loss avg (%)",
+        "Perf loss max (%)",
+    ]);
+    for r in &rows {
+        t.row(&[
+            format!("{}-tier {}", r.tiers, r.policy),
+            f(r.system_energy_norm, 3),
+            f(r.pump_energy_norm, 3),
+            f(r.perf_loss_mean_pct, 3),
+            f(r.perf_loss_max_pct, 3),
+        ]);
+    }
+    t.print();
+    println!("  (normalized to the 2-tier AC_LB system energy, averaged over the three application workloads)");
+
+    section("LC_FUZZY vs LC_LB (Fig. 7 discussion)");
+    let get = |tiers: usize, name: &str| {
+        rows.iter()
+            .find(|r| r.tiers == tiers && r.policy.to_string() == name)
+            .expect("config present")
+    };
+    for tiers in [2usize, 4] {
+        let lb = get(tiers, "LC_LB");
+        let fz = get(tiers, "LC_FUZZY");
+        let sys_saving = (1.0 - fz.system_energy_norm / lb.system_energy_norm) * 100.0;
+        let pump_saving = (1.0 - fz.pump_energy_norm / lb.pump_energy_norm) * 100.0;
+        let paper = if tiers == 2 { ("14 %", "50 %") } else { ("18 %", "52 %") };
+        paper_vs(
+            &format!("{tiers}-tier system-energy saving (fuzzy vs LC_LB)"),
+            paper.0,
+            format!("{} %", f(sys_saving, 1)),
+        );
+        paper_vs(
+            &format!("{tiers}-tier cooling-energy saving (fuzzy vs LC_LB)"),
+            paper.1,
+            format!("{} %", f(pump_saving, 1)),
+        );
+    }
+
+    section("Headline savings vs worst-case maximum flow (abstract)");
+    for tiers in [2usize, 4] {
+        let h = headline_savings(tiers, seconds, 7, grid).expect("simulation");
+        paper_vs(
+            &format!("{tiers}-tier cooling-energy saving"),
+            "up to 67 %",
+            format!("{} %", f(h.cooling_saving_pct, 1)),
+        );
+        paper_vs(
+            &format!("{tiers}-tier system-energy saving"),
+            "up to 30 %",
+            format!("{} %", f(h.system_saving_pct, 1)),
+        );
+        paper_vs(
+            &format!("{tiers}-tier fuzzy peak temperature"),
+            "< 85 C always",
+            format!("{} C", f(h.fuzzy_peak_celsius, 1)),
+        );
+    }
+
+    section("Performance degradation (Fig. 7 right axis)");
+    let fz2 = get(2, "LC_FUZZY");
+    paper_vs(
+        "LC_FUZZY performance degradation",
+        "<= 0.01 % (negligible)",
+        format!("{} %", f(fz2.perf_loss_max_pct, 4)),
+    );
+    let lc2 = get(2, "LC_LB");
+    paper_vs(
+        "Liquid-cooled systems suffer no degradation",
+        "0 %",
+        format!("{} %", f(lc2.perf_loss_max_pct, 4)),
+    );
+}

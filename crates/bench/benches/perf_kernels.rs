@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the computational kernels underneath the
+//! reproduction: sparse LU factor/solve on the thermal operator, one
+//! transient thermal step, one steady solve, and a fuzzy-controller
+//! decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cmosaic::fuzzy::FuzzyController;
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+use cmosaic_sparse::{lu, TripletMatrix};
+use cmosaic_thermal::{ThermalModel, ThermalParams};
+
+/// A 3D 7-point grid operator of the size the 2-tier thermal model uses.
+fn thermal_sized_matrix() -> cmosaic_sparse::CscMatrix {
+    let (nx, ny, nz) = (12, 12, 5);
+    let n = nx * ny * nz;
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut t = TripletMatrix::new(n, n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                t.push(i, i, 0.05); // leak to ambient keeps it nonsingular
+                if x + 1 < nx {
+                    t.stamp_conductance(i, idx(x + 1, y, z), 1.0);
+                }
+                if y + 1 < ny {
+                    t.stamp_conductance(i, idx(x, y + 1, z), 0.7);
+                }
+                if z + 1 < nz {
+                    t.stamp_conductance(i, idx(x, y, z + 1), 3.0);
+                }
+                if x > 0 {
+                    // Nonsymmetric upwind coupling, as the cavity rows add.
+                    t.push(i, idx(x - 1, y, z), -0.2);
+                    t.push(i, i, 0.2);
+                }
+            }
+        }
+    }
+    t.to_csc()
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let a = thermal_sized_matrix();
+    let b: Vec<f64> = (0..a.nrows()).map(|i| (i % 17) as f64 * 0.3 + 1.0).collect();
+    c.bench_function("sparse_lu_factor_720", |bench| {
+        bench.iter(|| lu::factor(black_box(&a)).expect("nonsingular"));
+    });
+    let factors = lu::factor(&a).expect("nonsingular");
+    c.bench_function("sparse_lu_solve_720", |bench| {
+        bench.iter(|| factors.solve(black_box(&b)).expect("sized"));
+    });
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+    let grid = GridSpec::new(12, 12).expect("static dims");
+    let mut model =
+        ThermalModel::new(&stack, grid, ThermalParams::default()).expect("model builds");
+    model
+        .set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+        .expect("valid flow");
+    let powers = vec![vec![30.0 / 144.0; 144], vec![10.0 / 144.0; 144]];
+    // Warm the factorisation caches so the benches measure the per-step
+    // cost the co-simulation actually pays.
+    model.steady_state(&powers).expect("solves");
+    model.step(&powers, 0.25).expect("steps");
+
+    c.bench_function("thermal_transient_step_2tier_12x12", |bench| {
+        bench.iter(|| model.step(black_box(&powers), 0.25).expect("steps"));
+    });
+    c.bench_function("thermal_steady_state_2tier_12x12", |bench| {
+        bench.iter(|| model.steady_state(black_box(&powers)).expect("solves"));
+    });
+}
+
+fn bench_fuzzy(c: &mut Criterion) {
+    let ctrl = FuzzyController::table1();
+    c.bench_function("fuzzy_flow_decision", |bench| {
+        bench.iter(|| {
+            ctrl.flow_rate(
+                black_box(Kelvin::from_celsius(72.5)),
+                black_box(0.63),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_sparse, bench_thermal, bench_fuzzy);
+criterion_main!(benches);

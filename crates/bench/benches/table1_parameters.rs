@@ -1,0 +1,168 @@
+//! **Table I** — thermal and floorplan parameters deployed in the 3D MPSoC
+//! model, plus the derived quantities and the Fig. 1 stack inventories.
+
+use cmosaic_bench::{banner, f, kv, section, Table};
+use cmosaic_floorplan::stack::{presets, CavitySpec, HeatSinkSpec, LayerKind};
+use cmosaic_floorplan::niagara;
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_hydraulics::pump::PumpMap;
+use cmosaic_hydraulics::LiquidProperties;
+use cmosaic_materials::solids::SolidMaterial;
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+use cmosaic_materials::water::Water;
+
+fn main() {
+    banner("Table I: thermal and floorplan parameters (+ derived values)");
+
+    section("Material parameters (as modelled)");
+    let si = SolidMaterial::silicon();
+    let wiring = SolidMaterial::wiring();
+    let water = Water::table1();
+    let mut t = Table::new(&["Parameter", "Value", "Paper (Table I)"]);
+    t.row(&[
+        "Silicon conductivity".into(),
+        format!("{} W/(m·K)", si.thermal_conductivity()),
+        "130 W/(m·K)".into(),
+    ]);
+    t.row(&[
+        "Silicon capacitance".into(),
+        format!("{} J/(m³·K)", si.volumetric_heat_capacity()),
+        "1635660 J/(m³·K)".into(),
+    ]);
+    t.row(&[
+        "Wiring layer conductivity".into(),
+        format!("{} W/(m·K)", wiring.thermal_conductivity()),
+        "2.25 W/(m·K)".into(),
+    ]);
+    t.row(&[
+        "Wiring layer capacitance".into(),
+        format!("{} J/(m³·K)", wiring.volumetric_heat_capacity()),
+        "2174502 J/(m³·K)".into(),
+    ]);
+    t.row(&[
+        "Water conductivity".into(),
+        format!("{} W/(m·K)", water.thermal_conductivity()),
+        "0.6 W/(m·K)".into(),
+    ]);
+    t.row(&[
+        "Water capacitance".into(),
+        format!("{} J/(kg·K)", water.specific_heat()),
+        "4183 J/(kg·K)".into(),
+    ]);
+    let sink = HeatSinkSpec::table1();
+    t.row(&[
+        "Heat sink conductivity (air only)".into(),
+        format!("{} W/K", sink.conductance),
+        "10 W/K".into(),
+    ]);
+    t.row(&[
+        "Heat sink capacitance (air only)".into(),
+        format!("{} J/K", sink.capacitance),
+        "140 J/K".into(),
+    ]);
+    t.print();
+
+    section("Geometry parameters");
+    let cavity = CavitySpec::table1();
+    let mut g = Table::new(&["Parameter", "Value", "Paper (Table I)"]);
+    g.row(&[
+        "Die thickness".into(),
+        format!("{} mm", presets::DIE_THICKNESS * 1e3),
+        "0.15 mm".into(),
+    ]);
+    g.row(&[
+        "Area per core".into(),
+        format!("{} mm²", niagara::CORE_AREA * 1e6),
+        "10 mm²".into(),
+    ]);
+    g.row(&[
+        "Area per L2 cache".into(),
+        format!("{} mm²", niagara::L2_AREA * 1e6),
+        "19 mm²".into(),
+    ]);
+    g.row(&[
+        "Total area of each layer".into(),
+        format!("{} mm²", niagara::DIE_WIDTH * niagara::DIE_HEIGHT * 1e6),
+        "115 mm²".into(),
+    ]);
+    g.row(&[
+        "Inter-tier material thickness".into(),
+        format!("{} mm", presets::WIRING_THICKNESS * 1e3),
+        "0.1 mm".into(),
+    ]);
+    g.row(&[
+        "Channel width".into(),
+        format!("{} mm", cavity.channel_width() * 1e3),
+        "0.05 mm".into(),
+    ]);
+    g.row(&[
+        "Channel pitch".into(),
+        format!("{} mm", cavity.pitch() * 1e3),
+        "0.15 mm".into(),
+    ]);
+    g.row(&[
+        "Flow rate range (per cavity)".into(),
+        "10 - 32.3 ml/min".into(),
+        "10 - 32.3 ml/min".into(),
+    ]);
+    let pump = PumpMap::table1();
+    g.row(&[
+        "Pumping network power".into(),
+        format!(
+            "{} - {} W",
+            pump.power(VolumetricFlow::from_ml_per_min(10.0)).0,
+            pump.power(VolumetricFlow::from_ml_per_min(32.3)).0
+        ),
+        "3.5 - 11.176 W".into(),
+    ]);
+    g.print();
+
+    section("Derived cavity quantities");
+    kv(
+        "Channels per cavity (10 mm die / 0.15 mm pitch)",
+        cavity.channel_count(niagara::DIE_HEIGHT),
+    );
+    kv("Cavity porosity (fluid fraction)", f(cavity.porosity(), 3));
+    kv(
+        "Channel hydraulic diameter",
+        format!("{} um", f(cavity.hydraulic_diameter() * 1e6, 1)),
+    );
+    let geom = ChannelGeometry::table1();
+    let coolant = LiquidProperties::water_at(Kelvin::from_celsius(27.0)).expect("in range");
+    for ml in [10.0, 32.3] {
+        let q = VolumetricFlow::from_ml_per_min(ml);
+        let q_ch = q.0 / cavity.channel_count(niagara::DIE_HEIGHT) as f64;
+        let re = geom.reynolds(q_ch, &coolant);
+        let mcp = coolant.volumetric_heat_capacity() * q.0;
+        kv(
+            &format!("At {ml} ml/min: per-channel Re / cavity m*cp"),
+            format!("{} / {} W/K", f(re, 1), f(mcp, 3)),
+        );
+    }
+
+    section("Fig. 1 stack inventories (layers, bottom to top)");
+    for stack in [
+        presets::liquid_cooled_mpsoc(2).expect("preset"),
+        presets::liquid_cooled_mpsoc(4).expect("preset"),
+        presets::air_cooled_mpsoc(2).expect("preset"),
+        presets::air_cooled_mpsoc(4).expect("preset"),
+    ] {
+        let mut inv = Table::new(&["#", "Layer", "Thickness (mm)"]);
+        for (i, l) in stack.layers().iter().enumerate() {
+            let desc = match &l.kind {
+                LayerKind::Solid { material } => material.name().to_string(),
+                LayerKind::Source { tier, .. } => {
+                    format!("wiring+sources of tier {tier} ({})", stack.tiers()[*tier].name())
+                }
+                LayerKind::Cavity { spec } => format!(
+                    "micro-channel cavity ({} channels)",
+                    spec.channel_count(stack.height())
+                ),
+            };
+            inv.row(&[i.to_string(), desc, f(l.thickness * 1e3, 2)]);
+        }
+        println!("\n  {} ({} cavities, sink: {})", stack.name(), stack.cavity_count(),
+            if stack.sink().is_some() { "yes" } else { "no" });
+        inv.print();
+    }
+}

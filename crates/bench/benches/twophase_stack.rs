@@ -1,0 +1,107 @@
+//! **§III applied to the 3D stack** — the paper's forward-looking claim:
+//! two-phase inter-tier cooling gives a 3D MPSoC a near-isothermal
+//! junction field at a fraction of the water flow. This bench runs the
+//! *same* 2-tier stack and power maps with (a) single-phase water at the
+//! Table I maximum flow and (b) evaporating R134a, and compares peak
+//! temperature, junction uniformity and coolant mass flow.
+
+use cmosaic_bench::{banner, f, kv, paper_vs, section, Table};
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::VolumetricFlow;
+use cmosaic_thermal::{Coolant, ThermalModel, ThermalParams, TwoPhaseCoolant};
+
+fn main() {
+    banner("SecIII in the stack: water vs evaporating R134a inter-tier cooling");
+
+    let grid = GridSpec::new(12, 12).expect("static dims");
+    let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+    let n = grid.cell_count();
+    // 48 W core tier + 12 W cache tier with a hot stripe on the cores.
+    let mut core = vec![0.0; n];
+    for iy in 0..grid.ny() {
+        for ix in 0..grid.nx() {
+            let hot = iy < grid.ny() / 3;
+            core[grid.index(ix, iy)] = if hot { 2.0 } else { 1.0 };
+        }
+    }
+    let s: f64 = core.iter().sum();
+    core.iter_mut().for_each(|p| *p *= 48.0 / s);
+    let maps = vec![core, vec![12.0 / n as f64; n]];
+
+    // --- Water at the Table I maximum flow.
+    let mut water =
+        ThermalModel::new(&stack, grid, ThermalParams::default()).expect("model builds");
+    water
+        .set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+        .expect("valid flow");
+    let wf = water.steady_state(&maps).expect("solves");
+    let w_peak = wf.max().to_celsius().0;
+    let w_span = wf.tier_max(0).0 - wf.tier(0).iter().copied().fold(f64::INFINITY, f64::min);
+    let w_mass_flow = VolumetricFlow::from_ml_per_min(32.3).to_mass_flow(998.0).0;
+
+    // --- Two-phase R134a sized for the duty with a healthy dry-out margin.
+    let g_flux = 3000.0;
+    let tp_spec = TwoPhaseCoolant::r134a_30c(g_flux);
+    let params = ThermalParams {
+        coolant: Coolant::TwoPhase(tp_spec),
+        ..Default::default()
+    };
+    let mut tp = ThermalModel::new(&stack, grid, params).expect("model builds");
+    let tf = tp.steady_state(&maps).expect("solves");
+    let t_peak = tf.max().to_celsius().0;
+    let t_span = tf.tier_max(0).0 - tf.tier(0).iter().copied().fold(f64::INFINITY, f64::min);
+    let summary = *tp.two_phase_summary().expect("summary recorded");
+    let ch_area = 50e-6 * 100e-6;
+    let tp_mass_flow = g_flux * ch_area * 66.0;
+
+    section("Same stack, same 60 W power maps");
+    let mut t = Table::new(&[
+        "Coolant",
+        "Peak T (C)",
+        "Tier-0 span (K)",
+        "Mass flow (g/s per cavity)",
+    ]);
+    t.row(&[
+        "water, 32.3 ml/min".into(),
+        f(w_peak, 1),
+        f(w_span, 1),
+        f(w_mass_flow * 1e3, 2),
+    ]);
+    t.row(&[
+        format!("R134a two-phase, G={g_flux} kg/m2s"),
+        f(t_peak, 1),
+        f(t_span, 1),
+        f(tp_mass_flow * 1e3, 2),
+    ]);
+    t.print();
+
+    section("Two-phase state");
+    kv("Heat absorbed by refrigerant", format!("{} W", f(summary.heat_absorbed, 1)));
+    kv("Worst exit quality", f(summary.max_exit_quality, 3));
+    kv("Dry-out margin", f(summary.dryout_margin, 3));
+    kv("Peak boiling HTC", format!("{} kW/m2K", f(summary.peak_htc / 1e3, 1)));
+    kv(
+        "Coldest saturation temperature",
+        format!("{} C (refrigerant cools along the channel)", f(summary.min_saturation.to_celsius().0, 2)),
+    );
+
+    section("Paper-vs-measured (SecIII qualitative claims, in-stack)");
+    paper_vs(
+        "High uniformity in temperature",
+        "two-phase wins",
+        format!("span {} K vs {} K for water", f(t_span, 1), f(w_span, 1)),
+    );
+    println!(
+        "  Mass flows are comparable here ({} vs {} g/s) because the water side runs at\n  \
+         its worst-case maximum; the 1/5-1/10 flow advantage appears when water is\n  \
+         sized for a tight uniformity budget (see the twophase_vs_water bench).",
+        f(tp_mass_flow * 1e3, 2),
+        f(w_mass_flow * 1e3, 2)
+    );
+    paper_vs(
+        "Dry-out must be avoided",
+        "hard constraint",
+        format!("margin {}", f(summary.dryout_margin, 2)),
+    );
+}

@@ -1,0 +1,349 @@
+//! Pre-packaged experiment runners matching §IV.A of the paper.
+//!
+//! [`run_policy`] executes one (stack, policy, workload) co-simulation;
+//! [`fig6_dataset`] and [`fig7_dataset`] assemble exactly the rows the
+//! paper's Fig. 6 and Fig. 7 plot; [`headline_savings`] computes the
+//! abstract's "up to 67 % cooling / 30 % system energy" comparison of
+//! `LC_FUZZY` against worst-case maximum flow.
+
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_power::trace::WorkloadKind;
+use cmosaic_power::PowerModel;
+
+use crate::metrics::RunMetrics;
+use crate::policy::{make_policy, PolicyKind};
+use crate::sim::{SimConfig, Simulator};
+use crate::CmosaicError;
+
+/// Configuration of one policy experiment.
+#[derive(Debug, Clone)]
+pub struct PolicyRunConfig {
+    /// Number of tiers (2 or 4 in the paper).
+    pub tiers: usize,
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Workload class.
+    pub workload: WorkloadKind,
+    /// Simulated seconds ("several minutes" in the paper).
+    pub seconds: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Thermal grid (default 12×12).
+    pub grid: GridSpec,
+}
+
+impl Default for PolicyRunConfig {
+    fn default() -> Self {
+        PolicyRunConfig {
+            tiers: 2,
+            policy: PolicyKind::LcFuzzy,
+            workload: WorkloadKind::WebServer,
+            seconds: 120,
+            seed: 42,
+            grid: GridSpec::new(12, 12).expect("static dims"),
+        }
+    }
+}
+
+/// Number of cores in an n-tier stack (8 per core tier, core tiers on even
+/// indices).
+pub fn cores_for_tiers(tiers: usize) -> usize {
+    tiers.div_ceil(2) * 8
+}
+
+/// Runs one policy experiment end to end (build stack, generate trace,
+/// steady-state init, simulate).
+///
+/// # Errors
+///
+/// Forwards configuration and model errors.
+pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> {
+    let stack = if config.policy.is_liquid_cooled() {
+        presets::liquid_cooled_mpsoc(config.tiers)?
+    } else {
+        presets::air_cooled_mpsoc(config.tiers)?
+    };
+    let n_cores = cores_for_tiers(config.tiers);
+    let trace = config
+        .workload
+        .generate(n_cores, config.seconds.max(1), config.seed);
+    let sim_config = SimConfig {
+        grid: config.grid,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(
+        &stack,
+        make_policy(config.policy, n_cores),
+        trace,
+        PowerModel::niagara(),
+        sim_config,
+    )?;
+    sim.initialize()?;
+    sim.run(config.seconds)
+}
+
+/// The seven stack/policy configurations of Figs. 6 and 7, in plot order.
+pub fn figure_configurations() -> [(usize, PolicyKind); 7] {
+    [
+        (2, PolicyKind::AcLb),
+        (2, PolicyKind::AcTdvfsLb),
+        (2, PolicyKind::LcLb),
+        (2, PolicyKind::LcFuzzy),
+        (4, PolicyKind::AcLb),
+        (4, PolicyKind::LcLb),
+        (4, PolicyKind::LcFuzzy),
+    ]
+}
+
+/// One bar group of Fig. 6: hot-spot residency for a configuration, for
+/// the average workload and the maximum-utilization benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Number of tiers.
+    pub tiers: usize,
+    /// Policy.
+    pub policy: PolicyKind,
+    /// `%Hot spots avg` at average utilization (mean over the three
+    /// application traces), percent.
+    pub hotspot_avg_workload_per_core: f64,
+    /// `%Hot spots max` at average utilization, percent.
+    pub hotspot_avg_workload_any: f64,
+    /// `%Hot spots avg` under the maximum-utilization benchmark, percent.
+    pub hotspot_max_util_per_core: f64,
+    /// `%Hot spots max` under the maximum-utilization benchmark, percent.
+    pub hotspot_max_util_any: f64,
+    /// Peak junction temperature over all runs, °C.
+    pub peak_celsius: f64,
+}
+
+/// Computes the Fig. 6 dataset.
+///
+/// # Errors
+///
+/// Forwards run errors.
+pub fn fig6_dataset(seconds: usize, seed: u64, grid: GridSpec) -> Result<Vec<Fig6Row>, CmosaicError> {
+    let mut rows = Vec::new();
+    for (tiers, policy) in figure_configurations() {
+        let mut avg_core = 0.0;
+        let mut avg_any = 0.0;
+        let mut peak: f64 = 0.0;
+        let apps = WorkloadKind::applications();
+        for wk in apps {
+            let m = run_policy(&PolicyRunConfig {
+                tiers,
+                policy,
+                workload: wk,
+                seconds,
+                seed,
+                grid,
+            })?;
+            avg_core += m.hotspot_time_per_core * 100.0 / apps.len() as f64;
+            avg_any += m.hotspot_time_any * 100.0 / apps.len() as f64;
+            peak = peak.max(m.peak_temperature.to_celsius().0);
+        }
+        let mx = run_policy(&PolicyRunConfig {
+            tiers,
+            policy,
+            workload: WorkloadKind::MaxUtilization,
+            seconds,
+            seed,
+            grid,
+        })?;
+        peak = peak.max(mx.peak_temperature.to_celsius().0);
+        rows.push(Fig6Row {
+            tiers,
+            policy,
+            hotspot_avg_workload_per_core: avg_core,
+            hotspot_avg_workload_any: avg_any,
+            hotspot_max_util_per_core: mx.hotspot_time_per_core * 100.0,
+            hotspot_max_util_any: mx.hotspot_time_any * 100.0,
+            peak_celsius: peak,
+        });
+    }
+    Ok(rows)
+}
+
+/// One bar group of Fig. 7: energy (normalised to 2-tier `AC_LB`) and
+/// performance loss for the average workload.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Number of tiers.
+    pub tiers: usize,
+    /// Policy.
+    pub policy: PolicyKind,
+    /// System (chip + pump) energy normalised to the 2-tier `AC_LB` run.
+    pub system_energy_norm: f64,
+    /// Pump energy normalised to the same baseline.
+    pub pump_energy_norm: f64,
+    /// Mean performance loss, percent.
+    pub perf_loss_mean_pct: f64,
+    /// Max per-core performance loss, percent.
+    pub perf_loss_max_pct: f64,
+}
+
+/// Computes the Fig. 7 dataset: energy per configuration averaged over the
+/// three application workloads, normalised to 2-tier `AC_LB`.
+///
+/// # Errors
+///
+/// Forwards run errors.
+pub fn fig7_dataset(seconds: usize, seed: u64, grid: GridSpec) -> Result<Vec<Fig7Row>, CmosaicError> {
+    let apps = WorkloadKind::applications();
+    let mut raw: Vec<(usize, PolicyKind, f64, f64, f64, f64)> = Vec::new();
+    for (tiers, policy) in figure_configurations() {
+        let mut system = 0.0;
+        let mut pump = 0.0;
+        let mut perf_mean = 0.0;
+        let mut perf_max: f64 = 0.0;
+        for wk in apps {
+            let m = run_policy(&PolicyRunConfig {
+                tiers,
+                policy,
+                workload: wk,
+                seconds,
+                seed,
+                grid,
+            })?;
+            system += m.total_energy() / apps.len() as f64;
+            pump += m.pump_energy / apps.len() as f64;
+            perf_mean += m.perf_loss_mean * 100.0 / apps.len() as f64;
+            perf_max = perf_max.max(m.perf_loss_max * 100.0);
+        }
+        raw.push((tiers, policy, system, pump, perf_mean, perf_max));
+    }
+    let baseline = raw
+        .iter()
+        .find(|r| r.0 == 2 && r.1 == PolicyKind::AcLb)
+        .map(|r| r.2)
+        .expect("baseline present");
+    Ok(raw
+        .into_iter()
+        .map(
+            |(tiers, policy, system, pump, perf_mean, perf_max)| Fig7Row {
+                tiers,
+                policy,
+                system_energy_norm: system / baseline,
+                pump_energy_norm: pump / baseline,
+                perf_loss_mean_pct: perf_mean,
+                perf_loss_max_pct: perf_max,
+            },
+        )
+        .collect())
+}
+
+/// The abstract's headline comparison: `LC_FUZZY` vs. `LC_LB`
+/// (worst-case maximum flow) on the same stack and workloads.
+#[derive(Debug, Clone)]
+pub struct HeadlineSavings {
+    /// Number of tiers.
+    pub tiers: usize,
+    /// Cooling (pump) energy saving, percent.
+    pub cooling_saving_pct: f64,
+    /// Whole-system energy saving, percent.
+    pub system_saving_pct: f64,
+    /// Peak temperature under the fuzzy controller, °C.
+    pub fuzzy_peak_celsius: f64,
+    /// Peak temperature under max flow, °C.
+    pub max_flow_peak_celsius: f64,
+}
+
+/// Computes the headline `LC_FUZZY` savings for an n-tier stack, averaged
+/// over the three application workloads.
+///
+/// # Errors
+///
+/// Forwards run errors.
+pub fn headline_savings(
+    tiers: usize,
+    seconds: usize,
+    seed: u64,
+    grid: GridSpec,
+) -> Result<HeadlineSavings, CmosaicError> {
+    let apps = WorkloadKind::applications();
+    let mut lb_pump = 0.0;
+    let mut lb_total = 0.0;
+    let mut fz_pump = 0.0;
+    let mut fz_total = 0.0;
+    let mut fz_peak: f64 = 0.0;
+    let mut lb_peak: f64 = 0.0;
+    for wk in apps {
+        let lb = run_policy(&PolicyRunConfig {
+            tiers,
+            policy: PolicyKind::LcLb,
+            workload: wk,
+            seconds,
+            seed,
+            grid,
+        })?;
+        let fz = run_policy(&PolicyRunConfig {
+            tiers,
+            policy: PolicyKind::LcFuzzy,
+            workload: wk,
+            seconds,
+            seed,
+            grid,
+        })?;
+        lb_pump += lb.pump_energy;
+        lb_total += lb.total_energy();
+        fz_pump += fz.pump_energy;
+        fz_total += fz.total_energy();
+        fz_peak = fz_peak.max(fz.peak_temperature.to_celsius().0);
+        lb_peak = lb_peak.max(lb.peak_temperature.to_celsius().0);
+    }
+    Ok(HeadlineSavings {
+        tiers,
+        cooling_saving_pct: (1.0 - fz_pump / lb_pump) * 100.0,
+        system_saving_pct: (1.0 - fz_total / lb_total) * 100.0,
+        fuzzy_peak_celsius: fz_peak,
+        max_flow_peak_celsius: lb_peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> GridSpec {
+        GridSpec::new(6, 6).expect("static")
+    }
+
+    #[test]
+    fn run_policy_smoke() {
+        let m = run_policy(&PolicyRunConfig {
+            seconds: 5,
+            grid: tiny_grid(),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(m.seconds, 5);
+        assert!(m.chip_energy > 0.0);
+    }
+
+    #[test]
+    fn cores_scale_with_tiers() {
+        assert_eq!(cores_for_tiers(1), 8);
+        assert_eq!(cores_for_tiers(2), 8);
+        assert_eq!(cores_for_tiers(3), 16);
+        assert_eq!(cores_for_tiers(4), 16);
+    }
+
+    #[test]
+    fn headline_savings_are_positive() {
+        let s = headline_savings(2, 12, 3, tiny_grid()).unwrap();
+        assert!(
+            s.cooling_saving_pct > 10.0,
+            "fuzzy must save pump energy, got {:.1} %",
+            s.cooling_saving_pct
+        );
+        assert!(s.system_saving_pct > 0.0);
+        assert!(s.fuzzy_peak_celsius < 85.0);
+    }
+
+    #[test]
+    fn figure_configuration_order_matches_paper() {
+        let configs = figure_configurations();
+        assert_eq!(configs[0], (2, PolicyKind::AcLb));
+        assert_eq!(configs[6], (4, PolicyKind::LcFuzzy));
+    }
+}

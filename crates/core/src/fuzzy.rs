@@ -1,0 +1,313 @@
+//! The fuzzy flow-rate controller (paper ref. \[15], Sabry et al.
+//! ICCAD 2010).
+//!
+//! A Mamdani controller with triangular/shouldered membership functions:
+//!
+//! * **Inputs**: the maximum junction temperature across the stack and the
+//!   mean core utilization.
+//! * **Output**: a flow *fraction* in `[0, 1]`, mapped onto the Table I
+//!   range (10–32.3 ml/min per cavity) and snapped to a small number of
+//!   discrete pump levels so the thermal model can cache one factorisation
+//!   per level.
+//!
+//! The rule base encodes the paper's intent: never let the stack approach
+//! the 85 °C threshold (temperature dominates), and otherwise track the
+//! load so an under-utilised system is not over-cooled ("intelligent
+//! control of the coolant flow rate is needed to avoid wasted energy
+//! consumption for over-cooling the system when the system is
+//! under-utilized").
+
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+
+/// A triangular membership function with shoulder saturation at the ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Triangle {
+    left: f64,
+    peak: f64,
+    right: f64,
+    /// Saturate to 1 for inputs below `left` (left-shoulder set).
+    left_shoulder: bool,
+    /// Saturate to 1 for inputs above `right`.
+    right_shoulder: bool,
+}
+
+impl Triangle {
+    fn interior(left: f64, peak: f64, right: f64) -> Self {
+        Triangle {
+            left,
+            peak,
+            right,
+            left_shoulder: false,
+            right_shoulder: false,
+        }
+    }
+
+    fn left_shoulder(peak: f64, right: f64) -> Self {
+        Triangle {
+            left: peak,
+            peak,
+            right,
+            left_shoulder: true,
+            right_shoulder: false,
+        }
+    }
+
+    fn right_shoulder(left: f64, peak: f64) -> Self {
+        Triangle {
+            left,
+            peak,
+            right: peak,
+            left_shoulder: false,
+            right_shoulder: true,
+        }
+    }
+
+    fn degree(&self, x: f64) -> f64 {
+        if x <= self.left {
+            return if self.left_shoulder { 1.0 } else { 0.0 };
+        }
+        if x >= self.right {
+            return if self.right_shoulder { 1.0 } else { 0.0 };
+        }
+        if x <= self.peak {
+            if self.peak == self.left {
+                1.0
+            } else {
+                (x - self.left) / (self.peak - self.left)
+            }
+        } else if self.peak == self.right {
+            1.0
+        } else {
+            (self.right - x) / (self.right - self.peak)
+        }
+    }
+}
+
+/// Output singleton positions (flow fraction) for the five linguistic flow
+/// levels.
+const FLOW_SINGLETONS: [f64; 5] = [0.0, 0.25, 0.55, 0.8, 1.0];
+
+/// Indices into [`FLOW_SINGLETONS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowTerm {
+    VeryLow = 0,
+    Low = 1,
+    Medium = 2,
+    High = 3,
+    Max = 4,
+}
+
+/// The fuzzy coolant-flow controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzyController {
+    q_min: VolumetricFlow,
+    q_max: VolumetricFlow,
+    levels: usize,
+    temp_sets: [Triangle; 4],
+    util_sets: [Triangle; 3],
+}
+
+impl FuzzyController {
+    /// Builds the controller for the Table I flow range with `levels`
+    /// discrete pump settings (the paper's pump is continuously tunable;
+    /// discretisation is a solver-caching optimisation, 8 levels keeps the
+    /// quantisation error below 3 % of the range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or the flow range is empty.
+    pub fn new(q_min: VolumetricFlow, q_max: VolumetricFlow, levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two pump levels");
+        assert!(q_max.0 > q_min.0, "empty flow range");
+        FuzzyController {
+            q_min,
+            q_max,
+            levels,
+            // Temperature (°C): Cold / Warm / Hot / Critical.
+            temp_sets: [
+                Triangle::left_shoulder(45.0, 60.0),
+                Triangle::interior(50.0, 63.0, 74.0),
+                Triangle::interior(66.0, 75.0, 82.0),
+                Triangle::right_shoulder(76.0, 83.0),
+            ],
+            // Mean utilization: Low / Medium / High.
+            util_sets: [
+                Triangle::left_shoulder(0.2, 0.45),
+                Triangle::interior(0.3, 0.5, 0.75),
+                Triangle::right_shoulder(0.55, 0.8),
+            ],
+        }
+    }
+
+    /// The Table I controller: 10–32.3 ml/min, 8 pump levels.
+    pub fn table1() -> Self {
+        FuzzyController::new(
+            VolumetricFlow::from_ml_per_min(10.0),
+            VolumetricFlow::from_ml_per_min(32.3),
+            8,
+        )
+    }
+
+    /// Number of discrete pump levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The flow rate of a discrete level (0 = minimum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    pub fn level_flow(&self, level: usize) -> VolumetricFlow {
+        assert!(level < self.levels);
+        let frac = level as f64 / (self.levels - 1) as f64;
+        VolumetricFlow(self.q_min.0 + frac * (self.q_max.0 - self.q_min.0))
+    }
+
+    /// Evaluates the rule base: maximum junction temperature and mean
+    /// utilization in, defuzzified flow fraction out.
+    pub fn flow_fraction(&self, max_temp: Kelvin, mean_util: f64) -> f64 {
+        let t = max_temp.to_celsius().0;
+        let u = mean_util.clamp(0.0, 1.0);
+        let [cold, warm, hot, critical] = self.temp_sets.map(|s| s.degree(t));
+        let [low_u, med_u, high_u] = self.util_sets.map(|s| s.degree(u));
+
+        // Rule base (min for AND, max-accumulation over rules).
+        let mut strength = [0.0f64; 5];
+        let mut fire = |term: FlowTerm, w: f64| {
+            let i = term as usize;
+            strength[i] = strength[i].max(w);
+        };
+        fire(FlowTerm::Max, critical);
+        fire(FlowTerm::High, hot.min(high_u));
+        fire(FlowTerm::High, hot.min(med_u));
+        fire(FlowTerm::Medium, hot.min(low_u));
+        fire(FlowTerm::Medium, warm.min(high_u));
+        fire(FlowTerm::Low, warm.min(med_u));
+        fire(FlowTerm::Low, warm.min(low_u));
+        fire(FlowTerm::Low, cold.min(high_u));
+        fire(FlowTerm::VeryLow, cold.min(med_u));
+        fire(FlowTerm::VeryLow, cold.min(low_u));
+
+        let total: f64 = strength.iter().sum();
+        if total <= 1e-12 {
+            // Out-of-envelope input: fail safe to maximum cooling.
+            return 1.0;
+        }
+        strength
+            .iter()
+            .zip(FLOW_SINGLETONS)
+            .map(|(w, s)| w * s)
+            .sum::<f64>()
+            / total
+    }
+
+    /// The discrete pump level for the given observation.
+    pub fn flow_level(&self, max_temp: Kelvin, mean_util: f64) -> usize {
+        let frac = self.flow_fraction(max_temp, mean_util);
+        ((frac * (self.levels - 1) as f64).round() as usize).min(self.levels - 1)
+    }
+
+    /// Convenience: the snapped flow rate for the given observation.
+    pub fn flow_rate(&self, max_temp: Kelvin, mean_util: f64) -> VolumetricFlow {
+        self.level_flow(self.flow_level(max_temp, mean_util))
+    }
+}
+
+impl Default for FuzzyController {
+    fn default() -> Self {
+        FuzzyController::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_materials::units::Celsius;
+
+    fn at(t_c: f64, u: f64) -> f64 {
+        FuzzyController::table1().flow_fraction(Celsius(t_c).to_kelvin(), u)
+    }
+
+    #[test]
+    fn cold_idle_system_gets_minimum_cooling() {
+        assert!(at(40.0, 0.1) < 0.1);
+    }
+
+    #[test]
+    fn critical_temperature_forces_maximum_flow() {
+        assert!(at(84.0, 0.1) > 0.9);
+        assert!(at(90.0, 0.9) > 0.95);
+    }
+
+    #[test]
+    fn flow_is_monotone_in_temperature() {
+        for u in [0.1, 0.5, 0.9] {
+            let mut last = -1.0;
+            for t in (40..=90).step_by(2) {
+                let f = at(t as f64, u);
+                assert!(
+                    f >= last - 1e-9,
+                    "flow fraction must not fall with temperature (u={u}, t={t})"
+                );
+                last = f;
+            }
+        }
+    }
+
+    #[test]
+    fn flow_is_monotone_in_utilization() {
+        for t in [50.0, 65.0, 75.0] {
+            let mut last = -1.0;
+            for u in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+                let f = at(t, u);
+                assert!(f >= last - 1e-9, "t={t}, u={u}");
+                last = f;
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        for t in (30..=120).step_by(5) {
+            for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                let f = at(t as f64, u);
+                assert!((0.0..=1.0).contains(&f), "t={t}, u={u}, f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_levels_span_the_table1_range() {
+        let c = FuzzyController::table1();
+        assert_eq!(c.levels(), 8);
+        assert!((c.level_flow(0).to_ml_per_min() - 10.0).abs() < 1e-9);
+        assert!((c.level_flow(7).to_ml_per_min() - 32.3).abs() < 1e-9);
+        // Levels increase strictly.
+        for l in 1..8 {
+            assert!(c.level_flow(l).0 > c.level_flow(l - 1).0);
+        }
+    }
+
+    #[test]
+    fn snapped_level_matches_fraction() {
+        let c = FuzzyController::table1();
+        let lvl = c.flow_level(Celsius(95.0).to_kelvin(), 1.0);
+        assert_eq!(lvl, 7, "critical temperature snaps to max level");
+        let low = c.flow_level(Celsius(40.0).to_kelvin(), 0.0);
+        assert_eq!(low, 0);
+    }
+
+    #[test]
+    fn membership_degrees_are_valid() {
+        let tri = Triangle::interior(0.0, 1.0, 2.0);
+        assert_eq!(tri.degree(-0.5), 0.0);
+        assert_eq!(tri.degree(1.0), 1.0);
+        assert!((tri.degree(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(tri.degree(2.5), 0.0);
+        let sh = Triangle::left_shoulder(1.0, 2.0);
+        assert_eq!(sh.degree(0.0), 1.0);
+        assert!((sh.degree(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(sh.degree(3.0), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! `cmosaic` — thermally-aware design and run-time thermal management of 3D
+//! MPSoCs with inter-tier liquid cooling.
+//!
+//! This crate is the top of the CMOSAIC (DATE 2011) reproduction stack. It
+//! couples the workload, power, thermal and hydraulic substrates into the
+//! co-simulation the paper's §IV evaluates, and implements its run-time
+//! thermal-management policies:
+//!
+//! | Policy | Paper name | What it does |
+//! |---|---|---|
+//! | [`PolicyKind::AcLb`] | `AC_LB` | air-cooled, dynamic load balancing |
+//! | [`PolicyKind::AcTdvfsLb`] | `AC_TDVFS_LB` | + temperature-triggered DVFS (down at 85 °C, up at 82 °C) |
+//! | [`PolicyKind::LcLb`] | `LC_LB` | liquid-cooled at the maximum flow rate, load balancing |
+//! | [`PolicyKind::LcFuzzy`] | `LC_FUZZY` | liquid-cooled, fuzzy joint control of coolant flow rate and per-core DVFS |
+//!
+//! The headline result: `LC_FUZZY` keeps every junction below the 85 °C
+//! threshold while cutting cooling energy by up to ~67 % and system energy
+//! by up to ~30 % against running the pump at the worst-case maximum flow.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cmosaic::experiments::{PolicyRunConfig, run_policy};
+//! use cmosaic::policy::PolicyKind;
+//! use cmosaic_power::trace::WorkloadKind;
+//!
+//! # fn main() -> Result<(), cmosaic::CmosaicError> {
+//! let config = PolicyRunConfig {
+//!     tiers: 2,
+//!     policy: PolicyKind::LcFuzzy,
+//!     workload: WorkloadKind::WebServer,
+//!     seconds: 30,
+//!     seed: 1,
+//!     ..Default::default()
+//! };
+//! let metrics = run_policy(&config)?;
+//! assert!(metrics.peak_temperature.to_celsius().0 < 85.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fuzzy;
+pub mod metrics;
+pub mod policy;
+pub mod sim;
+
+pub use experiments::{run_policy, PolicyRunConfig};
+pub use fuzzy::FuzzyController;
+pub use metrics::RunMetrics;
+pub use policy::PolicyKind;
+pub use sim::{SimConfig, Simulator};
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use cmosaic_floorplan as floorplan;
+pub use cmosaic_hydraulics as hydraulics;
+pub use cmosaic_materials as materials;
+pub use cmosaic_power as power;
+pub use cmosaic_sparse as sparse;
+pub use cmosaic_thermal as thermal;
+pub use cmosaic_twophase as twophase;
+
+use std::error::Error;
+use std::fmt;
+
+/// Top-level error type: wraps the substrate errors plus configuration
+/// problems specific to the co-simulation.
+#[derive(Debug)]
+pub enum CmosaicError {
+    /// Inconsistent simulation configuration.
+    Config {
+        /// Explanation.
+        detail: String,
+    },
+    /// Floorplan/stack construction failed.
+    Floorplan(cmosaic_floorplan::FloorplanError),
+    /// Power-model failure.
+    Power(cmosaic_power::PowerError),
+    /// Thermal-model failure.
+    Thermal(cmosaic_thermal::ThermalError),
+    /// Hydraulic-model failure.
+    Hydraulics(cmosaic_hydraulics::HydraulicsError),
+}
+
+impl fmt::Display for CmosaicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmosaicError::Config { detail } => write!(f, "configuration error: {detail}"),
+            CmosaicError::Floorplan(e) => write!(f, "floorplan error: {e}"),
+            CmosaicError::Power(e) => write!(f, "power model error: {e}"),
+            CmosaicError::Thermal(e) => write!(f, "thermal model error: {e}"),
+            CmosaicError::Hydraulics(e) => write!(f, "hydraulics error: {e}"),
+        }
+    }
+}
+
+impl Error for CmosaicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CmosaicError::Config { .. } => None,
+            CmosaicError::Floorplan(e) => Some(e),
+            CmosaicError::Power(e) => Some(e),
+            CmosaicError::Thermal(e) => Some(e),
+            CmosaicError::Hydraulics(e) => Some(e),
+        }
+    }
+}
+
+impl From<cmosaic_floorplan::FloorplanError> for CmosaicError {
+    fn from(e: cmosaic_floorplan::FloorplanError) -> Self {
+        CmosaicError::Floorplan(e)
+    }
+}
+
+impl From<cmosaic_power::PowerError> for CmosaicError {
+    fn from(e: cmosaic_power::PowerError) -> Self {
+        CmosaicError::Power(e)
+    }
+}
+
+impl From<cmosaic_thermal::ThermalError> for CmosaicError {
+    fn from(e: cmosaic_thermal::ThermalError) -> Self {
+        CmosaicError::Thermal(e)
+    }
+}
+
+impl From<cmosaic_hydraulics::HydraulicsError> for CmosaicError {
+    fn from(e: cmosaic_hydraulics::HydraulicsError) -> Self {
+        CmosaicError::Hydraulics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wrapping() {
+        let e: CmosaicError = cmosaic_power::PowerError::InvalidUtilization { value: 2.0 }.into();
+        assert!(e.to_string().contains("power model"));
+        assert!(e.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CmosaicError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Metrics collected by the co-simulation — the quantities Figs. 6 and 7
+//! plot.
+
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+
+/// Aggregated results of one policy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Fraction of (core, sample) pairs above the 85 °C threshold — the
+    /// "averaged per core" hot-spot measure of Fig. 6.
+    pub hotspot_time_per_core: f64,
+    /// Fraction of samples where *any* core is above the threshold — the
+    /// "% of time hot spots are observed across the stack" measure.
+    pub hotspot_time_any: f64,
+    /// Hottest junction temperature seen during the run.
+    pub peak_temperature: Kelvin,
+    /// Chip (compute + leakage) energy, joules.
+    pub chip_energy: f64,
+    /// Coolant pumping energy, joules (zero for air-cooled runs).
+    pub pump_energy: f64,
+    /// Mean performance loss: deferred work as a fraction of offered work,
+    /// averaged over cores ("Average performance loss (average)").
+    pub perf_loss_mean: f64,
+    /// Worst per-core performance loss ("Average performance loss (max)").
+    pub perf_loss_max: f64,
+    /// Time-averaged per-cavity flow rate (liquid-cooled runs).
+    pub mean_flow: Option<VolumetricFlow>,
+    /// Simulated seconds.
+    pub seconds: usize,
+}
+
+impl RunMetrics {
+    /// Total system energy: chip + pump, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.chip_energy + self.pump_energy
+    }
+
+    /// Mean system power over the run, watts.
+    pub fn mean_power(&self) -> f64 {
+        if self.seconds == 0 {
+            0.0
+        } else {
+            self.total_energy() / self.seconds as f64
+        }
+    }
+}
+
+/// Incremental accumulator used by the simulator.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MetricsAccumulator {
+    pub samples: usize,
+    pub core_samples: usize,
+    pub hot_core_samples: usize,
+    pub hot_any_samples: usize,
+    pub peak: f64,
+    pub chip_energy: f64,
+    pub pump_energy: f64,
+    pub offered_work: Vec<f64>,
+    pub deferred_work: Vec<f64>,
+    pub flow_integral: f64,
+    pub flow_samples: usize,
+}
+
+impl MetricsAccumulator {
+    pub fn new(cores: usize) -> Self {
+        MetricsAccumulator {
+            offered_work: vec![0.0; cores],
+            deferred_work: vec![0.0; cores],
+            ..Default::default()
+        }
+    }
+
+    pub fn finish(self, seconds: usize, liquid: bool) -> RunMetrics {
+        let perf: Vec<f64> = self
+            .offered_work
+            .iter()
+            .zip(&self.deferred_work)
+            .map(|(&o, &d)| if o > 0.0 { d / o } else { 0.0 })
+            .collect();
+        let perf_mean = if perf.is_empty() {
+            0.0
+        } else {
+            perf.iter().sum::<f64>() / perf.len() as f64
+        };
+        let perf_max = perf.iter().copied().fold(0.0f64, f64::max);
+        RunMetrics {
+            hotspot_time_per_core: if self.core_samples == 0 {
+                0.0
+            } else {
+                self.hot_core_samples as f64 / self.core_samples as f64
+            },
+            hotspot_time_any: if self.samples == 0 {
+                0.0
+            } else {
+                self.hot_any_samples as f64 / self.samples as f64
+            },
+            peak_temperature: Kelvin(self.peak),
+            chip_energy: self.chip_energy,
+            pump_energy: self.pump_energy,
+            perf_loss_mean: perf_mean,
+            perf_loss_max: perf_max,
+            mean_flow: (liquid && self.flow_samples > 0)
+                .then(|| VolumetricFlow(self.flow_integral / self.flow_samples as f64)),
+            seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_computes_fractions() {
+        let mut acc = MetricsAccumulator::new(2);
+        acc.samples = 10;
+        acc.core_samples = 20;
+        acc.hot_core_samples = 5;
+        acc.hot_any_samples = 4;
+        acc.peak = 360.0;
+        acc.chip_energy = 100.0;
+        acc.pump_energy = 20.0;
+        acc.offered_work = vec![10.0, 5.0];
+        acc.deferred_work = vec![1.0, 0.0];
+        acc.flow_integral = 10.0;
+        acc.flow_samples = 10;
+        let m = acc.finish(10, true);
+        assert!((m.hotspot_time_per_core - 0.25).abs() < 1e-12);
+        assert!((m.hotspot_time_any - 0.4).abs() < 1e-12);
+        assert!((m.perf_loss_mean - 0.05).abs() < 1e-12);
+        assert!((m.perf_loss_max - 0.1).abs() < 1e-12);
+        assert!((m.total_energy() - 120.0).abs() < 1e-12);
+        assert!((m.mean_power() - 12.0).abs() < 1e-12);
+        assert!(m.mean_flow.is_some());
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let m = MetricsAccumulator::new(0).finish(0, false);
+        assert_eq!(m.hotspot_time_per_core, 0.0);
+        assert_eq!(m.perf_loss_max, 0.0);
+        assert_eq!(m.mean_power(), 0.0);
+        assert!(m.mean_flow.is_none());
+    }
+}

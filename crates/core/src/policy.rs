@@ -1,0 +1,458 @@
+//! Run-time thermal-management policies (§IV.A).
+
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+use cmosaic_power::dvfs::VfTable;
+
+use crate::fuzzy::FuzzyController;
+
+/// The thermal threshold of the paper: 85 °C.
+pub const THRESHOLD: f64 = 85.0;
+/// The DVFS release threshold: scale back up below 82 °C.
+pub const RELEASE: f64 = 82.0;
+/// Queue-imbalance threshold of the load balancer (fraction of nominal
+/// throughput).
+pub const LB_THRESHOLD: f64 = 0.1;
+
+/// The policy configurations evaluated in Figs. 6–7, plus the
+/// flow-only ablation used to isolate the benefit of joint control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// `AC_LB`: air-cooled, load balancing only.
+    AcLb,
+    /// `AC_TDVFS_LB`: air-cooled, load balancing + temperature-triggered
+    /// DVFS.
+    AcTdvfsLb,
+    /// `LC_LB`: liquid-cooled at maximum flow, load balancing.
+    LcLb,
+    /// `LC_FUZZY`: liquid-cooled with fuzzy flow + utilization-guided DVFS
+    /// — the paper's proposal.
+    LcFuzzy,
+    /// Ablation: the fuzzy flow controller *without* DVFS. §IV.A
+    /// attributes LC_FUZZY's win to "the joint control of flow rate and
+    /// DVFS"; this variant quantifies that claim.
+    LcFuzzyFlowOnly,
+}
+
+impl PolicyKind {
+    /// `true` for the liquid-cooled configurations.
+    pub fn is_liquid_cooled(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::LcLb | PolicyKind::LcFuzzy | PolicyKind::LcFuzzyFlowOnly
+        )
+    }
+
+    /// The four policies of the paper's figures, in plot order.
+    pub fn paper_policies() -> [PolicyKind; 4] {
+        [
+            PolicyKind::AcLb,
+            PolicyKind::AcTdvfsLb,
+            PolicyKind::LcLb,
+            PolicyKind::LcFuzzy,
+        ]
+    }
+
+    /// Every implemented policy, including ablations.
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::AcLb,
+            PolicyKind::AcTdvfsLb,
+            PolicyKind::LcLb,
+            PolicyKind::LcFuzzy,
+            PolicyKind::LcFuzzyFlowOnly,
+        ]
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PolicyKind::AcLb => "AC_LB",
+            PolicyKind::AcTdvfsLb => "AC_TDVFS_LB",
+            PolicyKind::LcLb => "LC_LB",
+            PolicyKind::LcFuzzy => "LC_FUZZY",
+            PolicyKind::LcFuzzyFlowOnly => "LC_FUZZY_FLOW",
+        })
+    }
+}
+
+/// What the policy observes at a control step.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Offered per-core demand from the workload trace (fraction of
+    /// nominal throughput).
+    pub demands: Vec<f64>,
+    /// Per-core junction temperatures (sensor readings).
+    pub core_temps: Vec<Kelvin>,
+    /// Maximum junction temperature anywhere in the stack.
+    pub max_temp: Kelvin,
+}
+
+/// What the policy decides for the next interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// Per-core demand after migration/balancing.
+    pub assigned: Vec<f64>,
+    /// Per-core DVFS level (0 = nominal).
+    pub vf_levels: Vec<usize>,
+    /// Per-cavity coolant flow, for liquid-cooled stacks.
+    pub flow: Option<VolumetricFlow>,
+}
+
+/// Dynamic load balancing: move work from the longest queue to the
+/// shortest until the spread falls below [`LB_THRESHOLD`].
+///
+/// This is the `LB` building block every evaluated policy uses ("moves
+/// threads from a core's queue to another if the difference in queue
+/// lengths is over a threshold").
+pub fn load_balance(demands: &[f64]) -> Vec<f64> {
+    let mut q = demands.to_vec();
+    if q.is_empty() {
+        return q;
+    }
+    for _ in 0..q.len() * 4 {
+        let (imax, &dmax) = q
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        let (imin, &dmin) = q
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        if dmax - dmin <= LB_THRESHOLD {
+            break;
+        }
+        let transfer = (dmax - dmin) / 2.0;
+        q[imax] -= transfer;
+        q[imin] += transfer;
+    }
+    q
+}
+
+/// A run-time thermal management policy: one `decide` call per control
+/// interval.
+pub trait Policy {
+    /// Policy name for reports.
+    fn kind(&self) -> PolicyKind;
+
+    /// Computes the action for the next interval.
+    fn decide(&mut self, obs: &Observation) -> Action;
+}
+
+/// `AC_LB` — load balancing only, nominal V/f, no coolant.
+#[derive(Debug, Clone, Default)]
+pub struct AcLbPolicy;
+
+impl Policy for AcLbPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::AcLb
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Action {
+        Action {
+            assigned: load_balance(&obs.demands),
+            vf_levels: vec![0; obs.demands.len()],
+            flow: None,
+        }
+    }
+}
+
+/// `AC_TDVFS_LB` — load balancing plus temperature-triggered DVFS with the
+/// paper's 85 °C trigger and 82 °C release, one level per scaling
+/// interval.
+#[derive(Debug, Clone)]
+pub struct AcTdvfsLbPolicy {
+    vf: VfTable,
+    levels: Vec<usize>,
+}
+
+impl AcTdvfsLbPolicy {
+    /// Creates the policy for `cores` cores with the Niagara VF table.
+    pub fn new(cores: usize) -> Self {
+        AcTdvfsLbPolicy {
+            vf: VfTable::niagara(),
+            levels: vec![0; cores],
+        }
+    }
+}
+
+impl Policy for AcTdvfsLbPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::AcTdvfsLb
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Action {
+        debug_assert_eq!(obs.core_temps.len(), self.levels.len());
+        for (lvl, t) in self.levels.iter_mut().zip(&obs.core_temps) {
+            let t_c = t.to_celsius().0;
+            if t_c > THRESHOLD {
+                *lvl = (*lvl + 1).min(self.vf.slowest());
+            } else if t_c < RELEASE && *lvl > 0 {
+                *lvl -= 1;
+            }
+        }
+        Action {
+            assigned: load_balance(&obs.demands),
+            vf_levels: self.levels.clone(),
+            flow: None,
+        }
+    }
+}
+
+/// `LC_LB` — liquid cooling at the worst-case maximum flow rate
+/// (Table I: 32.3 ml/min per cavity), load balancing, nominal V/f.
+#[derive(Debug, Clone)]
+pub struct LcLbPolicy {
+    flow: VolumetricFlow,
+}
+
+impl LcLbPolicy {
+    /// Creates the policy at the Table I maximum flow.
+    pub fn new() -> Self {
+        LcLbPolicy {
+            flow: VolumetricFlow::from_ml_per_min(32.3),
+        }
+    }
+}
+
+impl Default for LcLbPolicy {
+    fn default() -> Self {
+        LcLbPolicy::new()
+    }
+}
+
+impl Policy for LcLbPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LcLb
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Action {
+        Action {
+            assigned: load_balance(&obs.demands),
+            vf_levels: vec![0; obs.demands.len()],
+            flow: Some(self.flow),
+        }
+    }
+}
+
+/// `LC_FUZZY` — the proposed controller: fuzzy flow-rate selection from
+/// (max temperature, mean utilization) combined with utilization-tracking
+/// per-core DVFS and a thermal guard.
+#[derive(Debug, Clone)]
+pub struct LcFuzzyPolicy {
+    fuzzy: FuzzyController,
+    vf: VfTable,
+    /// Head-room added to the demand before choosing the slowest adequate
+    /// V/f point, so utilization tracking stays performance-neutral.
+    margin: f64,
+    /// When `false`, cores stay at nominal V/f (the flow-only ablation).
+    use_dvfs: bool,
+}
+
+impl LcFuzzyPolicy {
+    /// Creates the policy with the Table I fuzzy controller.
+    pub fn new() -> Self {
+        LcFuzzyPolicy {
+            fuzzy: FuzzyController::table1(),
+            vf: VfTable::niagara(),
+            margin: 0.05,
+            use_dvfs: true,
+        }
+    }
+
+    /// The flow-only ablation: fuzzy flow control with DVFS disabled.
+    pub fn flow_only() -> Self {
+        LcFuzzyPolicy {
+            use_dvfs: false,
+            ..LcFuzzyPolicy::new()
+        }
+    }
+
+    /// The slowest V/f level that still serves `demand` with margin.
+    fn vf_for_demand(&self, demand: f64) -> usize {
+        let need = (demand + self.margin).min(1.0);
+        let mut best = 0;
+        for lvl in (0..=self.vf.slowest()).rev() {
+            if self.vf.speed(lvl) >= need {
+                best = lvl;
+                break;
+            }
+        }
+        best
+    }
+}
+
+impl Default for LcFuzzyPolicy {
+    fn default() -> Self {
+        LcFuzzyPolicy::new()
+    }
+}
+
+impl Policy for LcFuzzyPolicy {
+    fn kind(&self) -> PolicyKind {
+        if self.use_dvfs {
+            PolicyKind::LcFuzzy
+        } else {
+            PolicyKind::LcFuzzyFlowOnly
+        }
+    }
+
+    fn decide(&mut self, obs: &Observation) -> Action {
+        let assigned = load_balance(&obs.demands);
+        let mean_util = if assigned.is_empty() {
+            0.0
+        } else {
+            assigned.iter().sum::<f64>() / assigned.len() as f64
+        };
+        let flow = self.fuzzy.flow_rate(obs.max_temp, mean_util);
+        let mut vf_levels: Vec<usize> = if self.use_dvfs {
+            assigned.iter().map(|&d| self.vf_for_demand(d)).collect()
+        } else {
+            vec![0; assigned.len()]
+        };
+        // Thermal guard: a core over the threshold is forced down one more
+        // level regardless of its load (kept even in the flow-only
+        // ablation — it is a safety net, not an energy feature).
+        for (lvl, t) in vf_levels.iter_mut().zip(&obs.core_temps) {
+            if t.to_celsius().0 > THRESHOLD {
+                *lvl = (*lvl + 1).min(self.vf.slowest());
+            }
+        }
+        Action {
+            assigned,
+            vf_levels,
+            flow: Some(flow),
+        }
+    }
+}
+
+/// Instantiates the policy implementation for a configuration with
+/// `cores` cores.
+pub fn make_policy(kind: PolicyKind, cores: usize) -> Box<dyn Policy> {
+    match kind {
+        PolicyKind::AcLb => Box::new(AcLbPolicy),
+        PolicyKind::AcTdvfsLb => Box::new(AcTdvfsLbPolicy::new(cores)),
+        PolicyKind::LcLb => Box::new(LcLbPolicy::new()),
+        PolicyKind::LcFuzzy => Box::new(LcFuzzyPolicy::new()),
+        PolicyKind::LcFuzzyFlowOnly => Box::new(LcFuzzyPolicy::flow_only()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_materials::units::Celsius;
+
+    fn obs(demands: &[f64], temps_c: &[f64]) -> Observation {
+        Observation {
+            demands: demands.to_vec(),
+            core_temps: temps_c.iter().map(|&t| Celsius(t).to_kelvin()).collect(),
+            max_temp: Celsius(temps_c.iter().copied().fold(0.0, f64::max)).to_kelvin(),
+        }
+    }
+
+    #[test]
+    fn load_balancer_evens_out_queues() {
+        let balanced = load_balance(&[1.0, 0.0, 0.5, 0.1]);
+        let total: f64 = balanced.iter().sum();
+        assert!((total - 1.6).abs() < 1e-9, "work is conserved");
+        let max = balanced.iter().copied().fold(0.0f64, f64::max);
+        let min = balanced.iter().copied().fold(1.0f64, f64::min);
+        assert!(max - min <= LB_THRESHOLD + 1e-9);
+    }
+
+    #[test]
+    fn load_balancer_leaves_balanced_queues_alone() {
+        let q = [0.5, 0.45, 0.52, 0.48];
+        assert_eq!(load_balance(&q), q.to_vec());
+    }
+
+    #[test]
+    fn tdvfs_scales_down_when_hot_and_recovers() {
+        let mut p = AcTdvfsLbPolicy::new(2);
+        // Hot: both cores over 85.
+        let a = p.decide(&obs(&[0.5, 0.5], &[90.0, 88.0]));
+        assert_eq!(a.vf_levels, vec![1, 1]);
+        // Still hot: keep scaling.
+        let a = p.decide(&obs(&[0.5, 0.5], &[88.0, 86.0]));
+        assert_eq!(a.vf_levels, vec![2, 2]);
+        // Between release and trigger: hold.
+        let a = p.decide(&obs(&[0.5, 0.5], &[83.0, 84.0]));
+        assert_eq!(a.vf_levels, vec![2, 2]);
+        // Cooled: release one level per interval.
+        let a = p.decide(&obs(&[0.5, 0.5], &[70.0, 60.0]));
+        assert_eq!(a.vf_levels, vec![1, 1]);
+    }
+
+    #[test]
+    fn tdvfs_saturates_at_slowest_level() {
+        let mut p = AcTdvfsLbPolicy::new(1);
+        for _ in 0..10 {
+            p.decide(&obs(&[1.0], &[120.0]));
+        }
+        let a = p.decide(&obs(&[1.0], &[120.0]));
+        assert_eq!(a.vf_levels, vec![VfTable::niagara().slowest()]);
+    }
+
+    #[test]
+    fn lc_lb_always_uses_max_flow() {
+        let mut p = LcLbPolicy::new();
+        let a = p.decide(&obs(&[0.1, 0.1], &[40.0, 41.0]));
+        let q = a.flow.expect("liquid cooled");
+        assert!((q.to_ml_per_min() - 32.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuzzy_tracks_utilization_with_dvfs() {
+        let mut p = LcFuzzyPolicy::new();
+        // Low demand, cool chip: cores drop to a slow level and flow is low.
+        let a = p.decide(&obs(&[0.2, 0.2], &[50.0, 52.0]));
+        assert!(a.vf_levels.iter().all(|&l| l > 0));
+        let q = a.flow.expect("liquid cooled").to_ml_per_min();
+        assert!(q < 15.0, "cool+idle should use low flow, got {q}");
+        // High demand: nominal V/f; hot: high flow.
+        let a = p.decide(&obs(&[0.95, 0.95], &[80.0, 81.0]));
+        assert_eq!(a.vf_levels, vec![0, 0]);
+        let q = a.flow.expect("liquid cooled").to_ml_per_min();
+        assert!(q > 25.0, "hot+busy should use high flow, got {q}");
+    }
+
+    #[test]
+    fn fuzzy_thermal_guard_overrides_utilization() {
+        let mut p = LcFuzzyPolicy::new();
+        let a = p.decide(&obs(&[0.95, 0.95], &[90.0, 50.0]));
+        assert!(a.vf_levels[0] > 0, "hot core forced down");
+        assert_eq!(a.vf_levels[1], 0, "cool busy core stays nominal");
+    }
+
+    #[test]
+    fn flow_only_ablation_never_scales_vf_when_cool() {
+        let mut p = LcFuzzyPolicy::flow_only();
+        assert_eq!(p.kind(), PolicyKind::LcFuzzyFlowOnly);
+        let a = p.decide(&obs(&[0.1, 0.1], &[45.0, 46.0]));
+        assert_eq!(a.vf_levels, vec![0, 0], "flow-only keeps nominal V/f");
+        // The thermal safety guard still applies.
+        let a = p.decide(&obs(&[0.1, 0.1], &[90.0, 46.0]));
+        assert_eq!(a.vf_levels, vec![1, 0]);
+    }
+
+    #[test]
+    fn policy_kind_helpers() {
+        assert!(PolicyKind::LcFuzzy.is_liquid_cooled());
+        assert!(PolicyKind::LcFuzzyFlowOnly.is_liquid_cooled());
+        assert!(!PolicyKind::AcLb.is_liquid_cooled());
+        assert_eq!(PolicyKind::AcTdvfsLb.to_string(), "AC_TDVFS_LB");
+        assert_eq!(PolicyKind::paper_policies().len(), 4);
+        assert_eq!(PolicyKind::all().len(), 5);
+        for kind in PolicyKind::all() {
+            let mut p = make_policy(kind, 4);
+            assert_eq!(p.kind(), kind);
+            let a = p.decide(&obs(&[0.5; 4], &[60.0; 4]));
+            assert_eq!(a.assigned.len(), 4);
+            assert_eq!(a.vf_levels.len(), 4);
+            assert_eq!(a.flow.is_some(), kind.is_liquid_cooled());
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! The co-simulation engine: workload → scheduler/policy → power →
+//! thermal, in a closed loop with leakage feedback.
+//!
+//! The loop follows §IV.A: utilization traces sampled at 1 s drive the
+//! power model; temperature sensors (one per core, area-averaged over the
+//! core's junction cells) feed the policy; the policy sets task placement,
+//! per-core V/f and (for liquid-cooled stacks) the per-cavity flow rate;
+//! the compact thermal model advances with a 0.25 s backward-Euler step
+//! (four sub-steps per control interval). Leakage is re-evaluated from the
+//! current temperatures every interval, closing the electrothermal loop
+//! that produces the 4-tier air-cooled runaway.
+
+use cmosaic_floorplan::plan::ElementKind;
+use cmosaic_floorplan::stack::Stack3d;
+use cmosaic_floorplan::{Floorplan, GridSpec};
+use cmosaic_hydraulics::pump::PumpMap;
+use cmosaic_materials::units::{Celsius, Kelvin, VolumetricFlow};
+use cmosaic_power::trace::WorkloadTrace;
+use cmosaic_power::PowerModel;
+use cmosaic_thermal::{TemperatureField, ThermalModel, ThermalParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{MetricsAccumulator, RunMetrics};
+use crate::policy::{Observation, Policy};
+use crate::CmosaicError;
+
+/// Static configuration of a co-simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Thermal grid per layer.
+    pub grid: GridSpec,
+    /// Thermal integration step, seconds.
+    pub thermal_dt: f64,
+    /// Control (and trace) interval, seconds.
+    pub control_interval: f64,
+    /// Hot-spot threshold (85 °C in the paper).
+    pub threshold: Celsius,
+    /// Thermal model parameters.
+    pub thermal: ThermalParams,
+    /// Standard deviation of Gaussian sensor noise added to the per-core
+    /// readings the *policy* sees (metrics always use the true
+    /// temperatures). Zero disables it. Real on-die sensors are 1–2 K
+    /// accurate; use this to test controller robustness.
+    pub sensor_noise_std: f64,
+    /// Seed of the sensor-noise stream (independent of the trace seed).
+    pub sensor_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            grid: GridSpec::new(12, 12).expect("static dims"),
+            thermal_dt: 0.25,
+            control_interval: 1.0,
+            threshold: Celsius(85.0),
+            thermal: ThermalParams::default(),
+            sensor_noise_std: 0.0,
+            sensor_seed: 0x5e_a5,
+        }
+    }
+}
+
+/// One core's location in the stack: `(tier index, element index)`.
+type CoreRef = (usize, usize);
+
+/// The co-simulation of one 3D MPSoC under one policy and one workload.
+pub struct Simulator {
+    stack_name: String,
+    tier_plans: Vec<Floorplan>,
+    width: f64,
+    height: f64,
+    model: ThermalModel,
+    power: PowerModel,
+    policy: Box<dyn Policy>,
+    trace: WorkloadTrace,
+    config: SimConfig,
+    pump: PumpMap,
+    n_cavities: usize,
+    cores: Vec<CoreRef>,
+    /// Per-tier list of positions into `cores` (for demand slicing).
+    tier_core_slots: Vec<Vec<usize>>,
+    acc: MetricsAccumulator,
+    seconds_run: usize,
+    current_flow: Option<VolumetricFlow>,
+    sensor_rng: StdRng,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("stack", &self.stack_name)
+            .field("policy", &self.policy.kind())
+            .field("workload", &self.trace.kind())
+            .field("seconds_run", &self.seconds_run)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`CmosaicError::Config`] when the trace core count does not match
+    /// the stack, or the policy's cooling mode does not match the stack's.
+    pub fn new(
+        stack: &Stack3d,
+        policy: Box<dyn Policy>,
+        trace: WorkloadTrace,
+        power: PowerModel,
+        config: SimConfig,
+    ) -> Result<Self, CmosaicError> {
+        let tier_plans: Vec<Floorplan> = stack.tiers().to_vec();
+        let mut cores = Vec::new();
+        let mut tier_core_slots = vec![Vec::new(); tier_plans.len()];
+        for (tier, plan) in tier_plans.iter().enumerate() {
+            for e in plan.indices_of_kind(ElementKind::Core) {
+                tier_core_slots[tier].push(cores.len());
+                cores.push((tier, e));
+            }
+        }
+        if trace.cores() != cores.len() {
+            return Err(CmosaicError::Config {
+                detail: format!(
+                    "trace has {} cores, stack `{}` has {}",
+                    trace.cores(),
+                    stack.name(),
+                    cores.len()
+                ),
+            });
+        }
+        if policy.kind().is_liquid_cooled() != stack.is_liquid_cooled() {
+            return Err(CmosaicError::Config {
+                detail: format!(
+                    "policy {} does not match the cooling mode of stack `{}`",
+                    policy.kind(),
+                    stack.name()
+                ),
+            });
+        }
+        let model = ThermalModel::new(stack, config.grid, config.thermal.clone())?;
+        let n_cores = cores.len();
+        let sensor_seed = config.sensor_seed;
+        Ok(Simulator {
+            stack_name: stack.name().to_string(),
+            tier_plans,
+            width: stack.width(),
+            height: stack.height(),
+            model,
+            power,
+            policy,
+            trace,
+            config,
+            pump: PumpMap::table1(),
+            n_cavities: stack.cavity_count(),
+            cores,
+            tier_core_slots,
+            acc: MetricsAccumulator::new(n_cores),
+            seconds_run: 0,
+            current_flow: None,
+            sensor_rng: StdRng::seed_from_u64(sensor_seed),
+        })
+    }
+
+    /// Applies the configured Gaussian sensor noise to a clean reading
+    /// (Box–Muller; deterministic given the sensor seed).
+    fn noisy(&mut self, t: Kelvin) -> Kelvin {
+        if self.config.sensor_noise_std <= 0.0 {
+            return t;
+        }
+        let u1: f64 = self.sensor_rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.sensor_rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        Kelvin(t.0 + z * self.config.sensor_noise_std)
+    }
+
+    /// Number of cores across all tiers.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Per-core sensor readings (area-averaged junction temperature).
+    fn core_temps(&self, field: &TemperatureField) -> Vec<Kelvin> {
+        self.cores
+            .iter()
+            .map(|&(tier, e)| {
+                field.element_average(&self.config.grid, &self.tier_plans[tier], tier, e)
+            })
+            .collect()
+    }
+
+    /// Maximum junction-layer temperature across tiers.
+    fn junction_max(&self, field: &TemperatureField) -> Kelvin {
+        (0..self.tier_plans.len())
+            .map(|t| field.tier_max(t))
+            .fold(Kelvin(f64::NEG_INFINITY), Kelvin::max)
+    }
+
+    /// Per-tier element temperatures (for the leakage model).
+    fn element_temps(&self, field: &TemperatureField) -> Vec<Vec<Kelvin>> {
+        self.tier_plans
+            .iter()
+            .enumerate()
+            .map(|(tier, plan)| {
+                (0..plan.elements().len())
+                    .map(|e| field.element_average(&self.config.grid, plan, tier, e))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Per-tier power maps for the given assignment.
+    fn tier_power_maps(
+        &self,
+        assigned: &[f64],
+        vf_levels: &[usize],
+        element_temps: &[Vec<Kelvin>],
+    ) -> Result<(Vec<Vec<f64>>, f64), CmosaicError> {
+        let mut maps = Vec::with_capacity(self.tier_plans.len());
+        let mut chip_power = 0.0;
+        for (tier, plan) in self.tier_plans.iter().enumerate() {
+            let slots = &self.tier_core_slots[tier];
+            let (demands, vf): (Vec<f64>, Vec<usize>) = if slots.is_empty() {
+                // Cache tier: the power model only needs the mean demand.
+                (assigned.to_vec(), vec![0; assigned.len()])
+            } else {
+                (
+                    slots.iter().map(|&s| assigned[s]).collect(),
+                    slots.iter().map(|&s| vf_levels[s]).collect(),
+                )
+            };
+            let powers = self
+                .power
+                .tier_powers(plan, &demands, &vf, &element_temps[tier])?;
+            chip_power += powers.iter().sum::<f64>();
+            maps.push(
+                self.config
+                    .grid
+                    .power_map(plan, &powers, self.width, self.height)?,
+            );
+        }
+        Ok((maps, chip_power))
+    }
+
+    /// Initialises the thermal state with a steady-state solve at the
+    /// trace's first sample (the paper initialises with steady-state
+    /// temperatures). Liquid-cooled stacks start at maximum flow.
+    ///
+    /// # Errors
+    ///
+    /// Forwards model errors.
+    pub fn initialize(&mut self) -> Result<(), CmosaicError> {
+        if self.model.is_liquid_cooled() {
+            let q = VolumetricFlow::from_ml_per_min(32.3);
+            self.model.set_flow_rate(q)?;
+            self.current_flow = Some(q);
+        }
+        let demands = self.trace.row(0).to_vec();
+        let warm = Celsius(55.0).to_kelvin();
+        let mut element_temps: Vec<Vec<Kelvin>> = self
+            .tier_plans
+            .iter()
+            .map(|p| vec![warm; p.elements().len()])
+            .collect();
+        // Two fixed-point sweeps couple leakage and temperature.
+        for _ in 0..2 {
+            let vf = vec![0usize; self.cores.len()];
+            let (maps, _) = self.tier_power_maps(&demands, &vf, &element_temps)?;
+            let field = self.model.steady_state(&maps)?;
+            element_temps = self.element_temps(&field);
+        }
+        Ok(())
+    }
+
+    /// Runs `seconds` control intervals, accumulating metrics.
+    ///
+    /// # Errors
+    ///
+    /// Forwards policy/power/thermal errors.
+    pub fn run(&mut self, seconds: usize) -> Result<RunMetrics, CmosaicError> {
+        let substeps = (self.config.control_interval / self.config.thermal_dt).round() as usize;
+        let substeps = substeps.max(1);
+        let dt = self.config.control_interval / substeps as f64;
+        let threshold_k = self.config.threshold.to_kelvin();
+
+        for t in 0..seconds {
+            let field = self.model.current_field();
+            let core_temps = self.core_temps(&field);
+            let sensed: Vec<Kelvin> = core_temps.iter().map(|&k| self.noisy(k)).collect();
+            let sensed_max = self.noisy(self.junction_max(&field));
+            let obs = Observation {
+                demands: self.trace.row(self.seconds_run + t).to_vec(),
+                core_temps: sensed,
+                max_temp: sensed_max,
+            };
+            let action = self.policy.decide(&obs);
+
+            if let Some(q) = action.flow {
+                if self.current_flow != Some(q) {
+                    self.model.set_flow_rate(q)?;
+                    self.current_flow = Some(q);
+                }
+            }
+
+            let element_temps = self.element_temps(&field);
+            let (maps, chip_power) =
+                self.tier_power_maps(&action.assigned, &action.vf_levels, &element_temps)?;
+
+            for _ in 0..substeps {
+                let latest = self.model.step(&maps, dt)?;
+                // Sensor sampling at sub-step granularity (the paper's
+                // 100 ms sensors against our 250 ms steps).
+                let temps = self.core_temps(&latest);
+                self.acc.samples += 1;
+                let mut any_hot = false;
+                for temp in temps {
+                    self.acc.core_samples += 1;
+                    if temp.0 > threshold_k.0 {
+                        self.acc.hot_core_samples += 1;
+                        any_hot = true;
+                    }
+                }
+                if any_hot {
+                    self.acc.hot_any_samples += 1;
+                }
+                let peak = self.junction_max(&latest);
+                if peak.0 > self.acc.peak {
+                    self.acc.peak = peak.0;
+                }
+            }
+
+            // Energy and performance accounting over the interval.
+            let interval = self.config.control_interval;
+            self.acc.chip_energy += chip_power * interval;
+            if let Some(q) = self.current_flow {
+                let pump_w = self.pump.power(q).0 * self.n_cavities as f64;
+                self.acc.pump_energy += pump_w * interval;
+                self.acc.flow_integral += q.0;
+                self.acc.flow_samples += 1;
+            }
+            for (slot, &demand) in obs.demands.iter().enumerate() {
+                // Performance is measured against the *offered* (pre-LB)
+                // work; serving capacity is determined by the assignment
+                // and V/f level.
+                let assigned = action.assigned[slot];
+                let speed = self.power.vf.speed(action.vf_levels[slot]);
+                let deferred = (assigned - speed).max(0.0);
+                self.acc.offered_work[slot] += demand * interval;
+                self.acc.deferred_work[slot] += deferred * interval;
+            }
+        }
+        self.seconds_run += seconds;
+        let liquid = self.model.is_liquid_cooled();
+        Ok(self.acc.clone().finish(self.seconds_run, liquid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{make_policy, PolicyKind};
+    use cmosaic_floorplan::stack::presets;
+    use cmosaic_power::trace::WorkloadKind;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            grid: GridSpec::new(6, 6).expect("static"),
+            thermal_dt: 0.5,
+            ..Default::default()
+        }
+    }
+
+    fn run(kind: PolicyKind, tiers: usize, workload: WorkloadKind, secs: usize) -> RunMetrics {
+        let stack = if kind.is_liquid_cooled() {
+            presets::liquid_cooled_mpsoc(tiers).unwrap()
+        } else {
+            presets::air_cooled_mpsoc(tiers).unwrap()
+        };
+        let n_cores = tiers.div_ceil(2) * 8;
+        let trace = workload.generate(n_cores, secs, 11);
+        let policy = make_policy(kind, n_cores);
+        let mut sim = Simulator::new(
+            &stack,
+            policy,
+            trace,
+            PowerModel::niagara(),
+            small_config(),
+        )
+        .unwrap();
+        sim.initialize().unwrap();
+        sim.run(secs).unwrap()
+    }
+
+    #[test]
+    fn liquid_cooling_removes_hot_spots() {
+        let m = run(PolicyKind::LcLb, 2, WorkloadKind::MaxUtilization, 10);
+        assert_eq!(m.hotspot_time_per_core, 0.0, "LC_LB must have no hot spots");
+        assert!(m.peak_temperature.to_celsius().0 < 85.0);
+    }
+
+    #[test]
+    fn fuzzy_saves_pump_energy_versus_max_flow() {
+        let lb = run(PolicyKind::LcLb, 2, WorkloadKind::WebServer, 20);
+        let fz = run(PolicyKind::LcFuzzy, 2, WorkloadKind::WebServer, 20);
+        assert!(
+            fz.pump_energy < lb.pump_energy,
+            "fuzzy {} J !< max-flow {} J",
+            fz.pump_energy,
+            lb.pump_energy
+        );
+        assert_eq!(fz.hotspot_time_per_core, 0.0);
+    }
+
+    #[test]
+    fn air_cooled_four_tier_overheats() {
+        let m = run(PolicyKind::AcLb, 4, WorkloadKind::MaxUtilization, 10);
+        assert!(
+            m.peak_temperature.to_celsius().0 > 110.0,
+            "4-tier AC peak {} should exceed 110 °C",
+            m.peak_temperature.to_celsius().0
+        );
+        assert!(m.hotspot_time_per_core > 0.5);
+    }
+
+    #[test]
+    fn config_mismatches_are_rejected() {
+        let stack = presets::air_cooled_mpsoc(2).unwrap();
+        // Wrong core count.
+        let trace = WorkloadKind::Database.generate(4, 10, 0);
+        let r = Simulator::new(
+            &stack,
+            make_policy(PolicyKind::AcLb, 4),
+            trace,
+            PowerModel::niagara(),
+            small_config(),
+        );
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+        // Liquid policy on an air-cooled stack.
+        let trace = WorkloadKind::Database.generate(8, 10, 0);
+        let r = Simulator::new(
+            &stack,
+            make_policy(PolicyKind::LcLb, 8),
+            trace,
+            PowerModel::niagara(),
+            small_config(),
+        );
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(PolicyKind::LcFuzzy, 2, WorkloadKind::Database, 8);
+        let b = run(PolicyKind::LcFuzzy, 2, WorkloadKind::Database, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn performance_loss_is_negligible_for_fuzzy() {
+        // §IV.A: "the performance degradation results do not exceed 0.01%".
+        let m = run(PolicyKind::LcFuzzy, 2, WorkloadKind::Multimedia, 20);
+        assert!(
+            m.perf_loss_max < 0.01,
+            "fuzzy perf loss {} should be negligible",
+            m.perf_loss_max
+        );
+    }
+
+    #[test]
+    fn joint_control_beats_flow_only_on_chip_energy() {
+        // §IV.A: LC_FUZZY wins "due to the joint control of flow rate and
+        // DVFS" — the flow-only ablation must save less chip energy.
+        let joint = run(PolicyKind::LcFuzzy, 2, WorkloadKind::WebServer, 20);
+        let flow_only = run(PolicyKind::LcFuzzyFlowOnly, 2, WorkloadKind::WebServer, 20);
+        assert!(
+            joint.chip_energy < flow_only.chip_energy,
+            "joint {} J !< flow-only {} J",
+            joint.chip_energy,
+            flow_only.chip_energy
+        );
+        // Both keep the stack safe.
+        assert_eq!(flow_only.hotspot_time_per_core, 0.0);
+    }
+
+    #[test]
+    fn fuzzy_is_robust_to_sensor_noise() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let trace = WorkloadKind::Database.generate(8, 20, 11);
+        let config = SimConfig {
+            grid: GridSpec::new(6, 6).expect("static"),
+            thermal_dt: 0.5,
+            sensor_noise_std: 2.0, // a poor 2 K-sigma sensor
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(
+            &stack,
+            make_policy(PolicyKind::LcFuzzy, 8),
+            trace,
+            PowerModel::niagara(),
+            config,
+        )
+        .unwrap();
+        sim.initialize().unwrap();
+        let m = sim.run(20).unwrap();
+        assert_eq!(
+            m.hotspot_time_per_core, 0.0,
+            "noisy sensors must not cause hot spots (temperature rules dominate)"
+        );
+        assert!(m.peak_temperature.to_celsius().0 < 85.0);
+    }
+}

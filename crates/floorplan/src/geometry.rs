@@ -1,0 +1,184 @@
+//! Axis-aligned rectangles in metres.
+
+use crate::FloorplanError;
+
+/// An axis-aligned rectangle with its origin at the lower-left corner.
+///
+/// All coordinates are in metres; the helper constructor
+/// [`Rect::from_mm`] converts from millimetres, the unit Table I uses.
+///
+/// ```
+/// use cmosaic_floorplan::Rect;
+/// # fn main() -> Result<(), cmosaic_floorplan::FloorplanError> {
+/// let core = Rect::from_mm(0.0, 0.0, 2.875, 3.478)?;
+/// assert!((core.area() - 10.0e-6).abs() < 0.01e-6); // ~10 mm²
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    x: f64,
+    y: f64,
+    width: f64,
+    height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from metre coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::NonPositiveDimension`] if width or height
+    /// is not strictly positive, or any value is non-finite.
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Result<Self, FloorplanError> {
+        if !(width > 0.0 && width.is_finite()) {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "rectangle width",
+                value: width,
+            });
+        }
+        if !(height > 0.0 && height.is_finite()) {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "rectangle height",
+                value: height,
+            });
+        }
+        if !x.is_finite() || !y.is_finite() {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "rectangle origin",
+                value: if x.is_finite() { y } else { x },
+            });
+        }
+        Ok(Rect { x, y, width, height })
+    }
+
+    /// Creates a rectangle from millimetre coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rect::new`].
+    pub fn from_mm(x: f64, y: f64, width: f64, height: f64) -> Result<Self, FloorplanError> {
+        Rect::new(x * 1e-3, y * 1e-3, width * 1e-3, height * 1e-3)
+    }
+
+    /// Lower-left x coordinate (m).
+    pub fn x(&self) -> f64 {
+        self.x
+    }
+
+    /// Lower-left y coordinate (m).
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// Width along x (m).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Height along y (m).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Upper-right x coordinate (m).
+    pub fn x_max(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Upper-right y coordinate (m).
+    pub fn y_max(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// Area in m².
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Centre point `(x, y)` in metres.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// `true` if `other` lies entirely within `self` (touching edges
+    /// allowed), up to a small tolerance for floating-point round-off.
+    pub fn contains(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-12;
+        other.x >= self.x - EPS
+            && other.y >= self.y - EPS
+            && other.x_max() <= self.x_max() + EPS
+            && other.y_max() <= self.y_max() + EPS
+    }
+
+    /// Area of the intersection with `other`, in m² (zero if disjoint or
+    /// merely touching).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = self.x_max().min(other.x_max()) - self.x.max(other.x);
+        let h = self.y_max().min(other.y_max()) - self.y.max(other.y);
+        if w > 0.0 && h > 0.0 {
+            w * h
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` if the rectangles share interior area (not just an edge).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        // Tolerate round-off on shared edges: an "overlap" thinner than a
+        // nanometre is a touching boundary, not a floorplan violation.
+        let w = self.x_max().min(other.x_max()) - self.x.max(other.x);
+        let h = self.y_max().min(other.y_max()) - self.y.max(other.y);
+        w > 1e-9 && h > 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0).unwrap();
+        assert_eq!(r.x_max(), 4.0);
+        assert_eq!(r.y_max(), 6.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    fn invalid_rects_rejected() {
+        assert!(Rect::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, 1.0, -1.0).is_err());
+        assert!(Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let inner = Rect::new(2.0, 2.0, 3.0, 3.0).unwrap();
+        let flush = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let spill = Rect::new(8.0, 8.0, 3.0, 3.0).unwrap();
+        assert!(outer.contains(&inner));
+        assert!(outer.contains(&flush));
+        assert!(!outer.contains(&spill));
+    }
+
+    #[test]
+    fn overlap_area_and_intersection() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0).unwrap();
+        let b = Rect::new(2.0, 2.0, 4.0, 4.0).unwrap();
+        assert_eq!(a.overlap_area(&b), 4.0);
+        assert!(a.intersects(&b));
+        // Touching rectangles do not "intersect".
+        let c = Rect::new(4.0, 0.0, 2.0, 4.0).unwrap();
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn mm_constructor_scales() {
+        let r = Rect::from_mm(0.0, 0.0, 11.5, 10.0).unwrap();
+        assert!((r.area() - 115.0e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,306 @@
+//! Area-weighted mapping between floorplan elements and the regular
+//! thermal grid.
+//!
+//! The compact thermal model discretises each layer into `nx × ny` cells.
+//! Power dissipated by a floorplan element is spread over the cells it
+//! overlaps in proportion to the overlap area; conversely an element's
+//! temperature reading is the area-weighted average of its cells. Both
+//! directions conserve their integral quantity exactly (power in watts,
+//! mean temperature), which the tests check.
+
+use crate::geometry::Rect;
+use crate::plan::Floorplan;
+use crate::FloorplanError;
+
+/// A regular 2D grid over a stack footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridSpec {
+    nx: usize,
+    ny: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid with `nx` cells along the channel (x) direction and
+    /// `ny` across.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::NonPositiveDimension`] if either count is
+    /// zero.
+    pub fn new(nx: usize, ny: usize) -> Result<Self, FloorplanError> {
+        if nx == 0 || ny == 0 {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "grid dimension",
+                value: 0.0,
+            });
+        }
+        Ok(GridSpec { nx, ny })
+    }
+
+    /// Cells along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Cells along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total cell count per layer.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Cell width for a footprint of width `w` (m).
+    pub fn cell_width(&self, w: f64) -> f64 {
+        w / self.nx as f64
+    }
+
+    /// Cell height for a footprint of height `h` (m).
+    pub fn cell_height(&self, h: f64) -> f64 {
+        h / self.ny as f64
+    }
+
+    /// Linear index of cell `(ix, iy)` (row-major, y outer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn index(&self, ix: usize, iy: usize) -> usize {
+        assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of range");
+        iy * self.nx + ix
+    }
+
+    /// Inverse of [`GridSpec::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        assert!(idx < self.cell_count(), "cell index {idx} out of range");
+        (idx % self.nx, idx / self.nx)
+    }
+
+    /// Rectangle of cell `(ix, iy)` on a footprint `w × h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell_rect(&self, ix: usize, iy: usize, w: f64, h: f64) -> Rect {
+        assert!(ix < self.nx && iy < self.ny);
+        let cw = self.cell_width(w);
+        let ch = self.cell_height(h);
+        // Construction cannot fail: cw, ch > 0 whenever w, h > 0.
+        Rect::new(ix as f64 * cw, iy as f64 * ch, cw, ch).expect("valid cell rect")
+    }
+
+    /// Cells overlapped by `region` with normalised weights (fractions of
+    /// the *region* area; the weights sum to 1 when the region lies inside
+    /// the footprint).
+    pub fn region_weights(&self, region: &Rect, w: f64, h: f64) -> Vec<(usize, f64)> {
+        let cw = self.cell_width(w);
+        let ch = self.cell_height(h);
+        let ix_lo = ((region.x() / cw).floor().max(0.0)) as usize;
+        let iy_lo = ((region.y() / ch).floor().max(0.0)) as usize;
+        let ix_hi = (((region.x_max()) / cw).ceil() as usize).min(self.nx);
+        let iy_hi = (((region.y_max()) / ch).ceil() as usize).min(self.ny);
+        let mut out = Vec::new();
+        let area = region.area();
+        for iy in iy_lo..iy_hi {
+            for ix in ix_lo..ix_hi {
+                let cell = self.cell_rect(ix, iy, w, h);
+                let ov = cell.overlap_area(region);
+                if ov > 0.0 {
+                    out.push((self.index(ix, iy), ov / area));
+                }
+            }
+        }
+        out
+    }
+
+    /// Distributes per-element powers (W) over the grid, conserving total
+    /// power exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidStack`] if `powers.len()` differs
+    /// from the element count.
+    pub fn power_map(
+        &self,
+        plan: &Floorplan,
+        powers: &[f64],
+        w: f64,
+        h: f64,
+    ) -> Result<Vec<f64>, FloorplanError> {
+        if powers.len() != plan.elements().len() {
+            return Err(FloorplanError::InvalidStack {
+                detail: format!(
+                    "power vector length {} != {} elements of `{}`",
+                    powers.len(),
+                    plan.elements().len(),
+                    plan.name()
+                ),
+            });
+        }
+        let mut map = vec![0.0; self.cell_count()];
+        for (e, &p) in plan.elements().iter().zip(powers) {
+            if p == 0.0 {
+                continue;
+            }
+            for (cell, frac) in self.region_weights(e.rect(), w, h) {
+                map[cell] += p * frac;
+            }
+        }
+        Ok(map)
+    }
+
+    /// Area-weighted average of a per-cell field over one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field.len() != cell_count()` or the element index is out
+    /// of range.
+    pub fn element_average(
+        &self,
+        plan: &Floorplan,
+        element: usize,
+        field: &[f64],
+        w: f64,
+        h: f64,
+    ) -> f64 {
+        assert_eq!(field.len(), self.cell_count(), "field length mismatch");
+        let e = &plan.elements()[element];
+        let weights = self.region_weights(e.rect(), w, h);
+        weights.iter().map(|&(c, f)| field[c] * f).sum()
+    }
+
+    /// Maximum of a per-cell field over the cells an element overlaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field.len() != cell_count()` or the element index is out
+    /// of range.
+    pub fn element_max(
+        &self,
+        plan: &Floorplan,
+        element: usize,
+        field: &[f64],
+        w: f64,
+        h: f64,
+    ) -> f64 {
+        assert_eq!(field.len(), self.cell_count(), "field length mismatch");
+        let e = &plan.elements()[element];
+        self.region_weights(e.rect(), w, h)
+            .iter()
+            .map(|&(c, _)| field[c])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::niagara;
+
+    #[test]
+    fn indexing_round_trips() {
+        let g = GridSpec::new(7, 5).unwrap();
+        for idx in 0..g.cell_count() {
+            let (ix, iy) = g.coords(idx);
+            assert_eq!(g.index(ix, iy), idx);
+        }
+    }
+
+    #[test]
+    fn zero_grid_rejected() {
+        assert!(GridSpec::new(0, 4).is_err());
+        assert!(GridSpec::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn power_map_conserves_total_power() {
+        let plan = niagara::core_tier().unwrap();
+        let g = GridSpec::new(16, 16).unwrap();
+        let powers: Vec<f64> = (0..plan.elements().len())
+            .map(|i| 1.0 + i as f64 * 0.5)
+            .collect();
+        let total: f64 = powers.iter().sum();
+        let map = g
+            .power_map(&plan, &powers, niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .unwrap();
+        let mapped: f64 = map.iter().sum();
+        assert!(
+            (mapped - total).abs() < 1e-9 * total,
+            "mapped {mapped} vs total {total}"
+        );
+    }
+
+    #[test]
+    fn power_map_is_localised() {
+        // A single hot element in the lower-left corner: cells in the upper
+        // half must receive nothing.
+        let plan = crate::Floorplan::new(
+            "one",
+            Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(),
+            vec![crate::Element::new(
+                "hot",
+                crate::ElementKind::Core,
+                Rect::new(0.0, 0.0, 0.25, 0.25).unwrap(),
+            )],
+        )
+        .unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let map = g.power_map(&plan, &[8.0], 1.0, 1.0).unwrap();
+        for iy in 4..8 {
+            for ix in 0..8 {
+                assert_eq!(map[g.index(ix, iy)], 0.0);
+            }
+        }
+        assert!((map.iter().sum::<f64>() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_weights_sum_to_one_inside_footprint() {
+        let g = GridSpec::new(13, 9).unwrap();
+        // Region deliberately not aligned with the grid.
+        let region = Rect::new(0.21, 0.13, 0.37, 0.49).unwrap();
+        let weights = g.region_weights(&region, 1.0, 1.0);
+        let sum: f64 = weights.iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+    }
+
+    #[test]
+    fn element_average_of_constant_field_is_constant() {
+        let plan = niagara::cache_tier().unwrap();
+        let g = GridSpec::new(10, 10).unwrap();
+        let field = vec![42.0; g.cell_count()];
+        for i in 0..plan.elements().len() {
+            let avg = g.element_average(&plan, i, &field, niagara::DIE_WIDTH, niagara::DIE_HEIGHT);
+            assert!((avg - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn element_max_picks_the_hottest_cell() {
+        let plan = niagara::core_tier().unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let mut field = vec![10.0; g.cell_count()];
+        // Heat one cell inside core0 (lower-left corner).
+        field[g.index(0, 0)] = 99.0;
+        let mx = g.element_max(&plan, 0, &field, niagara::DIE_WIDTH, niagara::DIE_HEIGHT);
+        assert_eq!(mx, 99.0);
+        // core7 (top-right) does not see it.
+        let other = g.element_max(&plan, 7, &field, niagara::DIE_WIDTH, niagara::DIE_HEIGHT);
+        assert_eq!(other, 10.0);
+    }
+
+    #[test]
+    fn wrong_power_length_rejected() {
+        let plan = niagara::core_tier().unwrap();
+        let g = GridSpec::new(4, 4).unwrap();
+        assert!(g
+            .power_map(&plan, &[1.0], niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Floorplans, 3D stack composition and power-map gridding.
+//!
+//! This crate describes the *geometry* side of the paper's target systems
+//! (§II.A, Fig. 1): UltraSPARC T1 (Niagara-1) floorplans with cores and L2
+//! caches on separate tiers, stacked into 2- and 4-tier 3D MPSoCs with
+//! either inter-tier micro-channel cavities (liquid cooling) or a
+//! conventional back-side heat sink (air cooling).
+//!
+//! * [`geometry`] — axis-aligned rectangles in metres.
+//! * [`plan`] — named floorplan elements with overlap/bounds validation.
+//! * [`niagara`] — the UltraSPARC T1 core and cache tier floorplans built
+//!   from Table I's areas (10 mm² per core, 19 mm² per L2, 115 mm² per
+//!   layer).
+//! * [`stack`] — layer-by-layer 3D stack description (dies, wiring/source
+//!   layers, micro-channel cavities, heat-sink interface) plus the 2-/4-tier
+//!   presets of §IV.
+//! * [`grid`] — area-weighted mapping between floorplan elements and the
+//!   regular thermal grid.
+//!
+//! # Example
+//!
+//! ```
+//! use cmosaic_floorplan::stack::presets;
+//!
+//! let stack = presets::liquid_cooled_mpsoc(2).expect("2-tier preset");
+//! assert_eq!(stack.tiers().len(), 2);
+//! // 2-tier stack: one inter-tier cavity.
+//! assert_eq!(stack.cavity_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod grid;
+pub mod niagara;
+pub mod plan;
+pub mod stack;
+
+pub use geometry::Rect;
+pub use grid::GridSpec;
+pub use plan::{Element, ElementKind, Floorplan};
+pub use stack::{CavitySpec, HeatSinkSpec, Layer, LayerKind, Stack3d, StackBuilder};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing floorplans and stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// An element extends outside the die outline.
+    OutOfBounds {
+        /// Name of the offending element.
+        element: String,
+    },
+    /// Two elements overlap.
+    Overlap {
+        /// First element name.
+        first: String,
+        /// Second element name.
+        second: String,
+    },
+    /// A duplicate element name was used.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A geometric quantity was not strictly positive.
+    NonPositiveDimension {
+        /// What the dimension describes.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The stack description is inconsistent (e.g. a source layer refers to
+    /// a missing tier, or no tiers were added).
+    InvalidStack {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::OutOfBounds { element } => {
+                write!(f, "element `{element}` extends outside the die outline")
+            }
+            FloorplanError::Overlap { first, second } => {
+                write!(f, "elements `{first}` and `{second}` overlap")
+            }
+            FloorplanError::DuplicateName { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            FloorplanError::NonPositiveDimension { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            FloorplanError::InvalidStack { detail } => write!(f, "invalid stack: {detail}"),
+        }
+    }
+}
+
+impl Error for FloorplanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = FloorplanError::Overlap {
+            first: "core0".into(),
+            second: "core1".into(),
+        };
+        assert!(e.to_string().contains("core0"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FloorplanError>();
+    }
+}

@@ -1,0 +1,137 @@
+//! UltraSPARC T1 (Niagara-1) tier floorplans.
+//!
+//! §II.A: the 3D MPSoCs are built from the UltraSPARC T1 manufactured at the
+//! 90 nm node (8 four-thread cores, one shared L2 cache per two cores), with
+//! cores and caches placed on *separate tiers* — the preferred 3D design for
+//! short core↔cache interconnect (paper ref. \[8]). Table I fixes the areas:
+//! 10 mm² per core, 19 mm² per L2 cache, 115 mm² per layer.
+//!
+//! The exact intra-tier placement is not published in the paper; we use a
+//! regular two-row arrangement (cores in 2×4, caches in 2×2) with the
+//! remaining area assigned to the crossbar / L2 directory band in the die
+//! centre, which reproduces the row structure of the real T1 die photo.
+
+use crate::geometry::Rect;
+use crate::plan::{Element, ElementKind, Floorplan};
+use crate::FloorplanError;
+
+/// Die width along the channel (x) direction, metres (11.5 mm).
+pub const DIE_WIDTH: f64 = 11.5e-3;
+/// Die height across the channels (y), metres (10.0 mm).
+pub const DIE_HEIGHT: f64 = 10.0e-3;
+/// Core area from Table I (10 mm²).
+pub const CORE_AREA: f64 = 10.0e-6;
+/// L2 cache area from Table I (19 mm²).
+pub const L2_AREA: f64 = 19.0e-6;
+/// Number of cores per core tier.
+pub const CORES_PER_TIER: usize = 8;
+/// Number of L2 banks per cache tier (one per two cores).
+pub const L2_PER_TIER: usize = 4;
+
+/// The core tier: 8 cores of 10 mm² in two rows of four, crossbar band in
+/// the middle. Total area 8·10 + 35 = 115 mm² (Table I).
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is forwarded from floorplan
+/// validation.
+pub fn core_tier() -> Result<Floorplan, FloorplanError> {
+    let outline = Rect::new(0.0, 0.0, DIE_WIDTH, DIE_HEIGHT)?;
+    let core_w = DIE_WIDTH / 4.0;
+    let core_h = CORE_AREA / core_w;
+    let top_y = DIE_HEIGHT - core_h;
+    let mut elements = Vec::new();
+    for i in 0..CORES_PER_TIER {
+        let (row, col) = (i / 4, i % 4);
+        let y = if row == 0 { 0.0 } else { top_y };
+        elements.push(Element::new(
+            format!("core{i}"),
+            ElementKind::Core,
+            Rect::new(col as f64 * core_w, y, core_w, core_h)?,
+        ));
+    }
+    // Crossbar occupies the full central band.
+    elements.push(Element::new(
+        "xbar",
+        ElementKind::Crossbar,
+        Rect::new(0.0, core_h, DIE_WIDTH, DIE_HEIGHT - 2.0 * core_h)?,
+    ));
+    Floorplan::new("niagara-core-tier", outline, elements)
+}
+
+/// The cache tier: 4 L2 banks of 19 mm² in two rows of two, directory band
+/// in the middle. Total area 4·19 + 39 = 115 mm² (Table I).
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is forwarded from floorplan
+/// validation.
+pub fn cache_tier() -> Result<Floorplan, FloorplanError> {
+    let outline = Rect::new(0.0, 0.0, DIE_WIDTH, DIE_HEIGHT)?;
+    let l2_w = DIE_WIDTH / 2.0;
+    let l2_h = L2_AREA / l2_w;
+    let top_y = DIE_HEIGHT - l2_h;
+    let mut elements = Vec::new();
+    for i in 0..L2_PER_TIER {
+        let (row, col) = (i / 2, i % 2);
+        let y = if row == 0 { 0.0 } else { top_y };
+        elements.push(Element::new(
+            format!("l2_{i}"),
+            ElementKind::L2Cache,
+            Rect::new(col as f64 * l2_w, y, l2_w, l2_h)?,
+        ));
+    }
+    elements.push(Element::new(
+        "l2dir",
+        ElementKind::Other,
+        Rect::new(0.0, l2_h, DIE_WIDTH, DIE_HEIGHT - 2.0 * l2_h)?,
+    ));
+    Floorplan::new("niagara-cache-tier", outline, elements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_tier_matches_table1_areas() {
+        let plan = core_tier().unwrap();
+        assert!((plan.outline().area() - 115.0e-6).abs() < 1e-9);
+        let cores = plan.indices_of_kind(ElementKind::Core);
+        assert_eq!(cores.len(), 8);
+        for &i in &cores {
+            assert!((plan.elements()[i].area() - CORE_AREA).abs() < 1e-10);
+        }
+        // Crossbar fills the remainder.
+        assert!((plan.occupied_area() - 115.0e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_tier_matches_table1_areas() {
+        let plan = cache_tier().unwrap();
+        let l2 = plan.indices_of_kind(ElementKind::L2Cache);
+        assert_eq!(l2.len(), 4);
+        for &i in &l2 {
+            assert!((plan.elements()[i].area() - L2_AREA).abs() < 1e-10);
+        }
+        assert!((plan.occupied_area() - 115.0e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_names_are_stable() {
+        let plan = core_tier().unwrap();
+        assert_eq!(plan.index_of("core0"), Some(0));
+        assert_eq!(plan.index_of("core7"), Some(7));
+        assert_eq!(plan.index_of("xbar"), Some(8));
+        let cache = cache_tier().unwrap();
+        assert_eq!(cache.index_of("l2_3"), Some(3));
+        assert_eq!(cache.index_of("l2dir"), Some(4));
+    }
+
+    #[test]
+    fn tiers_share_the_same_outline() {
+        let c = core_tier().unwrap();
+        let l = cache_tier().unwrap();
+        assert_eq!(c.outline(), l.outline());
+    }
+}

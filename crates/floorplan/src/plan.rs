@@ -1,0 +1,291 @@
+//! Named floorplan elements with validation.
+
+use crate::geometry::Rect;
+use crate::FloorplanError;
+
+/// The architectural role of a floorplan element.
+///
+/// The power model assigns different active/idle power densities per kind,
+/// and the thermal-management policies act on [`ElementKind::Core`] elements
+/// (DVFS, migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// A processing core (UltraSPARC T1 in-order core with 4 threads).
+    Core,
+    /// A shared L2 cache bank.
+    L2Cache,
+    /// The crossbar / on-chip interconnect.
+    Crossbar,
+    /// Anything else (I/O, memory controllers, pad ring…).
+    Other,
+}
+
+impl std::fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ElementKind::Core => "core",
+            ElementKind::L2Cache => "l2-cache",
+            ElementKind::Crossbar => "crossbar",
+            ElementKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, placed floorplan element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    name: String,
+    kind: ElementKind,
+    rect: Rect,
+}
+
+impl Element {
+    /// Creates a new element.
+    pub fn new(name: impl Into<String>, kind: ElementKind, rect: Rect) -> Self {
+        Element {
+            name: name.into(),
+            kind,
+            rect,
+        }
+    }
+
+    /// Element name (unique within a floorplan).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Architectural role.
+    pub fn kind(&self) -> ElementKind {
+        self.kind
+    }
+
+    /// Placement rectangle.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Area in m².
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+}
+
+/// A validated floorplan: an outline and a set of non-overlapping named
+/// elements inside it.
+///
+/// ```
+/// use cmosaic_floorplan::{Element, ElementKind, Floorplan, Rect};
+/// # fn main() -> Result<(), cmosaic_floorplan::FloorplanError> {
+/// let outline = Rect::from_mm(0.0, 0.0, 10.0, 10.0)?;
+/// let plan = Floorplan::new("demo", outline, vec![
+///     Element::new("core0", ElementKind::Core, Rect::from_mm(0.0, 0.0, 5.0, 5.0)?),
+///     Element::new("core1", ElementKind::Core, Rect::from_mm(5.0, 0.0, 5.0, 5.0)?),
+/// ])?;
+/// assert_eq!(plan.elements().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    name: String,
+    outline: Rect,
+    elements: Vec<Element>,
+}
+
+impl Floorplan {
+    /// Builds and validates a floorplan.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::OutOfBounds`] — an element leaves the outline.
+    /// * [`FloorplanError::Overlap`] — two elements share interior area.
+    /// * [`FloorplanError::DuplicateName`] — element names must be unique.
+    pub fn new(
+        name: impl Into<String>,
+        outline: Rect,
+        elements: Vec<Element>,
+    ) -> Result<Self, FloorplanError> {
+        for e in &elements {
+            if !outline.contains(e.rect()) {
+                return Err(FloorplanError::OutOfBounds {
+                    element: e.name().to_string(),
+                });
+            }
+        }
+        for (i, a) in elements.iter().enumerate() {
+            for b in &elements[i + 1..] {
+                if a.name() == b.name() {
+                    return Err(FloorplanError::DuplicateName {
+                        name: a.name().to_string(),
+                    });
+                }
+                if a.rect().intersects(b.rect()) {
+                    return Err(FloorplanError::Overlap {
+                        first: a.name().to_string(),
+                        second: b.name().to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Floorplan {
+            name: name.into(),
+            outline,
+            elements,
+        })
+    }
+
+    /// Floorplan name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die outline.
+    pub fn outline(&self) -> &Rect {
+        &self.outline
+    }
+
+    /// All elements, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Index of the element with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.elements.iter().position(|e| e.name() == name)
+    }
+
+    /// Indices of all elements of a given kind, in insertion order.
+    pub fn indices_of_kind(&self, kind: ElementKind) -> Vec<usize> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind() == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total element area in m².
+    pub fn occupied_area(&self) -> f64 {
+        self.elements.iter().map(Element::area).sum()
+    }
+
+    /// Fraction of the outline covered by elements.
+    pub fn utilization(&self) -> f64 {
+        self.occupied_area() / self.outline.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outline() -> Rect {
+        Rect::from_mm(0.0, 0.0, 10.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = Floorplan::new(
+            "t",
+            outline(),
+            vec![Element::new(
+                "big",
+                ElementKind::Core,
+                Rect::from_mm(5.0, 5.0, 6.0, 6.0).unwrap(),
+            )],
+        );
+        assert!(matches!(err, Err(FloorplanError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let err = Floorplan::new(
+            "t",
+            outline(),
+            vec![
+                Element::new(
+                    "a",
+                    ElementKind::Core,
+                    Rect::from_mm(0.0, 0.0, 5.0, 5.0).unwrap(),
+                ),
+                Element::new(
+                    "b",
+                    ElementKind::Core,
+                    Rect::from_mm(4.0, 4.0, 5.0, 5.0).unwrap(),
+                ),
+            ],
+        );
+        assert!(matches!(err, Err(FloorplanError::Overlap { .. })));
+    }
+
+    #[test]
+    fn allows_touching_elements() {
+        let ok = Floorplan::new(
+            "t",
+            outline(),
+            vec![
+                Element::new(
+                    "a",
+                    ElementKind::Core,
+                    Rect::from_mm(0.0, 0.0, 5.0, 10.0).unwrap(),
+                ),
+                Element::new(
+                    "b",
+                    ElementKind::L2Cache,
+                    Rect::from_mm(5.0, 0.0, 5.0, 10.0).unwrap(),
+                ),
+            ],
+        );
+        assert!(ok.is_ok());
+        let plan = ok.unwrap();
+        assert!((plan.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Floorplan::new(
+            "t",
+            outline(),
+            vec![
+                Element::new(
+                    "x",
+                    ElementKind::Core,
+                    Rect::from_mm(0.0, 0.0, 2.0, 2.0).unwrap(),
+                ),
+                Element::new(
+                    "x",
+                    ElementKind::Core,
+                    Rect::from_mm(5.0, 5.0, 2.0, 2.0).unwrap(),
+                ),
+            ],
+        );
+        assert!(matches!(err, Err(FloorplanError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let plan = Floorplan::new(
+            "t",
+            outline(),
+            vec![
+                Element::new(
+                    "core0",
+                    ElementKind::Core,
+                    Rect::from_mm(0.0, 0.0, 2.0, 2.0).unwrap(),
+                ),
+                Element::new(
+                    "l2_0",
+                    ElementKind::L2Cache,
+                    Rect::from_mm(3.0, 3.0, 2.0, 2.0).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.index_of("l2_0"), Some(1));
+        assert_eq!(plan.index_of("nope"), None);
+        assert_eq!(plan.indices_of_kind(ElementKind::Core), vec![0]);
+        assert_eq!(plan.elements()[0].kind(), ElementKind::Core);
+        assert_eq!(ElementKind::L2Cache.to_string(), "l2-cache");
+    }
+}

@@ -1,0 +1,590 @@
+//! Layer-by-layer 3D stack description.
+//!
+//! A [`Stack3d`] is an ordered list of layers from the bottom of the stack
+//! to the top. Each tier contributes a *source* layer (the active/wiring
+//! layer where power is dissipated, Table I: 0.1 mm of BEOL material) and a
+//! silicon *bulk* layer (Table I: 0.15 mm). Between tiers, liquid-cooled
+//! stacks insert a micro-channel [`CavitySpec`] layer; air-cooled stacks end
+//! with a thermal-interface layer and a lumped [`HeatSinkSpec`]
+//! (Table I: 10 W/K, 140 J/K).
+
+use crate::niagara;
+use crate::plan::Floorplan;
+use crate::FloorplanError;
+use cmosaic_materials::solids::SolidMaterial;
+use cmosaic_materials::units::Kelvin;
+
+/// Geometry of an inter-tier micro-channel cavity (§II.C, Table I).
+///
+/// Channels run along the stack's x axis at a constant pitch across y;
+/// between channels stand silicon walls which also carry the TSVs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CavitySpec {
+    channel_width: f64,
+    pitch: f64,
+    height: f64,
+    wall: SolidMaterial,
+}
+
+impl CavitySpec {
+    /// The Table I cavity: 50 µm channels at 150 µm pitch, 100 µm tall,
+    /// silicon walls.
+    pub fn table1() -> Self {
+        CavitySpec {
+            channel_width: 0.05e-3,
+            pitch: 0.15e-3,
+            height: 0.1e-3,
+            wall: SolidMaterial::silicon(),
+        }
+    }
+
+    /// The Table I cavity with copper TSVs embedded in the channel walls
+    /// (§II.C: "The only geometrical constraints are the implemented TSVs,
+    /// which need to be embedded into the heat transfer structure").
+    /// `tsv_area_fraction` is the fraction of the *wall* footprint filled
+    /// by Cu vias; the wall conductivity follows the parallel-path rule of
+    /// mixtures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::NonPositiveDimension`] if the fraction is
+    /// outside `[0, 1)`.
+    pub fn table1_with_tsvs(tsv_area_fraction: f64) -> Result<Self, FloorplanError> {
+        let wall = cmosaic_materials::solids::silicon_with_tsvs(tsv_area_fraction)
+            .map_err(|_| FloorplanError::NonPositiveDimension {
+                what: "TSV area fraction in [0, 1)",
+                value: tsv_area_fraction,
+            })?;
+        Ok(CavitySpec {
+            wall,
+            ..CavitySpec::table1()
+        })
+    }
+
+    /// Creates a custom cavity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::NonPositiveDimension`] unless
+    /// `0 < channel_width < pitch` and `height > 0`.
+    pub fn new(
+        channel_width: f64,
+        pitch: f64,
+        height: f64,
+        wall: SolidMaterial,
+    ) -> Result<Self, FloorplanError> {
+        if !(channel_width > 0.0 && channel_width.is_finite()) {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "channel width",
+                value: channel_width,
+            });
+        }
+        if !(pitch > channel_width && pitch.is_finite()) {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "channel pitch minus width",
+                value: pitch - channel_width,
+            });
+        }
+        if !(height > 0.0 && height.is_finite()) {
+            return Err(FloorplanError::NonPositiveDimension {
+                what: "channel height",
+                value: height,
+            });
+        }
+        Ok(CavitySpec {
+            channel_width,
+            pitch,
+            height,
+            wall,
+        })
+    }
+
+    /// Channel width (m).
+    pub fn channel_width(&self) -> f64 {
+        self.channel_width
+    }
+
+    /// Channel pitch (m).
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Channel (cavity) height (m).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Wall material between channels.
+    pub fn wall(&self) -> &SolidMaterial {
+        &self.wall
+    }
+
+    /// Number of parallel channels across a die of the given y extent.
+    pub fn channel_count(&self, die_height: f64) -> usize {
+        (die_height / self.pitch).floor() as usize
+    }
+
+    /// Fluid fraction of the cavity cross-section (channel width / pitch).
+    pub fn porosity(&self) -> f64 {
+        self.channel_width / self.pitch
+    }
+
+    /// Hydraulic diameter `2wh/(w+h)` of a single channel (m).
+    pub fn hydraulic_diameter(&self) -> f64 {
+        2.0 * self.channel_width * self.height / (self.channel_width + self.height)
+    }
+}
+
+/// Lumped back-side heat sink (air cooling), Table I: 10 W/K to ambient with
+/// 140 J/K thermal mass. Ambient is 45 °C, the standard assumption for
+/// air-cooled HotSpot-style studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatSinkSpec {
+    /// Total sink-to-ambient conductance, W/K.
+    pub conductance: f64,
+    /// Sink thermal capacitance, J/K.
+    pub capacitance: f64,
+    /// Ambient air temperature.
+    pub ambient: Kelvin,
+}
+
+impl HeatSinkSpec {
+    /// The Table I sink.
+    pub fn table1() -> Self {
+        HeatSinkSpec {
+            conductance: 10.0,
+            capacitance: 140.0,
+            ambient: Kelvin::from_celsius(45.0),
+        }
+    }
+}
+
+/// The physical role of one layer of the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// Bulk solid (die silicon, TIM, …) with no heat sources.
+    Solid {
+        /// Layer material.
+        material: SolidMaterial,
+    },
+    /// The active/wiring layer of tier `tier`: solid, plus the tier's power
+    /// map is injected into its cells.
+    Source {
+        /// Layer material (BEOL stack).
+        material: SolidMaterial,
+        /// Index into [`Stack3d::tiers`].
+        tier: usize,
+    },
+    /// An inter-tier micro-channel cavity.
+    Cavity {
+        /// Channel geometry.
+        spec: CavitySpec,
+    },
+}
+
+/// One layer of the stack: a kind plus its thickness in metres.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// What the layer is.
+    pub kind: LayerKind,
+    /// Thickness (m).
+    pub thickness: f64,
+}
+
+/// A complete 3D stack: footprint, tier floorplans, ordered layers and the
+/// optional air-cooled sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stack3d {
+    name: String,
+    width: f64,
+    height: f64,
+    tiers: Vec<Floorplan>,
+    layers: Vec<Layer>,
+    sink: Option<HeatSinkSpec>,
+}
+
+impl Stack3d {
+    /// Stack name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Footprint extent along the channel (x) direction, metres.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Footprint extent across the channels (y), metres.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Tier floorplans, bottom tier first.
+    pub fn tiers(&self) -> &[Floorplan] {
+        &self.tiers
+    }
+
+    /// Layers, bottom first.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The lumped sink, if this is an air-cooled stack.
+    pub fn sink(&self) -> Option<&HeatSinkSpec> {
+        self.sink.as_ref()
+    }
+
+    /// Number of micro-channel cavities.
+    pub fn cavity_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Cavity { .. }))
+            .count()
+    }
+
+    /// `true` if the stack uses inter-tier liquid cooling.
+    pub fn is_liquid_cooled(&self) -> bool {
+        self.cavity_count() > 0
+    }
+
+    /// Total stack thickness (m).
+    pub fn total_thickness(&self) -> f64 {
+        self.layers.iter().map(|l| l.thickness).sum()
+    }
+}
+
+/// Incremental builder for [`Stack3d`] (layers are added bottom-up).
+#[derive(Debug, Clone)]
+pub struct StackBuilder {
+    name: String,
+    width: f64,
+    height: f64,
+    tiers: Vec<Floorplan>,
+    layers: Vec<Layer>,
+    sink: Option<HeatSinkSpec>,
+}
+
+impl StackBuilder {
+    /// Starts a stack with the given footprint (metres).
+    pub fn new(name: impl Into<String>, width: f64, height: f64) -> Self {
+        StackBuilder {
+            name: name.into(),
+            width,
+            height,
+            tiers: Vec::new(),
+            layers: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Adds a tier: a source (wiring) layer carrying the floorplan's power,
+    /// topped by bulk silicon.
+    pub fn tier(
+        &mut self,
+        floorplan: Floorplan,
+        wiring_thickness: f64,
+        die_thickness: f64,
+    ) -> &mut Self {
+        let tier_idx = self.tiers.len();
+        self.tiers.push(floorplan);
+        self.layers.push(Layer {
+            kind: LayerKind::Source {
+                material: SolidMaterial::wiring(),
+                tier: tier_idx,
+            },
+            thickness: wiring_thickness,
+        });
+        self.layers.push(Layer {
+            kind: LayerKind::Solid {
+                material: SolidMaterial::silicon(),
+            },
+            thickness: die_thickness,
+        });
+        self
+    }
+
+    /// Adds a micro-channel cavity layer on top of the current stack.
+    pub fn cavity(&mut self, spec: CavitySpec) -> &mut Self {
+        self.layers.push(Layer {
+            thickness: spec.height(),
+            kind: LayerKind::Cavity { spec },
+        });
+        self
+    }
+
+    /// Adds a plain solid layer (e.g. a thermal-interface layer).
+    pub fn solid(&mut self, material: SolidMaterial, thickness: f64) -> &mut Self {
+        self.layers.push(Layer {
+            kind: LayerKind::Solid { material },
+            thickness,
+        });
+        self
+    }
+
+    /// Attaches a lumped air-cooled sink above the topmost layer.
+    pub fn sink(&mut self, spec: HeatSinkSpec) -> &mut Self {
+        self.sink = Some(spec);
+        self
+    }
+
+    /// Validates and builds the stack.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::InvalidStack`] — no tiers, a tier outline that
+    ///   does not match the stack footprint, a sink over a cavity layer, or
+    ///   non-positive layer thicknesses.
+    pub fn build(&self) -> Result<Stack3d, FloorplanError> {
+        if self.tiers.is_empty() {
+            return Err(FloorplanError::InvalidStack {
+                detail: "a stack needs at least one tier".into(),
+            });
+        }
+        for t in &self.tiers {
+            let o = t.outline();
+            if (o.width() - self.width).abs() > 1e-9 || (o.height() - self.height).abs() > 1e-9 {
+                return Err(FloorplanError::InvalidStack {
+                    detail: format!(
+                        "tier `{}` outline {:.4}x{:.4} mm does not match stack footprint {:.4}x{:.4} mm",
+                        t.name(),
+                        o.width() * 1e3,
+                        o.height() * 1e3,
+                        self.width * 1e3,
+                        self.height * 1e3
+                    ),
+                });
+            }
+        }
+        for (i, l) in self.layers.iter().enumerate() {
+            if !(l.thickness > 0.0 && l.thickness.is_finite()) {
+                return Err(FloorplanError::InvalidStack {
+                    detail: format!("layer {i} has non-positive thickness {}", l.thickness),
+                });
+            }
+        }
+        if self.sink.is_some() {
+            if let Some(last) = self.layers.last() {
+                if matches!(last.kind, LayerKind::Cavity { .. }) {
+                    return Err(FloorplanError::InvalidStack {
+                        detail: "a heat sink cannot sit directly on a cavity layer".into(),
+                    });
+                }
+            }
+        }
+        Ok(Stack3d {
+            name: self.name.clone(),
+            width: self.width,
+            height: self.height,
+            tiers: self.tiers.clone(),
+            layers: self.layers.clone(),
+            sink: self.sink.clone(),
+        })
+    }
+}
+
+/// Preset stacks matching the paper's experimental platforms (§IV.A).
+pub mod presets {
+    use super::*;
+
+    /// Wiring (inter-tier material) thickness from Table I: 0.1 mm.
+    pub const WIRING_THICKNESS: f64 = 0.1e-3;
+    /// Die thickness from Table I: 0.15 mm.
+    pub const DIE_THICKNESS: f64 = 0.15e-3;
+    /// Thermal-interface thickness used under the air-cooled sink.
+    pub const TIM_THICKNESS: f64 = 0.05e-3;
+
+    fn alternating_tiers(n_tiers: usize) -> Result<Vec<Floorplan>, FloorplanError> {
+        (0..n_tiers)
+            .map(|i| {
+                if i % 2 == 0 {
+                    niagara::core_tier()
+                } else {
+                    niagara::cache_tier()
+                }
+            })
+            .collect()
+    }
+
+    /// A liquid-cooled n-tier Niagara MPSoC: core and cache tiers alternate
+    /// (cores at the bottom), with a Table I micro-channel cavity between
+    /// consecutive tiers (the *inter-tier* arrangement of §II) — so a
+    /// 2-tier stack has 1 cavity and a 4-tier stack has 3. Doubling the
+    /// tier count raises the cavity-to-tier ratio from 1/2 to 3/4, which is
+    /// why the 4-tier stack runs *cooler* than the 2-tier one in §IV.A
+    /// ("due to the increased number of cooling tiers (cavities)").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidStack`] if `n_tiers == 0`.
+    pub fn liquid_cooled_mpsoc(n_tiers: usize) -> Result<Stack3d, FloorplanError> {
+        if n_tiers == 0 {
+            return Err(FloorplanError::InvalidStack {
+                detail: "n_tiers must be at least 1".into(),
+            });
+        }
+        let tiers = alternating_tiers(n_tiers)?;
+        let mut b = StackBuilder::new(
+            format!("{n_tiers}-tier-liquid-cooled"),
+            niagara::DIE_WIDTH,
+            niagara::DIE_HEIGHT,
+        );
+        for (i, t) in tiers.into_iter().enumerate() {
+            if i > 0 {
+                b.cavity(CavitySpec::table1());
+            }
+            b.tier(t, WIRING_THICKNESS, DIE_THICKNESS);
+        }
+        b.build()
+    }
+
+    /// An air-cooled n-tier Niagara MPSoC: tiers stacked directly, topped by
+    /// a thermal-interface layer and the Table I lumped sink (10 W/K,
+    /// 140 J/K, 45 °C ambient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidStack`] if `n_tiers == 0`.
+    pub fn air_cooled_mpsoc(n_tiers: usize) -> Result<Stack3d, FloorplanError> {
+        if n_tiers == 0 {
+            return Err(FloorplanError::InvalidStack {
+                detail: "n_tiers must be at least 1".into(),
+            });
+        }
+        let tiers = alternating_tiers(n_tiers)?;
+        let mut b = StackBuilder::new(
+            format!("{n_tiers}-tier-air-cooled"),
+            niagara::DIE_WIDTH,
+            niagara::DIE_HEIGHT,
+        );
+        for t in tiers {
+            b.tier(t, WIRING_THICKNESS, DIE_THICKNESS);
+        }
+        b.solid(SolidMaterial::thermal_interface(), TIM_THICKNESS);
+        b.sink(HeatSinkSpec::table1());
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cavity_geometry() {
+        let c = CavitySpec::table1();
+        assert_eq!(c.channel_width(), 0.05e-3);
+        assert_eq!(c.pitch(), 0.15e-3);
+        assert_eq!(c.height(), 0.1e-3);
+        // 10 mm die / 0.15 mm pitch = 66 channels.
+        assert_eq!(c.channel_count(niagara::DIE_HEIGHT), 66);
+        assert!((c.porosity() - 1.0 / 3.0).abs() < 1e-12);
+        // Dh = 2·50·100/(50+100) µm = 66.7 µm.
+        assert!((c.hydraulic_diameter() - 66.67e-6).abs() < 0.1e-6);
+    }
+
+    #[test]
+    fn tsv_embedded_walls_conduct_better() {
+        let plain = CavitySpec::table1();
+        let with_tsvs = CavitySpec::table1_with_tsvs(0.15).unwrap();
+        assert!(
+            with_tsvs.wall().thermal_conductivity() > plain.wall().thermal_conductivity()
+        );
+        // Geometry is unchanged — TSVs live inside the walls.
+        assert_eq!(with_tsvs.channel_width(), plain.channel_width());
+        assert_eq!(with_tsvs.pitch(), plain.pitch());
+        assert!(CavitySpec::table1_with_tsvs(1.2).is_err());
+    }
+
+    #[test]
+    fn invalid_cavities_rejected() {
+        let si = SolidMaterial::silicon;
+        assert!(CavitySpec::new(0.0, 1e-4, 1e-4, si()).is_err());
+        assert!(CavitySpec::new(2e-4, 1e-4, 1e-4, si()).is_err()); // width > pitch
+        assert!(CavitySpec::new(5e-5, 1.5e-4, 0.0, si()).is_err());
+    }
+
+    #[test]
+    fn two_tier_liquid_preset() {
+        let s = presets::liquid_cooled_mpsoc(2).unwrap();
+        assert_eq!(s.tiers().len(), 2);
+        // One inter-tier cavity between the two tiers.
+        assert_eq!(s.cavity_count(), 1);
+        assert!(s.is_liquid_cooled());
+        assert!(s.sink().is_none());
+        // Layers: w,d | cav | w,d => 5 layers.
+        assert_eq!(s.layers().len(), 5);
+        // Tier order: cores below, caches above.
+        assert_eq!(s.tiers()[0].name(), "niagara-core-tier");
+        assert_eq!(s.tiers()[1].name(), "niagara-cache-tier");
+    }
+
+    #[test]
+    fn four_tier_liquid_preset_has_three_cavities() {
+        let s = presets::liquid_cooled_mpsoc(4).unwrap();
+        assert_eq!(s.cavity_count(), 3);
+        assert_eq!(s.tiers().len(), 4);
+        // Thickness: 4·(0.1+0.15) + 3·0.1 = 1.3 mm.
+        assert!((s.total_thickness() - 1.3e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn air_cooled_preset_has_sink_and_no_cavities() {
+        let s = presets::air_cooled_mpsoc(2).unwrap();
+        assert_eq!(s.cavity_count(), 0);
+        assert!(!s.is_liquid_cooled());
+        let sink = s.sink().expect("air-cooled stack has a sink");
+        assert_eq!(sink.conductance, 10.0);
+        assert_eq!(sink.capacitance, 140.0);
+        assert!((sink.ambient.to_celsius().0 - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_layers_reference_tiers_in_order() {
+        let s = presets::air_cooled_mpsoc(4).unwrap();
+        let sources: Vec<usize> = s
+            .layers()
+            .iter()
+            .filter_map(|l| match l.kind {
+                LayerKind::Source { tier, .. } => Some(tier),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sources, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_tier_stacks_rejected() {
+        assert!(presets::liquid_cooled_mpsoc(0).is_err());
+        assert!(presets::air_cooled_mpsoc(0).is_err());
+        assert!(StackBuilder::new("x", 1e-2, 1e-2).build().is_err());
+    }
+
+    #[test]
+    fn sink_on_cavity_rejected() {
+        let mut b = StackBuilder::new("bad", niagara::DIE_WIDTH, niagara::DIE_HEIGHT);
+        b.tier(
+            niagara::core_tier().unwrap(),
+            presets::WIRING_THICKNESS,
+            presets::DIE_THICKNESS,
+        );
+        b.cavity(CavitySpec::table1());
+        b.sink(HeatSinkSpec::table1());
+        assert!(matches!(
+            b.build(),
+            Err(FloorplanError::InvalidStack { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_tier_outline_rejected() {
+        let small = Floorplan::new(
+            "small",
+            crate::Rect::from_mm(0.0, 0.0, 5.0, 5.0).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        let mut b = StackBuilder::new("bad", niagara::DIE_WIDTH, niagara::DIE_HEIGHT);
+        b.tier(small, 1e-4, 1.5e-4);
+        assert!(b.build().is_err());
+    }
+}

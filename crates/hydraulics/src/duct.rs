@@ -1,0 +1,317 @@
+//! Laminar flow and heat transfer in rectangular micro-channels.
+//!
+//! Correlations (all standard, see Shah & London, *Laminar Flow Forced
+//! Convection in Ducts*, 1978):
+//!
+//! * Fully-developed Fanning friction factor:
+//!   `f·Re = 24·(1 − 1.3553α + 1.9467α² − 1.7012α³ + 0.9564α⁴ − 0.2537α⁵)`
+//!   where `α` is the aspect ratio (short/long side).
+//! * Fully-developed Nusselt number for the H1 boundary condition:
+//!   `Nu = 8.235·(1 − 2.0421α + 3.0853α² − 2.4765α³ + 1.0578α⁴ − 0.1861α⁵)`.
+//! * Thermal entrance enhancement (Hausen):
+//!   `Nu_m = Nu_fd + 0.0668·Gz / (1 + 0.04·Gz^{2/3})`, `Gz = (D_h/L)·Re·Pr`.
+//! * Developing-flow (Hagenbach) pressure excess `K_∞·ρu²/2` with
+//!   `K_∞ ≈ 1.2 + 0.6·α`.
+//!
+//! Validity is laminar flow; the functions reject `Re > 2300`.
+
+use crate::{HydraulicsError, LiquidProperties};
+use cmosaic_materials::units::Pressure;
+
+/// Upper Reynolds bound for the laminar correlations.
+pub const RE_LAMINAR_MAX: f64 = 2300.0;
+
+/// Geometry of one rectangular channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelGeometry {
+    width: f64,
+    height: f64,
+    length: f64,
+}
+
+impl ChannelGeometry {
+    /// Creates a channel from width, height and length in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositive`] for non-positive dimensions.
+    pub fn new(width: f64, height: f64, length: f64) -> Result<Self, HydraulicsError> {
+        for (what, v) in [
+            ("channel width", width),
+            ("channel height", height),
+            ("channel length", length),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(HydraulicsError::NonPositive { what, value: v });
+            }
+        }
+        Ok(ChannelGeometry {
+            width,
+            height,
+            length,
+        })
+    }
+
+    /// The Table I channel: 50 µm × 100 µm over an 11.5 mm die.
+    pub fn table1() -> Self {
+        ChannelGeometry {
+            width: 50e-6,
+            height: 100e-6,
+            length: 11.5e-3,
+        }
+    }
+
+    /// Channel width (m).
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Channel height (m).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Channel length (m).
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Flow cross-section area (m²).
+    pub fn cross_area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Aspect ratio `short/long ∈ (0, 1]`.
+    pub fn aspect_ratio(&self) -> f64 {
+        let (a, b) = if self.width <= self.height {
+            (self.width, self.height)
+        } else {
+            (self.height, self.width)
+        };
+        a / b
+    }
+
+    /// Hydraulic diameter `2wh/(w+h)` (m).
+    pub fn hydraulic_diameter(&self) -> f64 {
+        2.0 * self.width * self.height / (self.width + self.height)
+    }
+
+    /// Mean velocity for a volumetric flow `q` (m³/s) through this channel.
+    pub fn velocity(&self, q: f64) -> f64 {
+        q / self.cross_area()
+    }
+
+    /// Reynolds number at flow `q`.
+    pub fn reynolds(&self, q: f64, fluid: &LiquidProperties) -> f64 {
+        fluid.density * self.velocity(q) * self.hydraulic_diameter() / fluid.viscosity
+    }
+
+    /// Pressure drop across the channel at flow `q` (m³/s), laminar.
+    ///
+    /// # Errors
+    ///
+    /// * [`HydraulicsError::NonPositive`] — non-positive flow.
+    /// * [`HydraulicsError::OutOfValidityRange`] — turbulent flow.
+    pub fn pressure_drop(
+        &self,
+        q: f64,
+        fluid: &LiquidProperties,
+    ) -> Result<Pressure, HydraulicsError> {
+        if !(q > 0.0 && q.is_finite()) {
+            return Err(HydraulicsError::NonPositive {
+                what: "volumetric flow",
+                value: q,
+            });
+        }
+        let re = self.reynolds(q, fluid);
+        if re > RE_LAMINAR_MAX {
+            return Err(HydraulicsError::OutOfValidityRange {
+                detail: format!("Re = {re:.0} > {RE_LAMINAR_MAX} (turbulent)"),
+            });
+        }
+        let u = self.velocity(q);
+        let dh = self.hydraulic_diameter();
+        let fd = 2.0 * f_re(self.aspect_ratio()) * fluid.viscosity * u * self.length / (dh * dh);
+        let k_inf = 1.2 + 0.6 * self.aspect_ratio();
+        let developing = k_inf * fluid.density * u * u / 2.0;
+        Ok(Pressure(fd + developing))
+    }
+
+    /// Mean heat-transfer coefficient (W/m²K) at flow `q`, including the
+    /// thermal-entrance enhancement.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChannelGeometry::pressure_drop`].
+    pub fn heat_transfer_coefficient(
+        &self,
+        q: f64,
+        fluid: &LiquidProperties,
+    ) -> Result<f64, HydraulicsError> {
+        if !(q > 0.0 && q.is_finite()) {
+            return Err(HydraulicsError::NonPositive {
+                what: "volumetric flow",
+                value: q,
+            });
+        }
+        let re = self.reynolds(q, fluid);
+        if re > RE_LAMINAR_MAX {
+            return Err(HydraulicsError::OutOfValidityRange {
+                detail: format!("Re = {re:.0} > {RE_LAMINAR_MAX} (turbulent)"),
+            });
+        }
+        let dh = self.hydraulic_diameter();
+        let gz = dh / self.length * re * fluid.prandtl();
+        let nu = nusselt_h1(self.aspect_ratio()) + 0.0668 * gz / (1.0 + 0.04 * gz.powf(2.0 / 3.0));
+        Ok(nu * fluid.conductivity / dh)
+    }
+
+    /// Caloric (bulk fluid) temperature rise for heat `power` (W) absorbed
+    /// by flow `q`: `ΔT = P / (ρ·c_p·q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositive`] if `q <= 0`.
+    pub fn caloric_rise(
+        &self,
+        power: f64,
+        q: f64,
+        fluid: &LiquidProperties,
+    ) -> Result<f64, HydraulicsError> {
+        if !(q > 0.0 && q.is_finite()) {
+            return Err(HydraulicsError::NonPositive {
+                what: "volumetric flow",
+                value: q,
+            });
+        }
+        Ok(power / (fluid.volumetric_heat_capacity() * q))
+    }
+}
+
+/// Fully-developed Fanning friction factor–Reynolds product for a
+/// rectangular duct of aspect ratio `alpha ∈ (0, 1]`.
+///
+/// Limits: parallel plates (`α→0`) → 24, square duct (`α=1`) → 14.23.
+pub fn f_re(alpha: f64) -> f64 {
+    let a = alpha.clamp(0.0, 1.0);
+    24.0 * (1.0 - 1.3553 * a + 1.9467 * a * a - 1.7012 * a.powi(3) + 0.9564 * a.powi(4)
+        - 0.2537 * a.powi(5))
+}
+
+/// Fully-developed Nusselt number (H1: axially constant heat flux,
+/// circumferentially constant temperature) for aspect ratio
+/// `alpha ∈ (0, 1]`.
+///
+/// Limits: parallel plates → 8.235, square duct → 3.61.
+pub fn nusselt_h1(alpha: f64) -> f64 {
+    let a = alpha.clamp(0.0, 1.0);
+    8.235
+        * (1.0 - 2.0421 * a + 3.0853 * a * a - 2.4765 * a.powi(3) + 1.0578 * a.powi(4)
+            - 0.1861 * a.powi(5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_materials::units::Kelvin;
+
+    fn water() -> LiquidProperties {
+        LiquidProperties::water_at(Kelvin::from_celsius(27.0)).unwrap()
+    }
+
+    #[test]
+    fn f_re_matches_handbook_limits() {
+        assert!((f_re(1.0) - 14.23).abs() < 0.1, "square: {}", f_re(1.0));
+        assert!((f_re(0.0) - 24.0).abs() < 1e-9, "plates: {}", f_re(0.0));
+        // Monotonically decreasing with aspect ratio.
+        assert!(f_re(0.2) > f_re(0.5));
+        assert!(f_re(0.5) > f_re(0.9));
+    }
+
+    #[test]
+    fn nusselt_matches_handbook_limits() {
+        assert!((nusselt_h1(1.0) - 3.61).abs() < 0.1, "square: {}", nusselt_h1(1.0));
+        assert!((nusselt_h1(0.0) - 8.235).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_channel_operating_point() {
+        // Table I max flow (32.3 ml/min) over 66 channels.
+        let g = ChannelGeometry::table1();
+        let q = 32.3e-6 / 60.0 / 66.0;
+        let w = water();
+        let re = g.reynolds(q, &w);
+        assert!(re > 50.0 && re < 300.0, "Re = {re} should be deeply laminar");
+        let dp = g.pressure_drop(q, &w).unwrap();
+        // Micro-channel pressure drops are O(1 bar) at this operating point.
+        assert!(dp.to_bar() > 0.3 && dp.to_bar() < 3.0, "dp = {dp}");
+        let h = g.heat_transfer_coefficient(q, &w).unwrap();
+        assert!(h > 2.0e4 && h < 1.0e5, "h = {h} W/m²K");
+    }
+
+    #[test]
+    fn pressure_drop_increases_with_flow() {
+        let g = ChannelGeometry::table1();
+        let w = water();
+        let dp1 = g.pressure_drop(5e-9, &w).unwrap();
+        let dp2 = g.pressure_drop(1e-8, &w).unwrap();
+        assert!(dp2.0 > dp1.0 * 1.9, "laminar dp is ~linear in q");
+    }
+
+    #[test]
+    fn htc_increases_with_flow() {
+        let g = ChannelGeometry::table1();
+        let w = water();
+        let h1 = g.heat_transfer_coefficient(2e-9, &w).unwrap();
+        let h2 = g.heat_transfer_coefficient(1e-8, &w).unwrap();
+        assert!(h2 > h1, "entrance effect grows with Re");
+    }
+
+    #[test]
+    fn narrower_channels_have_higher_htc_and_dp() {
+        // §II.C: "The smaller the hydraulic diameter at a given mass flow
+        // rate, the higher the heat transfer and the associated pressure
+        // gradient."
+        let w = water();
+        let q = 6e-9;
+        let narrow = ChannelGeometry::new(30e-6, 100e-6, 11.5e-3).unwrap();
+        let wide = ChannelGeometry::new(100e-6, 100e-6, 11.5e-3).unwrap();
+        assert!(
+            narrow.heat_transfer_coefficient(q, &w).unwrap()
+                > wide.heat_transfer_coefficient(q, &w).unwrap()
+        );
+        assert!(narrow.pressure_drop(q, &w).unwrap().0 > wide.pressure_drop(q, &w).unwrap().0);
+    }
+
+    #[test]
+    fn caloric_rise_matches_paper_example() {
+        // §II.C: ~40 K fluid rise at 130 W per tier with water. With
+        // ρc_p·Q = 130/40 => Q ≈ 46.7 ml/min; check the formula inverts.
+        let g = ChannelGeometry::table1();
+        let w = water();
+        let q_total = 130.0 / (w.volumetric_heat_capacity() * 40.0);
+        let dt = g.caloric_rise(130.0, q_total, &w).unwrap();
+        assert!((dt - 40.0).abs() < 1e-9);
+        let ml_min = q_total * 60.0 * 1e6;
+        assert!(ml_min > 30.0 && ml_min < 60.0, "{ml_min} ml/min");
+    }
+
+    #[test]
+    fn turbulent_flow_rejected() {
+        let g = ChannelGeometry::table1();
+        let w = water();
+        assert!(matches!(
+            g.pressure_drop(1e-5, &w),
+            Err(HydraulicsError::OutOfValidityRange { .. })
+        ));
+        assert!(g.heat_transfer_coefficient(1e-5, &w).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ChannelGeometry::new(0.0, 1e-4, 1e-2).is_err());
+        let g = ChannelGeometry::table1();
+        assert!(g.pressure_drop(0.0, &water()).is_err());
+        assert!(g.caloric_rise(10.0, -1.0, &water()).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Single-phase micro-channel and pin-fin hydraulics.
+//!
+//! This crate implements the cavity-design side of §II.C of the paper:
+//!
+//! * [`duct`] — laminar rectangular-duct friction (Shah–London `f·Re`) and
+//!   Nusselt correlations with a thermal-entrance correction; pressure drop
+//!   and heat-transfer coefficient as functions of channel geometry and
+//!   flow rate.
+//! * [`pump`] — the Table I pumping-network power map (3.5–11.176 W over
+//!   10–32.3 ml/min) and the physical `ΔP·Q/η` model.
+//! * [`pinfin`] — in-line vs. staggered circular pin-fin arrays ("circular
+//!   in-line pins result in low pressure drop at acceptable convective heat
+//!   transfer").
+//! * [`modulation`] — heat-transfer-structure modulation: channel *width*
+//!   modulation and pin-fin *density* modulation against a uniform
+//!   worst-case design (the "factor of 2 and 5" claim).
+//! * [`network`] — hydrodynamic resistor-network solver for *fluid
+//!   focusing* (Fig. 4): guiding structures raise hot-spot flow while
+//!   reducing aggregate flow.
+//!
+//! # Example
+//!
+//! ```
+//! use cmosaic_hydraulics::duct::ChannelGeometry;
+//! use cmosaic_hydraulics::LiquidProperties;
+//!
+//! # fn main() -> Result<(), cmosaic_hydraulics::HydraulicsError> {
+//! // A Table I channel: 50 µm x 100 µm x 11.5 mm.
+//! let geom = ChannelGeometry::new(50e-6, 100e-6, 11.5e-3)?;
+//! let water = LiquidProperties::water_at(cmosaic_materials::units::Kelvin::from_celsius(27.0))?;
+//! let q_per_channel = 32.3e-6 / 60.0 / 66.0; // Table I max flow over 66 channels, m³/s
+//! let dp = geom.pressure_drop(q_per_channel, &water)?;
+//! assert!(dp.to_bar() > 0.3 && dp.to_bar() < 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod duct;
+pub mod modulation;
+pub mod network;
+pub mod pinfin;
+pub mod pump;
+
+pub use duct::ChannelGeometry;
+pub use network::FlowNetwork;
+
+use cmosaic_materials::units::Kelvin;
+use cmosaic_materials::water::Water;
+use cmosaic_materials::MaterialError;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the hydraulic models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HydraulicsError {
+    /// A geometric or flow quantity was not strictly positive.
+    NonPositive {
+        /// What the quantity describes.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The flow left the laminar validity range of the correlations.
+    OutOfValidityRange {
+        /// Explanation (e.g. Reynolds number too high).
+        detail: String,
+    },
+    /// A design routine could not satisfy its thermal constraint.
+    Infeasible {
+        /// Explanation.
+        detail: String,
+    },
+    /// An underlying material-property query failed.
+    Material(MaterialError),
+    /// An underlying linear solve failed.
+    Solver(String),
+}
+
+impl fmt::Display for HydraulicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HydraulicsError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            HydraulicsError::OutOfValidityRange { detail } => {
+                write!(f, "outside correlation validity: {detail}")
+            }
+            HydraulicsError::Infeasible { detail } => write!(f, "design infeasible: {detail}"),
+            HydraulicsError::Material(e) => write!(f, "material property error: {e}"),
+            HydraulicsError::Solver(e) => write!(f, "flow-network solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for HydraulicsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HydraulicsError::Material(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MaterialError> for HydraulicsError {
+    fn from(e: MaterialError) -> Self {
+        HydraulicsError::Material(e)
+    }
+}
+
+/// Bulk liquid transport properties, the common currency of every
+/// correlation in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiquidProperties {
+    /// Density, kg/m³.
+    pub density: f64,
+    /// Dynamic viscosity, Pa·s.
+    pub viscosity: f64,
+    /// Thermal conductivity, W/(m·K).
+    pub conductivity: f64,
+    /// Specific heat, J/(kg·K).
+    pub specific_heat: f64,
+}
+
+impl LiquidProperties {
+    /// Water properties at temperature `t` (Table I values with
+    /// temperature-dependent viscosity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::Material`] outside the liquid-water range.
+    pub fn water_at(t: Kelvin) -> Result<Self, HydraulicsError> {
+        let w = Water::table1();
+        Ok(LiquidProperties {
+            density: w.density(),
+            viscosity: w.dynamic_viscosity(t)?,
+            conductivity: w.thermal_conductivity(),
+            specific_heat: w.specific_heat(),
+        })
+    }
+
+    /// Prandtl number `μ·c_p/k`.
+    pub fn prandtl(&self) -> f64 {
+        self.viscosity * self.specific_heat / self.conductivity
+    }
+
+    /// Volumetric heat capacity `ρ·c_p`, J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_properties_are_sane() {
+        let w = LiquidProperties::water_at(Kelvin::from_celsius(27.0)).unwrap();
+        assert!(w.prandtl() > 5.0 && w.prandtl() < 7.0);
+        assert!((w.volumetric_heat_capacity() - 4.17e6).abs() < 0.1e6);
+    }
+
+    #[test]
+    fn error_conversion_and_display() {
+        let e: HydraulicsError = MaterialError::NonPositiveQuantity {
+            name: "x",
+            value: -1.0,
+        }
+        .into();
+        assert!(e.to_string().contains("material property"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HydraulicsError>();
+    }
+}

@@ -1,0 +1,318 @@
+//! Hydrodynamic resistor networks for *fluid focusing* (§II.C, Fig. 4).
+//!
+//! In the laminar regime a channel segment behaves as a linear hydraulic
+//! resistor (`q = g·Δp`). A cavity with guiding structures is then a 2D
+//! resistor lattice: widened segments on the inlet→hot-spot→outlet path
+//! raise the local conductance, while the guiding walls choke the
+//! peripheral paths. Solving the Kirchhoff system (with the inlet manifold
+//! at the pump pressure and the outlet at zero) gives per-segment flows —
+//! the quantity Fig. 4 visualises.
+
+use crate::HydraulicsError;
+use cmosaic_materials::units::Pressure;
+use cmosaic_sparse::{lu, TripletMatrix};
+
+/// A 2D lattice of hydraulic conductances. Nodes form an `nx × ny` grid;
+/// flow enters the whole `ix = 0` column (inlet manifold) and leaves the
+/// `ix = nx−1` column (outlet manifold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowNetwork {
+    nx: usize,
+    ny: usize,
+    /// Horizontal edge conductances, `(nx-1) × ny`, in m³/(s·Pa).
+    gh: Vec<f64>,
+    /// Vertical edge conductances, `nx × (ny-1)`.
+    gv: Vec<f64>,
+}
+
+impl FlowNetwork {
+    /// Creates a uniform lattice with all edges at conductance `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositive`] if `nx < 2`, `ny < 1` or
+    /// `g <= 0`.
+    pub fn uniform(nx: usize, ny: usize, g: f64) -> Result<Self, HydraulicsError> {
+        if nx < 2 || ny < 1 {
+            return Err(HydraulicsError::NonPositive {
+                what: "network dimensions (nx >= 2, ny >= 1)",
+                value: nx.min(ny) as f64,
+            });
+        }
+        if !(g > 0.0 && g.is_finite()) {
+            return Err(HydraulicsError::NonPositive {
+                what: "edge conductance",
+                value: g,
+            });
+        }
+        Ok(FlowNetwork {
+            nx,
+            ny,
+            gh: vec![g; (nx - 1) * ny],
+            gv: vec![g; nx * (ny - 1)],
+        })
+    }
+
+    /// Grid width (number of node columns).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (number of node rows).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    fn node(&self, ix: usize, iy: usize) -> usize {
+        iy * self.nx + ix
+    }
+
+    /// Scales the horizontal edge from `(ix, iy)` to `(ix+1, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is out of range or the factor is not positive.
+    pub fn scale_horizontal(&mut self, ix: usize, iy: usize, factor: f64) {
+        assert!(ix + 1 < self.nx && iy < self.ny, "edge out of range");
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.gh[iy * (self.nx - 1) + ix] *= factor;
+    }
+
+    /// Scales the vertical edge from `(ix, iy)` to `(ix, iy+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is out of range or the factor is not positive.
+    pub fn scale_vertical(&mut self, ix: usize, iy: usize, factor: f64) {
+        assert!(ix < self.nx && iy + 1 < self.ny, "edge out of range");
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.gv[ix * (self.ny - 1) + iy] *= factor;
+    }
+
+    /// Applies a guiding-structure pattern: horizontal edges in rows
+    /// `hot_rows` are widened by `boost`, all other horizontal edges are
+    /// choked by `choke` (the guiding walls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of range or factors are not positive.
+    pub fn apply_focusing(&mut self, hot_rows: &[usize], boost: f64, choke: f64) {
+        assert!(boost > 0.0 && choke > 0.0);
+        for iy in 0..self.ny {
+            let factor = if hot_rows.contains(&iy) { boost } else { choke };
+            for ix in 0..self.nx - 1 {
+                self.scale_horizontal(ix, iy, factor);
+            }
+        }
+    }
+
+    /// Solves the network with the inlet column at `p_in` and the outlet
+    /// column at zero gauge pressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::Solver`] if the linear system is singular
+    /// (cannot happen for positive conductances) and
+    /// [`HydraulicsError::NonPositive`] for a non-positive drive pressure.
+    pub fn solve(&self, p_in: Pressure) -> Result<NetworkSolution, HydraulicsError> {
+        if !(p_in.0 > 0.0 && p_in.0.is_finite()) {
+            return Err(HydraulicsError::NonPositive {
+                what: "inlet pressure",
+                value: p_in.0,
+            });
+        }
+        let n = self.nx * self.ny;
+        let mut t = TripletMatrix::new(n, n);
+        let mut rhs = vec![0.0; n];
+        let dirichlet = |ix: usize| ix == 0 || ix == self.nx - 1;
+
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let i = self.node(ix, iy);
+                if dirichlet(ix) {
+                    t.push(i, i, 1.0);
+                    rhs[i] = if ix == 0 { p_in.0 } else { 0.0 };
+                }
+            }
+        }
+        // Kirchhoff current law at free nodes; edges to Dirichlet nodes
+        // contribute to the RHS.
+        let stamp = |t: &mut TripletMatrix,
+                         rhs: &mut Vec<f64>,
+                         (ia, dir_a): (usize, bool),
+                         (ib, dir_b): (usize, bool),
+                         g: f64| {
+            if !dir_a {
+                t.push(ia, ia, g);
+                if dir_b {
+                    // p_b known: move to RHS later via rhs adjustment below.
+                } else {
+                    t.push(ia, ib, -g);
+                }
+            }
+            if !dir_b {
+                t.push(ib, ib, g);
+                if !dir_a {
+                    t.push(ib, ia, -g);
+                }
+            }
+            // RHS contributions for edges touching Dirichlet nodes.
+            if dir_b && !dir_a {
+                rhs[ia] += g * rhs[ib];
+            }
+            if dir_a && !dir_b {
+                rhs[ib] += g * rhs[ia];
+            }
+        };
+
+        for iy in 0..self.ny {
+            for ix in 0..self.nx - 1 {
+                let a = self.node(ix, iy);
+                let b = self.node(ix + 1, iy);
+                let g = self.gh[iy * (self.nx - 1) + ix];
+                stamp(&mut t, &mut rhs, (a, dirichlet(ix)), (b, dirichlet(ix + 1)), g);
+            }
+        }
+        for ix in 0..self.nx {
+            for iy in 0..self.ny - 1 {
+                let a = self.node(ix, iy);
+                let b = self.node(ix, iy + 1);
+                let g = self.gv[ix * (self.ny - 1) + iy];
+                stamp(&mut t, &mut rhs, (a, dirichlet(ix)), (b, dirichlet(ix)), g);
+            }
+        }
+
+        let factors = lu::factor(&t.to_csc())
+            .map_err(|e| HydraulicsError::Solver(e.to_string()))?;
+        let pressures = factors
+            .solve(&rhs)
+            .map_err(|e| HydraulicsError::Solver(e.to_string()))?;
+        Ok(NetworkSolution {
+            network: self.clone(),
+            pressures,
+        })
+    }
+}
+
+/// Solved pressures and derived flows of a [`FlowNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSolution {
+    network: FlowNetwork,
+    pressures: Vec<f64>,
+}
+
+impl NetworkSolution {
+    /// Node pressure at `(ix, iy)` in Pa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn pressure(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.network.nx && iy < self.network.ny);
+        self.pressures[self.network.node(ix, iy)]
+    }
+
+    /// Flow (m³/s) through the horizontal edge from `(ix, iy)` to
+    /// `(ix+1, iy)` (positive towards the outlet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn horizontal_flow(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix + 1 < self.network.nx && iy < self.network.ny);
+        let g = self.network.gh[iy * (self.network.nx - 1) + ix];
+        g * (self.pressure(ix, iy) - self.pressure(ix + 1, iy))
+    }
+
+    /// Total aggregate flow from inlet to outlet (sum over the first edge
+    /// column).
+    pub fn total_flow(&self) -> f64 {
+        (0..self.network.ny)
+            .map(|iy| self.horizontal_flow(0, iy))
+            .sum()
+    }
+
+    /// Flow passing through row `iy` at the mid-length of the cavity — the
+    /// "hot-spot flow" when the hot spot sits mid-cavity on that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn row_flow_at_mid(&self, iy: usize) -> f64 {
+        let ix = (self.network.nx - 1) / 2;
+        self.horizontal_flow(ix, iy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_network_splits_flow_evenly() {
+        let net = FlowNetwork::uniform(6, 4, 1e-12).unwrap();
+        let sol = net.solve(Pressure::from_bar(1.0)).unwrap();
+        let flows: Vec<f64> = (0..4).map(|iy| sol.row_flow_at_mid(iy)).collect();
+        for f in &flows {
+            assert!((f - flows[0]).abs() < 1e-9 * flows[0].abs());
+        }
+        // Series of 5 edges at g: per-row flow = g/5 · Δp.
+        let expected = 1e-12 / 5.0 * 1e5;
+        assert!((flows[0] - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn mass_is_conserved_column_to_column() {
+        let mut net = FlowNetwork::uniform(8, 5, 2e-12).unwrap();
+        net.scale_vertical(3, 1, 0.2);
+        net.scale_horizontal(2, 2, 4.0);
+        let sol = net.solve(Pressure::from_bar(0.5)).unwrap();
+        let col_flow = |ix: usize| -> f64 { (0..5).map(|iy| sol.horizontal_flow(ix, iy)).sum() };
+        let first = col_flow(0);
+        for ix in 1..7 {
+            assert!(
+                (col_flow(ix) - first).abs() < 1e-9 * first.abs(),
+                "column {ix} violates continuity"
+            );
+        }
+    }
+
+    #[test]
+    fn focusing_raises_hot_row_flow_and_cuts_aggregate_flow() {
+        // Fig. 4: fluid-focused cavity vs uniform cavity.
+        let uniform = FlowNetwork::uniform(10, 8, 1e-12).unwrap();
+        let base = uniform.solve(Pressure::from_bar(1.0)).unwrap();
+
+        let mut focused = FlowNetwork::uniform(10, 8, 1e-12).unwrap();
+        focused.apply_focusing(&[3, 4], 2.5, 0.4);
+        let sol = focused.solve(Pressure::from_bar(1.0)).unwrap();
+
+        let hot_gain = sol.row_flow_at_mid(3) / base.row_flow_at_mid(3);
+        let aggregate = sol.total_flow() / base.total_flow();
+        assert!(hot_gain > 1.5, "hot-spot flow gain = {hot_gain}");
+        assert!(aggregate < 1.0, "aggregate flow ratio = {aggregate}");
+    }
+
+    #[test]
+    fn pressures_fall_monotonically_along_uniform_rows() {
+        let net = FlowNetwork::uniform(7, 3, 1e-12).unwrap();
+        let sol = net.solve(Pressure::from_bar(1.0)).unwrap();
+        for iy in 0..3 {
+            for ix in 0..6 {
+                assert!(sol.pressure(ix, iy) > sol.pressure(ix + 1, iy));
+            }
+        }
+        // Boundary conditions hold exactly.
+        assert!((sol.pressure(0, 1) - 1e5).abs() < 1e-9);
+        assert!(sol.pressure(6, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_networks_rejected() {
+        assert!(FlowNetwork::uniform(1, 4, 1.0).is_err());
+        assert!(FlowNetwork::uniform(4, 0, 1.0).is_err());
+        assert!(FlowNetwork::uniform(4, 4, 0.0).is_err());
+        let net = FlowNetwork::uniform(4, 4, 1.0).unwrap();
+        assert!(net.solve(Pressure(0.0)).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Pumping power models.
+//!
+//! Two views of the same quantity:
+//!
+//! * [`PumpMap::table1`] — the paper's empirical pumping-*network* power
+//!   (Table I: 3.5 W at 10 ml/min, 11.176 W at 32.3 ml/min per cavity).
+//!   This includes the pump, heat exchanger and tubing of the cluster
+//!   cooling loop, which is why it is two orders of magnitude above the
+//!   pure hydraulic power. The two Table I endpoints are collinear with the
+//!   origin (0.35 vs 0.346 W per ml/min), so the map is affine and nearly
+//!   proportional.
+//! * [`hydraulic_power`] — the physical `ΔP·Q/η` power, used by the
+//!   cavity-design benches where only relative factors matter.
+
+use crate::HydraulicsError;
+use cmosaic_materials::units::{Power, Pressure, VolumetricFlow};
+
+/// Affine flow→power map for the pumping network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpMap {
+    q_low: VolumetricFlow,
+    p_low: Power,
+    q_high: VolumetricFlow,
+    p_high: Power,
+}
+
+impl PumpMap {
+    /// The Table I pumping network: 3.5 W at 10 ml/min, 11.176 W at
+    /// 32.3 ml/min (per cavity).
+    pub fn table1() -> Self {
+        PumpMap {
+            q_low: VolumetricFlow::from_ml_per_min(10.0),
+            p_low: Power(3.5),
+            q_high: VolumetricFlow::from_ml_per_min(32.3),
+            p_high: Power(11.176),
+        }
+    }
+
+    /// Creates a custom map from two `(flow, power)` anchor points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicsError::NonPositive`] unless
+    /// `0 <= q_low < q_high` and powers are non-negative.
+    pub fn new(
+        q_low: VolumetricFlow,
+        p_low: Power,
+        q_high: VolumetricFlow,
+        p_high: Power,
+    ) -> Result<Self, HydraulicsError> {
+        if !(q_high.0 > q_low.0 && q_low.0 >= 0.0) {
+            return Err(HydraulicsError::NonPositive {
+                what: "pump map flow interval",
+                value: q_high.0 - q_low.0,
+            });
+        }
+        if p_low.0 < 0.0 || p_high.0 < p_low.0 {
+            return Err(HydraulicsError::NonPositive {
+                what: "pump map power interval",
+                value: p_high.0 - p_low.0,
+            });
+        }
+        Ok(PumpMap {
+            q_low,
+            p_low,
+            q_high,
+            p_high,
+        })
+    }
+
+    /// Lowest mapped flow.
+    pub fn q_min(&self) -> VolumetricFlow {
+        self.q_low
+    }
+
+    /// Highest mapped flow.
+    pub fn q_max(&self) -> VolumetricFlow {
+        self.q_high
+    }
+
+    /// Pumping power at flow `q` (clamped to the mapped range — the pump
+    /// cannot run outside its operating envelope).
+    pub fn power(&self, q: VolumetricFlow) -> Power {
+        let q = q.0.clamp(self.q_low.0, self.q_high.0);
+        let frac = (q - self.q_low.0) / (self.q_high.0 - self.q_low.0);
+        Power(self.p_low.0 + frac * (self.p_high.0 - self.p_low.0))
+    }
+}
+
+impl Default for PumpMap {
+    fn default() -> Self {
+        PumpMap::table1()
+    }
+}
+
+/// Physical pumping power `ΔP·Q/η`.
+///
+/// # Errors
+///
+/// Returns [`HydraulicsError::NonPositive`] if `efficiency` is not in
+/// `(0, 1]` or the flow is negative.
+pub fn hydraulic_power(
+    dp: Pressure,
+    q: VolumetricFlow,
+    efficiency: f64,
+) -> Result<Power, HydraulicsError> {
+    if !(efficiency > 0.0 && efficiency <= 1.0) {
+        return Err(HydraulicsError::NonPositive {
+            what: "pump efficiency",
+            value: efficiency,
+        });
+    }
+    if q.0 < 0.0 {
+        return Err(HydraulicsError::NonPositive {
+            what: "volumetric flow",
+            value: q.0,
+        });
+    }
+    Ok(Power(dp.0 * q.0 / efficiency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_endpoints_reproduce() {
+        let m = PumpMap::table1();
+        assert!((m.power(VolumetricFlow::from_ml_per_min(10.0)).0 - 3.5).abs() < 1e-12);
+        assert!((m.power(VolumetricFlow::from_ml_per_min(32.3)).0 - 11.176).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_is_monotone_and_clamped() {
+        let m = PumpMap::table1();
+        let p_mid = m.power(VolumetricFlow::from_ml_per_min(20.0)).0;
+        assert!(p_mid > 3.5 && p_mid < 11.176);
+        // Clamping below/above the envelope.
+        assert_eq!(m.power(VolumetricFlow::from_ml_per_min(1.0)).0, 3.5);
+        assert_eq!(m.power(VolumetricFlow::from_ml_per_min(99.0)).0, 11.176);
+    }
+
+    #[test]
+    fn nearly_proportional() {
+        // The Table I anchors lie on a ~0.346 W/(ml/min) line through the
+        // origin; interpolated values stay within 5 % of proportionality.
+        let m = PumpMap::table1();
+        for ml in [12.0, 18.0, 25.0, 30.0] {
+            let p = m.power(VolumetricFlow::from_ml_per_min(ml)).0;
+            let prop = 0.346 * ml;
+            assert!((p - prop).abs() / prop < 0.05, "{ml} ml/min: {p} vs {prop}");
+        }
+    }
+
+    #[test]
+    fn hydraulic_power_formula() {
+        let p = hydraulic_power(
+            Pressure::from_bar(1.0),
+            VolumetricFlow::from_ml_per_min(32.3),
+            0.3,
+        )
+        .unwrap();
+        // 1e5 Pa · 5.38e-7 m³/s / 0.3 ≈ 0.18 W.
+        assert!((p.0 - 0.179).abs() < 0.01, "{p}");
+        assert!(hydraulic_power(Pressure(1.0), VolumetricFlow(1.0), 0.0).is_err());
+        assert!(hydraulic_power(Pressure(1.0), VolumetricFlow(-1.0), 0.5).is_err());
+    }
+
+    #[test]
+    fn invalid_maps_rejected() {
+        let q = VolumetricFlow::from_ml_per_min;
+        assert!(PumpMap::new(q(10.0), Power(3.0), q(5.0), Power(5.0)).is_err());
+        assert!(PumpMap::new(q(5.0), Power(5.0), q(10.0), Power(3.0)).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Material, coolant and refrigerant properties for the `cmosaic` toolkit.
+//!
+//! This crate is the bottom-most substrate of the CMOSAIC (DATE 2011)
+//! reproduction. It provides:
+//!
+//! * [`units`] — light-weight typed physical quantities ([`Kelvin`],
+//!   [`Celsius`], [`VolumetricFlow`], [`Pressure`], …) so that interfaces in
+//!   the higher-level crates cannot confuse a temperature with a pressure or
+//!   a flow rate in ml/min with one in m³/s.
+//! * [`solids`] — thermal conductivity and volumetric heat capacity of the
+//!   stack materials of Table I of the paper (silicon, the wiring/BEOL
+//!   layer, copper TSVs, pyrex covers).
+//! * [`water`] — temperature-dependent single-phase coolant properties used
+//!   by the inter-tier micro-channel model of §II.
+//! * [`refrigerant`] — saturation-property correlations for the low-pressure
+//!   refrigerants used in §III (R134a, R236fa, R245fa) driving the
+//!   flow-boiling model.
+//!
+//! # Example
+//!
+//! ```
+//! use cmosaic_materials::units::{Celsius, Kelvin};
+//! use cmosaic_materials::refrigerant::Refrigerant;
+//!
+//! # fn main() -> Result<(), cmosaic_materials::MaterialError> {
+//! let r245fa = Refrigerant::R245fa.properties();
+//! let p_sat = r245fa.saturation_pressure(Celsius(30.0).to_kelvin())?;
+//! // ~1.8 bar at 30 degC: a low-pressure refrigerant suitable for 3D stacks.
+//! assert!(p_sat.to_bar() > 1.0 && p_sat.to_bar() < 3.0);
+//! let t_back = r245fa.saturation_temperature(p_sat)?;
+//! assert!((t_back.0 - Kelvin::from_celsius(30.0).0).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod refrigerant;
+pub mod solids;
+pub mod units;
+pub mod water;
+
+pub use refrigerant::{Refrigerant, RefrigerantProperties, SaturationState};
+pub use solids::SolidMaterial;
+pub use units::{Celsius, HeatFlux, Kelvin, MassFlow, Power, Pressure, VolumetricFlow};
+pub use water::Water;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when querying material properties outside their validity
+/// range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaterialError {
+    /// A temperature query fell outside the correlation's validity range.
+    TemperatureOutOfRange {
+        /// Requested temperature.
+        requested: Kelvin,
+        /// Lowest valid temperature.
+        min: Kelvin,
+        /// Highest valid temperature.
+        max: Kelvin,
+    },
+    /// A pressure query fell outside the correlation's validity range.
+    PressureOutOfRange {
+        /// Requested pressure.
+        requested: Pressure,
+        /// Lowest valid pressure.
+        min: Pressure,
+        /// Highest valid pressure.
+        max: Pressure,
+    },
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositiveQuantity {
+        /// Human-readable name of the offending quantity.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MaterialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaterialError::TemperatureOutOfRange { requested, min, max } => write!(
+                f,
+                "temperature {requested} outside validity range [{min}, {max}]"
+            ),
+            MaterialError::PressureOutOfRange { requested, min, max } => write!(
+                f,
+                "pressure {requested} outside validity range [{min}, {max}]"
+            ),
+            MaterialError::NonPositiveQuantity { name, value } => {
+                write!(f, "quantity `{name}` must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for MaterialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = MaterialError::TemperatureOutOfRange {
+            requested: Kelvin(500.0),
+            min: Kelvin(200.0),
+            max: Kelvin(400.0),
+        };
+        let text = err.to_string();
+        assert!(text.contains("500"));
+        assert!(text.contains("validity range"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MaterialError>();
+    }
+}

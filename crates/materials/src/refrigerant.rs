@@ -1,0 +1,552 @@
+//! Saturation-property correlations for the refrigerants of §III.
+//!
+//! The flow-boiling model needs, along each micro-channel: the local
+//! saturation temperature as a function of local pressure (this is what makes
+//! the refrigerant *cool down* from inlet to outlet, the distinguishing
+//! behaviour the paper highlights), the latent heat of vaporisation, phase
+//! densities, and transport properties.
+//!
+//! Three fluids are provided, matching the papers cited in §III:
+//! [`Refrigerant::R134a`] (the `~150 kJ/kg` example of §III),
+//! [`Refrigerant::R236fa`] (Agostini et al., ref. \[1]) and
+//! [`Refrigerant::R245fa`] (Costa-Patry et al., ref. \[10] — the Fig. 8
+//! experiment).
+//!
+//! # Correlation forms
+//!
+//! * Saturation line: two-parameter Clausius–Clapeyron fit
+//!   `ln p = A − B/T`, anchored at the normal boiling point and the 25 °C
+//!   saturation pressure. Within the 10–60 °C operating window of a chip
+//!   stack the fit is accurate to ≈1 % (verified in tests against the 30 °C
+//!   literature values).
+//! * Latent heat: Watson relation
+//!   `h_fg(T) = h_fg(T_ref) · ((T_c − T)/(T_c − T_ref))^0.38`.
+//! * Vapour density: real-gas `ρ_v = pM/(Z·R·T)` with a fixed
+//!   near-saturation compressibility `Z = 0.92`.
+//! * Liquid density / surface tension: linear decline towards the critical
+//!   point.
+
+use crate::units::{Kelvin, Pressure};
+use crate::MaterialError;
+
+/// Universal gas constant, J/(mol·K).
+const R_GAS: f64 = 8.314_462;
+/// Fixed near-saturation vapour compressibility factor.
+const Z_VAPOR: f64 = 0.92;
+/// Watson exponent for the latent-heat temperature dependence.
+const WATSON_EXPONENT: f64 = 0.38;
+
+/// The refrigerants evaluated by the CMOSAIC two-phase experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Refrigerant {
+    /// R-134a: the air-conditioning workhorse quoted in §III
+    /// ("about 150 kJ/kg" latent heat).
+    R134a,
+    /// R-236fa: tested by Agostini et al. in 67 µm-wide silicon
+    /// multi-microchannels (ref. \[1]).
+    R236fa,
+    /// R-245fa: the low-pressure fluid of the 85 µm hot-spot experiment
+    /// reproduced in Fig. 8 (ref. \[10]).
+    R245fa,
+}
+
+impl Refrigerant {
+    /// Returns the property bundle for this fluid.
+    pub fn properties(self) -> RefrigerantProperties {
+        match self {
+            Refrigerant::R134a => RefrigerantProperties::fit(
+                "R134a",
+                Kelvin(374.21),
+                Pressure::from_bar(40.59),
+                0.102_03,
+                // Normal boiling point and 25 °C anchor.
+                (Kelvin::from_celsius(-26.07), Pressure::from_bar(1.013)),
+                (Kelvin::from_celsius(25.0), Pressure::from_bar(6.65)),
+                177.8e3,
+                1206.7,
+                1425.0,
+                0.0811,
+                1.95e-4,
+                1.18e-5,
+                8.1e-3,
+            ),
+            Refrigerant::R236fa => RefrigerantProperties::fit(
+                "R236fa",
+                Kelvin(398.07),
+                Pressure::from_bar(32.0),
+                0.152_05,
+                (Kelvin::from_celsius(-1.44), Pressure::from_bar(1.013)),
+                (Kelvin::from_celsius(25.0), Pressure::from_bar(2.72)),
+                144.2e3,
+                1360.0,
+                1265.0,
+                0.0721,
+                2.93e-4,
+                1.09e-5,
+                10.5e-3,
+            ),
+            Refrigerant::R245fa => RefrigerantProperties::fit(
+                "R245fa",
+                Kelvin(427.16),
+                Pressure::from_bar(36.51),
+                0.134_05,
+                (Kelvin::from_celsius(15.14), Pressure::from_bar(1.013)),
+                (Kelvin::from_celsius(25.0), Pressure::from_bar(1.49)),
+                190.3e3,
+                1338.5,
+                1322.0,
+                0.0810,
+                4.02e-4,
+                1.02e-5,
+                13.6e-3,
+            ),
+        }
+    }
+
+    /// All refrigerants known to the library, in declaration order.
+    pub fn all() -> [Refrigerant; 3] {
+        [Refrigerant::R134a, Refrigerant::R236fa, Refrigerant::R245fa]
+    }
+}
+
+impl std::fmt::Display for Refrigerant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.properties().name())
+    }
+}
+
+/// Thermophysical property bundle of a refrigerant.
+///
+/// Constructed via [`Refrigerant::properties`]; see the module docs for the
+/// correlation forms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefrigerantProperties {
+    name: &'static str,
+    critical_temperature: Kelvin,
+    critical_pressure: Pressure,
+    molar_mass: f64,
+    /// `ln p[Pa] = ln_a − b / T[K]`.
+    ln_a: f64,
+    b: f64,
+    t_ref: Kelvin,
+    h_fg_ref: f64,
+    rho_liquid_ref: f64,
+    cp_liquid: f64,
+    k_liquid: f64,
+    mu_liquid: f64,
+    mu_vapor: f64,
+    sigma_ref: f64,
+}
+
+impl RefrigerantProperties {
+    /// Lower validity bound of the saturation correlations.
+    pub const T_MIN: Kelvin = Kelvin(230.0);
+
+    #[allow(clippy::too_many_arguments)]
+    fn fit(
+        name: &'static str,
+        critical_temperature: Kelvin,
+        critical_pressure: Pressure,
+        molar_mass: f64,
+        anchor_low: (Kelvin, Pressure),
+        anchor_ref: (Kelvin, Pressure),
+        h_fg_ref: f64,
+        rho_liquid_ref: f64,
+        cp_liquid: f64,
+        k_liquid: f64,
+        mu_liquid: f64,
+        mu_vapor: f64,
+        sigma_ref: f64,
+    ) -> Self {
+        let (t1, p1) = anchor_low;
+        let (t2, p2) = anchor_ref;
+        let b = (p2.0 / p1.0).ln() / (1.0 / t1.0 - 1.0 / t2.0);
+        let ln_a = p2.0.ln() + b / t2.0;
+        RefrigerantProperties {
+            name,
+            critical_temperature,
+            critical_pressure,
+            molar_mass,
+            ln_a,
+            b,
+            t_ref: t2,
+            h_fg_ref,
+            rho_liquid_ref,
+            cp_liquid,
+            k_liquid,
+            mu_liquid,
+            mu_vapor,
+            sigma_ref,
+        }
+    }
+
+    /// Fluid name (e.g. `"R245fa"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Critical temperature.
+    pub fn critical_temperature(&self) -> Kelvin {
+        self.critical_temperature
+    }
+
+    /// Critical pressure.
+    pub fn critical_pressure(&self) -> Pressure {
+        self.critical_pressure
+    }
+
+    /// Molar mass in kg/mol.
+    pub fn molar_mass(&self) -> f64 {
+        self.molar_mass
+    }
+
+    /// Highest temperature at which the saturation correlations are used
+    /// (10 K below critical).
+    pub fn t_max(&self) -> Kelvin {
+        Kelvin(self.critical_temperature.0 - 10.0)
+    }
+
+    /// Saturation pressure at temperature `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaterialError::TemperatureOutOfRange`] outside
+    /// [`RefrigerantProperties::T_MIN`]..[`RefrigerantProperties::t_max`].
+    pub fn saturation_pressure(&self, t: Kelvin) -> Result<Pressure, MaterialError> {
+        self.check_t(t)?;
+        Ok(Pressure((self.ln_a - self.b / t.0).exp()))
+    }
+
+    /// Saturation temperature at pressure `p` (inverse of
+    /// [`RefrigerantProperties::saturation_pressure`], analytic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaterialError::PressureOutOfRange`] if `p` maps outside the
+    /// valid temperature window.
+    pub fn saturation_temperature(&self, p: Pressure) -> Result<Kelvin, MaterialError> {
+        if !(p.0 > 0.0 && p.0.is_finite()) {
+            return Err(MaterialError::PressureOutOfRange {
+                requested: p,
+                min: Pressure(1.0),
+                max: self.critical_pressure,
+            });
+        }
+        let t = Kelvin(self.b / (self.ln_a - p.0.ln()));
+        if self.check_t(t).is_err() {
+            let min = self.saturation_pressure(Self::T_MIN).unwrap_or(Pressure(1.0));
+            let max = self
+                .saturation_pressure(self.t_max())
+                .unwrap_or(self.critical_pressure);
+            return Err(MaterialError::PressureOutOfRange {
+                requested: p,
+                min,
+                max,
+            });
+        }
+        Ok(t)
+    }
+
+    /// Slope of the saturation line, dT_sat/dp in K/Pa, at temperature `t`.
+    ///
+    /// This is what converts a channel pressure *drop* into the saturation
+    /// temperature *decline* along the evaporator (§III: "the refrigerant's
+    /// temperature falls rather than increases").
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_pressure`].
+    pub fn dtsat_dp(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        let p = self.saturation_pressure(t)?;
+        // From ln p = A − B/T: dp/dT = p·B/T², so dT/dp = T²/(B·p).
+        Ok(t.0 * t.0 / (self.b * p.0))
+    }
+
+    /// Latent heat of vaporisation in J/kg at temperature `t` (Watson).
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_pressure`].
+    pub fn latent_heat(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        self.check_t(t)?;
+        let tc = self.critical_temperature.0;
+        let ratio = (tc - t.0) / (tc - self.t_ref.0);
+        Ok(self.h_fg_ref * ratio.powf(WATSON_EXPONENT))
+    }
+
+    /// Saturated liquid density in kg/m³ at temperature `t`.
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_pressure`].
+    pub fn liquid_density(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        self.check_t(t)?;
+        // ~0.25 %/K decline typical of saturated HFC liquids near 25 °C.
+        Ok(self.rho_liquid_ref * (1.0 - 2.5e-3 * (t.0 - self.t_ref.0)))
+    }
+
+    /// Saturated vapour density in kg/m³ at temperature `t`.
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_pressure`].
+    pub fn vapor_density(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        let p = self.saturation_pressure(t)?;
+        Ok(p.0 * self.molar_mass / (Z_VAPOR * R_GAS * t.0))
+    }
+
+    /// Saturated-liquid specific heat in J/(kg·K).
+    pub fn cp_liquid(&self) -> f64 {
+        self.cp_liquid
+    }
+
+    /// Saturated-liquid thermal conductivity in W/(m·K).
+    pub fn k_liquid(&self) -> f64 {
+        self.k_liquid
+    }
+
+    /// Saturated-liquid dynamic viscosity in Pa·s.
+    pub fn mu_liquid(&self) -> f64 {
+        self.mu_liquid
+    }
+
+    /// Saturated-vapour dynamic viscosity in Pa·s.
+    pub fn mu_vapor(&self) -> f64 {
+        self.mu_vapor
+    }
+
+    /// Surface tension in N/m at temperature `t` (linear decline to zero at
+    /// the critical point).
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_pressure`].
+    pub fn surface_tension(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        self.check_t(t)?;
+        let tc = self.critical_temperature.0;
+        Ok(self.sigma_ref * ((tc - t.0) / (tc - self.t_ref.0)).max(0.0))
+    }
+
+    /// Complete saturation state at temperature `t` — the bundle consumed by
+    /// the flow-boiling march in `cmosaic-twophase`.
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_pressure`].
+    pub fn saturation_state(&self, t: Kelvin) -> Result<SaturationState, MaterialError> {
+        Ok(SaturationState {
+            temperature: t,
+            pressure: self.saturation_pressure(t)?,
+            h_fg: self.latent_heat(t)?,
+            rho_liquid: self.liquid_density(t)?,
+            rho_vapor: self.vapor_density(t)?,
+            cp_liquid: self.cp_liquid,
+            k_liquid: self.k_liquid,
+            mu_liquid: self.mu_liquid,
+            mu_vapor: self.mu_vapor,
+            sigma: self.surface_tension(t)?,
+        })
+    }
+
+    /// Complete saturation state at pressure `p`.
+    ///
+    /// # Errors
+    ///
+    /// Same range check as [`RefrigerantProperties::saturation_temperature`].
+    pub fn saturation_state_at_pressure(
+        &self,
+        p: Pressure,
+    ) -> Result<SaturationState, MaterialError> {
+        let t = self.saturation_temperature(p)?;
+        self.saturation_state(t)
+    }
+
+    fn check_t(&self, t: Kelvin) -> Result<(), MaterialError> {
+        if !t.is_physical() || t.0 < Self::T_MIN.0 || t.0 > self.t_max().0 {
+            return Err(MaterialError::TemperatureOutOfRange {
+                requested: t,
+                min: Self::T_MIN,
+                max: self.t_max(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Thermodynamic state on the saturation line, as consumed by the
+/// flow-boiling model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationState {
+    /// Saturation temperature.
+    pub temperature: Kelvin,
+    /// Saturation pressure.
+    pub pressure: Pressure,
+    /// Latent heat of vaporisation, J/kg.
+    pub h_fg: f64,
+    /// Saturated liquid density, kg/m³.
+    pub rho_liquid: f64,
+    /// Saturated vapour density, kg/m³.
+    pub rho_vapor: f64,
+    /// Saturated liquid specific heat, J/(kg·K).
+    pub cp_liquid: f64,
+    /// Saturated liquid thermal conductivity, W/(m·K).
+    pub k_liquid: f64,
+    /// Saturated liquid dynamic viscosity, Pa·s.
+    pub mu_liquid: f64,
+    /// Saturated vapour dynamic viscosity, Pa·s.
+    pub mu_vapor: f64,
+    /// Surface tension, N/m.
+    pub sigma: f64,
+}
+
+impl SaturationState {
+    /// Homogeneous two-phase density at vapour quality `x` (mass-averaged
+    /// specific volume).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is outside `[0, 1]`.
+    pub fn homogeneous_density(&self, x: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&x), "quality must be in [0,1]");
+        1.0 / (x / self.rho_vapor + (1.0 - x) / self.rho_liquid)
+    }
+
+    /// Homogeneous (McAdams) two-phase viscosity at vapour quality `x`.
+    pub fn homogeneous_viscosity(&self, x: f64) -> f64 {
+        1.0 / (x / self.mu_vapor + (1.0 - x) / self.mu_liquid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Celsius;
+
+    #[test]
+    fn anchors_reproduce_by_construction() {
+        for fluid in Refrigerant::all() {
+            let p = fluid.properties();
+            let p25 = p.saturation_pressure(Celsius(25.0).to_kelvin()).unwrap();
+            let expected = match fluid {
+                Refrigerant::R134a => 6.65,
+                Refrigerant::R236fa => 2.72,
+                Refrigerant::R245fa => 1.49,
+            };
+            assert!(
+                (p25.to_bar() - expected).abs() < 1e-9,
+                "{fluid}: {p25} != {expected} bar"
+            );
+        }
+    }
+
+    #[test]
+    fn r245fa_at_30c_matches_literature() {
+        // NIST: P_sat(R245fa, 30 °C) ≈ 1.784 bar. Fig. 8 inlet condition.
+        let p = Refrigerant::R245fa
+            .properties()
+            .saturation_pressure(Celsius(30.0).to_kelvin())
+            .unwrap();
+        assert!(
+            (p.to_bar() - 1.784).abs() < 0.05,
+            "P_sat(30°C) = {p} should be ~1.78 bar"
+        );
+    }
+
+    #[test]
+    fn saturation_inverse_round_trips() {
+        for fluid in Refrigerant::all() {
+            let props = fluid.properties();
+            for t_c in [0.0, 10.0, 25.0, 30.0, 45.0, 60.0, 85.0] {
+                let t = Celsius(t_c).to_kelvin();
+                let p = props.saturation_pressure(t).unwrap();
+                let back = props.saturation_temperature(p).unwrap();
+                assert!(
+                    (back.0 - t.0).abs() < 1e-6,
+                    "{fluid} round trip at {t_c} °C: {back} vs {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_pressure_is_monotonic() {
+        let props = Refrigerant::R134a.properties();
+        let mut last = 0.0;
+        for t in (240..360).step_by(5) {
+            let p = props.saturation_pressure(Kelvin(t as f64)).unwrap();
+            assert!(p.0 > last, "P_sat must increase with T");
+            last = p.0;
+        }
+    }
+
+    #[test]
+    fn latent_heat_near_the_papers_150_kj_per_kg() {
+        // §III: "about 150 kJ/kg of R-134a" at typical chip conditions.
+        let h = Refrigerant::R134a
+            .properties()
+            .latent_heat(Celsius(60.0).to_kelvin())
+            .unwrap();
+        assert!(
+            h > 130.0e3 && h < 180.0e3,
+            "h_fg(R134a, 60°C) = {h} should be near 150 kJ/kg"
+        );
+    }
+
+    #[test]
+    fn latent_heat_decreases_towards_critical() {
+        let props = Refrigerant::R245fa.properties();
+        let h30 = props.latent_heat(Celsius(30.0).to_kelvin()).unwrap();
+        let h80 = props.latent_heat(Celsius(80.0).to_kelvin()).unwrap();
+        assert!(h80 < h30);
+    }
+
+    #[test]
+    fn vapor_is_much_lighter_than_liquid() {
+        for fluid in Refrigerant::all() {
+            let s = fluid
+                .properties()
+                .saturation_state(Celsius(30.0).to_kelvin())
+                .unwrap();
+            assert!(s.rho_vapor < s.rho_liquid / 10.0, "{fluid}");
+            assert!(s.rho_vapor > 0.5, "{fluid}: vapour density too small");
+        }
+    }
+
+    #[test]
+    fn dtsat_dp_is_positive_and_sane() {
+        // R245fa near 30 °C: ~5e-5..3e-4 K/Pa (0.9 bar drop ⇒ a few K).
+        let slope = Refrigerant::R245fa
+            .properties()
+            .dtsat_dp(Celsius(30.0).to_kelvin())
+            .unwrap();
+        assert!(slope > 1e-5 && slope < 1e-3, "dTsat/dp = {slope}");
+    }
+
+    #[test]
+    fn homogeneous_density_interpolates_between_phases() {
+        let s = Refrigerant::R236fa
+            .properties()
+            .saturation_state(Celsius(30.0).to_kelvin())
+            .unwrap();
+        assert!((s.homogeneous_density(0.0) - s.rho_liquid).abs() < 1e-9);
+        assert!((s.homogeneous_density(1.0) - s.rho_vapor).abs() < 1e-9);
+        let mid = s.homogeneous_density(0.2);
+        assert!(mid < s.rho_liquid && mid > s.rho_vapor);
+    }
+
+    #[test]
+    fn out_of_range_queries_error() {
+        let props = Refrigerant::R134a.properties();
+        assert!(props.saturation_pressure(Kelvin(100.0)).is_err());
+        assert!(props.saturation_pressure(Kelvin(400.0)).is_err());
+        assert!(props.saturation_temperature(Pressure(0.0)).is_err());
+        assert!(props
+            .saturation_temperature(Pressure::from_bar(60.0))
+            .is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Refrigerant::R245fa.to_string(), "R245fa");
+    }
+}

@@ -1,0 +1,225 @@
+//! Solid material properties of the 3D stack.
+//!
+//! The baseline values are exactly Table I of the paper ("Thermal and
+//! floorplan parameters deployed in the 3D MPSoC model"):
+//!
+//! | Material | k (W/m·K) | c_v (J/m³·K) |
+//! |---|---|---|
+//! | Silicon | 130 | 1 635 660 |
+//! | Wiring (BEOL) layer | 2.25 | 2 174 502 |
+//!
+//! Copper (TSV fill) and pyrex (the anodic-bonding cover of the two-phase
+//! test vehicles, §III) use standard literature values since Table I does
+//! not list them.
+
+use crate::MaterialError;
+
+/// An isotropic solid with constant thermal properties.
+///
+/// ```
+/// use cmosaic_materials::solids::SolidMaterial;
+/// let si = SolidMaterial::silicon();
+/// assert_eq!(si.thermal_conductivity(), 130.0);
+/// // Thermal diffusivity of silicon is ~8e-5 m²/s.
+/// assert!((si.diffusivity() - 7.95e-5).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolidMaterial {
+    name: &'static str,
+    conductivity: f64,
+    volumetric_heat_capacity: f64,
+}
+
+impl SolidMaterial {
+    /// Creates a material from its thermal conductivity (W/m·K) and
+    /// volumetric heat capacity (J/m³·K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaterialError::NonPositiveQuantity`] if either property is
+    /// not strictly positive.
+    pub fn new(
+        name: &'static str,
+        conductivity: f64,
+        volumetric_heat_capacity: f64,
+    ) -> Result<Self, MaterialError> {
+        if !(conductivity > 0.0 && conductivity.is_finite()) {
+            return Err(MaterialError::NonPositiveQuantity {
+                name: "thermal conductivity",
+                value: conductivity,
+            });
+        }
+        if !(volumetric_heat_capacity > 0.0 && volumetric_heat_capacity.is_finite()) {
+            return Err(MaterialError::NonPositiveQuantity {
+                name: "volumetric heat capacity",
+                value: volumetric_heat_capacity,
+            });
+        }
+        Ok(SolidMaterial {
+            name,
+            conductivity,
+            volumetric_heat_capacity,
+        })
+    }
+
+    /// Bulk silicon (Table I).
+    pub fn silicon() -> Self {
+        SolidMaterial {
+            name: "silicon",
+            conductivity: 130.0,
+            volumetric_heat_capacity: 1_635_660.0,
+        }
+    }
+
+    /// The wiring (back-end-of-line) layer (Table I).
+    pub fn wiring() -> Self {
+        SolidMaterial {
+            name: "wiring",
+            conductivity: 2.25,
+            volumetric_heat_capacity: 2_174_502.0,
+        }
+    }
+
+    /// Copper, for fully-filled TSVs (§II.B).
+    pub fn copper() -> Self {
+        SolidMaterial {
+            name: "copper",
+            conductivity: 390.0,
+            volumetric_heat_capacity: 3_440_000.0,
+        }
+    }
+
+    /// Pyrex, the anodically-bonded channel cover of the test vehicles
+    /// (§II.B/§III).
+    pub fn pyrex() -> Self {
+        SolidMaterial {
+            name: "pyrex",
+            conductivity: 1.13,
+            volumetric_heat_capacity: 1_670_000.0,
+        }
+    }
+
+    /// Thermal interface / die-attach material joining the top die to the
+    /// air-cooled heat sink. Not in Table I; a high-end TIM value, the
+    /// single calibrated parameter of the air-cooled anchor (see DESIGN.md
+    /// §5).
+    pub fn thermal_interface() -> Self {
+        SolidMaterial {
+            name: "thermal-interface",
+            conductivity: 3.0,
+            volumetric_heat_capacity: 2_000_000.0,
+        }
+    }
+
+    /// Human-readable material name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Thermal conductivity in W/(m·K).
+    pub fn thermal_conductivity(&self) -> f64 {
+        self.conductivity
+    }
+
+    /// Volumetric heat capacity in J/(m³·K).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.volumetric_heat_capacity
+    }
+
+    /// Thermal diffusivity `k / c_v` in m²/s.
+    pub fn diffusivity(&self) -> f64 {
+        self.conductivity / self.volumetric_heat_capacity
+    }
+
+    /// Conductance in W/K of a slab of this material with the given
+    /// cross-section area (m²) and thickness (m).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `thickness_m` is not strictly positive.
+    pub fn slab_conductance(&self, area_m2: f64, thickness_m: f64) -> f64 {
+        debug_assert!(thickness_m > 0.0, "slab thickness must be positive");
+        self.conductivity * area_m2 / thickness_m
+    }
+
+    /// Heat capacity in J/K of a volume (m³) of this material.
+    pub fn heat_capacity(&self, volume_m3: f64) -> f64 {
+        self.volumetric_heat_capacity * volume_m3
+    }
+}
+
+/// Effective vertical conductivity of a silicon slab populated with copper
+/// TSVs occupying `tsv_area_fraction` of the footprint (rule of mixtures,
+/// parallel paths — valid because TSVs run normal to the die plane).
+///
+/// # Errors
+///
+/// Returns [`MaterialError::NonPositiveQuantity`] if the fraction is outside
+/// `[0, 1)`.
+pub fn silicon_with_tsvs(tsv_area_fraction: f64) -> Result<SolidMaterial, MaterialError> {
+    if !(0.0..1.0).contains(&tsv_area_fraction) {
+        return Err(MaterialError::NonPositiveQuantity {
+            name: "tsv area fraction",
+            value: tsv_area_fraction,
+        });
+    }
+    let si = SolidMaterial::silicon();
+    let cu = SolidMaterial::copper();
+    let k = si.conductivity * (1.0 - tsv_area_fraction) + cu.conductivity * tsv_area_fraction;
+    let c = si.volumetric_heat_capacity * (1.0 - tsv_area_fraction)
+        + cu.volumetric_heat_capacity * tsv_area_fraction;
+    SolidMaterial::new("silicon+TSV", k, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_exact() {
+        assert_eq!(SolidMaterial::silicon().thermal_conductivity(), 130.0);
+        assert_eq!(
+            SolidMaterial::silicon().volumetric_heat_capacity(),
+            1_635_660.0
+        );
+        assert_eq!(SolidMaterial::wiring().thermal_conductivity(), 2.25);
+        assert_eq!(
+            SolidMaterial::wiring().volumetric_heat_capacity(),
+            2_174_502.0
+        );
+    }
+
+    #[test]
+    fn slab_conductance_of_a_die() {
+        // A 10 mm² core footprint through the 0.15 mm die of Table I:
+        // G = 130 * 1e-5 / 1.5e-4 = 8.67 W/K.
+        let g = SolidMaterial::silicon().slab_conductance(10.0e-6, 0.15e-3);
+        assert!((g - 8.666_666).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_materials_are_rejected() {
+        assert!(SolidMaterial::new("bad", 0.0, 1.0).is_err());
+        assert!(SolidMaterial::new("bad", -3.0, 1.0).is_err());
+        assert!(SolidMaterial::new("bad", 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn tsv_mixture_interpolates_between_silicon_and_copper() {
+        let none = silicon_with_tsvs(0.0).unwrap();
+        assert!((none.thermal_conductivity() - 130.0).abs() < 1e-9);
+        let some = silicon_with_tsvs(0.1).unwrap();
+        assert!(some.thermal_conductivity() > 130.0);
+        assert!(some.thermal_conductivity() < 390.0);
+        assert!(silicon_with_tsvs(1.5).is_err());
+        assert!(silicon_with_tsvs(-0.1).is_err());
+    }
+
+    #[test]
+    fn heat_capacity_scales_with_volume() {
+        let si = SolidMaterial::silicon();
+        let c1 = si.heat_capacity(1e-9);
+        let c2 = si.heat_capacity(2e-9);
+        assert!((c2 / c1 - 2.0).abs() < 1e-12);
+    }
+}

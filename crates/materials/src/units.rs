@@ -1,0 +1,398 @@
+//! Typed physical quantities.
+//!
+//! These are deliberately thin `f64` newtypes (the pattern recommended by the
+//! Rust API guidelines, C-NEWTYPE): they cost nothing at runtime but make the
+//! public interfaces of the thermal, hydraulic and control crates
+//! self-documenting and mistake-resistant. Fields are public because the
+//! types are passive data carriers; all *unit conversions* go through named
+//! methods so the unit of the stored value is always unambiguous:
+//!
+//! | Type | Stored unit |
+//! |---|---|
+//! | [`Kelvin`] | K |
+//! | [`Celsius`] | °C |
+//! | [`Pressure`] | Pa |
+//! | [`VolumetricFlow`] | m³/s |
+//! | [`MassFlow`] | kg/s |
+//! | [`Power`] | W |
+//! | [`HeatFlux`] | W/m² |
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Conversion offset between the Kelvin and Celsius scales.
+pub const CELSIUS_OFFSET: f64 = 273.15;
+
+/// Absolute temperature in kelvin.
+///
+/// All internal solver state is kept in kelvin; [`Celsius`] exists for
+/// human-facing configuration (thermal thresholds, inlet temperatures) and
+/// reporting.
+///
+/// ```
+/// use cmosaic_materials::units::{Celsius, Kelvin};
+/// let threshold = Kelvin::from_celsius(85.0);
+/// assert_eq!(threshold.to_celsius(), Celsius(85.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kelvin(pub f64);
+
+impl Kelvin {
+    /// Creates a temperature from a value on the Celsius scale.
+    pub fn from_celsius(deg_c: f64) -> Self {
+        Kelvin(deg_c + CELSIUS_OFFSET)
+    }
+
+    /// Converts to the Celsius scale.
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - CELSIUS_OFFSET)
+    }
+
+    /// Returns the larger of two temperatures (NaN-propagating max).
+    pub fn max(self, other: Kelvin) -> Kelvin {
+        Kelvin(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two temperatures.
+    pub fn min(self, other: Kelvin) -> Kelvin {
+        Kelvin(self.0.min(other.0))
+    }
+
+    /// `true` when the value is finite and above absolute zero.
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 > 0.0
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} K", self.0)
+    }
+}
+
+impl Add<f64> for Kelvin {
+    type Output = Kelvin;
+    fn add(self, rhs: f64) -> Kelvin {
+        Kelvin(self.0 + rhs)
+    }
+}
+
+impl Sub for Kelvin {
+    /// Temperature difference in kelvin.
+    type Output = f64;
+    fn sub(self, rhs: Kelvin) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+/// Temperature on the Celsius scale.
+///
+/// See [`Kelvin`] for the relationship between the two types.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// Converts to an absolute temperature.
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + CELSIUS_OFFSET)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} °C", self.0)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+/// Absolute pressure in pascal.
+///
+/// ```
+/// use cmosaic_materials::units::Pressure;
+/// let p = Pressure::from_bar(1.013);
+/// assert!((p.0 - 101_300.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Pressure(pub f64);
+
+impl Pressure {
+    /// Pascals per bar.
+    pub const PA_PER_BAR: f64 = 1.0e5;
+
+    /// Creates a pressure from a value in bar.
+    pub fn from_bar(bar: f64) -> Self {
+        Pressure(bar * Self::PA_PER_BAR)
+    }
+
+    /// Converts to bar.
+    pub fn to_bar(self) -> f64 {
+        self.0 / Self::PA_PER_BAR
+    }
+}
+
+impl fmt::Display for Pressure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} bar", self.to_bar())
+    }
+}
+
+impl Add for Pressure {
+    type Output = Pressure;
+    fn add(self, rhs: Pressure) -> Pressure {
+        Pressure(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Pressure {
+    type Output = Pressure;
+    fn sub(self, rhs: Pressure) -> Pressure {
+        Pressure(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Pressure {
+    type Output = Pressure;
+    fn neg(self) -> Pressure {
+        Pressure(-self.0)
+    }
+}
+
+/// Volumetric flow rate in m³/s.
+///
+/// The paper quotes flow rates in ml/min per cavity (Table I:
+/// 10–32.3 ml/min); [`VolumetricFlow::from_ml_per_min`] performs that
+/// conversion.
+///
+/// ```
+/// use cmosaic_materials::units::VolumetricFlow;
+/// let q = VolumetricFlow::from_ml_per_min(32.3);
+/// assert!((q.to_ml_per_min() - 32.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct VolumetricFlow(pub f64);
+
+impl VolumetricFlow {
+    /// m³/s per (ml/min).
+    const M3S_PER_ML_MIN: f64 = 1.0e-6 / 60.0;
+
+    /// Creates a flow rate from millilitres per minute.
+    pub fn from_ml_per_min(ml_min: f64) -> Self {
+        VolumetricFlow(ml_min * Self::M3S_PER_ML_MIN)
+    }
+
+    /// Creates a flow rate from litres per minute.
+    pub fn from_l_per_min(l_min: f64) -> Self {
+        Self::from_ml_per_min(l_min * 1000.0)
+    }
+
+    /// Converts to millilitres per minute.
+    pub fn to_ml_per_min(self) -> f64 {
+        self.0 / Self::M3S_PER_ML_MIN
+    }
+
+    /// Mass flow through this volumetric flow at the given fluid density.
+    pub fn to_mass_flow(self, density_kg_m3: f64) -> MassFlow {
+        MassFlow(self.0 * density_kg_m3)
+    }
+}
+
+impl fmt::Display for VolumetricFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ml/min", self.to_ml_per_min())
+    }
+}
+
+impl Add for VolumetricFlow {
+    type Output = VolumetricFlow;
+    fn add(self, rhs: VolumetricFlow) -> VolumetricFlow {
+        VolumetricFlow(self.0 + rhs.0)
+    }
+}
+
+impl Sub for VolumetricFlow {
+    type Output = VolumetricFlow;
+    fn sub(self, rhs: VolumetricFlow) -> VolumetricFlow {
+        VolumetricFlow(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for VolumetricFlow {
+    type Output = VolumetricFlow;
+    fn mul(self, rhs: f64) -> VolumetricFlow {
+        VolumetricFlow(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for VolumetricFlow {
+    type Output = VolumetricFlow;
+    fn div(self, rhs: f64) -> VolumetricFlow {
+        VolumetricFlow(self.0 / rhs)
+    }
+}
+
+/// Mass flow rate in kg/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MassFlow(pub f64);
+
+impl MassFlow {
+    /// Converts back to a volumetric flow at the given density.
+    pub fn to_volumetric(self, density_kg_m3: f64) -> VolumetricFlow {
+        VolumetricFlow(self.0 / density_kg_m3)
+    }
+}
+
+impl fmt::Display for MassFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} kg/s", self.0)
+    }
+}
+
+/// Power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(pub f64);
+
+impl Power {
+    /// Energy dissipated over a duration, in joules.
+    pub fn energy_over(self, seconds: f64) -> f64 {
+        self.0 * seconds
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+/// Heat flux in W/m².
+///
+/// The paper quotes hot-spot fluxes in W/cm² (up to 250 W/cm² in §I);
+/// [`HeatFlux::from_w_per_cm2`] performs that conversion.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct HeatFlux(pub f64);
+
+impl HeatFlux {
+    /// W/m² per W/cm².
+    pub const W_M2_PER_W_CM2: f64 = 1.0e4;
+
+    /// Creates a heat flux from a value in W/cm².
+    pub fn from_w_per_cm2(w_cm2: f64) -> Self {
+        HeatFlux(w_cm2 * Self::W_M2_PER_W_CM2)
+    }
+
+    /// Converts to W/cm².
+    pub fn to_w_per_cm2(self) -> f64 {
+        self.0 / Self::W_M2_PER_W_CM2
+    }
+
+    /// Total power over an area, in watts.
+    pub fn over_area(self, area_m2: f64) -> Power {
+        Power(self.0 * area_m2)
+    }
+}
+
+impl fmt::Display for HeatFlux {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} W/cm²", self.to_w_per_cm2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_celsius_round_trip() {
+        let k = Kelvin(358.15);
+        assert!((k.to_celsius().0 - 85.0).abs() < 1e-12);
+        assert!((Celsius(85.0).to_kelvin().0 - 358.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kelvin_difference_is_plain_f64() {
+        let dt = Kelvin(350.0) - Kelvin(300.0);
+        assert!((dt - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_rate_conversions() {
+        // Table I maximum flow rate: 0.0323 l/min == 32.3 ml/min.
+        let q = VolumetricFlow::from_l_per_min(0.0323);
+        assert!((q.to_ml_per_min() - 32.3).abs() < 1e-9);
+        assert!((q.0 - 32.3e-6 / 60.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mass_flow_round_trip_through_density() {
+        let q = VolumetricFlow::from_ml_per_min(20.0);
+        let m = q.to_mass_flow(998.0);
+        let back = m.to_volumetric(998.0);
+        assert!((back.0 - q.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn heat_flux_conversion_matches_paper_figures() {
+        // 250 W/cm² (the hot-spot flux of §I) over a 1 cm² area is 250 W.
+        let hf = HeatFlux::from_w_per_cm2(250.0);
+        assert!((hf.over_area(1.0e-4).0 - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pressure_bar_round_trip() {
+        let p = Pressure::from_bar(0.9);
+        assert!((p.to_bar() - 0.9).abs() < 1e-12);
+        assert!((p.0 - 90_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displays_are_nonempty_and_unit_tagged() {
+        assert!(Kelvin(300.0).to_string().contains('K'));
+        assert!(Celsius(30.0).to_string().contains("°C"));
+        assert!(Pressure::from_bar(1.0).to_string().contains("bar"));
+        assert!(VolumetricFlow::from_ml_per_min(1.0)
+            .to_string()
+            .contains("ml/min"));
+        assert!(Power(1.0).to_string().contains('W'));
+        assert!(HeatFlux(1.0).to_string().contains("W/cm²"));
+        assert!(MassFlow(1.0).to_string().contains("kg/s"));
+    }
+
+    #[test]
+    fn physicality_check() {
+        assert!(Kelvin(300.0).is_physical());
+        assert!(!Kelvin(-1.0).is_physical());
+        assert!(!Kelvin(f64::NAN).is_physical());
+    }
+}

@@ -1,0 +1,156 @@
+//! Single-phase coolant (water) properties.
+//!
+//! Table I of the paper fixes the values the compact model uses:
+//! conductivity 0.6 W/(m·K) and specific heat 4183 J/(kg·K). Density and
+//! viscosity are needed by the hydraulic model (§II.C) for Reynolds numbers,
+//! pressure drops and pump power; they use standard correlations with mild
+//! temperature dependence.
+
+use crate::units::Kelvin;
+use crate::MaterialError;
+
+/// Liquid water property set.
+///
+/// ```
+/// use cmosaic_materials::water::Water;
+/// use cmosaic_materials::units::Kelvin;
+///
+/// # fn main() -> Result<(), cmosaic_materials::MaterialError> {
+/// let w = Water::table1();
+/// let mu = w.dynamic_viscosity(Kelvin::from_celsius(27.0))?;
+/// assert!(mu > 7.0e-4 && mu < 9.5e-4); // ~0.85 mPa·s at room temperature
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Water {
+    conductivity: f64,
+    specific_heat: f64,
+    density: f64,
+}
+
+impl Water {
+    /// Lower validity bound of the property correlations (liquid water only).
+    pub const T_MIN: Kelvin = Kelvin(274.0);
+    /// Upper validity bound of the property correlations (sub-boiling).
+    pub const T_MAX: Kelvin = Kelvin(370.0);
+
+    /// The property set of Table I (k = 0.6 W/m·K, c_p = 4183 J/kg·K) with a
+    /// nominal density of 998 kg/m³.
+    pub fn table1() -> Self {
+        Water {
+            conductivity: 0.6,
+            specific_heat: 4183.0,
+            density: 998.0,
+        }
+    }
+
+    /// Thermal conductivity in W/(m·K).
+    pub fn thermal_conductivity(&self) -> f64 {
+        self.conductivity
+    }
+
+    /// Specific heat capacity in J/(kg·K).
+    pub fn specific_heat(&self) -> f64 {
+        self.specific_heat
+    }
+
+    /// Density in kg/m³.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Volumetric heat capacity ρ·c_p in J/(m³·K).
+    ///
+    /// For Table I water this is ≈ 4.17 MJ/(m³·K) — the value the compact
+    /// thermal model uses for fluid cell capacitances.
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+
+    /// Dynamic viscosity in Pa·s (Vogel–Fulcher correlation
+    /// `μ = 2.414e-5 · 10^(247.8 / (T − 140))`, accurate to ~2.5 % between
+    /// 0 and 100 °C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MaterialError::TemperatureOutOfRange`] outside
+    /// [`Water::T_MIN`]..[`Water::T_MAX`].
+    pub fn dynamic_viscosity(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        self.check_range(t)?;
+        Ok(2.414e-5 * 10f64.powf(247.8 / (t.0 - 140.0)))
+    }
+
+    /// Kinematic viscosity ν = μ/ρ in m²/s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Water::dynamic_viscosity`].
+    pub fn kinematic_viscosity(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        Ok(self.dynamic_viscosity(t)? / self.density)
+    }
+
+    /// Prandtl number μ·c_p/k (dimensionless).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Water::dynamic_viscosity`].
+    pub fn prandtl(&self, t: Kelvin) -> Result<f64, MaterialError> {
+        Ok(self.dynamic_viscosity(t)? * self.specific_heat / self.conductivity)
+    }
+
+    fn check_range(&self, t: Kelvin) -> Result<(), MaterialError> {
+        if t.0 < Self::T_MIN.0 || t.0 > Self::T_MAX.0 {
+            return Err(MaterialError::TemperatureOutOfRange {
+                requested: t,
+                min: Self::T_MIN,
+                max: Self::T_MAX,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Water {
+    fn default() -> Self {
+        Water::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let w = Water::table1();
+        assert_eq!(w.thermal_conductivity(), 0.6);
+        assert_eq!(w.specific_heat(), 4183.0);
+        // Volumetric heat capacity close to the canonical 4.18 MJ/m³K.
+        assert!((w.volumetric_heat_capacity() - 4.174e6).abs() < 5e3);
+    }
+
+    #[test]
+    fn viscosity_matches_handbook_values() {
+        let w = Water::table1();
+        // ~1.00 mPa·s at 20 °C, ~0.65 mPa·s at 40 °C.
+        let mu20 = w.dynamic_viscosity(Kelvin::from_celsius(20.0)).unwrap();
+        let mu40 = w.dynamic_viscosity(Kelvin::from_celsius(40.0)).unwrap();
+        assert!((mu20 - 1.0e-3).abs() < 5e-5, "mu20 = {mu20}");
+        assert!((mu40 - 0.653e-3).abs() < 5e-5, "mu40 = {mu40}");
+        assert!(mu40 < mu20, "viscosity must fall with temperature");
+    }
+
+    #[test]
+    fn prandtl_is_about_seven_at_room_temperature() {
+        let pr = Water::table1().prandtl(Kelvin::from_celsius(20.0)).unwrap();
+        assert!(pr > 6.0 && pr < 8.0, "Pr = {pr}");
+    }
+
+    #[test]
+    fn out_of_range_temperatures_error() {
+        let w = Water::table1();
+        assert!(w.dynamic_viscosity(Kelvin(250.0)).is_err());
+        assert!(w.dynamic_viscosity(Kelvin(400.0)).is_err());
+    }
+}

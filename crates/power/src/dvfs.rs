@@ -1,0 +1,206 @@
+//! Voltage/frequency scaling.
+//!
+//! §IV.A uses temperature-triggered DVFS (scale down above 85 °C, back up
+//! below 82 °C) and the fuzzy controller uses utilization-guided DVFS. The
+//! T1 itself did not ship with DVFS; the paper (like its ref. \[8]) assumes
+//! a small table of V/f operating points below the nominal 1.2 V / 1.2 GHz.
+
+use crate::PowerError;
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfPoint {
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Clock frequency in Hz.
+    pub frequency: f64,
+}
+
+/// An ordered table of operating points, fastest (nominal) first.
+///
+/// Level 0 is nominal; higher indices are slower, lower-power points.
+///
+/// ```
+/// use cmosaic_power::VfTable;
+/// let t = VfTable::niagara();
+/// assert_eq!(t.len(), 4);
+/// assert!(t.dynamic_scale(3) < t.dynamic_scale(0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfTable {
+    points: Vec<VfPoint>,
+}
+
+impl VfTable {
+    /// The four-point table used for the Niagara-based MPSoCs:
+    /// 1.2 V/1.2 GHz down to 0.9 V/0.6 GHz.
+    pub fn niagara() -> Self {
+        VfTable {
+            points: vec![
+                VfPoint {
+                    voltage: 1.2,
+                    frequency: 1.2e9,
+                },
+                VfPoint {
+                    voltage: 1.1,
+                    frequency: 1.0e9,
+                },
+                VfPoint {
+                    voltage: 1.0,
+                    frequency: 0.8e9,
+                },
+                VfPoint {
+                    voltage: 0.9,
+                    frequency: 0.6e9,
+                },
+            ],
+        }
+    }
+
+    /// Builds a table from points (must be non-empty, sorted fastest
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] when empty or unsorted.
+    pub fn new(points: Vec<VfPoint>) -> Result<Self, PowerError> {
+        if points.is_empty() {
+            return Err(PowerError::LengthMismatch {
+                detail: "VF table must not be empty".into(),
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].frequency > w[0].frequency || w[1].voltage > w[0].voltage {
+                return Err(PowerError::LengthMismatch {
+                    detail: "VF table must be sorted fastest-first".into(),
+                });
+            }
+        }
+        Ok(VfTable { points })
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The operating point at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidVfLevel`] if out of range.
+    pub fn point(&self, level: usize) -> Result<VfPoint, PowerError> {
+        self.points
+            .get(level)
+            .copied()
+            .ok_or(PowerError::InvalidVfLevel {
+                level,
+                available: self.points.len(),
+            })
+    }
+
+    /// Slowest (lowest-power) level index.
+    pub fn slowest(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Relative speed `f/f_nom ∈ (0, 1]` of a level (clamped to the table).
+    pub fn speed(&self, level: usize) -> f64 {
+        let level = level.min(self.slowest());
+        self.points[level].frequency / self.points[0].frequency
+    }
+
+    /// Dynamic-power scale factor `(V/V_nom)²·(f/f_nom)` of a level
+    /// (clamped to the table).
+    pub fn dynamic_scale(&self, level: usize) -> f64 {
+        let level = level.min(self.slowest());
+        let p = self.points[level];
+        let nom = self.points[0];
+        (p.voltage / nom.voltage).powi(2) * (p.frequency / nom.frequency)
+    }
+
+    /// CPU occupancy when serving a demand `d` (fraction of *nominal*
+    /// throughput) at `level`: `min(1, d/speed)`.
+    pub fn occupancy(&self, demand: f64, level: usize) -> f64 {
+        (demand / self.speed(level)).min(1.0)
+    }
+
+    /// Fraction of offered work that cannot be served this interval at
+    /// `level` — the per-interval performance-degradation contribution
+    /// (`max(0, d − speed)/max(d, ε)`).
+    pub fn deferred_fraction(&self, demand: f64, level: usize) -> f64 {
+        if demand <= 0.0 {
+            return 0.0;
+        }
+        ((demand - self.speed(level)).max(0.0)) / demand
+    }
+}
+
+impl Default for VfTable {
+    fn default() -> Self {
+        VfTable::niagara()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn niagara_table_shape() {
+        let t = VfTable::niagara();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.slowest(), 3);
+        assert!((t.speed(0) - 1.0).abs() < 1e-12);
+        assert!((t.speed(3) - 0.5).abs() < 1e-12);
+        assert!((t.dynamic_scale(0) - 1.0).abs() < 1e-12);
+        // 0.9²/1.2² · 0.6/1.2 = 0.5625 · 0.5 = 0.28125.
+        assert!((t.dynamic_scale(3) - 0.28125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_saturates() {
+        let t = VfTable::niagara();
+        assert!((t.occupancy(0.4, 0) - 0.4).abs() < 1e-12);
+        // Demand 0.8 at half speed saturates the core.
+        assert!((t.occupancy(0.8, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deferred_fraction_measures_slowdown() {
+        let t = VfTable::niagara();
+        assert_eq!(t.deferred_fraction(0.3, 0), 0.0);
+        // Demand 0.8 at speed 0.5: 0.3/0.8 deferred.
+        assert!((t.deferred_fraction(0.8, 3) - 0.375).abs() < 1e-12);
+        assert_eq!(t.deferred_fraction(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_levels() {
+        let t = VfTable::niagara();
+        assert!(t.point(4).is_err());
+        // speed()/dynamic_scale() clamp instead of panicking.
+        assert_eq!(t.speed(99), t.speed(3));
+    }
+
+    #[test]
+    fn unsorted_tables_rejected() {
+        let bad = VfTable::new(vec![
+            VfPoint {
+                voltage: 1.0,
+                frequency: 1.0e9,
+            },
+            VfPoint {
+                voltage: 1.2,
+                frequency: 1.2e9,
+            },
+        ]);
+        assert!(bad.is_err());
+        assert!(VfTable::new(vec![]).is_err());
+    }
+}

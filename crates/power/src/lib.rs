@@ -1,0 +1,95 @@
+//! UltraSPARC T1 power modelling, DVFS and synthetic workload traces.
+//!
+//! §IV.A of the paper drives its experiments with utilization traces
+//! recorded from real applications (web server, database, multimedia) on an
+//! UltraSPARC T1, sampled every second, and computes power as:
+//!
+//! * **dynamic power** from per-core utilization (peak ≈ average for the
+//!   T1, paper ref. \[13]), scaled by the DVFS operating point as `u·V²·f`;
+//! * **leakage power** as a function of element *area* and *temperature*
+//!   (§IV.A: "We compute the leakage power of processing cores as a function
+//!   of their area and the temperature").
+//!
+//! Since the original traces are not published, [`trace`] provides seeded
+//! stochastic generators with per-benchmark character (duty cycle,
+//! burstiness, imbalance); see DESIGN.md for why matching the trace
+//! *statistics* preserves the policy behaviour the paper evaluates.
+//!
+//! # Example
+//!
+//! ```
+//! use cmosaic_power::{PowerModel, trace::WorkloadKind};
+//! use cmosaic_materials::units::Kelvin;
+//!
+//! let model = PowerModel::niagara();
+//! let trace = WorkloadKind::WebServer.generate(8, 60, 42);
+//! let demand = trace.utilization(10, 3); // t = 10 s, core 3
+//! let p = model.core_power(demand, 0, Kelvin::from_celsius(60.0));
+//! assert!(p > 0.0 && p < 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dvfs;
+pub mod model;
+pub mod trace;
+
+pub use dvfs::{VfPoint, VfTable};
+pub use model::{LeakageModel, PowerModel};
+pub use trace::{WorkloadKind, WorkloadTrace};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the power models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A utilization value was outside `[0, 1]`.
+    InvalidUtilization {
+        /// The offending value.
+        value: f64,
+    },
+    /// A DVFS level index was out of range.
+    InvalidVfLevel {
+        /// Requested level.
+        level: usize,
+        /// Number of available levels.
+        available: usize,
+    },
+    /// Mismatched vector lengths in a bulk computation.
+    LengthMismatch {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidUtilization { value } => {
+                write!(f, "utilization {value} outside [0, 1]")
+            }
+            PowerError::InvalidVfLevel { level, available } => {
+                write!(f, "VF level {level} out of range (have {available})")
+            }
+            PowerError::LengthMismatch { detail } => write!(f, "length mismatch: {detail}"),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(PowerError::InvalidUtilization { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PowerError>();
+    }
+}

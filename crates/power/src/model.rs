@@ -1,0 +1,328 @@
+//! The UltraSPARC T1 power model.
+//!
+//! Calibration targets (paper ref. \[13], Leon et al. ISSCC'07: a 63 W-class
+//! 8-core chip, peak ≈ average power):
+//!
+//! * a fully-utilised core at nominal V/f draws ≈ 4.5 W dynamic,
+//! * an idle core still clocks at ≈ 0.9 W,
+//! * an L2 bank draws 0.7–1.6 W depending on load,
+//! * leakage adds ≈ 1 W per core at 60 °C and grows exponentially with
+//!   temperature (`exp(γ·ΔT)`, doubling every ~50 K) — the feedback that
+//!   produces the 4-tier air-cooled runaway of §IV.A.
+
+use crate::dvfs::VfTable;
+use crate::PowerError;
+use cmosaic_floorplan::plan::{ElementKind, Floorplan};
+use cmosaic_materials::units::Kelvin;
+
+/// Exponential-in-temperature, proportional-to-area leakage model with
+/// saturation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageModel {
+    /// Leakage power density at the reference temperature, W/m².
+    pub density_at_ref: f64,
+    /// Exponential coefficient, 1/K.
+    pub gamma: f64,
+    /// Reference temperature.
+    pub t_ref: Kelvin,
+    /// Upper bound on the exponential multiplier. Sub-threshold leakage
+    /// growth flattens at very high junction temperatures (and the package
+    /// would fail first); the cap also keeps the electrothermal fixed point
+    /// bounded, mirroring the paper's 4-tier air-cooled observation of
+    /// temperatures "reaching up to 178 °C" rather than diverging.
+    pub max_multiplier: f64,
+}
+
+impl LeakageModel {
+    /// The 90 nm-node model used for the Niagara MPSoCs: ~0.8 W per 10 mm²
+    /// core at 60 °C, doubling roughly every 55 K, saturating at 3.5× the
+    /// reference density.
+    pub fn niagara_90nm() -> Self {
+        LeakageModel {
+            density_at_ref: 0.8e5,
+            gamma: 0.0127,
+            t_ref: Kelvin::from_celsius(60.0),
+            max_multiplier: 3.5,
+        }
+    }
+
+    /// Leakage power (W) of a block of `area` m² at temperature `t`.
+    ///
+    /// Voltage scaling also reduces leakage (roughly linearly in V); the
+    /// `voltage_ratio` argument is `V/V_nom`.
+    pub fn power(&self, area: f64, t: Kelvin, voltage_ratio: f64) -> f64 {
+        let mult = (self.gamma * (t - self.t_ref)).exp().min(self.max_multiplier);
+        self.density_at_ref * area * mult * voltage_ratio
+    }
+}
+
+/// The complete element-level power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Dynamic power of a fully-utilised core at nominal V/f, W.
+    pub core_dynamic_max: f64,
+    /// Dynamic power of an idle (but clocked) core at nominal V/f, W.
+    pub core_idle: f64,
+    /// Dynamic power of a fully-utilised L2 bank, W.
+    pub l2_dynamic_max: f64,
+    /// Dynamic power of an idle L2 bank, W.
+    pub l2_idle: f64,
+    /// Crossbar dynamic power at full system utilization, W.
+    pub xbar_dynamic_max: f64,
+    /// Crossbar idle power, W.
+    pub xbar_idle: f64,
+    /// Constant power of `Other` blocks, W per m² (small I/O load).
+    pub other_density: f64,
+    /// Leakage model.
+    pub leakage: LeakageModel,
+    /// DVFS operating points.
+    pub vf: VfTable,
+}
+
+impl PowerModel {
+    /// The calibrated Niagara-1 model (see module docs). The free
+    /// parameters are anchored on the paper's reported operating points
+    /// (2-tier AC_LB peak ≈ 87 °C, LC_LB peak ≈ 56 °C at maximum flow,
+    /// 4-tier AC_LB up to ≈ 178 °C) and then held fixed across every
+    /// experiment.
+    pub fn niagara() -> Self {
+        PowerModel {
+            core_dynamic_max: 3.6,
+            core_idle: 0.95,
+            l2_dynamic_max: 1.3,
+            l2_idle: 0.8,
+            xbar_dynamic_max: 2.0,
+            xbar_idle: 0.5,
+            other_density: 2.0e4, // 0.2 W per 10 mm²
+            leakage: LeakageModel::niagara_90nm(),
+            vf: VfTable::niagara(),
+        }
+    }
+
+    /// Dynamic + leakage power of one core.
+    ///
+    /// `demand` is the offered load as a fraction of *nominal* throughput;
+    /// the served occupancy saturates at 1 when the DVFS level is too slow.
+    /// Out-of-range demands are clamped to `[0, 1]`; out-of-range levels to
+    /// the slowest point.
+    pub fn core_power(&self, demand: f64, vf_level: usize, t: Kelvin) -> f64 {
+        let demand = demand.clamp(0.0, 1.0);
+        let occ = self.vf.occupancy(demand, vf_level);
+        let scale = self.vf.dynamic_scale(vf_level);
+        let v_ratio = {
+            let lvl = vf_level.min(self.vf.slowest());
+            self.vf.point(lvl).expect("clamped level").voltage
+                / self.vf.point(0).expect("nominal").voltage
+        };
+        let dynamic =
+            (self.core_idle + (self.core_dynamic_max - self.core_idle) * occ) * scale;
+        let leak = self
+            .leakage
+            .power(cmosaic_floorplan::niagara::CORE_AREA, t, v_ratio);
+        dynamic + leak
+    }
+
+    /// Dynamic power of one L2 bank serving cores at mean utilization
+    /// `util` (clamped to `[0, 1]`). Caches are not DVFS-scaled (they run
+    /// on the uncore supply); §IV.A models temperature-dependent leakage
+    /// for the *processing cores*, so the (small, weakly
+    /// temperature-dependent) SRAM leakage is folded into the idle term.
+    pub fn l2_power(&self, util: f64, _t: Kelvin) -> f64 {
+        let util = util.clamp(0.0, 1.0);
+        self.l2_idle + (self.l2_dynamic_max - self.l2_idle) * util
+    }
+
+    /// Crossbar power at mean system utilization `util` over an element of
+    /// `area` m² (leakage folded into the idle term, see
+    /// [`PowerModel::l2_power`]).
+    pub fn xbar_power(&self, util: f64, _area: f64, _t: Kelvin) -> f64 {
+        let util = util.clamp(0.0, 1.0);
+        self.xbar_idle + (self.xbar_dynamic_max - self.xbar_idle) * util
+    }
+
+    /// Power of an `Other` block of `area` m² (constant density).
+    pub fn other_power(&self, area: f64, _t: Kelvin) -> f64 {
+        self.other_density * area
+    }
+
+    /// Per-element powers for one tier.
+    ///
+    /// * For a **core tier**: `core_demands` and `core_vf` must have one
+    ///   entry per core element (in element order); the crossbar uses the
+    ///   mean demand.
+    /// * For a **cache tier**: each L2 bank uses the mean of
+    ///   `core_demands` (the load its two cores offer is approximated by
+    ///   the system mean; the paper's cache power is utilization-driven in
+    ///   the same way).
+    ///
+    /// `temps` holds one temperature per element of the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] if `temps` does not match the
+    /// element count, or if a core tier gets mismatched demand/VF vectors.
+    pub fn tier_powers(
+        &self,
+        plan: &Floorplan,
+        core_demands: &[f64],
+        core_vf: &[usize],
+        temps: &[Kelvin],
+    ) -> Result<Vec<f64>, PowerError> {
+        if temps.len() != plan.elements().len() {
+            return Err(PowerError::LengthMismatch {
+                detail: format!(
+                    "temps length {} != {} elements",
+                    temps.len(),
+                    plan.elements().len()
+                ),
+            });
+        }
+        let core_indices = plan.indices_of_kind(ElementKind::Core);
+        if !core_indices.is_empty()
+            && (core_demands.len() != core_indices.len() || core_vf.len() != core_indices.len())
+        {
+            return Err(PowerError::LengthMismatch {
+                detail: format!(
+                    "core tier has {} cores but got {} demands / {} VF levels",
+                    core_indices.len(),
+                    core_demands.len(),
+                    core_vf.len()
+                ),
+            });
+        }
+        let mean_demand = if core_demands.is_empty() {
+            0.0
+        } else {
+            core_demands.iter().sum::<f64>() / core_demands.len() as f64
+        };
+
+        let mut out = Vec::with_capacity(plan.elements().len());
+        let mut core_cursor = 0usize;
+        for (i, e) in plan.elements().iter().enumerate() {
+            let p = match e.kind() {
+                ElementKind::Core => {
+                    let p = self.core_power(
+                        core_demands[core_cursor],
+                        core_vf[core_cursor],
+                        temps[i],
+                    );
+                    core_cursor += 1;
+                    p
+                }
+                ElementKind::L2Cache => self.l2_power(mean_demand, temps[i]),
+                ElementKind::Crossbar => self.xbar_power(mean_demand, e.area(), temps[i]),
+                ElementKind::Other => self.other_power(e.area(), temps[i]),
+            };
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::niagara()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_floorplan::niagara;
+
+    #[test]
+    fn core_power_increases_with_load_and_temperature() {
+        let m = PowerModel::niagara();
+        let cold = Kelvin::from_celsius(45.0);
+        let hot = Kelvin::from_celsius(85.0);
+        let idle = m.core_power(0.0, 0, cold);
+        let busy = m.core_power(1.0, 0, cold);
+        let busy_hot = m.core_power(1.0, 0, hot);
+        assert!(busy > idle);
+        assert!(busy_hot > busy, "leakage must grow with temperature");
+        // Calibration: busy core at 45 °C in the 3.8-5.5 W range (the
+        // 63 W-class chip budget spread over 8 cores + uncore).
+        assert!(busy > 3.8 && busy < 5.5, "busy = {busy}");
+    }
+
+    #[test]
+    fn dvfs_reduces_power() {
+        let m = PowerModel::niagara();
+        let t = Kelvin::from_celsius(60.0);
+        let nominal = m.core_power(0.5, 0, t);
+        let scaled = m.core_power(0.5, 3, t);
+        assert!(scaled < nominal);
+    }
+
+    #[test]
+    fn leakage_doubles_in_about_fifty_kelvin_and_saturates() {
+        let l = LeakageModel::niagara_90nm();
+        let p60 = l.power(10e-6, Kelvin::from_celsius(60.0), 1.0);
+        let p110 = l.power(10e-6, Kelvin::from_celsius(110.0), 1.0);
+        let ratio = p110 / p60;
+        assert!(ratio > 1.7 && ratio < 2.2, "ratio = {ratio}");
+        assert!((p60 - 0.8).abs() < 0.05, "~0.8 W per core at 60 °C, got {p60}");
+        // Saturation: the multiplier is capped, so very hot junctions do
+        // not leak unboundedly (prevents unphysical electrothermal
+        // divergence).
+        let p200 = l.power(10e-6, Kelvin::from_celsius(200.0), 1.0);
+        let p300 = l.power(10e-6, Kelvin::from_celsius(300.0), 1.0);
+        assert_eq!(p200, p300, "leakage must saturate");
+        assert!((p200 / p60 - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chip_total_is_niagara_class() {
+        // A fully-busy 2-tier system (core tier + cache tier) at 70 °C
+        // should land in the 40-55 W band of the 63 W-class part after the
+        // anchor calibration (see DESIGN.md §3).
+        let m = PowerModel::niagara();
+        let t = Kelvin::from_celsius(70.0);
+        let core_tier: f64 =
+            (0..8).map(|_| m.core_power(1.0, 0, t)).sum::<f64>() + m.xbar_power(1.0, 35e-6, t);
+        let cache_tier: f64 =
+            (0..4).map(|_| m.l2_power(1.0, t)).sum::<f64>() + m.other_power(39e-6, t);
+        let total = core_tier + cache_tier;
+        assert!(total > 40.0 && total < 55.0, "2-tier chip = {total}");
+    }
+
+    #[test]
+    fn tier_powers_for_core_and_cache_tiers() {
+        let m = PowerModel::niagara();
+        let cores = niagara::core_tier().unwrap();
+        let caches = niagara::cache_tier().unwrap();
+        let demands = [0.5; 8];
+        let vf = [0usize; 8];
+        let t_core = vec![Kelvin::from_celsius(60.0); cores.elements().len()];
+        let t_cache = vec![Kelvin::from_celsius(55.0); caches.elements().len()];
+        let p_core = m.tier_powers(&cores, &demands, &vf, &t_core).unwrap();
+        assert_eq!(p_core.len(), 9); // 8 cores + xbar
+        let p_cache = m.tier_powers(&caches, &demands, &vf, &t_cache).unwrap();
+        assert_eq!(p_cache.len(), 5); // 4 L2 + directory
+        assert!(p_core.iter().all(|&p| p > 0.0));
+        assert!(p_cache.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn tier_powers_validates_lengths() {
+        let m = PowerModel::niagara();
+        let cores = niagara::core_tier().unwrap();
+        let bad = m.tier_powers(
+            &cores,
+            &[0.5; 4],
+            &[0; 4],
+            &vec![Kelvin::from_celsius(60.0); cores.elements().len()],
+        );
+        assert!(bad.is_err());
+        let bad_temps = m.tier_powers(&cores, &[0.5; 8], &[0; 8], &[Kelvin(300.0)]);
+        assert!(bad_temps.is_err());
+    }
+
+    #[test]
+    fn demands_are_clamped() {
+        let m = PowerModel::niagara();
+        let t = Kelvin::from_celsius(60.0);
+        assert_eq!(m.core_power(1.5, 0, t), m.core_power(1.0, 0, t));
+        assert_eq!(m.core_power(-0.5, 0, t), m.core_power(0.0, 0, t));
+    }
+}

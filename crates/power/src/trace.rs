@@ -1,0 +1,332 @@
+//! Seeded synthetic workload traces.
+//!
+//! §IV.A: "we use workload traces collected from real applications running
+//! on an UltraSPARC T1. We record the utilization percentage for each
+//! hardware thread at every second for several minutes … including web
+//! server, database management, and multimedia processing."
+//!
+//! The original traces are not published; these generators produce
+//! per-core utilization ∈ [0, 1] at 1 s granularity with the
+//! distinguishing statistics of each benchmark class:
+//!
+//! | Kind | Character |
+//! |---|---|
+//! | [`WorkloadKind::WebServer`] | moderate base load, bursty request storms, strong core imbalance |
+//! | [`WorkloadKind::Database`] | high sustained load, periodic checkpoint spikes |
+//! | [`WorkloadKind::Multimedia`] | periodic frame-rate pattern, paired cores |
+//! | [`WorkloadKind::MaxUtilization`] | all cores pinned at 100 % (the "maximum utilization" bars of Fig. 6) |
+//!
+//! All generators are deterministic given `(cores, seconds, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The benchmark classes of §IV.A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Web-server style load (bursty, imbalanced).
+    WebServer,
+    /// Database management load (sustained, checkpoint spikes).
+    Database,
+    /// Multimedia processing load (periodic).
+    Multimedia,
+    /// Synthetic worst case: every core at 100 % all the time.
+    MaxUtilization,
+}
+
+impl WorkloadKind {
+    /// The three real-application classes (without the synthetic max).
+    pub fn applications() -> [WorkloadKind; 3] {
+        [
+            WorkloadKind::WebServer,
+            WorkloadKind::Database,
+            WorkloadKind::Multimedia,
+        ]
+    }
+
+    /// Generates a trace for `cores` cores over `seconds` one-second
+    /// samples, deterministically from `seed`.
+    pub fn generate(self, cores: usize, seconds: usize, seed: u64) -> WorkloadTrace {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.salt());
+        let mut samples = vec![vec![0.0f64; cores]; seconds];
+        match self {
+            WorkloadKind::MaxUtilization => {
+                for row in &mut samples {
+                    row.iter_mut().for_each(|u| *u = 1.0);
+                }
+            }
+            WorkloadKind::WebServer => {
+                // Per-core affinity: front-end cores carry more load.
+                let affinity: Vec<f64> = (0..cores)
+                    .map(|c| 0.65 + 0.35 * ((c as f64 * 1.7).sin().abs()))
+                    .collect();
+                let mut burst_left = vec![0usize; cores];
+                for (t, row) in samples.iter_mut().enumerate() {
+                    let diurnal = 0.85 + 0.15 * (t as f64 / 97.0 * std::f64::consts::TAU).sin();
+                    for (c, u) in row.iter_mut().enumerate() {
+                        if burst_left[c] == 0 && rng.random::<f64>() < 0.06 {
+                            burst_left[c] = 2 + (rng.random::<f64>() * 8.0) as usize;
+                        }
+                        let base = if burst_left[c] > 0 {
+                            burst_left[c] -= 1;
+                            0.85 + 0.15 * rng.random::<f64>()
+                        } else {
+                            0.30 + 0.15 * rng.random::<f64>()
+                        };
+                        *u = (base * affinity[c] * diurnal).clamp(0.0, 1.0);
+                    }
+                }
+            }
+            WorkloadKind::Database => {
+                let mut drift = vec![0.72f64; cores];
+                for (t, row) in samples.iter_mut().enumerate() {
+                    // Checkpoint storm every ~60 s for ~5 s hits all cores.
+                    let checkpoint = t % 60 < 5;
+                    for (c, u) in row.iter_mut().enumerate() {
+                        drift[c] = (drift[c] + (rng.random::<f64>() - 0.5) * 0.06)
+                            .clamp(0.55, 0.9);
+                        *u = if checkpoint {
+                            0.95 + 0.05 * rng.random::<f64>()
+                        } else {
+                            drift[c] + 0.05 * rng.random::<f64>()
+                        }
+                        .clamp(0.0, 1.0);
+                    }
+                }
+            }
+            WorkloadKind::Multimedia => {
+                for (t, row) in samples.iter_mut().enumerate() {
+                    // Frame pipeline: even cores decode, odd cores render a
+                    // half-period later; ~24 s GOP period.
+                    for (c, u) in row.iter_mut().enumerate() {
+                        let phase = if c % 2 == 0 { 0.0 } else { std::f64::consts::PI };
+                        let wave =
+                            (t as f64 / 24.0 * std::f64::consts::TAU + phase).sin() * 0.22;
+                        let jitter = (rng.random::<f64>() - 0.5) * 0.08;
+                        *u = (0.55 + wave + jitter).clamp(0.05, 1.0);
+                    }
+                }
+            }
+        }
+        WorkloadTrace {
+            kind: self,
+            samples,
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            WorkloadKind::WebServer => 0x5eb_5e12,
+            WorkloadKind::Database => 0xdb_ba5e,
+            WorkloadKind::Multimedia => 0x3d_f11,
+            WorkloadKind::MaxUtilization => 0xffff,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkloadKind::WebServer => "web-server",
+            WorkloadKind::Database => "database",
+            WorkloadKind::Multimedia => "multimedia",
+            WorkloadKind::MaxUtilization => "max-utilization",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A per-core utilization trace at 1 s granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    kind: WorkloadKind,
+    /// `samples[t][core]` ∈ [0, 1].
+    samples: Vec<Vec<f64>>,
+}
+
+impl WorkloadTrace {
+    /// The benchmark class this trace was generated from.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Trace length in seconds.
+    pub fn seconds(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Utilization of `core` at second `t` (wraps around at the trace end,
+    /// so simulations may run longer than the recording).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `core` is out of range.
+    pub fn utilization(&self, t: usize, core: usize) -> f64 {
+        let row = &self.samples[t % self.samples.len()];
+        row[core]
+    }
+
+    /// All per-core utilizations at second `t` (wrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn row(&self, t: usize) -> &[f64] {
+        &self.samples[t % self.samples.len()]
+    }
+
+    /// Mean utilization over all cores and samples.
+    pub fn average_utilization(&self) -> f64 {
+        let n = (self.seconds() * self.cores()) as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.samples.iter().flatten().sum::<f64>() / n
+    }
+
+    /// Largest single-core sample in the trace.
+    pub fn peak_utilization(&self) -> f64 {
+        self.samples
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Summary statistics of the trace (the quantities §IV.A's "average
+    /// utilization" and "maximum utilization" workload labels refer to).
+    pub fn statistics(&self) -> TraceStatistics {
+        let mean = self.average_utilization();
+        let n = (self.seconds() * self.cores()) as f64;
+        let variance = if n <= 1.0 {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .flatten()
+                .map(|u| (u - mean) * (u - mean))
+                .sum::<f64>()
+                / n
+        };
+        // Per-core means expose the imbalance the load balancer removes.
+        let mut core_means = vec![0.0f64; self.cores()];
+        for row in &self.samples {
+            for (c, &u) in row.iter().enumerate() {
+                core_means[c] += u / self.seconds().max(1) as f64;
+            }
+        }
+        let imbalance = core_means.iter().copied().fold(0.0f64, f64::max)
+            - core_means.iter().copied().fold(1.0f64, f64::min);
+        TraceStatistics {
+            mean,
+            std_dev: variance.sqrt(),
+            peak: self.peak_utilization(),
+            core_imbalance: imbalance.max(0.0),
+        }
+    }
+}
+
+/// Aggregate statistics of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStatistics {
+    /// Mean utilization over cores and time.
+    pub mean: f64,
+    /// Standard deviation of the samples (burstiness).
+    pub std_dev: f64,
+    /// Largest single sample.
+    pub peak: f64,
+    /// Spread between the busiest and laziest core's time-mean.
+    pub core_imbalance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        for kind in [
+            WorkloadKind::WebServer,
+            WorkloadKind::Database,
+            WorkloadKind::Multimedia,
+        ] {
+            let a = kind.generate(8, 120, 7);
+            let b = kind.generate(8, 120, 7);
+            assert_eq!(a, b, "{kind} must be deterministic");
+            let c = kind.generate(8, 120, 8);
+            assert_ne!(a, c, "{kind} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn utilizations_are_in_unit_interval() {
+        for kind in WorkloadKind::applications() {
+            let tr = kind.generate(8, 300, 3);
+            for t in 0..tr.seconds() {
+                for c in 0..tr.cores() {
+                    let u = tr.utilization(t, c);
+                    assert!((0.0..=1.0).contains(&u), "{kind} u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_classes_have_distinct_statistics() {
+        let web = WorkloadKind::WebServer.generate(8, 600, 1);
+        let db = WorkloadKind::Database.generate(8, 600, 1);
+        let mm = WorkloadKind::Multimedia.generate(8, 600, 1);
+        // Database is the heaviest sustained load.
+        assert!(db.average_utilization() > web.average_utilization());
+        assert!(db.average_utilization() > mm.average_utilization());
+        // Web server is bursty: hits near-peak samples.
+        assert!(web.peak_utilization() > 0.8);
+        // All are realistic, i.e. nobody is pinned or idle on average.
+        for tr in [&web, &db, &mm] {
+            let avg = tr.average_utilization();
+            assert!(avg > 0.2 && avg < 0.95, "{} avg={avg}", tr.kind());
+        }
+    }
+
+    #[test]
+    fn max_utilization_is_pinned() {
+        let tr = WorkloadKind::MaxUtilization.generate(8, 10, 0);
+        assert_eq!(tr.average_utilization(), 1.0);
+        assert_eq!(tr.peak_utilization(), 1.0);
+    }
+
+    #[test]
+    fn trace_wraps_around() {
+        let tr = WorkloadKind::Database.generate(4, 50, 2);
+        assert_eq!(tr.utilization(50, 0), tr.utilization(0, 0));
+        assert_eq!(tr.row(103), tr.row(3));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkloadKind::WebServer.to_string(), "web-server");
+        assert_eq!(WorkloadKind::MaxUtilization.to_string(), "max-utilization");
+    }
+
+    #[test]
+    fn statistics_characterise_the_benchmark_classes() {
+        let web = WorkloadKind::WebServer.generate(8, 400, 5).statistics();
+        let db = WorkloadKind::Database.generate(8, 400, 5).statistics();
+        let mx = WorkloadKind::MaxUtilization.generate(8, 10, 5).statistics();
+        // Web server is the bursty, imbalanced one.
+        assert!(web.std_dev > db.std_dev, "web {} !> db {}", web.std_dev, db.std_dev);
+        assert!(web.core_imbalance > db.core_imbalance);
+        // Max-utilization is flat at 1.
+        assert_eq!(mx.mean, 1.0);
+        assert_eq!(mx.std_dev, 0.0);
+        assert_eq!(mx.core_imbalance, 0.0);
+        // Sanity on bounds.
+        for s in [web, db] {
+            assert!(s.peak <= 1.0 && s.mean > 0.0 && s.mean < 1.0);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! BiCGSTAB iterative solver with optional ILU(0) preconditioning.
+//!
+//! Used to cross-validate the direct LU solver and as an alternative for
+//! very large steady-state problems where factor fill would be a burden.
+
+use crate::csc::CscMatrix;
+use crate::ilu::Ilu0;
+use crate::{dot, norm2, SparseError};
+
+/// Options controlling the BiCGSTAB iteration.
+#[derive(Debug, Clone)]
+pub struct BicgstabOptions {
+    /// Relative residual tolerance (‖r‖/‖b‖).
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Whether to build and apply an ILU(0) preconditioner.
+    pub use_ilu0: bool,
+}
+
+impl Default for BicgstabOptions {
+    fn default() -> Self {
+        BicgstabOptions {
+            tolerance: 1e-10,
+            max_iterations: 2000,
+            use_ilu0: true,
+        }
+    }
+}
+
+/// Convergence report from [`bicgstab`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BicgstabOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` by preconditioned BiCGSTAB.
+///
+/// # Errors
+///
+/// * [`SparseError::Shape`] — non-square `A` or mismatched `b`.
+/// * [`SparseError::NoConvergence`] — iteration cap reached.
+/// * [`SparseError::Breakdown`] — vanishing inner product (restart with the
+///   direct solver in that case).
+/// * [`SparseError::Singular`] — the ILU(0) preconditioner could not be
+///   built.
+pub fn bicgstab(
+    a: &CscMatrix,
+    b: &[f64],
+    options: &BicgstabOptions,
+) -> Result<BicgstabOutcome, SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::Shape {
+            detail: format!("BiCGSTAB requires square matrix, got {}x{}", a.nrows(), a.ncols()),
+        });
+    }
+    if b.len() != a.nrows() {
+        return Err(SparseError::Shape {
+            detail: format!("rhs length {} != {}", b.len(), a.nrows()),
+        });
+    }
+    let n = a.nrows();
+    let precond = if options.use_ilu0 {
+        Some(Ilu0::new(a)?)
+    } else {
+        None
+    };
+    let apply_m = |r: &[f64]| -> Vec<f64> {
+        match &precond {
+            Some(m) => m.apply(r),
+            None => r.to_vec(),
+        }
+    };
+
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return Ok(BicgstabOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+
+    let mut x = vec![0.0f64; n];
+    let mut r = b.to_vec(); // r = b - A·0
+    let r0 = r.clone();
+    let mut rho = 1.0f64;
+    let mut alpha = 1.0f64;
+    let mut omega = 1.0f64;
+    let mut v = vec![0.0f64; n];
+    let mut p = vec![0.0f64; n];
+
+    for it in 1..=options.max_iterations {
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < 1e-300 {
+            return Err(SparseError::Breakdown { iteration: it });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        let p_hat = apply_m(&p);
+        v = a.matvec(&p_hat);
+        let denom = dot(&r0, &v);
+        if denom.abs() < 1e-300 {
+            return Err(SparseError::Breakdown { iteration: it });
+        }
+        alpha = rho / denom;
+        let s: Vec<f64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
+        if norm2(&s) / bnorm < options.tolerance {
+            for i in 0..n {
+                x[i] += alpha * p_hat[i];
+            }
+            let res = relative_residual(a, &x, b, bnorm);
+            return Ok(BicgstabOutcome {
+                x,
+                iterations: it,
+                residual: res,
+            });
+        }
+        let s_hat = apply_m(&s);
+        let t = a.matvec(&s_hat);
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(SparseError::Breakdown { iteration: it });
+        }
+        omega = dot(&t, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * p_hat[i] + omega * s_hat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        if norm2(&r) / bnorm < options.tolerance {
+            let res = relative_residual(a, &x, b, bnorm);
+            return Ok(BicgstabOutcome {
+                x,
+                iterations: it,
+                residual: res,
+            });
+        }
+        if omega.abs() < 1e-300 {
+            return Err(SparseError::Breakdown { iteration: it });
+        }
+    }
+
+    let res = relative_residual(a, &x, b, bnorm);
+    Err(SparseError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: res,
+    })
+}
+
+fn relative_residual(a: &CscMatrix, x: &[f64], b: &[f64], bnorm: f64) -> f64 {
+    let ax = a.matvec(x);
+    let diff: Vec<f64> = ax.iter().zip(b).map(|(u, v)| u - v).collect();
+    norm2(&diff) / bnorm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu;
+    use crate::triplet::TripletMatrix;
+
+    fn grid_with_sink(nx: usize, ny: usize) -> CscMatrix {
+        let n = nx * ny;
+        let mut t = TripletMatrix::new(n, n);
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = y * nx + x;
+                if x + 1 < nx {
+                    t.stamp_conductance(i, i + 1, 1.3);
+                }
+                if y + 1 < ny {
+                    t.stamp_conductance(i, i + nx, 0.7);
+                }
+                t.push(i, i, 0.02);
+            }
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn matches_direct_solver_on_spd_grid() {
+        let a = grid_with_sink(12, 9);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) * 0.1 + 0.5).collect();
+        let direct = lu::factor(&a).unwrap().solve(&b).unwrap();
+        let iter = bicgstab(&a, &b, &BicgstabOptions::default()).unwrap();
+        for (u, v) in iter.x.iter().zip(&direct) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+        assert!(iter.residual < 1e-9);
+    }
+
+    #[test]
+    fn handles_nonsymmetric_advection() {
+        let n = 50;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+        }
+        for i in 0..n - 1 {
+            t.push(i + 1, i, -2.0); // upwind coupling
+            t.push(i, i + 1, -0.5);
+        }
+        let a = t.to_csc();
+        let b = vec![1.0; n];
+        let direct = lu::factor(&a).unwrap().solve(&b).unwrap();
+        let iter = bicgstab(&a, &b, &BicgstabOptions::default()).unwrap();
+        for (u, v) in iter.x.iter().zip(&direct) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unpreconditioned_still_converges_on_small_systems() {
+        let a = grid_with_sink(5, 5);
+        let b = vec![1.0; a.nrows()];
+        let opts = BicgstabOptions {
+            use_ilu0: false,
+            ..Default::default()
+        };
+        let out = bicgstab(&a, &b, &opts).unwrap();
+        assert!(out.residual < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = grid_with_sink(4, 4);
+        let out = bicgstab(&a, &[0.0; 16], &BicgstabOptions::default()).unwrap();
+        assert_eq!(out.iterations, 0);
+        assert!(out.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn iteration_cap_reported() {
+        let a = grid_with_sink(10, 10);
+        // A non-eigenvector right-hand side (all-ones is an exact
+        // eigenvector of this operator and converges in one step).
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.61).sin() + 2.0).collect();
+        let opts = BicgstabOptions {
+            tolerance: 1e-14,
+            max_iterations: 1,
+            use_ilu0: false,
+        };
+        assert!(matches!(
+            bicgstab(&a, &b, &opts),
+            Err(SparseError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = CscMatrix::from_triplets(2, 3, &[0], &[0], &[1.0]);
+        assert!(bicgstab(&a, &[1.0, 1.0], &BicgstabOptions::default()).is_err());
+        let sq = CscMatrix::identity(3);
+        assert!(bicgstab(&sq, &[1.0], &BicgstabOptions::default()).is_err());
+    }
+}

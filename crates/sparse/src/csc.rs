@@ -1,0 +1,432 @@
+//! Compressed sparse column storage.
+
+use crate::SparseError;
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Entries within each column are sorted by row index and unique. CSC is the
+/// natural layout for the left-looking LU factorisation in [`crate::lu`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Column pointers, length `ncols + 1`.
+    col_ptr: Vec<usize>,
+    /// Row indices, length `nnz`.
+    row_idx: Vec<usize>,
+    /// Values, length `nnz`.
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from coordinate triplets, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the triplet arrays have different lengths or contain
+    /// out-of-bounds indices.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len(), "triplet arrays must match");
+        assert_eq!(rows.len(), vals.len(), "triplet arrays must match");
+
+        // Count entries per column.
+        let mut counts = vec![0usize; ncols + 1];
+        for (&r, &c) in rows.iter().zip(cols) {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of bounds");
+            counts[c + 1] += 1;
+        }
+        for c in 0..ncols {
+            counts[c + 1] += counts[c];
+        }
+        let col_ptr_raw = counts.clone();
+
+        // Scatter into place (unsorted within column).
+        let mut next = col_ptr_raw.clone();
+        let mut row_idx = vec![0usize; rows.len()];
+        let mut values = vec![0.0f64; rows.len()];
+        for ((&r, &c), &v) in rows.iter().zip(cols).zip(vals) {
+            let slot = next[c];
+            row_idx[slot] = r;
+            values[slot] = v;
+            next[c] += 1;
+        }
+
+        // Sort each column by row and accumulate duplicates.
+        let mut out_col_ptr = vec![0usize; ncols + 1];
+        let mut out_rows = Vec::with_capacity(rows.len());
+        let mut out_vals = Vec::with_capacity(rows.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..ncols {
+            scratch.clear();
+            for k in col_ptr_raw[c]..col_ptr_raw[c + 1] {
+                scratch.push((row_idx[k], values[k]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut iter = scratch.iter().copied();
+            if let Some((mut cur_row, mut cur_val)) = iter.next() {
+                for (r, v) in iter {
+                    if r == cur_row {
+                        cur_val += v;
+                    } else {
+                        out_rows.push(cur_row);
+                        out_vals.push(cur_val);
+                        cur_row = r;
+                        cur_val = v;
+                    }
+                }
+                out_rows.push(cur_row);
+                out_vals.push(cur_val);
+            }
+            out_col_ptr[c + 1] = out_rows.len();
+        }
+
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: out_col_ptr,
+            row_idx: out_rows,
+            values: out_vals,
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            col_ptr: (0..=n).collect(),
+            row_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (length `ncols + 1`).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array (length `nnz`).
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Value array (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over the `(row, value)` entries of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Value at `(row, col)`, or `0.0` if the entry is not stored.
+    ///
+    /// Binary search within the column — O(log nnz_col).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let lo = self.col_ptr[col];
+        let hi = self.col_ptr[col + 1];
+        match self.row_idx[lo..hi].binary_search(&row) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+        y
+    }
+
+    /// In-place `y += alpha · A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn matvec_acc(&self, x: &[f64], alpha: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec_acc: x dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec_acc: y dimension mismatch");
+        for c in 0..self.ncols {
+            let xc = alpha * x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+    }
+
+    /// Transposed product `y = Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_transpose: dimension mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for c in 0..self.ncols {
+            let mut acc = 0.0;
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                acc += self.values[k] * x[self.row_idx[k]];
+            }
+            y[c] = acc;
+        }
+        y
+    }
+
+    /// The main diagonal as a dense vector (zeros for missing entries).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> CscMatrix {
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for c in 0..self.ncols {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                rows.push(c);
+                cols.push(self.row_idx[k]);
+                vals.push(self.values[k]);
+            }
+        }
+        CscMatrix::from_triplets(self.ncols, self.nrows, &rows, &cols, &vals)
+    }
+
+    /// `true` if the matrix is square and its sparsity pattern equals the
+    /// pattern of its transpose (values may differ).
+    pub fn is_structurally_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.col_ptr == t.col_ptr && self.row_idx == t.row_idx
+    }
+
+    /// Maximum absolute difference `max |A − Aᵀ|` over all entries; zero for
+    /// numerically symmetric matrices.
+    pub fn asymmetry(&self) -> f64 {
+        let t = self.transpose();
+        let mut worst = 0.0f64;
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                worst = worst.max((v - t.get(r, c)).abs());
+            }
+            for (r, v) in t.col_iter(c) {
+                worst = worst.max((v - self.get(r, c)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Returns `A + alpha·D` where `D` is the diagonal matrix with entries
+    /// `d` — used to form the backward-Euler operator `G + C/Δt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] if `d.len()` differs from the matrix
+    /// dimension or the matrix is not square.
+    pub fn add_diagonal(&self, d: &[f64], alpha: f64) -> Result<CscMatrix, SparseError> {
+        if self.nrows != self.ncols || d.len() != self.nrows {
+            return Err(SparseError::Shape {
+                detail: format!(
+                    "add_diagonal: matrix {}x{}, diagonal length {}",
+                    self.nrows,
+                    self.ncols,
+                    d.len()
+                ),
+            });
+        }
+        let mut rows: Vec<usize> = Vec::with_capacity(self.nnz() + d.len());
+        let mut cols: Vec<usize> = Vec::with_capacity(self.nnz() + d.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(self.nnz() + d.len());
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                rows.push(r);
+                cols.push(c);
+                vals.push(v);
+            }
+        }
+        for (i, &di) in d.iter().enumerate() {
+            rows.push(i);
+            cols.push(i);
+            vals.push(alpha * di);
+        }
+        Ok(CscMatrix::from_triplets(
+            self.nrows, self.ncols, &rows, &cols, &vals,
+        ))
+    }
+
+    /// Dense copy (row-major, rows × cols) — intended for tests and small
+    /// matrices only.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for c in 0..self.ncols {
+            for (r, v) in self.col_iter(c) {
+                d[r][c] = v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        CscMatrix::from_triplets(
+            3,
+            3,
+            &[0, 2, 1, 0, 2],
+            &[0, 0, 1, 2, 2],
+            &[1.0, 4.0, 3.0, 2.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_indexes() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(2, 0), 4.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(2, 2), 5.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn matvec_transpose_agrees_with_transpose_matvec() {
+        let a = sample();
+        let x = [1.0, -2.0, 0.5];
+        let y1 = a.matvec_transpose(&x);
+        let y2 = a.transpose().matvec(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn structural_symmetry_detection() {
+        let sym = CscMatrix::from_triplets(
+            2,
+            2,
+            &[0, 1, 0, 1],
+            &[0, 0, 1, 1],
+            &[2.0, -1.0, -1.0, 2.0],
+        );
+        assert!(sym.is_structurally_symmetric());
+        assert!(sym.asymmetry() < 1e-15);
+        // Entry at (1,0) with no matching (0,1): structurally asymmetric —
+        // exactly the upwind-advection pattern of the micro-channel model.
+        let asym = CscMatrix::from_triplets(
+            2,
+            2,
+            &[0, 1, 1],
+            &[0, 0, 1],
+            &[2.0, -1.0, 2.0],
+        );
+        assert!(!asym.is_structurally_symmetric());
+        assert!(asym.asymmetry() > 0.5);
+        // The sample matrix has a symmetric *pattern* but asymmetric values.
+        assert!(sample().is_structurally_symmetric());
+        assert!(sample().asymmetry() > 0.0);
+    }
+
+    #[test]
+    fn add_diagonal_builds_backward_euler_operator() {
+        let a = sample();
+        let b = a.add_diagonal(&[10.0, 20.0, 30.0], 2.0).unwrap();
+        assert_eq!(b.get(0, 0), 1.0 + 20.0);
+        assert_eq!(b.get(1, 1), 3.0 + 40.0);
+        assert_eq!(b.get(2, 2), 5.0 + 60.0);
+        assert_eq!(b.get(0, 2), 2.0);
+        assert!(a.add_diagonal(&[1.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CscMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+        assert!(i.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        assert_eq!(sample().diagonal(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_columns_are_fine() {
+        let a = CscMatrix::from_triplets(3, 3, &[0], &[0], &[7.0]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.col_iter(1).count(), 0);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![7.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Small dense matrices — the test oracle and the fallback for tiny systems
+//! (e.g. the flow-network solves in `cmosaic-hydraulics`).
+
+use crate::SparseError;
+
+/// A row-major dense matrix.
+///
+/// ```
+/// use cmosaic_sparse::DenseMatrix;
+/// # fn main() -> Result<(), cmosaic_sparse::SparseError> {
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, SparseError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(SparseError::Shape {
+                    detail: format!("row {i} has length {} expected {ncols}", r.len()),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c]
+    }
+
+    /// Sets the value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Adds `v` to the value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.nrows && c < self.ncols);
+        self.data[r * self.ncols + c] += v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        (0..self.nrows)
+            .map(|r| {
+                (0..self.ncols)
+                    .map(|c| self.data[r * self.ncols + c] * x[c])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Solves `A·x = b` by LU with partial pivoting (in a copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] for non-square systems or length
+    /// mismatch, [`SparseError::Singular`] when a pivot vanishes.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::Shape {
+                detail: format!("solve requires square matrix, got {}x{}", self.nrows, self.ncols),
+            });
+        }
+        if b.len() != self.nrows {
+            return Err(SparseError::Shape {
+                detail: format!("rhs length {} != {}", b.len(), self.nrows),
+            });
+        }
+        let n = self.nrows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for k in 0..n {
+            // Partial pivot.
+            let mut piv = k;
+            let mut best = a[k * n + k].abs();
+            for r in (k + 1)..n {
+                let cand = a[r * n + k].abs();
+                if cand > best {
+                    best = cand;
+                    piv = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SparseError::Singular { column: k });
+            }
+            if piv != k {
+                for c in 0..n {
+                    a.swap(k * n + c, piv * n + c);
+                }
+                x.swap(k, piv);
+            }
+            let pivot = a[k * n + k];
+            for r in (k + 1)..n {
+                let f = a[r * n + k] / pivot;
+                if f == 0.0 {
+                    continue;
+                }
+                a[r * n + k] = 0.0;
+                for c in (k + 1)..n {
+                    a[r * n + c] -= f * a[k * n + c];
+                }
+                x[r] -= f * x[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for c in (k + 1)..n {
+                acc -= a[k * n + c] * x[c];
+            }
+            x[k] = acc / a[k * n + k];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_3x3_known_system() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        // Solution of tridiag(-1,2,-1) x = [1,0,1] is [1,1,1].
+        let x = a.solve(&[1.0, 0.0, 1.0]).unwrap();
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SparseError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(DenseMatrix::from_rows(&[&[1.0, 2.0][..], &[1.0][..]]).is_err());
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Zero-fill incomplete LU — the preconditioner for
+//! [`crate::bicgstab()`].
+
+use crate::csc::CscMatrix;
+use crate::SparseError;
+
+/// An ILU(0) factorisation: `A ≈ L·U` restricted to the sparsity pattern of
+/// `A`, with no pivoting.
+///
+/// Intended for diagonally dominant matrices (the thermal operators are);
+/// for general matrices prefer the exact [`crate::lu`].
+#[derive(Debug, Clone)]
+pub struct Ilu0 {
+    n: usize,
+    // Row-major CSR copies of the L (unit diagonal, strictly lower) and U
+    // (including diagonal) parts.
+    l_rowptr: Vec<usize>,
+    l_cols: Vec<usize>,
+    l_vals: Vec<f64>,
+    u_rowptr: Vec<usize>,
+    u_cols: Vec<usize>,
+    u_vals: Vec<f64>,
+}
+
+impl Ilu0 {
+    /// Computes the ILU(0) factorisation of a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] for non-square input and
+    /// [`SparseError::Singular`] if a diagonal entry vanishes during the
+    /// factorisation (e.g. a structurally missing diagonal).
+    pub fn new(a: &CscMatrix) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::Shape {
+                detail: format!("ILU0 requires square matrix, got {}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        let n = a.nrows();
+
+        // Convert to CSR (row-major) working form with sorted column indices.
+        let at = a.transpose(); // columns of Aᵀ are rows of A
+        let mut rowptr = vec![0usize; n + 1];
+        let mut cols: Vec<usize> = Vec::with_capacity(a.nnz());
+        let mut vals: Vec<f64> = Vec::with_capacity(a.nnz());
+        for r in 0..n {
+            for (c, v) in at.col_iter(r) {
+                cols.push(c);
+                vals.push(v);
+            }
+            rowptr[r + 1] = cols.len();
+        }
+
+        // IKJ-variant Gaussian elimination restricted to the pattern.
+        // diag_pos[r] = index of the diagonal entry within row r.
+        let mut diag_pos = vec![usize::MAX; n];
+        for r in 0..n {
+            for k in rowptr[r]..rowptr[r + 1] {
+                if cols[k] == r {
+                    diag_pos[r] = k;
+                }
+            }
+            if diag_pos[r] == usize::MAX {
+                return Err(SparseError::Singular { column: r });
+            }
+        }
+
+        let mut colmap = vec![usize::MAX; n];
+        for i in 0..n {
+            // Load row i's pattern into the scatter map.
+            for k in rowptr[i]..rowptr[i + 1] {
+                colmap[cols[k]] = k;
+            }
+            // Eliminate using rows k < i present in row i's pattern.
+            for kk in rowptr[i]..rowptr[i + 1] {
+                let k = cols[kk];
+                if k >= i {
+                    break; // columns are sorted
+                }
+                let dk = vals[diag_pos[k]];
+                if dk.abs() < 1e-300 {
+                    return Err(SparseError::Singular { column: k });
+                }
+                let factor = vals[kk] / dk;
+                vals[kk] = factor;
+                // Subtract factor * (row k, columns > k), pattern-restricted.
+                for kj in (diag_pos[k] + 1)..rowptr[k + 1] {
+                    let j = cols[kj];
+                    let pos = colmap[j];
+                    if pos != usize::MAX {
+                        vals[pos] -= factor * vals[kj];
+                    }
+                }
+            }
+            // Clear the scatter map.
+            for k in rowptr[i]..rowptr[i + 1] {
+                colmap[cols[k]] = usize::MAX;
+            }
+            if vals[diag_pos[i]].abs() < 1e-300 {
+                return Err(SparseError::Singular { column: i });
+            }
+        }
+
+        // Split into L and U parts.
+        let mut l_rowptr = vec![0usize; n + 1];
+        let mut l_cols = Vec::new();
+        let mut l_vals = Vec::new();
+        let mut u_rowptr = vec![0usize; n + 1];
+        let mut u_cols = Vec::new();
+        let mut u_vals = Vec::new();
+        for r in 0..n {
+            for k in rowptr[r]..rowptr[r + 1] {
+                if cols[k] < r {
+                    l_cols.push(cols[k]);
+                    l_vals.push(vals[k]);
+                } else {
+                    u_cols.push(cols[k]);
+                    u_vals.push(vals[k]);
+                }
+            }
+            l_rowptr[r + 1] = l_cols.len();
+            u_rowptr[r + 1] = u_cols.len();
+        }
+
+        Ok(Ilu0 {
+            n,
+            l_rowptr,
+            l_cols,
+            l_vals,
+            u_rowptr,
+            u_cols,
+            u_vals,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Applies the preconditioner: solves `L·U·z = r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len() != n`.
+    pub fn apply(&self, r: &[f64]) -> Vec<f64> {
+        assert_eq!(r.len(), self.n);
+        let mut z = r.to_vec();
+        // Forward solve (unit lower).
+        for i in 0..self.n {
+            let mut acc = z[i];
+            for k in self.l_rowptr[i]..self.l_rowptr[i + 1] {
+                acc -= self.l_vals[k] * z[self.l_cols[k]];
+            }
+            z[i] = acc;
+        }
+        // Backward solve (upper, diagonal first entry of each row part).
+        for i in (0..self.n).rev() {
+            let lo = self.u_rowptr[i];
+            let hi = self.u_rowptr[i + 1];
+            let mut acc = z[i];
+            let mut diag = 1.0;
+            for k in lo..hi {
+                let c = self.u_cols[k];
+                if c == i {
+                    diag = self.u_vals[k];
+                } else {
+                    acc -= self.u_vals[k] * z[c];
+                }
+            }
+            z[i] = acc / diag;
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    #[test]
+    fn ilu0_is_exact_for_tridiagonal() {
+        // Tridiagonal matrices have no fill, so ILU(0) == LU and the
+        // preconditioner solve is the exact solve.
+        let n = 9;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        let a = t.to_csc();
+        let ilu = Ilu0::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let x = ilu.apply(&b);
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn missing_diagonal_is_singular() {
+        let a = CscMatrix::from_triplets(2, 2, &[1, 0], &[0, 1], &[1.0, 1.0]);
+        assert!(matches!(Ilu0::new(&a), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = CscMatrix::from_triplets(2, 3, &[0], &[0], &[1.0]);
+        assert!(matches!(Ilu0::new(&a), Err(SparseError::Shape { .. })));
+    }
+}

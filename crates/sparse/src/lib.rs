@@ -1,0 +1,147 @@
+//! Sparse linear algebra substrate for the `cmosaic` thermal toolkit.
+//!
+//! The compact thermal model of 3D-ICE (paper ref. \[17]) reduces a 3D chip
+//! stack with inter-tier micro-channels to a large, sparse, *nonsymmetric*
+//! system of equations: conduction contributes a symmetric Laplacian-like
+//! structure, while coolant advection couples each fluid cell to its
+//! *upstream* neighbour only. The original tool links SuperLU; this crate is
+//! our from-scratch replacement:
+//!
+//! * [`TripletMatrix`] — coordinate-format builder with duplicate
+//!   accumulation (the natural output of RC-network assembly).
+//! * [`CscMatrix`] — compressed sparse column storage with matrix–vector
+//!   products and structure queries.
+//! * [`LuFactors`] — Gilbert–Peierls left-looking sparse LU with partial
+//!   pivoting ([`lu::factor`]), the workhorse direct solver.
+//! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction used as a
+//!   fill-reducing column pre-ordering.
+//! * [`bicgstab`](mod@bicgstab) — BiCGSTAB with an [`ilu::Ilu0`]
+//!   preconditioner, used to cross-validate the direct solver and for
+//!   very large steady-state problems.
+//! * [`dense`] — small dense LU used by tests as an oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use cmosaic_sparse::{TripletMatrix, lu};
+//!
+//! # fn main() -> Result<(), cmosaic_sparse::SparseError> {
+//! // 2x2 system: [[4, 1], [2, 5]] · x = [9, 12]  =>  x = [1.5, 1.8]... let's check.
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 2.0);
+//! t.push(1, 1, 5.0);
+//! let a = t.to_csc();
+//! let f = lu::factor(&a)?;
+//! let x = f.solve(&[9.0, 12.0])?;
+//! let r0 = 4.0 * x[0] + 1.0 * x[1] - 9.0;
+//! let r1 = 2.0 * x[0] + 5.0 * x[1] - 12.0;
+//! assert!(r0.abs() < 1e-12 && r1.abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bicgstab;
+pub mod csc;
+pub mod dense;
+pub mod ilu;
+pub mod lu;
+pub mod ordering;
+pub mod triplet;
+
+pub use bicgstab::{bicgstab, BicgstabOptions, BicgstabOutcome};
+pub use csc::CscMatrix;
+pub use dense::DenseMatrix;
+pub use lu::LuFactors;
+pub use triplet::TripletMatrix;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sparse solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A matrix dimension or index was inconsistent.
+    Shape {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// The matrix is numerically singular (no acceptable pivot at a column).
+    Singular {
+        /// Column at which factorisation broke down.
+        column: usize,
+    },
+    /// An iterative solver failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at the final iterate.
+        residual: f64,
+    },
+    /// Numerical breakdown (division by a vanishing inner product) in an
+    /// iterative method.
+    Breakdown {
+        /// Iteration at which breakdown occurred.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::Shape { detail } => write!(f, "shape mismatch: {detail}"),
+            SparseError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            SparseError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SparseError::Breakdown { iteration } => {
+                write!(f, "numerical breakdown at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+/// Euclidean norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_dot() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_types_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+        assert!(SparseError::Singular { column: 3 }.to_string().contains('3'));
+    }
+}

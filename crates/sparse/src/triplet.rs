@@ -1,0 +1,154 @@
+//! Coordinate-format (COO) matrix builder.
+
+use crate::csc::CscMatrix;
+
+/// A growable coordinate-format sparse matrix.
+///
+/// This is the assembly format: RC-network construction pushes one entry per
+/// conductance contribution and duplicates are *summed* on conversion, which
+/// is exactly the stamp-and-accumulate pattern circuit and thermal
+/// simulators use.
+///
+/// ```
+/// use cmosaic_sparse::TripletMatrix;
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicate: accumulates to 3.0
+/// let a = t.to_csc();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder with the given dimensions.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with pre-allocated capacity for `nnz`
+    /// entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (pre-accumulation) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate on conversion.
+    ///
+    /// Entries that are exactly zero are stored anyway — they may be
+    /// structurally meaningful (and accumulation may make them nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row},{col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Stamps a two-terminal conductance `g` between diagonal entries `i`
+    /// and `j` (adds `+g` to both diagonals, `-g` to both off-diagonals) —
+    /// the fundamental RC-assembly operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds or `i == j`.
+    pub fn stamp_conductance(&mut self, i: usize, j: usize, g: f64) {
+        assert_ne!(i, j, "conductance endpoints must differ");
+        self.push(i, i, g);
+        self.push(j, j, g);
+        self.push(i, j, -g);
+        self.push(j, i, -g);
+    }
+
+    /// Converts to compressed sparse column storage, summing duplicates.
+    pub fn to_csc(&self) -> CscMatrix {
+        CscMatrix::from_triplets(self.nrows, self.ncols, &self.rows, &self.cols, &self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 2, 1.5);
+        t.push(1, 2, 2.5);
+        t.push(0, 0, 1.0);
+        let a = t.to_csc();
+        assert_eq!(a.get(1, 2), 4.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn stamp_conductance_is_symmetric_and_conservative() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(0, 1, 3.0);
+        let a = t.to_csc();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.get(0, 1), -3.0);
+        assert_eq!(a.get(1, 0), -3.0);
+        // Row sums are zero: pure conduction conserves heat.
+        let ones = vec![1.0; 2];
+        let y = a.matvec(&ones);
+        assert!(y.iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let t = TripletMatrix::with_capacity(4, 4, 16);
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 4);
+        assert_eq!(t.nnz(), 0);
+    }
+}

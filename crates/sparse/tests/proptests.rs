@@ -1,0 +1,112 @@
+//! Property-based tests for the sparse substrate: the LU and iterative
+//! solvers are checked against the dense oracle on randomly generated,
+//! well-conditioned systems with random sparsity.
+
+use cmosaic_sparse::{bicgstab, lu, BicgstabOptions, CscMatrix, DenseMatrix, TripletMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random square, strictly diagonally dominant sparse matrix of
+/// size 2..=24 with ~25% fill, plus a random right-hand side.
+fn dominant_system() -> impl Strategy<Value = (CscMatrix, Vec<f64>)> {
+    (2usize..=24)
+        .prop_flat_map(|n| {
+            let entries = proptest::collection::vec(
+                (0..n, 0..n, -1.0f64..1.0),
+                0..(n * n / 4).max(1),
+            );
+            let rhs = proptest::collection::vec(-10.0f64..10.0, n..=n);
+            (Just(n), entries, rhs)
+        })
+        .prop_map(|(n, entries, rhs)| {
+            let mut t = TripletMatrix::new(n, n);
+            let mut row_abs = vec![0.0f64; n];
+            for &(r, c, v) in &entries {
+                if r != c {
+                    t.push(r, c, v);
+                    row_abs[r] += v.abs();
+                }
+            }
+            // Strict diagonal dominance guarantees nonsingularity and keeps
+            // the condition number moderate.
+            for (r, &s) in row_abs.iter().enumerate() {
+                t.push(r, r, s + 1.0);
+            }
+            (t.to_csc(), rhs)
+        })
+}
+
+fn dense_oracle(a: &CscMatrix, b: &[f64]) -> Vec<f64> {
+    let rows = a.to_dense();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    DenseMatrix::from_rows(&refs).unwrap().solve(b).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_matches_dense_oracle((a, b) in dominant_system()) {
+        let f = lu::factor(&a).unwrap();
+        let x = f.solve(&b).unwrap();
+        let oracle = dense_oracle(&a, &b);
+        for (u, v) in x.iter().zip(&oracle) {
+            prop_assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn lu_residual_is_tiny((a, b) in dominant_system()) {
+        let f = lu::factor(&a).unwrap();
+        let x = f.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9, "residual {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn natural_and_rcm_orderings_agree((a, b) in dominant_system()) {
+        let x_nat = lu::factor_with_ordering(&a, lu::ColumnOrdering::Natural)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let x_rcm = lu::factor_with_ordering(&a, lu::ColumnOrdering::Rcm)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        for (u, v) in x_nat.iter().zip(&x_rcm) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bicgstab_agrees_with_lu((a, b) in dominant_system()) {
+        let direct = lu::factor(&a).unwrap().solve(&b).unwrap();
+        match bicgstab(&a, &b, &BicgstabOptions::default()) {
+            Ok(out) => {
+                for (u, v) in out.x.iter().zip(&direct) {
+                    prop_assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+                }
+            }
+            // Breakdown is a legitimate BiCGSTAB outcome on unlucky
+            // systems; the caller falls back to the direct solver.
+            Err(cmosaic_sparse::SparseError::Breakdown { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn matvec_linearity((a, b) in dominant_system()) {
+        let two_b: Vec<f64> = b.iter().map(|v| 2.0 * v).collect();
+        let y1 = a.matvec(&b);
+        let y2 = a.matvec(&two_b);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((2.0 * u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive((a, _b) in dominant_system()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}

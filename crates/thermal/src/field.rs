@@ -1,0 +1,244 @@
+//! Temperature fields returned by the model.
+
+use cmosaic_floorplan::{Floorplan, GridSpec};
+use cmosaic_materials::units::Kelvin;
+
+/// A snapshot of every cell temperature in the stack (plus the sink node
+/// for air-cooled stacks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperatureField {
+    nx: usize,
+    ny: usize,
+    n_layers: usize,
+    /// Source-layer index per tier.
+    source_layers: Vec<usize>,
+    /// Footprint width/height (m) for element queries.
+    width: f64,
+    height: f64,
+    /// Cell temperatures in kelvin, layer-major; an optional trailing sink
+    /// entry.
+    data: Vec<f64>,
+    has_sink: bool,
+}
+
+impl TemperatureField {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        nx: usize,
+        ny: usize,
+        n_layers: usize,
+        source_layers: Vec<usize>,
+        width: f64,
+        height: f64,
+        data: Vec<f64>,
+        has_sink: bool,
+    ) -> Self {
+        debug_assert_eq!(data.len(), nx * ny * n_layers + usize::from(has_sink));
+        TemperatureField {
+            nx,
+            ny,
+            n_layers,
+            source_layers,
+            width,
+            height,
+            data,
+            has_sink,
+        }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Raw cell data (kelvin), layer-major, excluding the sink node.
+    pub fn cells(&self) -> &[f64] {
+        &self.data[..self.nx * self.ny * self.n_layers]
+    }
+
+    /// All cell temperatures of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= n_layers`.
+    pub fn layer(&self, layer: usize) -> &[f64] {
+        assert!(layer < self.n_layers, "layer {layer} out of range");
+        let n = self.nx * self.ny;
+        &self.data[layer * n..(layer + 1) * n]
+    }
+
+    /// The source-layer temperatures of tier `tier` — where the junctions
+    /// live, i.e. what a thermal sensor reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier does not exist.
+    pub fn tier(&self, tier: usize) -> &[f64] {
+        let layer = self.source_layers[tier];
+        self.layer(layer)
+    }
+
+    /// Number of tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.source_layers.len()
+    }
+
+    /// Hottest cell anywhere in the stack.
+    pub fn max(&self) -> Kelvin {
+        Kelvin(
+            self.cells()
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Coolest cell anywhere in the stack.
+    pub fn min(&self) -> Kelvin {
+        Kelvin(self.cells().iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Hottest cell of one tier's source layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier does not exist.
+    pub fn tier_max(&self, tier: usize) -> Kelvin {
+        Kelvin(
+            self.tier(tier)
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Sink-node temperature, for air-cooled stacks.
+    pub fn sink(&self) -> Option<Kelvin> {
+        self.has_sink.then(|| Kelvin(*self.data.last().expect("non-empty")))
+    }
+
+    /// Area-averaged temperature of one floorplan element on a tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tier/element are out of range or `grid` does not match
+    /// this field's dimensions.
+    pub fn element_average(
+        &self,
+        grid: &GridSpec,
+        plan: &Floorplan,
+        tier: usize,
+        element: usize,
+    ) -> Kelvin {
+        assert_eq!((grid.nx(), grid.ny()), (self.nx, self.ny));
+        Kelvin(grid.element_average(plan, element, self.tier(tier), self.width, self.height))
+    }
+
+    /// Hottest cell under one floorplan element on a tier.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TemperatureField::element_average`].
+    pub fn element_max(
+        &self,
+        grid: &GridSpec,
+        plan: &Floorplan,
+        tier: usize,
+        element: usize,
+    ) -> Kelvin {
+        assert_eq!((grid.nx(), grid.ny()), (self.nx, self.ny));
+        Kelvin(grid.element_max(plan, element, self.tier(tier), self.width, self.height))
+    }
+
+    /// Raw node data including the trailing sink entry, kelvin.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Renders one tier's junction temperatures as an ASCII heat map
+    /// (one character per cell, ` .:-=+*#%@` from coolest to hottest over
+    /// the tier's own range), one row per grid line, hottest rows printed
+    /// last (y grows downwards). Intended for examples and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier does not exist.
+    pub fn render_tier(&self, tier: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let cells = self.tier(tier);
+        let lo = cells.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cells.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-9);
+        let mut out = String::with_capacity((self.nx + 1) * self.ny + 64);
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let t = cells[iy * self.nx + ix];
+                let idx = (((t - lo) / span) * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "min {:.1} °C  max {:.1} °C\n",
+            lo - 273.15,
+            hi - 273.15
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> TemperatureField {
+        // 2x2 grid, 2 layers (layer 0 is tier 0's source), plus sink.
+        TemperatureField::new(
+            2,
+            2,
+            2,
+            vec![0],
+            1.0,
+            1.0,
+            vec![300.0, 301.0, 302.0, 303.0, 310.0, 311.0, 312.0, 313.0, 320.0],
+            true,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let f = field();
+        assert_eq!(f.n_layers(), 2);
+        assert_eq!(f.layer(0), &[300.0, 301.0, 302.0, 303.0]);
+        assert_eq!(f.tier(0), f.layer(0));
+        assert_eq!(f.max().0, 313.0);
+        assert_eq!(f.min().0, 300.0);
+        assert_eq!(f.tier_max(0).0, 303.0);
+        assert_eq!(f.sink().unwrap().0, 320.0);
+        assert_eq!(f.n_tiers(), 1);
+    }
+
+    #[test]
+    fn sink_absent_when_liquid_cooled() {
+        let f = TemperatureField::new(1, 1, 1, vec![0], 1.0, 1.0, vec![300.0], false);
+        assert!(f.sink().is_none());
+        assert_eq!(f.max().0, 300.0);
+    }
+
+    #[test]
+    fn render_produces_one_row_per_grid_line() {
+        let f = field();
+        let art = f.render_tier(0);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3, "2 rows + legend");
+        assert_eq!(lines[0].len(), 2);
+        // The hottest cell uses the hottest glyph.
+        assert!(lines[1].contains('@'));
+        assert!(art.contains("max"));
+    }
+}

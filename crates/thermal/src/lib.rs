@@ -1,0 +1,176 @@
+//! Compact transient thermal model of 3D stacks with inter-tier
+//! micro-channel liquid cooling — the 3D-ICE-style simulator (§II.D,
+//! paper ref. \[17]) the CMOSAIC experiments run on.
+//!
+//! # Model
+//!
+//! Each stack layer is discretised into `nx × ny` finite-volume cells; the
+//! stack becomes an RC network:
+//!
+//! * **Solid cells** exchange heat with their six neighbours through
+//!   series-connected half-cell conductances and store heat in their
+//!   volumetric capacitance.
+//! * **Cavity cells** are porous-media-homogenised micro-channel cells: a
+//!   fluid node exchanges heat with the layers above and below through a
+//!   convective conductance `h·A_eff` (with `A_eff` including fin area at
+//!   near-unit fin efficiency), the silicon walls add a parallel
+//!   through-conductance between the neighbouring layers, and the coolant
+//!   *advects* heat downstream with coefficient `ṁ·c_p` — the nonsymmetric
+//!   coupling that distinguishes liquid-cooled stacks
+//!   ([`AdvectionScheme::Upwind`] by default, the 3D-ICE linear-outlet
+//!   profile as an option).
+//! * **Air-cooled stacks** attach a lumped sink node (Table I: 10 W/K,
+//!   140 J/K) above the top layer, grounded at the 45 °C ambient.
+//!
+//! Steady state solves `G·T = P`; transients use backward Euler
+//! `(C/Δt + G)·T⁺ = C/Δt·T + P`. Factorisations are cached per flow level,
+//! so a run-time controller sweeping a handful of discrete pump settings
+//! pays for each factorisation once.
+//!
+//! # Example
+//!
+//! ```
+//! use cmosaic_floorplan::{stack::presets, GridSpec};
+//! use cmosaic_thermal::{ThermalModel, ThermalParams};
+//! use cmosaic_materials::units::VolumetricFlow;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stack = presets::liquid_cooled_mpsoc(2)?;
+//! let grid = GridSpec::new(12, 12)?;
+//! let mut model = ThermalModel::new(&stack, grid, ThermalParams::default())?;
+//! model.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))?;
+//! // 30 W on the core tier, 10 W on the cache tier, uniformly spread.
+//! let powers = vec![
+//!     vec![30.0 / 144.0; 144],
+//!     vec![10.0 / 144.0; 144],
+//! ];
+//! let field = model.steady_state(&powers)?;
+//! assert!(field.max().to_celsius().0 < 85.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod model;
+pub mod params;
+
+pub use field::TemperatureField;
+pub use model::{ThermalModel, TwoPhaseSummary};
+pub use params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
+
+use cmosaic_floorplan::FloorplanError;
+use cmosaic_materials::MaterialError;
+use cmosaic_sparse::SparseError;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the thermal model.
+#[derive(Debug)]
+pub enum ThermalError {
+    /// The stack description cannot be simulated (e.g. adjacent cavities).
+    UnsupportedStack {
+        /// Explanation.
+        detail: String,
+    },
+    /// A power input had the wrong shape.
+    PowerShape {
+        /// Explanation.
+        detail: String,
+    },
+    /// A flow rate was requested on an air-cooled stack, was non-positive,
+    /// or produced an invalid channel operating point.
+    InvalidFlow {
+        /// Explanation.
+        detail: String,
+    },
+    /// A non-positive timestep was requested.
+    InvalidTimestep {
+        /// The offending Δt.
+        dt: f64,
+    },
+    /// The two-phase coolant dried out inside a cavity: the operating
+    /// point cannot absorb the offered heat without exceeding the critical
+    /// vapour quality.
+    Dryout {
+        /// Cavity layer index (bottom-up).
+        cavity: usize,
+        /// The quality reached at the worst channel exit.
+        quality: f64,
+    },
+    /// The underlying linear solver failed.
+    Solver(SparseError),
+    /// A material-property query failed.
+    Material(MaterialError),
+    /// A floorplan/grid operation failed.
+    Floorplan(FloorplanError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::UnsupportedStack { detail } => {
+                write!(f, "unsupported stack: {detail}")
+            }
+            ThermalError::PowerShape { detail } => write!(f, "bad power input: {detail}"),
+            ThermalError::InvalidFlow { detail } => write!(f, "invalid flow rate: {detail}"),
+            ThermalError::InvalidTimestep { dt } => {
+                write!(f, "timestep must be positive, got {dt}")
+            }
+            ThermalError::Dryout { cavity, quality } => write!(
+                f,
+                "two-phase dry-out in cavity {cavity} (quality {quality:.3})"
+            ),
+            ThermalError::Solver(e) => write!(f, "linear solver failed: {e}"),
+            ThermalError::Material(e) => write!(f, "material property error: {e}"),
+            ThermalError::Floorplan(e) => write!(f, "floorplan error: {e}"),
+        }
+    }
+}
+
+impl Error for ThermalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ThermalError::Solver(e) => Some(e),
+            ThermalError::Material(e) => Some(e),
+            ThermalError::Floorplan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for ThermalError {
+    fn from(e: SparseError) -> Self {
+        ThermalError::Solver(e)
+    }
+}
+
+impl From<MaterialError> for ThermalError {
+    fn from(e: MaterialError) -> Self {
+        ThermalError::Material(e)
+    }
+}
+
+impl From<FloorplanError> for ThermalError {
+    fn from(e: FloorplanError) -> Self {
+        ThermalError::Floorplan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ThermalError::InvalidTimestep { dt: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e: ThermalError = SparseError::Singular { column: 2 }.into();
+        assert!(e.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+}

@@ -1,0 +1,1406 @@
+//! The compact thermal model itself: RC-network assembly and solvers.
+
+use std::collections::HashMap;
+
+use cmosaic_floorplan::stack::{CavitySpec, HeatSinkSpec, LayerKind, Stack3d};
+use cmosaic_floorplan::GridSpec;
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_hydraulics::LiquidProperties;
+use cmosaic_materials::units::{Kelvin, Pressure, VolumetricFlow};
+use cmosaic_sparse::{lu, LuFactors, TripletMatrix};
+
+use crate::field::TemperatureField;
+use crate::params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
+use crate::ThermalError;
+
+/// Per-layer data derived from the stack description.
+#[derive(Debug, Clone)]
+enum LayerModel {
+    Solid {
+        conductivity: f64,
+        volumetric_heat_capacity: f64,
+    },
+    Cavity {
+        spec: CavitySpec,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CachedOperator {
+    factors: LuFactors,
+    /// Flow-dependent constant RHS (advection inlet terms, sink ambient).
+    rhs_base: Vec<f64>,
+}
+
+/// The compact transient thermal model of one 3D stack.
+///
+/// See the [crate docs](crate) for the discretisation; construct with
+/// [`ThermalModel::new`], set a flow rate for liquid-cooled stacks, then
+/// call [`ThermalModel::steady_state`] or [`ThermalModel::step`].
+#[derive(Debug)]
+pub struct ThermalModel {
+    grid: GridSpec,
+    params: ThermalParams,
+    width: f64,
+    height: f64,
+    dx: f64,
+    dy: f64,
+    layers: Vec<LayerModel>,
+    thicknesses: Vec<f64>,
+    source_layers: Vec<usize>,
+    sink: Option<HeatSinkSpec>,
+    coolant: LiquidProperties,
+    n_cells: usize,
+    n_nodes: usize,
+    flow: VolumetricFlow,
+    state: Vec<f64>,
+    capacitance: Vec<f64>,
+    steady_cache: HashMap<u64, CachedOperator>,
+    transient_cache: HashMap<(u64, u64), CachedOperator>,
+    two_phase_summary: Option<TwoPhaseSummary>,
+}
+
+/// Aggregate state of the most recent two-phase steady solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseSummary {
+    /// Heat absorbed by the refrigerant, watts.
+    pub heat_absorbed: f64,
+    /// Worst channel-exit vapour quality across cavities.
+    pub max_exit_quality: f64,
+    /// Margin to the dry-out bound.
+    pub dryout_margin: f64,
+    /// Hottest local boiling HTC, W/m²K.
+    pub peak_htc: f64,
+    /// Coldest local saturation temperature (the refrigerant cools down).
+    pub min_saturation: Kelvin,
+}
+
+impl ThermalModel {
+    /// Builds a model for `stack` on `grid`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::UnsupportedStack`] — adjacent cavity layers, or a
+    ///   stack with neither cavities nor a sink (no heat-removal path, the
+    ///   steady-state operator would be singular).
+    /// * [`ThermalError::Material`] — coolant properties unavailable at the
+    ///   configured inlet temperature.
+    pub fn new(
+        stack: &Stack3d,
+        grid: GridSpec,
+        params: ThermalParams,
+    ) -> Result<Self, ThermalError> {
+        let mut layers = Vec::with_capacity(stack.layers().len());
+        let mut thicknesses = Vec::with_capacity(stack.layers().len());
+        let mut source_layers = vec![usize::MAX; stack.tiers().len()];
+        for (z, l) in stack.layers().iter().enumerate() {
+            let lm = match &l.kind {
+                LayerKind::Solid { material } => LayerModel::Solid {
+                    conductivity: material.thermal_conductivity(),
+                    volumetric_heat_capacity: material.volumetric_heat_capacity(),
+                },
+                LayerKind::Source { material, tier } => {
+                    source_layers[*tier] = z;
+                    LayerModel::Solid {
+                        conductivity: material.thermal_conductivity(),
+                        volumetric_heat_capacity: material.volumetric_heat_capacity(),
+                    }
+                }
+                LayerKind::Cavity { spec } => LayerModel::Cavity { spec: spec.clone() },
+            };
+            layers.push(lm);
+            thicknesses.push(l.thickness);
+        }
+        for w in layers.windows(2) {
+            if matches!(w[0], LayerModel::Cavity { .. })
+                && matches!(w[1], LayerModel::Cavity { .. })
+            {
+                return Err(ThermalError::UnsupportedStack {
+                    detail: "two adjacent cavity layers (no solid tier between them)".into(),
+                });
+            }
+        }
+        if source_layers.contains(&usize::MAX) {
+            return Err(ThermalError::UnsupportedStack {
+                detail: "a tier has no source layer".into(),
+            });
+        }
+        if !stack.is_liquid_cooled() && stack.sink().is_none() {
+            return Err(ThermalError::UnsupportedStack {
+                detail: "no heat-removal path (neither cavities nor a sink)".into(),
+            });
+        }
+        let coolant = LiquidProperties::water_at(params.inlet)
+            .map_err(|e| match e {
+                cmosaic_hydraulics::HydraulicsError::Material(m) => ThermalError::Material(m),
+                other => ThermalError::UnsupportedStack {
+                    detail: other.to_string(),
+                },
+            })?;
+
+        let n_cells = grid.cell_count() * layers.len();
+        let has_sink = stack.sink().is_some();
+        let n_nodes = n_cells + usize::from(has_sink);
+        let dx = grid.cell_width(stack.width());
+        let dy = grid.cell_height(stack.height());
+
+        let mut model = ThermalModel {
+            grid,
+            params: params.clone(),
+            width: stack.width(),
+            height: stack.height(),
+            dx,
+            dy,
+            layers,
+            thicknesses,
+            source_layers,
+            sink: stack.sink().cloned(),
+            coolant,
+            n_cells,
+            n_nodes,
+            flow: VolumetricFlow(0.0),
+            state: vec![params.initial.0; n_nodes],
+            capacitance: Vec::new(),
+            steady_cache: HashMap::new(),
+            transient_cache: HashMap::new(),
+            two_phase_summary: None,
+        };
+        model.capacitance = model.build_capacitance();
+        if model.is_two_phase() && !model.is_liquid_cooled() {
+            return Err(ThermalError::UnsupportedStack {
+                detail: "two-phase coolant requested on a stack without cavities".into(),
+            });
+        }
+        Ok(model)
+    }
+
+    /// `true` when the cavities run an evaporating refrigerant (§III).
+    pub fn is_two_phase(&self) -> bool {
+        matches!(self.params.coolant, Coolant::TwoPhase(_))
+    }
+
+    /// Summary of the most recent two-phase solve, if any.
+    pub fn two_phase_summary(&self) -> Option<&TwoPhaseSummary> {
+        self.two_phase_summary.as_ref()
+    }
+
+    /// Grid specification.
+    pub fn grid(&self) -> GridSpec {
+        self.grid
+    }
+
+    /// Number of tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.source_layers.len()
+    }
+
+    /// Number of cavity layers.
+    pub fn n_cavities(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, LayerModel::Cavity { .. }))
+            .count()
+    }
+
+    /// `true` when the stack has micro-channel cavities.
+    pub fn is_liquid_cooled(&self) -> bool {
+        self.n_cavities() > 0
+    }
+
+    /// The current per-cavity flow rate.
+    pub fn flow_rate(&self) -> VolumetricFlow {
+        self.flow
+    }
+
+    /// Sets the per-cavity volumetric flow rate.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidFlow`] — the stack is air-cooled, the rate
+    ///   is not positive, or the per-channel operating point leaves the
+    ///   laminar validity range.
+    pub fn set_flow_rate(&mut self, per_cavity: VolumetricFlow) -> Result<(), ThermalError> {
+        if !self.is_liquid_cooled() {
+            return Err(ThermalError::InvalidFlow {
+                detail: "stack has no cavities".into(),
+            });
+        }
+        if self.is_two_phase() {
+            return Err(ThermalError::InvalidFlow {
+                detail: "two-phase operation fixes the mass flux in TwoPhaseCoolant".into(),
+            });
+        }
+        if !(per_cavity.0 > 0.0 && per_cavity.0.is_finite()) {
+            return Err(ThermalError::InvalidFlow {
+                detail: format!("flow must be positive, got {per_cavity}"),
+            });
+        }
+        // Validate the channel operating point up front.
+        for l in &self.layers {
+            if let LayerModel::Cavity { spec } = l {
+                let (_, h) = self.channel_operating_point(spec, per_cavity)?;
+                debug_assert!(h > 0.0);
+            }
+        }
+        self.flow = per_cavity;
+        Ok(())
+    }
+
+    /// Per-channel flow and heat-transfer coefficient for a cavity at flow
+    /// `q` per cavity.
+    fn channel_operating_point(
+        &self,
+        spec: &CavitySpec,
+        q: VolumetricFlow,
+    ) -> Result<(f64, f64), ThermalError> {
+        let n_ch = spec.channel_count(self.height).max(1);
+        let q_ch = q.0 / n_ch as f64;
+        let geom = ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
+            .map_err(|e| ThermalError::InvalidFlow {
+                detail: e.to_string(),
+            })?;
+        let h = geom
+            .heat_transfer_coefficient(q_ch, &self.coolant)
+            .map_err(|e| ThermalError::InvalidFlow {
+                detail: e.to_string(),
+            })?;
+        Ok((q_ch, h))
+    }
+
+    /// Total pressure drop across one cavity's channels at the current
+    /// flow.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidFlow`] if no flow is set or the stack is
+    /// air-cooled.
+    pub fn cavity_pressure_drop(&self) -> Result<Pressure, ThermalError> {
+        let spec = self
+            .layers
+            .iter()
+            .find_map(|l| match l {
+                LayerModel::Cavity { spec } => Some(spec),
+                _ => None,
+            })
+            .ok_or_else(|| ThermalError::InvalidFlow {
+                detail: "stack has no cavities".into(),
+            })?;
+        if self.flow.0 <= 0.0 {
+            return Err(ThermalError::InvalidFlow {
+                detail: "no flow rate set".into(),
+            });
+        }
+        let n_ch = spec.channel_count(self.height).max(1);
+        let geom = ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
+            .map_err(|e| ThermalError::InvalidFlow {
+                detail: e.to_string(),
+            })?;
+        geom.pressure_drop(self.flow.0 / n_ch as f64, &self.coolant)
+            .map_err(|e| ThermalError::InvalidFlow {
+                detail: e.to_string(),
+            })
+    }
+
+    fn node(&self, z: usize, iy: usize, ix: usize) -> usize {
+        z * self.grid.cell_count() + iy * self.grid.nx() + ix
+    }
+
+    fn cell_area(&self) -> f64 {
+        self.dx * self.dy
+    }
+
+    fn build_capacitance(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.n_nodes];
+        let a = self.cell_area();
+        for (z, l) in self.layers.iter().enumerate() {
+            let t = self.thicknesses[z];
+            let cv = match l {
+                LayerModel::Solid {
+                    volumetric_heat_capacity,
+                    ..
+                } => *volumetric_heat_capacity,
+                LayerModel::Cavity { spec } => {
+                    let phi = spec.porosity();
+                    phi * self.coolant.volumetric_heat_capacity()
+                        + (1.0 - phi) * spec.wall().volumetric_heat_capacity()
+                }
+            };
+            for iy in 0..self.grid.ny() {
+                for ix in 0..self.grid.nx() {
+                    c[self.node(z, iy, ix)] = cv * a * t;
+                }
+            }
+        }
+        if let Some(sink) = &self.sink {
+            c[self.n_cells] = sink.capacitance;
+        }
+        c
+    }
+
+    /// Vertical half-cell conductance of a solid layer (W/K per cell, for
+    /// an area fraction `frac` of the cell footprint).
+    fn half_conductance(&self, z: usize, frac: f64) -> f64 {
+        match &self.layers[z] {
+            LayerModel::Solid { conductivity, .. } => {
+                conductivity * self.cell_area() * frac / (self.thicknesses[z] / 2.0)
+            }
+            LayerModel::Cavity { .. } => unreachable!("half_conductance on cavity layer"),
+        }
+    }
+
+    fn series(gs: &[f64]) -> f64 {
+        let inv: f64 = gs.iter().map(|g| 1.0 / g).sum();
+        1.0 / inv
+    }
+
+    /// Assembles the conductance matrix and flow-dependent base RHS.
+    fn assemble(&self, flow: VolumetricFlow) -> Result<(TripletMatrix, Vec<f64>), ThermalError> {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut t = TripletMatrix::with_capacity(self.n_nodes, self.n_nodes, self.n_nodes * 8);
+        let mut rhs = vec![0.0; self.n_nodes];
+        let a_cell = self.cell_area();
+
+        // Lateral conduction within solid layers.
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Solid { conductivity, .. } = l else {
+                continue; // cavity layers: lateral transport is advective
+            };
+            let tz = self.thicknesses[z];
+            let gx = conductivity * self.dy * tz / self.dx;
+            let gy = conductivity * self.dx * tz / self.dy;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = self.node(z, iy, ix);
+                    if ix + 1 < nx {
+                        t.stamp_conductance(i, self.node(z, iy, ix + 1), gx);
+                    }
+                    if iy + 1 < ny {
+                        t.stamp_conductance(i, self.node(z, iy + 1, ix), gy);
+                    }
+                }
+            }
+        }
+
+        // Vertical coupling between adjacent layers.
+        for z in 0..self.layers.len().saturating_sub(1) {
+            let below_solid = matches!(self.layers[z], LayerModel::Solid { .. });
+            let above_solid = matches!(self.layers[z + 1], LayerModel::Solid { .. });
+            if below_solid && above_solid {
+                let g = Self::series(&[self.half_conductance(z, 1.0), self.half_conductance(z + 1, 1.0)]);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        t.stamp_conductance(self.node(z, iy, ix), self.node(z + 1, iy, ix), g);
+                    }
+                }
+            }
+            // Cavity↔solid handled below together with the cavity pass.
+        }
+
+        // Cavity layers: convection to neighbours, wall through-path,
+        // advection.
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { spec } = l else {
+                continue;
+            };
+            let (q_ch, h) = self.channel_operating_point(spec, flow)?;
+            let phi = spec.porosity();
+            let hc = spec.height();
+            let pitch = spec.pitch();
+            let t_wall = pitch - spec.channel_width();
+            let k_wall = spec.wall().thermal_conductivity();
+            // Fin efficiency of the channel side walls.
+            let m = (2.0 * h / (k_wall * t_wall)).sqrt();
+            let mh = m * hc / 2.0;
+            let eta_fin = if mh > 1e-9 { mh.tanh() / mh } else { 1.0 };
+            // Effective wetted area per cell per side: channel floor (or
+            // ceiling) plus half of the two side-wall fins.
+            let a_eff = a_cell * (phi + (hc / pitch) * eta_fin);
+            let g_conv = h * a_eff;
+
+            let below = z.checked_sub(1).filter(|&b| matches!(self.layers[b], LayerModel::Solid { .. }));
+            let above = (z + 1 < self.layers.len())
+                .then_some(z + 1)
+                .filter(|&a| matches!(self.layers[a], LayerModel::Solid { .. }));
+
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let f = self.node(z, iy, ix);
+                    if let Some(b) = below {
+                        let g = Self::series(&[g_conv, self.half_conductance(b, 1.0)]);
+                        t.stamp_conductance(f, self.node(b, iy, ix), g);
+                    }
+                    if let Some(a) = above {
+                        let g = Self::series(&[g_conv, self.half_conductance(a, 1.0)]);
+                        t.stamp_conductance(f, self.node(a, iy, ix), g);
+                    }
+                    // Silicon wall path from below-layer to above-layer.
+                    if let (Some(b), Some(a)) = (below, above) {
+                        let g_wall = Self::series(&[
+                            self.half_conductance(b, 1.0 - phi),
+                            k_wall * a_cell * (1.0 - phi) / self.thicknesses[z],
+                            self.half_conductance(a, 1.0 - phi),
+                        ]);
+                        t.stamp_conductance(self.node(b, iy, ix), self.node(a, iy, ix), g_wall);
+                    }
+                }
+            }
+
+            // Advection along +x.
+            let n_ch_cell = self.dy / pitch;
+            let mdot_cp =
+                self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
+            let coeff = match self.params.advection {
+                AdvectionScheme::Upwind => mdot_cp,
+                AdvectionScheme::LinearProfile => 2.0 * mdot_cp,
+            };
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = self.node(z, iy, ix);
+                    t.push(i, i, coeff);
+                    if ix > 0 {
+                        t.push(i, self.node(z, iy, ix - 1), -coeff);
+                    } else {
+                        rhs[i] += coeff * self.params.inlet.0;
+                    }
+                }
+            }
+        }
+
+        // Lumped sink node.
+        if let Some(sink) = &self.sink {
+            let s = self.n_cells;
+            let zt = self.layers.len() - 1;
+            debug_assert!(matches!(self.layers[zt], LayerModel::Solid { .. }));
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    t.stamp_conductance(self.node(zt, iy, ix), s, self.half_conductance(zt, 1.0));
+                }
+            }
+            t.push(s, s, sink.conductance);
+            rhs[s] += sink.conductance * sink.ambient.0;
+        }
+
+        Ok((t, rhs))
+    }
+
+    fn flow_key(&self) -> u64 {
+        if self.is_liquid_cooled() {
+            self.flow.0.to_bits()
+        } else {
+            0
+        }
+    }
+
+    fn ensure_steady(&mut self) -> Result<(), ThermalError> {
+        let key = self.flow_key();
+        if self.steady_cache.contains_key(&key) {
+            return Ok(());
+        }
+        if self.is_liquid_cooled() && self.flow.0 <= 0.0 {
+            return Err(ThermalError::InvalidFlow {
+                detail: "liquid-cooled stack: call set_flow_rate first".into(),
+            });
+        }
+        let (t, rhs_base) = self.assemble(self.flow)?;
+        let factors = lu::factor(&t.to_csc())?;
+        self.steady_cache
+            .insert(key, CachedOperator { factors, rhs_base });
+        Ok(())
+    }
+
+    fn ensure_transient(&mut self, dt: f64) -> Result<(), ThermalError> {
+        let key = (self.flow_key(), dt.to_bits());
+        if self.transient_cache.contains_key(&key) {
+            return Ok(());
+        }
+        if self.is_liquid_cooled() && self.flow.0 <= 0.0 {
+            return Err(ThermalError::InvalidFlow {
+                detail: "liquid-cooled stack: call set_flow_rate first".into(),
+            });
+        }
+        let (mut t, rhs_base) = self.assemble(self.flow)?;
+        for (i, &c) in self.capacitance.iter().enumerate() {
+            t.push(i, i, c / dt);
+        }
+        let factors = lu::factor(&t.to_csc())?;
+        self.transient_cache
+            .insert(key, CachedOperator { factors, rhs_base });
+        Ok(())
+    }
+
+    fn scatter_powers(&self, tier_powers: &[Vec<f64>], rhs: &mut [f64]) -> Result<(), ThermalError> {
+        if tier_powers.len() != self.source_layers.len() {
+            return Err(ThermalError::PowerShape {
+                detail: format!(
+                    "{} tier power maps supplied, stack has {} tiers",
+                    tier_powers.len(),
+                    self.source_layers.len()
+                ),
+            });
+        }
+        for (tier, p) in tier_powers.iter().enumerate() {
+            if p.len() != self.grid.cell_count() {
+                return Err(ThermalError::PowerShape {
+                    detail: format!(
+                        "tier {tier}: power map has {} cells, grid has {}",
+                        p.len(),
+                        self.grid.cell_count()
+                    ),
+                });
+            }
+            let z = self.source_layers[tier];
+            let base = z * self.grid.cell_count();
+            for (c, &w) in p.iter().enumerate() {
+                rhs[base + c] += w;
+            }
+        }
+        Ok(())
+    }
+
+    fn field_from_state(&self) -> TemperatureField {
+        TemperatureField::new(
+            self.grid.nx(),
+            self.grid.ny(),
+            self.layers.len(),
+            self.source_layers.clone(),
+            self.width,
+            self.height,
+            self.state.clone(),
+            self.sink.is_some(),
+        )
+    }
+
+    /// Solves for the steady-state temperature field under the given
+    /// per-tier power maps (each of length `grid.cell_count()`, watts per
+    /// cell) and makes it the current state.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerShape`], [`ThermalError::InvalidFlow`] or a
+    /// solver failure.
+    pub fn steady_state(
+        &mut self,
+        tier_powers: &[Vec<f64>],
+    ) -> Result<TemperatureField, ThermalError> {
+        if let Coolant::TwoPhase(tp) = self.params.coolant.clone() {
+            return self.steady_state_two_phase(&tp, tier_powers);
+        }
+        self.ensure_steady()?;
+        let op = &self.steady_cache[&self.flow_key()];
+        let mut rhs = op.rhs_base.clone();
+        self.scatter_powers(tier_powers, &mut rhs)?;
+        let x = op.factors.solve(&rhs)?;
+        self.state = x;
+        Ok(self.field_from_state())
+    }
+
+    /// Fixed-point steady solve for an evaporating (two-phase) coolant:
+    /// fluid cells are Dirichlet nodes pinned at the local saturation
+    /// temperature, the boiling HTC depends on the local wall flux, and
+    /// both are iterated to convergence (the `h ∝ q″^0.75` nucleate law is
+    /// strongly contracting, a handful of sweeps suffice).
+    fn steady_state_two_phase(
+        &mut self,
+        tp: &TwoPhaseCoolant,
+        tier_powers: &[Vec<f64>],
+    ) -> Result<TemperatureField, ThermalError> {
+        let props = tp.refrigerant.properties();
+        let inlet_state = props.saturation_state(tp.inlet_saturation)?;
+        let nxy = self.grid.cell_count();
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+
+        // Nominal flux guess: total power over both wetted faces of all
+        // cavities.
+        let total_power: f64 = tier_powers.iter().flatten().sum();
+        let wetted = 2.0 * self.width * self.height * self.n_cavities() as f64;
+        let q_guess = (total_power / wetted).max(1.0e3);
+
+        let mut h_map = vec![0.0f64; self.n_cells];
+        let mut tsat_map = vec![tp.inlet_saturation.0; self.n_cells];
+        let cavity_layers: Vec<(usize, CavitySpec)> = self
+            .layers
+            .iter()
+            .enumerate()
+            .filter_map(|(z, l)| match l {
+                LayerModel::Cavity { spec } => Some((z, spec.clone())),
+                _ => None,
+            })
+            .collect();
+        for (z, spec) in &cavity_layers {
+            let geom = ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
+                .map_err(|e| ThermalError::InvalidFlow {
+                    detail: e.to_string(),
+                })?;
+            let h0 = cmosaic_twophase::boiling::two_phase_htc(
+                &props,
+                &geom,
+                &inlet_state,
+                tp.inlet_quality,
+                q_guess,
+            )
+            .map_err(|e| ThermalError::InvalidFlow {
+                detail: e.to_string(),
+            })?;
+            for c in 0..nxy {
+                h_map[z * nxy + c] = h0;
+            }
+        }
+
+        let mut summary = TwoPhaseSummary {
+            heat_absorbed: 0.0,
+            max_exit_quality: tp.inlet_quality,
+            dryout_margin: tp.dryout_quality - tp.inlet_quality,
+            peak_htc: 0.0,
+            min_saturation: tp.inlet_saturation,
+        };
+
+        for _sweep in 0..6 {
+            let (t, rhs_base) = self.assemble_two_phase(&h_map, &tsat_map)?;
+            let mut rhs = rhs_base;
+            self.scatter_powers(tier_powers, &mut rhs)?;
+            let factors = lu::factor(&t.to_csc())?;
+            self.state = factors.solve(&rhs)?;
+
+            // Per-cell heat into the fluid, then re-march quality/pressure
+            // and update the HTC field.
+            summary.heat_absorbed = 0.0;
+            summary.peak_htc = 0.0;
+            summary.max_exit_quality = tp.inlet_quality;
+            summary.min_saturation = tp.inlet_saturation;
+            for (z, spec) in &cavity_layers {
+                let geom =
+                    ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
+                        .map_err(|e| ThermalError::InvalidFlow {
+                            detail: e.to_string(),
+                        })?;
+                let n_ch_cell = self.dy / spec.pitch();
+                let mdot_cell = tp.mass_flux * geom.cross_area() * n_ch_cell;
+                let below = z.checked_sub(1);
+                let above = (*z + 1 < self.layers.len()).then_some(z + 1);
+                for iy in 0..ny {
+                    let mut x_local = tp.inlet_quality;
+                    let mut p_local = inlet_state.pressure;
+                    for ix in 0..nx {
+                        let f_idx = self.node(*z, iy, ix);
+                        let t_f = self.state[f_idx];
+                        // Heat flowing into this fluid cell from its solid
+                        // neighbours through the convective conductances.
+                        let mut q_cell = 0.0;
+                        let a_eff = self.effective_wetted_area(spec, h_map[f_idx]);
+                        for n in [below, above].into_iter().flatten() {
+                            if !matches!(self.layers[n], LayerModel::Solid { .. }) {
+                                continue;
+                            }
+                            let g = Self::series(&[
+                                h_map[f_idx] * a_eff,
+                                self.half_conductance(n, 1.0),
+                            ]);
+                            q_cell += g * (self.state[self.node(n, iy, ix)] - t_f);
+                        }
+                        summary.heat_absorbed += q_cell;
+
+                        let local_state = props.saturation_state_at_pressure(p_local)?;
+                        // Quality march.
+                        let dx_len = self.dx;
+                        x_local += (q_cell / (mdot_cell * local_state.h_fg)).max(0.0);
+                        if x_local >= tp.dryout_quality {
+                            return Err(ThermalError::Dryout {
+                                cavity: *z,
+                                quality: x_local,
+                            });
+                        }
+                        // Pressure march (homogeneous model).
+                        let dpdz = cmosaic_twophase::boiling::pressure_gradient(
+                            &geom,
+                            &local_state,
+                            tp.mass_flux,
+                            x_local.min(1.0),
+                            0.0,
+                        )
+                        .map_err(|e| ThermalError::InvalidFlow {
+                            detail: e.to_string(),
+                        })?;
+                        p_local = cmosaic_materials::units::Pressure(p_local.0 - dpdz * dx_len);
+                        let tsat = props.saturation_temperature(p_local)?;
+                        tsat_map[f_idx] = tsat.0;
+                        if tsat.0 < summary.min_saturation.0 {
+                            summary.min_saturation = tsat;
+                        }
+                        // HTC update from the realised flux (under-relaxed).
+                        let q_flux = (q_cell / (2.0 * self.cell_area())).max(1.0e3);
+                        let h_new = cmosaic_twophase::boiling::two_phase_htc(
+                            &props,
+                            &geom,
+                            &local_state,
+                            x_local.min(1.0),
+                            q_flux,
+                        )
+                        .map_err(|e| ThermalError::InvalidFlow {
+                            detail: e.to_string(),
+                        })?;
+                        h_map[f_idx] = 0.5 * h_map[f_idx] + 0.5 * h_new;
+                        if h_map[f_idx] > summary.peak_htc {
+                            summary.peak_htc = h_map[f_idx];
+                        }
+                        if x_local > summary.max_exit_quality {
+                            summary.max_exit_quality = x_local;
+                        }
+                    }
+                }
+            }
+        }
+        summary.dryout_margin = tp.dryout_quality - summary.max_exit_quality;
+        self.two_phase_summary = Some(summary);
+        Ok(self.field_from_state())
+    }
+
+    /// Effective wetted area per cell per side (fin-enhanced), for the
+    /// current local HTC.
+    fn effective_wetted_area(&self, spec: &CavitySpec, h: f64) -> f64 {
+        let phi = spec.porosity();
+        let hc = spec.height();
+        let pitch = spec.pitch();
+        let t_wall = pitch - spec.channel_width();
+        let k_wall = spec.wall().thermal_conductivity();
+        let m = (2.0 * h.max(1.0) / (k_wall * t_wall)).sqrt();
+        let mh = m * hc / 2.0;
+        let eta_fin = if mh > 1e-9 { mh.tanh() / mh } else { 1.0 };
+        self.cell_area() * (phi + (hc / pitch) * eta_fin)
+    }
+
+    /// Assembles the two-phase operator: fluid cells are Dirichlet rows at
+    /// the local saturation temperature; solid neighbours couple to them
+    /// one-sidedly through the boiling conductance.
+    fn assemble_two_phase(
+        &self,
+        h_map: &[f64],
+        tsat_map: &[f64],
+    ) -> Result<(TripletMatrix, Vec<f64>), ThermalError> {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut t = TripletMatrix::with_capacity(self.n_nodes, self.n_nodes, self.n_nodes * 8);
+        let mut rhs = vec![0.0; self.n_nodes];
+        let a_cell = self.cell_area();
+
+        // Lateral conduction within solid layers (same as single-phase).
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Solid { conductivity, .. } = l else {
+                continue;
+            };
+            let tz = self.thicknesses[z];
+            let gx = conductivity * self.dy * tz / self.dx;
+            let gy = conductivity * self.dx * tz / self.dy;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = self.node(z, iy, ix);
+                    if ix + 1 < nx {
+                        t.stamp_conductance(i, self.node(z, iy, ix + 1), gx);
+                    }
+                    if iy + 1 < ny {
+                        t.stamp_conductance(i, self.node(z, iy + 1, ix), gy);
+                    }
+                }
+            }
+        }
+
+        // Solid-solid vertical coupling.
+        for z in 0..self.layers.len().saturating_sub(1) {
+            let below_solid = matches!(self.layers[z], LayerModel::Solid { .. });
+            let above_solid = matches!(self.layers[z + 1], LayerModel::Solid { .. });
+            if below_solid && above_solid {
+                let g = Self::series(&[
+                    self.half_conductance(z, 1.0),
+                    self.half_conductance(z + 1, 1.0),
+                ]);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        t.stamp_conductance(self.node(z, iy, ix), self.node(z + 1, iy, ix), g);
+                    }
+                }
+            }
+        }
+
+        // Cavity layers: Dirichlet fluid nodes + one-sided convective
+        // coupling + the silicon wall through-path.
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { spec } = l else {
+                continue;
+            };
+            let phi = spec.porosity();
+            let k_wall = spec.wall().thermal_conductivity();
+            let below = z
+                .checked_sub(1)
+                .filter(|&b| matches!(self.layers[b], LayerModel::Solid { .. }));
+            let above = (z + 1 < self.layers.len())
+                .then_some(z + 1)
+                .filter(|&a| matches!(self.layers[a], LayerModel::Solid { .. }));
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let f = self.node(z, iy, ix);
+                    // Dirichlet row: T_f = T_sat(local).
+                    t.push(f, f, 1.0);
+                    rhs[f] = tsat_map[f];
+                    let a_eff = self.effective_wetted_area(spec, h_map[f]);
+                    for n in [below, above].into_iter().flatten() {
+                        let g = Self::series(&[
+                            h_map[f] * a_eff,
+                            self.half_conductance(n, 1.0),
+                        ]);
+                        let ni = self.node(n, iy, ix);
+                        t.push(ni, ni, g);
+                        t.push(ni, f, -g);
+                    }
+                    if let (Some(b), Some(a)) = (below, above) {
+                        let g_wall = Self::series(&[
+                            self.half_conductance(b, 1.0 - phi),
+                            k_wall * a_cell * (1.0 - phi) / self.thicknesses[z],
+                            self.half_conductance(a, 1.0 - phi),
+                        ]);
+                        t.stamp_conductance(self.node(b, iy, ix), self.node(a, iy, ix), g_wall);
+                    }
+                }
+            }
+        }
+
+        // Lumped sink node (unusual on a two-phase stack, but allowed).
+        if let Some(sink) = &self.sink {
+            let s = self.n_cells;
+            let zt = self.layers.len() - 1;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    t.stamp_conductance(self.node(zt, iy, ix), s, self.half_conductance(zt, 1.0));
+                }
+            }
+            t.push(s, s, sink.conductance);
+            rhs[s] += sink.conductance * sink.ambient.0;
+        }
+
+        Ok((t, rhs))
+    }
+
+    /// Advances the transient state by `dt` seconds under the given power
+    /// maps (backward Euler) and returns the new field.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidTimestep`], plus the conditions of
+    /// [`ThermalModel::steady_state`].
+    pub fn step(
+        &mut self,
+        tier_powers: &[Vec<f64>],
+        dt: f64,
+    ) -> Result<TemperatureField, ThermalError> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(ThermalError::InvalidTimestep { dt });
+        }
+        if self.is_two_phase() {
+            return Err(ThermalError::UnsupportedStack {
+                detail: "transient two-phase simulation is not supported; \
+                         use steady_state (the film's thermal storage makes \
+                         quasi-static analysis the conservative choice)"
+                    .into(),
+            });
+        }
+        self.ensure_transient(dt)?;
+        let op = &self.transient_cache[&(self.flow_key(), dt.to_bits())];
+        let mut rhs = op.rhs_base.clone();
+        self.scatter_powers(tier_powers, &mut rhs)?;
+        for i in 0..self.n_nodes {
+            rhs[i] += self.capacitance[i] / dt * self.state[i];
+        }
+        let x = op.factors.solve(&rhs)?;
+        self.state = x;
+        Ok(self.field_from_state())
+    }
+
+    /// The current temperature field (initial temperature before any
+    /// solve).
+    pub fn current_field(&self) -> TemperatureField {
+        self.field_from_state()
+    }
+
+    /// Resets every node to `t`.
+    pub fn reset(&mut self, t: Kelvin) {
+        self.state.iter_mut().for_each(|s| *s = t.0);
+    }
+
+    /// Heat carried away by the coolant in the current state, in watts
+    /// (sum over cavities of `ṁ·c_p·(T_out − T_in)` per channel row). At
+    /// steady state this equals the injected power — the energy-conservation
+    /// check used by the tests.
+    pub fn fluid_heat_removed(&self) -> f64 {
+        if let Some(s) = &self.two_phase_summary {
+            return s.heat_absorbed;
+        }
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut total = 0.0;
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { spec } = l else {
+                continue;
+            };
+            let n_ch = spec.channel_count(self.height).max(1);
+            let q_ch = self.flow.0 / n_ch as f64;
+            let n_ch_cell = self.dy / spec.pitch();
+            let mdot_cp =
+                self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
+            // The stamped advection operator telescopes along each row to
+            // `coeff · (T_last − T_inlet)`, with `coeff` doubled under the
+            // linear-profile scheme (where cell temperatures represent the
+            // in/out mean rather than the outflow).
+            let coeff = match self.params.advection {
+                AdvectionScheme::Upwind => mdot_cp,
+                AdvectionScheme::LinearProfile => 2.0 * mdot_cp,
+            };
+            for iy in 0..ny {
+                let t_last = self.state[self.node(z, iy, nx - 1)];
+                total += coeff * (t_last - self.params.inlet.0);
+            }
+        }
+        total
+    }
+
+    /// Mean coolant outflow temperature over all cavities (the quantity a
+    /// loop-level heat exchanger sees).
+    pub fn fluid_outlet_mean(&self) -> Kelvin {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (z, l) in self.layers.iter().enumerate() {
+            if !matches!(l, LayerModel::Cavity { .. }) {
+                continue;
+            }
+            for iy in 0..ny {
+                sum += self.state[self.node(z, iy, nx - 1)];
+                count += 1;
+            }
+        }
+        if count == 0 {
+            self.params.inlet
+        } else {
+            Kelvin(sum / count as f64)
+        }
+    }
+
+    /// Number of cached factorisations (diagnostics).
+    pub fn cached_operators(&self) -> usize {
+        self.steady_cache.len() + self.transient_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_floorplan::stack::presets;
+    use crate::params::TwoPhaseCoolant;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(10, 10).unwrap()
+    }
+
+    fn uniform_powers(n_tiers: usize, watts_per_tier: f64, cells: usize) -> Vec<Vec<f64>> {
+        (0..n_tiers)
+            .map(|_| vec![watts_per_tier / cells as f64; cells])
+            .collect()
+    }
+
+    #[test]
+    fn air_cooled_single_tier_matches_lumped_analysis() {
+        // One tier, uniform 20 W: the sink node must sit exactly at
+        // ambient + P/G_sink, and the junction above it by the layer
+        // resistances.
+        let stack = presets::air_cooled_mpsoc(1).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let field = m
+            .steady_state(&uniform_powers(1, 20.0, g.cell_count()))
+            .unwrap();
+        let sink = field.sink().unwrap();
+        let expected_sink = 45.0 + 20.0 / 10.0; // ambient + P/G
+        assert!(
+            (sink.to_celsius().0 - expected_sink).abs() < 0.05,
+            "sink at {sink}, expected {expected_sink} °C"
+        );
+        // Junction is warmer than the sink but within the 1D estimate.
+        let peak = field.max().to_celsius().0;
+        assert!(peak > expected_sink);
+        assert!(peak < expected_sink + 25.0, "peak {peak} too high");
+    }
+
+    #[test]
+    fn liquid_cooled_conserves_energy() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3)).unwrap();
+        let total = 60.0;
+        m.steady_state(&uniform_powers(2, total / 2.0, g.cell_count()))
+            .unwrap();
+        let removed = m.fluid_heat_removed();
+        assert!(
+            (removed - total).abs() < 0.01 * total,
+            "fluid removes {removed} W of {total} W"
+        );
+    }
+
+    #[test]
+    fn both_advection_schemes_conserve_energy() {
+        for scheme in [AdvectionScheme::Upwind, AdvectionScheme::LinearProfile] {
+            let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+            let g = grid();
+            let params = ThermalParams {
+                advection: scheme,
+                ..Default::default()
+            };
+            let mut m = ThermalModel::new(&stack, g, params).unwrap();
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+            m.steady_state(&uniform_powers(2, 25.0, g.cell_count())).unwrap();
+            let removed = m.fluid_heat_removed();
+            assert!(
+                (removed - 50.0).abs() < 0.6,
+                "{scheme:?}: removed {removed} of 50 W"
+            );
+        }
+    }
+
+    #[test]
+    fn caloric_rise_matches_mdot_cp() {
+        // Outlet mean ≈ inlet + P/(ρ·c_p·Q_total).
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let q = VolumetricFlow::from_ml_per_min(32.3);
+        m.set_flow_rate(q).unwrap();
+        let p_total = 60.0;
+        m.steady_state(&uniform_powers(2, p_total / 2.0, g.cell_count()))
+            .unwrap();
+        let coolant = LiquidProperties::water_at(Kelvin::from_celsius(27.0)).unwrap();
+        let dt_expected = p_total / (coolant.volumetric_heat_capacity() * q.0);
+        let rise = m.fluid_outlet_mean().0 - Kelvin::from_celsius(27.0).0;
+        assert!(
+            (rise - dt_expected).abs() < 0.15 * dt_expected,
+            "rise {rise} K vs caloric {dt_expected} K"
+        );
+    }
+
+    #[test]
+    fn more_flow_means_cooler_chip() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(10.0)).unwrap();
+        let hot = m.steady_state(&powers).unwrap().max();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3)).unwrap();
+        let cool = m.steady_state(&powers).unwrap().max();
+        assert!(cool.0 < hot.0, "{cool} !< {hot}");
+    }
+
+    #[test]
+    fn more_power_means_hotter_everywhere() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        let low = m
+            .steady_state(&uniform_powers(2, 15.0, g.cell_count()))
+            .unwrap();
+        let high = m
+            .steady_state(&uniform_powers(2, 30.0, g.cell_count()))
+            .unwrap();
+        for (l, h) in low.cells().iter().zip(high.cells()) {
+            assert!(*h >= l - 1e-9);
+        }
+    }
+
+    #[test]
+    fn symmetric_power_gives_symmetric_field_across_y() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0)).unwrap();
+        let field = m
+            .steady_state(&uniform_powers(2, 20.0, g.cell_count()))
+            .unwrap();
+        let (nx, ny) = field.grid_dims();
+        let layer = field.layer(0);
+        for iy in 0..ny / 2 {
+            for ix in 0..nx {
+                let a = layer[iy * nx + ix];
+                let b = layer[(ny - 1 - iy) * nx + ix];
+                assert!((a - b).abs() < 1e-6, "asymmetry at ({ix},{iy}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn temperature_rises_downstream() {
+        // Under uniform power the junction temperature should increase
+        // from inlet (x=0) to outlet (x=nx-1) — the single-phase signature
+        // the two-phase §III contrasts against.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        let field = m
+            .steady_state(&uniform_powers(2, 30.0, g.cell_count()))
+            .unwrap();
+        let tier0 = field.tier(0);
+        let nx = g.nx();
+        let mid_row = (g.ny() / 2) * nx;
+        assert!(
+            tier0[mid_row + nx - 1] > tier0[mid_row] + 1.0,
+            "outlet side must be warmer: {} vs {}",
+            tier0[mid_row + nx - 1],
+            tier0[mid_row]
+        );
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0)).unwrap();
+        let powers = uniform_powers(2, 24.0, g.cell_count());
+        let steady = m.steady_state(&powers).unwrap().max().0;
+        // Restart cold and march.
+        m.reset(Kelvin::from_celsius(27.0));
+        let mut last = 0.0;
+        for _ in 0..400 {
+            last = m.step(&powers, 0.1).unwrap().max().0;
+        }
+        assert!(
+            (last - steady).abs() < 0.3,
+            "transient {last} K vs steady {steady} K"
+        );
+    }
+
+    #[test]
+    fn transient_is_monotone_under_constant_power_from_cold() {
+        let stack = presets::air_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+        let mut prev = m.current_field().max().0;
+        for _ in 0..50 {
+            let now = m.step(&powers, 0.5).unwrap().max().0;
+            assert!(now >= prev - 1e-9, "peak must rise monotonically");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn four_tier_liquid_runs_cooler_than_two_tier_at_double_power() {
+        // §IV.A: "the system temperature of a 4-tier 3D MPSoC is maintained
+        // even lower than the 2-tier" thanks to 3 cavities vs 1.
+        let g = grid();
+        let mut m2 = ThermalModel::new(
+            &presets::liquid_cooled_mpsoc(2).unwrap(),
+            g,
+            ThermalParams::default(),
+        )
+        .unwrap();
+        let mut m4 = ThermalModel::new(
+            &presets::liquid_cooled_mpsoc(4).unwrap(),
+            g,
+            ThermalParams::default(),
+        )
+        .unwrap();
+        let q = VolumetricFlow::from_ml_per_min(32.3);
+        m2.set_flow_rate(q).unwrap();
+        m4.set_flow_rate(q).unwrap();
+        let t2 = m2
+            .steady_state(&uniform_powers(2, 30.0, g.cell_count()))
+            .unwrap()
+            .max();
+        let t4 = m4
+            .steady_state(&uniform_powers(4, 30.0, g.cell_count()))
+            .unwrap()
+            .max();
+        assert!(t4.0 < t2.0, "4-tier {t4} should be cooler than 2-tier {t2}");
+    }
+
+    #[test]
+    fn factorisations_are_cached_per_flow_level() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let powers = uniform_powers(2, 10.0, g.cell_count());
+        for _ in 0..3 {
+            for ml in [10.0, 20.0, 32.3] {
+                m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml)).unwrap();
+                m.steady_state(&powers).unwrap();
+            }
+        }
+        assert_eq!(m.cached_operators(), 3);
+    }
+
+    #[test]
+    fn input_validation() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(4, 4).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        // Flow not set yet.
+        assert!(matches!(
+            m.steady_state(&uniform_powers(2, 1.0, 16)),
+            Err(ThermalError::InvalidFlow { .. })
+        ));
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        // Wrong tier count / cell count.
+        assert!(matches!(
+            m.steady_state(&uniform_powers(1, 1.0, 16)),
+            Err(ThermalError::PowerShape { .. })
+        ));
+        assert!(matches!(
+            m.steady_state(&uniform_powers(2, 1.0, 9)),
+            Err(ThermalError::PowerShape { .. })
+        ));
+        // Bad timestep.
+        assert!(matches!(
+            m.step(&uniform_powers(2, 1.0, 16), 0.0),
+            Err(ThermalError::InvalidTimestep { .. })
+        ));
+        // Negative flow, and flow on an air-cooled stack.
+        assert!(m.set_flow_rate(VolumetricFlow(-1.0)).is_err());
+        let ac = presets::air_cooled_mpsoc(2).unwrap();
+        let mut mac = ThermalModel::new(&ac, g, ThermalParams::default()).unwrap();
+        assert!(mac
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(10.0))
+            .is_err());
+    }
+
+    fn two_phase_params(mass_flux: f64) -> ThermalParams {
+        ThermalParams {
+            coolant: Coolant::TwoPhase(TwoPhaseCoolant::r134a_30c(mass_flux)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_phase_stack_is_near_isothermal() {
+        // §III: an evaporating refrigerant absorbs heat "without an
+        // increase in its temperature" — the junction field must be far
+        // more uniform than the single-phase one at the same power.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+
+        let mut water = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        water.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        let wf = water.steady_state(&powers).unwrap();
+        let water_span = wf.tier_max(0).0 - wf.tier(0).iter().copied().fold(f64::INFINITY, f64::min);
+
+        let mut tp = ThermalModel::new(&stack, g, two_phase_params(2000.0)).unwrap();
+        assert!(tp.is_two_phase());
+        let tf = tp.steady_state(&powers).unwrap();
+        let tp_span = tf.tier_max(0).0 - tf.tier(0).iter().copied().fold(f64::INFINITY, f64::min);
+
+        assert!(
+            tp_span < water_span,
+            "two-phase junction span {tp_span:.2} K must beat water {water_span:.2} K"
+        );
+    }
+
+    #[test]
+    fn two_phase_absorbs_all_the_power() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        // The mass flux must be sized for the duty: 60 W over 66 channels
+        // of 50x100 um needs G ~ 2500 kg/m²s to stay below dry-out.
+        let mut m = ThermalModel::new(&stack, g, two_phase_params(2500.0)).unwrap();
+        let total = 60.0;
+        m.steady_state(&uniform_powers(2, total / 2.0, g.cell_count())).unwrap();
+        let s = m.two_phase_summary().expect("summary recorded");
+        assert!(
+            (s.heat_absorbed - total).abs() < 0.02 * total,
+            "refrigerant absorbs {} of {} W",
+            s.heat_absorbed,
+            total
+        );
+        assert!((m.fluid_heat_removed() - s.heat_absorbed).abs() < 1e-9);
+        assert!(s.dryout_margin > 0.0);
+        assert!(s.peak_htc > 1.0e3);
+        // The saturation temperature falls along the channel.
+        assert!(s.min_saturation.0 < Kelvin::from_celsius(30.0).0);
+    }
+
+    #[test]
+    fn two_phase_dryout_is_detected() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        // Starved flow at high power must dry out.
+        let mut m = ThermalModel::new(&stack, g, two_phase_params(8.0)).unwrap();
+        let r = m.steady_state(&uniform_powers(2, 40.0, g.cell_count()));
+        assert!(matches!(r, Err(ThermalError::Dryout { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn two_phase_mode_rejects_flow_and_transient_calls() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let mut m = ThermalModel::new(&stack, g, two_phase_params(300.0)).unwrap();
+        assert!(m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).is_err());
+        assert!(matches!(
+            m.step(&uniform_powers(2, 1.0, 36), 0.1),
+            Err(ThermalError::UnsupportedStack { .. })
+        ));
+        // Two-phase coolant on an air-cooled (cavity-less) stack rejected.
+        let ac = presets::air_cooled_mpsoc(2).unwrap();
+        assert!(ThermalModel::new(&ac, g, two_phase_params(300.0)).is_err());
+    }
+
+    #[test]
+    fn two_phase_hot_spot_self_regulates() {
+        // A strong hot spot on tier 0: the junction excursion above the
+        // surrounding cells must be much smaller than the flux contrast
+        // (the boiling HTC rises locally).
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        // The hot row alone carries ~5 W (a ~280 W/cm² cell), so the mass
+        // flux must give each channel row enough latent capacity.
+        let mut m = ThermalModel::new(&stack, g, two_phase_params(1600.0)).unwrap();
+        let mut powers = uniform_powers(2, 8.0, g.cell_count());
+        let hot = g.index(4, 4);
+        powers[0][hot] += 4.0; // ~33x the background cell power
+        let field = m.steady_state(&powers).unwrap();
+        let tier0 = field.tier(0);
+        let background = tier0[g.index(1, 1)];
+        let peak = tier0[hot];
+        let rise_ratio = (peak - Kelvin::from_celsius(30.0).0)
+            / (background - Kelvin::from_celsius(30.0).0);
+        // The hot cell carries ~65x the background cell's power; the
+        // boiling HTC's q''-dependence compresses the junction-rise
+        // contrast several-fold.
+        assert!(
+            rise_ratio < 20.0,
+            "junction rise ratio {rise_ratio:.1} must stay far below the ~65x flux contrast"
+        );
+        // A ~280 W/cm² cell held below 110 °C by boiling alone.
+        assert!(peak < Kelvin::from_celsius(110.0).0, "peak {peak} K too hot");
+    }
+
+    #[test]
+    fn hot_spot_stays_localised() {
+        // Inject power into a single cell of tier 0: the hottest junction
+        // cell must be that cell.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0)).unwrap();
+        let mut powers = uniform_powers(2, 0.0, g.cell_count());
+        let hot_cell = g.index(2, 5);
+        powers[0][hot_cell] = 5.0;
+        let field = m.steady_state(&powers).unwrap();
+        let tier0 = field.tier(0);
+        let (imax, _) = tier0
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        assert_eq!(imax, hot_cell);
+    }
+}

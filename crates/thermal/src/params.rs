@@ -1,0 +1,102 @@
+//! Simulation parameters.
+
+use cmosaic_materials::refrigerant::Refrigerant;
+use cmosaic_materials::units::Kelvin;
+
+/// Discretisation of the coolant energy-transport term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdvectionScheme {
+    /// First-order upwind: the cell's outflow temperature equals the cell
+    /// temperature. Unconditionally monotone; the default.
+    #[default]
+    Upwind,
+    /// The 3D-ICE convention: a linear temperature profile inside the cell,
+    /// `T_out = 2·T_cell − T_in`, which doubles the advective coupling
+    /// coefficient and sharpens outlet-temperature prediction on coarse
+    /// grids.
+    LinearProfile,
+}
+
+/// The coolant circulating through the inter-tier cavities.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Coolant {
+    /// Single-phase water (§II): sensible heat removal, flow set at run
+    /// time via [`crate::ThermalModel::set_flow_rate`].
+    #[default]
+    Water,
+    /// Two-phase refrigerant (§III): latent heat removal at the local
+    /// saturation temperature, with a flux-dependent boiling HTC. The
+    /// operating point is fixed at model construction.
+    TwoPhase(TwoPhaseCoolant),
+}
+
+
+/// Operating point of a two-phase inter-tier coolant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseCoolant {
+    /// Working fluid.
+    pub refrigerant: Refrigerant,
+    /// Inlet saturation temperature.
+    pub inlet_saturation: Kelvin,
+    /// Channel mass flux, kg/(m²·s).
+    pub mass_flux: f64,
+    /// Inlet vapour quality.
+    pub inlet_quality: f64,
+    /// Dry-out quality bound.
+    pub dryout_quality: f64,
+}
+
+impl TwoPhaseCoolant {
+    /// An R134a operating point at 30 °C saturation — the §III
+    /// recommendation for chip-scale stacks (moderate saturation pressure,
+    /// dense vapour).
+    pub fn r134a_30c(mass_flux: f64) -> Self {
+        TwoPhaseCoolant {
+            refrigerant: Refrigerant::R134a,
+            inlet_saturation: Kelvin::from_celsius(30.0),
+            mass_flux,
+            inlet_quality: 0.05,
+            dryout_quality: 0.65,
+        }
+    }
+}
+
+/// Global parameters of a [`crate::ThermalModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalParams {
+    /// Coolant inlet temperature (single-phase stacks). Default 27 °C.
+    pub inlet: Kelvin,
+    /// Initial temperature of every cell for transient runs. Default
+    /// 27 °C; simulations normally overwrite this with a steady-state
+    /// solve first (§IV.A "we initialize the simulations with steady state
+    /// temperature values").
+    pub initial: Kelvin,
+    /// Advection discretisation (single-phase only).
+    pub advection: AdvectionScheme,
+    /// Cavity coolant.
+    pub coolant: Coolant,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams {
+            inlet: Kelvin::from_celsius(27.0),
+            initial: Kelvin::from_celsius(27.0),
+            advection: AdvectionScheme::default(),
+            coolant: Coolant::Water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let p = ThermalParams::default();
+        assert!((p.inlet.to_celsius().0 - 27.0).abs() < 1e-12);
+        assert_eq!(p.advection, AdvectionScheme::Upwind);
+    }
+}

@@ -1,0 +1,326 @@
+//! Axial marching solver for one evaporating micro-channel.
+
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_hydraulics::modulation::HeatZone;
+use cmosaic_materials::refrigerant::{Refrigerant, RefrigerantProperties};
+use cmosaic_materials::units::{Kelvin, Pressure};
+
+use crate::boiling::{pressure_gradient, two_phase_htc, DRYOUT_QUALITY};
+use crate::TwoPhaseError;
+
+/// Inlet operating point of an evaporating channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Working fluid.
+    pub fluid: Refrigerant,
+    /// Inlet saturation temperature.
+    pub inlet_temperature: Kelvin,
+    /// Mass flux through the channel cross-section, kg/(m²·s).
+    pub mass_flux: f64,
+    /// Inlet vapour quality (0 = saturated liquid).
+    pub inlet_quality: f64,
+    /// Dry-out quality limit.
+    pub dryout_quality: f64,
+}
+
+impl OperatingPoint {
+    /// A saturated-liquid inlet at `t` with mass flux `g`.
+    pub fn new(fluid: Refrigerant, t: Kelvin, g: f64) -> Self {
+        OperatingPoint {
+            fluid,
+            inlet_temperature: t,
+            mass_flux: g,
+            inlet_quality: 0.0,
+            dryout_quality: DRYOUT_QUALITY,
+        }
+    }
+}
+
+/// One axial station of the march.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Station {
+    /// Axial position from the inlet, m.
+    pub z: f64,
+    /// Local vapour quality.
+    pub quality: f64,
+    /// Local pressure.
+    pub pressure: Pressure,
+    /// Local saturation (fluid) temperature.
+    pub t_sat: Kelvin,
+    /// Local heat flux on the footprint, W/m².
+    pub heat_flux: f64,
+    /// Local two-phase heat-transfer coefficient, W/m²K.
+    pub htc: f64,
+    /// Local channel-wall temperature.
+    pub t_wall: Kelvin,
+}
+
+/// The completed march.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarchResult {
+    /// Axial stations, inlet to outlet.
+    pub stations: Vec<Station>,
+    /// Outlet quality.
+    pub outlet_quality: f64,
+    /// Total channel pressure drop.
+    pub pressure_drop: Pressure,
+    /// Margin to dry-out: `dryout_quality − outlet_quality`.
+    pub dryout_margin: f64,
+}
+
+impl MarchResult {
+    /// Outlet fluid (saturation) temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the march produced no stations (cannot happen through
+    /// [`march_channel`]).
+    pub fn outlet_temperature(&self) -> Kelvin {
+        self.stations.last().expect("non-empty march").t_sat
+    }
+
+    /// Hottest wall temperature along the channel.
+    pub fn peak_wall(&self) -> Kelvin {
+        self.stations
+            .iter()
+            .map(|s| s.t_wall)
+            .fold(Kelvin(f64::NEG_INFINITY), Kelvin::max)
+    }
+}
+
+fn zone_flux_at(zones: &[HeatZone], z: f64) -> f64 {
+    let mut acc = 0.0;
+    for zone in zones {
+        if z < acc + zone.length {
+            return zone.heat_flux;
+        }
+        acc += zone.length;
+    }
+    zones.last().map_or(0.0, |zn| zn.heat_flux)
+}
+
+/// Marches the two-phase state along a heated channel.
+///
+/// `zones` is the piecewise-constant footprint heat-flux profile along the
+/// channel; fluxes are per unit *footprint* area of the channel's pitch
+/// cell, and `footprint_per_length` converts them to heat per unit channel
+/// length (for a channel pitch `p`, this is just `p`).
+///
+/// # Errors
+///
+/// * [`TwoPhaseError::NonPositive`] — bad geometry/operating point or
+///   `steps == 0`.
+/// * [`TwoPhaseError::Dryout`] — the critical quality is crossed.
+/// * [`TwoPhaseError::Material`] — the local pressure leaves the
+///   saturation-correlation range.
+pub fn march_channel(
+    geom: &ChannelGeometry,
+    zones: &[HeatZone],
+    footprint_per_length: f64,
+    op: &OperatingPoint,
+    steps: usize,
+) -> Result<MarchResult, TwoPhaseError> {
+    if steps == 0 {
+        return Err(TwoPhaseError::NonPositive {
+            what: "step count",
+            value: 0.0,
+        });
+    }
+    if !(footprint_per_length > 0.0 && footprint_per_length.is_finite()) {
+        return Err(TwoPhaseError::NonPositive {
+            what: "footprint width per channel",
+            value: footprint_per_length,
+        });
+    }
+    if !(op.mass_flux > 0.0 && op.mass_flux.is_finite()) {
+        return Err(TwoPhaseError::NonPositive {
+            what: "mass flux",
+            value: op.mass_flux,
+        });
+    }
+    if !(0.0..1.0).contains(&op.inlet_quality) {
+        return Err(TwoPhaseError::NonPositive {
+            what: "inlet quality in [0,1)",
+            value: op.inlet_quality,
+        });
+    }
+
+    let props: RefrigerantProperties = op.fluid.properties();
+    let mut pressure = props.saturation_pressure(op.inlet_temperature)?;
+    let mut quality = op.inlet_quality;
+    let dz = geom.length() / steps as f64;
+    let mdot = op.mass_flux * geom.cross_area();
+    let inlet_pressure = pressure;
+
+    let mut stations = Vec::with_capacity(steps + 1);
+    for i in 0..=steps {
+        let z = i as f64 * dz;
+        let state = props.saturation_state_at_pressure(pressure)?;
+        let q_flux = zone_flux_at(zones, z.min(geom.length() - 1e-12));
+        // Heat absorbed per metre of channel (footprint flux × pitch).
+        let q_per_len = q_flux * footprint_per_length;
+        let dxdz = q_per_len / (mdot * state.h_fg);
+
+        let (htc, t_wall) = if q_flux > 0.0 {
+            let h = two_phase_htc(&props, geom, &state, quality, q_flux)?;
+            (h, Kelvin(state.temperature.0 + q_flux / h))
+        } else {
+            let h = crate::boiling::convective_htc(geom, &state, quality);
+            (h, state.temperature)
+        };
+
+        stations.push(Station {
+            z,
+            quality,
+            pressure,
+            t_sat: state.temperature,
+            heat_flux: q_flux,
+            htc,
+            t_wall,
+        });
+
+        if i == steps {
+            break;
+        }
+
+        // Advance quality and pressure over [z, z+dz].
+        let dpdz = pressure_gradient(geom, &state, op.mass_flux, quality, dxdz)?;
+        quality += dxdz * dz;
+        pressure = Pressure(pressure.0 - dpdz * dz);
+        if quality >= op.dryout_quality {
+            return Err(TwoPhaseError::Dryout {
+                position: z + dz,
+                quality,
+            });
+        }
+        if pressure.0 <= 0.0 {
+            return Err(TwoPhaseError::OutOfValidityRange {
+                detail: "channel pressure fell to zero".into(),
+            });
+        }
+    }
+
+    let outlet_quality = quality;
+    Ok(MarchResult {
+        dryout_margin: op.dryout_quality - outlet_quality,
+        outlet_quality,
+        pressure_drop: Pressure(inlet_pressure.0 - pressure.0),
+        stations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ChannelGeometry {
+        ChannelGeometry::new(85e-6, 560e-6, 12.5e-3).unwrap()
+    }
+
+    fn uniform_zones(flux: f64) -> Vec<HeatZone> {
+        vec![HeatZone {
+            length: 12.5e-3,
+            heat_flux: flux,
+        }]
+    }
+
+    fn op(g: f64) -> OperatingPoint {
+        OperatingPoint {
+            inlet_quality: 0.05,
+            ..OperatingPoint::new(Refrigerant::R245fa, Kelvin::from_celsius(30.0), g)
+        }
+    }
+
+    #[test]
+    fn fluid_temperature_falls_along_the_channel() {
+        // §III: "in flow boiling the exit temperature of the refrigerant is
+        // lower than at the inlet".
+        let r = march_channel(&geom(), &uniform_zones(5.0e4), 131e-6, &op(300.0), 100).unwrap();
+        let t_in = r.stations.first().unwrap().t_sat;
+        let t_out = r.outlet_temperature();
+        assert!(
+            t_out.0 < t_in.0,
+            "outlet {t_out} must be colder than inlet {t_in}"
+        );
+        // Monotone decline.
+        for w in r.stations.windows(2) {
+            assert!(w[1].t_sat.0 <= w[0].t_sat.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn energy_balance_fixes_outlet_quality() {
+        let flux = 5.0e4;
+        let r = march_channel(&geom(), &uniform_zones(flux), 131e-6, &op(300.0), 400).unwrap();
+        let mdot = 300.0 * geom().cross_area();
+        let power = flux * 131e-6 * 12.5e-3;
+        // Mean latent heat over the run.
+        let h_fg = Refrigerant::R245fa
+            .properties()
+            .latent_heat(Kelvin::from_celsius(30.0))
+            .unwrap();
+        let expected_dx = power / (mdot * h_fg);
+        let got_dx = r.outlet_quality - 0.05;
+        assert!(
+            (got_dx - expected_dx).abs() < 0.05 * expected_dx,
+            "Δx = {got_dx} vs {expected_dx}"
+        );
+    }
+
+    #[test]
+    fn quality_rises_monotonically_under_heating() {
+        let r = march_channel(&geom(), &uniform_zones(3.0e4), 131e-6, &op(300.0), 100).unwrap();
+        for w in r.stations.windows(2) {
+            assert!(w[1].quality >= w[0].quality);
+        }
+        assert!(r.dryout_margin > 0.0);
+    }
+
+    #[test]
+    fn dryout_detected_at_high_duty() {
+        // Very low flow + high flux exhausts the liquid film.
+        let r = march_channel(&geom(), &uniform_zones(30.0e4), 131e-6, &op(20.0), 200);
+        assert!(matches!(r, Err(TwoPhaseError::Dryout { .. })));
+    }
+
+    #[test]
+    fn hot_zone_raises_wall_temperature_locally() {
+        let zones = vec![
+            HeatZone {
+                length: 5.0e-3,
+                heat_flux: 2.0e4,
+            },
+            HeatZone {
+                length: 2.5e-3,
+                heat_flux: 30.2e4,
+            },
+            HeatZone {
+                length: 5.0e-3,
+                heat_flux: 2.0e4,
+            },
+        ];
+        let r = march_channel(&geom(), &zones, 131e-6, &op(300.0), 250).unwrap();
+        let peak = r.peak_wall();
+        let first = r.stations[5].t_wall;
+        assert!(peak.0 > first.0 + 3.0, "hot row must stand out");
+        // The peak wall station sits inside the hot zone.
+        let hot = r
+            .stations
+            .iter()
+            .max_by(|a, b| a.t_wall.partial_cmp(&b.t_wall).expect("finite"))
+            .unwrap();
+        assert!(hot.z >= 5.0e-3 && hot.z <= 7.5e-3, "peak at {} mm", hot.z * 1e3);
+    }
+
+    #[test]
+    fn invalid_operating_points_rejected() {
+        assert!(march_channel(&geom(), &uniform_zones(1e4), 131e-6, &op(300.0), 0).is_err());
+        assert!(march_channel(&geom(), &uniform_zones(1e4), 0.0, &op(300.0), 10).is_err());
+        assert!(march_channel(&geom(), &uniform_zones(1e4), 131e-6, &op(-5.0), 10).is_err());
+        let bad_quality = OperatingPoint {
+            inlet_quality: 1.2,
+            ..op(300.0)
+        };
+        assert!(march_channel(&geom(), &uniform_zones(1e4), 131e-6, &bad_quality, 10).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Water vs. refrigerant comparison (§III).
+//!
+//! "Since the latent heat of vaporization of most common refrigerants is
+//! large compared to the specific heat of water … the flow rate of the
+//! two-phase coolant can be as little as 1/5 to 1/10 that of water …
+//! two-phase cooling enjoys a significant energy savings with respect to
+//! water (about 80-90 % less energy consumption in the micro-channels)."
+//!
+//! The comparison is at *equal heat load and equal thermal-uniformity
+//! budget*: water carries the heat sensibly, so its flow is set by the
+//! allowed fluid temperature rise (a few kelvin if the die must stay
+//! thermally uniform); the refrigerant absorbs latent heat at essentially
+//! constant temperature, so its flow is set by the exit quality the
+//! dry-out margin permits.
+
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_hydraulics::LiquidProperties;
+use cmosaic_materials::refrigerant::Refrigerant;
+use cmosaic_materials::units::{Kelvin, Pressure};
+
+use crate::boiling::lockhart_martinelli_gradient;
+use crate::TwoPhaseError;
+
+/// Outcome of the §III comparison for one heat load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolantComparison {
+    /// Required water mass flow, kg/s.
+    pub water_mass_flow: f64,
+    /// Required refrigerant mass flow, kg/s.
+    pub refrigerant_mass_flow: f64,
+    /// `refrigerant / water` mass-flow ratio (the paper's 1/5–1/10).
+    pub flow_ratio: f64,
+    /// Water pumping power, W (ΔP·Q̇, unit pump efficiency).
+    pub water_pump_power: f64,
+    /// Refrigerant pumping power, W.
+    pub refrigerant_pump_power: f64,
+    /// Pumping-energy saving, percent (the paper's 80–90 %).
+    pub pump_saving_pct: f64,
+    /// Water outlet temperature rise, K (positive).
+    pub water_exit_rise: f64,
+    /// Refrigerant outlet temperature *drop*, K (positive number — the
+    /// fluid leaves colder).
+    pub refrigerant_exit_drop: f64,
+}
+
+/// Compares water and two-phase cooling for a heat load `q_watts` removed
+/// through `n_channels` channels of the given geometry.
+///
+/// * `water_dt_budget` — allowed sensible temperature rise for water, K
+///   (the thermal-uniformity budget; §II.C quotes 40 K as the *unbudgeted*
+///   consequence at full power, uniform designs want single-digit K).
+/// * `exit_quality` — refrigerant design exit quality (must stay below the
+///   dry-out limit).
+///
+/// # Errors
+///
+/// [`TwoPhaseError::NonPositive`] for invalid budgets,
+/// [`TwoPhaseError::OutOfValidityRange`] if either side leaves its
+/// correlation envelope.
+pub fn compare_for_load(
+    q_watts: f64,
+    n_channels: usize,
+    geom: &ChannelGeometry,
+    fluid: Refrigerant,
+    inlet: Kelvin,
+    water_dt_budget: f64,
+    exit_quality: f64,
+) -> Result<CoolantComparison, TwoPhaseError> {
+    if !(q_watts > 0.0 && q_watts.is_finite()) {
+        return Err(TwoPhaseError::NonPositive {
+            what: "heat load",
+            value: q_watts,
+        });
+    }
+    if n_channels == 0 {
+        return Err(TwoPhaseError::NonPositive {
+            what: "channel count",
+            value: 0.0,
+        });
+    }
+    if !(water_dt_budget > 0.0 && water_dt_budget.is_finite()) {
+        return Err(TwoPhaseError::NonPositive {
+            what: "water temperature budget",
+            value: water_dt_budget,
+        });
+    }
+    if !(exit_quality > 0.0 && exit_quality < crate::boiling::DRYOUT_QUALITY) {
+        return Err(TwoPhaseError::NonPositive {
+            what: "exit quality below the dry-out limit",
+            value: exit_quality,
+        });
+    }
+
+    // --- Water side: sensible heat, flow from the ΔT budget.
+    let water = LiquidProperties::water_at(inlet).map_err(|e| {
+        TwoPhaseError::OutOfValidityRange {
+            detail: e.to_string(),
+        }
+    })?;
+    let water_mass_flow = q_watts / (water.specific_heat * water_dt_budget);
+    let water_q_per_channel = water_mass_flow / water.density / n_channels as f64;
+    let water_dp = geom
+        .pressure_drop(water_q_per_channel, &water)
+        .map_err(|e| TwoPhaseError::OutOfValidityRange {
+            detail: e.to_string(),
+        })?;
+    let water_pump = water_dp.0 * water_q_per_channel * n_channels as f64;
+
+    // --- Refrigerant side: latent heat, flow from the exit quality.
+    let props = fluid.properties();
+    let state = props.saturation_state(inlet)?;
+    let refrigerant_mass_flow = q_watts / (state.h_fg * exit_quality);
+    let g = refrigerant_mass_flow / n_channels as f64 / geom.cross_area();
+    // Mean-quality separated-flow pressure gradient over the channel (the
+    // conservative model for pump sizing; see `boiling`).
+    let mean_x = exit_quality / 2.0;
+    let dpdz = lockhart_martinelli_gradient(geom, &state, g, mean_x)?;
+    let ref_dp = Pressure(dpdz * geom.length());
+    // Flow work dissipated in the channels: ΔP · volumetric flow at the
+    // mean homogeneous density.
+    let ref_pump = ref_dp.0 * (refrigerant_mass_flow / state.homogeneous_density(mean_x));
+    let exit_drop = props.dtsat_dp(inlet)? * ref_dp.0;
+
+    Ok(CoolantComparison {
+        water_mass_flow,
+        refrigerant_mass_flow,
+        flow_ratio: refrigerant_mass_flow / water_mass_flow,
+        water_pump_power: water_pump,
+        refrigerant_pump_power: ref_pump,
+        pump_saving_pct: (1.0 - ref_pump / water_pump) * 100.0,
+        water_exit_rise: water_dt_budget,
+        refrigerant_exit_drop: exit_drop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ChannelGeometry {
+        ChannelGeometry::new(85e-6, 560e-6, 12.5e-3).unwrap()
+    }
+
+    #[test]
+    fn flow_ratio_is_one_fifth_to_one_tenth() {
+        // §III with a tight (4 K) water uniformity budget.
+        let c = compare_for_load(
+            100.0,
+            135,
+            &geom(),
+            Refrigerant::R134a,
+            Kelvin::from_celsius(30.0),
+            4.0,
+            0.55,
+        )
+        .unwrap();
+        assert!(
+            c.flow_ratio > 0.08 && c.flow_ratio < 0.25,
+            "flow ratio = {:.3} (expect ~1/5..1/10)",
+            c.flow_ratio
+        );
+    }
+
+    #[test]
+    fn pump_saving_is_eighty_to_ninety_percent() {
+        let c = compare_for_load(
+            100.0,
+            135,
+            &geom(),
+            Refrigerant::R134a,
+            Kelvin::from_celsius(30.0),
+            4.0,
+            0.55,
+        )
+        .unwrap();
+        assert!(
+            c.pump_saving_pct > 70.0 && c.pump_saving_pct < 99.0,
+            "pump saving = {:.1} % (paper: 80-90 %)",
+            c.pump_saving_pct
+        );
+    }
+
+    #[test]
+    fn exit_temperatures_move_in_opposite_directions() {
+        let c = compare_for_load(
+            60.0,
+            135,
+            &geom(),
+            Refrigerant::R245fa,
+            Kelvin::from_celsius(30.0),
+            5.0,
+            0.4,
+        )
+        .unwrap();
+        assert!(c.water_exit_rise > 0.0, "water heats up");
+        assert!(c.refrigerant_exit_drop > 0.0, "refrigerant cools down");
+    }
+
+    #[test]
+    fn all_three_refrigerants_need_far_less_flow() {
+        for fluid in Refrigerant::all() {
+            let c = compare_for_load(
+                80.0,
+                135,
+                &geom(),
+                fluid,
+                Kelvin::from_celsius(30.0),
+                4.0,
+                0.5,
+            )
+            .unwrap();
+            assert!(c.flow_ratio < 0.35, "{fluid}: ratio {}", c.flow_ratio);
+            assert!(c.refrigerant_exit_drop > 0.0, "{fluid}");
+        }
+    }
+
+    #[test]
+    fn higher_saturation_pressure_pumps_cheaper() {
+        // §III: "the proper refrigerant must be chosen" — denser vapour
+        // (higher reduced pressure) keeps the two-phase pressure drop and
+        // pumping power down. R134a (6.6 bar at 25 °C) must beat R245fa
+        // (1.5 bar) at the same duty.
+        let run = |fluid| {
+            compare_for_load(80.0, 135, &geom(), fluid, Kelvin::from_celsius(30.0), 4.0, 0.5)
+                .unwrap()
+        };
+        let r134a = run(Refrigerant::R134a);
+        let r245fa = run(Refrigerant::R245fa);
+        assert!(
+            r134a.refrigerant_pump_power < r245fa.refrigerant_pump_power,
+            "{} !< {}",
+            r134a.refrigerant_pump_power,
+            r245fa.refrigerant_pump_power
+        );
+        assert!(r134a.pump_saving_pct > 70.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = geom();
+        let t = Kelvin::from_celsius(30.0);
+        assert!(compare_for_load(0.0, 135, &g, Refrigerant::R134a, t, 4.0, 0.5).is_err());
+        assert!(compare_for_load(10.0, 0, &g, Refrigerant::R134a, t, 4.0, 0.5).is_err());
+        assert!(compare_for_load(10.0, 135, &g, Refrigerant::R134a, t, 0.0, 0.5).is_err());
+        // Exit quality beyond dry-out.
+        assert!(compare_for_load(10.0, 135, &g, Refrigerant::R134a, t, 4.0, 0.9).is_err());
+    }
+}

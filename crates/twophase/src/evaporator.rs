@@ -1,0 +1,291 @@
+//! The Fig. 8 micro-evaporator test vehicle.
+//!
+//! §IV.B: a silicon die with 35 micro-heaters and 35 RTD sensors in a 5×7
+//! grid on one face, cooled by R245fa evaporating in 135 parallel 85 µm
+//! channels on the other face. Heater rows 1–2 and 4–5 dissipate 2 W/cm²;
+//! row 3 is the 15×-stronger hot-spot stripe at 30.2 W/cm². The
+//! refrigerant enters saturated at 30 °C and leaves ≈0.5 K *colder*.
+//!
+//! The solver marches one representative channel (all 135 see the same
+//! axial profile — the heater rows span the full die width) and reports
+//! per-sensor-row readings: heat flux, HTC, fluid/wall temperature, and
+//! the base (heater-side) temperature obtained by 1-D conduction through
+//! the die.
+
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_hydraulics::modulation::HeatZone;
+use cmosaic_materials::refrigerant::Refrigerant;
+use cmosaic_materials::solids::SolidMaterial;
+use cmosaic_materials::units::{Kelvin, Pressure};
+
+use crate::channel::{march_channel, OperatingPoint};
+use crate::TwoPhaseError;
+
+/// Number of sensor rows along the flow direction.
+pub const SENSOR_ROWS: usize = 5;
+
+/// The micro-evaporator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroEvaporator {
+    channels: usize,
+    geometry: ChannelGeometry,
+    /// Channel pitch across the die (m).
+    pitch: f64,
+    /// Per-row footprint heat flux, inlet row first (W/m²).
+    row_fluxes: [f64; SENSOR_ROWS],
+    /// Die thickness between channel wall and heater plane (m).
+    base_thickness: f64,
+    base_material: SolidMaterial,
+    operating: OperatingPoint,
+}
+
+impl MicroEvaporator {
+    /// The Fig. 8 vehicle: 135 channels of 85 µm × 560 µm over a 12.5 mm
+    /// heated length, 131 µm pitch, rows at \[2, 2, 30.2, 2, 2\] W/cm²,
+    /// R245fa entering at 30 °C saturation with a 300 kg/m²s mass flux.
+    pub fn fig8() -> Self {
+        MicroEvaporator {
+            channels: 135,
+            geometry: ChannelGeometry::new(85e-6, 560e-6, 12.5e-3)
+                .expect("static geometry"),
+            pitch: 131e-6,
+            row_fluxes: [2.0e4, 2.0e4, 30.2e4, 2.0e4, 2.0e4],
+            base_thickness: 380e-6,
+            base_material: SolidMaterial::silicon(),
+            operating: OperatingPoint {
+                inlet_quality: 0.05,
+                ..OperatingPoint::new(
+                    Refrigerant::R245fa,
+                    Kelvin::from_celsius(30.0),
+                    300.0,
+                )
+            },
+        }
+    }
+
+    /// Replaces the per-row heat fluxes (W/m², inlet row first).
+    pub fn with_row_fluxes(mut self, fluxes: [f64; SENSOR_ROWS]) -> Self {
+        self.row_fluxes = fluxes;
+        self
+    }
+
+    /// Replaces the operating point.
+    pub fn with_operating_point(mut self, op: OperatingPoint) -> Self {
+        self.operating = op;
+        self
+    }
+
+    /// Number of parallel channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Channel geometry.
+    pub fn geometry(&self) -> &ChannelGeometry {
+        &self.geometry
+    }
+
+    /// Total heater power, watts.
+    pub fn total_power(&self) -> f64 {
+        let row_len = self.geometry.length() / SENSOR_ROWS as f64;
+        let die_width = self.pitch * self.channels as f64;
+        self.row_fluxes
+            .iter()
+            .map(|f| f * row_len * die_width)
+            .sum()
+    }
+
+    /// Solves the evaporator with `steps` axial stations.
+    ///
+    /// # Errors
+    ///
+    /// Forwards marching errors ([`TwoPhaseError::Dryout`] in particular).
+    pub fn solve(&self, steps: usize) -> Result<EvaporatorResult, TwoPhaseError> {
+        let row_len = self.geometry.length() / SENSOR_ROWS as f64;
+        let zones: Vec<HeatZone> = self
+            .row_fluxes
+            .iter()
+            .map(|&heat_flux| HeatZone {
+                length: row_len,
+                heat_flux,
+            })
+            .collect();
+        let march = march_channel(&self.geometry, &zones, self.pitch, &self.operating, steps)?;
+
+        // Aggregate stations into per-row readings (mid-row sampling, as
+        // the RTDs sit at row centres).
+        let conduction =
+            self.base_thickness / self.base_material.thermal_conductivity();
+        let mut rows = Vec::with_capacity(SENSOR_ROWS);
+        for (row, &flux) in self.row_fluxes.iter().enumerate() {
+            let z_mid = (row as f64 + 0.5) * row_len;
+            let station = march
+                .stations
+                .iter()
+                .min_by(|a, b| {
+                    (a.z - z_mid)
+                        .abs()
+                        .partial_cmp(&(b.z - z_mid).abs())
+                        .expect("finite")
+                })
+                .expect("non-empty march");
+            rows.push(RowReading {
+                row: row + 1,
+                heat_flux: flux,
+                htc: station.htc,
+                fluid: station.t_sat,
+                wall: station.t_wall,
+                base: Kelvin(station.t_wall.0 + flux * conduction),
+            });
+        }
+
+        Ok(EvaporatorResult {
+            rows,
+            inlet_fluid: march.stations.first().expect("non-empty").t_sat,
+            outlet_fluid: march.outlet_temperature(),
+            pressure_drop: march.pressure_drop,
+            outlet_quality: march.outlet_quality,
+            dryout_margin: march.dryout_margin,
+            total_power: self.total_power(),
+        })
+    }
+}
+
+impl Default for MicroEvaporator {
+    fn default() -> Self {
+        MicroEvaporator::fig8()
+    }
+}
+
+/// Readings of one sensor row (what Fig. 8 plots against row number).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowReading {
+    /// Row number, 1 (inlet) … 5 (outlet).
+    pub row: usize,
+    /// Applied heat flux, W/m².
+    pub heat_flux: f64,
+    /// Local heat-transfer coefficient, W/m²K.
+    pub htc: f64,
+    /// Local fluid (saturation) temperature.
+    pub fluid: Kelvin,
+    /// Channel-wall temperature.
+    pub wall: Kelvin,
+    /// Heater-plane (base) temperature: wall + conduction through the die.
+    pub base: Kelvin,
+}
+
+/// Complete solved state of the micro-evaporator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaporatorResult {
+    /// Per-sensor-row readings, inlet first.
+    pub rows: Vec<RowReading>,
+    /// Fluid temperature at the inlet.
+    pub inlet_fluid: Kelvin,
+    /// Fluid temperature at the outlet (colder than the inlet!).
+    pub outlet_fluid: Kelvin,
+    /// Total channel pressure drop.
+    pub pressure_drop: Pressure,
+    /// Outlet vapour quality.
+    pub outlet_quality: f64,
+    /// Margin to the dry-out quality.
+    pub dryout_margin: f64,
+    /// Total heater power, watts.
+    pub total_power: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_outlet_is_about_half_a_kelvin_colder() {
+        let r = MicroEvaporator::fig8().solve(500).unwrap();
+        let drop = r.inlet_fluid.0 - r.outlet_fluid.0;
+        assert!(
+            drop > 0.2 && drop < 1.2,
+            "Fig. 8 reports ≈0.5 K decline, got {drop:.2} K"
+        );
+        assert!((r.inlet_fluid.to_celsius().0 - 30.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig8_hot_row_htc_is_many_times_higher() {
+        // §IV.B: "the local heat transfer coefficient under the hot spot is
+        // 8 times higher".
+        let r = MicroEvaporator::fig8().solve(500).unwrap();
+        let ratio = r.rows[2].htc / r.rows[0].htc;
+        assert!(ratio > 5.0 && ratio < 10.0, "HTC ratio = {ratio:.1}");
+    }
+
+    #[test]
+    fn fig8_wall_superheat_only_doubles_under_the_hot_spot() {
+        // "…so that the wall superheat is only 2 times higher under the hot
+        // spot rather than 15 times with water cooling."
+        let r = MicroEvaporator::fig8().solve(500).unwrap();
+        let superheat = |row: &RowReading| row.wall.0 - row.fluid.0;
+        let ratio = superheat(&r.rows[2]) / superheat(&r.rows[0]);
+        assert!(ratio > 1.4 && ratio < 3.2, "superheat ratio = {ratio:.2}");
+        // Water cooling would see the full flux ratio.
+        let flux_ratio = r.rows[2].heat_flux / r.rows[0].heat_flux;
+        assert!((flux_ratio - 15.1).abs() < 0.1);
+        assert!(ratio < flux_ratio / 4.0);
+    }
+
+    #[test]
+    fn base_is_warmer_than_wall_is_warmer_than_fluid() {
+        let r = MicroEvaporator::fig8().solve(300).unwrap();
+        for row in &r.rows {
+            assert!(row.base.0 > row.wall.0);
+            assert!(row.wall.0 > row.fluid.0);
+        }
+        // The hot row dominates the base-temperature profile, like the
+        // Fig. 8 peak at sensor row 3.
+        let peak_row = r
+            .rows
+            .iter()
+            .max_by(|a, b| a.base.partial_cmp(&b.base).expect("finite"))
+            .unwrap();
+        assert_eq!(peak_row.row, 3);
+    }
+
+    #[test]
+    fn pressure_drop_is_well_below_the_agostini_bound() {
+        // §III: heat fluxes to 255 W/cm² were handled with < 0.9 bar.
+        let r = MicroEvaporator::fig8().solve(300).unwrap();
+        assert!(r.pressure_drop.to_bar() < 0.9);
+        assert!(r.pressure_drop.0 > 0.0);
+    }
+
+    #[test]
+    fn total_power_matches_row_arithmetic() {
+        let e = MicroEvaporator::fig8();
+        // 4 rows at 2 W/cm² + 1 row at 30.2 W/cm², rows of
+        // (12.5/5) mm × 135·131 µm.
+        let row_area = 2.5e-3 * 135.0 * 131e-6;
+        let expected = (4.0 * 2.0e4 + 30.2e4) * row_area;
+        assert!((e.total_power() - expected).abs() < 1e-9);
+        // ~17 W total.
+        assert!(e.total_power() > 10.0 && e.total_power() < 25.0);
+    }
+
+    #[test]
+    fn no_dryout_at_the_fig8_operating_point() {
+        let r = MicroEvaporator::fig8().solve(300).unwrap();
+        assert!(r.dryout_margin > 0.3, "margin = {}", r.dryout_margin);
+        assert!(r.outlet_quality < 0.3);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let e = MicroEvaporator::fig8()
+            .with_row_fluxes([1e4; 5])
+            .with_operating_point(OperatingPoint::new(
+                Refrigerant::R236fa,
+                Kelvin::from_celsius(25.0),
+                200.0,
+            ));
+        let r = e.solve(200).unwrap();
+        assert!((r.rows[0].heat_flux - 1e4).abs() < 1e-9);
+        assert!((r.inlet_fluid.to_celsius().0 - 25.0).abs() < 0.05);
+    }
+}

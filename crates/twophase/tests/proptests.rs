@@ -1,0 +1,105 @@
+//! Property-based tests of the flow-boiling march: physical invariants
+//! that must hold for any in-range operating point.
+
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_hydraulics::modulation::HeatZone;
+use cmosaic_materials::refrigerant::Refrigerant;
+use cmosaic_materials::units::Kelvin;
+use cmosaic_twophase::channel::{march_channel, OperatingPoint};
+use cmosaic_twophase::TwoPhaseError;
+use proptest::prelude::*;
+
+fn geometry() -> ChannelGeometry {
+    ChannelGeometry::new(85e-6, 560e-6, 12.5e-3).expect("static geometry")
+}
+
+fn operating_point(g: f64, t_c: f64, x_in: f64) -> OperatingPoint {
+    OperatingPoint {
+        inlet_quality: x_in,
+        ..OperatingPoint::new(Refrigerant::R245fa, Kelvin::from_celsius(t_c), g)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Saturation temperature never increases and quality never decreases
+    /// along a heated channel, for any in-range operating point.
+    #[test]
+    fn monotone_profiles(
+        g in 150.0f64..800.0,
+        t_c in 20.0f64..45.0,
+        x_in in 0.0f64..0.2,
+        flux in 5.0e3f64..1.2e5,
+    ) {
+        let zones = [HeatZone { length: 12.5e-3, heat_flux: flux }];
+        match march_channel(&geometry(), &zones, 131e-6, &operating_point(g, t_c, x_in), 120) {
+            Ok(r) => {
+                for w in r.stations.windows(2) {
+                    prop_assert!(w[1].t_sat.0 <= w[0].t_sat.0 + 1e-9);
+                    prop_assert!(w[1].quality >= w[0].quality - 1e-12);
+                    prop_assert!(w[1].pressure.0 <= w[0].pressure.0 + 1e-9);
+                }
+                prop_assert!(r.pressure_drop.0 > 0.0);
+                prop_assert!(r.dryout_margin > 0.0);
+                // Walls are superheated wherever flux is applied.
+                for s in &r.stations {
+                    prop_assert!(s.t_wall.0 >= s.t_sat.0);
+                    prop_assert!(s.htc > 0.0);
+                }
+            }
+            // Dry-out is an acceptable outcome for aggressive samples; any
+            // other error would be a bug.
+            Err(TwoPhaseError::Dryout { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Energy closure: outlet quality equals inlet plus absorbed heat over
+    /// ṁ·h_fg within discretisation error.
+    #[test]
+    fn energy_closure(
+        g in 200.0f64..700.0,
+        flux in 1.0e4f64..6.0e4,
+    ) {
+        let zones = [HeatZone { length: 12.5e-3, heat_flux: flux }];
+        let op = operating_point(g, 30.0, 0.05);
+        if let Ok(r) = march_channel(&geometry(), &zones, 131e-6, &op, 300) {
+            let mdot = g * geometry().cross_area();
+            let power = flux * 131e-6 * 12.5e-3;
+            let h_fg = Refrigerant::R245fa
+                .properties()
+                .latent_heat(Kelvin::from_celsius(30.0))
+                .expect("in range");
+            let expected = 0.05 + power / (mdot * h_fg);
+            prop_assert!(
+                (r.outlet_quality - expected).abs() < 0.08 * (expected - 0.05).max(1e-6) + 1e-4,
+                "outlet {} vs expected {expected}",
+                r.outlet_quality
+            );
+        }
+    }
+
+    /// The boiling HTC grows with the applied flux at a fixed station —
+    /// the self-regulation behind the paper's hot-spot claim.
+    #[test]
+    fn htc_grows_with_flux(
+        flux_lo in 1.0e4f64..4.0e4,
+        ratio in 1.5f64..6.0,
+    ) {
+        let run = |flux: f64| {
+            let zones = [HeatZone { length: 12.5e-3, heat_flux: flux }];
+            march_channel(&geometry(), &zones, 131e-6, &operating_point(500.0, 30.0, 0.05), 60)
+        };
+        if let (Ok(lo), Ok(hi)) = (run(flux_lo), run(flux_lo * ratio)) {
+            let h_lo = lo.stations[30].htc;
+            let h_hi = hi.stations[30].htc;
+            prop_assert!(h_hi > h_lo, "HTC must grow with flux: {h_hi} !> {h_lo}");
+            // Sub-linear growth => superheat still rises, but slower than
+            // the flux.
+            let sh_lo = lo.stations[30].t_wall.0 - lo.stations[30].t_sat.0;
+            let sh_hi = hi.stations[30].t_wall.0 - hi.stations[30].t_sat.0;
+            prop_assert!(sh_hi / sh_lo < ratio, "superheat grew faster than flux");
+        }
+    }
+}

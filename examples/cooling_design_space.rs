@@ -1,0 +1,86 @@
+//! Electro-thermal co-design exploration (§II.C): sweep the coolant flow
+//! rate and the cavity channel width, and map the trade-off between peak
+//! junction temperature and pumping power — the design space the run-time
+//! fuzzy controller later navigates dynamically.
+//!
+//! ```bash
+//! cargo run --release --example cooling_design_space
+//! ```
+
+use cmosaic_floorplan::stack::{presets, CavitySpec, StackBuilder};
+use cmosaic_floorplan::{niagara, GridSpec};
+use cmosaic_hydraulics::pump::PumpMap;
+use cmosaic_materials::solids::SolidMaterial;
+use cmosaic_materials::units::VolumetricFlow;
+use cmosaic_thermal::{ThermalModel, ThermalParams};
+
+/// A realistic 2-tier heat load: busy cores below, caches above.
+fn power_maps(grid: GridSpec) -> Vec<Vec<f64>> {
+    let n = grid.cell_count();
+    vec![vec![38.0 / n as f64; n], vec![9.0 / n as f64; n]]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridSpec::new(12, 12)?;
+    let maps = power_maps(grid);
+    let pump = PumpMap::table1();
+
+    println!("Flow-rate sweep (Table I cavity, 2-tier stack, 47 W):\n");
+    println!("  flow (ml/min)   peak °C   outlet °C   ΔP (bar)   pump power (W)");
+    let stack = presets::liquid_cooled_mpsoc(2)?;
+    let mut model = ThermalModel::new(&stack, grid, ThermalParams::default())?;
+    for ml in [10.0, 14.0, 18.0, 22.0, 26.0, 32.3] {
+        let q = VolumetricFlow::from_ml_per_min(ml);
+        model.set_flow_rate(q)?;
+        let field = model.steady_state(&maps)?;
+        println!(
+            "  {ml:>10.1}   {:>8.1}   {:>8.1}   {:>8.3}   {:>10.2}",
+            field.max().to_celsius().0,
+            model.fluid_outlet_mean().to_celsius().0,
+            model.cavity_pressure_drop()?.to_bar(),
+            pump.power(q).0,
+        );
+    }
+    println!("\n  Over-cooling an under-utilised stack wastes pump power — the gap the");
+    println!("  LC_FUZZY controller closes at run time.\n");
+
+    println!("Channel-width sweep at 22 ml/min (pitch fixed at 150 µm):\n");
+    println!("  width (µm)   peak °C   ΔP (bar)");
+    for width_um in [30.0, 40.0, 50.0, 60.0, 80.0] {
+        let cavity = CavitySpec::new(
+            width_um * 1e-6,
+            150e-6,
+            100e-6,
+            SolidMaterial::silicon(),
+        )?;
+        let mut b = StackBuilder::new(
+            format!("2-tier-w{width_um}"),
+            niagara::DIE_WIDTH,
+            niagara::DIE_HEIGHT,
+        );
+        b.tier(
+            niagara::core_tier()?,
+            presets::WIRING_THICKNESS,
+            presets::DIE_THICKNESS,
+        );
+        b.cavity(cavity);
+        b.tier(
+            niagara::cache_tier()?,
+            presets::WIRING_THICKNESS,
+            presets::DIE_THICKNESS,
+        );
+        let stack = b.build()?;
+        let mut model = ThermalModel::new(&stack, grid, ThermalParams::default())?;
+        model.set_flow_rate(VolumetricFlow::from_ml_per_min(22.0))?;
+        let field = model.steady_state(&maps)?;
+        println!(
+            "  {width_um:>9.0}   {:>8.1}   {:>8.3}",
+            field.max().to_celsius().0,
+            model.cavity_pressure_drop()?.to_bar(),
+        );
+    }
+    println!("\n  Narrower channels buy a few kelvin at a steep pressure-drop cost —");
+    println!("  §II.C's conclusion that the channel width 'should only be reduced at");
+    println!("  locations where the maximal junction temperature would be exceeded'.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Policy shoot-out across the paper's seven stack/policy configurations
+//! and all four workload classes — a condensed Fig. 6 + Fig. 7 in one
+//! binary.
+//!
+//! ```bash
+//! cargo run --release --example policy_comparison
+//! ```
+
+use cmosaic::experiments::{figure_configurations, run_policy, PolicyRunConfig};
+use cmosaic_floorplan::GridSpec;
+use cmosaic_power::trace::WorkloadKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seconds = 60;
+    let grid = GridSpec::new(10, 10)?;
+    println!(
+        "{:<22} {:<16} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "config", "workload", "peak °C", "hot %", "chip J", "pump J", "perf %"
+    );
+    println!("{}", "-".repeat(96));
+
+    for (tiers, policy) in figure_configurations() {
+        for workload in [
+            WorkloadKind::WebServer,
+            WorkloadKind::Database,
+            WorkloadKind::Multimedia,
+            WorkloadKind::MaxUtilization,
+        ] {
+            let m = run_policy(&PolicyRunConfig {
+                tiers,
+                policy,
+                workload,
+                seconds,
+                seed: 42,
+                grid,
+            })?;
+            println!(
+                "{:<22} {:<16} {:>8.1} {:>10.1} {:>12.0} {:>12.0} {:>10.4}",
+                format!("{tiers}-tier {policy}"),
+                workload.to_string(),
+                m.peak_temperature.to_celsius().0,
+                m.hotspot_time_per_core * 100.0,
+                m.chip_energy,
+                m.pump_energy,
+                m.perf_loss_max * 100.0,
+            );
+        }
+    }
+
+    println!("\nReading the table:");
+    println!("  * air-cooled stacks overheat (4-tier catastrophically, §IV.A);");
+    println!("  * liquid cooling removes every hot spot;");
+    println!("  * LC_FUZZY trades a few kelvin of headroom for large pump-energy savings");
+    println!("    with negligible performance loss.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Explore the two-phase micro-evaporator of §III/Fig. 8: sweep the
+//! hot-spot intensity and the mass flux, watch the self-regulating HTC and
+//! the dry-out boundary.
+//!
+//! ```bash
+//! cargo run --release --example two_phase_evaporator
+//! ```
+
+use cmosaic_twophase::channel::OperatingPoint;
+use cmosaic_twophase::{MicroEvaporator, TwoPhaseError};
+use cmosaic_materials::refrigerant::Refrigerant;
+use cmosaic_materials::units::Kelvin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Two-phase micro-evaporator exploration (R245fa, 135 x 85 um channels)\n");
+
+    // --- 1. The Fig. 8 reference point.
+    let reference = MicroEvaporator::fig8().solve(400)?;
+    println!("Fig. 8 reference (rows at 2/2/30.2/2/2 W/cm²):");
+    for row in &reference.rows {
+        println!(
+            "  row {}: q''={:5.1} W/cm²  h={:6.0} W/m²K  fluid={:.2} °C  wall={:.2} °C",
+            row.row,
+            row.heat_flux / 1e4,
+            row.htc,
+            row.fluid.to_celsius().0,
+            row.wall.to_celsius().0
+        );
+    }
+    println!(
+        "  outlet {:.2} °C (inlet 30.00 °C) — the refrigerant leaves COLDER\n",
+        reference.outlet_fluid.to_celsius().0
+    );
+
+    // --- 2. Hot-spot intensity sweep: the HTC rises with flux, so the
+    //        wall superheat grows far slower than the flux itself.
+    println!("Hot-spot sweep (background 2 W/cm²):");
+    println!("  hot flux   HTC ratio   superheat ratio   flux ratio");
+    for hot in [5.0, 10.0, 20.0, 30.2, 45.0] {
+        let e = MicroEvaporator::fig8().with_row_fluxes([
+            2.0e4,
+            2.0e4,
+            hot * 1e4,
+            2.0e4,
+            2.0e4,
+        ]);
+        let r = e.solve(400)?;
+        let htc_ratio = r.rows[2].htc / r.rows[0].htc;
+        let sh = |i: usize| r.rows[i].wall.0 - r.rows[i].fluid.0;
+        println!(
+            "  {hot:>5.1}      {htc_ratio:>5.2}x      {:>5.2}x            {:>5.2}x",
+            sh(2) / sh(0),
+            hot / 2.0
+        );
+    }
+
+    // --- 3. Mass-flux sweep: flow boiling is "only a weak function of the
+    //        flow rate" — until the film dries out.
+    println!("\nMass-flux sweep at the Fig. 8 heat load:");
+    for g in [40.0, 80.0, 150.0, 300.0, 600.0] {
+        let e = MicroEvaporator::fig8().with_operating_point(OperatingPoint {
+            inlet_quality: 0.05,
+            ..OperatingPoint::new(Refrigerant::R245fa, Kelvin::from_celsius(30.0), g)
+        });
+        match e.solve(400) {
+            Ok(r) => println!(
+                "  G = {g:>5.0} kg/m²s: hot-row wall {:.2} °C, exit quality {:.3}, margin {:.2}",
+                r.rows[2].wall.to_celsius().0,
+                r.outlet_quality,
+                r.dryout_margin
+            ),
+            Err(TwoPhaseError::Dryout { position, quality }) => println!(
+                "  G = {g:>5.0} kg/m²s: DRY-OUT at z = {:.1} mm (x = {quality:.2}) — flow too low",
+                position * 1e3
+            ),
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    println!("\nNote how the hot-row wall temperature barely moves across a 4x flow");
+    println!("range (§III: boiling is a weak function of flow rate), while too little");
+    println!("flow hits the dry-out boundary the controller must always respect.");
+    Ok(())
+}

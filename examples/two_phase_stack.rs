@@ -1,0 +1,52 @@
+//! Run the 2-tier 3D MPSoC with an evaporating R134a coolant in the
+//! inter-tier cavity (§III's proposal) and compare against water.
+//!
+//! ```bash
+//! cargo run --release --example two_phase_stack
+//! ```
+
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::VolumetricFlow;
+use cmosaic_thermal::{Coolant, ThermalModel, ThermalParams, TwoPhaseCoolant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridSpec::new(12, 12)?;
+    let stack = presets::liquid_cooled_mpsoc(2)?;
+    let n = grid.cell_count();
+    let maps = vec![vec![45.0 / n as f64; n], vec![12.0 / n as f64; n]];
+
+    // Single-phase water at the Table I maximum flow.
+    let mut water = ThermalModel::new(&stack, grid, ThermalParams::default())?;
+    water.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))?;
+    let wf = water.steady_state(&maps)?;
+    println!(
+        "water   @ 32.3 ml/min : peak {:.1} °C, outlet {:.1} °C (heats up)",
+        wf.max().to_celsius().0,
+        water.fluid_outlet_mean().to_celsius().0
+    );
+
+    // Two-phase R134a sized for the 57 W duty.
+    let params = ThermalParams {
+        coolant: Coolant::TwoPhase(TwoPhaseCoolant::r134a_30c(2800.0)),
+        ..Default::default()
+    };
+    let mut two_phase = ThermalModel::new(&stack, grid, params)?;
+    let tf = two_phase.steady_state(&maps)?;
+    let s = two_phase.two_phase_summary().expect("solved");
+    println!(
+        "R134a   @ G=2800      : peak {:.1} °C, saturation falls to {:.1} °C (cools down)",
+        tf.max().to_celsius().0,
+        s.min_saturation.to_celsius().0
+    );
+    println!(
+        "                        exit quality {:.2} (dry-out margin {:.2}), peak HTC {:.0} kW/m²K",
+        s.max_exit_quality,
+        s.dryout_margin,
+        s.peak_htc / 1e3
+    );
+
+    println!("\nThe evaporating coolant holds the whole stack within a few kelvin of");
+    println!("its saturation temperature — §III's case for two-phase 3D MPSoC cooling.");
+    Ok(())
+}

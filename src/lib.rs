@@ -1,0 +1,16 @@
+//! Umbrella package for the `cmosaic` reproduction workspace.
+//!
+//! This crate exists so that the repository root can host runnable
+//! [examples](https://doc.rust-lang.org/cargo/reference/cargo-targets.html#examples)
+//! and cross-crate integration tests. The actual library lives in the
+//! workspace crates; start from [`cmosaic`] which re-exports the whole
+//! public surface.
+
+pub use cmosaic;
+pub use cmosaic_floorplan as floorplan;
+pub use cmosaic_hydraulics as hydraulics;
+pub use cmosaic_materials as materials;
+pub use cmosaic_power as power;
+pub use cmosaic_sparse as sparse;
+pub use cmosaic_thermal as thermal;
+pub use cmosaic_twophase as twophase;

@@ -1,0 +1,104 @@
+//! Cross-crate integration: the full co-simulation reproduces the paper's
+//! §IV.A qualitative results on small configurations (kept cheap enough
+//! for debug-mode CI).
+
+use cmosaic::experiments::{run_policy, PolicyRunConfig};
+use cmosaic::policy::PolicyKind;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_power::trace::WorkloadKind;
+
+fn cfg(tiers: usize, policy: PolicyKind, workload: WorkloadKind) -> PolicyRunConfig {
+    PolicyRunConfig {
+        tiers,
+        policy,
+        workload,
+        seconds: 15,
+        seed: 9,
+        grid: GridSpec::new(8, 8).expect("static dims"),
+    }
+}
+
+#[test]
+fn liquid_cooling_eliminates_hot_spots_on_both_stacks() {
+    for tiers in [2, 4] {
+        for policy in [PolicyKind::LcLb, PolicyKind::LcFuzzy] {
+            let m = run_policy(&cfg(tiers, policy, WorkloadKind::MaxUtilization))
+                .expect("run succeeds");
+            assert_eq!(
+                m.hotspot_time_per_core, 0.0,
+                "{tiers}-tier {policy} must have no hot spots"
+            );
+            assert!(m.peak_temperature.to_celsius().0 < 85.0);
+        }
+    }
+}
+
+#[test]
+fn air_cooled_4_tier_exceeds_110_celsius() {
+    let m = run_policy(&cfg(4, PolicyKind::AcLb, WorkloadKind::Database)).expect("run succeeds");
+    assert!(
+        m.peak_temperature.to_celsius().0 > 110.0,
+        "paper: 'the maximum temperature is much higher than 110 °C', got {}",
+        m.peak_temperature.to_celsius().0
+    );
+}
+
+#[test]
+fn tdvfs_reduces_hot_spots_at_a_performance_cost() {
+    let lb = run_policy(&cfg(2, PolicyKind::AcLb, WorkloadKind::MaxUtilization)).expect("runs");
+    let tdvfs =
+        run_policy(&cfg(2, PolicyKind::AcTdvfsLb, WorkloadKind::MaxUtilization)).expect("runs");
+    assert!(
+        tdvfs.hotspot_time_per_core < lb.hotspot_time_per_core,
+        "TDVFS must reduce hot-spot residency ({} !< {})",
+        tdvfs.hotspot_time_per_core,
+        lb.hotspot_time_per_core
+    );
+    assert!(tdvfs.perf_loss_max > 0.0, "throttling defers work");
+    assert!(lb.perf_loss_max == 0.0, "LB alone never throttles");
+}
+
+#[test]
+fn fuzzy_saves_cooling_energy_on_every_application_workload() {
+    for workload in WorkloadKind::applications() {
+        let lb = run_policy(&cfg(2, PolicyKind::LcLb, workload)).expect("runs");
+        let fz = run_policy(&cfg(2, PolicyKind::LcFuzzy, workload)).expect("runs");
+        assert!(
+            fz.pump_energy < lb.pump_energy,
+            "{workload}: fuzzy pump energy {} must beat max-flow {}",
+            fz.pump_energy,
+            lb.pump_energy
+        );
+        assert!(
+            fz.total_energy() < lb.total_energy(),
+            "{workload}: fuzzy total energy must win"
+        );
+        assert!(fz.perf_loss_max < 1e-4, "{workload}: negligible perf loss");
+    }
+}
+
+#[test]
+fn four_tier_liquid_runs_cooler_than_two_tier() {
+    let two = run_policy(&cfg(2, PolicyKind::LcLb, WorkloadKind::Database)).expect("runs");
+    let four = run_policy(&cfg(4, PolicyKind::LcLb, WorkloadKind::Database)).expect("runs");
+    assert!(
+        four.peak_temperature.0 < two.peak_temperature.0,
+        "4-tier {} must be cooler than 2-tier {}",
+        four.peak_temperature,
+        two.peak_temperature
+    );
+}
+
+#[test]
+fn runs_are_fully_deterministic() {
+    let a = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer)).expect("runs");
+    let b = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer)).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mean_fuzzy_flow_sits_inside_the_table1_envelope() {
+    let m = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::Multimedia)).expect("runs");
+    let q = m.mean_flow.expect("liquid cooled").to_ml_per_min();
+    assert!((10.0 - 1e-9..=32.3 + 1e-9).contains(&q), "mean flow {q} ml/min");
+}

@@ -1,0 +1,114 @@
+//! Property-based cross-crate tests: physical invariants that must hold
+//! for *any* operating point, not just the paper's.
+
+use cmosaic::fuzzy::FuzzyController;
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::{niagara, GridSpec};
+use cmosaic_materials::units::{Celsius, Kelvin, VolumetricFlow};
+use cmosaic_power::trace::WorkloadKind;
+use cmosaic_power::PowerModel;
+use cmosaic_thermal::{ThermalModel, ThermalParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// More coolant never makes the chip hotter, anywhere.
+    #[test]
+    fn flow_monotonicity(
+        ml_low in 10.0f64..20.0,
+        extra in 1.0f64..12.0,
+        watts in 10.0f64..70.0,
+    ) {
+        let grid = GridSpec::new(6, 6).expect("static dims");
+        let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+        let mut m = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+        let maps = vec![
+            vec![watts / 2.0 / 36.0; 36],
+            vec![watts / 2.0 / 36.0; 36],
+        ];
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml_low)).expect("valid");
+        let hot = m.steady_state(&maps).expect("solves");
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml_low + extra)).expect("valid");
+        let cool = m.steady_state(&maps).expect("solves");
+        for (h, c) in hot.cells().iter().zip(cool.cells()) {
+            prop_assert!(*c <= h + 1e-6, "more flow must not heat any cell");
+        }
+    }
+
+    /// Junction temperatures always stay above the coolant inlet.
+    #[test]
+    fn no_cell_below_inlet(watts in 1.0f64..80.0, ml in 10.0f64..32.3) {
+        let grid = GridSpec::new(6, 6).expect("static dims");
+        let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+        let mut m = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml)).expect("valid");
+        let maps = vec![vec![watts / 72.0; 36]; 2];
+        let field = m.steady_state(&maps).expect("solves");
+        prop_assert!(field.min().0 >= Kelvin::from_celsius(27.0).0 - 1e-9);
+    }
+
+    /// The fuzzy controller always emits a flow inside the pump envelope,
+    /// and never decreases it when the stack gets hotter.
+    #[test]
+    fn fuzzy_envelope_and_monotonicity(
+        t1 in 30.0f64..100.0,
+        dt in 0.0f64..30.0,
+        util in 0.0f64..1.0,
+    ) {
+        let ctrl = FuzzyController::table1();
+        let q1 = ctrl.flow_rate(Celsius(t1).to_kelvin(), util).to_ml_per_min();
+        let q2 = ctrl.flow_rate(Celsius(t1 + dt).to_kelvin(), util).to_ml_per_min();
+        prop_assert!((10.0 - 1e-9..=32.3 + 1e-9).contains(&q1));
+        prop_assert!(q2 >= q1 - 1e-9, "hotter must not mean less coolant");
+    }
+
+    /// Power maps conserve total power for arbitrary per-element powers.
+    #[test]
+    fn power_map_conservation(
+        seed in proptest::collection::vec(0.0f64..8.0, 9),
+        nx in 4usize..20,
+        ny in 4usize..20,
+    ) {
+        let grid = GridSpec::new(nx, ny).expect("valid dims");
+        let plan = niagara::core_tier().expect("floorplan");
+        let map = grid
+            .power_map(&plan, &seed, niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .expect("mapped");
+        let total: f64 = seed.iter().sum();
+        let mapped: f64 = map.iter().sum();
+        prop_assert!((mapped - total).abs() < 1e-9 * total.max(1.0));
+    }
+
+    /// Niagara power is monotone in demand and bounded for any VF level.
+    #[test]
+    fn core_power_monotone_and_bounded(
+        demand in 0.0f64..1.0,
+        extra in 0.0f64..0.5,
+        level in 0usize..4,
+        t_c in 30.0f64..120.0,
+    ) {
+        let m = PowerModel::niagara();
+        let t = Celsius(t_c).to_kelvin();
+        let p1 = m.core_power(demand, level, t);
+        let p2 = m.core_power((demand + extra).min(1.0), level, t);
+        prop_assert!(p2 >= p1 - 1e-12);
+        prop_assert!(p1 > 0.0 && p1 < 12.0, "core power {p1} out of band");
+    }
+
+    /// Workload traces are always inside [0, 1] and deterministic.
+    #[test]
+    fn traces_valid_for_any_seed(seed in 0u64..5000, cores in 1usize..32) {
+        for kind in WorkloadKind::applications() {
+            let tr = kind.generate(cores, 30, seed);
+            prop_assert_eq!(tr.cores(), cores);
+            for t in 0..tr.seconds() {
+                for c in 0..cores {
+                    let u = tr.utilization(t, c);
+                    prop_assert!((0.0..=1.0).contains(&u));
+                }
+            }
+            prop_assert_eq!(tr, kind.generate(cores, 30, seed));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration of the modelling pipeline *without* the policy
+//! layer: floorplan → power model → grid power maps → thermal model, with
+//! physical invariants checked end to end.
+
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::{niagara, GridSpec};
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+use cmosaic_power::PowerModel;
+use cmosaic_thermal::{ThermalModel, ThermalParams};
+
+/// Niagara power maps for a 2-tier stack at the given uniform demand.
+fn niagara_maps(grid: GridSpec, demand: f64) -> (Vec<Vec<f64>>, f64) {
+    let power = PowerModel::niagara();
+    let cores = niagara::core_tier().expect("floorplan");
+    let caches = niagara::cache_tier().expect("floorplan");
+    let t = Kelvin::from_celsius(60.0);
+    let demands = vec![demand; 8];
+    let vf = vec![0usize; 8];
+    let p_core = power
+        .tier_powers(&cores, &demands, &vf, &vec![t; cores.elements().len()])
+        .expect("valid");
+    let p_cache = power
+        .tier_powers(&caches, &demands, &vf, &vec![t; caches.elements().len()])
+        .expect("valid");
+    let total = p_core.iter().sum::<f64>() + p_cache.iter().sum::<f64>();
+    let maps = vec![
+        grid.power_map(&cores, &p_core, niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .expect("mapped"),
+        grid.power_map(&caches, &p_cache, niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .expect("mapped"),
+    ];
+    (maps, total)
+}
+
+#[test]
+fn fluid_removes_exactly_the_niagara_chip_power() {
+    let grid = GridSpec::new(10, 10).expect("static dims");
+    let (maps, total) = niagara_maps(grid, 0.8);
+    let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+    let mut model = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+    model
+        .set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+        .expect("valid flow");
+    model.steady_state(&maps).expect("solves");
+    let removed = model.fluid_heat_removed();
+    assert!(
+        (removed - total).abs() < 0.01 * total,
+        "energy conservation: fluid removes {removed} W of {total} W"
+    );
+}
+
+#[test]
+fn cores_are_hotter_than_caches_in_the_junction_map() {
+    // The core tier carries ~4x the cache tier's power density; its
+    // junction layer must be hotter on average.
+    let grid = GridSpec::new(12, 12).expect("static dims");
+    let (maps, _) = niagara_maps(grid, 1.0);
+    let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+    let mut model = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+    model
+        .set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+        .expect("valid flow");
+    let field = model.steady_state(&maps).expect("solves");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(field.tier(0)) > mean(field.tier(1)),
+        "core tier must run hotter than the cache tier"
+    );
+}
+
+#[test]
+fn per_core_sensor_readings_follow_their_demands() {
+    // Load only cores 0-3 (bottom row of the core tier): their sensors
+    // must read hotter than cores 4-7.
+    let grid = GridSpec::new(12, 12).expect("static dims");
+    let power = PowerModel::niagara();
+    let cores = niagara::core_tier().expect("floorplan");
+    let caches = niagara::cache_tier().expect("floorplan");
+    let t = Kelvin::from_celsius(55.0);
+    let demands = [1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+    let vf = [0usize; 8];
+    let p_core = power
+        .tier_powers(&cores, &demands, &vf, &vec![t; cores.elements().len()])
+        .expect("valid");
+    let p_cache = power
+        .tier_powers(&caches, &demands, &vf, &vec![t; caches.elements().len()])
+        .expect("valid");
+    let maps = vec![
+        grid.power_map(&cores, &p_core, niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .expect("mapped"),
+        grid.power_map(&caches, &p_cache, niagara::DIE_WIDTH, niagara::DIE_HEIGHT)
+            .expect("mapped"),
+    ];
+    let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+    let mut model = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+    model
+        .set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+        .expect("valid flow");
+    let field = model.steady_state(&maps).expect("solves");
+    for busy in 0..4usize {
+        for idle in 4..8usize {
+            let t_busy = field.element_average(&grid, &cores, 0, busy);
+            let t_idle = field.element_average(&grid, &cores, 0, idle);
+            assert!(
+                t_busy.0 > t_idle.0,
+                "core{busy} ({t_busy}) must be hotter than core{idle} ({t_idle})"
+            );
+        }
+    }
+}
+
+#[test]
+fn air_and_liquid_models_agree_when_flow_dominates() {
+    // Sanity: with maximum flow the liquid-cooled peak is far below the
+    // air-cooled peak for the same power maps.
+    let grid = GridSpec::new(10, 10).expect("static dims");
+    let (maps, _) = niagara_maps(grid, 1.0);
+    let mut lc = ThermalModel::new(
+        &presets::liquid_cooled_mpsoc(2).expect("preset"),
+        grid,
+        ThermalParams::default(),
+    )
+    .expect("builds");
+    lc.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+        .expect("valid flow");
+    let lc_peak = lc.steady_state(&maps).expect("solves").max();
+    let mut ac = ThermalModel::new(
+        &presets::air_cooled_mpsoc(2).expect("preset"),
+        grid,
+        ThermalParams::default(),
+    )
+    .expect("builds");
+    let ac_peak = ac.steady_state(&maps).expect("solves").max();
+    assert!(
+        lc_peak.0 + 15.0 < ac_peak.0,
+        "liquid cooling must beat air by a wide margin: {lc_peak} vs {ac_peak}"
+    );
+}
+
+#[test]
+fn grid_refinement_converges() {
+    // Peak temperature must move by less than ~2 K between 12x12 and
+    // 20x20 — the compact model is grid-converged at production
+    // resolution.
+    let mut peaks = Vec::new();
+    for n in [12usize, 20] {
+        let grid = GridSpec::new(n, n).expect("valid dims");
+        let (maps, _) = niagara_maps(grid, 0.9);
+        let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+        let mut model =
+            ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+        model
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .expect("valid flow");
+        peaks.push(model.steady_state(&maps).expect("solves").max().0);
+    }
+    assert!(
+        (peaks[0] - peaks[1]).abs() < 2.0,
+        "12x12 vs 20x20 peaks: {:?}",
+        peaks
+    );
+}

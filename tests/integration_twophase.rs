@@ -1,0 +1,91 @@
+//! Cross-crate integration of the two-phase path: the §III behaviours that
+//! distinguish flow boiling from the single-phase model must hold when
+//! both are driven by the same library.
+
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_hydraulics::duct::ChannelGeometry;
+use cmosaic_materials::refrigerant::Refrigerant;
+use cmosaic_materials::units::{Kelvin, VolumetricFlow};
+use cmosaic_thermal::{ThermalModel, ThermalParams};
+use cmosaic_twophase::compare::compare_for_load;
+use cmosaic_twophase::MicroEvaporator;
+
+#[test]
+fn single_phase_heats_up_while_two_phase_cools_down() {
+    // Single-phase (water) outlet through the compact thermal model…
+    let grid = GridSpec::new(8, 8).expect("static dims");
+    let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
+    let mut model = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+    model
+        .set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+        .expect("valid flow");
+    let maps = vec![vec![20.0 / 64.0; 64]; 2];
+    model.steady_state(&maps).expect("solves");
+    let water_rise = model.fluid_outlet_mean().0 - Kelvin::from_celsius(27.0).0;
+    assert!(water_rise > 1.0, "water must heat up ({water_rise} K)");
+
+    // …versus the two-phase evaporator outlet.
+    let result = MicroEvaporator::fig8().solve(300).expect("solves");
+    let refrigerant_drop = result.inlet_fluid.0 - result.outlet_fluid.0;
+    assert!(
+        refrigerant_drop > 0.0,
+        "refrigerant must cool down ({refrigerant_drop} K)"
+    );
+}
+
+#[test]
+fn hot_spot_self_regulation_beats_single_phase() {
+    // §IV.B: the boiling HTC rises under the hot spot, so the wall
+    // excursion is a fraction of what a constant-HTC (single-phase)
+    // coolant would see.
+    let result = MicroEvaporator::fig8().solve(400).expect("solves");
+    let background = &result.rows[0];
+    let hot = &result.rows[2];
+    let flux_ratio = hot.heat_flux / background.heat_flux;
+    let superheat_ratio =
+        (hot.wall.0 - hot.fluid.0) / (background.wall.0 - background.fluid.0);
+    // Single-phase: superheat ratio == flux ratio (h constant).
+    assert!(superheat_ratio < flux_ratio / 4.0);
+    // Two-phase wall excursion across the whole die stays within ~10 K.
+    let span = result
+        .rows
+        .iter()
+        .map(|r| r.wall.0)
+        .fold(f64::NEG_INFINITY, f64::max)
+        - result
+            .rows
+            .iter()
+            .map(|r| r.wall.0)
+            .fold(f64::INFINITY, f64::min);
+    assert!(span < 10.0, "wall span {span} K too wide");
+}
+
+#[test]
+fn refrigerant_needs_a_fraction_of_the_water_flow() {
+    let geom = ChannelGeometry::new(85e-6, 560e-6, 12.5e-3).expect("valid");
+    let c = compare_for_load(
+        100.0,
+        135,
+        &geom,
+        Refrigerant::R134a,
+        Kelvin::from_celsius(30.0),
+        4.0,
+        0.55,
+    )
+    .expect("comparison valid");
+    assert!(
+        c.flow_ratio > 0.05 && c.flow_ratio < 0.3,
+        "flow ratio {} outside the paper's 1/5..1/10 neighbourhood",
+        c.flow_ratio
+    );
+    assert!(c.pump_saving_pct > 70.0);
+}
+
+#[test]
+fn dryout_bound_is_respected_at_the_paper_operating_points() {
+    let r = MicroEvaporator::fig8().solve(300).expect("solves");
+    assert!(r.dryout_margin > 0.0);
+    assert!(r.outlet_quality > 0.05, "some evaporation must happen");
+    assert!(r.pressure_drop.to_bar() < 0.9, "Agostini bound");
+}
