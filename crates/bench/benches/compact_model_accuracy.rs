@@ -81,7 +81,10 @@ fn main() {
     t.print();
 
     section("Paper-vs-measured");
-    let (field12, time12) = run(GridSpec::new(12, 12).expect("static"), AdvectionScheme::Upwind);
+    let (field12, time12) = run(
+        GridSpec::new(12, 12).expect("static"),
+        AdvectionScheme::Upwind,
+    );
     let err12 = ((peak(&field12) - ref_peak) / (ref_peak - 27.0)).abs() * 100.0;
     paper_vs(
         "Compact-model max temperature error",
@@ -98,13 +101,19 @@ fn main() {
     );
 
     section("Ablation: advection scheme at 12x12");
-    let (up, _) = run(GridSpec::new(12, 12).expect("static"), AdvectionScheme::Upwind);
+    let (up, _) = run(
+        GridSpec::new(12, 12).expect("static"),
+        AdvectionScheme::Upwind,
+    );
     let (lp, _) = run(
         GridSpec::new(12, 12).expect("static"),
         AdvectionScheme::LinearProfile,
     );
     kv("Upwind peak (default)", format!("{} C", f(peak(&up), 2)));
-    kv("Linear-profile peak (3D-ICE convention)", format!("{} C", f(peak(&lp), 2)));
+    kv(
+        "Linear-profile peak (3D-ICE convention)",
+        format!("{} C", f(peak(&lp), 2)),
+    );
     kv(
         "Scheme difference",
         format!("{} K", f((peak(&up) - peak(&lp)).abs(), 2)),

@@ -69,8 +69,14 @@ fn main() {
         "0 %",
         format!(
             "LC_LB {} %, LC_FUZZY {} % (all workloads)",
-            f(lc2.hotspot_max_util_per_core + lc2.hotspot_avg_workload_per_core, 1),
-            f(fz2.hotspot_max_util_per_core + fz2.hotspot_avg_workload_per_core, 1)
+            f(
+                lc2.hotspot_max_util_per_core + lc2.hotspot_avg_workload_per_core,
+                1
+            ),
+            f(
+                fz2.hotspot_max_util_per_core + fz2.hotspot_avg_workload_per_core,
+                1
+            )
         ),
     );
     paper_vs(

@@ -43,7 +43,11 @@ fn main() {
         let fz = get(tiers, "LC_FUZZY");
         let sys_saving = (1.0 - fz.system_energy_norm / lb.system_energy_norm) * 100.0;
         let pump_saving = (1.0 - fz.pump_energy_norm / lb.pump_energy_norm) * 100.0;
-        let paper = if tiers == 2 { ("14 %", "50 %") } else { ("18 %", "52 %") };
+        let paper = if tiers == 2 {
+            ("14 %", "50 %")
+        } else {
+            ("18 %", "52 %")
+        };
         paper_vs(
             &format!("{tiers}-tier system-energy saving (fuzzy vs LC_LB)"),
             paper.0,

@@ -10,7 +10,9 @@ fn main() {
     banner("Fig. 8: local hot spot test for a silicon micro-evaporator");
 
     let evaporator = MicroEvaporator::fig8();
-    let result = evaporator.solve(500).expect("Fig. 8 operating point is valid");
+    let result = evaporator
+        .solve(500)
+        .expect("Fig. 8 operating point is valid");
 
     let mut t = Table::new(&[
         "Sensor row",
@@ -35,7 +37,10 @@ fn main() {
     section("Operating point");
     kv("Working fluid", "R245fa");
     kv("Channels", format!("{} x 85 um", evaporator.channels()));
-    kv("Total heater power", format!("{} W", f(result.total_power, 1)));
+    kv(
+        "Total heater power",
+        format!("{} W", f(result.total_power, 1)),
+    );
     kv("Outlet quality", f(result.outlet_quality, 3));
     kv("Dry-out margin", f(result.dryout_margin, 3));
     kv(

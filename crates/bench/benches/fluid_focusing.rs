@@ -25,7 +25,10 @@ fn main() {
 
     section("Setup");
     kv("Cavity lattice", format!("{nx} x {ny} junctions"));
-    kv("Guiding structures", "hot row widened x2.5, periphery choked x0.4");
+    kv(
+        "Guiding structures",
+        "hot row widened x2.5, periphery choked x0.4",
+    );
     kv("Drive pressure", format!("{} bar", f(p_in.to_bar(), 1)));
 
     section("Per-row mid-cavity flow (the Fig. 4 visual)");
@@ -33,7 +36,11 @@ fn main() {
     for iy in 0..ny {
         let qu = base.row_flow_at_mid(iy) * 1e12;
         let qf = sol.row_flow_at_mid(iy) * 1e12;
-        let marker = if hot_rows.contains(&iy) { " <- hot spot" } else { "" };
+        let marker = if hot_rows.contains(&iy) {
+            " <- hot spot"
+        } else {
+            ""
+        };
         t.row(&[
             format!("{iy}{marker}"),
             f(qu, 2),

@@ -51,8 +51,16 @@ fn main() {
     let uniform = design_uniform(&zones(), &widths, height, q_per_channel, &water, budget)
         .expect("feasible design");
 
-    let mut t = Table::new(&["Design", "Zone widths (um)", "dP (bar)", "HTC/zone (kW/m2K)"]);
-    for (name, d) in [("uniform (worst-case)", &uniform), ("width-modulated", &modulated)] {
+    let mut t = Table::new(&[
+        "Design",
+        "Zone widths (um)",
+        "dP (bar)",
+        "HTC/zone (kW/m2K)",
+    ]);
+    for (name, d) in [
+        ("uniform (worst-case)", &uniform),
+        ("width-modulated", &modulated),
+    ] {
         t.row(&[
             name.to_string(),
             d.widths
@@ -79,11 +87,13 @@ fn main() {
     );
 
     section("Pin-fin density modulation");
-    let dense =
-        PinFinArray::new(50e-6, 90e-6, 90e-6, 100e-6, Arrangement::InLine).expect("valid");
+    let dense = PinFinArray::new(50e-6, 90e-6, 90e-6, 100e-6, Arrangement::InLine).expect("valid");
     let sparse =
         PinFinArray::new(50e-6, 300e-6, 300e-6, 100e-6, Arrangement::InLine).expect("valid");
-    kv("Dense array (over the hot spot)", "50 um pins @ 90 um pitch");
+    kv(
+        "Dense array (over the hot spot)",
+        "50 um pins @ 90 um pitch",
+    );
     kv("Sparse array (elsewhere)", "50 um pins @ 300 um pitch");
     kv("Hot-spot fraction of the cavity", "10 %");
     let u = 0.5;

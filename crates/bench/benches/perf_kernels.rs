@@ -46,7 +46,9 @@ fn thermal_sized_matrix() -> cmosaic_sparse::CscMatrix {
 
 fn bench_sparse(c: &mut Criterion) {
     let a = thermal_sized_matrix();
-    let b: Vec<f64> = (0..a.nrows()).map(|i| (i % 17) as f64 * 0.3 + 1.0).collect();
+    let b: Vec<f64> = (0..a.nrows())
+        .map(|i| (i % 17) as f64 * 0.3 + 1.0)
+        .collect();
     c.bench_function("sparse_lu_factor_720", |bench| {
         bench.iter(|| lu::factor(black_box(&a)).expect("nonsingular"));
     });
@@ -81,12 +83,7 @@ fn bench_thermal(c: &mut Criterion) {
 fn bench_fuzzy(c: &mut Criterion) {
     let ctrl = FuzzyController::table1();
     c.bench_function("fuzzy_flow_decision", |bench| {
-        bench.iter(|| {
-            ctrl.flow_rate(
-                black_box(Kelvin::from_celsius(72.5)),
-                black_box(0.63),
-            )
-        });
+        bench.iter(|| ctrl.flow_rate(black_box(Kelvin::from_celsius(72.5)), black_box(0.63)));
     });
 }
 

@@ -32,7 +32,9 @@ fn main() {
         let re = inline.reynolds(u, &water);
         let nu_i = inline.nusselt(u, &water).expect("laminar range");
         let nu_s = staggered.nusselt(u, &water).expect("laminar range");
-        let dp_i = inline.pressure_drop(u, cavity_length, &water).expect("valid");
+        let dp_i = inline
+            .pressure_drop(u, cavity_length, &water)
+            .expect("valid");
         let dp_s = staggered
             .pressure_drop(u, cavity_length, &water)
             .expect("valid");
@@ -58,10 +60,7 @@ fn main() {
     paper_vs(
         "In-line has lower dP at acceptable heat transfer",
         "in-line preferred",
-        format!(
-            "staggered costs {}x more dP per unit Nu",
-            f(last_ratio, 2)
-        ),
+        format!("staggered costs {}x more dP per unit Nu", f(last_ratio, 2)),
     );
     println!("\n  Conclusion matches SecII.C: low-pressure-drop structures (in-line pins)");
     println!("  should be targeted for 3D MPSoCs.");

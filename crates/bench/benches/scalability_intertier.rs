@@ -36,8 +36,7 @@ fn power_maps(grid: GridSpec) -> Vec<Vec<f64>> {
             let x = (ix as f64 + 0.5) * cell;
             let y = (iy as f64 + 0.5) * cell;
             let hot = (x - centre).abs() < hot_half && (y - centre).abs() < hot_half;
-            map[grid.index(ix, iy)] =
-                if hot { HOT_FLUX } else { BACKGROUND_FLUX } * cell_area;
+            map[grid.index(ix, iy)] = if hot { HOT_FLUX } else { BACKGROUND_FLUX } * cell_area;
         }
     }
     vec![map; TIERS]
@@ -61,8 +60,8 @@ fn main() {
     b.cavity(CavitySpec::table1());
     let intertier = b.build().expect("valid stack");
 
-    let mut m = ThermalModel::new(&intertier, grid, ThermalParams::default())
-        .expect("model builds");
+    let mut m =
+        ThermalModel::new(&intertier, grid, ThermalParams::default()).expect("model builds");
     m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
         .expect("Table I max flow");
     let field = m.steady_state(&maps).expect("solves");
@@ -81,8 +80,7 @@ fn main() {
         ambient: inlet,
     });
     let backside = b.build().expect("valid stack");
-    let mut m = ThermalModel::new(&backside, grid, ThermalParams::default())
-        .expect("model builds");
+    let mut m = ThermalModel::new(&backside, grid, ThermalParams::default()).expect("model builds");
     let field = m.steady_state(&maps).expect("solves");
     let backside_rise = field.max() - inlet;
 
@@ -93,7 +91,10 @@ fn main() {
         "Hot spots",
         format!("2 x 2 mm @ {} W/cm2, aligned on all tiers", HOT_FLUX / 1e4),
     );
-    kv("Background flux", format!("{} W/cm2", BACKGROUND_FLUX / 1e4));
+    kv(
+        "Background flux",
+        format!("{} W/cm2", BACKGROUND_FLUX / 1e4),
+    );
     kv("Total power", format!("{} W", f(total, 1)));
     kv("Inter-tier cavities", intertier.cavity_count());
     kv("Coolant", "water, 32.3 ml/min per cavity, 27 C inlet");

@@ -2,8 +2,8 @@
 //! model, plus the derived quantities and the Fig. 1 stack inventories.
 
 use cmosaic_bench::{banner, f, kv, section, Table};
-use cmosaic_floorplan::stack::{presets, CavitySpec, HeatSinkSpec, LayerKind};
 use cmosaic_floorplan::niagara;
+use cmosaic_floorplan::stack::{presets, CavitySpec, HeatSinkSpec, LayerKind};
 use cmosaic_hydraulics::duct::ChannelGeometry;
 use cmosaic_hydraulics::pump::PumpMap;
 use cmosaic_hydraulics::LiquidProperties;
@@ -152,7 +152,10 @@ fn main() {
             let desc = match &l.kind {
                 LayerKind::Solid { material } => material.name().to_string(),
                 LayerKind::Source { tier, .. } => {
-                    format!("wiring+sources of tier {tier} ({})", stack.tiers()[*tier].name())
+                    format!(
+                        "wiring+sources of tier {tier} ({})",
+                        stack.tiers()[*tier].name()
+                    )
                 }
                 LayerKind::Cavity { spec } => format!(
                     "micro-channel cavity ({} channels)",
@@ -161,8 +164,12 @@ fn main() {
             };
             inv.row(&[i.to_string(), desc, f(l.thickness * 1e3, 2)]);
         }
-        println!("\n  {} ({} cavities, sink: {})", stack.name(), stack.cavity_count(),
-            if stack.sink().is_some() { "yes" } else { "no" });
+        println!(
+            "\n  {} ({} cavities, sink: {})",
+            stack.name(),
+            stack.cavity_count(),
+            if stack.sink().is_some() { "yes" } else { "no" }
+        );
         inv.print();
     }
 }

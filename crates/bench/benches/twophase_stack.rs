@@ -77,13 +77,22 @@ fn main() {
     t.print();
 
     section("Two-phase state");
-    kv("Heat absorbed by refrigerant", format!("{} W", f(summary.heat_absorbed, 1)));
+    kv(
+        "Heat absorbed by refrigerant",
+        format!("{} W", f(summary.heat_absorbed, 1)),
+    );
     kv("Worst exit quality", f(summary.max_exit_quality, 3));
     kv("Dry-out margin", f(summary.dryout_margin, 3));
-    kv("Peak boiling HTC", format!("{} kW/m2K", f(summary.peak_htc / 1e3, 1)));
+    kv(
+        "Peak boiling HTC",
+        format!("{} kW/m2K", f(summary.peak_htc / 1e3, 1)),
+    );
     kv(
         "Coldest saturation temperature",
-        format!("{} C (refrigerant cools along the channel)", f(summary.min_saturation.to_celsius().0, 2)),
+        format!(
+            "{} C (refrigerant cools along the channel)",
+            f(summary.min_saturation.to_celsius().0, 2)
+        ),
     );
 
     section("Paper-vs-measured (SecIII qualitative claims, in-stack)");

@@ -71,6 +71,10 @@ fn main() {
     paper_vs(
         "Refrigerant exit temperature",
         "falls (cooler than inlet)",
-        format!("-{} K vs +{} K for water", f(c.refrigerant_exit_drop, 2), f(c.water_exit_rise, 1)),
+        format!(
+            "-{} K vs +{} K for water",
+            f(c.refrigerant_exit_drop, 2),
+            f(c.water_exit_rise, 1)
+        ),
     );
 }

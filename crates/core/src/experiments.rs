@@ -122,7 +122,11 @@ pub struct Fig6Row {
 /// # Errors
 ///
 /// Forwards run errors.
-pub fn fig6_dataset(seconds: usize, seed: u64, grid: GridSpec) -> Result<Vec<Fig6Row>, CmosaicError> {
+pub fn fig6_dataset(
+    seconds: usize,
+    seed: u64,
+    grid: GridSpec,
+) -> Result<Vec<Fig6Row>, CmosaicError> {
     let mut rows = Vec::new();
     for (tiers, policy) in figure_configurations() {
         let mut avg_core = 0.0;
@@ -188,7 +192,11 @@ pub struct Fig7Row {
 /// # Errors
 ///
 /// Forwards run errors.
-pub fn fig7_dataset(seconds: usize, seed: u64, grid: GridSpec) -> Result<Vec<Fig7Row>, CmosaicError> {
+pub fn fig7_dataset(
+    seconds: usize,
+    seed: u64,
+    grid: GridSpec,
+) -> Result<Vec<Fig7Row>, CmosaicError> {
     let apps = WorkloadKind::applications();
     let mut raw: Vec<(usize, PolicyKind, f64, f64, f64, f64)> = Vec::new();
     for (tiers, policy) in figure_configurations() {

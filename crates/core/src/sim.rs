@@ -180,6 +180,18 @@ impl Simulator {
         self.cores.len()
     }
 
+    /// Solver-path counters of the underlying thermal model: a healthy
+    /// closed-loop run shows one full factorisation and a refactorisation
+    /// per newly-visited (flow, Δt) operating point, however long the run.
+    pub fn solver_stats(&self) -> cmosaic_thermal::SolverStats {
+        self.model.solver_stats()
+    }
+
+    /// Operator-cache occupancy/evictions of the underlying thermal model.
+    pub fn cache_stats(&self) -> cmosaic_thermal::CacheStats {
+        self.model.cached_operators()
+    }
+
     /// Per-core sensor readings (area-averaged junction temperature).
     fn core_temps(&self, field: &TemperatureField) -> Vec<Kelvin> {
         self.cores
@@ -380,14 +392,8 @@ mod tests {
         let n_cores = tiers.div_ceil(2) * 8;
         let trace = workload.generate(n_cores, secs, 11);
         let policy = make_policy(kind, n_cores);
-        let mut sim = Simulator::new(
-            &stack,
-            policy,
-            trace,
-            PowerModel::niagara(),
-            small_config(),
-        )
-        .unwrap();
+        let mut sim =
+            Simulator::new(&stack, policy, trace, PowerModel::niagara(), small_config()).unwrap();
         sim.initialize().unwrap();
         sim.run(secs).unwrap()
     }
@@ -446,6 +452,32 @@ mod tests {
             small_config(),
         );
         assert!(matches!(r, Err(CmosaicError::Config { .. })));
+    }
+
+    #[test]
+    fn control_loop_rides_the_refactor_path() {
+        // The fuzzy controller modulates the flow every interval; the
+        // thermal model must absorb that with exactly one full pivoting
+        // factorisation and numeric refactorisations for everything else.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let trace = WorkloadKind::WebServer.generate(8, 30, 11);
+        let mut sim = Simulator::new(
+            &stack,
+            make_policy(PolicyKind::LcFuzzy, 8),
+            trace,
+            PowerModel::niagara(),
+            small_config(),
+        )
+        .unwrap();
+        sim.initialize().unwrap();
+        sim.run(30).unwrap();
+        let s = sim.solver_stats();
+        assert_eq!(s.full_factorizations, 1, "{s:?}");
+        assert_eq!(s.pivot_fallbacks, 0, "{s:?}");
+        assert!(s.refactorizations >= 1, "{s:?}");
+        // The bounded caches never exceed their capacity.
+        let c = sim.cache_stats();
+        assert!(c.steady_entries <= c.capacity && c.transient_entries <= c.capacity);
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl Rect {
                 value: if x.is_finite() { y } else { x },
             });
         }
-        Ok(Rect { x, y, width, height })
+        Ok(Rect {
+            x,
+            y,
+            width,
+            height,
+        })
     }
 
     /// Creates a rectangle from millimetre coordinates.

@@ -68,7 +68,10 @@ impl GridSpec {
     ///
     /// Panics if out of range.
     pub fn index(&self, ix: usize, iy: usize) -> usize {
-        assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of range");
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of range"
+        );
         iy * self.nx + ix
     }
 

@@ -50,10 +50,12 @@ impl CavitySpec {
     /// Returns [`FloorplanError::NonPositiveDimension`] if the fraction is
     /// outside `[0, 1)`.
     pub fn table1_with_tsvs(tsv_area_fraction: f64) -> Result<Self, FloorplanError> {
-        let wall = cmosaic_materials::solids::silicon_with_tsvs(tsv_area_fraction)
-            .map_err(|_| FloorplanError::NonPositiveDimension {
-                what: "TSV area fraction in [0, 1)",
-                value: tsv_area_fraction,
+        let wall =
+            cmosaic_materials::solids::silicon_with_tsvs(tsv_area_fraction).map_err(|_| {
+                FloorplanError::NonPositiveDimension {
+                    what: "TSV area fraction in [0, 1)",
+                    value: tsv_area_fraction,
+                }
             })?;
         Ok(CavitySpec {
             wall,
@@ -486,9 +488,7 @@ mod tests {
     fn tsv_embedded_walls_conduct_better() {
         let plain = CavitySpec::table1();
         let with_tsvs = CavitySpec::table1_with_tsvs(0.15).unwrap();
-        assert!(
-            with_tsvs.wall().thermal_conductivity() > plain.wall().thermal_conductivity()
-        );
+        assert!(with_tsvs.wall().thermal_conductivity() > plain.wall().thermal_conductivity());
         // Geometry is unchanged — TSVs live inside the walls.
         assert_eq!(with_tsvs.channel_width(), plain.channel_width());
         assert_eq!(with_tsvs.pitch(), plain.pitch());

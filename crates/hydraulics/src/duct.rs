@@ -230,7 +230,11 @@ mod tests {
 
     #[test]
     fn nusselt_matches_handbook_limits() {
-        assert!((nusselt_h1(1.0) - 3.61).abs() < 0.1, "square: {}", nusselt_h1(1.0));
+        assert!(
+            (nusselt_h1(1.0) - 3.61).abs() < 0.1,
+            "square: {}",
+            nusselt_h1(1.0)
+        );
         assert!((nusselt_h1(0.0) - 8.235).abs() < 1e-9);
     }
 
@@ -241,7 +245,10 @@ mod tests {
         let q = 32.3e-6 / 60.0 / 66.0;
         let w = water();
         let re = g.reynolds(q, &w);
-        assert!(re > 50.0 && re < 300.0, "Re = {re} should be deeply laminar");
+        assert!(
+            re > 50.0 && re < 300.0,
+            "Re = {re} should be deeply laminar"
+        );
         let dp = g.pressure_drop(q, &w).unwrap();
         // Micro-channel pressure drops are O(1 bar) at this operating point.
         assert!(dp.to_bar() > 0.3 && dp.to_bar() < 3.0, "dp = {dp}");

@@ -122,7 +122,13 @@ pub fn design_width_modulated(
     fluid: &LiquidProperties,
     superheat_budget: f64,
 ) -> Result<ChannelDesign, HydraulicsError> {
-    validate_inputs(zones, candidate_widths, height, q_per_channel, superheat_budget)?;
+    validate_inputs(
+        zones,
+        candidate_widths,
+        height,
+        q_per_channel,
+        superheat_budget,
+    )?;
     let mut widths = Vec::with_capacity(zones.len());
     let mut htcs = Vec::with_capacity(zones.len());
     let mut dp = 0.0;
@@ -130,10 +136,7 @@ pub fn design_width_modulated(
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite widths"));
     for (i, z) in zones.iter().enumerate() {
         let need = z.heat_flux / superheat_budget;
-        let Some(&w) = sorted
-            .iter()
-            .find(|&&w| htc_fd(w, height, fluid) >= need)
-        else {
+        let Some(&w) = sorted.iter().find(|&&w| htc_fd(w, height, fluid) >= need) else {
             return Err(HydraulicsError::Infeasible {
                 detail: format!(
                     "zone {i}: flux {:.1} W/cm² needs h ≥ {need:.0} W/m²K, narrowest candidate gives {:.0}",
@@ -268,7 +271,11 @@ pub fn pin_density_gains(
         .pressure_drop(approach_velocity, cavity_length * hot_fraction, fluid)?
         .0
         + sparse
-            .pressure_drop(approach_velocity, cavity_length * (1.0 - hot_fraction), fluid)?
+            .pressure_drop(
+                approach_velocity,
+                cavity_length * (1.0 - hot_fraction),
+                fluid,
+            )?
             .0;
     let ratio = dp_uniform / dp_modulated;
     Ok(ModulationGains {
@@ -321,8 +328,7 @@ mod tests {
     #[test]
     fn width_modulation_gains_about_factor_two() {
         // §II.C reports a pressure-drop improvement "by a factor of 2".
-        let g =
-            width_modulation_gains(&zones(), &WIDTHS, 100e-6, 8e-9, &water(), 10.0).unwrap();
+        let g = width_modulation_gains(&zones(), &WIDTHS, 100e-6, 8e-9, &water(), 10.0).unwrap();
         assert!(
             g.pressure_ratio > 1.6 && g.pressure_ratio < 3.0,
             "pressure ratio = {}",
@@ -348,10 +354,8 @@ mod tests {
         // §II.C reports a pumping-power improvement "by a factor of 5" for
         // density modulation with a small hot spot (~10 % of the cavity).
         let w = water();
-        let dense =
-            PinFinArray::new(50e-6, 90e-6, 90e-6, 100e-6, Arrangement::InLine).unwrap();
-        let sparse =
-            PinFinArray::new(50e-6, 300e-6, 300e-6, 100e-6, Arrangement::InLine).unwrap();
+        let dense = PinFinArray::new(50e-6, 90e-6, 90e-6, 100e-6, Arrangement::InLine).unwrap();
+        let sparse = PinFinArray::new(50e-6, 300e-6, 300e-6, 100e-6, Arrangement::InLine).unwrap();
         let g = pin_density_gains(0.1, &dense, &sparse, 0.5, 1.0e-2, &w).unwrap();
         assert!(
             g.pump_ratio > 3.5 && g.pump_ratio < 7.0,

@@ -10,7 +10,7 @@
 
 use crate::HydraulicsError;
 use cmosaic_materials::units::Pressure;
-use cmosaic_sparse::{lu, TripletMatrix};
+use cmosaic_sparse::{lu, CscMatrix, LuFactors, SparseError, SymbolicLu, TripletMatrix};
 
 /// A 2D lattice of hydraulic conductances. Nodes form an `nx × ny` grid;
 /// flow enters the whole `ix = 0` column (inlet manifold) and leaves the
@@ -109,88 +109,241 @@ impl FlowNetwork {
     /// Solves the network with the inlet column at `p_in` and the outlet
     /// column at zero gauge pressure.
     ///
+    /// One-shot convenience: builds a throwaway [`NetworkSolver`] and pays
+    /// a full factorisation. Controllers re-solving the same lattice with
+    /// evolving conductances (valve sweeps, guiding-structure search)
+    /// should hold a [`NetworkSolver`] instead, which factors the pattern
+    /// once and numerically refactors every later solve.
+    ///
     /// # Errors
     ///
     /// Returns [`HydraulicsError::Solver`] if the linear system is singular
     /// (cannot happen for positive conductances) and
     /// [`HydraulicsError::NonPositive`] for a non-positive drive pressure.
     pub fn solve(&self, p_in: Pressure) -> Result<NetworkSolution, HydraulicsError> {
+        self.solver().solve(self, p_in)
+    }
+
+    /// Creates a reusable solver for this network's lattice topology: the
+    /// sparsity pattern and (after the first solve) the symbolic LU
+    /// analysis are shared by every subsequent solve of any `nx × ny`
+    /// network, whatever its edge conductances.
+    pub fn solver(&self) -> NetworkSolver {
+        NetworkSolver::for_lattice(self.nx, self.ny)
+    }
+
+    /// Visits the Kirchhoff stamp of every edge, in the canonical order
+    /// shared by the pattern and value-fill passes: free-node diagonal and
+    /// off-diagonal contributions through `entry`, Dirichlet-neighbour
+    /// pressure loads through `load`.
+    fn for_each_stamp(
+        nx: usize,
+        ny: usize,
+        gh: &[f64],
+        gv: &[f64],
+        mut entry: impl FnMut(usize, usize, f64),
+        mut load: impl FnMut(usize, usize, f64),
+    ) {
+        let node = |ix: usize, iy: usize| iy * nx + ix;
+        let dirichlet = |ix: usize| ix == 0 || ix == nx - 1;
+        let mut stamp = |(ia, dir_a): (usize, bool), (ib, dir_b): (usize, bool), g: f64| {
+            if !dir_a {
+                entry(ia, ia, g);
+                if !dir_b {
+                    entry(ia, ib, -g);
+                }
+            }
+            if !dir_b {
+                entry(ib, ib, g);
+                if !dir_a {
+                    entry(ib, ia, -g);
+                }
+            }
+            // Edges touching Dirichlet nodes load the free side's RHS.
+            if dir_b && !dir_a {
+                load(ia, ib, g);
+            }
+            if dir_a && !dir_b {
+                load(ib, ia, g);
+            }
+        };
+        for iy in 0..ny {
+            for ix in 0..nx - 1 {
+                let g = gh[iy * (nx - 1) + ix];
+                stamp(
+                    (node(ix, iy), dirichlet(ix)),
+                    (node(ix + 1, iy), dirichlet(ix + 1)),
+                    g,
+                );
+            }
+        }
+        for ix in 0..nx {
+            for iy in 0..ny - 1 {
+                let g = gv[ix * (ny - 1) + iy];
+                stamp(
+                    (node(ix, iy), dirichlet(ix)),
+                    (node(ix, iy + 1), dirichlet(ix)),
+                    g,
+                );
+            }
+        }
+    }
+}
+
+/// Reusable Kirchhoff solver for one lattice topology (`nx × ny` with
+/// inlet/outlet manifold columns).
+///
+/// The sparsity pattern of the lattice is fixed by its dimensions, so the
+/// solver assembles the CSC operator once, runs one full pivoting
+/// factorisation on the first solve, and serves every later solve — for
+/// any edge conductances — with an O(nnz) value rewrite plus a numeric
+/// refactorisation over the frozen [`SymbolicLu`] pattern (falling back to
+/// a fresh factorisation on the pivot-growth guard, which positive
+/// conductances never trigger in practice).
+#[derive(Debug, Clone)]
+pub struct NetworkSolver {
+    nx: usize,
+    ny: usize,
+    csc: CscMatrix,
+    map: Vec<usize>,
+    /// Triplet values: Dirichlet unit diagonals followed by the dynamic
+    /// edge tail.
+    base_vals: Vec<f64>,
+    dyn_start: usize,
+    symbolic: Option<SymbolicLu>,
+    factors: Option<LuFactors>,
+    full_factorizations: u64,
+    refactorizations: u64,
+}
+
+impl NetworkSolver {
+    fn for_lattice(nx: usize, ny: usize) -> Self {
+        let n = nx * ny;
+        let mut t = TripletMatrix::new(n, n);
+        for iy in 0..ny {
+            t.push(iy * nx, iy * nx, 1.0);
+            t.push(iy * nx + nx - 1, iy * nx + nx - 1, 1.0);
+        }
+        let dyn_start = t.nnz();
+        // Unit conductances for the pattern pass; values are irrelevant.
+        let gh = vec![1.0; (nx - 1) * ny];
+        let gv = vec![1.0; nx * (ny - 1)];
+        FlowNetwork::for_each_stamp(nx, ny, &gh, &gv, |r, c, _| t.push(r, c, 0.0), |_, _, _| {});
+        let (csc, map) = t.to_csc_with_map();
+        NetworkSolver {
+            nx,
+            ny,
+            csc,
+            map,
+            base_vals: t.values().to_vec(),
+            dyn_start,
+            symbolic: None,
+            factors: None,
+            full_factorizations: 0,
+            refactorizations: 0,
+        }
+    }
+
+    /// Full pivoting factorisations performed (one, plus any pivot-growth
+    /// fallbacks).
+    pub fn full_factorizations(&self) -> u64 {
+        self.full_factorizations
+    }
+
+    /// Numeric-only refactorisations served from the frozen pattern.
+    pub fn refactorizations(&self) -> u64 {
+        self.refactorizations
+    }
+
+    /// Solves `net` with the inlet column at `p_in` and the outlet column
+    /// at zero gauge pressure.
+    ///
+    /// # Errors
+    ///
+    /// [`HydraulicsError::NonPositive`] for a non-positive drive pressure
+    /// or mismatched lattice dimensions, [`HydraulicsError::Solver`] on
+    /// factorisation failure.
+    pub fn solve(
+        &mut self,
+        net: &FlowNetwork,
+        p_in: Pressure,
+    ) -> Result<NetworkSolution, HydraulicsError> {
         if !(p_in.0 > 0.0 && p_in.0.is_finite()) {
             return Err(HydraulicsError::NonPositive {
                 what: "inlet pressure",
                 value: p_in.0,
             });
         }
-        let n = self.nx * self.ny;
-        let mut t = TripletMatrix::new(n, n);
-        let mut rhs = vec![0.0; n];
-        let dirichlet = |ix: usize| ix == 0 || ix == self.nx - 1;
-
-        for iy in 0..self.ny {
-            for ix in 0..self.nx {
-                let i = self.node(ix, iy);
-                if dirichlet(ix) {
-                    t.push(i, i, 1.0);
-                    rhs[i] = if ix == 0 { p_in.0 } else { 0.0 };
-                }
-            }
+        if net.nx != self.nx || net.ny != self.ny {
+            return Err(HydraulicsError::Solver(format!(
+                "solver built for a {}x{} lattice, network is {}x{}",
+                self.nx, self.ny, net.nx, net.ny
+            )));
         }
-        // Kirchhoff current law at free nodes; edges to Dirichlet nodes
-        // contribute to the RHS.
-        let stamp = |t: &mut TripletMatrix,
-                         rhs: &mut Vec<f64>,
-                         (ia, dir_a): (usize, bool),
-                         (ib, dir_b): (usize, bool),
-                         g: f64| {
-            if !dir_a {
-                t.push(ia, ia, g);
-                if dir_b {
-                    // p_b known: move to RHS later via rhs adjustment below.
-                } else {
-                    t.push(ia, ib, -g);
-                }
-            }
-            if !dir_b {
-                t.push(ib, ib, g);
-                if !dir_a {
-                    t.push(ib, ia, -g);
-                }
-            }
-            // RHS contributions for edges touching Dirichlet nodes.
-            if dir_b && !dir_a {
-                rhs[ia] += g * rhs[ib];
-            }
-            if dir_a && !dir_b {
-                rhs[ib] += g * rhs[ia];
+        let n = self.nx * self.ny;
+        let mut vals = self.base_vals.clone();
+        let mut rhs = vec![0.0; n];
+        for iy in 0..self.ny {
+            rhs[iy * self.nx] = p_in.0;
+        }
+        let dirichlet_pressure = |i: usize| {
+            if i.is_multiple_of(self.nx) {
+                p_in.0
+            } else {
+                0.0
             }
         };
+        let mut k = self.dyn_start;
+        FlowNetwork::for_each_stamp(
+            self.nx,
+            self.ny,
+            &net.gh,
+            &net.gv,
+            |_, _, g| {
+                vals[k] = g;
+                k += 1;
+            },
+            |free, dir, g| rhs[free] += g * dirichlet_pressure(dir),
+        );
+        debug_assert_eq!(k, vals.len(), "edge fill must cover the whole tail");
+        self.csc.update_values(&self.map, &vals);
 
-        for iy in 0..self.ny {
-            for ix in 0..self.nx - 1 {
-                let a = self.node(ix, iy);
-                let b = self.node(ix + 1, iy);
-                let g = self.gh[iy * (self.nx - 1) + ix];
-                stamp(&mut t, &mut rhs, (a, dirichlet(ix)), (b, dirichlet(ix + 1)), g);
+        let mut factors = None;
+        if let Some(sym) = &self.symbolic {
+            let mut f = self
+                .factors
+                .take()
+                .unwrap_or_else(|| sym.allocate_factors());
+            match sym.refactor_into(&self.csc, &mut f) {
+                Ok(()) => {
+                    self.refactorizations += 1;
+                    factors = Some(f);
+                }
+                Err(SparseError::UnstablePivot { .. }) => {}
+                Err(e) => return Err(HydraulicsError::Solver(e.to_string())),
             }
         }
-        for ix in 0..self.nx {
-            for iy in 0..self.ny - 1 {
-                let a = self.node(ix, iy);
-                let b = self.node(ix, iy + 1);
-                let g = self.gv[ix * (self.ny - 1) + iy];
-                stamp(&mut t, &mut rhs, (a, dirichlet(ix)), (b, dirichlet(ix)), g);
-            }
-        }
-
-        let factors = lu::factor(&t.to_csc())
-            .map_err(|e| HydraulicsError::Solver(e.to_string()))?;
+        let factors = match factors {
+            Some(f) => f,
+            None => self
+                .factor_fresh()
+                .map_err(|e| HydraulicsError::Solver(e.to_string()))?,
+        };
         let pressures = factors
             .solve(&rhs)
             .map_err(|e| HydraulicsError::Solver(e.to_string()))?;
+        self.factors = Some(factors);
         Ok(NetworkSolution {
-            network: self.clone(),
+            network: net.clone(),
             pressures,
         })
+    }
+
+    fn factor_fresh(&mut self) -> Result<LuFactors, SparseError> {
+        let (factors, symbolic) = lu::factor_with_symbolic(&self.csc, lu::ColumnOrdering::Rcm)?;
+        self.full_factorizations += 1;
+        self.symbolic = Some(symbolic);
+        Ok(factors)
     }
 }
 
@@ -305,6 +458,34 @@ mod tests {
         // Boundary conditions hold exactly.
         assert!((sol.pressure(0, 1) - 1e5).abs() < 1e-9);
         assert!(sol.pressure(6, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reusable_solver_matches_one_shot_solve() {
+        let mut solver = FlowNetwork::uniform(9, 6, 1e-12).unwrap().solver();
+        for (boost, choke) in [(1.0, 1.0), (2.5, 0.4), (4.0, 0.2), (1.5, 0.8)] {
+            let mut net = FlowNetwork::uniform(9, 6, 1e-12).unwrap();
+            net.apply_focusing(&[2, 3], boost, choke);
+            let shared = solver.solve(&net, Pressure::from_bar(0.8)).unwrap();
+            let fresh = net.solve(Pressure::from_bar(0.8)).unwrap();
+            for iy in 0..6 {
+                for ix in 0..9 {
+                    let (a, b) = (shared.pressure(ix, iy), fresh.pressure(ix, iy));
+                    assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+                }
+            }
+        }
+        // One full pivoting factorisation; every later conductance state
+        // went through the numeric refactor path.
+        assert_eq!(solver.full_factorizations(), 1);
+        assert_eq!(solver.refactorizations(), 3);
+    }
+
+    #[test]
+    fn solver_rejects_mismatched_lattice() {
+        let mut solver = FlowNetwork::uniform(6, 4, 1e-12).unwrap().solver();
+        let other = FlowNetwork::uniform(7, 4, 1e-12).unwrap();
+        assert!(solver.solve(&other, Pressure::from_bar(1.0)).is_err());
     }
 
     #[test]

@@ -83,11 +83,19 @@ pub enum MaterialError {
 impl fmt::Display for MaterialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MaterialError::TemperatureOutOfRange { requested, min, max } => write!(
+            MaterialError::TemperatureOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
                 f,
                 "temperature {requested} outside validity range [{min}, {max}]"
             ),
-            MaterialError::PressureOutOfRange { requested, min, max } => write!(
+            MaterialError::PressureOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
                 f,
                 "pressure {requested} outside validity range [{min}, {max}]"
             ),

@@ -234,7 +234,9 @@ impl RefrigerantProperties {
         }
         let t = Kelvin(self.b / (self.ln_a - p.0.ln()));
         if self.check_t(t).is_err() {
-            let min = self.saturation_pressure(Self::T_MIN).unwrap_or(Pressure(1.0));
+            let min = self
+                .saturation_pressure(Self::T_MIN)
+                .unwrap_or(Pressure(1.0));
             let max = self
                 .saturation_pressure(self.t_max())
                 .unwrap_or(self.critical_pressure);

@@ -51,7 +51,9 @@ impl LeakageModel {
     /// Voltage scaling also reduces leakage (roughly linearly in V); the
     /// `voltage_ratio` argument is `V/V_nom`.
     pub fn power(&self, area: f64, t: Kelvin, voltage_ratio: f64) -> f64 {
-        let mult = (self.gamma * (t - self.t_ref)).exp().min(self.max_multiplier);
+        let mult = (self.gamma * (t - self.t_ref))
+            .exp()
+            .min(self.max_multiplier);
         self.density_at_ref * area * mult * voltage_ratio
     }
 }
@@ -114,8 +116,7 @@ impl PowerModel {
             self.vf.point(lvl).expect("clamped level").voltage
                 / self.vf.point(0).expect("nominal").voltage
         };
-        let dynamic =
-            (self.core_idle + (self.core_dynamic_max - self.core_idle) * occ) * scale;
+        let dynamic = (self.core_idle + (self.core_dynamic_max - self.core_idle) * occ) * scale;
         let leak = self
             .leakage
             .power(cmosaic_floorplan::niagara::CORE_AREA, t, v_ratio);
@@ -201,11 +202,8 @@ impl PowerModel {
         for (i, e) in plan.elements().iter().enumerate() {
             let p = match e.kind() {
                 ElementKind::Core => {
-                    let p = self.core_power(
-                        core_demands[core_cursor],
-                        core_vf[core_cursor],
-                        temps[i],
-                    );
+                    let p =
+                        self.core_power(core_demands[core_cursor], core_vf[core_cursor], temps[i]);
                     core_cursor += 1;
                     p
                 }
@@ -261,7 +259,10 @@ mod tests {
         let p110 = l.power(10e-6, Kelvin::from_celsius(110.0), 1.0);
         let ratio = p110 / p60;
         assert!(ratio > 1.7 && ratio < 2.2, "ratio = {ratio}");
-        assert!((p60 - 0.8).abs() < 0.05, "~0.8 W per core at 60 °C, got {p60}");
+        assert!(
+            (p60 - 0.8).abs() < 0.05,
+            "~0.8 W per core at 60 °C, got {p60}"
+        );
         // Saturation: the multiplier is capped, so very hot junctions do
         // not leak unboundedly (prevents unphysical electrothermal
         // divergence).

@@ -83,7 +83,12 @@ impl WorkloadKind {
                     // Checkpoint storm every ~60 s for ~5 s hits all cores.
                     let checkpoint = t % 60 < 5;
                     for (c, u) in row.iter_mut().enumerate() {
-                        drift[c] = (drift[c] + (rng.random::<f64>() - 0.5) * 0.06)
+                        // Mean-reverting drift: sustained DB load stays
+                        // balanced across cores (unlike the web server's
+                        // affinity-skewed front-ends), for any RNG stream.
+                        drift[c] = (drift[c]
+                            + 0.08 * (0.72 - drift[c])
+                            + (rng.random::<f64>() - 0.5) * 0.06)
                             .clamp(0.55, 0.9);
                         *u = if checkpoint {
                             0.95 + 0.05 * rng.random::<f64>()
@@ -99,9 +104,12 @@ impl WorkloadKind {
                     // Frame pipeline: even cores decode, odd cores render a
                     // half-period later; ~24 s GOP period.
                     for (c, u) in row.iter_mut().enumerate() {
-                        let phase = if c % 2 == 0 { 0.0 } else { std::f64::consts::PI };
-                        let wave =
-                            (t as f64 / 24.0 * std::f64::consts::TAU + phase).sin() * 0.22;
+                        let phase = if c % 2 == 0 {
+                            0.0
+                        } else {
+                            std::f64::consts::PI
+                        };
+                        let wave = (t as f64 / 24.0 * std::f64::consts::TAU + phase).sin() * 0.22;
                         let jitter = (rng.random::<f64>() - 0.5) * 0.08;
                         *u = (0.55 + wave + jitter).clamp(0.05, 1.0);
                     }
@@ -191,10 +199,7 @@ impl WorkloadTrace {
 
     /// Largest single-core sample in the trace.
     pub fn peak_utilization(&self) -> f64 {
-        self.samples
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b))
+        self.samples.iter().flatten().fold(0.0f64, |a, &b| a.max(b))
     }
 
     /// Summary statistics of the trace (the quantities §IV.A's "average
@@ -318,7 +323,12 @@ mod tests {
         let db = WorkloadKind::Database.generate(8, 400, 5).statistics();
         let mx = WorkloadKind::MaxUtilization.generate(8, 10, 5).statistics();
         // Web server is the bursty, imbalanced one.
-        assert!(web.std_dev > db.std_dev, "web {} !> db {}", web.std_dev, db.std_dev);
+        assert!(
+            web.std_dev > db.std_dev,
+            "web {} !> db {}",
+            web.std_dev,
+            db.std_dev
+        );
         assert!(web.core_imbalance > db.core_imbalance);
         // Max-utilization is flat at 1.
         assert_eq!(mx.mean, 1.0);

@@ -56,7 +56,11 @@ pub fn bicgstab(
 ) -> Result<BicgstabOutcome, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::Shape {
-            detail: format!("BiCGSTAB requires square matrix, got {}x{}", a.nrows(), a.ncols()),
+            detail: format!(
+                "BiCGSTAB requires square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            ),
         });
     }
     if b.len() != a.nrows() {

@@ -162,6 +162,26 @@ impl CscMatrix {
         }
     }
 
+    /// Overwrites the stored values by re-accumulating `vals` through the
+    /// scatter `map` produced by
+    /// [`TripletMatrix::to_csc_with_map`](crate::TripletMatrix::to_csc_with_map):
+    /// value slot `map[k]` receives the sum of every `vals[k]` mapped to
+    /// it. The sparsity pattern is untouched, so any
+    /// [`SymbolicLu`](crate::SymbolicLu) captured from this matrix stays
+    /// valid — this is the O(nnz) half of an incremental re-assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` and `vals` differ in length or a map entry is out
+    /// of range.
+    pub fn update_values(&mut self, map: &[usize], vals: &[f64]) {
+        assert_eq!(map.len(), vals.len(), "scatter map/value length mismatch");
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+        for (&slot, &v) in map.iter().zip(vals) {
+            self.values[slot] += v;
+        }
+    }
+
     /// Matrix–vector product `y = A·x`.
     ///
     /// # Panics
@@ -170,8 +190,7 @@ impl CscMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
         let mut y = vec![0.0; self.nrows];
-        for c in 0..self.ncols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -190,8 +209,8 @@ impl CscMatrix {
     pub fn matvec_acc(&self, x: &[f64], alpha: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec_acc: x dimension mismatch");
         assert_eq!(y.len(), self.nrows, "matvec_acc: y dimension mismatch");
-        for c in 0..self.ncols {
-            let xc = alpha * x[c];
+        for (c, &xv) in x.iter().enumerate() {
+            let xc = alpha * xv;
             if xc == 0.0 {
                 continue;
             }
@@ -209,12 +228,12 @@ impl CscMatrix {
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.nrows, "matvec_transpose: dimension mismatch");
         let mut y = vec![0.0; self.ncols];
-        for c in 0..self.ncols {
+        for (c, yc) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.col_ptr[c]..self.col_ptr[c + 1] {
                 acc += self.values[k] * x[self.row_idx[k]];
             }
-            y[c] = acc;
+            *yc = acc;
         }
         y
     }
@@ -308,6 +327,7 @@ impl CscMatrix {
     /// matrices only.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        #[allow(clippy::needless_range_loop)] // `c` indexes the inner vecs, not a slice to iterate
         for c in 0..self.ncols {
             for (r, v) in self.col_iter(c) {
                 d[r][c] = v;
@@ -373,24 +393,13 @@ mod tests {
 
     #[test]
     fn structural_symmetry_detection() {
-        let sym = CscMatrix::from_triplets(
-            2,
-            2,
-            &[0, 1, 0, 1],
-            &[0, 0, 1, 1],
-            &[2.0, -1.0, -1.0, 2.0],
-        );
+        let sym =
+            CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[2.0, -1.0, -1.0, 2.0]);
         assert!(sym.is_structurally_symmetric());
         assert!(sym.asymmetry() < 1e-15);
         // Entry at (1,0) with no matching (0,1): structurally asymmetric —
         // exactly the upwind-advection pattern of the micro-channel model.
-        let asym = CscMatrix::from_triplets(
-            2,
-            2,
-            &[0, 1, 1],
-            &[0, 0, 1],
-            &[2.0, -1.0, 2.0],
-        );
+        let asym = CscMatrix::from_triplets(2, 2, &[0, 1, 1], &[0, 0, 1], &[2.0, -1.0, 2.0]);
         assert!(!asym.is_structurally_symmetric());
         assert!(asym.asymmetry() > 0.5);
         // The sample matrix has a symmetric *pattern* but asymmetric values.

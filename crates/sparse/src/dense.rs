@@ -119,7 +119,10 @@ impl DenseMatrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
         if self.nrows != self.ncols {
             return Err(SparseError::Shape {
-                detail: format!("solve requires square matrix, got {}x{}", self.nrows, self.ncols),
+                detail: format!(
+                    "solve requires square matrix, got {}x{}",
+                    self.nrows, self.ncols
+                ),
             });
         }
         if b.len() != self.nrows {
@@ -182,12 +185,8 @@ mod tests {
 
     #[test]
     fn solve_3x3_known_system() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .unwrap();
         // Solution of tridiag(-1,2,-1) x = [1,0,1] is [1,1,1].
         let x = a.solve(&[1.0, 0.0, 1.0]).unwrap();
         for v in &x {

@@ -33,7 +33,11 @@ impl Ilu0 {
     pub fn new(a: &CscMatrix) -> Result<Self, SparseError> {
         if a.nrows() != a.ncols() {
             return Err(SparseError::Shape {
-                detail: format!("ILU0 requires square matrix, got {}x{}", a.nrows(), a.ncols()),
+                detail: format!(
+                    "ILU0 requires square matrix, got {}x{}",
+                    a.nrows(),
+                    a.ncols()
+                ),
             });
         }
         let n = a.nrows();
@@ -55,12 +59,10 @@ impl Ilu0 {
         // diag_pos[r] = index of the diagonal entry within row r.
         let mut diag_pos = vec![usize::MAX; n];
         for r in 0..n {
-            for k in rowptr[r]..rowptr[r + 1] {
-                if cols[k] == r {
-                    diag_pos[r] = k;
-                }
-            }
-            if diag_pos[r] == usize::MAX {
+            let (lo, hi) = (rowptr[r], rowptr[r + 1]);
+            if let Some(k) = cols[lo..hi].iter().position(|&c| c == r) {
+                diag_pos[r] = lo + k;
+            } else {
                 return Err(SparseError::Singular { column: r });
             }
         }

@@ -13,12 +13,44 @@
 //!   products and structure queries.
 //! * [`LuFactors`] — Gilbert–Peierls left-looking sparse LU with partial
 //!   pivoting ([`lu::factor`]), the workhorse direct solver.
+//! * [`SymbolicLu`] — the reusable symbolic half of a factorisation,
+//!   enabling cheap numeric refactorisation (below).
 //! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction used as a
 //!   fill-reducing column pre-ordering.
 //! * [`bicgstab`](mod@bicgstab) — BiCGSTAB with an [`ilu::Ilu0`]
 //!   preconditioner, used to cross-validate the direct solver and for
 //!   very large steady-state problems.
 //! * [`dense`] — small dense LU used by tests as an oracle.
+//!
+//! # Symbolic/numeric split
+//!
+//! RC-network operators have a sparsity pattern fixed at model
+//! construction; only values change between operating points. Like 3D-ICE,
+//! which links SuperLU precisely to reuse one symbolic analysis across a
+//! transient run (`SamePattern_SameRowPerm`), this crate splits the direct
+//! solver: [`lu::factor_with_symbolic`] performs one full pivoting
+//! factorisation and freezes the column ordering, pivot sequence and L/U
+//! patterns in a [`SymbolicLu`]; [`LuFactors::refactor`] (or
+//! [`SymbolicLu::refactor_into`] for allocation reuse) then replays only
+//! the numeric sweep — no DFS, no pivot search — for any matrix with the
+//! *identical* pattern.
+//!
+//! **When refactorisation is valid.** The frozen pivot sequence was chosen
+//! for the values seen at analysis time. It remains numerically sound
+//! while value changes preserve the character of the matrix (the RC
+//! operators stay diagonally dominant M-matrix-like for every flow rate
+//! and Δt, so in practice it always holds). It is *invalid* — and rejected
+//! — when the new matrix has a different sparsity pattern, and it is
+//! *unsafe* when the new values make a frozen pivot relatively tiny: the
+//! multiplier-growth guard detects that case and returns
+//! [`SparseError::UnstablePivot`], at which point the caller must run a
+//! fresh pivoting [`lu::factor`] (callers in this workspace do so
+//! automatically and re-capture the symbolic object).
+//!
+//! Pair the split with [`TripletMatrix::to_csc_with_map`] +
+//! [`CscMatrix::update_values`] so a new operating point costs one O(nnz)
+//! value rewrite and one numeric sweep — no re-assembly, no conversion,
+//! no symbolic work.
 //!
 //! # Example
 //!
@@ -56,7 +88,7 @@ pub mod triplet;
 pub use bicgstab::{bicgstab, BicgstabOptions, BicgstabOutcome};
 pub use csc::CscMatrix;
 pub use dense::DenseMatrix;
-pub use lu::LuFactors;
+pub use lu::{LuFactors, SymbolicLu};
 pub use triplet::TripletMatrix;
 
 use std::error::Error;
@@ -74,6 +106,15 @@ pub enum SparseError {
     Singular {
         /// Column at which factorisation broke down.
         column: usize,
+    },
+    /// A numeric refactorisation over a frozen pivot sequence saw
+    /// multiplier growth beyond the stability bound; the caller should
+    /// fall back to a fresh pivoting factorisation.
+    UnstablePivot {
+        /// Column at which the frozen pivot degraded.
+        column: usize,
+        /// Largest multiplier magnitude observed in that column.
+        growth: f64,
     },
     /// An iterative solver failed to reach the requested tolerance.
     NoConvergence {
@@ -97,6 +138,11 @@ impl fmt::Display for SparseError {
             SparseError::Singular { column } => {
                 write!(f, "matrix is singular at column {column}")
             }
+            SparseError::UnstablePivot { column, growth } => write!(
+                f,
+                "refactorisation unstable at column {column} \
+                 (multiplier growth {growth:.3e}); re-pivot with a full factorisation"
+            ),
             SparseError::NoConvergence {
                 iterations,
                 residual,
@@ -142,6 +188,8 @@ mod tests {
     fn error_types_are_send_sync_and_display() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SparseError>();
-        assert!(SparseError::Singular { column: 3 }.to_string().contains('3'));
+        assert!(SparseError::Singular { column: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -1,5 +1,5 @@
 //! Sparse LU factorisation (Gilbert–Peierls, left-looking, partial
-//! pivoting).
+//! pivoting) with a symbolic/numeric split for cheap refactorisation.
 //!
 //! This is the direct solver behind every thermal solve in the toolkit. The
 //! algorithm factors one column at a time: the nonzero pattern of
@@ -11,6 +11,21 @@
 //! Columns are pre-ordered with reverse Cuthill–McKee by default, which for
 //! the lattice-structured matrices of the thermal model keeps the factors
 //! essentially banded.
+//!
+//! # Symbolic/numeric split
+//!
+//! The RC networks this crate serves have a sparsity pattern fixed at model
+//! construction; only the *values* change between operating points (flow
+//! rates, transient time steps, two-phase sweeps). [`factor_with_symbolic`]
+//! therefore captures the column ordering, pivot sequence and L/U nonzero
+//! patterns of one full pivoting factorisation in a [`SymbolicLu`], and
+//! [`LuFactors::refactor`] replays only the numeric sweep over that frozen
+//! pattern — the same trick 3D-ICE gets from SuperLU's
+//! `SamePattern_SameRowPerm` path. A refactorisation skips the DFS *and*
+//! the pivot search, so it is valid only while the frozen pivot sequence
+//! remains numerically acceptable; a pivot-growth guard detects degradation
+//! and reports [`SparseError::UnstablePivot`] so callers can fall back to a
+//! fresh pivoting factorisation.
 
 use crate::csc::CscMatrix;
 use crate::ordering::{reverse_cuthill_mckee, Permutation};
@@ -18,6 +33,13 @@ use crate::SparseError;
 
 /// Absolute pivot magnitude below which a column is declared singular.
 const PIVOT_TINY: f64 = 1e-300;
+
+/// Largest tolerated `max|L(:,j)|` during a refactorisation. A fresh
+/// partial-pivoting factorisation keeps every multiplier at or below one;
+/// replaying a frozen pivot sequence lets multipliers grow, and growth
+/// beyond this bound costs enough of the 52-bit mantissa that the caller
+/// should re-pivot instead.
+const MAX_PIVOT_GROWTH: f64 = 1e8;
 
 /// Column pre-ordering strategy for [`factor_with_ordering`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,7 +93,11 @@ pub fn factor_with_ordering(
 ) -> Result<LuFactors, SparseError> {
     if a.nrows() != a.ncols() {
         return Err(SparseError::Shape {
-            detail: format!("LU requires a square matrix, got {}x{}", a.nrows(), a.ncols()),
+            detail: format!(
+                "LU requires a square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            ),
         });
     }
     let n = a.nrows();
@@ -186,16 +212,17 @@ pub fn factor_with_ordering(
         p[jj] = ipiv;
 
         // ---- Emit U (pivoted pattern rows) and L (remaining rows).
+        // Exact zeros are kept: the stored pattern must equal the full
+        // symbolic reach set so a later refactorisation over the frozen
+        // pattern stays valid even where values cancelled here.
         for &i in &topo {
             let piv_col = pinv[i];
             if i == ipiv {
                 // diagonal handled above
             } else if piv_col != usize::MAX && piv_col < jj {
-                if x[i] != 0.0 {
-                    u_rows.push(piv_col);
-                    u_vals.push(x[i]);
-                }
-            } else if x[i] != 0.0 {
+                u_rows.push(piv_col);
+                u_vals.push(x[i]);
+            } else {
                 l_rows.push(i);
                 l_vals.push(x[i] / d);
             }
@@ -219,10 +246,225 @@ pub fn factor_with_ordering(
     })
 }
 
+/// Factors `a` and captures the symbolic analysis for later numeric
+/// refactorisations over the same sparsity pattern.
+///
+/// # Errors
+///
+/// See [`factor`].
+pub fn factor_with_symbolic(
+    a: &CscMatrix,
+    ordering: ColumnOrdering,
+) -> Result<(LuFactors, SymbolicLu), SparseError> {
+    let factors = factor_with_ordering(a, ordering)?;
+    let symbolic = SymbolicLu::capture(&factors, a);
+    Ok((factors, symbolic))
+}
+
+/// The reusable symbolic half of a sparse LU factorisation: column
+/// ordering, pivot sequence and the L/U nonzero patterns, frozen from one
+/// full pivoting factorisation ([`factor_with_symbolic`]).
+///
+/// A `SymbolicLu` is valid for any matrix with *exactly* the sparsity
+/// pattern of the matrix it was captured from (values free to change); the
+/// pattern is checked on every [`SymbolicLu::refactor`] call. Within each U
+/// column the pattern is stored in ascending pivot order, which is a valid
+/// topological elimination order, so the numeric sweep needs no DFS.
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    l_colptr: Vec<usize>,
+    /// L pattern rows in *original* row indices.
+    l_rows: Vec<usize>,
+    u_colptr: Vec<usize>,
+    /// U pattern rows as pivot steps, ascending within each column.
+    u_rows: Vec<usize>,
+    /// `p[j]` = original row pivoted at step `j`.
+    p: Vec<usize>,
+    q: Permutation,
+    /// Pattern of the factored matrix, for validity checking.
+    a_colptr: Vec<usize>,
+    a_rows: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Extracts the symbolic analysis from a completed factorisation of
+    /// `a`.
+    fn capture(f: &LuFactors, a: &CscMatrix) -> Self {
+        let mut u_rows = f.u_rows.clone();
+        for j in 0..f.n {
+            u_rows[f.u_colptr[j]..f.u_colptr[j + 1]].sort_unstable();
+        }
+        SymbolicLu {
+            n: f.n,
+            l_colptr: f.l_colptr.clone(),
+            l_rows: f.l_rows.clone(),
+            u_colptr: f.u_colptr.clone(),
+            u_rows,
+            p: f.p.clone(),
+            q: f.q.clone(),
+            a_colptr: a.col_ptr().to_vec(),
+            a_rows: a.row_idx().to_vec(),
+        }
+    }
+
+    /// Dimension of the analysed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries in the frozen `L` pattern (implicit unit diagonal
+    /// excluded).
+    pub fn nnz_l(&self) -> usize {
+        self.l_rows.len()
+    }
+
+    /// Stored entries in the frozen `U` pattern (diagonal included).
+    pub fn nnz_u(&self) -> usize {
+        self.u_rows.len() + self.n
+    }
+
+    /// Allocates a factor object shaped for this pattern, ready for
+    /// [`SymbolicLu::refactor_into`].
+    pub fn allocate_factors(&self) -> LuFactors {
+        LuFactors {
+            n: self.n,
+            l_colptr: self.l_colptr.clone(),
+            l_rows: self.l_rows.clone(),
+            l_vals: vec![0.0; self.l_rows.len()],
+            u_colptr: self.u_colptr.clone(),
+            u_rows: self.u_rows.clone(),
+            u_vals: vec![0.0; self.u_rows.len()],
+            u_diag: vec![0.0; self.n],
+            p: self.p.clone(),
+            q: self.q.clone(),
+        }
+    }
+
+    /// Numerically refactors `a` over the frozen pattern into a fresh
+    /// factor object. See [`SymbolicLu::refactor_into`] for the conditions.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicLu::refactor_into`].
+    pub fn refactor(&self, a: &CscMatrix) -> Result<LuFactors, SparseError> {
+        let mut f = self.allocate_factors();
+        self.refactor_into(a, &mut f)?;
+        Ok(f)
+    }
+
+    /// Numerically refactors `a` into `f`, reusing `f`'s allocations.
+    ///
+    /// `f` is an allocation donor: any factor object with this pattern's
+    /// array shapes works (one from [`SymbolicLu::allocate_factors`], a
+    /// previous refactorisation, or a fresh [`factor`] of the same
+    /// matrix), and its pattern arrays are rewritten to this symbolic
+    /// object's layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::Shape`] — `a`'s sparsity pattern differs from the
+    ///   analysed one, or `f`'s array shapes do not match.
+    /// * [`SparseError::Singular`] — a frozen pivot vanished.
+    /// * [`SparseError::UnstablePivot`] — multiplier growth beyond the
+    ///   stability bound; the caller should run a fresh pivoting
+    ///   [`factor`].
+    pub fn refactor_into(&self, a: &CscMatrix, f: &mut LuFactors) -> Result<(), SparseError> {
+        if a.col_ptr() != self.a_colptr.as_slice() || a.row_idx() != self.a_rows.as_slice() {
+            return Err(SparseError::Shape {
+                detail: format!(
+                    "refactor pattern mismatch: symbolic analysis is for a \
+                     {n}x{n} matrix with {nnz} stored entries in a fixed \
+                     pattern; pass a matrix with the identical pattern or \
+                     re-run the full factorisation",
+                    n = self.n,
+                    nnz = self.a_rows.len(),
+                ),
+            });
+        }
+        if f.n != self.n
+            || f.l_vals.len() != self.l_rows.len()
+            || f.u_vals.len() != self.u_rows.len()
+        {
+            return Err(SparseError::Shape {
+                detail: "refactor target does not match this pattern's array shapes".into(),
+            });
+        }
+        // Align the donor's pattern with this symbolic layout (a fresh
+        // `factor` stores U columns in topological rather than ascending
+        // pivot order).
+        f.l_colptr.clone_from(&self.l_colptr);
+        f.l_rows.clone_from(&self.l_rows);
+        f.u_colptr.clone_from(&self.u_colptr);
+        f.u_rows.clone_from(&self.u_rows);
+        f.p.clone_from(&self.p);
+        f.q.clone_from(&self.q);
+
+        let mut x = vec![0.0f64; self.n];
+        for jj in 0..self.n {
+            let col = self.q.old_of(jj);
+            for (r, v) in a.col_iter(col) {
+                x[r] = v;
+            }
+            // Eliminate with the frozen pivot sequence: ascending pivot
+            // order within the column is topological. Slice-pair iteration
+            // keeps the hot multiply-accumulate free of index bounds
+            // checks on the pattern arrays.
+            let (u_lo, u_hi) = (self.u_colptr[jj], self.u_colptr[jj + 1]);
+            for (t, &k) in (u_lo..u_hi).zip(&self.u_rows[u_lo..u_hi]) {
+                let xk = x[self.p[k]];
+                f.u_vals[t] = xk;
+                x[self.p[k]] = 0.0;
+                if xk != 0.0 {
+                    let (lo, hi) = (self.l_colptr[k], self.l_colptr[k + 1]);
+                    for (&r, &lv) in self.l_rows[lo..hi].iter().zip(&f.l_vals[lo..hi]) {
+                        x[r] -= lv * xk;
+                    }
+                }
+            }
+            let d = x[self.p[jj]];
+            x[self.p[jj]] = 0.0;
+            let (lo, hi) = (self.l_colptr[jj], self.l_colptr[jj + 1]);
+            let mut colmax = 0.0f64;
+            for &r in &self.l_rows[lo..hi] {
+                colmax = colmax.max(x[r].abs());
+            }
+            if !d.is_finite() || d.abs() <= PIVOT_TINY {
+                return Err(SparseError::Singular { column: col });
+            }
+            if colmax > MAX_PIVOT_GROWTH * d.abs() {
+                return Err(SparseError::UnstablePivot {
+                    column: col,
+                    growth: colmax / d.abs(),
+                });
+            }
+            f.u_diag[jj] = d;
+            let inv_d = 1.0 / d;
+            for (&r, lv) in self.l_rows[lo..hi].iter().zip(&mut f.l_vals[lo..hi]) {
+                *lv = x[r] * inv_d;
+                x[r] = 0.0;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl LuFactors {
     /// Dimension of the factored matrix.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Numeric-only refactorisation: recomputes factors for `a` over the
+    /// frozen pattern and pivot sequence of `symbolic`, skipping the DFS
+    /// and pivot search. Equivalent to [`SymbolicLu::refactor`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicLu::refactor_into`]; on
+    /// [`SparseError::UnstablePivot`], fall back to a fresh [`factor`].
+    pub fn refactor(symbolic: &SymbolicLu, a: &CscMatrix) -> Result<LuFactors, SparseError> {
+        symbolic.refactor(a)
     }
 
     /// Stored entries in `L` (excluding the implicit unit diagonal).
@@ -422,6 +664,102 @@ mod tests {
     fn wrong_rhs_length_rejected() {
         let f = factor(&CscMatrix::identity(3)).unwrap();
         assert!(f.solve(&[1.0, 2.0]).is_err());
+    }
+
+    /// The advection-like grid operator used across the refactor tests.
+    fn grid_with_advection(scale: f64) -> CscMatrix {
+        let n = 30;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0 * scale + 0.05);
+        }
+        for i in 0..n - 1 {
+            t.stamp_conductance(i, i + 1, scale);
+            t.push(i + 1, i, -0.6 * scale);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_on_new_values() {
+        let a0 = grid_with_advection(1.0);
+        let (_, sym) = factor_with_symbolic(&a0, ColumnOrdering::Rcm).unwrap();
+        for scale in [0.3, 1.0, 2.5, 7.0] {
+            let a = grid_with_advection(scale);
+            let re = LuFactors::refactor(&sym, &a).unwrap();
+            let fresh = factor(&a).unwrap();
+            let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.31).cos()).collect();
+            let x_re = re.solve(&b).unwrap();
+            let x_fresh = fresh.solve(&b).unwrap();
+            for (u, v) in x_re.iter().zip(&x_fresh) {
+                assert!((u - v).abs() < 1e-11, "scale {scale}: {u} vs {v}");
+            }
+            assert!(residual_inf(&a, &x_re, &b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn refactor_into_reuses_allocations() {
+        let a0 = grid_with_advection(1.0);
+        let (mut f, sym) = factor_with_symbolic(&a0, ColumnOrdering::Rcm).unwrap();
+        let a = grid_with_advection(4.0);
+        sym.refactor_into(&a, &mut f).unwrap();
+        let b = vec![1.0; a.nrows()];
+        let x = f.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn refactor_rejects_foreign_pattern() {
+        let a0 = grid_with_advection(1.0);
+        let (_, sym) = factor_with_symbolic(&a0, ColumnOrdering::Rcm).unwrap();
+        // Same size, different pattern.
+        let other = CscMatrix::identity(a0.nrows());
+        assert!(matches!(
+            sym.refactor(&other),
+            Err(SparseError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_detects_degenerate_pivot() {
+        // Factor a well-pivoted 2x2, then hand it values that make the
+        // frozen pivot catastrophically small relative to its column.
+        let a0 =
+            CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[4.0, 1.0, 1.0, 4.0]);
+        let (_, sym) = factor_with_symbolic(&a0, ColumnOrdering::Natural).unwrap();
+        let bad =
+            CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[1e-12, 1.0, 1.0, 4.0]);
+        match sym.refactor(&bad) {
+            Err(SparseError::UnstablePivot { growth, .. }) => {
+                assert!(growth > MAX_PIVOT_GROWTH);
+            }
+            other => panic!("expected UnstablePivot, got {other:?}"),
+        }
+        // The fallback path: a fresh pivoting factorisation handles it.
+        let f = factor(&bad).unwrap();
+        let x = f.solve(&[1.0, 1.0]).unwrap();
+        assert!(residual_inf(&bad, &x, &[1.0, 1.0]) < 1e-9);
+    }
+
+    #[test]
+    fn refactor_flags_singular_values() {
+        let a0 = CscMatrix::from_triplets(2, 2, &[0, 1], &[0, 1], &[1.0, 1.0]);
+        let (_, sym) = factor_with_symbolic(&a0, ColumnOrdering::Natural).unwrap();
+        let sing = CscMatrix::from_triplets(2, 2, &[0, 1], &[0, 1], &[1.0, 0.0]);
+        assert!(matches!(
+            sym.refactor(&sing),
+            Err(SparseError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn symbolic_reports_pattern_sizes() {
+        let a = grid_with_advection(1.0);
+        let (f, sym) = factor_with_symbolic(&a, ColumnOrdering::Rcm).unwrap();
+        assert_eq!(sym.n(), a.nrows());
+        assert_eq!(sym.nnz_l(), f.nnz_l());
+        assert_eq!(sym.nnz_u(), f.nnz_u());
     }
 
     #[test]

@@ -8,10 +8,27 @@
 use crate::csc::CscMatrix;
 
 /// A permutation of `0..n`, stored as `perm[new_index] = old_index`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Permutation {
     forward: Vec<usize>,
     inverse: Vec<usize>,
+}
+
+impl Clone for Permutation {
+    fn clone(&self) -> Self {
+        Permutation {
+            forward: self.forward.clone(),
+            inverse: self.inverse.clone(),
+        }
+    }
+
+    /// Field-wise `clone_from` so hot refactorisation loops reuse the
+    /// donor's buffers instead of reallocating (a derived `Clone` would
+    /// fall back to clone-and-drop).
+    fn clone_from(&mut self, source: &Self) {
+        self.forward.clone_from(&source.forward);
+        self.inverse.clone_from(&source.inverse);
+    }
 }
 
 impl Permutation {
@@ -156,19 +173,14 @@ pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Permutation {
 
     loop {
         // Find unvisited vertex of minimum degree as the next seed.
-        let seed = (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| degree[v]);
+        let seed = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]);
         let Some(seed) = seed else { break };
         visited[seed] = true;
         queue.push_back(seed);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut neighbours: Vec<usize> = adj[v]
-                .iter()
-                .copied()
-                .filter(|&u| !visited[u])
-                .collect();
+            let mut neighbours: Vec<usize> =
+                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             neighbours.sort_unstable_by_key(|&u| degree[u]);
             for u in neighbours {
                 visited[u] = true;

@@ -104,6 +104,39 @@ impl TripletMatrix {
     pub fn to_csc(&self) -> CscMatrix {
         CscMatrix::from_triplets(self.nrows, self.ncols, &self.rows, &self.cols, &self.vals)
     }
+
+    /// Converts to CSC and returns the scatter map `slot[k]` = index into
+    /// the CSC value array that triplet entry `k` accumulates into.
+    ///
+    /// The map is what makes incremental assembly O(nnz): rebuild only the
+    /// triplet *values* for a new operating point (same push order, hence
+    /// the same pattern) and fold them into the existing matrix with
+    /// [`CscMatrix::update_values`] — no sorting, no re-allocation, no
+    /// symbolic work.
+    pub fn to_csc_with_map(&self) -> (CscMatrix, Vec<usize>) {
+        let csc = self.to_csc();
+        let mut map = Vec::with_capacity(self.vals.len());
+        for (&r, &c) in self.rows.iter().zip(&self.cols) {
+            let lo = csc.col_ptr()[c];
+            let hi = csc.col_ptr()[c + 1];
+            let k = csc.row_idx()[lo..hi]
+                .binary_search(&r)
+                .expect("triplet entry present in its own CSC");
+            map.push(lo + k);
+        }
+        (csc, map)
+    }
+
+    /// Read-only view of the raw (pre-accumulation) values, aligned with
+    /// push order.
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable view of the raw values (push order); the pattern is fixed.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +175,45 @@ mod tests {
     fn out_of_bounds_push_panics() {
         let mut t = TripletMatrix::new(2, 2);
         t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn scatter_map_tracks_duplicates() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 2, 1.5);
+        t.push(0, 0, 1.0);
+        t.push(1, 2, 2.5); // duplicate of the first entry
+        t.stamp_conductance(0, 1, 2.0);
+        let (mut a, map) = t.to_csc_with_map();
+        assert_eq!(map.len(), t.nnz());
+        assert_eq!(a.get(1, 2), 4.0);
+        // Duplicates share a slot.
+        assert_eq!(map[0], map[2]);
+        // Updating through the map reproduces a fresh conversion.
+        let mut vals: Vec<f64> = t.values().to_vec();
+        for v in &mut vals {
+            *v *= 3.0;
+        }
+        a.update_values(&map, &vals);
+        let fresh = {
+            let mut t2 = TripletMatrix::new(3, 3);
+            t2.push(1, 2, 4.5);
+            t2.push(0, 0, 3.0);
+            t2.push(1, 2, 7.5);
+            t2.stamp_conductance(0, 1, 6.0);
+            t2.to_csc()
+        };
+        assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn values_are_editable_in_place() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 2.0);
+        t.values_mut()[1] = 5.0;
+        assert_eq!(t.values(), &[1.0, 5.0]);
+        assert_eq!(t.to_csc().get(1, 1), 5.0);
     }
 
     #[test]

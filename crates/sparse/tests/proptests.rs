@@ -2,7 +2,9 @@
 //! solvers are checked against the dense oracle on randomly generated,
 //! well-conditioned systems with random sparsity.
 
-use cmosaic_sparse::{bicgstab, lu, BicgstabOptions, CscMatrix, DenseMatrix, TripletMatrix};
+use cmosaic_sparse::{
+    bicgstab, lu, BicgstabOptions, CscMatrix, DenseMatrix, SparseError, TripletMatrix,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random square, strictly diagonally dominant sparse matrix of
@@ -10,10 +12,8 @@ use proptest::prelude::*;
 fn dominant_system() -> impl Strategy<Value = (CscMatrix, Vec<f64>)> {
     (2usize..=24)
         .prop_flat_map(|n| {
-            let entries = proptest::collection::vec(
-                (0..n, 0..n, -1.0f64..1.0),
-                0..(n * n / 4).max(1),
-            );
+            let entries =
+                proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..(n * n / 4).max(1));
             let rhs = proptest::collection::vec(-10.0f64..10.0, n..=n);
             (Just(n), entries, rhs)
         })
@@ -93,6 +93,121 @@ proptest! {
             Err(cmosaic_sparse::SparseError::Breakdown { .. }) => {}
             Err(e) => prop_assert!(false, "unexpected error {e}"),
         }
+    }
+
+    /// A numeric refactorisation over the frozen pattern must agree with a
+    /// fresh pivoting factorisation for any perturbation of the values.
+    #[test]
+    fn refactor_matches_fresh_factor(
+        (a, b) in dominant_system(),
+        perturb in proptest::collection::vec(0.2f64..5.0, 64),
+    ) {
+        let (_, sym) = lu::factor_with_symbolic(&a, lu::ColumnOrdering::Rcm).unwrap();
+        // Same pattern, perturbed values (scaling preserves the diagonal
+        // dominance that keeps the frozen pivot order stable).
+        let vals: Vec<f64> = a
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(k, v)| v * perturb[k % perturb.len()])
+            .collect();
+        let a2 = {
+            let mut c = a.clone();
+            let ident: Vec<usize> = (0..a.nnz()).collect();
+            c.update_values(&ident, &vals);
+            c
+        };
+        let re = lu::LuFactors::refactor(&sym, &a2).unwrap();
+        let fresh = lu::factor(&a2).unwrap();
+        let x_re = re.solve(&b).unwrap();
+        let x_fresh = fresh.solve(&b).unwrap();
+        for (u, v) in x_re.iter().zip(&x_fresh) {
+            prop_assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    /// When a frozen pivot degenerates, the refactorisation must refuse
+    /// (singular or unstable-pivot) rather than return garbage — and the
+    /// fresh-factorisation fallback must recover a valid solve.
+    #[test]
+    fn refactor_fallback_on_degenerate_pivot(
+        (a, b) in dominant_system(),
+        column_seed in 0usize..1024,
+    ) {
+        let (_, sym) = lu::factor_with_symbolic(&a, lu::ColumnOrdering::Rcm).unwrap();
+        let n = a.nrows();
+        // Crush the diagonal entry of one column to break the frozen
+        // pivot. (The first pivot of the sequence is the one guaranteed to
+        // notice a vanished diagonal in a dominant system.)
+        let col = column_seed % n;
+        let mut vals = a.values().to_vec();
+        let mut crushed = false;
+        for (k, v) in vals.iter_mut().enumerate() {
+            let (lo, hi) = (a.col_ptr()[col], a.col_ptr()[col + 1]);
+            if (lo..hi).contains(&k) && a.row_idx()[k] == col {
+                *v *= 1e-14;
+                crushed = true;
+            }
+        }
+        prop_assert!(crushed, "dominant system always has a diagonal");
+        let a2 = {
+            let mut c = a.clone();
+            let ident: Vec<usize> = (0..a.nnz()).collect();
+            c.update_values(&ident, &vals);
+            c
+        };
+        // Crushing a diagonal can leave the matrix itself near-singular, so
+        // residuals must be judged relative to ‖A‖·‖x‖ — the backward-error
+        // criterion a pivoting factorisation actually guarantees.
+        let rel_residual = |x: &[f64]| {
+            let amax = a2.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let xinf = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let binf = b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let scale = (amax * xinf * n as f64).max(binf).max(1.0);
+            a2.matvec(x)
+                .iter()
+                .zip(&b)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0f64, f64::max)
+                / scale
+        };
+        match lu::LuFactors::refactor(&sym, &a2) {
+            Ok(re) => {
+                // The frozen sequence survived: backward error bounded by
+                // the tolerated pivot growth (1e8) times machine epsilon.
+                let x = re.solve(&b).unwrap();
+                let r = rel_residual(&x);
+                prop_assert!(r < 1e-6, "refactor relative residual {r}");
+            }
+            Err(SparseError::UnstablePivot { .. } | SparseError::Singular { .. }) => {
+                // Fallback path: a fresh pivoting factorisation handles the
+                // same values with a clean backward error.
+                let fresh = lu::factor(&a2).unwrap();
+                let x = fresh.solve(&b).unwrap();
+                let r = rel_residual(&x);
+                prop_assert!(r < 1e-10, "fallback relative residual {r}");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// The triplet→CSC scatter map reproduces `to_csc` for any value
+    /// rewrite of the same pattern.
+    #[test]
+    fn scatter_map_update_matches_fresh_conversion(
+        entries in proptest::collection::vec((0usize..12, 0usize..12, -3.0f64..3.0), 1..80),
+        scale in -2.0f64..2.0,
+    ) {
+        let mut t = TripletMatrix::new(12, 12);
+        for &(r, c, v) in &entries {
+            t.push(r, c, v);
+        }
+        let (mut csc, map) = t.to_csc_with_map();
+        for v in t.values_mut() {
+            *v *= scale;
+        }
+        csc.update_values(&map, t.values());
+        prop_assert_eq!(csc, t.to_csc());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Bounded least-recently-used cache for factorised operators.
+//!
+//! A run-time controller modulating the pump continuously can visit an
+//! unbounded set of (flow, Δt) operating points; an unbounded map of
+//! factorisations is a slow memory leak. Operators are cheap to rebuild
+//! through the numeric refactorisation path, so a small LRU loses little
+//! on eviction.
+
+/// A fixed-capacity LRU map over a small number of entries.
+///
+/// Backed by a `Vec` kept in recency order (most recent last): with the
+/// single-digit capacities used here, linear scans beat any pointer-chasing
+/// scheme.
+#[derive(Debug, Clone)]
+pub(crate) struct LruCache<K: Eq + Copy, V> {
+    capacity: usize,
+    entries: Vec<(K, V)>,
+    evictions: u64,
+}
+
+impl<K: Eq + Copy, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `k`, marking it most recently used.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        let idx = self.entries.iter().position(|(key, _)| key == k)?;
+        let entry = self.entries.remove(idx);
+        self.entries.push(entry);
+        Some(&self.entries.last().expect("just pushed").1)
+    }
+
+    /// Looks up `k` without touching recency (usable through `&self`).
+    pub fn peek(&self, k: &K) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces `k`, evicting the least recently used entry if
+    /// the cache is full.
+    pub fn insert(&mut self, k: K, v: V) {
+        if let Some(idx) = self.entries.iter().position(|(key, _)| *key == k) {
+            self.entries.remove(idx);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+        self.entries.push((k, v));
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // 1 becomes most recent
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.peek(&2).is_none());
+        assert_eq!(c.peek(&1), Some(&"a"));
+        assert_eq!(c.peek(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.peek(&1), Some(&11));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u32, ()>::new(0);
+    }
+}

@@ -119,7 +119,8 @@ impl TemperatureField {
 
     /// Sink-node temperature, for air-cooled stacks.
     pub fn sink(&self) -> Option<Kelvin> {
-        self.has_sink.then(|| Kelvin(*self.data.last().expect("non-empty")))
+        self.has_sink
+            .then(|| Kelvin(*self.data.last().expect("non-empty")))
     }
 
     /// Area-averaged temperature of one floorplan element on a tier.
@@ -205,7 +206,9 @@ mod tests {
             vec![0],
             1.0,
             1.0,
-            vec![300.0, 301.0, 302.0, 303.0, 310.0, 311.0, 312.0, 313.0, 320.0],
+            vec![
+                300.0, 301.0, 302.0, 303.0, 310.0, 311.0, 312.0, 313.0, 320.0,
+            ],
             true,
         )
     }

@@ -23,9 +23,35 @@
 //!   140 J/K) above the top layer, grounded at the 45 °C ambient.
 //!
 //! Steady state solves `G·T = P`; transients use backward Euler
-//! `(C/Δt + G)·T⁺ = C/Δt·T + P`. Factorisations are cached per flow level,
-//! so a run-time controller sweeping a handful of discrete pump settings
-//! pays for each factorisation once.
+//! `(C/Δt + G)·T⁺ = C/Δt·T + P`.
+//!
+//! # Solver architecture: symbolic/numeric split + incremental assembly
+//!
+//! The sparsity pattern of the RC network is fixed by (stack, grid), so
+//! the model separates what changes from what does not:
+//!
+//! * the flow-independent skeleton (conduction, wall through-paths, sink,
+//!   one capacitance-diagonal slot per node) is assembled **once** at
+//!   first solve, together with a triplet→CSC scatter map;
+//! * every operating-point change — a new flow rate, a new transient Δt,
+//!   each sweep of the two-phase fixed-point loop — is an O(nnz) value
+//!   rewrite into the existing CSC operator;
+//! * exactly **one full pivoting factorisation** is performed per model
+//!   (per sparsity pattern: single-phase and two-phase operators differ),
+//!   capturing a `SymbolicLu`; every later operator is produced by numeric
+//!   refactorisation over that frozen pattern — the same trick 3D-ICE
+//!   obtains by linking SuperLU. If a refactorisation trips the
+//!   pivot-growth guard (it cannot for these diagonally-dominant
+//!   operators under physical parameters, but the fallback is load-bearing
+//!   for robustness), the model transparently re-pivots and re-captures
+//!   the symbolic analysis.
+//!
+//! Factorised operators are held in small bounded LRU caches (one steady,
+//! one transient), so a controller sweeping the discrete pump levels pays
+//! solve-only cost at revisited operating points while continuous
+//! modulation cannot grow memory without bound.
+//! [`ThermalModel::solver_stats`] and [`ThermalModel::cached_operators`]
+//! expose the full/refactor/fallback counters and cache evictions.
 //!
 //! # Example
 //!
@@ -53,12 +79,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 pub mod field;
 pub mod model;
 pub mod params;
 
 pub use field::TemperatureField;
-pub use model::{ThermalModel, TwoPhaseSummary};
+pub use model::{CacheStats, SolverStats, ThermalModel, TwoPhaseSummary};
 pub use params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
 
 use cmosaic_floorplan::FloorplanError;

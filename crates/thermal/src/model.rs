@@ -1,17 +1,35 @@
 //! The compact thermal model itself: RC-network assembly and solvers.
-
-use std::collections::HashMap;
+//!
+//! # Solver architecture: one symbolic analysis, many numeric sweeps
+//!
+//! The sparsity pattern of the RC network is fixed by (stack, grid): flow
+//! rates, transient time steps and two-phase fixed-point sweeps change only
+//! matrix *values*. The model therefore assembles the flow-independent
+//! conduction/capacitance skeleton exactly once ([`OperatorSkeleton`]),
+//! keeps a triplet→CSC scatter map so each new operating point is an
+//! O(nnz) value rewrite into the existing CSC, and runs exactly one full
+//! pivoting factorisation per configuration — every later operator is
+//! produced by [`SymbolicLu`] numeric refactorisation (with an automatic
+//! re-pivoting fallback if the frozen pivot sequence degrades). The
+//! [`SolverStats`] counters expose which path each solve took.
 
 use cmosaic_floorplan::stack::{CavitySpec, HeatSinkSpec, LayerKind, Stack3d};
 use cmosaic_floorplan::GridSpec;
 use cmosaic_hydraulics::duct::ChannelGeometry;
 use cmosaic_hydraulics::LiquidProperties;
 use cmosaic_materials::units::{Kelvin, Pressure, VolumetricFlow};
-use cmosaic_sparse::{lu, LuFactors, TripletMatrix};
+use cmosaic_sparse::{lu, CscMatrix, LuFactors, SparseError, SymbolicLu, TripletMatrix};
 
+use crate::cache::LruCache;
 use crate::field::TemperatureField;
 use crate::params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
 use crate::ThermalError;
+
+/// Bound on each operator cache (steady and transient separately): a
+/// continuously-modulating controller visits unboundedly many operating
+/// points, and evicted operators cost only a cheap refactorisation to
+/// rebuild.
+const OPERATOR_CACHE_CAPACITY: usize = 8;
 
 /// Per-layer data derived from the stack description.
 #[derive(Debug, Clone)]
@@ -30,6 +48,126 @@ struct CachedOperator {
     factors: LuFactors,
     /// Flow-dependent constant RHS (advection inlet terms, sink ambient).
     rhs_base: Vec<f64>,
+}
+
+/// Counters for the solver paths a model has taken (diagnostics).
+///
+/// A healthy model shows `full_factorizations == 1` per sparsity pattern it
+/// owns (one for the single-phase operator, one for the two-phase operator
+/// if used) with everything else served by `refactorizations`;
+/// `pivot_fallbacks` counts refactorisations that degraded and triggered a
+/// fresh pivoting factorisation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Full pivoting factorisations (symbolic + numeric).
+    pub full_factorizations: u64,
+    /// Numeric-only refactorisations over a frozen pattern.
+    pub refactorizations: u64,
+    /// Refactorisations aborted for pivot growth, repaired by a full
+    /// factorisation (already counted in `full_factorizations`).
+    pub pivot_fallbacks: u64,
+    /// O(nnz) value rewrites of an existing CSC operator.
+    pub value_updates: u64,
+}
+
+/// Occupancy and eviction statistics of the bounded operator caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached steady-state operators.
+    pub steady_entries: usize,
+    /// Cached transient (per-Δt) operators.
+    pub transient_entries: usize,
+    /// Steady operators evicted since construction.
+    pub steady_evictions: u64,
+    /// Transient operators evicted since construction.
+    pub transient_evictions: u64,
+    /// Per-cache capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Total live cached operators across both caches.
+    pub fn entries(&self) -> usize {
+        self.steady_entries + self.transient_entries
+    }
+
+    /// Total evictions across both caches.
+    pub fn evictions(&self) -> u64 {
+        self.steady_evictions + self.transient_evictions
+    }
+}
+
+/// One sparsity pattern's worth of reusable solver state: the assembled
+/// CSC operator (values rewritten per operating point), the triplet→CSC
+/// scatter map, the flow-independent baseline values/RHS, and the frozen
+/// symbolic analysis shared by every factorisation of this pattern.
+#[derive(Debug, Clone)]
+struct OperatorSkeleton {
+    csc: CscMatrix,
+    /// `map[k]` = CSC value slot of triplet entry `k`.
+    map: Vec<usize>,
+    /// Triplet-ordered values of the static (flow-independent) entries;
+    /// dynamic slots are zero.
+    base_vals: Vec<f64>,
+    /// RHS contributions of the static entries (sink ambient).
+    base_rhs: Vec<f64>,
+    /// Triplet index of node `i`'s explicit capacitance-diagonal slot is
+    /// `diag_start + i`; `None` for patterns with no transient use.
+    diag_start: Option<usize>,
+    /// First triplet index of the operating-point-dependent tail.
+    dyn_start: usize,
+    /// Frozen symbolic analysis; `None` until the first factorisation.
+    symbolic: Option<SymbolicLu>,
+}
+
+impl OperatorSkeleton {
+    /// Builds the skeleton around a fully-pushed pattern triplet.
+    fn new(
+        tri: &TripletMatrix,
+        base_rhs: Vec<f64>,
+        diag_start: Option<usize>,
+        dyn_start: usize,
+    ) -> Self {
+        let (csc, map) = tri.to_csc_with_map();
+        OperatorSkeleton {
+            csc,
+            map,
+            base_vals: tri.values().to_vec(),
+            base_rhs,
+            diag_start,
+            dyn_start,
+            symbolic: None,
+        }
+    }
+
+    /// Rewrites the operator values and factorises: a numeric
+    /// refactorisation whenever a symbolic analysis exists, with automatic
+    /// fallback to (and capture of) a fresh pivoting factorisation on
+    /// pivot-growth degradation.
+    fn factorize(
+        &mut self,
+        vals: &[f64],
+        stats: &mut SolverStats,
+    ) -> Result<LuFactors, SparseError> {
+        self.csc.update_values(&self.map, vals);
+        stats.value_updates += 1;
+        if let Some(sym) = &self.symbolic {
+            match sym.refactor(&self.csc) {
+                Ok(f) => {
+                    stats.refactorizations += 1;
+                    return Ok(f);
+                }
+                Err(SparseError::UnstablePivot { .. }) => {
+                    stats.pivot_fallbacks += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let (factors, symbolic) = lu::factor_with_symbolic(&self.csc, lu::ColumnOrdering::Rcm)?;
+        stats.full_factorizations += 1;
+        self.symbolic = Some(symbolic);
+        Ok(factors)
+    }
 }
 
 /// The compact transient thermal model of one 3D stack.
@@ -55,8 +193,14 @@ pub struct ThermalModel {
     flow: VolumetricFlow,
     state: Vec<f64>,
     capacitance: Vec<f64>,
-    steady_cache: HashMap<u64, CachedOperator>,
-    transient_cache: HashMap<(u64, u64), CachedOperator>,
+    steady_cache: LruCache<u64, CachedOperator>,
+    transient_cache: LruCache<(u64, u64), CachedOperator>,
+    /// Shared pattern/symbolic state of the single-phase operator.
+    skeleton: Option<OperatorSkeleton>,
+    /// Shared pattern/symbolic state of the two-phase (Dirichlet-fluid)
+    /// operator, which has a different sparsity pattern.
+    tp_skeleton: Option<OperatorSkeleton>,
+    stats: SolverStats,
     two_phase_summary: Option<TwoPhaseSummary>,
 }
 
@@ -130,13 +274,12 @@ impl ThermalModel {
                 detail: "no heat-removal path (neither cavities nor a sink)".into(),
             });
         }
-        let coolant = LiquidProperties::water_at(params.inlet)
-            .map_err(|e| match e {
-                cmosaic_hydraulics::HydraulicsError::Material(m) => ThermalError::Material(m),
-                other => ThermalError::UnsupportedStack {
-                    detail: other.to_string(),
-                },
-            })?;
+        let coolant = LiquidProperties::water_at(params.inlet).map_err(|e| match e {
+            cmosaic_hydraulics::HydraulicsError::Material(m) => ThermalError::Material(m),
+            other => ThermalError::UnsupportedStack {
+                detail: other.to_string(),
+            },
+        })?;
 
         let n_cells = grid.cell_count() * layers.len();
         let has_sink = stack.sink().is_some();
@@ -161,8 +304,11 @@ impl ThermalModel {
             flow: VolumetricFlow(0.0),
             state: vec![params.initial.0; n_nodes],
             capacitance: Vec::new(),
-            steady_cache: HashMap::new(),
-            transient_cache: HashMap::new(),
+            steady_cache: LruCache::new(OPERATOR_CACHE_CAPACITY),
+            transient_cache: LruCache::new(OPERATOR_CACHE_CAPACITY),
+            skeleton: None,
+            tp_skeleton: None,
+            stats: SolverStats::default(),
             two_phase_summary: None,
         };
         model.capacitance = model.build_capacitance();
@@ -255,9 +401,11 @@ impl ThermalModel {
     ) -> Result<(f64, f64), ThermalError> {
         let n_ch = spec.channel_count(self.height).max(1);
         let q_ch = q.0 / n_ch as f64;
-        let geom = ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
-            .map_err(|e| ThermalError::InvalidFlow {
-                detail: e.to_string(),
+        let geom =
+            ChannelGeometry::new(spec.channel_width(), spec.height(), self.width).map_err(|e| {
+                ThermalError::InvalidFlow {
+                    detail: e.to_string(),
+                }
             })?;
         let h = geom
             .heat_transfer_coefficient(q_ch, &self.coolant)
@@ -291,9 +439,11 @@ impl ThermalModel {
             });
         }
         let n_ch = spec.channel_count(self.height).max(1);
-        let geom = ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
-            .map_err(|e| ThermalError::InvalidFlow {
-                detail: e.to_string(),
+        let geom =
+            ChannelGeometry::new(spec.channel_width(), spec.height(), self.width).map_err(|e| {
+                ThermalError::InvalidFlow {
+                    detail: e.to_string(),
+                }
             })?;
         geom.pressure_drop(self.flow.0 / n_ch as f64, &self.coolant)
             .map_err(|e| ThermalError::InvalidFlow {
@@ -353,11 +503,28 @@ impl ThermalModel {
         1.0 / inv
     }
 
-    /// Assembles the conductance matrix and flow-dependent base RHS.
-    fn assemble(&self, flow: VolumetricFlow) -> Result<(TripletMatrix, Vec<f64>), ThermalError> {
+    /// Solid neighbours of cavity layer `z` (the layers its fluid cells
+    /// convect to).
+    fn cavity_neighbours(&self, z: usize) -> (Option<usize>, Option<usize>) {
+        let below = z
+            .checked_sub(1)
+            .filter(|&b| matches!(self.layers[b], LayerModel::Solid { .. }));
+        let above = (z + 1 < self.layers.len())
+            .then_some(z + 1)
+            .filter(|&a| matches!(self.layers[a], LayerModel::Solid { .. }));
+        (below, above)
+    }
+
+    /// Assembles the flow-independent skeleton of the single-phase
+    /// operator, exactly once per model: all static entries (conduction,
+    /// wall through-paths, sink) carry their final values; one explicit
+    /// capacitance-diagonal slot per node and the flow-dependent tail
+    /// (convection, advection) are pushed as zero-valued placeholders for
+    /// [`ThermalModel::fill_flow_values`] to rewrite.
+    fn build_skeleton(&self) -> OperatorSkeleton {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
-        let mut t = TripletMatrix::with_capacity(self.n_nodes, self.n_nodes, self.n_nodes * 8);
+        let mut t = TripletMatrix::with_capacity(self.n_nodes, self.n_nodes, self.n_nodes * 10);
         let mut rhs = vec![0.0; self.n_nodes];
         let a_cell = self.cell_area();
 
@@ -382,86 +549,41 @@ impl ThermalModel {
             }
         }
 
-        // Vertical coupling between adjacent layers.
+        // Vertical coupling between adjacent solid layers.
         for z in 0..self.layers.len().saturating_sub(1) {
             let below_solid = matches!(self.layers[z], LayerModel::Solid { .. });
             let above_solid = matches!(self.layers[z + 1], LayerModel::Solid { .. });
             if below_solid && above_solid {
-                let g = Self::series(&[self.half_conductance(z, 1.0), self.half_conductance(z + 1, 1.0)]);
+                let g = Self::series(&[
+                    self.half_conductance(z, 1.0),
+                    self.half_conductance(z + 1, 1.0),
+                ]);
                 for iy in 0..ny {
                     for ix in 0..nx {
                         t.stamp_conductance(self.node(z, iy, ix), self.node(z + 1, iy, ix), g);
                     }
                 }
             }
-            // Cavity↔solid handled below together with the cavity pass.
+            // Cavity↔solid coupling is flow-dependent (below).
         }
 
-        // Cavity layers: convection to neighbours, wall through-path,
-        // advection.
+        // Cavity silicon-wall through-paths (geometry only, static).
         for (z, l) in self.layers.iter().enumerate() {
             let LayerModel::Cavity { spec } = l else {
                 continue;
             };
-            let (q_ch, h) = self.channel_operating_point(spec, flow)?;
-            let phi = spec.porosity();
-            let hc = spec.height();
-            let pitch = spec.pitch();
-            let t_wall = pitch - spec.channel_width();
-            let k_wall = spec.wall().thermal_conductivity();
-            // Fin efficiency of the channel side walls.
-            let m = (2.0 * h / (k_wall * t_wall)).sqrt();
-            let mh = m * hc / 2.0;
-            let eta_fin = if mh > 1e-9 { mh.tanh() / mh } else { 1.0 };
-            // Effective wetted area per cell per side: channel floor (or
-            // ceiling) plus half of the two side-wall fins.
-            let a_eff = a_cell * (phi + (hc / pitch) * eta_fin);
-            let g_conv = h * a_eff;
-
-            let below = z.checked_sub(1).filter(|&b| matches!(self.layers[b], LayerModel::Solid { .. }));
-            let above = (z + 1 < self.layers.len())
-                .then_some(z + 1)
-                .filter(|&a| matches!(self.layers[a], LayerModel::Solid { .. }));
-
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let f = self.node(z, iy, ix);
-                    if let Some(b) = below {
-                        let g = Self::series(&[g_conv, self.half_conductance(b, 1.0)]);
-                        t.stamp_conductance(f, self.node(b, iy, ix), g);
-                    }
-                    if let Some(a) = above {
-                        let g = Self::series(&[g_conv, self.half_conductance(a, 1.0)]);
-                        t.stamp_conductance(f, self.node(a, iy, ix), g);
-                    }
-                    // Silicon wall path from below-layer to above-layer.
-                    if let (Some(b), Some(a)) = (below, above) {
-                        let g_wall = Self::series(&[
-                            self.half_conductance(b, 1.0 - phi),
-                            k_wall * a_cell * (1.0 - phi) / self.thicknesses[z],
-                            self.half_conductance(a, 1.0 - phi),
-                        ]);
+            let (below, above) = self.cavity_neighbours(z);
+            if let (Some(b), Some(a)) = (below, above) {
+                let phi = spec.porosity();
+                let k_wall = spec.wall().thermal_conductivity();
+                let g_wall = Self::series(&[
+                    self.half_conductance(b, 1.0 - phi),
+                    k_wall * a_cell * (1.0 - phi) / self.thicknesses[z],
+                    self.half_conductance(a, 1.0 - phi),
+                ]);
+                for iy in 0..ny {
+                    for ix in 0..nx {
                         t.stamp_conductance(self.node(b, iy, ix), self.node(a, iy, ix), g_wall);
-                    }
-                }
-            }
-
-            // Advection along +x.
-            let n_ch_cell = self.dy / pitch;
-            let mdot_cp =
-                self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
-            let coeff = match self.params.advection {
-                AdvectionScheme::Upwind => mdot_cp,
-                AdvectionScheme::LinearProfile => 2.0 * mdot_cp,
-            };
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let i = self.node(z, iy, ix);
-                    t.push(i, i, coeff);
-                    if ix > 0 {
-                        t.push(i, self.node(z, iy, ix - 1), -coeff);
-                    } else {
-                        rhs[i] += coeff * self.params.inlet.0;
                     }
                 }
             }
@@ -481,7 +603,120 @@ impl ThermalModel {
             rhs[s] += sink.conductance * sink.ambient.0;
         }
 
-        Ok((t, rhs))
+        // One explicit diagonal slot per node: zero in steady operators,
+        // C/Δt in transient ones — keeping both on the same pattern so they
+        // share one symbolic analysis.
+        let diag_start = t.nnz();
+        for i in 0..self.n_nodes {
+            t.push(i, i, 0.0);
+        }
+
+        // Flow-dependent tail: cavity convection and advection
+        // placeholders, in the exact order `fill_flow_values` writes them.
+        // The four conductance slots are pushed explicitly (not via
+        // `stamp_conductance`) so the slot order is owned by this module
+        // alongside the fill helper that rewrites it.
+        let dyn_start = t.nnz();
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { .. } = l else {
+                continue;
+            };
+            let (below, above) = self.cavity_neighbours(z);
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let f = self.node(z, iy, ix);
+                    for n in [below, above].into_iter().flatten() {
+                        let ni = self.node(n, iy, ix);
+                        // Conductance slot order: (f,f), (n,n), (f,n), (n,f)
+                        // — must match `fill_flow_values::stamp`.
+                        t.push(f, f, 0.0);
+                        t.push(ni, ni, 0.0);
+                        t.push(f, ni, 0.0);
+                        t.push(ni, f, 0.0);
+                    }
+                }
+            }
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let i = self.node(z, iy, ix);
+                    t.push(i, i, 0.0);
+                    if ix > 0 {
+                        t.push(i, self.node(z, iy, ix - 1), 0.0);
+                    }
+                }
+            }
+        }
+
+        OperatorSkeleton::new(&t, rhs, Some(diag_start), dyn_start)
+    }
+
+    /// Rewrites the flow-dependent tail of the triplet value vector (and
+    /// the advection inlet RHS terms) for `flow` — the O(nnz) half of an
+    /// operator rebuild. The write order mirrors
+    /// [`ThermalModel::build_skeleton`]'s placeholder order exactly.
+    fn fill_flow_values(
+        &self,
+        flow: VolumetricFlow,
+        dyn_start: usize,
+        vals: &mut [f64],
+        rhs: &mut [f64],
+    ) -> Result<(), ThermalError> {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut k = dyn_start;
+        // Conductance slot order (f,f), (n,n), (f,n), (n,f) → +g, +g, −g,
+        // −g; must match the placeholder pushes in `build_skeleton`.
+        fn stamp(vals: &mut [f64], k: &mut usize, g: f64) {
+            vals[*k] = g;
+            vals[*k + 1] = g;
+            vals[*k + 2] = -g;
+            vals[*k + 3] = -g;
+            *k += 4;
+        }
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { spec } = l else {
+                continue;
+            };
+            let (q_ch, h) = self.channel_operating_point(spec, flow)?;
+            let a_eff = self.effective_wetted_area(spec, h);
+            let g_conv = h * a_eff;
+            let (below, above) = self.cavity_neighbours(z);
+            let g_below = below.map(|b| Self::series(&[g_conv, self.half_conductance(b, 1.0)]));
+            let g_above = above.map(|a| Self::series(&[g_conv, self.half_conductance(a, 1.0)]));
+            for _iy in 0..ny {
+                for _ix in 0..nx {
+                    if let Some(g) = g_below {
+                        stamp(vals, &mut k, g);
+                    }
+                    if let Some(g) = g_above {
+                        stamp(vals, &mut k, g);
+                    }
+                }
+            }
+
+            // Advection along +x.
+            let pitch = spec.pitch();
+            let n_ch_cell = self.dy / pitch;
+            let mdot_cp = self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
+            let coeff = match self.params.advection {
+                AdvectionScheme::Upwind => mdot_cp,
+                AdvectionScheme::LinearProfile => 2.0 * mdot_cp,
+            };
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    vals[k] = coeff;
+                    k += 1;
+                    if ix > 0 {
+                        vals[k] = -coeff;
+                        k += 1;
+                    } else {
+                        rhs[self.node(z, iy, ix)] += coeff * self.params.inlet.0;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(k, vals.len(), "dynamic fill must cover the whole tail");
+        Ok(())
     }
 
     fn flow_key(&self) -> u64 {
@@ -492,18 +727,54 @@ impl ThermalModel {
         }
     }
 
-    fn ensure_steady(&mut self) -> Result<(), ThermalError> {
-        let key = self.flow_key();
-        if self.steady_cache.contains_key(&key) {
-            return Ok(());
+    /// Produces the single-phase operator values and RHS for `flow` (and,
+    /// for transients, `Δt = dt`) by an O(nnz) rewrite of the skeleton's
+    /// baseline. The skeleton must exist.
+    fn operator_values(
+        &self,
+        flow: VolumetricFlow,
+        dt: Option<f64>,
+    ) -> Result<(Vec<f64>, Vec<f64>), ThermalError> {
+        let skel = self.skeleton.as_ref().expect("skeleton built");
+        let mut vals = skel.base_vals.clone();
+        let mut rhs = skel.base_rhs.clone();
+        if let Some(dt) = dt {
+            let d0 = skel
+                .diag_start
+                .expect("single-phase skeleton has diagonal slots");
+            for (i, &c) in self.capacitance.iter().enumerate() {
+                vals[d0 + i] = c / dt;
+            }
         }
+        let dyn_start = skel.dyn_start;
+        self.fill_flow_values(flow, dyn_start, &mut vals, &mut rhs)?;
+        Ok((vals, rhs))
+    }
+
+    fn check_flow_set(&self) -> Result<(), ThermalError> {
         if self.is_liquid_cooled() && self.flow.0 <= 0.0 {
             return Err(ThermalError::InvalidFlow {
                 detail: "liquid-cooled stack: call set_flow_rate first".into(),
             });
         }
-        let (t, rhs_base) = self.assemble(self.flow)?;
-        let factors = lu::factor(&t.to_csc())?;
+        Ok(())
+    }
+
+    fn ensure_steady(&mut self) -> Result<(), ThermalError> {
+        let key = self.flow_key();
+        if self.steady_cache.get(&key).is_some() {
+            return Ok(());
+        }
+        self.check_flow_set()?;
+        if self.skeleton.is_none() {
+            self.skeleton = Some(self.build_skeleton());
+        }
+        let (vals, rhs_base) = self.operator_values(self.flow, None)?;
+        let factors = self
+            .skeleton
+            .as_mut()
+            .expect("just built")
+            .factorize(&vals, &mut self.stats)?;
         self.steady_cache
             .insert(key, CachedOperator { factors, rhs_base });
         Ok(())
@@ -511,25 +782,29 @@ impl ThermalModel {
 
     fn ensure_transient(&mut self, dt: f64) -> Result<(), ThermalError> {
         let key = (self.flow_key(), dt.to_bits());
-        if self.transient_cache.contains_key(&key) {
+        if self.transient_cache.get(&key).is_some() {
             return Ok(());
         }
-        if self.is_liquid_cooled() && self.flow.0 <= 0.0 {
-            return Err(ThermalError::InvalidFlow {
-                detail: "liquid-cooled stack: call set_flow_rate first".into(),
-            });
+        self.check_flow_set()?;
+        if self.skeleton.is_none() {
+            self.skeleton = Some(self.build_skeleton());
         }
-        let (mut t, rhs_base) = self.assemble(self.flow)?;
-        for (i, &c) in self.capacitance.iter().enumerate() {
-            t.push(i, i, c / dt);
-        }
-        let factors = lu::factor(&t.to_csc())?;
+        let (vals, rhs_base) = self.operator_values(self.flow, Some(dt))?;
+        let factors = self
+            .skeleton
+            .as_mut()
+            .expect("just built")
+            .factorize(&vals, &mut self.stats)?;
         self.transient_cache
             .insert(key, CachedOperator { factors, rhs_base });
         Ok(())
     }
 
-    fn scatter_powers(&self, tier_powers: &[Vec<f64>], rhs: &mut [f64]) -> Result<(), ThermalError> {
+    fn scatter_powers(
+        &self,
+        tier_powers: &[Vec<f64>],
+        rhs: &mut [f64],
+    ) -> Result<(), ThermalError> {
         if tier_powers.len() != self.source_layers.len() {
             return Err(ThermalError::PowerShape {
                 detail: format!(
@@ -587,7 +862,10 @@ impl ThermalModel {
             return self.steady_state_two_phase(&tp, tier_powers);
         }
         self.ensure_steady()?;
-        let op = &self.steady_cache[&self.flow_key()];
+        let op = self
+            .steady_cache
+            .peek(&self.flow_key())
+            .expect("ensured above");
         let mut rhs = op.rhs_base.clone();
         self.scatter_powers(tier_powers, &mut rhs)?;
         let x = op.factors.solve(&rhs)?;
@@ -656,11 +934,18 @@ impl ThermalModel {
             min_saturation: tp.inlet_saturation,
         };
 
+        if self.tp_skeleton.is_none() {
+            self.tp_skeleton = Some(self.build_tp_skeleton());
+        }
         for _sweep in 0..6 {
-            let (t, rhs_base) = self.assemble_two_phase(&h_map, &tsat_map)?;
+            let (vals, rhs_base) = self.two_phase_values(&h_map, &tsat_map)?;
+            let factors = self
+                .tp_skeleton
+                .as_mut()
+                .expect("just built")
+                .factorize(&vals, &mut self.stats)?;
             let mut rhs = rhs_base;
             self.scatter_powers(tier_powers, &mut rhs)?;
-            let factors = lu::factor(&t.to_csc())?;
             self.state = factors.solve(&rhs)?;
 
             // Per-cell heat into the fluid, then re-march quality/pressure
@@ -670,11 +955,10 @@ impl ThermalModel {
             summary.max_exit_quality = tp.inlet_quality;
             summary.min_saturation = tp.inlet_saturation;
             for (z, spec) in &cavity_layers {
-                let geom =
-                    ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
-                        .map_err(|e| ThermalError::InvalidFlow {
-                            detail: e.to_string(),
-                        })?;
+                let geom = ChannelGeometry::new(spec.channel_width(), spec.height(), self.width)
+                    .map_err(|e| ThermalError::InvalidFlow {
+                        detail: e.to_string(),
+                    })?;
                 let n_ch_cell = self.dy / spec.pitch();
                 let mdot_cell = tp.mass_flux * geom.cross_area() * n_ch_cell;
                 let below = z.checked_sub(1);
@@ -770,14 +1054,12 @@ impl ThermalModel {
         self.cell_area() * (phi + (hc / pitch) * eta_fin)
     }
 
-    /// Assembles the two-phase operator: fluid cells are Dirichlet rows at
-    /// the local saturation temperature; solid neighbours couple to them
-    /// one-sidedly through the boiling conductance.
-    fn assemble_two_phase(
-        &self,
-        h_map: &[f64],
-        tsat_map: &[f64],
-    ) -> Result<(TripletMatrix, Vec<f64>), ThermalError> {
+    /// Assembles the static part of the two-phase operator once: fluid
+    /// cells are Dirichlet rows (unit diagonal), solid conduction and the
+    /// wall through-paths carry their final values, and the boiling-HTC-
+    /// dependent one-sided couplings are zero-valued placeholders for
+    /// [`ThermalModel::fill_two_phase_values`].
+    fn build_tp_skeleton(&self) -> OperatorSkeleton {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
         let mut t = TripletMatrix::with_capacity(self.n_nodes, self.n_nodes, self.n_nodes * 8);
@@ -822,36 +1104,20 @@ impl ThermalModel {
             }
         }
 
-        // Cavity layers: Dirichlet fluid nodes + one-sided convective
-        // coupling + the silicon wall through-path.
+        // Cavity layers: Dirichlet fluid rows and silicon wall paths.
         for (z, l) in self.layers.iter().enumerate() {
             let LayerModel::Cavity { spec } = l else {
                 continue;
             };
             let phi = spec.porosity();
             let k_wall = spec.wall().thermal_conductivity();
-            let below = z
-                .checked_sub(1)
-                .filter(|&b| matches!(self.layers[b], LayerModel::Solid { .. }));
-            let above = (z + 1 < self.layers.len())
-                .then_some(z + 1)
-                .filter(|&a| matches!(self.layers[a], LayerModel::Solid { .. }));
+            let (below, above) = self.cavity_neighbours(z);
             for iy in 0..ny {
                 for ix in 0..nx {
                     let f = self.node(z, iy, ix);
-                    // Dirichlet row: T_f = T_sat(local).
+                    // Dirichlet row: T_f = T_sat(local); the RHS value is
+                    // dynamic.
                     t.push(f, f, 1.0);
-                    rhs[f] = tsat_map[f];
-                    let a_eff = self.effective_wetted_area(spec, h_map[f]);
-                    for n in [below, above].into_iter().flatten() {
-                        let g = Self::series(&[
-                            h_map[f] * a_eff,
-                            self.half_conductance(n, 1.0),
-                        ]);
-                        let ni = self.node(n, iy, ix);
-                        t.push(ni, ni, g);
-                        t.push(ni, f, -g);
-                    }
                     if let (Some(b), Some(a)) = (below, above) {
                         let g_wall = Self::series(&[
                             self.half_conductance(b, 1.0 - phi),
@@ -877,7 +1143,64 @@ impl ThermalModel {
             rhs[s] += sink.conductance * sink.ambient.0;
         }
 
-        Ok((t, rhs))
+        // Boiling-HTC-dependent one-sided couplings, placeholder order
+        // mirrored by `fill_two_phase_values`.
+        let dyn_start = t.nnz();
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { .. } = l else {
+                continue;
+            };
+            let (below, above) = self.cavity_neighbours(z);
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let f = self.node(z, iy, ix);
+                    for n in [below, above].into_iter().flatten() {
+                        let ni = self.node(n, iy, ix);
+                        t.push(ni, ni, 0.0);
+                        t.push(ni, f, 0.0);
+                    }
+                }
+            }
+        }
+
+        OperatorSkeleton::new(&t, rhs, None, dyn_start)
+    }
+
+    /// Produces the two-phase operator values and RHS for the given local
+    /// HTC and saturation-temperature fields — an O(nnz) rewrite per
+    /// fixed-point sweep.
+    fn two_phase_values(
+        &self,
+        h_map: &[f64],
+        tsat_map: &[f64],
+    ) -> Result<(Vec<f64>, Vec<f64>), ThermalError> {
+        let skel = self.tp_skeleton.as_ref().expect("two-phase skeleton built");
+        let mut vals = skel.base_vals.clone();
+        let mut rhs = skel.base_rhs.clone();
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut k = skel.dyn_start;
+        for (z, l) in self.layers.iter().enumerate() {
+            let LayerModel::Cavity { spec } = l else {
+                continue;
+            };
+            let (below, above) = self.cavity_neighbours(z);
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let f = self.node(z, iy, ix);
+                    rhs[f] = tsat_map[f];
+                    let a_eff = self.effective_wetted_area(spec, h_map[f]);
+                    for n in [below, above].into_iter().flatten() {
+                        let g = Self::series(&[h_map[f] * a_eff, self.half_conductance(n, 1.0)]);
+                        vals[k] = g;
+                        vals[k + 1] = -g;
+                        k += 2;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(k, vals.len(), "dynamic fill must cover the whole tail");
+        Ok((vals, rhs))
     }
 
     /// Advances the transient state by `dt` seconds under the given power
@@ -904,11 +1227,14 @@ impl ThermalModel {
             });
         }
         self.ensure_transient(dt)?;
-        let op = &self.transient_cache[&(self.flow_key(), dt.to_bits())];
+        let op = self
+            .transient_cache
+            .peek(&(self.flow_key(), dt.to_bits()))
+            .expect("ensured above");
         let mut rhs = op.rhs_base.clone();
         self.scatter_powers(tier_powers, &mut rhs)?;
-        for i in 0..self.n_nodes {
-            rhs[i] += self.capacitance[i] / dt * self.state[i];
+        for ((r, &c), &s) in rhs.iter_mut().zip(&self.capacitance).zip(&self.state) {
+            *r += c / dt * s;
         }
         let x = op.factors.solve(&rhs)?;
         self.state = x;
@@ -944,8 +1270,7 @@ impl ThermalModel {
             let n_ch = spec.channel_count(self.height).max(1);
             let q_ch = self.flow.0 / n_ch as f64;
             let n_ch_cell = self.dy / spec.pitch();
-            let mdot_cp =
-                self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
+            let mdot_cp = self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
             // The stamped advection operator telescopes along each row to
             // `coeff · (T_last − T_inlet)`, with `coeff` doubled under the
             // linear-profile scheme (where cell temperatures represent the
@@ -985,17 +1310,31 @@ impl ThermalModel {
         }
     }
 
-    /// Number of cached factorisations (diagnostics).
-    pub fn cached_operators(&self) -> usize {
-        self.steady_cache.len() + self.transient_cache.len()
+    /// Occupancy and eviction statistics of the bounded operator caches
+    /// (diagnostics).
+    pub fn cached_operators(&self) -> CacheStats {
+        CacheStats {
+            steady_entries: self.steady_cache.len(),
+            transient_entries: self.transient_cache.len(),
+            steady_evictions: self.steady_cache.evictions(),
+            transient_evictions: self.transient_cache.evictions(),
+            capacity: self.steady_cache.capacity(),
+        }
+    }
+
+    /// Which solver paths this model has taken so far (diagnostics): full
+    /// factorisations vs. numeric refactorisations vs. O(nnz) value
+    /// updates.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmosaic_floorplan::stack::presets;
     use crate::params::TwoPhaseCoolant;
+    use cmosaic_floorplan::stack::presets;
 
     fn grid() -> GridSpec {
         GridSpec::new(10, 10).unwrap()
@@ -1035,7 +1374,8 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = grid();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+            .unwrap();
         let total = 60.0;
         m.steady_state(&uniform_powers(2, total / 2.0, g.cell_count()))
             .unwrap();
@@ -1056,8 +1396,10 @@ mod tests {
                 ..Default::default()
             };
             let mut m = ThermalModel::new(&stack, g, params).unwrap();
-            m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
-            m.steady_state(&uniform_powers(2, 25.0, g.cell_count())).unwrap();
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+                .unwrap();
+            m.steady_state(&uniform_powers(2, 25.0, g.cell_count()))
+                .unwrap();
             let removed = m.fluid_heat_removed();
             assert!(
                 (removed - 50.0).abs() < 0.6,
@@ -1092,9 +1434,11 @@ mod tests {
         let g = grid();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
         let powers = uniform_powers(2, 30.0, g.cell_count());
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(10.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(10.0))
+            .unwrap();
         let hot = m.steady_state(&powers).unwrap().max();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+            .unwrap();
         let cool = m.steady_state(&powers).unwrap().max();
         assert!(cool.0 < hot.0, "{cool} !< {hot}");
     }
@@ -1104,7 +1448,8 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = grid();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+            .unwrap();
         let low = m
             .steady_state(&uniform_powers(2, 15.0, g.cell_count()))
             .unwrap();
@@ -1121,7 +1466,8 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = grid();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
         let field = m
             .steady_state(&uniform_powers(2, 20.0, g.cell_count()))
             .unwrap();
@@ -1144,7 +1490,8 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = grid();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+            .unwrap();
         let field = m
             .steady_state(&uniform_powers(2, 30.0, g.cell_count()))
             .unwrap();
@@ -1164,7 +1511,8 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = GridSpec::new(8, 8).unwrap();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
         let powers = uniform_powers(2, 24.0, g.cell_count());
         let steady = m.steady_state(&powers).unwrap().max().0;
         // Restart cold and march.
@@ -1232,11 +1580,111 @@ mod tests {
         let powers = uniform_powers(2, 10.0, g.cell_count());
         for _ in 0..3 {
             for ml in [10.0, 20.0, 32.3] {
-                m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml)).unwrap();
+                m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml))
+                    .unwrap();
                 m.steady_state(&powers).unwrap();
             }
         }
-        assert_eq!(m.cached_operators(), 3);
+        let cache = m.cached_operators();
+        assert_eq!(cache.entries(), 3);
+        assert_eq!(cache.evictions(), 0);
+        // Revisited operating points hit the cache: three operator builds
+        // total, not nine.
+        assert_eq!(m.solver_stats().value_updates, 3);
+    }
+
+    #[test]
+    fn one_full_factorisation_serves_every_operating_point() {
+        // The tentpole invariant: exactly one full pivoting factorisation
+        // per (stack, grid) configuration; every other flow rate, Δt
+        // variant and cache rebuild goes through the numeric refactor +
+        // value-update path.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let powers = uniform_powers(2, 10.0, g.cell_count());
+        for ml in [10.0, 14.0, 18.0, 22.0, 26.0, 32.3] {
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml))
+                .unwrap();
+            m.steady_state(&powers).unwrap();
+            for dt in [0.1, 0.25] {
+                m.step(&powers, dt).unwrap();
+            }
+        }
+        let s = m.solver_stats();
+        assert_eq!(s.full_factorizations, 1, "{s:?}");
+        assert_eq!(s.pivot_fallbacks, 0, "{s:?}");
+        // 6 steady + 12 transient operators, all but the first refactored.
+        assert_eq!(s.value_updates, 18, "{s:?}");
+        assert_eq!(s.refactorizations, 17, "{s:?}");
+    }
+
+    #[test]
+    fn operator_caches_are_bounded_with_eviction_stats() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let powers = uniform_powers(2, 10.0, g.cell_count());
+        let cap = m.cached_operators().capacity;
+        let visited = cap + 4;
+        for i in 0..visited {
+            let ml = 10.0 + i as f64;
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(ml))
+                .unwrap();
+            m.steady_state(&powers).unwrap();
+        }
+        let cache = m.cached_operators();
+        assert_eq!(cache.steady_entries, cap, "cache must stay bounded");
+        assert_eq!(cache.steady_evictions, (visited - cap) as u64);
+        // Evicted operators rebuild through the cheap refactor path, never
+        // a new full factorisation.
+        assert_eq!(m.solver_stats().full_factorizations, 1);
+    }
+
+    #[test]
+    fn refactored_operators_match_fresh_models() {
+        // A model that has refactored its way through many operating
+        // points must agree with a freshly-built model solving the same
+        // point directly.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let mut veteran = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        for ml in [10.0, 13.0, 17.0, 21.0, 25.0, 29.0] {
+            veteran
+                .set_flow_rate(VolumetricFlow::from_ml_per_min(ml))
+                .unwrap();
+            veteran.steady_state(&powers).unwrap();
+        }
+        veteran
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+            .unwrap();
+        let a = veteran.steady_state(&powers).unwrap();
+        assert!(veteran.solver_stats().refactorizations > 0);
+
+        let mut fresh = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        fresh
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(32.3))
+            .unwrap();
+        let b = fresh.steady_state(&powers).unwrap();
+        for (u, v) in a.cells().iter().zip(b.cells()) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn two_phase_sweeps_share_one_full_factorisation() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, two_phase_params(2500.0)).unwrap();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+        m.steady_state(&powers).unwrap();
+        m.steady_state(&powers).unwrap();
+        let s = m.solver_stats();
+        // 2 solves x 6 fixed-point sweeps, one full factorisation total.
+        assert_eq!(s.full_factorizations, 1, "{s:?}");
+        assert_eq!(s.value_updates, 12, "{s:?}");
+        assert_eq!(s.refactorizations, 11, "{s:?}");
     }
 
     #[test]
@@ -1249,7 +1697,8 @@ mod tests {
             m.steady_state(&uniform_powers(2, 1.0, 16)),
             Err(ThermalError::InvalidFlow { .. })
         ));
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+            .unwrap();
         // Wrong tier count / cell count.
         assert!(matches!(
             m.steady_state(&uniform_powers(1, 1.0, 16)),
@@ -1290,9 +1739,12 @@ mod tests {
         let powers = uniform_powers(2, 30.0, g.cell_count());
 
         let mut water = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        water.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).unwrap();
+        water
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+            .unwrap();
         let wf = water.steady_state(&powers).unwrap();
-        let water_span = wf.tier_max(0).0 - wf.tier(0).iter().copied().fold(f64::INFINITY, f64::min);
+        let water_span =
+            wf.tier_max(0).0 - wf.tier(0).iter().copied().fold(f64::INFINITY, f64::min);
 
         let mut tp = ThermalModel::new(&stack, g, two_phase_params(2000.0)).unwrap();
         assert!(tp.is_two_phase());
@@ -1313,7 +1765,8 @@ mod tests {
         // of 50x100 um needs G ~ 2500 kg/m²s to stay below dry-out.
         let mut m = ThermalModel::new(&stack, g, two_phase_params(2500.0)).unwrap();
         let total = 60.0;
-        m.steady_state(&uniform_powers(2, total / 2.0, g.cell_count())).unwrap();
+        m.steady_state(&uniform_powers(2, total / 2.0, g.cell_count()))
+            .unwrap();
         let s = m.two_phase_summary().expect("summary recorded");
         assert!(
             (s.heat_absorbed - total).abs() < 0.02 * total,
@@ -1343,7 +1796,9 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = GridSpec::new(6, 6).unwrap();
         let mut m = ThermalModel::new(&stack, g, two_phase_params(300.0)).unwrap();
-        assert!(m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0)).is_err());
+        assert!(m
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+            .is_err());
         assert!(matches!(
             m.step(&uniform_powers(2, 1.0, 36), 0.1),
             Err(ThermalError::UnsupportedStack { .. })
@@ -1370,8 +1825,8 @@ mod tests {
         let tier0 = field.tier(0);
         let background = tier0[g.index(1, 1)];
         let peak = tier0[hot];
-        let rise_ratio = (peak - Kelvin::from_celsius(30.0).0)
-            / (background - Kelvin::from_celsius(30.0).0);
+        let rise_ratio =
+            (peak - Kelvin::from_celsius(30.0).0) / (background - Kelvin::from_celsius(30.0).0);
         // The hot cell carries ~65x the background cell's power; the
         // boiling HTC's q''-dependence compresses the junction-rise
         // contrast several-fold.
@@ -1380,7 +1835,10 @@ mod tests {
             "junction rise ratio {rise_ratio:.1} must stay far below the ~65x flux contrast"
         );
         // A ~280 W/cm² cell held below 110 °C by boiling alone.
-        assert!(peak < Kelvin::from_celsius(110.0).0, "peak {peak} K too hot");
+        assert!(
+            peak < Kelvin::from_celsius(110.0).0,
+            "peak {peak} K too hot"
+        );
     }
 
     #[test]
@@ -1390,7 +1848,8 @@ mod tests {
         let stack = presets::liquid_cooled_mpsoc(2).unwrap();
         let g = GridSpec::new(8, 8).unwrap();
         let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
-        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0)).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
         let mut powers = uniform_powers(2, 0.0, g.cell_count());
         let hot_cell = g.index(2, 5);
         powers[0][hot_cell] = 5.0;

@@ -18,8 +18,7 @@ pub enum AdvectionScheme {
 }
 
 /// The coolant circulating through the inter-tier cavities.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Coolant {
     /// Single-phase water (§II): sensible heat removal, flow set at run
     /// time via [`crate::ThermalModel::set_flow_rate`].
@@ -30,7 +29,6 @@ pub enum Coolant {
     /// operating point is fixed at model construction.
     TwoPhase(TwoPhaseCoolant),
 }
-
 
 /// Operating point of a two-phase inter-tier coolant.
 #[derive(Debug, Clone, Copy, PartialEq)]

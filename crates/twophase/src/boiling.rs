@@ -13,9 +13,9 @@
 //!   enough to reproduce the 0.5 K saturation-temperature decline of
 //!   Fig. 8 and the <0.9 bar drops of Agostini's experiments.
 
+use crate::TwoPhaseError;
 use cmosaic_hydraulics::duct::{nusselt_h1, ChannelGeometry};
 use cmosaic_materials::refrigerant::{RefrigerantProperties, SaturationState};
-use crate::TwoPhaseError;
 
 /// Default critical (dry-out) vapour quality.
 pub const DRYOUT_QUALITY: f64 = 0.65;
@@ -199,8 +199,7 @@ mod tests {
     fn htc_ratio_is_submultiplicative_in_flux() {
         // §IV.B: HTC 8× higher under a 15× hot spot.
         let (p, s) = r245fa_at_30();
-        let ratio =
-            nucleate_htc(&p, &s, 30.2e4).unwrap() / nucleate_htc(&p, &s, 2.0e4).unwrap();
+        let ratio = nucleate_htc(&p, &s, 30.2e4).unwrap() / nucleate_htc(&p, &s, 2.0e4).unwrap();
         assert!(ratio > 5.0 && ratio < 10.0, "ratio = {ratio}");
         // Wall superheat q/h therefore grows only ~2x (vs 15x with water).
         let superheat_ratio = 15.1 / ratio;

@@ -309,7 +309,11 @@ mod tests {
             .iter()
             .max_by(|a, b| a.t_wall.partial_cmp(&b.t_wall).expect("finite"))
             .unwrap();
-        assert!(hot.z >= 5.0e-3 && hot.z <= 7.5e-3, "peak at {} mm", hot.z * 1e3);
+        assert!(
+            hot.z >= 5.0e-3 && hot.z <= 7.5e-3,
+            "peak at {} mm",
+            hot.z * 1e3
+        );
     }
 
     #[test]

@@ -92,11 +92,10 @@ pub fn compare_for_load(
     }
 
     // --- Water side: sensible heat, flow from the ΔT budget.
-    let water = LiquidProperties::water_at(inlet).map_err(|e| {
-        TwoPhaseError::OutOfValidityRange {
+    let water =
+        LiquidProperties::water_at(inlet).map_err(|e| TwoPhaseError::OutOfValidityRange {
             detail: e.to_string(),
-        }
-    })?;
+        })?;
     let water_mass_flow = q_watts / (water.specific_heat * water_dt_budget);
     let water_q_per_channel = water_mass_flow / water.density / n_channels as f64;
     let water_dp = geom
@@ -221,8 +220,16 @@ mod tests {
         // pumping power down. R134a (6.6 bar at 25 °C) must beat R245fa
         // (1.5 bar) at the same duty.
         let run = |fluid| {
-            compare_for_load(80.0, 135, &geom(), fluid, Kelvin::from_celsius(30.0), 4.0, 0.5)
-                .unwrap()
+            compare_for_load(
+                80.0,
+                135,
+                &geom(),
+                fluid,
+                Kelvin::from_celsius(30.0),
+                4.0,
+                0.5,
+            )
+            .unwrap()
         };
         let r134a = run(Refrigerant::R134a);
         let r245fa = run(Refrigerant::R245fa);

@@ -46,19 +46,14 @@ impl MicroEvaporator {
     pub fn fig8() -> Self {
         MicroEvaporator {
             channels: 135,
-            geometry: ChannelGeometry::new(85e-6, 560e-6, 12.5e-3)
-                .expect("static geometry"),
+            geometry: ChannelGeometry::new(85e-6, 560e-6, 12.5e-3).expect("static geometry"),
             pitch: 131e-6,
             row_fluxes: [2.0e4, 2.0e4, 30.2e4, 2.0e4, 2.0e4],
             base_thickness: 380e-6,
             base_material: SolidMaterial::silicon(),
             operating: OperatingPoint {
                 inlet_quality: 0.05,
-                ..OperatingPoint::new(
-                    Refrigerant::R245fa,
-                    Kelvin::from_celsius(30.0),
-                    300.0,
-                )
+                ..OperatingPoint::new(Refrigerant::R245fa, Kelvin::from_celsius(30.0), 300.0)
             },
         }
     }
@@ -114,8 +109,7 @@ impl MicroEvaporator {
 
         // Aggregate stations into per-row readings (mid-row sampling, as
         // the RTDs sit at row centres).
-        let conduction =
-            self.base_thickness / self.base_material.thermal_conductivity();
+        let conduction = self.base_thickness / self.base_material.thermal_conductivity();
         let mut rows = Vec::with_capacity(SENSOR_ROWS);
         for (row, &flux) in self.row_fluxes.iter().enumerate() {
             let z_mid = (row as f64 + 0.5) * row_len;

@@ -47,12 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Channel-width sweep at 22 ml/min (pitch fixed at 150 µm):\n");
     println!("  width (µm)   peak °C   ΔP (bar)");
     for width_um in [30.0, 40.0, 50.0, 60.0, 80.0] {
-        let cavity = CavitySpec::new(
-            width_um * 1e-6,
-            150e-6,
-            100e-6,
-            SolidMaterial::silicon(),
-        )?;
+        let cavity = CavitySpec::new(width_um * 1e-6, 150e-6, 100e-6, SolidMaterial::silicon())?;
         let mut b = StackBuilder::new(
             format!("2-tier-w{width_um}"),
             niagara::DIE_WIDTH,

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("  pump energy                {:.0} J", metrics.pump_energy);
         if let Some(q) = metrics.mean_flow {
-            println!("  mean coolant flow          {:.1} ml/min per cavity", q.to_ml_per_min());
+            println!(
+                "  mean coolant flow          {:.1} ml/min per cavity",
+                q.to_ml_per_min()
+            );
         }
         println!(
             "  worst performance loss     {:.4} %\n",

@@ -6,10 +6,10 @@
 //! cargo run --release --example two_phase_evaporator
 //! ```
 
-use cmosaic_twophase::channel::OperatingPoint;
-use cmosaic_twophase::{MicroEvaporator, TwoPhaseError};
 use cmosaic_materials::refrigerant::Refrigerant;
 use cmosaic_materials::units::Kelvin;
+use cmosaic_twophase::channel::OperatingPoint;
+use cmosaic_twophase::{MicroEvaporator, TwoPhaseError};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Two-phase micro-evaporator exploration (R245fa, 135 x 85 um channels)\n");
@@ -37,13 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Hot-spot sweep (background 2 W/cm²):");
     println!("  hot flux   HTC ratio   superheat ratio   flux ratio");
     for hot in [5.0, 10.0, 20.0, 30.2, 45.0] {
-        let e = MicroEvaporator::fig8().with_row_fluxes([
-            2.0e4,
-            2.0e4,
-            hot * 1e4,
-            2.0e4,
-            2.0e4,
-        ]);
+        let e = MicroEvaporator::fig8().with_row_fluxes([2.0e4, 2.0e4, hot * 1e4, 2.0e4, 2.0e4]);
         let r = e.solve(400)?;
         let htc_ratio = r.rows[2].htc / r.rows[0].htc;
         let sh = |i: usize| r.rows[i].wall.0 - r.rows[i].fluid.0;

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`]
+//! and [`criterion_main!`]. Timing is a plain adaptive wall-clock loop —
+//! no statistics engine, no HTML reports — which is enough to spot
+//! order-of-magnitude regressions in the kernels and keeps `cargo bench`
+//! runnable offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver handed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Criterion {
+    /// Creates a driver with the default ~300 ms measurement budget.
+    pub fn new() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: if self.measurement.is_zero() {
+                Duration::from_millis(300)
+            } else {
+                self.measurement
+            },
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iterations == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iterations as f64
+        };
+        println!(
+            "bench {name:<44} {:>12}  ({} iterations)",
+            format_ns(mean_ns),
+            b.iterations
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly (discarding a warm-up pass) until the
+    /// measurement budget is exhausted, recording total time and count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call, then estimate the per-call cost.
+        std_black_box(routine());
+        let probe_start = Instant::now();
+        std_black_box(routine());
+        let per_call = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        let calls = (self.budget.as_nanos() / per_call.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..calls {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += calls;
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut hits = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                hits += 1;
+            });
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12.0e3).ends_with("µs"));
+        assert!(format_ns(12.0e6).ends_with("ms"));
+        assert!(format_ns(12.0e9).ends_with(" s"));
+    }
+}

@@ -100,5 +100,8 @@ fn runs_are_fully_deterministic() {
 fn mean_fuzzy_flow_sits_inside_the_table1_envelope() {
     let m = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::Multimedia)).expect("runs");
     let q = m.mean_flow.expect("liquid cooled").to_ml_per_min();
-    assert!((10.0 - 1e-9..=32.3 + 1e-9).contains(&q), "mean flow {q} ml/min");
+    assert!(
+        (10.0 - 1e-9..=32.3 + 1e-9).contains(&q),
+        "mean flow {q} ml/min"
+    );
 }

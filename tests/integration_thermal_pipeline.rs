@@ -147,8 +147,7 @@ fn grid_refinement_converges() {
         let grid = GridSpec::new(n, n).expect("valid dims");
         let (maps, _) = niagara_maps(grid, 0.9);
         let stack = presets::liquid_cooled_mpsoc(2).expect("preset");
-        let mut model =
-            ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
+        let mut model = ThermalModel::new(&stack, grid, ThermalParams::default()).expect("builds");
         model
             .set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
             .expect("valid flow");

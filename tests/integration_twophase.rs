@@ -43,8 +43,7 @@ fn hot_spot_self_regulation_beats_single_phase() {
     let background = &result.rows[0];
     let hot = &result.rows[2];
     let flux_ratio = hot.heat_flux / background.heat_flux;
-    let superheat_ratio =
-        (hot.wall.0 - hot.fluid.0) / (background.wall.0 - background.fluid.0);
+    let superheat_ratio = (hot.wall.0 - hot.fluid.0) / (background.wall.0 - background.fluid.0);
     // Single-phase: superheat ratio == flux ratio (h constant).
     assert!(superheat_ratio < flux_ratio / 4.0);
     // Two-phase wall excursion across the whole die stays within ~10 K.
