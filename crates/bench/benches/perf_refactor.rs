@@ -211,11 +211,15 @@ fn main() {
     section("record");
     kv("written", out);
 
-    assert!(
-        loop_speedup >= 5.0,
-        "repeated steady solves under flow modulation must be >=5x over \
-         the fresh-factor path, got {loop_speedup:.2}x"
-    );
+    // Wall-clock assertion only on a quiet dedicated machine (CI sets
+    // CMOSAIC_BENCH_RELAX so record regeneration cannot flake a build).
+    if cmosaic_bench::strict_timing() {
+        assert!(
+            loop_speedup >= 5.0,
+            "repeated steady solves under flow modulation must be >=5x over \
+             the fresh-factor path, got {loop_speedup:.2}x"
+        );
+    }
     assert_eq!(
         stats.full_factorizations, 1,
         "one symbolic analysis serves the loop"

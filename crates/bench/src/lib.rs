@@ -83,6 +83,18 @@ pub fn f(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
 }
 
+/// `true` unless `CMOSAIC_BENCH_RELAX` is set in the environment.
+///
+/// The perf benches end with hard wall-clock assertions (speedup floors,
+/// baseline comparisons) that are meaningful on a quiet dedicated machine
+/// but flaky on shared CI runners; CI sets `CMOSAIC_BENCH_RELAX=1` so
+/// record regeneration reports the numbers without a timing-dependent
+/// pass/fail. Deterministic assertions (allocation counts, factorisation
+/// counters, bit-identity) are never relaxed.
+pub fn strict_timing() -> bool {
+    std::env::var_os("CMOSAIC_BENCH_RELAX").is_none()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

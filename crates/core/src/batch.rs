@@ -1,0 +1,335 @@
+//! Parallel batch sweep engine: fan a matrix of co-simulation scenarios
+//! across a worker pool, sharing the one-per-pattern thermal symbolic
+//! analysis, with results that are bit-identical at any thread count.
+//!
+//! Design-space exploration (the paper's Figs. 6–8, a thermally-aware
+//! floorplanner's inner loop) evaluates the same stack family at many
+//! operating points: policy × tier-count × workload grids of *independent*
+//! co-simulations. [`BatchRunner`] executes such a matrix on a
+//! `std::thread::scope` pool with a work-stealing index cursor, and layers
+//! two guarantees on top:
+//!
+//! * **One full factorisation per pattern.** Scenarios are grouped by
+//!   operator-pattern key (tiers, cooling mode, grid). The first scenario
+//!   of each group — the *donor*, fixed by scenario order, never by thread
+//!   scheduling — runs first and exports its frozen
+//!   [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis); every other
+//!   scenario of the group adopts it and goes straight to cheap numeric
+//!   refactorisation. Across the whole batch the expensive pivoting
+//!   factorisation runs exactly once per distinct (stack, grid) pattern,
+//!   however many scenarios and threads are in play.
+//! * **Deterministic aggregation.** Results land in slots indexed by
+//!   scenario position; each scenario is itself deterministic, and the
+//!   donor/adopter structure depends only on scenario order — so
+//!   [`BatchRunner::run`] returns bit-identical [`RunMetrics`] whether it
+//!   ran on 1 thread or 8 (asserted by the tests).
+//!
+//! The donor phase is a global barrier: adopters start only after *every*
+//! donor has finished, which idles workers briefly when one group's donor
+//! is much slower than the rest (e.g. the 4-tier stacks of the fig6
+//! matrix). With donors at most one scenario per pattern group this costs
+//! a small fraction of the sweep; per-group release (adopters of group
+//! `g` unblocked as soon as donor `g` completes) would remove it without
+//! changing the deterministic structure, and is the natural next step if
+//! profiles ever show the stall mattering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cmosaic_floorplan::GridSpec;
+use cmosaic_thermal::{SharedAnalysis, SolverStats};
+
+use crate::experiments::{build_simulator, PolicyRunConfig};
+use crate::metrics::RunMetrics;
+use crate::CmosaicError;
+
+/// What one worker produces for one scenario.
+type JobResult = Result<(RunMetrics, SolverStats, Option<SharedAnalysis>), CmosaicError>;
+
+/// Operator-pattern grouping key of a scenario: everything that decides
+/// the thermal operator's sparsity pattern under the default simulation
+/// parameters [`build_simulator`] applies (water coolant, upwind
+/// advection) — the preset stack family (tiers + cooling mode) and the
+/// grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PatternGroup {
+    tiers: usize,
+    liquid: bool,
+    grid: GridSpec,
+}
+
+fn pattern_group(config: &PolicyRunConfig) -> PatternGroup {
+    PatternGroup {
+        tiers: config.tiers,
+        liquid: config.policy.is_liquid_cooled(),
+        grid: config.grid,
+    }
+}
+
+/// The outcome of one scenario of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Position in the scenario slice handed to [`BatchRunner::run`].
+    pub index: usize,
+    /// The run's aggregated metrics.
+    pub metrics: RunMetrics,
+    /// Thermal solver-path counters: donors show one full factorisation,
+    /// adopters show zero (refactor-only).
+    pub solver: SolverStats,
+}
+
+/// Results of one batch sweep, in scenario order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One outcome per scenario, index-aligned with the input slice.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Distinct operator-pattern groups the batch contained.
+    pub pattern_groups: usize,
+    /// Worker threads requested.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Total full pivoting factorisations across every scenario — with
+    /// analysis sharing enabled this equals `pattern_groups`.
+    pub fn total_full_factorizations(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.solver.full_factorizations)
+            .sum()
+    }
+}
+
+/// Runs a set of independent co-simulation scenarios across a thread
+/// pool. See the [module docs](self) for the sharing and determinism
+/// guarantees.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    threads: usize,
+    share_analysis: bool,
+}
+
+impl BatchRunner {
+    /// Creates a runner with `threads` workers (donor scenarios first,
+    /// then everything else, both phases work-stealing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "batch runner needs at least one worker");
+        BatchRunner {
+            threads,
+            share_analysis: true,
+        }
+    }
+
+    /// Disables cross-scenario symbolic-analysis sharing (every scenario
+    /// pays its own full factorisation). Useful for measuring what the
+    /// sharing buys.
+    pub fn without_shared_analysis(mut self) -> Self {
+        self.share_analysis = false;
+        self
+    }
+
+    /// Executes every scenario and returns the outcomes in scenario
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// If any scenario fails, the error of the lowest-indexed failing
+    /// scenario is returned (deterministic regardless of thread count).
+    pub fn run(&self, scenarios: &[PolicyRunConfig]) -> Result<BatchReport, CmosaicError> {
+        let n = scenarios.len();
+        // Group scenarios by operator pattern; the first of each group is
+        // its donor.
+        let mut group_keys: Vec<PatternGroup> = Vec::new();
+        let mut group_of = vec![0usize; n];
+        let mut donors: Vec<usize> = Vec::new();
+        for (i, c) in scenarios.iter().enumerate() {
+            let key = pattern_group(c);
+            match group_keys.iter().position(|k| *k == key) {
+                Some(g) => group_of[i] = g,
+                None => {
+                    group_of[i] = group_keys.len();
+                    group_keys.push(key);
+                    donors.push(i);
+                }
+            }
+        }
+
+        let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..n).map(|_| None).collect());
+        if self.share_analysis {
+            // Phase 1: donors (one per pattern group) run first and
+            // capture the group's symbolic analysis.
+            self.par_run(&donors, &slots, |i| run_scenario(&scenarios[i], None));
+            let mut analyses: Vec<Option<SharedAnalysis>> = vec![None; group_keys.len()];
+            {
+                let guard = slots.lock().expect("result slots poisoned");
+                for (g, &d) in donors.iter().enumerate() {
+                    if let Some(Ok((_, _, a))) = &guard[d] {
+                        analyses[g] = a.clone();
+                    }
+                }
+            }
+            // Phase 2: everything else adopts its group's analysis.
+            let rest: Vec<usize> = (0..n).filter(|i| !donors.contains(i)).collect();
+            self.par_run(&rest, &slots, |i| {
+                run_scenario(&scenarios[i], analyses[group_of[i]].as_ref())
+            });
+        } else {
+            let all: Vec<usize> = (0..n).collect();
+            self.par_run(&all, &slots, |i| run_scenario(&scenarios[i], None));
+        }
+
+        let mut outcomes = Vec::with_capacity(n);
+        let slots = slots.into_inner().expect("result slots poisoned");
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (metrics, solver, _) = slot.expect("every scenario was scheduled")?;
+            outcomes.push(ScenarioOutcome {
+                index,
+                metrics,
+                solver,
+            });
+        }
+        Ok(BatchReport {
+            outcomes,
+            pattern_groups: group_keys.len(),
+            threads: self.threads,
+        })
+    }
+
+    /// Runs `f` over `jobs` (scenario indices) on up to `self.threads`
+    /// scoped workers with a shared work-stealing cursor, writing each
+    /// result into its scenario's slot.
+    fn par_run<F>(&self, jobs: &[usize], slots: &Mutex<Vec<Option<JobResult>>>, f: F)
+    where
+        F: Fn(usize) -> JobResult + Sync,
+    {
+        if jobs.is_empty() {
+            return;
+        }
+        let workers = self.threads.min(jobs.len());
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&idx) = jobs.get(j) else { break };
+                    let out = f(idx);
+                    slots.lock().expect("result slots poisoned")[idx] = Some(out);
+                });
+            }
+        });
+    }
+}
+
+/// Runs one scenario end to end, optionally adopting a donor's thermal
+/// analysis before initialisation.
+fn run_scenario(config: &PolicyRunConfig, adopt: Option<&SharedAnalysis>) -> JobResult {
+    let mut sim = build_simulator(config)?;
+    if let Some(analysis) = adopt {
+        sim.adopt_thermal_analysis(analysis);
+    }
+    sim.initialize()?;
+    let metrics = sim.run(config.seconds)?;
+    let analysis = sim.export_thermal_analysis();
+    Ok((metrics, sim.solver_stats(), analysis))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig6_scenario_matrix;
+    use crate::policy::PolicyKind;
+    use cmosaic_power::trace::WorkloadKind;
+
+    fn tiny_grid() -> GridSpec {
+        GridSpec::new(6, 6).expect("static")
+    }
+
+    fn tiny_matrix() -> Vec<PolicyRunConfig> {
+        fig6_scenario_matrix(2, 7, tiny_grid())
+    }
+
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts() {
+        // The satellite guarantee: the fig6 scenario matrix at 1 thread
+        // and at 8 threads yields bit-identical RunMetrics per scenario.
+        let scenarios = tiny_matrix();
+        let serial = BatchRunner::new(1).run(&scenarios).unwrap();
+        let parallel = BatchRunner::new(8).run(&scenarios).unwrap();
+        assert_eq!(serial.outcomes.len(), scenarios.len());
+        assert_eq!(
+            serial.outcomes, parallel.outcomes,
+            "scenario outcomes must not depend on thread count"
+        );
+        assert_eq!(serial.pattern_groups, parallel.pattern_groups);
+    }
+
+    #[test]
+    fn shared_analysis_factorises_once_per_pattern() {
+        // All four scenarios are 2-tier liquid-cooled on one grid: one
+        // pattern group, so exactly one full pivoting factorisation in
+        // the whole batch — the donor's. Adopters ride refactor-only.
+        let scenarios: Vec<PolicyRunConfig> = [
+            (PolicyKind::LcLb, WorkloadKind::WebServer),
+            (PolicyKind::LcFuzzy, WorkloadKind::WebServer),
+            (PolicyKind::LcLb, WorkloadKind::Database),
+            (PolicyKind::LcFuzzy, WorkloadKind::Multimedia),
+        ]
+        .into_iter()
+        .map(|(policy, workload)| PolicyRunConfig {
+            tiers: 2,
+            policy,
+            workload,
+            seconds: 2,
+            seed: 3,
+            grid: tiny_grid(),
+        })
+        .collect();
+        let report = BatchRunner::new(4).run(&scenarios).unwrap();
+        assert_eq!(report.pattern_groups, 1);
+        assert_eq!(report.total_full_factorizations(), 1);
+        assert_eq!(report.outcomes[0].solver.full_factorizations, 1);
+        for o in &report.outcomes[1..] {
+            assert_eq!(o.solver.full_factorizations, 0, "adopter {}", o.index);
+            assert_eq!(o.solver.adopted_symbolics, 1);
+            assert!(o.solver.refactorizations >= 1);
+        }
+
+        // Without sharing, every scenario pays its own factorisation —
+        // and the metrics still agree with the shared run to solver
+        // round-off... but bitwise they are allowed to differ, so only
+        // the counter is asserted here.
+        let unshared = BatchRunner::new(2)
+            .without_shared_analysis()
+            .run(&scenarios)
+            .unwrap();
+        assert_eq!(unshared.total_full_factorizations(), scenarios.len() as u64);
+    }
+
+    #[test]
+    fn fig6_matrix_spans_the_expected_pattern_groups() {
+        // 7 configurations × 4 workloads, 4 distinct (tiers, cooling)
+        // patterns on one grid.
+        let scenarios = tiny_matrix();
+        assert_eq!(scenarios.len(), 28);
+        let report = BatchRunner::new(2).run(&scenarios).unwrap();
+        assert_eq!(report.pattern_groups, 4);
+        assert_eq!(report.total_full_factorizations(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = BatchRunner::new(3).run(&[]).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.pattern_groups, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = BatchRunner::new(0);
+    }
+}

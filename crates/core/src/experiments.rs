@@ -52,13 +52,16 @@ pub fn cores_for_tiers(tiers: usize) -> usize {
     tiers.div_ceil(2) * 8
 }
 
-/// Runs one policy experiment end to end (build stack, generate trace,
-/// steady-state init, simulate).
+/// Builds the simulator for one policy experiment (stack preset, trace
+/// generation, policy construction) without running it — the shared
+/// entry point of [`run_policy`] and the batch engine
+/// ([`crate::batch::BatchRunner`]), which needs the simulator itself to
+/// adopt a shared thermal analysis before initialisation.
 ///
 /// # Errors
 ///
 /// Forwards configuration and model errors.
-pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> {
+pub fn build_simulator(config: &PolicyRunConfig) -> Result<Simulator, CmosaicError> {
     let stack = if config.policy.is_liquid_cooled() {
         presets::liquid_cooled_mpsoc(config.tiers)?
     } else {
@@ -72,13 +75,23 @@ pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> 
         grid: config.grid,
         ..Default::default()
     };
-    let mut sim = Simulator::new(
+    Simulator::new(
         &stack,
         make_policy(config.policy, n_cores),
         trace,
         PowerModel::niagara(),
         sim_config,
-    )?;
+    )
+}
+
+/// Runs one policy experiment end to end (build stack, generate trace,
+/// steady-state init, simulate).
+///
+/// # Errors
+///
+/// Forwards configuration and model errors.
+pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> {
+    let mut sim = build_simulator(config)?;
     sim.initialize()?;
     sim.run(config.seconds)
 }
@@ -94,6 +107,32 @@ pub fn figure_configurations() -> [(usize, PolicyKind); 7] {
         (4, PolicyKind::LcLb),
         (4, PolicyKind::LcFuzzy),
     ]
+}
+
+/// The flat fig6 scenario matrix: every (stack, policy) configuration of
+/// [`figure_configurations`] crossed with the three application workloads
+/// plus the maximum-utilization benchmark — 28 independent co-simulations,
+/// the unit of work the batch engine ([`crate::batch::BatchRunner`])
+/// spreads across threads.
+pub fn fig6_scenario_matrix(seconds: usize, seed: u64, grid: GridSpec) -> Vec<PolicyRunConfig> {
+    let mut scenarios = Vec::new();
+    for (tiers, policy) in figure_configurations() {
+        for workload in WorkloadKind::applications()
+            .iter()
+            .copied()
+            .chain([WorkloadKind::MaxUtilization])
+        {
+            scenarios.push(PolicyRunConfig {
+                tiers,
+                policy,
+                workload,
+                seconds,
+                seed,
+                grid,
+            });
+        }
+    }
+    scenarios
 }
 
 /// One bar group of Fig. 6: hot-spot residency for a configuration, for

@@ -17,6 +17,33 @@
 //! threshold while cutting cooling energy by up to ~67 % and system energy
 //! by up to ~30 % against running the pump at the worst-case maximum flow.
 //!
+//! # Batch sweeps and the workspace-reuse contract
+//!
+//! Design-space exploration runs the same stack family at many operating
+//! points. Two layers make that cheap:
+//!
+//! * **Zero-allocation hot path.** Every [`Simulator`] owns persistent
+//!   scratch (a reused [`thermal::TemperatureField`] and sensor buffer)
+//!   and drives the thermal model's in-place solve path
+//!   ([`thermal::ThermalModel::step_into`]): once an operating point's
+//!   operator is cached and the buffers have warmed up, a transient
+//!   sub-step performs **no heap allocation** — RHS assembly, triangular
+//!   solve and the state ping-pong all happen inside storage allocated at
+//!   warm-up. The contract is observable:
+//!   [`thermal::SolverStats::workspace_grows`] stays flat on a warm path
+//!   (asserted by the test suites) and
+//!   [`thermal::SolverStats::in_place_solves`] counts the solves served
+//!   that way. Per control interval, only the policy observation and
+//!   power-map assembly allocate (small, constant).
+//! * **Parallel batch engine.** [`batch::BatchRunner`] fans a scenario
+//!   matrix (e.g. [`experiments::fig6_scenario_matrix`]) across a scoped
+//!   thread pool. Scenarios are grouped by operator pattern; the first of
+//!   each group donates its frozen symbolic LU analysis
+//!   ([`thermal::SharedAnalysis`], `Arc`-shared) to the rest, so the
+//!   expensive pivoting factorisation runs exactly once per (stack, grid)
+//!   pattern across the whole batch. Outcomes are aggregated by scenario
+//!   index and are bit-identical at any thread count.
+//!
 //! # Quick start
 //!
 //! ```
@@ -42,12 +69,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod experiments;
 pub mod fuzzy;
 pub mod metrics;
 pub mod policy;
 pub mod sim;
 
+pub use batch::{BatchReport, BatchRunner, ScenarioOutcome};
 pub use experiments::{run_policy, PolicyRunConfig};
 pub use fuzzy::FuzzyController;
 pub use metrics::RunMetrics;

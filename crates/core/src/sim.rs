@@ -84,6 +84,11 @@ pub struct Simulator {
     seconds_run: usize,
     current_flow: Option<VolumetricFlow>,
     sensor_rng: StdRng,
+    /// Reused temperature-field buffer of the sub-step loop (`None` until
+    /// the first `run`), so warm sub-steps allocate nothing.
+    scratch_field: Option<TemperatureField>,
+    /// Reused per-core sensor-reading buffer of the sub-step loop.
+    temp_scratch: Vec<Kelvin>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -160,6 +165,8 @@ impl Simulator {
             seconds_run: 0,
             current_flow: None,
             sensor_rng: StdRng::seed_from_u64(sensor_seed),
+            scratch_field: None,
+            temp_scratch: Vec::new(),
         })
     }
 
@@ -192,14 +199,28 @@ impl Simulator {
         self.model.cached_operators()
     }
 
-    /// Per-core sensor readings (area-averaged junction temperature).
-    fn core_temps(&self, field: &TemperatureField) -> Vec<Kelvin> {
-        self.cores
-            .iter()
-            .map(|&(tier, e)| {
-                field.element_average(&self.config.grid, &self.tier_plans[tier], tier, e)
-            })
-            .collect()
+    /// Per-core sensor readings (area-averaged junction temperature) into
+    /// a reused buffer — allocation-free once `out` has warmed up.
+    fn core_temps_into(&self, field: &TemperatureField, out: &mut Vec<Kelvin>) {
+        out.clear();
+        out.extend(self.cores.iter().map(|&(tier, e)| {
+            field.element_average(&self.config.grid, &self.tier_plans[tier], tier, e)
+        }));
+    }
+
+    /// Thermal-solver analysis snapshot for sharing with other simulators
+    /// of the same (stack, grid) pattern — see
+    /// [`cmosaic_thermal::SharedAnalysis`]. `None` before the first solve.
+    pub fn export_thermal_analysis(&self) -> Option<cmosaic_thermal::SharedAnalysis> {
+        self.model.export_analysis()
+    }
+
+    /// Adopts a donor's thermal symbolic analysis (pattern-checked, always
+    /// safe) so this simulator skips its own full pivoting factorisation.
+    /// Call before [`Simulator::initialize`]. Returns whether anything was
+    /// adopted.
+    pub fn adopt_thermal_analysis(&mut self, analysis: &cmosaic_thermal::SharedAnalysis) -> bool {
+        self.model.adopt_analysis(analysis)
     }
 
     /// Maximum junction-layer temperature across tiers.
@@ -287,20 +308,43 @@ impl Simulator {
 
     /// Runs `seconds` control intervals, accumulating metrics.
     ///
+    /// The sub-step hot loop runs through the thermal model's
+    /// zero-allocation path ([`ThermalModel::step_into`]) with one reused
+    /// temperature-field buffer and one reused sensor buffer, so warm
+    /// sub-steps touch the heap zero times; per-interval work (policy
+    /// observation, power-map assembly) allocates a small constant amount.
+    ///
     /// # Errors
     ///
     /// Forwards policy/power/thermal errors.
     pub fn run(&mut self, seconds: usize) -> Result<RunMetrics, CmosaicError> {
+        let mut field = self
+            .scratch_field
+            .take()
+            .unwrap_or_else(|| self.model.current_field());
+        let mut temps = std::mem::take(&mut self.temp_scratch);
+        let r = self.run_inner(seconds, &mut field, &mut temps);
+        self.scratch_field = Some(field);
+        self.temp_scratch = temps;
+        r
+    }
+
+    fn run_inner(
+        &mut self,
+        seconds: usize,
+        field: &mut TemperatureField,
+        temps: &mut Vec<Kelvin>,
+    ) -> Result<RunMetrics, CmosaicError> {
         let substeps = (self.config.control_interval / self.config.thermal_dt).round() as usize;
         let substeps = substeps.max(1);
         let dt = self.config.control_interval / substeps as f64;
         let threshold_k = self.config.threshold.to_kelvin();
 
         for t in 0..seconds {
-            let field = self.model.current_field();
-            let core_temps = self.core_temps(&field);
-            let sensed: Vec<Kelvin> = core_temps.iter().map(|&k| self.noisy(k)).collect();
-            let sensed_max = self.noisy(self.junction_max(&field));
+            self.model.current_field_into(field);
+            self.core_temps_into(field, temps);
+            let sensed: Vec<Kelvin> = temps.iter().map(|&k| self.noisy(k)).collect();
+            let sensed_max = self.noisy(self.junction_max(field));
             let obs = Observation {
                 demands: self.trace.row(self.seconds_run + t).to_vec(),
                 core_temps: sensed,
@@ -315,18 +359,18 @@ impl Simulator {
                 }
             }
 
-            let element_temps = self.element_temps(&field);
+            let element_temps = self.element_temps(field);
             let (maps, chip_power) =
                 self.tier_power_maps(&action.assigned, &action.vf_levels, &element_temps)?;
 
             for _ in 0..substeps {
-                let latest = self.model.step(&maps, dt)?;
+                self.model.step_into(&maps, dt, field)?;
                 // Sensor sampling at sub-step granularity (the paper's
                 // 100 ms sensors against our 250 ms steps).
-                let temps = self.core_temps(&latest);
+                self.core_temps_into(field, temps);
                 self.acc.samples += 1;
                 let mut any_hot = false;
-                for temp in temps {
+                for temp in temps.iter() {
                     self.acc.core_samples += 1;
                     if temp.0 > threshold_k.0 {
                         self.acc.hot_core_samples += 1;
@@ -336,7 +380,7 @@ impl Simulator {
                 if any_hot {
                     self.acc.hot_any_samples += 1;
                 }
-                let peak = self.junction_max(&latest);
+                let peak = self.junction_max(field);
                 if peak.0 > self.acc.peak {
                     self.acc.peak = peak.0;
                 }

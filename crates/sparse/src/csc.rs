@@ -182,6 +182,18 @@ impl CscMatrix {
         }
     }
 
+    /// `true` when `other` has exactly this matrix's sparsity pattern
+    /// (dimensions, column pointers and row indices; values free to
+    /// differ). This is the validity condition for reusing a
+    /// [`SymbolicLu`](crate::SymbolicLu) captured from one matrix on
+    /// another.
+    pub fn same_pattern(&self, other: &CscMatrix) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.col_ptr == other.col_ptr
+            && self.row_idx == other.row_idx
+    }
+
     /// Matrix–vector product `y = A·x`.
     ///
     /// # Panics
@@ -352,6 +364,28 @@ mod tests {
             &[0, 0, 1, 2, 2],
             &[1.0, 4.0, 3.0, 2.0, 5.0],
         )
+    }
+
+    #[test]
+    fn same_pattern_ignores_values_only() {
+        let a = sample();
+        let mut b = sample();
+        assert!(a.same_pattern(&b));
+        // Different values, same pattern.
+        b.update_values(&[0, 1, 2, 3, 4], &[9.0, 8.0, 7.0, 6.0, 5.0]);
+        assert!(a.same_pattern(&b));
+        // Different pattern (extra entry).
+        let c = CscMatrix::from_triplets(
+            3,
+            3,
+            &[0, 2, 1, 0, 2, 1],
+            &[0, 0, 1, 2, 2, 0],
+            &[1.0, 4.0, 3.0, 2.0, 5.0, 1.0],
+        );
+        assert!(!a.same_pattern(&c));
+        // Different dimensions.
+        assert!(!a.same_pattern(&CscMatrix::identity(3)));
+        assert!(!a.same_pattern(&CscMatrix::identity(4)));
     }
 
     #[test]

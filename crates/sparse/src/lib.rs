@@ -88,7 +88,7 @@ pub mod triplet;
 pub use bicgstab::{bicgstab, BicgstabOptions, BicgstabOutcome};
 pub use csc::CscMatrix;
 pub use dense::DenseMatrix;
-pub use lu::{LuFactors, SymbolicLu};
+pub use lu::{LuFactors, SolveWorkspace, SymbolicLu};
 pub use triplet::TripletMatrix;
 
 use std::error::Error;

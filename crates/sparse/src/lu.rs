@@ -370,6 +370,31 @@ impl SymbolicLu {
     ///   stability bound; the caller should run a fresh pivoting
     ///   [`factor`].
     pub fn refactor_into(&self, a: &CscMatrix, f: &mut LuFactors) -> Result<(), SparseError> {
+        let mut x = vec![0.0f64; self.n];
+        self.refactor_into_with(a, f, &mut x)
+    }
+
+    /// [`SymbolicLu::refactor_into`] with a caller-owned dense scratch
+    /// column, so a warm solver loop performs no heap allocation at all.
+    ///
+    /// `x` is resized to `n` if needed and left zeroed on return (success
+    /// or error), so the same buffer can be passed to every call.
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicLu::refactor_into`].
+    pub fn refactor_into_with(
+        &self,
+        a: &CscMatrix,
+        f: &mut LuFactors,
+        x: &mut Vec<f64>,
+    ) -> Result<(), SparseError> {
+        // The scratch column must start zeroed, and the documented
+        // invariant is that it comes back sized-to-`n` and zeroed on
+        // *every* exit path — including the shape-check early returns
+        // below — so warm loops can hand the same buffer back blindly.
+        x.clear();
+        x.resize(self.n, 0.0);
         if a.col_ptr() != self.a_colptr.as_slice() || a.row_idx() != self.a_rows.as_slice() {
             return Err(SparseError::Shape {
                 detail: format!(
@@ -400,7 +425,6 @@ impl SymbolicLu {
         f.p.clone_from(&self.p);
         f.q.clone_from(&self.q);
 
-        let mut x = vec![0.0f64; self.n];
         for jj in 0..self.n {
             let col = self.q.old_of(jj);
             for (r, v) in a.col_iter(col) {
@@ -430,9 +454,11 @@ impl SymbolicLu {
                 colmax = colmax.max(x[r].abs());
             }
             if !d.is_finite() || d.abs() <= PIVOT_TINY {
+                x.iter_mut().for_each(|v| *v = 0.0);
                 return Err(SparseError::Singular { column: col });
             }
             if colmax > MAX_PIVOT_GROWTH * d.abs() {
+                x.iter_mut().for_each(|v| *v = 0.0);
                 return Err(SparseError::UnstablePivot {
                     column: col,
                     growth: colmax / d.abs(),
@@ -446,6 +472,62 @@ impl SymbolicLu {
             }
         }
         Ok(())
+    }
+}
+
+/// Reusable scratch for [`LuFactors::solve_with`]: the two dense working
+/// vectors a triangular solve needs, kept across calls so a warm solver
+/// loop performs zero heap allocation.
+///
+/// One workspace serves factorisations of any size — the buffers grow to
+/// the largest `n` seen and then stay. [`SolveWorkspace::grows`] counts how
+/// often a buffer actually had to reallocate, which is the observable that
+/// lets callers *assert* their hot path is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    w: Vec<f64>,
+    y: Vec<f64>,
+    grows: u64,
+}
+
+impl SolveWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for systems of dimension `n`, so even
+    /// the first solve allocates nothing.
+    pub fn with_dimension(n: usize) -> Self {
+        SolveWorkspace {
+            w: vec![0.0; n],
+            y: vec![0.0; n],
+            grows: 0,
+        }
+    }
+
+    /// Number of times a buffer had to reallocate since construction. A
+    /// warm loop must keep this constant.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Sizes both buffers to `n`, counting real reallocations. Both
+    /// buffers are fully overwritten by every solve (`w` by the RHS copy,
+    /// `y` by the forward sweep), so a warm call — lengths already `n` —
+    /// does no work here at all.
+    fn ensure(&mut self, n: usize) {
+        if self.w.capacity() < n || self.y.capacity() < n {
+            self.grows += 1;
+        }
+        if self.w.len() != n {
+            self.w.clear();
+            self.w.resize(n, 0.0);
+        }
+        if self.y.len() != n {
+            self.y.clear();
+            self.y.resize(n, 0.0);
+        }
     }
 }
 
@@ -483,15 +565,43 @@ impl LuFactors {
     ///
     /// Returns [`SparseError::Shape`] if `b.len() != n`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SparseError> {
-        if b.len() != self.n {
+        let mut ws = SolveWorkspace::new();
+        let mut x = vec![0.0f64; self.n];
+        self.solve_with(&mut ws, b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free solve: `A·x = b` using caller-owned scratch. The
+    /// solution (in original ordering, permutation applied) overwrites `x`
+    /// completely; `b` is untouched. After the workspace has warmed to this
+    /// dimension, the call performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] if `b.len() != n` or `x.len() != n`.
+    pub fn solve_with(
+        &self,
+        ws: &mut SolveWorkspace,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<(), SparseError> {
+        if b.len() != self.n || x.len() != self.n {
             return Err(SparseError::Shape {
-                detail: format!("rhs length {} != {}", b.len(), self.n),
+                detail: format!(
+                    "rhs length {} / solution length {} != {}",
+                    b.len(),
+                    x.len(),
+                    self.n
+                ),
             });
         }
-        let mut w = b.to_vec();
-        let mut y = vec![0.0f64; self.n];
-        self.solve_into(&mut w, &mut y);
-        Ok(self.q.scatter(&y))
+        ws.ensure(self.n);
+        ws.w.copy_from_slice(b);
+        // Split borrow: forward/backward sweeps need w and y separately.
+        let (w, y) = (&mut ws.w, &mut ws.y);
+        self.solve_into(w, y);
+        self.q.scatter_into(y, x);
+        Ok(())
     }
 
     /// Low-allocation solve: `w` must contain the right-hand side on entry
@@ -534,14 +644,23 @@ impl LuFactors {
         &self.q
     }
 
-    /// Solves `A·X = B` for multiple right-hand sides.
+    /// Solves `A·X = B` for multiple right-hand sides, reusing one scratch
+    /// pair across all columns instead of allocating two working vectors
+    /// per column.
     ///
     /// # Errors
     ///
     /// Returns [`SparseError::Shape`] if any right-hand side has the wrong
     /// length.
     pub fn solve_many(&self, bs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, SparseError> {
-        bs.iter().map(|b| self.solve(b)).collect()
+        let mut ws = SolveWorkspace::with_dimension(self.n);
+        bs.iter()
+            .map(|b| {
+                let mut x = vec![0.0f64; self.n];
+                self.solve_with(&mut ws, b, &mut x)?;
+                Ok(x)
+            })
+            .collect()
     }
 }
 
@@ -760,6 +879,93 @@ mod tests {
         assert_eq!(sym.n(), a.nrows());
         assert_eq!(sym.nnz_l(), f.nnz_l());
         assert_eq!(sym.nnz_u(), f.nnz_u());
+    }
+
+    #[test]
+    fn solve_with_matches_solve_bitwise() {
+        let a = grid_with_advection(1.7);
+        let f = factor(&a).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let expect = f.solve(&b).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut x = vec![0.0; a.nrows()];
+        f.solve_with(&mut ws, &b, &mut x).unwrap();
+        assert_eq!(x, expect, "in-place solve must be the identical bits");
+        // Wrong shapes are rejected, not panicked on.
+        assert!(f.solve_with(&mut ws, &b[1..], &mut x).is_err());
+        let mut short = vec![0.0; a.nrows() - 1];
+        assert!(f.solve_with(&mut ws, &b, &mut short).is_err());
+    }
+
+    #[test]
+    fn solve_workspace_is_allocation_free_when_warm() {
+        let a = grid_with_advection(2.0);
+        let f = factor(&a).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut x = vec![0.0; a.nrows()];
+        let b = vec![1.0; a.nrows()];
+        f.solve_with(&mut ws, &b, &mut x).unwrap();
+        let warm = ws.grows();
+        assert!(warm >= 1, "first use must grow the buffers");
+        for _ in 0..100 {
+            f.solve_with(&mut ws, &b, &mut x).unwrap();
+        }
+        assert_eq!(ws.grows(), warm, "warm solves must never reallocate");
+        // Pre-sized workspaces never grow at all.
+        let mut pre = SolveWorkspace::with_dimension(a.nrows());
+        f.solve_with(&mut pre, &b, &mut x).unwrap();
+        assert_eq!(pre.grows(), 0);
+    }
+
+    #[test]
+    fn solve_many_matches_column_by_column_solves() {
+        let a = grid_with_advection(1.0);
+        let f = factor(&a).unwrap();
+        let n = a.nrows();
+        let bs: Vec<Vec<f64>> = (0..5)
+            .map(|k| {
+                (0..n)
+                    .map(|i| ((i * (k + 2)) as f64 * 0.21).cos())
+                    .collect()
+            })
+            .collect();
+        let many = f.solve_many(&bs).unwrap();
+        assert_eq!(many.len(), bs.len());
+        for (b, x) in bs.iter().zip(&many) {
+            let single = f.solve(b).unwrap();
+            assert_eq!(
+                x, &single,
+                "shared-scratch solve must match per-column solve"
+            );
+            assert!(residual_inf(&a, x, b) < 1e-10);
+        }
+        // A bad column surfaces as an error, same as `solve`.
+        let bad = vec![vec![1.0; n], vec![1.0; n - 1]];
+        assert!(f.solve_many(&bad).is_err());
+    }
+
+    #[test]
+    fn refactor_into_with_reuses_scratch_and_rezeroes_on_error() {
+        let a0 = grid_with_advection(1.0);
+        let (mut f, sym) = factor_with_symbolic(&a0, ColumnOrdering::Rcm).unwrap();
+        let mut scratch = Vec::new();
+        for scale in [0.5, 2.0, 6.0] {
+            let a = grid_with_advection(scale);
+            sym.refactor_into_with(&a, &mut f, &mut scratch).unwrap();
+            let b = vec![1.0; a.nrows()];
+            let x = f.solve(&b).unwrap();
+            assert!(residual_inf(&a, &x, &b) < 1e-10, "scale {scale}");
+            assert!(scratch.iter().all(|&v| v == 0.0), "scratch left zeroed");
+        }
+        // Error path: scratch comes back zeroed too.
+        let a0 =
+            CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[4.0, 1.0, 1.0, 4.0]);
+        let (mut f, sym) = factor_with_symbolic(&a0, ColumnOrdering::Natural).unwrap();
+        let bad =
+            CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[1e-12, 1.0, 1.0, 4.0]);
+        let mut scratch = vec![7.0; 2];
+        assert!(sym.refactor_into_with(&bad, &mut f, &mut scratch).is_err());
+        assert!(scratch.iter().all(|&v| v == 0.0));
     }
 
     #[test]

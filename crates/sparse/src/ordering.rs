@@ -97,12 +97,23 @@ impl Permutation {
     ///
     /// Panics if `v.len() != self.len()`.
     pub fn scatter(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.len());
         let mut out = vec![0.0; v.len()];
+        self.scatter_into(v, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Permutation::scatter`]: writes the old-indexed
+    /// vector into `out`, overwriting every entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` or `out.len()` differ from `self.len()`.
+    pub fn scatter_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.len());
+        assert_eq!(out.len(), self.len());
         for (new, &old) in self.forward.iter().enumerate() {
             out[old] = v[new];
         }
-        out
     }
 
     /// Symmetrically permutes a square matrix: `B = P·A·Pᵀ` so that

@@ -33,12 +33,15 @@ impl<K: Eq + Copy, V> LruCache<K, V> {
         }
     }
 
-    /// Looks up `k`, marking it most recently used.
+    /// Looks up `k`, marking it most recently used. A hit on the
+    /// already-most-recent entry (the common case in a control loop that
+    /// dwells on one operating point) skips the recency move entirely.
     pub fn get(&mut self, k: &K) -> Option<&V> {
         let idx = self.entries.iter().position(|(key, _)| key == k)?;
-        let entry = self.entries.remove(idx);
-        self.entries.push(entry);
-        Some(&self.entries.last().expect("just pushed").1)
+        if idx + 1 != self.entries.len() {
+            self.entries[idx..].rotate_left(1);
+        }
+        Some(&self.entries.last().expect("non-empty after hit").1)
     }
 
     /// Looks up `k` without touching recency (usable through `&self`).

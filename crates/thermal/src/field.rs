@@ -46,6 +46,33 @@ impl TemperatureField {
         }
     }
 
+    /// Overwrites every component in place, reusing the existing buffers
+    /// so a warm caller-owned field is updated with zero heap allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn overwrite(
+        &mut self,
+        nx: usize,
+        ny: usize,
+        n_layers: usize,
+        source_layers: &[usize],
+        width: f64,
+        height: f64,
+        data: &[f64],
+        has_sink: bool,
+    ) {
+        debug_assert_eq!(data.len(), nx * ny * n_layers + usize::from(has_sink));
+        self.nx = nx;
+        self.ny = ny;
+        self.n_layers = n_layers;
+        self.source_layers.clear();
+        self.source_layers.extend_from_slice(source_layers);
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+        self.has_sink = has_sink;
+    }
+
     /// Number of layers.
     pub fn n_layers(&self) -> usize {
         self.n_layers

@@ -53,6 +53,25 @@
 //! [`ThermalModel::solver_stats`] and [`ThermalModel::cached_operators`]
 //! expose the full/refactor/fallback counters and cache evictions.
 //!
+//! # Zero-allocation hot path and analysis sharing
+//!
+//! Every model owns a persistent workspace (operator values, RHS, the
+//! transient ping-pong state buffer, dense refactorisation scratch and
+//! the triangular-solve scratch). [`ThermalModel::step_into`] and the
+//! internally workspace-routed steady solves reuse it, so once an
+//! operating point's operator is cached the warm path performs **zero
+//! heap allocation per solve** — observable through
+//! [`SolverStats::workspace_grows`] (flat when warm) and
+//! [`SolverStats::in_place_solves`]. Cache keys are exact bit patterns of
+//! (flow, Δt), so nearby-but-distinct operating points never alias.
+//!
+//! For batch sweeps over many same-(stack, grid) models,
+//! [`ThermalModel::export_analysis`] snapshots the frozen symbolic
+//! analyses as an `Arc`-shared [`SharedAnalysis`] and
+//! [`ThermalModel::adopt_analysis`] installs them in a fresh model, which
+//! then skips its own full pivoting factorisation entirely (pattern
+//! verified on every refactorisation, with a safe local fallback).
+//!
 //! # Example
 //!
 //! ```
@@ -85,7 +104,9 @@ pub mod model;
 pub mod params;
 
 pub use field::TemperatureField;
-pub use model::{CacheStats, SolverStats, ThermalModel, TwoPhaseSummary};
+pub use model::{
+    CacheStats, PatternSignature, SharedAnalysis, SolverStats, ThermalModel, TwoPhaseSummary,
+};
 pub use params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
 
 use cmosaic_floorplan::FloorplanError;

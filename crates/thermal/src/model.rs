@@ -13,12 +13,16 @@
 //! re-pivoting fallback if the frozen pivot sequence degrades). The
 //! [`SolverStats`] counters expose which path each solve took.
 
+use std::sync::Arc;
+
 use cmosaic_floorplan::stack::{CavitySpec, HeatSinkSpec, LayerKind, Stack3d};
 use cmosaic_floorplan::GridSpec;
 use cmosaic_hydraulics::duct::ChannelGeometry;
 use cmosaic_hydraulics::LiquidProperties;
 use cmosaic_materials::units::{Kelvin, Pressure, VolumetricFlow};
-use cmosaic_sparse::{lu, CscMatrix, LuFactors, SparseError, SymbolicLu, TripletMatrix};
+use cmosaic_sparse::{
+    lu, CscMatrix, LuFactors, SolveWorkspace, SparseError, SymbolicLu, TripletMatrix,
+};
 
 use crate::cache::LruCache;
 use crate::field::TemperatureField;
@@ -50,6 +54,85 @@ struct CachedOperator {
     rhs_base: Vec<f64>,
 }
 
+/// Exact-bit cache key of one factorised operator.
+///
+/// Steady operators use the [`OperatorKey::STEADY_DT`] sentinel (an IEEE
+/// NaN payload no validated Δt can produce); transient keys embed the
+/// exact Δt bit pattern. Because both coordinates are raw bit patterns of
+/// validated-finite positive quantities, two nearby-but-distinct flow
+/// rates or time steps can never alias one cache slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OperatorKey {
+    flow_bits: u64,
+    dt_bits: u64,
+}
+
+impl OperatorKey {
+    /// Sentinel Δt of steady-state operators: the all-ones pattern is a
+    /// NaN, and Δt is validated finite and positive before keying.
+    const STEADY_DT: u64 = u64::MAX;
+
+    fn steady(flow_bits: u64) -> Self {
+        OperatorKey {
+            flow_bits,
+            dt_bits: Self::STEADY_DT,
+        }
+    }
+
+    fn transient(flow_bits: u64, dt: f64) -> Self {
+        debug_assert!(dt.is_finite() && dt > 0.0, "dt validated before keying");
+        OperatorKey {
+            flow_bits,
+            dt_bits: dt.to_bits(),
+        }
+    }
+}
+
+/// Persistent per-model scratch: operator values, right-hand side, the
+/// transient ping-pong state buffer, the dense refactorisation column and
+/// the triangular-solve workspace. Taken out of the model (`mem::take`)
+/// for the duration of each solve so the borrow checker sees it as
+/// disjoint from the caches, then put back — the buffers warm up once and
+/// are reused for every subsequent operating point.
+#[derive(Debug, Default)]
+struct ModelWorkspace {
+    /// Triplet-ordered operator values (skeleton baseline + dynamic tail).
+    vals: Vec<f64>,
+    /// Right-hand side under assembly.
+    rhs: Vec<f64>,
+    /// Solution target of transient steps, swapped with the model state.
+    next_state: Vec<f64>,
+    /// Dense scratch column for numeric refactorisations.
+    refactor_scratch: Vec<f64>,
+    /// Forward/backward triangular-solve scratch.
+    lu: SolveWorkspace,
+    /// Buffer (re)allocations since the last drain into `SolverStats`.
+    grows: u64,
+}
+
+/// Copies `src` into `dst` reusing `dst`'s capacity, counting real
+/// reallocations into `grows`.
+fn copy_into(dst: &mut Vec<f64>, src: &[f64], grows: &mut u64) {
+    if dst.capacity() < src.len() {
+        *grows += 1;
+    }
+    dst.clear();
+    dst.extend_from_slice(src);
+}
+
+/// Sizes `v` to `n` reusing capacity, counting real reallocations. Only
+/// for buffers the consumer overwrites completely (the transient solution
+/// target): a warm call — length already `n` — skips the zero-fill.
+fn ensure_len(v: &mut Vec<f64>, n: usize, grows: &mut u64) {
+    if v.capacity() < n {
+        *grows += 1;
+    }
+    if v.len() != n {
+        v.clear();
+        v.resize(n, 0.0);
+    }
+}
+
 /// Counters for the solver paths a model has taken (diagnostics).
 ///
 /// A healthy model shows `full_factorizations == 1` per sparsity pattern it
@@ -68,6 +151,16 @@ pub struct SolverStats {
     pub pivot_fallbacks: u64,
     /// O(nnz) value rewrites of an existing CSC operator.
     pub value_updates: u64,
+    /// Linear solves completed entirely inside the persistent workspace
+    /// (no per-solve heap allocation).
+    pub in_place_solves: u64,
+    /// Times a persistent workspace buffer had to (re)allocate. A warm
+    /// hot path keeps this counter flat — the assertion behind the
+    /// zero-allocation contract.
+    pub workspace_grows: u64,
+    /// Symbolic analyses adopted from a [`SharedAnalysis`] donor instead
+    /// of being captured by a local full factorisation.
+    pub adopted_symbolics: u64,
 }
 
 /// Occupancy and eviction statistics of the bounded operator caches.
@@ -97,6 +190,49 @@ impl CacheStats {
     }
 }
 
+/// Everything the operator sparsity pattern depends on: grid dimensions
+/// and the layer-kind sequence fix the node graph; the sink adds a node;
+/// the advection scheme and coolant phase select which dynamic couplings
+/// exist. Two models with equal signatures assemble identical skeleton
+/// patterns, so one frozen [`SymbolicLu`] serves both.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternSignature {
+    nx: usize,
+    ny: usize,
+    /// `0` = solid layer, `1` = cavity layer, bottom-up.
+    layer_kinds: Vec<u8>,
+    n_tiers: usize,
+    has_sink: bool,
+    upwind: bool,
+    two_phase: bool,
+}
+
+/// A cheap-to-clone, thread-safe snapshot of one model's frozen symbolic
+/// LU analyses, for sharing the single full pivoting factorisation of a
+/// (stack, grid) pattern across every same-pattern model of a batch
+/// sweep.
+///
+/// Obtain one from a model that has solved at least once
+/// ([`ThermalModel::export_analysis`]) and hand it to fresh same-pattern
+/// models ([`ThermalModel::adopt_analysis`]) *before* their first solve:
+/// adopters then skip their own full factorisation entirely and go
+/// straight to numeric refactorisation. Adoption is always safe — the
+/// refactorisation path verifies the sparsity pattern exactly and falls
+/// back to a local full factorisation on any mismatch.
+#[derive(Debug, Clone)]
+pub struct SharedAnalysis {
+    signature: PatternSignature,
+    single: Option<Arc<SymbolicLu>>,
+    two_phase: Option<Arc<SymbolicLu>>,
+}
+
+impl SharedAnalysis {
+    /// The pattern signature the analyses were captured under.
+    pub fn signature(&self) -> &PatternSignature {
+        &self.signature
+    }
+}
+
 /// One sparsity pattern's worth of reusable solver state: the assembled
 /// CSC operator (values rewritten per operating point), the triplet→CSC
 /// scatter map, the flow-independent baseline values/RHS, and the frozen
@@ -116,8 +252,14 @@ struct OperatorSkeleton {
     diag_start: Option<usize>,
     /// First triplet index of the operating-point-dependent tail.
     dyn_start: usize,
-    /// Frozen symbolic analysis; `None` until the first factorisation.
-    symbolic: Option<SymbolicLu>,
+    /// Frozen symbolic analysis; `None` until the first factorisation (or
+    /// adoption from a [`SharedAnalysis`]). `Arc`-shared so a batch of
+    /// same-pattern models pays for exactly one pivoting factorisation.
+    symbolic: Option<Arc<SymbolicLu>>,
+    /// `true` while `symbolic` came from a donor rather than a local
+    /// factorisation — a pattern mismatch then falls back to a fresh
+    /// factorisation instead of surfacing as an error.
+    adopted: bool,
 }
 
 impl OperatorSkeleton {
@@ -137,36 +279,61 @@ impl OperatorSkeleton {
             diag_start,
             dyn_start,
             symbolic: None,
+            adopted: false,
         }
     }
 
-    /// Rewrites the operator values and factorises: a numeric
-    /// refactorisation whenever a symbolic analysis exists, with automatic
-    /// fallback to (and capture of) a fresh pivoting factorisation on
-    /// pivot-growth degradation.
-    fn factorize(
+    /// Rewrites the operator values and factorises into `target`, reusing
+    /// `target`'s allocations when its shapes already match the frozen
+    /// pattern: a numeric refactorisation whenever a symbolic analysis
+    /// exists, with automatic fallback to (and capture of) a fresh
+    /// pivoting factorisation on pivot-growth degradation — or on a
+    /// pattern mismatch of an *adopted* symbolic analysis, which makes
+    /// adoption always safe.
+    fn factorize_into(
         &mut self,
         vals: &[f64],
+        target: &mut Option<LuFactors>,
         stats: &mut SolverStats,
-    ) -> Result<LuFactors, SparseError> {
+        scratch: &mut Vec<f64>,
+    ) -> Result<(), SparseError> {
         self.csc.update_values(&self.map, vals);
         stats.value_updates += 1;
         if let Some(sym) = &self.symbolic {
-            match sym.refactor(&self.csc) {
-                Ok(f) => {
+            // The refactorisation sizes `scratch` to n internally; account
+            // for the growth here so `workspace_grows` covers every
+            // persistent buffer, as its documentation promises.
+            if scratch.capacity() < sym.n() {
+                stats.workspace_grows += 1;
+            }
+            let shapes_fit = target.as_ref().is_some_and(|f| {
+                f.n() == sym.n() && f.nnz_l() == sym.nnz_l() && f.nnz_u() == sym.nnz_u()
+            });
+            if !shapes_fit {
+                *target = Some(sym.allocate_factors());
+            }
+            let f = target.as_mut().expect("just ensured");
+            match sym.refactor_into_with(&self.csc, f, scratch) {
+                Ok(()) => {
                     stats.refactorizations += 1;
-                    return Ok(f);
+                    return Ok(());
                 }
                 Err(SparseError::UnstablePivot { .. }) => {
                     stats.pivot_fallbacks += 1;
+                }
+                Err(SparseError::Shape { .. }) if self.adopted => {
+                    // The donor's signature matched but its pattern does
+                    // not: discard the adoption and re-analyse locally.
                 }
                 Err(e) => return Err(e),
             }
         }
         let (factors, symbolic) = lu::factor_with_symbolic(&self.csc, lu::ColumnOrdering::Rcm)?;
         stats.full_factorizations += 1;
-        self.symbolic = Some(symbolic);
-        Ok(factors)
+        self.symbolic = Some(Arc::new(symbolic));
+        self.adopted = false;
+        *target = Some(factors);
+        Ok(())
     }
 }
 
@@ -193,13 +360,18 @@ pub struct ThermalModel {
     flow: VolumetricFlow,
     state: Vec<f64>,
     capacitance: Vec<f64>,
-    steady_cache: LruCache<u64, CachedOperator>,
-    transient_cache: LruCache<(u64, u64), CachedOperator>,
+    steady_cache: LruCache<OperatorKey, CachedOperator>,
+    transient_cache: LruCache<OperatorKey, CachedOperator>,
     /// Shared pattern/symbolic state of the single-phase operator.
     skeleton: Option<OperatorSkeleton>,
     /// Shared pattern/symbolic state of the two-phase (Dirichlet-fluid)
     /// operator, which has a different sparsity pattern.
     tp_skeleton: Option<OperatorSkeleton>,
+    /// Persistent factor object of the two-phase fixed-point sweeps,
+    /// reused across sweeps and solves via `refactor_into`.
+    tp_factors: Option<LuFactors>,
+    /// Persistent solve/assembly scratch — the zero-allocation hot path.
+    workspace: ModelWorkspace,
     stats: SolverStats,
     two_phase_summary: Option<TwoPhaseSummary>,
 }
@@ -308,6 +480,8 @@ impl ThermalModel {
             transient_cache: LruCache::new(OPERATOR_CACHE_CAPACITY),
             skeleton: None,
             tp_skeleton: None,
+            tp_factors: None,
+            workspace: ModelWorkspace::default(),
             stats: SolverStats::default(),
             two_phase_summary: None,
         };
@@ -719,7 +893,9 @@ impl ThermalModel {
         Ok(())
     }
 
-    fn flow_key(&self) -> u64 {
+    /// Exact bit pattern of the current per-cavity flow (zero for
+    /// air-cooled stacks, whose operator is flow-independent).
+    fn flow_bits(&self) -> u64 {
         if self.is_liquid_cooled() {
             self.flow.0.to_bits()
         } else {
@@ -727,28 +903,36 @@ impl ThermalModel {
         }
     }
 
+    fn steady_key(&self) -> OperatorKey {
+        OperatorKey::steady(self.flow_bits())
+    }
+
+    fn transient_key(&self, dt: f64) -> OperatorKey {
+        OperatorKey::transient(self.flow_bits(), dt)
+    }
+
     /// Produces the single-phase operator values and RHS for `flow` (and,
-    /// for transients, `Δt = dt`) by an O(nnz) rewrite of the skeleton's
-    /// baseline. The skeleton must exist.
-    fn operator_values(
+    /// for transients, `Δt = dt`) into the workspace — an O(nnz) rewrite
+    /// of the skeleton's baseline with zero allocation once warm. The
+    /// skeleton must exist.
+    fn operator_values_into(
         &self,
         flow: VolumetricFlow,
         dt: Option<f64>,
-    ) -> Result<(Vec<f64>, Vec<f64>), ThermalError> {
+        ws: &mut ModelWorkspace,
+    ) -> Result<(), ThermalError> {
         let skel = self.skeleton.as_ref().expect("skeleton built");
-        let mut vals = skel.base_vals.clone();
-        let mut rhs = skel.base_rhs.clone();
+        copy_into(&mut ws.vals, &skel.base_vals, &mut ws.grows);
+        copy_into(&mut ws.rhs, &skel.base_rhs, &mut ws.grows);
         if let Some(dt) = dt {
             let d0 = skel
                 .diag_start
                 .expect("single-phase skeleton has diagonal slots");
             for (i, &c) in self.capacitance.iter().enumerate() {
-                vals[d0 + i] = c / dt;
+                ws.vals[d0 + i] = c / dt;
             }
         }
-        let dyn_start = skel.dyn_start;
-        self.fill_flow_values(flow, dyn_start, &mut vals, &mut rhs)?;
-        Ok((vals, rhs))
+        self.fill_flow_values(flow, skel.dyn_start, &mut ws.vals, &mut ws.rhs)
     }
 
     fn check_flow_set(&self) -> Result<(), ThermalError> {
@@ -760,8 +944,8 @@ impl ThermalModel {
         Ok(())
     }
 
-    fn ensure_steady(&mut self) -> Result<(), ThermalError> {
-        let key = self.flow_key();
+    fn ensure_steady(&mut self, ws: &mut ModelWorkspace) -> Result<(), ThermalError> {
+        let key = self.steady_key();
         if self.steady_cache.get(&key).is_some() {
             return Ok(());
         }
@@ -769,19 +953,26 @@ impl ThermalModel {
         if self.skeleton.is_none() {
             self.skeleton = Some(self.build_skeleton());
         }
-        let (vals, rhs_base) = self.operator_values(self.flow, None)?;
-        let factors = self
-            .skeleton
-            .as_mut()
-            .expect("just built")
-            .factorize(&vals, &mut self.stats)?;
-        self.steady_cache
-            .insert(key, CachedOperator { factors, rhs_base });
+        self.operator_values_into(self.flow, None, ws)?;
+        let mut factors = None;
+        self.skeleton.as_mut().expect("just built").factorize_into(
+            &ws.vals,
+            &mut factors,
+            &mut self.stats,
+            &mut ws.refactor_scratch,
+        )?;
+        self.steady_cache.insert(
+            key,
+            CachedOperator {
+                factors: factors.expect("factorised"),
+                rhs_base: ws.rhs.clone(),
+            },
+        );
         Ok(())
     }
 
-    fn ensure_transient(&mut self, dt: f64) -> Result<(), ThermalError> {
-        let key = (self.flow_key(), dt.to_bits());
+    fn ensure_transient(&mut self, dt: f64, ws: &mut ModelWorkspace) -> Result<(), ThermalError> {
+        let key = self.transient_key(dt);
         if self.transient_cache.get(&key).is_some() {
             return Ok(());
         }
@@ -789,14 +980,21 @@ impl ThermalModel {
         if self.skeleton.is_none() {
             self.skeleton = Some(self.build_skeleton());
         }
-        let (vals, rhs_base) = self.operator_values(self.flow, Some(dt))?;
-        let factors = self
-            .skeleton
-            .as_mut()
-            .expect("just built")
-            .factorize(&vals, &mut self.stats)?;
-        self.transient_cache
-            .insert(key, CachedOperator { factors, rhs_base });
+        self.operator_values_into(self.flow, Some(dt), ws)?;
+        let mut factors = None;
+        self.skeleton.as_mut().expect("just built").factorize_into(
+            &ws.vals,
+            &mut factors,
+            &mut self.stats,
+            &mut ws.refactor_scratch,
+        )?;
+        self.transient_cache.insert(
+            key,
+            CachedOperator {
+                factors: factors.expect("factorised"),
+                rhs_base: ws.rhs.clone(),
+            },
+        );
         Ok(())
     }
 
@@ -846,6 +1044,21 @@ impl ThermalModel {
         )
     }
 
+    /// Overwrites `field` with the current state, reusing its buffers —
+    /// the allocation-free counterpart of [`ThermalModel::current_field`].
+    pub fn current_field_into(&self, field: &mut TemperatureField) {
+        field.overwrite(
+            self.grid.nx(),
+            self.grid.ny(),
+            self.layers.len(),
+            &self.source_layers,
+            self.width,
+            self.height,
+            &self.state,
+            self.sink.is_some(),
+        );
+    }
+
     /// Solves for the steady-state temperature field under the given
     /// per-tier power maps (each of length `grid.cell_count()`, watts per
     /// cell) and makes it the current state.
@@ -861,16 +1074,30 @@ impl ThermalModel {
         if let Coolant::TwoPhase(tp) = self.params.coolant.clone() {
             return self.steady_state_two_phase(&tp, tier_powers);
         }
-        self.ensure_steady()?;
-        let op = self
-            .steady_cache
-            .peek(&self.flow_key())
-            .expect("ensured above");
-        let mut rhs = op.rhs_base.clone();
-        self.scatter_powers(tier_powers, &mut rhs)?;
-        let x = op.factors.solve(&rhs)?;
-        self.state = x;
+        let mut ws = std::mem::take(&mut self.workspace);
+        let r = self.steady_core(&mut ws, tier_powers);
+        self.stats.workspace_grows += std::mem::take(&mut ws.grows);
+        self.workspace = ws;
+        r?;
         Ok(self.field_from_state())
+    }
+
+    /// The workspace-routed steady solve: cached operator lookup, RHS
+    /// assembly and triangular solve without any per-call allocation.
+    fn steady_core(
+        &mut self,
+        ws: &mut ModelWorkspace,
+        tier_powers: &[Vec<f64>],
+    ) -> Result<(), ThermalError> {
+        self.ensure_steady(ws)?;
+        let key = self.steady_key();
+        let op = self.steady_cache.peek(&key).expect("ensured above");
+        copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
+        self.scatter_powers(tier_powers, &mut ws.rhs)?;
+        op.factors
+            .solve_with(&mut ws.lu, &ws.rhs, &mut self.state)?;
+        self.stats.in_place_solves += 1;
+        Ok(())
     }
 
     /// Fixed-point steady solve for an evaporating (two-phase) coolant:
@@ -883,6 +1110,23 @@ impl ThermalModel {
         tp: &TwoPhaseCoolant,
         tier_powers: &[Vec<f64>],
     ) -> Result<TemperatureField, ThermalError> {
+        let mut ws = std::mem::take(&mut self.workspace);
+        let mut tp_factors = self.tp_factors.take();
+        let r = self.two_phase_core(&mut ws, &mut tp_factors, tp, tier_powers);
+        self.stats.workspace_grows += std::mem::take(&mut ws.grows);
+        self.workspace = ws;
+        self.tp_factors = tp_factors;
+        r?;
+        Ok(self.field_from_state())
+    }
+
+    fn two_phase_core(
+        &mut self,
+        ws: &mut ModelWorkspace,
+        tp_factors: &mut Option<LuFactors>,
+        tp: &TwoPhaseCoolant,
+        tier_powers: &[Vec<f64>],
+    ) -> Result<(), ThermalError> {
         let props = tp.refrigerant.properties();
         let inlet_state = props.saturation_state(tp.inlet_saturation)?;
         let nxy = self.grid.cell_count();
@@ -938,15 +1182,20 @@ impl ThermalModel {
             self.tp_skeleton = Some(self.build_tp_skeleton());
         }
         for _sweep in 0..6 {
-            let (vals, rhs_base) = self.two_phase_values(&h_map, &tsat_map)?;
-            let factors = self
-                .tp_skeleton
+            self.two_phase_values_into(&h_map, &tsat_map, ws)?;
+            self.tp_skeleton
                 .as_mut()
                 .expect("just built")
-                .factorize(&vals, &mut self.stats)?;
-            let mut rhs = rhs_base;
-            self.scatter_powers(tier_powers, &mut rhs)?;
-            self.state = factors.solve(&rhs)?;
+                .factorize_into(
+                    &ws.vals,
+                    tp_factors,
+                    &mut self.stats,
+                    &mut ws.refactor_scratch,
+                )?;
+            self.scatter_powers(tier_powers, &mut ws.rhs)?;
+            let factors = tp_factors.as_ref().expect("factorised");
+            factors.solve_with(&mut ws.lu, &ws.rhs, &mut self.state)?;
+            self.stats.in_place_solves += 1;
 
             // Per-cell heat into the fluid, then re-march quality/pressure
             // and update the HTC field.
@@ -1037,7 +1286,7 @@ impl ThermalModel {
         }
         summary.dryout_margin = tp.dryout_quality - summary.max_exit_quality;
         self.two_phase_summary = Some(summary);
-        Ok(self.field_from_state())
+        Ok(())
     }
 
     /// Effective wetted area per cell per side (fin-enhanced), for the
@@ -1167,16 +1416,18 @@ impl ThermalModel {
     }
 
     /// Produces the two-phase operator values and RHS for the given local
-    /// HTC and saturation-temperature fields — an O(nnz) rewrite per
-    /// fixed-point sweep.
-    fn two_phase_values(
+    /// HTC and saturation-temperature fields into the workspace — an
+    /// O(nnz) rewrite per fixed-point sweep, allocation-free once warm.
+    fn two_phase_values_into(
         &self,
         h_map: &[f64],
         tsat_map: &[f64],
-    ) -> Result<(Vec<f64>, Vec<f64>), ThermalError> {
+        ws: &mut ModelWorkspace,
+    ) -> Result<(), ThermalError> {
         let skel = self.tp_skeleton.as_ref().expect("two-phase skeleton built");
-        let mut vals = skel.base_vals.clone();
-        let mut rhs = skel.base_rhs.clone();
+        copy_into(&mut ws.vals, &skel.base_vals, &mut ws.grows);
+        copy_into(&mut ws.rhs, &skel.base_rhs, &mut ws.grows);
+        let (vals, rhs) = (&mut ws.vals, &mut ws.rhs);
         let nx = self.grid.nx();
         let ny = self.grid.ny();
         let mut k = skel.dyn_start;
@@ -1200,11 +1451,15 @@ impl ThermalModel {
             }
         }
         debug_assert_eq!(k, vals.len(), "dynamic fill must cover the whole tail");
-        Ok((vals, rhs))
+        Ok(())
     }
 
     /// Advances the transient state by `dt` seconds under the given power
     /// maps (backward Euler) and returns the new field.
+    ///
+    /// Prefer [`ThermalModel::step_into`] in tight loops: it reuses a
+    /// caller-owned field buffer and, once warm, performs zero heap
+    /// allocation per sub-step.
     ///
     /// # Errors
     ///
@@ -1215,6 +1470,34 @@ impl ThermalModel {
         tier_powers: &[Vec<f64>],
         dt: f64,
     ) -> Result<TemperatureField, ThermalError> {
+        self.step_in_place(tier_powers, dt)?;
+        Ok(self.field_from_state())
+    }
+
+    /// Allocation-free transient step: advances the state by `dt` seconds
+    /// and overwrites `field` with the result, reusing its buffers.
+    ///
+    /// On the warm path (operator cached, workspace and `field` sized) the
+    /// whole sub-step — RHS assembly, triangular solve, state ping-pong
+    /// swap, field update — touches the heap zero times;
+    /// [`SolverStats::workspace_grows`] stays flat, which the tests
+    /// assert.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThermalModel::step`].
+    pub fn step_into(
+        &mut self,
+        tier_powers: &[Vec<f64>],
+        dt: f64,
+        field: &mut TemperatureField,
+    ) -> Result<(), ThermalError> {
+        self.step_in_place(tier_powers, dt)?;
+        self.current_field_into(field);
+        Ok(())
+    }
+
+    fn step_in_place(&mut self, tier_powers: &[Vec<f64>], dt: f64) -> Result<(), ThermalError> {
         if !(dt > 0.0 && dt.is_finite()) {
             return Err(ThermalError::InvalidTimestep { dt });
         }
@@ -1226,19 +1509,35 @@ impl ThermalModel {
                     .into(),
             });
         }
-        self.ensure_transient(dt)?;
-        let op = self
-            .transient_cache
-            .peek(&(self.flow_key(), dt.to_bits()))
-            .expect("ensured above");
-        let mut rhs = op.rhs_base.clone();
-        self.scatter_powers(tier_powers, &mut rhs)?;
-        for ((r, &c), &s) in rhs.iter_mut().zip(&self.capacitance).zip(&self.state) {
+        let mut ws = std::mem::take(&mut self.workspace);
+        let r = self.step_core(&mut ws, tier_powers, dt);
+        self.stats.workspace_grows += std::mem::take(&mut ws.grows);
+        self.workspace = ws;
+        r
+    }
+
+    fn step_core(
+        &mut self,
+        ws: &mut ModelWorkspace,
+        tier_powers: &[Vec<f64>],
+        dt: f64,
+    ) -> Result<(), ThermalError> {
+        self.ensure_transient(dt, ws)?;
+        let key = self.transient_key(dt);
+        let op = self.transient_cache.peek(&key).expect("ensured above");
+        copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
+        self.scatter_powers(tier_powers, &mut ws.rhs)?;
+        for ((r, &c), &s) in ws.rhs.iter_mut().zip(&self.capacitance).zip(&self.state) {
             *r += c / dt * s;
         }
-        let x = op.factors.solve(&rhs)?;
-        self.state = x;
-        Ok(self.field_from_state())
+        ensure_len(&mut ws.next_state, self.n_nodes, &mut ws.grows);
+        op.factors
+            .solve_with(&mut ws.lu, &ws.rhs, &mut ws.next_state)?;
+        // Ping-pong: the solved buffer becomes the state, the old state
+        // becomes next step's solution target.
+        std::mem::swap(&mut self.state, &mut ws.next_state);
+        self.stats.in_place_solves += 1;
+        Ok(())
     }
 
     /// The current temperature field (initial temperature before any
@@ -1324,9 +1623,91 @@ impl ThermalModel {
 
     /// Which solver paths this model has taken so far (diagnostics): full
     /// factorisations vs. numeric refactorisations vs. O(nnz) value
-    /// updates.
+    /// updates, plus the workspace counters behind the zero-allocation
+    /// contract.
     pub fn solver_stats(&self) -> SolverStats {
-        self.stats
+        let mut s = self.stats;
+        s.workspace_grows += self.workspace.lu.grows();
+        s
+    }
+
+    /// This model's operator-pattern signature (see [`PatternSignature`]).
+    pub fn pattern_signature(&self) -> PatternSignature {
+        PatternSignature {
+            nx: self.grid.nx(),
+            ny: self.grid.ny(),
+            layer_kinds: self
+                .layers
+                .iter()
+                .map(|l| match l {
+                    LayerModel::Solid { .. } => 0,
+                    LayerModel::Cavity { .. } => 1,
+                })
+                .collect(),
+            n_tiers: self.source_layers.len(),
+            has_sink: self.sink.is_some(),
+            upwind: matches!(self.params.advection, AdvectionScheme::Upwind),
+            two_phase: self.is_two_phase(),
+        }
+    }
+
+    /// Snapshots the frozen symbolic analyses for sharing with other
+    /// same-pattern models, or `None` if no factorisation has happened
+    /// yet.
+    pub fn export_analysis(&self) -> Option<SharedAnalysis> {
+        let single = self.skeleton.as_ref().and_then(|s| s.symbolic.clone());
+        let two_phase = self.tp_skeleton.as_ref().and_then(|s| s.symbolic.clone());
+        if single.is_none() && two_phase.is_none() {
+            return None;
+        }
+        Some(SharedAnalysis {
+            signature: self.pattern_signature(),
+            single,
+            two_phase,
+        })
+    }
+
+    /// Adopts a donor's frozen symbolic analyses so this model's first
+    /// solve skips the full pivoting factorisation and goes straight to
+    /// numeric refactorisation. Returns `true` if at least one analysis
+    /// was installed (signature match and no local analysis yet).
+    ///
+    /// Safe against bad donors: the refactorisation path verifies the
+    /// exact sparsity pattern and transparently re-pivots locally on
+    /// mismatch.
+    pub fn adopt_analysis(&mut self, analysis: &SharedAnalysis) -> bool {
+        if analysis.signature != self.pattern_signature() {
+            return false;
+        }
+        let mut adopted = false;
+        if let Some(sym) = &analysis.single {
+            if self.skeleton.is_none() {
+                self.skeleton = Some(self.build_skeleton());
+            }
+            let skel = self.skeleton.as_mut().expect("just built");
+            if skel.symbolic.is_none() && sym.n() == self.n_nodes {
+                skel.symbolic = Some(Arc::clone(sym));
+                skel.adopted = true;
+                adopted = true;
+            }
+        }
+        if let Some(sym) = &analysis.two_phase {
+            if self.is_two_phase() {
+                if self.tp_skeleton.is_none() {
+                    self.tp_skeleton = Some(self.build_tp_skeleton());
+                }
+                let skel = self.tp_skeleton.as_mut().expect("just built");
+                if skel.symbolic.is_none() && sym.n() == self.n_nodes {
+                    skel.symbolic = Some(Arc::clone(sym));
+                    skel.adopted = true;
+                    adopted = true;
+                }
+            }
+        }
+        if adopted {
+            self.stats.adopted_symbolics += 1;
+        }
+        adopted
     }
 }
 
@@ -1839,6 +2220,132 @@ mod tests {
             peak < Kelvin::from_celsius(110.0).0,
             "peak {peak} K too hot"
         );
+    }
+
+    #[test]
+    fn nearby_flow_rates_never_alias_cached_operators() {
+        // The cache key is the exact flow bit pattern: two flows one ULP
+        // apart are different operating points and must occupy different
+        // slots (and likewise for transient Δt).
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        let powers = uniform_powers(2, 10.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(20.0);
+        let q_nearby = VolumetricFlow(f64::from_bits(q.0.to_bits() + 1));
+        assert_ne!(q.0, q_nearby.0);
+        m.set_flow_rate(q).unwrap();
+        m.steady_state(&powers).unwrap();
+        m.set_flow_rate(q_nearby).unwrap();
+        m.steady_state(&powers).unwrap();
+        assert_eq!(m.cached_operators().steady_entries, 2);
+        assert_eq!(m.solver_stats().value_updates, 2, "no aliased cache hit");
+        // Transient keys embed the exact Δt bits: same flow, two nearby
+        // Δt values → two operators.
+        let dt: f64 = 0.25;
+        let dt_nearby = f64::from_bits(dt.to_bits() + 1);
+        m.step(&powers, dt).unwrap();
+        m.step(&powers, dt_nearby).unwrap();
+        assert_eq!(m.cached_operators().transient_entries, 2);
+        // And a steady key can never collide with a transient key for the
+        // same flow.
+        assert_ne!(m.steady_key(), m.transient_key(dt));
+    }
+
+    #[test]
+    fn warm_transient_path_is_allocation_free() {
+        // The zero-allocation contract: once the operator is cached and
+        // the workspace is warm, stepping grows no buffer — every
+        // sub-step is RHS assembly + triangular solve + ping-pong swap
+        // inside persistent storage.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let mut field = m.current_field();
+        // Warm-up: builds skeleton, factorises, sizes every buffer.
+        m.step_into(&powers, 0.25, &mut field).unwrap();
+        m.step_into(&powers, 0.25, &mut field).unwrap();
+        let warm = m.solver_stats();
+        for _ in 0..200 {
+            m.step_into(&powers, 0.25, &mut field).unwrap();
+        }
+        let s = m.solver_stats();
+        assert_eq!(
+            s.workspace_grows, warm.workspace_grows,
+            "warm sub-steps must not grow any workspace buffer: {s:?}"
+        );
+        assert_eq!(s.in_place_solves, warm.in_place_solves + 200);
+        // The whole run still used exactly one full factorisation.
+        assert_eq!(s.full_factorizations, 1);
+    }
+
+    #[test]
+    fn step_into_matches_step_bitwise() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let powers = uniform_powers(2, 15.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(20.0);
+
+        let mut a = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        a.set_flow_rate(q).unwrap();
+        let mut b = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        b.set_flow_rate(q).unwrap();
+
+        let mut field = b.current_field();
+        for _ in 0..10 {
+            let fa = a.step(&powers, 0.25).unwrap();
+            b.step_into(&powers, 0.25, &mut field).unwrap();
+            assert_eq!(fa.raw(), field.raw(), "identical bits, identical fields");
+        }
+        assert_eq!(field.grid_dims(), (6, 6));
+    }
+
+    #[test]
+    fn adopted_analysis_skips_the_full_factorisation() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+
+        // Donor: solves once, capturing the symbolic analysis.
+        let mut donor = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        donor
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+            .unwrap();
+        donor.steady_state(&powers).unwrap();
+        let analysis = donor.export_analysis().expect("donor factorised");
+
+        // Adopter at a *different* operating point: zero full
+        // factorisations, refactor-only.
+        let mut adopter = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        assert!(adopter.adopt_analysis(&analysis));
+        adopter
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(28.0))
+            .unwrap();
+        let fa = adopter.steady_state(&powers).unwrap();
+        let s = adopter.solver_stats();
+        assert_eq!(s.full_factorizations, 0, "{s:?}");
+        assert!(s.refactorizations >= 1, "{s:?}");
+        assert_eq!(s.adopted_symbolics, 1);
+
+        // The adopted path agrees with an independent model to solver
+        // round-off.
+        let mut fresh = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        fresh
+            .set_flow_rate(VolumetricFlow::from_ml_per_min(28.0))
+            .unwrap();
+        let ff = fresh.steady_state(&powers).unwrap();
+        for (u, v) in fa.cells().iter().zip(ff.cells()) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+
+        // A signature mismatch (different grid) refuses adoption.
+        let g2 = GridSpec::new(8, 8).unwrap();
+        let mut other = ThermalModel::new(&stack, g2, ThermalParams::default()).unwrap();
+        assert!(!other.adopt_analysis(&analysis));
+        assert_eq!(other.solver_stats().adopted_symbolics, 0);
     }
 
     #[test]
