@@ -4,8 +4,8 @@
 //! flow-only ablation, and the max-flow baseline on the same stack and
 //! workloads, and split the savings into pump-side and chip-side parts.
 
-use cmosaic::experiments::{run_policy, PolicyRunConfig};
 use cmosaic::policy::PolicyKind;
+use cmosaic::{BatchRunner, ScenarioSpec, Study};
 use cmosaic_bench::{banner, f, paper_vs, section, Table};
 use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
@@ -21,24 +21,33 @@ fn main() {
         PolicyKind::LcFuzzy,
     ];
 
+    // One 9-cell study (3 policies x 3 application workloads), batched:
+    // a single full thermal factorisation serves every run.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = Study::new(
+        ScenarioSpec::new()
+            .tiers(2)
+            .seconds(seconds)
+            .seed(7)
+            .grid(grid),
+    )
+    .over_policies(policies)
+    .over_workloads(WorkloadKind::applications())
+    .run(&BatchRunner::new(threads))
+    .expect("runs succeed");
+
     let mut chip = [0.0f64; 3];
     let mut pump = [0.0f64; 3];
     let mut peak = [0.0f64; 3];
-    for wk in WorkloadKind::applications() {
-        for (i, &policy) in policies.iter().enumerate() {
-            let m = run_policy(&PolicyRunConfig {
-                tiers: 2,
-                policy,
-                workload: wk,
-                seconds,
-                seed: 7,
-                grid,
-            })
-            .expect("run succeeds");
-            chip[i] += m.chip_energy / 3.0;
-            pump[i] += m.pump_energy / 3.0;
-            peak[i] = peak[i].max(m.peak_temperature.to_celsius().0);
-        }
+    for (spec, outcome) in report.iter() {
+        let i = policies
+            .iter()
+            .position(|&p| p == spec.policy_kind())
+            .expect("study policy");
+        let m = &outcome.metrics;
+        chip[i] += m.chip_energy / 3.0;
+        pump[i] += m.pump_energy / 3.0;
+        peak[i] = peak[i].max(m.peak_temperature.to_celsius().0);
     }
 
     let mut t = Table::new(&[

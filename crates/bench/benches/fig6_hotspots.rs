@@ -3,6 +3,7 @@
 //! on the 2- and 4-tier 3D MPSoCs.
 
 use cmosaic::experiments::fig6_dataset;
+use cmosaic::BatchRunner;
 use cmosaic_bench::{banner, f, paper_vs, section, Table};
 use cmosaic_floorplan::GridSpec;
 
@@ -11,7 +12,8 @@ fn main() {
 
     let grid = GridSpec::new(12, 12).expect("static dims");
     let seconds = 150;
-    let rows = fig6_dataset(seconds, 7, grid).expect("simulation");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rows = fig6_dataset(&BatchRunner::new(threads), seconds, 7, grid).expect("simulation");
 
     let mut t = Table::new(&[
         "Config",

@@ -3,6 +3,7 @@
 //! abstract's headline LC_FUZZY savings.
 
 use cmosaic::experiments::{fig7_dataset, headline_savings};
+use cmosaic::BatchRunner;
 use cmosaic_bench::{banner, f, paper_vs, section, Table};
 use cmosaic_floorplan::GridSpec;
 
@@ -11,7 +12,8 @@ fn main() {
 
     let grid = GridSpec::new(12, 12).expect("static dims");
     let seconds = 150;
-    let rows = fig7_dataset(seconds, 7, grid).expect("simulation");
+    let runner = BatchRunner::new(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let rows = fig7_dataset(&runner, seconds, 7, grid).expect("simulation");
 
     let mut t = Table::new(&[
         "Config",
@@ -62,7 +64,7 @@ fn main() {
 
     section("Headline savings vs worst-case maximum flow (abstract)");
     for tiers in [2usize, 4] {
-        let h = headline_savings(tiers, seconds, 7, grid).expect("simulation");
+        let h = headline_savings(&runner, tiers, seconds, 7, grid).expect("simulation");
         paper_vs(
             &format!("{tiers}-tier cooling-energy saving"),
             "up to 67 %",

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cmosaic::batch::BatchRunner;
-use cmosaic::experiments::fig6_scenario_matrix;
+use cmosaic::experiments::fig6_study;
 use cmosaic::fuzzy::FuzzyController;
 use cmosaic_bench::{banner, f, kv, section, strict_timing};
 use cmosaic_floorplan::stack::presets;
@@ -162,7 +162,7 @@ fn main() {
 
     // ---- 3. Batch sweep of the fig6 matrix across thread counts.
     let seconds = 40;
-    let scenarios = fig6_scenario_matrix(seconds, 42, grid);
+    let scenarios = fig6_study(seconds, 42, grid).build().expect("valid study");
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let thread_counts = [1usize, 2, 4, 8];
     let mut walls = Vec::new();
@@ -170,7 +170,7 @@ fn main() {
     for &threads in &thread_counts {
         let t = Instant::now();
         let report = BatchRunner::new(threads)
-            .run(&scenarios)
+            .run_scenarios(&scenarios)
             .expect("batch completes");
         walls.push(t.elapsed().as_secs_f64());
         reports.push(report);

@@ -4,25 +4,27 @@
 //!
 //! Design-space exploration (the paper's Figs. 6–8, a thermally-aware
 //! floorplanner's inner loop) evaluates the same stack family at many
-//! operating points: policy × tier-count × workload grids of *independent*
-//! co-simulations. [`BatchRunner`] executes such a matrix on a
-//! `std::thread::scope` pool with a work-stealing index cursor, and layers
-//! two guarantees on top:
+//! operating points: the [`Scenario`] matrices a
+//! [`Study`](crate::study::Study) expands. [`BatchRunner`] executes such a
+//! matrix on a `std::thread::scope` pool with a work-stealing index
+//! cursor, and layers two guarantees on top:
 //!
 //! * **One full factorisation per pattern.** Scenarios are grouped by
-//!   operator-pattern key (tiers, cooling mode, grid). The first scenario
-//!   of each group — the *donor*, fixed by scenario order, never by thread
-//!   scheduling — runs first and exports its frozen
-//!   [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis); every other
+//!   thermal-operator pattern ([`Scenario::same_operator_pattern`]: stack,
+//!   grid and thermal parameters). The first scenario of each group — the
+//!   *donor*, fixed by scenario order, never by thread scheduling — runs
+//!   first and exports its frozen
+//!   [`SharedAnalysis`]; every other
 //!   scenario of the group adopts it and goes straight to cheap numeric
 //!   refactorisation. Across the whole batch the expensive pivoting
-//!   factorisation runs exactly once per distinct (stack, grid) pattern,
-//!   however many scenarios and threads are in play.
+//!   factorisation runs exactly once per distinct pattern, however many
+//!   scenarios and threads are in play.
 //! * **Deterministic aggregation.** Results land in slots indexed by
 //!   scenario position; each scenario is itself deterministic, and the
 //!   donor/adopter structure depends only on scenario order — so
-//!   [`BatchRunner::run`] returns bit-identical [`RunMetrics`] whether it
-//!   ran on 1 thread or 8 (asserted by the tests).
+//!   [`BatchRunner::run_scenarios`] returns bit-identical
+//!   [`RunMetrics`] whether it ran on 1 thread or 8 (asserted by the
+//!   tests).
 //!
 //! The donor phase is a global barrier: adopters start only after *every*
 //! donor has finished, which idles workers briefly when one group's donor
@@ -36,40 +38,20 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use cmosaic_floorplan::GridSpec;
 use cmosaic_thermal::{SharedAnalysis, SolverStats};
 
-use crate::experiments::{build_simulator, PolicyRunConfig};
 use crate::metrics::RunMetrics;
+use crate::observe::Observer;
+use crate::scenario::Scenario;
 use crate::CmosaicError;
 
-/// What one worker produces for one scenario.
+/// What one worker produces for one scenario, alongside its observer.
 type JobResult = Result<(RunMetrics, SolverStats, Option<SharedAnalysis>), CmosaicError>;
-
-/// Operator-pattern grouping key of a scenario: everything that decides
-/// the thermal operator's sparsity pattern under the default simulation
-/// parameters [`build_simulator`] applies (water coolant, upwind
-/// advection) — the preset stack family (tiers + cooling mode) and the
-/// grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PatternGroup {
-    tiers: usize,
-    liquid: bool,
-    grid: GridSpec,
-}
-
-fn pattern_group(config: &PolicyRunConfig) -> PatternGroup {
-    PatternGroup {
-        tiers: config.tiers,
-        liquid: config.policy.is_liquid_cooled(),
-        grid: config.grid,
-    }
-}
 
 /// The outcome of one scenario of a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
-    /// Position in the scenario slice handed to [`BatchRunner::run`].
+    /// Position in the scenario slice handed to the runner.
     pub index: usize,
     /// The run's aggregated metrics.
     pub metrics: RunMetrics,
@@ -85,7 +67,7 @@ pub struct BatchReport {
     pub outcomes: Vec<ScenarioOutcome>,
     /// Distinct operator-pattern groups the batch contained.
     pub pattern_groups: usize,
-    /// Worker threads requested.
+    /// Worker threads used.
     pub threads: usize,
 }
 
@@ -111,15 +93,12 @@ pub struct BatchRunner {
 
 impl BatchRunner {
     /// Creates a runner with `threads` workers (donor scenarios first,
-    /// then everything else, both phases work-stealing).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// then everything else, both phases work-stealing). A zero thread
+    /// count is clamped to one worker, so
+    /// `BatchRunner::new(available_parallelism_hint)` is always safe.
     pub fn new(threads: usize) -> Self {
-        assert!(threads >= 1, "batch runner needs at least one worker");
         BatchRunner {
-            threads,
+            threads: threads.max(1),
             share_analysis: true,
         }
     }
@@ -132,6 +111,11 @@ impl BatchRunner {
         self
     }
 
+    /// Worker threads this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Executes every scenario and returns the outcomes in scenario
     /// order.
     ///
@@ -139,35 +123,62 @@ impl BatchRunner {
     ///
     /// If any scenario fails, the error of the lowest-indexed failing
     /// scenario is returned (deterministic regardless of thread count).
-    pub fn run(&self, scenarios: &[PolicyRunConfig]) -> Result<BatchReport, CmosaicError> {
+    pub fn run_scenarios(&self, scenarios: &[Scenario]) -> Result<BatchReport, CmosaicError> {
+        self.run_scenarios_observed(scenarios, |_, _| ())
+            .map(|(report, _)| report)
+    }
+
+    /// Executes every scenario with one observer apiece, created by
+    /// `factory(index, scenario)` inside the worker that runs the
+    /// scenario; the observers are returned in scenario order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchRunner::run_scenarios`] (observers of failed
+    /// scenarios are discarded with the batch).
+    pub fn run_scenarios_observed<O, F>(
+        &self,
+        scenarios: &[Scenario],
+        factory: F,
+    ) -> Result<(BatchReport, Vec<O>), CmosaicError>
+    where
+        O: Observer + Send,
+        F: Fn(usize, &Scenario) -> O + Sync,
+    {
         let n = scenarios.len();
         // Group scenarios by operator pattern; the first of each group is
         // its donor.
-        let mut group_keys: Vec<PatternGroup> = Vec::new();
+        let mut group_reps: Vec<usize> = Vec::new();
         let mut group_of = vec![0usize; n];
-        let mut donors: Vec<usize> = Vec::new();
-        for (i, c) in scenarios.iter().enumerate() {
-            let key = pattern_group(c);
-            match group_keys.iter().position(|k| *k == key) {
+        for (i, s) in scenarios.iter().enumerate() {
+            match group_reps
+                .iter()
+                .position(|&r| scenarios[r].same_operator_pattern(s))
+            {
                 Some(g) => group_of[i] = g,
                 None => {
-                    group_of[i] = group_keys.len();
-                    group_keys.push(key);
-                    donors.push(i);
+                    group_of[i] = group_reps.len();
+                    group_reps.push(i);
                 }
             }
         }
+        let donors = &group_reps;
 
-        let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..n).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<(JobResult, O)>>> = Mutex::new((0..n).map(|_| None).collect());
+        let run_one = |i: usize, adopt: Option<&SharedAnalysis>| {
+            let mut observer = factory(i, &scenarios[i]);
+            let r = run_scenario(&scenarios[i], adopt, &mut observer);
+            (r, observer)
+        };
         if self.share_analysis {
             // Phase 1: donors (one per pattern group) run first and
             // capture the group's symbolic analysis.
-            self.par_run(&donors, &slots, |i| run_scenario(&scenarios[i], None));
-            let mut analyses: Vec<Option<SharedAnalysis>> = vec![None; group_keys.len()];
+            self.par_run(donors, &slots, |i| run_one(i, None));
+            let mut analyses: Vec<Option<SharedAnalysis>> = vec![None; group_reps.len()];
             {
                 let guard = slots.lock().expect("result slots poisoned");
                 for (g, &d) in donors.iter().enumerate() {
-                    if let Some(Ok((_, _, a))) = &guard[d] {
+                    if let Some((Ok((_, _, a)), _)) = &guard[d] {
                         analyses[g] = a.clone();
                     }
                 }
@@ -175,36 +186,67 @@ impl BatchRunner {
             // Phase 2: everything else adopts its group's analysis.
             let rest: Vec<usize> = (0..n).filter(|i| !donors.contains(i)).collect();
             self.par_run(&rest, &slots, |i| {
-                run_scenario(&scenarios[i], analyses[group_of[i]].as_ref())
+                run_one(i, analyses[group_of[i]].as_ref())
             });
         } else {
             let all: Vec<usize> = (0..n).collect();
-            self.par_run(&all, &slots, |i| run_scenario(&scenarios[i], None));
+            self.par_run(&all, &slots, |i| run_one(i, None));
         }
 
         let mut outcomes = Vec::with_capacity(n);
+        let mut observers = Vec::with_capacity(n);
         let slots = slots.into_inner().expect("result slots poisoned");
         for (index, slot) in slots.into_iter().enumerate() {
-            let (metrics, solver, _) = slot.expect("every scenario was scheduled")?;
+            let (result, observer) = slot.expect("every scenario was scheduled");
+            let (metrics, solver, _) = result?;
             outcomes.push(ScenarioOutcome {
                 index,
                 metrics,
                 solver,
             });
+            observers.push(observer);
         }
-        Ok(BatchReport {
-            outcomes,
-            pattern_groups: group_keys.len(),
-            threads: self.threads,
-        })
+        Ok((
+            BatchReport {
+                outcomes,
+                pattern_groups: group_reps.len(),
+                threads: self.threads,
+            },
+            observers,
+        ))
+    }
+
+    /// Executes a matrix of legacy flat configs (the pre-`ScenarioSpec`
+    /// API). Thin adapter: every config is converted to a spec, built,
+    /// and run through [`BatchRunner::run_scenarios`].
+    ///
+    /// # Errors
+    ///
+    /// Build errors first, then the error of the lowest-indexed failing
+    /// scenario.
+    #[allow(deprecated)]
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `Study` (or `ScenarioSpec`s) and call `run_scenarios`"
+    )]
+    pub fn run(
+        &self,
+        scenarios: &[crate::experiments::PolicyRunConfig],
+    ) -> Result<BatchReport, CmosaicError> {
+        let scenarios: Vec<Scenario> = scenarios
+            .iter()
+            .map(|c| c.to_spec().build())
+            .collect::<Result<_, _>>()?;
+        self.run_scenarios(&scenarios)
     }
 
     /// Runs `f` over `jobs` (scenario indices) on up to `self.threads`
     /// scoped workers with a shared work-stealing cursor, writing each
     /// result into its scenario's slot.
-    fn par_run<F>(&self, jobs: &[usize], slots: &Mutex<Vec<Option<JobResult>>>, f: F)
+    fn par_run<T, F>(&self, jobs: &[usize], slots: &Mutex<Vec<Option<T>>>, f: F)
     where
-        F: Fn(usize) -> JobResult + Sync,
+        T: Send,
+        F: Fn(usize) -> T + Sync,
     {
         if jobs.is_empty() {
             return;
@@ -226,13 +268,17 @@ impl BatchRunner {
 
 /// Runs one scenario end to end, optionally adopting a donor's thermal
 /// analysis before initialisation.
-fn run_scenario(config: &PolicyRunConfig, adopt: Option<&SharedAnalysis>) -> JobResult {
-    let mut sim = build_simulator(config)?;
+fn run_scenario<O: Observer>(
+    scenario: &Scenario,
+    adopt: Option<&SharedAnalysis>,
+    observer: &mut O,
+) -> JobResult {
+    let mut sim = scenario.build_simulator()?;
     if let Some(analysis) = adopt {
         sim.adopt_thermal_analysis(analysis);
     }
     sim.initialize()?;
-    let metrics = sim.run(config.seconds)?;
+    let metrics = sim.run_observed(scenario.seconds(), observer)?;
     let analysis = sim.export_thermal_analysis();
     Ok((metrics, sim.solver_stats(), analysis))
 }
@@ -240,25 +286,29 @@ fn run_scenario(config: &PolicyRunConfig, adopt: Option<&SharedAnalysis>) -> Job
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::fig6_scenario_matrix;
+    use crate::observe::EnergyBreakdown;
     use crate::policy::PolicyKind;
+    use crate::scenario::ScenarioSpec;
+    use cmosaic_floorplan::GridSpec;
     use cmosaic_power::trace::WorkloadKind;
 
     fn tiny_grid() -> GridSpec {
         GridSpec::new(6, 6).expect("static")
     }
 
-    fn tiny_matrix() -> Vec<PolicyRunConfig> {
-        fig6_scenario_matrix(2, 7, tiny_grid())
+    fn tiny_matrix() -> Vec<Scenario> {
+        crate::experiments::fig6_study(2, 7, tiny_grid())
+            .build()
+            .expect("valid specs")
     }
 
     #[test]
     fn batch_is_bit_identical_across_thread_counts() {
-        // The satellite guarantee: the fig6 scenario matrix at 1 thread
-        // and at 8 threads yields bit-identical RunMetrics per scenario.
+        // The core guarantee: the fig6 scenario matrix at 1 thread and at
+        // 8 threads yields bit-identical RunMetrics per scenario.
         let scenarios = tiny_matrix();
-        let serial = BatchRunner::new(1).run(&scenarios).unwrap();
-        let parallel = BatchRunner::new(8).run(&scenarios).unwrap();
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios).unwrap();
+        let parallel = BatchRunner::new(8).run_scenarios(&scenarios).unwrap();
         assert_eq!(serial.outcomes.len(), scenarios.len());
         assert_eq!(
             serial.outcomes, parallel.outcomes,
@@ -272,23 +322,25 @@ mod tests {
         // All four scenarios are 2-tier liquid-cooled on one grid: one
         // pattern group, so exactly one full pivoting factorisation in
         // the whole batch — the donor's. Adopters ride refactor-only.
-        let scenarios: Vec<PolicyRunConfig> = [
+        let scenarios: Vec<Scenario> = [
             (PolicyKind::LcLb, WorkloadKind::WebServer),
             (PolicyKind::LcFuzzy, WorkloadKind::WebServer),
             (PolicyKind::LcLb, WorkloadKind::Database),
             (PolicyKind::LcFuzzy, WorkloadKind::Multimedia),
         ]
         .into_iter()
-        .map(|(policy, workload)| PolicyRunConfig {
-            tiers: 2,
-            policy,
-            workload,
-            seconds: 2,
-            seed: 3,
-            grid: tiny_grid(),
+        .map(|(policy, workload)| {
+            ScenarioSpec::new()
+                .policy(policy)
+                .workload(workload)
+                .seconds(2)
+                .seed(3)
+                .grid(tiny_grid())
+                .build()
+                .expect("valid spec")
         })
         .collect();
-        let report = BatchRunner::new(4).run(&scenarios).unwrap();
+        let report = BatchRunner::new(4).run_scenarios(&scenarios).unwrap();
         assert_eq!(report.pattern_groups, 1);
         assert_eq!(report.total_full_factorizations(), 1);
         assert_eq!(report.outcomes[0].solver.full_factorizations, 1);
@@ -304,7 +356,7 @@ mod tests {
         // the counter is asserted here.
         let unshared = BatchRunner::new(2)
             .without_shared_analysis()
-            .run(&scenarios)
+            .run_scenarios(&scenarios)
             .unwrap();
         assert_eq!(unshared.total_full_factorizations(), scenarios.len() as u64);
     }
@@ -315,21 +367,71 @@ mod tests {
         // patterns on one grid.
         let scenarios = tiny_matrix();
         assert_eq!(scenarios.len(), 28);
-        let report = BatchRunner::new(2).run(&scenarios).unwrap();
+        let report = BatchRunner::new(2).run_scenarios(&scenarios).unwrap();
         assert_eq!(report.pattern_groups, 4);
         assert_eq!(report.total_full_factorizations(), 4);
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let report = BatchRunner::new(3).run(&[]).unwrap();
+        let report = BatchRunner::new(3).run_scenarios(&[]).unwrap();
         assert!(report.outcomes.is_empty());
         assert_eq!(report.pattern_groups, 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
-        let _ = BatchRunner::new(0);
+    fn zero_threads_clamp_to_one_worker() {
+        // `BatchRunner::new(0)` used to panic — a footgun for callers
+        // deriving the count from an `available_parallelism` hint that
+        // can legitimately be zero.
+        let runner = BatchRunner::new(0);
+        assert_eq!(runner.threads(), 1);
+        let scenarios = vec![ScenarioSpec::new()
+            .seconds(2)
+            .grid(tiny_grid())
+            .build()
+            .unwrap()];
+        let report = runner.run_scenarios(&scenarios).unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.threads, 1);
+    }
+
+    #[test]
+    fn observers_are_returned_in_scenario_order() {
+        let scenarios: Vec<Scenario> = [4usize, 2]
+            .into_iter()
+            .map(|secs| {
+                ScenarioSpec::new()
+                    .seconds(secs)
+                    .grid(tiny_grid())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let (report, energies) = BatchRunner::new(2)
+            .run_scenarios_observed(&scenarios, |_, _| EnergyBreakdown::new())
+            .unwrap();
+        assert_eq!(energies.len(), 2);
+        assert_eq!(energies[0].trajectory().len(), 4);
+        assert_eq!(energies[1].trajectory().len(), 2);
+        for (o, e) in report.outcomes.iter().zip(&energies) {
+            assert_eq!(
+                o.metrics.chip_energy,
+                e.chip_joules(),
+                "observer integration matches the run metrics"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_adapter_matches_the_scenario_path() {
+        // The deprecated `run(&[PolicyRunConfig])` shim must produce
+        // bit-identical outcomes to the ScenarioSpec path it wraps.
+        use crate::experiments::fig6_scenario_matrix;
+        let legacy = fig6_scenario_matrix(2, 7, tiny_grid());
+        let via_shim = BatchRunner::new(2).run(&legacy).unwrap();
+        let via_scenarios = BatchRunner::new(2).run_scenarios(&tiny_matrix()).unwrap();
+        assert_eq!(via_shim, via_scenarios);
     }
 }

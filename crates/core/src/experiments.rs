@@ -1,22 +1,36 @@
-//! Pre-packaged experiment runners matching §IV.A of the paper.
+//! Pre-packaged experiment runners matching §IV.A of the paper, expressed
+//! on the [`ScenarioSpec`]/[`Study`] API.
 //!
-//! [`run_policy`] executes one (stack, policy, workload) co-simulation;
-//! [`fig6_dataset`] and [`fig7_dataset`] assemble exactly the rows the
-//! paper's Fig. 6 and Fig. 7 plot; [`headline_savings`] computes the
-//! abstract's "up to 67 % cooling / 30 % system energy" comparison of
-//! `LC_FUZZY` against worst-case maximum flow.
+//! [`figure_study`] is the canonical definition of the seven stack/policy
+//! configurations of Figs. 6 and 7; [`fig6_study`] crosses it with the
+//! four workloads. [`fig6_dataset`] and [`fig7_dataset`] execute those
+//! studies on a [`BatchRunner`] and assemble exactly the rows the paper's
+//! figures plot; [`headline_savings`] computes the abstract's "up to 67 %
+//! cooling / 30 % system energy" comparison of `LC_FUZZY` against
+//! worst-case maximum flow.
+//!
+//! The flat [`PolicyRunConfig`] plumbing these runners used to be built on
+//! survives as a deprecated shim for one release; every entry point now
+//! converts to a [`ScenarioSpec`] internally.
 
-use cmosaic_floorplan::stack::presets;
 use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
-use cmosaic_power::PowerModel;
 
+use crate::batch::BatchRunner;
 use crate::metrics::RunMetrics;
-use crate::policy::{make_policy, PolicyKind};
-use crate::sim::{SimConfig, Simulator};
+use crate::policy::PolicyKind;
+use crate::scenario::ScenarioSpec;
+use crate::sim::Simulator;
+use crate::study::{Study, StudyReport};
 use crate::CmosaicError;
 
 /// Configuration of one policy experiment.
+///
+/// Deprecated: the flat struct can only name the hard-coded figure
+/// matrices. [`ScenarioSpec`] expresses the same run — and every axis the
+/// struct cannot (coolant choice, flow schedules, custom stacks and
+/// traces) — with build-time validation.
+#[deprecated(since = "0.2.0", note = "use `scenario::ScenarioSpec` instead")]
 #[derive(Debug, Clone)]
 pub struct PolicyRunConfig {
     /// Number of tiers (2 or 4 in the paper).
@@ -33,6 +47,7 @@ pub struct PolicyRunConfig {
     pub grid: GridSpec,
 }
 
+#[allow(deprecated)]
 impl Default for PolicyRunConfig {
     fn default() -> Self {
         PolicyRunConfig {
@@ -46,98 +61,122 @@ impl Default for PolicyRunConfig {
     }
 }
 
+#[allow(deprecated)]
+impl PolicyRunConfig {
+    /// The equivalent [`ScenarioSpec`]: same stack preset, trace, policy
+    /// and grid, with the cooling medium following the policy's mode.
+    ///
+    /// One intentional narrowing: `seconds == 0` (which the legacy path
+    /// silently accepted and answered with zeroed metrics) now fails
+    /// [`ScenarioSpec::build`] validation like every other degenerate
+    /// input.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let spec = ScenarioSpec::new()
+            .tiers(self.tiers)
+            .policy(self.policy)
+            .workload(self.workload)
+            .seconds(self.seconds)
+            .seed(self.seed)
+            .grid(self.grid);
+        if self.policy.is_liquid_cooled() {
+            spec.water()
+        } else {
+            spec.air()
+        }
+    }
+}
+
 /// Number of cores in an n-tier stack (8 per core tier, core tiers on even
 /// indices).
 pub fn cores_for_tiers(tiers: usize) -> usize {
     tiers.div_ceil(2) * 8
 }
 
-/// Builds the simulator for one policy experiment (stack preset, trace
-/// generation, policy construction) without running it — the shared
-/// entry point of [`run_policy`] and the batch engine
-/// ([`crate::batch::BatchRunner`]), which needs the simulator itself to
-/// adopt a shared thermal analysis before initialisation.
+/// Builds the simulator for one legacy policy experiment without running
+/// it.
 ///
 /// # Errors
 ///
 /// Forwards configuration and model errors.
+#[allow(deprecated)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ScenarioSpec::build` and `Scenario::build_simulator`"
+)]
 pub fn build_simulator(config: &PolicyRunConfig) -> Result<Simulator, CmosaicError> {
-    let stack = if config.policy.is_liquid_cooled() {
-        presets::liquid_cooled_mpsoc(config.tiers)?
-    } else {
-        presets::air_cooled_mpsoc(config.tiers)?
-    };
-    let n_cores = cores_for_tiers(config.tiers);
-    let trace = config
-        .workload
-        .generate(n_cores, config.seconds.max(1), config.seed);
-    let sim_config = SimConfig {
-        grid: config.grid,
-        ..Default::default()
-    };
-    Simulator::new(
-        &stack,
-        make_policy(config.policy, n_cores),
-        trace,
-        PowerModel::niagara(),
-        sim_config,
+    config.to_spec().build()?.build_simulator()
+}
+
+/// Runs one legacy policy experiment end to end (build stack, generate
+/// trace, steady-state init, simulate).
+///
+/// # Errors
+///
+/// Forwards configuration and model errors.
+#[allow(deprecated)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ScenarioSpec::build` and `Scenario::run`"
+)]
+pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> {
+    config.to_spec().build()?.run()
+}
+
+/// The canonical study of the paper's figures: tier counts {2, 4} crossed
+/// with the four evaluated policies, minus the one cell the paper does not
+/// plot (`AC_TDVFS_LB` at 4 tiers) — seven configurations in plot order.
+/// Extend it like any other study: new policies or tier counts are one
+/// more axis value, not a hand-maintained array edit.
+pub fn figure_study(seconds: usize, seed: u64, grid: GridSpec) -> Study {
+    Study::new(ScenarioSpec::new().seconds(seconds).seed(seed).grid(grid))
+        .over_tiers([2, 4])
+        .over_policies(PolicyKind::paper_policies())
+        .retain(|s| !(s.preset_tiers() == Some(4) && s.policy_kind() == PolicyKind::AcTdvfsLb))
+}
+
+/// The stack/policy configurations of Figs. 6 and 7, in plot order —
+/// derived from [`figure_study`], so it grows with the study instead of
+/// being a fixed-length array.
+pub fn figure_configurations() -> Vec<(usize, PolicyKind)> {
+    figure_study(1, 0, GridSpec::new(12, 12).expect("static dims"))
+        .specs()
+        .iter()
+        .map(|s| (s.preset_tiers().expect("preset stacks"), s.policy_kind()))
+        .collect()
+}
+
+/// The full fig6 study: every [`figure_study`] configuration crossed with
+/// the three application workloads plus the maximum-utilization benchmark
+/// — 28 independent co-simulations.
+pub fn fig6_study(seconds: usize, seed: u64, grid: GridSpec) -> Study {
+    figure_study(seconds, seed, grid).over_workloads(
+        WorkloadKind::applications()
+            .into_iter()
+            .chain([WorkloadKind::MaxUtilization]),
     )
 }
 
-/// Runs one policy experiment end to end (build stack, generate trace,
-/// steady-state init, simulate).
-///
-/// # Errors
-///
-/// Forwards configuration and model errors.
-pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> {
-    let mut sim = build_simulator(config)?;
-    sim.initialize()?;
-    sim.run(config.seconds)
-}
-
-/// The seven stack/policy configurations of Figs. 6 and 7, in plot order.
-pub fn figure_configurations() -> [(usize, PolicyKind); 7] {
-    [
-        (2, PolicyKind::AcLb),
-        (2, PolicyKind::AcTdvfsLb),
-        (2, PolicyKind::LcLb),
-        (2, PolicyKind::LcFuzzy),
-        (4, PolicyKind::AcLb),
-        (4, PolicyKind::LcLb),
-        (4, PolicyKind::LcFuzzy),
-    ]
-}
-
-/// The flat fig6 scenario matrix: every (stack, policy) configuration of
-/// [`figure_configurations`] crossed with the three application workloads
-/// plus the maximum-utilization benchmark — 28 independent co-simulations,
-/// the unit of work the batch engine ([`crate::batch::BatchRunner`])
-/// spreads across threads.
+/// The flat fig6 scenario matrix in the legacy config representation.
+#[allow(deprecated)]
+#[deprecated(since = "0.2.0", note = "use `fig6_study` instead")]
 pub fn fig6_scenario_matrix(seconds: usize, seed: u64, grid: GridSpec) -> Vec<PolicyRunConfig> {
-    let mut scenarios = Vec::new();
-    for (tiers, policy) in figure_configurations() {
-        for workload in WorkloadKind::applications()
-            .iter()
-            .copied()
-            .chain([WorkloadKind::MaxUtilization])
-        {
-            scenarios.push(PolicyRunConfig {
-                tiers,
-                policy,
-                workload,
-                seconds,
-                seed,
-                grid,
-            });
-        }
-    }
-    scenarios
+    fig6_study(seconds, seed, grid)
+        .specs()
+        .iter()
+        .map(|s| PolicyRunConfig {
+            tiers: s.preset_tiers().expect("preset stacks"),
+            policy: s.policy_kind(),
+            workload: s.workload_kind(),
+            seconds: s.duration(),
+            seed: s.trace_seed(),
+            grid: s.grid_spec(),
+        })
+        .collect()
 }
 
 /// One bar group of Fig. 6: hot-spot residency for a configuration, for
 /// the average workload and the maximum-utilization benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Row {
     /// Number of tiers.
     pub tiers: usize,
@@ -156,16 +195,37 @@ pub struct Fig6Row {
     pub peak_celsius: f64,
 }
 
-/// Computes the Fig. 6 dataset.
+/// Pulls the metrics of one (tiers, policy, workload) cell out of a
+/// figure-study report.
+fn cell(
+    report: &StudyReport,
+    tiers: usize,
+    policy: PolicyKind,
+    workload: WorkloadKind,
+) -> Result<&RunMetrics, CmosaicError> {
+    report
+        .metrics_matching(|s| {
+            s.preset_tiers() == Some(tiers)
+                && s.policy_kind() == policy
+                && s.workload_kind() == workload
+        })
+        .ok_or_else(|| CmosaicError::Config {
+            detail: format!("study is missing the ({tiers}-tier, {policy}, {workload}) cell"),
+        })
+}
+
+/// Computes the Fig. 6 dataset by running [`fig6_study`] on `runner`.
 ///
 /// # Errors
 ///
 /// Forwards run errors.
 pub fn fig6_dataset(
+    runner: &BatchRunner,
     seconds: usize,
     seed: u64,
     grid: GridSpec,
 ) -> Result<Vec<Fig6Row>, CmosaicError> {
+    let report = fig6_study(seconds, seed, grid).run(runner)?;
     let mut rows = Vec::new();
     for (tiers, policy) in figure_configurations() {
         let mut avg_core = 0.0;
@@ -173,26 +233,12 @@ pub fn fig6_dataset(
         let mut peak: f64 = 0.0;
         let apps = WorkloadKind::applications();
         for wk in apps {
-            let m = run_policy(&PolicyRunConfig {
-                tiers,
-                policy,
-                workload: wk,
-                seconds,
-                seed,
-                grid,
-            })?;
+            let m = cell(&report, tiers, policy, wk)?;
             avg_core += m.hotspot_time_per_core * 100.0 / apps.len() as f64;
             avg_any += m.hotspot_time_any * 100.0 / apps.len() as f64;
             peak = peak.max(m.peak_temperature.to_celsius().0);
         }
-        let mx = run_policy(&PolicyRunConfig {
-            tiers,
-            policy,
-            workload: WorkloadKind::MaxUtilization,
-            seconds,
-            seed,
-            grid,
-        })?;
+        let mx = cell(&report, tiers, policy, WorkloadKind::MaxUtilization)?;
         peak = peak.max(mx.peak_temperature.to_celsius().0);
         rows.push(Fig6Row {
             tiers,
@@ -209,7 +255,7 @@ pub fn fig6_dataset(
 
 /// One bar group of Fig. 7: energy (normalised to 2-tier `AC_LB`) and
 /// performance loss for the average workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Row {
     /// Number of tiers.
     pub tiers: usize,
@@ -226,17 +272,22 @@ pub struct Fig7Row {
 }
 
 /// Computes the Fig. 7 dataset: energy per configuration averaged over the
-/// three application workloads, normalised to 2-tier `AC_LB`.
+/// three application workloads, normalised to 2-tier `AC_LB`. Runs the
+/// application slice of [`fig6_study`] on `runner`.
 ///
 /// # Errors
 ///
 /// Forwards run errors.
 pub fn fig7_dataset(
+    runner: &BatchRunner,
     seconds: usize,
     seed: u64,
     grid: GridSpec,
 ) -> Result<Vec<Fig7Row>, CmosaicError> {
     let apps = WorkloadKind::applications();
+    let report = figure_study(seconds, seed, grid)
+        .over_workloads(apps)
+        .run(runner)?;
     let mut raw: Vec<(usize, PolicyKind, f64, f64, f64, f64)> = Vec::new();
     for (tiers, policy) in figure_configurations() {
         let mut system = 0.0;
@@ -244,14 +295,7 @@ pub fn fig7_dataset(
         let mut perf_mean = 0.0;
         let mut perf_max: f64 = 0.0;
         for wk in apps {
-            let m = run_policy(&PolicyRunConfig {
-                tiers,
-                policy,
-                workload: wk,
-                seconds,
-                seed,
-                grid,
-            })?;
+            let m = cell(&report, tiers, policy, wk)?;
             system += m.total_energy() / apps.len() as f64;
             pump += m.pump_energy / apps.len() as f64;
             perf_mean += m.perf_loss_mean * 100.0 / apps.len() as f64;
@@ -281,7 +325,7 @@ pub fn fig7_dataset(
 
 /// The abstract's headline comparison: `LC_FUZZY` vs. `LC_LB`
 /// (worst-case maximum flow) on the same stack and workloads.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadlineSavings {
     /// Number of tiers.
     pub tiers: usize,
@@ -296,18 +340,30 @@ pub struct HeadlineSavings {
 }
 
 /// Computes the headline `LC_FUZZY` savings for an n-tier stack, averaged
-/// over the three application workloads.
+/// over the three application workloads, as a six-scenario study on
+/// `runner`.
 ///
 /// # Errors
 ///
 /// Forwards run errors.
 pub fn headline_savings(
+    runner: &BatchRunner,
     tiers: usize,
     seconds: usize,
     seed: u64,
     grid: GridSpec,
 ) -> Result<HeadlineSavings, CmosaicError> {
     let apps = WorkloadKind::applications();
+    let report = Study::new(
+        ScenarioSpec::new()
+            .tiers(tiers)
+            .seconds(seconds)
+            .seed(seed)
+            .grid(grid),
+    )
+    .over_policies([PolicyKind::LcLb, PolicyKind::LcFuzzy])
+    .over_workloads(apps)
+    .run(runner)?;
     let mut lb_pump = 0.0;
     let mut lb_total = 0.0;
     let mut fz_pump = 0.0;
@@ -315,22 +371,8 @@ pub fn headline_savings(
     let mut fz_peak: f64 = 0.0;
     let mut lb_peak: f64 = 0.0;
     for wk in apps {
-        let lb = run_policy(&PolicyRunConfig {
-            tiers,
-            policy: PolicyKind::LcLb,
-            workload: wk,
-            seconds,
-            seed,
-            grid,
-        })?;
-        let fz = run_policy(&PolicyRunConfig {
-            tiers,
-            policy: PolicyKind::LcFuzzy,
-            workload: wk,
-            seconds,
-            seed,
-            grid,
-        })?;
+        let lb = cell(&report, tiers, PolicyKind::LcLb, wk)?;
+        let fz = cell(&report, tiers, PolicyKind::LcFuzzy, wk)?;
         lb_pump += lb.pump_energy;
         lb_total += lb.total_energy();
         fz_pump += fz.pump_energy;
@@ -356,7 +398,21 @@ mod tests {
     }
 
     #[test]
-    fn run_policy_smoke() {
+    fn scenario_run_smoke() {
+        let m = ScenarioSpec::new()
+            .seconds(5)
+            .grid(tiny_grid())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.seconds, 5);
+        assert!(m.chip_energy > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_run_policy_shim_still_works() {
         let m = run_policy(&PolicyRunConfig {
             seconds: 5,
             grid: tiny_grid(),
@@ -377,7 +433,7 @@ mod tests {
 
     #[test]
     fn headline_savings_are_positive() {
-        let s = headline_savings(2, 12, 3, tiny_grid()).unwrap();
+        let s = headline_savings(&BatchRunner::new(2), 2, 12, 3, tiny_grid()).unwrap();
         assert!(
             s.cooling_saving_pct > 10.0,
             "fuzzy must save pump energy, got {:.1} %",
@@ -390,7 +446,12 @@ mod tests {
     #[test]
     fn figure_configuration_order_matches_paper() {
         let configs = figure_configurations();
+        assert_eq!(configs.len(), 7);
         assert_eq!(configs[0], (2, PolicyKind::AcLb));
         assert_eq!(configs[6], (4, PolicyKind::LcFuzzy));
+        // The study is the source of truth: its axes and the derived
+        // configuration list agree.
+        assert_eq!(figure_study(1, 0, tiny_grid()).len(), configs.len());
+        assert_eq!(fig6_study(1, 0, tiny_grid()).len(), configs.len() * 4);
     }
 }

@@ -17,6 +17,27 @@
 //! threshold while cutting cooling energy by up to ~67 % and system energy
 //! by up to ~30 % against running the pump at the worst-case maximum flow.
 //!
+//! # The scenario API
+//!
+//! Every experiment is a [`scenario::ScenarioSpec`]: a typed, validated
+//! description of stack geometry (preset tier counts or a custom
+//! [`floorplan::stack::Stack3d`]), cooling medium (air, single-phase
+//! water, two-phase refrigerant), thermal grid, workload (synthetic
+//! benchmark classes or recorded traces), policy, an optional
+//! [`scenario::FlowSchedule`] overriding the pump, duration and seed.
+//! Cross-field mistakes fail at [`scenario::ScenarioSpec::build`] with a
+//! [`CmosaicError::Config`], not deep inside the simulator.
+//!
+//! Scenario *families* are [`study::Study`] values: axis products over
+//! policies, tier counts, workloads, coolants, flow schedules, seeds,
+//! grids or custom stacks, pruned with `retain` and executed as one batch.
+//! [`observe::Observer`] hooks ride along: per-epoch callbacks receiving
+//! an [`observe::EpochCtx`] (temperature field, powers, flow, the policy's
+//! action) without forking the simulation loop — built-ins cover peak
+//! tracking ([`observe::PeakTemperature`]), energy breakdowns
+//! ([`observe::EnergyBreakdown`]) and field snapshots
+//! ([`observe::ThermalMap`]).
+//!
 //! # Batch sweeps and the workspace-reuse contract
 //!
 //! Design-space exploration runs the same stack family at many operating
@@ -36,9 +57,9 @@
 //!   that way. Per control interval, only the policy observation and
 //!   power-map assembly allocate (small, constant).
 //! * **Parallel batch engine.** [`batch::BatchRunner`] fans a scenario
-//!   matrix (e.g. [`experiments::fig6_scenario_matrix`]) across a scoped
-//!   thread pool. Scenarios are grouped by operator pattern; the first of
-//!   each group donates its frozen symbolic LU analysis
+//!   matrix (e.g. [`experiments::fig6_study`]) across a scoped thread
+//!   pool. Scenarios are grouped by operator pattern; the first of each
+//!   group donates its frozen symbolic LU analysis
 //!   ([`thermal::SharedAnalysis`], `Arc`-shared) to the rest, so the
 //!   expensive pivoting factorisation runs exactly once per (stack, grid)
 //!   pattern across the whole batch. Outcomes are aggregated by scenario
@@ -47,21 +68,44 @@
 //! # Quick start
 //!
 //! ```
-//! use cmosaic::experiments::{PolicyRunConfig, run_policy};
+//! use cmosaic::scenario::ScenarioSpec;
 //! use cmosaic::policy::PolicyKind;
 //! use cmosaic_power::trace::WorkloadKind;
 //!
 //! # fn main() -> Result<(), cmosaic::CmosaicError> {
-//! let config = PolicyRunConfig {
-//!     tiers: 2,
-//!     policy: PolicyKind::LcFuzzy,
-//!     workload: WorkloadKind::WebServer,
-//!     seconds: 30,
-//!     seed: 1,
-//!     ..Default::default()
-//! };
-//! let metrics = run_policy(&config)?;
+//! let metrics = ScenarioSpec::new()
+//!     .tiers(2)
+//!     .policy(PolicyKind::LcFuzzy)
+//!     .workload(WorkloadKind::WebServer)
+//!     .seconds(30)
+//!     .seed(1)
+//!     .build()?
+//!     .run()?;
 //! assert!(metrics.peak_temperature.to_celsius().0 < 85.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A family of scenarios — and a custom per-epoch observer — is a
+//! [`study::Study`]:
+//!
+//! ```
+//! use cmosaic::{BatchRunner, ScenarioSpec, Study};
+//! use cmosaic::observe::PeakTemperature;
+//! use cmosaic::policy::PolicyKind;
+//! use cmosaic_floorplan::GridSpec;
+//!
+//! # fn main() -> Result<(), cmosaic::CmosaicError> {
+//! let base = ScenarioSpec::new()
+//!     .grid(GridSpec::new(6, 6).expect("static"))
+//!     .seconds(2);
+//! let (report, peaks) = Study::new(base)
+//!     .over_tiers([2, 4])
+//!     .over_policies([PolicyKind::LcLb, PolicyKind::LcFuzzy])
+//!     .run_observed(&BatchRunner::new(2), |_, _| PeakTemperature::new())?;
+//! assert_eq!(report.len(), 4);
+//! assert_eq!(report.total_full_factorizations(), 2); // one per tier count
+//! assert!(peaks.iter().all(|p| p.peak().is_some()));
 //! # Ok(())
 //! # }
 //! ```
@@ -73,15 +117,23 @@ pub mod batch;
 pub mod experiments;
 pub mod fuzzy;
 pub mod metrics;
+pub mod observe;
 pub mod policy;
+pub mod scenario;
 pub mod sim;
+pub mod study;
 
 pub use batch::{BatchReport, BatchRunner, ScenarioOutcome};
-pub use experiments::{run_policy, PolicyRunConfig};
 pub use fuzzy::FuzzyController;
 pub use metrics::RunMetrics;
+pub use observe::{EpochCtx, Observer};
 pub use policy::PolicyKind;
+pub use scenario::{CoolantChoice, FlowSchedule, Scenario, ScenarioSpec};
 pub use sim::{SimConfig, Simulator};
+pub use study::{Study, StudyReport};
+
+#[allow(deprecated)]
+pub use experiments::{run_policy, PolicyRunConfig};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

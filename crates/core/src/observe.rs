@@ -1,0 +1,347 @@
+//! Observer hooks into the co-simulation loop.
+//!
+//! A design-space exploration rarely wants only the aggregate
+//! [`RunMetrics`](crate::RunMetrics): one study needs the per-epoch hotspot
+//! field, another the cooling-energy trajectory, a third a custom probe at
+//! one floorplan element. Before this module the only way to get those was
+//! to fork the simulation loop. Instead, [`Simulator::run_observed`]
+//! (and [`Scenario::run_observed`], [`Study::run_observed`]) invoke an
+//! [`Observer`] once per control interval (*epoch*) with an [`EpochCtx`]
+//! snapshot of everything the loop knows — temperatures, powers, the
+//! policy's action — without the loop allocating anything extra for
+//! observers that do not ask for it.
+//!
+//! Observers compose: tuples of observers are observers, `Vec<Box<dyn
+//! Observer>>` is an observer, and `()` is the no-op observer the plain
+//! [`Simulator::run`](crate::Simulator::run) uses.
+//!
+//! [`Simulator::run_observed`]: crate::Simulator::run_observed
+//! [`Scenario::run_observed`]: crate::scenario::Scenario::run_observed
+//! [`Study::run_observed`]: crate::study::Study::run_observed
+
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::{Celsius, Kelvin, VolumetricFlow};
+use cmosaic_thermal::TemperatureField;
+
+/// Everything the co-simulation loop knows at the end of one control
+/// interval, lent to observers.
+///
+/// All temperatures are the *true* model temperatures (metrics and
+/// observers never see sensor noise; only the policy does).
+#[derive(Debug)]
+pub struct EpochCtx<'a> {
+    /// Absolute control-interval index since the simulator was built
+    /// (continues across successive `run` calls).
+    pub epoch: usize,
+    /// Simulated time at the end of this interval, seconds.
+    pub time: f64,
+    /// Control-interval length, seconds.
+    pub interval: f64,
+    /// Full temperature field at the end of the interval.
+    pub field: &'a TemperatureField,
+    /// Per-core junction temperatures (area-averaged source-layer cells).
+    pub core_temps: &'a [Kelvin],
+    /// Hottest junction temperature anywhere in the stack.
+    pub peak: Kelvin,
+    /// The hot-spot threshold the run is judged against.
+    pub threshold: Celsius,
+    /// Chip (compute + leakage) power over the interval, watts.
+    pub chip_power: f64,
+    /// Pump power over the interval, watts (zero when no coolant flows).
+    pub pump_power: f64,
+    /// Per-cavity coolant flow during the interval, if any.
+    pub flow: Option<VolumetricFlow>,
+    /// Per-core demand after the policy's balancing/migration.
+    pub assigned: &'a [f64],
+    /// Per-core DVFS level chosen by the policy (0 = nominal).
+    pub vf_levels: &'a [usize],
+    /// Thermal grid of the run.
+    pub grid: GridSpec,
+}
+
+impl EpochCtx<'_> {
+    /// Number of tiers in the observed stack.
+    pub fn n_tiers(&self) -> usize {
+        self.field.n_tiers()
+    }
+
+    /// Total system power (chip + pump) over the interval, watts.
+    pub fn system_power(&self) -> f64 {
+        self.chip_power + self.pump_power
+    }
+}
+
+/// A per-epoch hook into the co-simulation loop.
+///
+/// Implementations must not assume anything about epochs they did not see:
+/// a simulator can be run in several `run` calls, and `epoch` is absolute.
+pub trait Observer {
+    /// Called once at the end of every control interval.
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>);
+}
+
+/// The no-op observer (what [`Simulator::run`](crate::Simulator::run)
+/// uses).
+impl Observer for () {
+    fn on_epoch(&mut self, _ctx: &EpochCtx<'_>) {}
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        (**self).on_epoch(ctx);
+    }
+}
+
+impl<O: Observer + ?Sized> Observer for Box<O> {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        (**self).on_epoch(ctx);
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        self.0.on_epoch(ctx);
+        self.1.on_epoch(ctx);
+    }
+}
+
+impl<A: Observer, B: Observer, C: Observer> Observer for (A, B, C) {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        self.0.on_epoch(ctx);
+        self.1.on_epoch(ctx);
+        self.2.on_epoch(ctx);
+    }
+}
+
+impl Observer for Vec<Box<dyn Observer + Send>> {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        for o in self {
+            o.on_epoch(ctx);
+        }
+    }
+}
+
+/// Built-in observer: tracks the peak junction temperature, when it
+/// occurred, and the per-tier peaks.
+#[derive(Debug, Clone, Default)]
+pub struct PeakTemperature {
+    peak: Option<(Kelvin, usize)>,
+    per_tier: Vec<Kelvin>,
+}
+
+impl PeakTemperature {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hottest junction temperature observed, if any epoch ran.
+    pub fn peak(&self) -> Option<Kelvin> {
+        self.peak.map(|(t, _)| t)
+    }
+
+    /// The epoch index at which the peak occurred.
+    pub fn peak_epoch(&self) -> Option<usize> {
+        self.peak.map(|(_, e)| e)
+    }
+
+    /// Per-tier peak junction temperatures (index = tier).
+    pub fn per_tier(&self) -> &[Kelvin] {
+        &self.per_tier
+    }
+}
+
+impl Observer for PeakTemperature {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        if self.per_tier.len() < ctx.n_tiers() {
+            self.per_tier
+                .resize(ctx.n_tiers(), Kelvin(f64::NEG_INFINITY));
+        }
+        for (tier, peak) in self.per_tier.iter_mut().enumerate() {
+            *peak = peak.max(ctx.field.tier_max(tier));
+        }
+        match self.peak {
+            Some((t, _)) if t.0 >= ctx.peak.0 => {}
+            _ => self.peak = Some((ctx.peak, ctx.epoch)),
+        }
+    }
+}
+
+/// Built-in observer: integrates chip and pump energy and keeps the
+/// per-epoch power trajectory — the data behind a Fig. 7-style breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyBreakdown {
+    chip_joules: f64,
+    pump_joules: f64,
+    /// `(chip W, pump W)` per observed epoch.
+    trajectory: Vec<(f64, f64)>,
+}
+
+impl EnergyBreakdown {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chip (compute + leakage) energy so far, joules.
+    pub fn chip_joules(&self) -> f64 {
+        self.chip_joules
+    }
+
+    /// Pump energy so far, joules.
+    pub fn pump_joules(&self) -> f64 {
+        self.pump_joules
+    }
+
+    /// Total system energy so far, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.chip_joules + self.pump_joules
+    }
+
+    /// Fraction of the system energy spent on cooling.
+    pub fn cooling_fraction(&self) -> f64 {
+        if self.total_joules() <= 0.0 {
+            0.0
+        } else {
+            self.pump_joules / self.total_joules()
+        }
+    }
+
+    /// Per-epoch `(chip W, pump W)` trajectory, in observation order.
+    pub fn trajectory(&self) -> &[(f64, f64)] {
+        &self.trajectory
+    }
+}
+
+impl Observer for EnergyBreakdown {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        self.chip_joules += ctx.chip_power * ctx.interval;
+        self.pump_joules += ctx.pump_power * ctx.interval;
+        self.trajectory.push((ctx.chip_power, ctx.pump_power));
+    }
+}
+
+/// Built-in observer: snapshots the full temperature field every `every`
+/// epochs — the raw material for hotspot-evolution maps.
+#[derive(Debug, Clone)]
+pub struct ThermalMap {
+    every: usize,
+    snapshots: Vec<(usize, TemperatureField)>,
+}
+
+impl ThermalMap {
+    /// Snapshots every `every`-th epoch (clamped to at least 1), starting
+    /// with the first observed epoch.
+    pub fn every(every: usize) -> Self {
+        ThermalMap {
+            every: every.max(1),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The `(epoch, field)` snapshots collected so far.
+    pub fn snapshots(&self) -> &[(usize, TemperatureField)] {
+        &self.snapshots
+    }
+}
+
+impl Observer for ThermalMap {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        if ctx.epoch.is_multiple_of(self.every) {
+            self.snapshots.push((ctx.epoch, ctx.field.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_thermal::TemperatureField;
+
+    fn ctx(field: &TemperatureField, epoch: usize) -> EpochCtx<'_> {
+        EpochCtx {
+            epoch,
+            time: (epoch + 1) as f64,
+            interval: 1.0,
+            field,
+            core_temps: &[],
+            peak: field.max(),
+            threshold: Celsius(85.0),
+            chip_power: 10.0,
+            pump_power: 2.0,
+            flow: None,
+            assigned: &[],
+            vf_levels: &[],
+            grid: GridSpec::new(1, 1).expect("static"),
+        }
+    }
+
+    fn hot_field(t: f64) -> TemperatureField {
+        // Built through the public model path in integration tests; here a
+        // minimal handcrafted field is enough for observer arithmetic.
+        let mut model = cmosaic_thermal::ThermalModel::new(
+            &cmosaic_floorplan::stack::presets::air_cooled_mpsoc(1).expect("preset"),
+            GridSpec::new(2, 2).expect("static"),
+            cmosaic_thermal::ThermalParams {
+                initial: Kelvin(t),
+                ..Default::default()
+            },
+        )
+        .expect("model");
+        let _ = &mut model;
+        model.current_field()
+    }
+
+    #[test]
+    fn peak_tracker_keeps_first_maximum() {
+        let cool = hot_field(300.0);
+        let hot = hot_field(350.0);
+        let mut obs = PeakTemperature::new();
+        obs.on_epoch(&ctx(&cool, 0));
+        obs.on_epoch(&ctx(&hot, 1));
+        obs.on_epoch(&ctx(&cool, 2));
+        assert_eq!(obs.peak().unwrap().0, 350.0);
+        assert_eq!(obs.peak_epoch(), Some(1));
+        assert_eq!(obs.per_tier().len(), 1);
+        assert_eq!(obs.per_tier()[0].0, 350.0);
+    }
+
+    #[test]
+    fn energy_breakdown_integrates_power() {
+        let f = hot_field(300.0);
+        let mut obs = EnergyBreakdown::new();
+        obs.on_epoch(&ctx(&f, 0));
+        obs.on_epoch(&ctx(&f, 1));
+        assert_eq!(obs.chip_joules(), 20.0);
+        assert_eq!(obs.pump_joules(), 4.0);
+        assert_eq!(obs.total_joules(), 24.0);
+        assert!((obs.cooling_fraction() - 4.0 / 24.0).abs() < 1e-12);
+        assert_eq!(obs.trajectory().len(), 2);
+    }
+
+    #[test]
+    fn thermal_map_samples_on_schedule() {
+        let f = hot_field(300.0);
+        let mut obs = ThermalMap::every(2);
+        for e in 0..5 {
+            obs.on_epoch(&ctx(&f, e));
+        }
+        let epochs: Vec<usize> = obs.snapshots().iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn observers_compose() {
+        let f = hot_field(310.0);
+        let mut pair = (PeakTemperature::new(), EnergyBreakdown::new());
+        pair.on_epoch(&ctx(&f, 0));
+        assert!(pair.0.peak().is_some());
+        assert_eq!(pair.1.trajectory().len(), 1);
+        let mut boxed: Vec<Box<dyn Observer + Send>> = vec![
+            Box::new(PeakTemperature::new()),
+            Box::new(ThermalMap::every(1)),
+        ];
+        boxed.on_epoch(&ctx(&f, 0));
+        ().on_epoch(&ctx(&f, 0));
+    }
+}

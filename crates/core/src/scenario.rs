@@ -1,0 +1,874 @@
+//! Typed scenario specification: the composable front door of the
+//! co-simulation.
+//!
+//! A [`ScenarioSpec`] names *what* to simulate — stack geometry (preset
+//! tier counts or a custom [`Stack3d`]), cooling medium (air, single-phase
+//! water, two-phase refrigerant), thermal grid, workload, policy, an
+//! optional [`FlowSchedule`] overriding the policy's pump commands,
+//! duration and seed — and validates the combination **at build time**,
+//! so a mismatched policy/coolant pair or a ragged custom trace fails with
+//! a [`CmosaicError::Config`] before any matrix is assembled, instead of
+//! deep inside `Simulator::new`.
+//!
+//! [`ScenarioSpec::build`] resolves the spec into a [`Scenario`]: stack
+//! constructed, trace generated, simulation config frozen. A `Scenario`
+//! runs directly ([`Scenario::run`], [`Scenario::run_observed`]) or as one
+//! cell of a [`Study`](crate::study::Study) matrix executed by the
+//! [`BatchRunner`](crate::batch::BatchRunner).
+//!
+//! ```
+//! use cmosaic::scenario::ScenarioSpec;
+//! use cmosaic::policy::PolicyKind;
+//! use cmosaic_power::trace::WorkloadKind;
+//!
+//! # fn main() -> Result<(), cmosaic::CmosaicError> {
+//! let metrics = ScenarioSpec::new()
+//!     .tiers(2)
+//!     .policy(PolicyKind::LcFuzzy)
+//!     .workload(WorkloadKind::WebServer)
+//!     .seconds(30)
+//!     .seed(1)
+//!     .build()?
+//!     .run()?;
+//! assert!(metrics.peak_temperature.to_celsius().0 < 85.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use cmosaic_floorplan::plan::ElementKind;
+use cmosaic_floorplan::stack::{presets, Stack3d};
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::{Celsius, VolumetricFlow};
+use cmosaic_power::trace::{WorkloadKind, WorkloadTrace};
+use cmosaic_power::PowerModel;
+use cmosaic_thermal::{Coolant, ThermalParams, TwoPhaseCoolant};
+
+use crate::metrics::RunMetrics;
+use crate::observe::Observer;
+use crate::policy::{make_policy, PolicyKind};
+use crate::sim::{SimConfig, Simulator};
+use crate::CmosaicError;
+
+/// The cooling medium of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoolantChoice {
+    /// Back-side air cooling through a lumped heat sink (no cavities).
+    Air,
+    /// Single-phase water through inter-tier micro-channel cavities; the
+    /// flow rate is set at run time by the policy or a [`FlowSchedule`].
+    Water,
+    /// Two-phase refrigerant through the cavities (§III); the operating
+    /// point is fixed, so flow commands are ignored.
+    TwoPhase(TwoPhaseCoolant),
+}
+
+impl CoolantChoice {
+    /// `true` for the cavity-based (liquid) cooling media.
+    pub fn is_liquid(&self) -> bool {
+        !matches!(self, CoolantChoice::Air)
+    }
+}
+
+impl std::fmt::Display for CoolantChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CoolantChoice::Air => "air",
+            CoolantChoice::Water => "water",
+            CoolantChoice::TwoPhase(_) => "two-phase",
+        })
+    }
+}
+
+/// Stack geometry of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StackChoice {
+    /// The paper's alternating core/cache Niagara preset with `tiers`
+    /// tiers; the cooling structure follows the scenario's
+    /// [`CoolantChoice`].
+    Preset {
+        /// Number of tiers (2 and 4 in the paper, any positive count
+        /// works).
+        tiers: usize,
+    },
+    /// An explicit user-built stack (its cavity/sink structure must match
+    /// the coolant choice).
+    Custom(Stack3d),
+}
+
+/// Workload of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSource {
+    /// A synthetic benchmark-class trace, generated deterministically from
+    /// the scenario seed for exactly the scenario duration.
+    Synthetic(WorkloadKind),
+    /// A recorded (or otherwise precomputed) per-core utilization trace;
+    /// wraps around if the scenario outlives it.
+    Trace(WorkloadTrace),
+}
+
+/// A per-second coolant-flow override applied on top of the policy's
+/// decisions — the axis that turns a closed-loop controller study into an
+/// open-loop flow-design sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum FlowSchedule {
+    /// No override: the policy owns the pump (default).
+    #[default]
+    Policy,
+    /// Constant per-cavity flow for the whole run.
+    Fixed(VolumetricFlow),
+    /// Piecewise-constant steps of `(seconds, flow)`, repeated cyclically.
+    Cycle(Vec<(usize, VolumetricFlow)>),
+    /// Continuous triangle-wave modulation between `lo` and `hi` over
+    /// `period` seconds — every interval visits a slightly different flow,
+    /// the regime that exercises the bounded operator caches hardest.
+    Sweep {
+        /// Lowest flow (start of each period).
+        lo: VolumetricFlow,
+        /// Highest flow (mid-period).
+        hi: VolumetricFlow,
+        /// Seconds per full low→high→low excursion.
+        period: usize,
+    },
+}
+
+impl FlowSchedule {
+    /// The flow override for control interval `t` (`None` leaves the
+    /// policy's command in force).
+    pub fn flow_at(&self, t: usize) -> Option<VolumetricFlow> {
+        match self {
+            FlowSchedule::Policy => None,
+            FlowSchedule::Fixed(q) => Some(*q),
+            FlowSchedule::Cycle(steps) => {
+                let total: usize = steps.iter().map(|(s, _)| s).sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut tt = t % total;
+                for (secs, q) in steps {
+                    if tt < *secs {
+                        return Some(*q);
+                    }
+                    tt -= secs;
+                }
+                unreachable!("cycle walk is bounded by the total duration")
+            }
+            FlowSchedule::Sweep { lo, hi, period } => {
+                if *period == 0 {
+                    // Degenerate (rejected by validation, but flow_at is
+                    // callable on unvalidated schedules): no override.
+                    return None;
+                }
+                let frac = (t % period) as f64 / *period as f64;
+                let tri = 1.0 - (2.0 * frac - 1.0).abs();
+                Some(VolumetricFlow(lo.0 + (hi.0 - lo.0) * tri))
+            }
+        }
+    }
+
+    /// `true` when the schedule never overrides the policy.
+    pub fn is_policy(&self) -> bool {
+        matches!(self, FlowSchedule::Policy)
+    }
+
+    fn validate(&self) -> Result<(), CmosaicError> {
+        let bad = |detail: String| Err(CmosaicError::Config { detail });
+        let check_flow = |q: VolumetricFlow| -> Result<(), CmosaicError> {
+            if q.0 > 0.0 && q.0.is_finite() {
+                Ok(())
+            } else {
+                bad(format!("flow-schedule rate must be positive, got {q}"))
+            }
+        };
+        match self {
+            FlowSchedule::Policy => Ok(()),
+            FlowSchedule::Fixed(q) => check_flow(*q),
+            FlowSchedule::Cycle(steps) => {
+                if steps.is_empty() || steps.iter().all(|(s, _)| *s == 0) {
+                    return bad("flow-schedule cycle needs at least one non-empty step".into());
+                }
+                steps.iter().try_for_each(|&(_, q)| check_flow(q))
+            }
+            FlowSchedule::Sweep { lo, hi, period } => {
+                check_flow(*lo)?;
+                check_flow(*hi)?;
+                if hi.0 < lo.0 {
+                    return bad(format!("flow sweep needs lo <= hi, got {lo} > {hi}"));
+                }
+                if *period < 2 {
+                    return bad(format!("flow sweep period must be >= 2 s, got {period}"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A complete, not-yet-validated description of one co-simulation.
+///
+/// Construct with [`ScenarioSpec::new`], refine with the chainable
+/// setters, then [`build`](ScenarioSpec::build) to validate. The default
+/// spec reproduces the paper's baseline experiment: a 2-tier water-cooled
+/// stack under `LC_FUZZY` on the web-server workload, 12×12 grid, 120 s,
+/// seed 42.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    label: Option<String>,
+    stack: StackChoice,
+    coolant: CoolantChoice,
+    grid: GridSpec,
+    workload: WorkloadSource,
+    policy: PolicyKind,
+    flow_schedule: FlowSchedule,
+    seconds: usize,
+    seed: u64,
+    thermal_dt: f64,
+    control_interval: f64,
+    threshold: Celsius,
+    sensor_noise_std: f64,
+    sensor_seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        let sim = SimConfig::default();
+        ScenarioSpec {
+            label: None,
+            stack: StackChoice::Preset { tiers: 2 },
+            coolant: CoolantChoice::Water,
+            grid: sim.grid,
+            workload: WorkloadSource::Synthetic(WorkloadKind::WebServer),
+            policy: PolicyKind::LcFuzzy,
+            flow_schedule: FlowSchedule::Policy,
+            seconds: 120,
+            seed: 42,
+            thermal_dt: sim.thermal_dt,
+            control_interval: sim.control_interval,
+            threshold: sim.threshold,
+            sensor_noise_std: sim.sensor_noise_std,
+            sensor_seed: sim.sensor_seed,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// The paper-baseline spec (see the type docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the auto-derived label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Uses the alternating core/cache Niagara preset with `tiers` tiers.
+    pub fn tiers(mut self, tiers: usize) -> Self {
+        self.stack = StackChoice::Preset { tiers };
+        self
+    }
+
+    /// Uses an explicit custom stack.
+    pub fn stack(mut self, stack: Stack3d) -> Self {
+        self.stack = StackChoice::Custom(stack);
+        self
+    }
+
+    /// Selects the cooling medium.
+    pub fn coolant(mut self, coolant: CoolantChoice) -> Self {
+        self.coolant = coolant;
+        self
+    }
+
+    /// Shorthand for [`CoolantChoice::Air`].
+    pub fn air(self) -> Self {
+        self.coolant(CoolantChoice::Air)
+    }
+
+    /// Shorthand for [`CoolantChoice::Water`].
+    pub fn water(self) -> Self {
+        self.coolant(CoolantChoice::Water)
+    }
+
+    /// Shorthand for [`CoolantChoice::TwoPhase`].
+    pub fn two_phase(self, op: TwoPhaseCoolant) -> Self {
+        self.coolant(CoolantChoice::TwoPhase(op))
+    }
+
+    /// Sets the thermal grid.
+    pub fn grid(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Uses a synthetic benchmark-class workload.
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.workload = WorkloadSource::Synthetic(kind);
+        self
+    }
+
+    /// Uses a recorded per-core utilization trace.
+    pub fn trace(mut self, trace: WorkloadTrace) -> Self {
+        self.workload = WorkloadSource::Trace(trace);
+        self
+    }
+
+    /// Selects the run-time policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a coolant-flow override schedule.
+    pub fn flow_schedule(mut self, schedule: FlowSchedule) -> Self {
+        self.flow_schedule = schedule;
+        self
+    }
+
+    /// Sets the simulated duration in seconds.
+    pub fn seconds(mut self, seconds: usize) -> Self {
+        self.seconds = seconds;
+        self
+    }
+
+    /// Sets the trace seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thermal integration step (default 0.25 s).
+    pub fn thermal_dt(mut self, dt: f64) -> Self {
+        self.thermal_dt = dt;
+        self
+    }
+
+    /// Sets the control/trace interval (default 1 s).
+    pub fn control_interval(mut self, interval: f64) -> Self {
+        self.control_interval = interval;
+        self
+    }
+
+    /// Sets the hot-spot threshold (default 85 °C).
+    pub fn threshold(mut self, threshold: Celsius) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Adds Gaussian sensor noise of the given σ (kelvin) to the readings
+    /// the policy sees, from an independent seed.
+    pub fn sensor_noise(mut self, std: f64, seed: u64) -> Self {
+        self.sensor_noise_std = std;
+        self.sensor_seed = seed;
+        self
+    }
+
+    // ---- Inspection (what Study axes and aggregators match on).
+
+    /// The preset tier count, or `None` for a custom stack.
+    pub fn preset_tiers(&self) -> Option<usize> {
+        match self.stack {
+            StackChoice::Preset { tiers } => Some(tiers),
+            StackChoice::Custom(_) => None,
+        }
+    }
+
+    /// The stack choice.
+    pub fn stack_choice(&self) -> &StackChoice {
+        &self.stack
+    }
+
+    /// The cooling medium.
+    pub fn coolant_choice(&self) -> &CoolantChoice {
+        &self.coolant
+    }
+
+    /// The thermal grid.
+    pub fn grid_spec(&self) -> GridSpec {
+        self.grid
+    }
+
+    /// The workload class (the recorded trace's tag for custom traces).
+    pub fn workload_kind(&self) -> WorkloadKind {
+        match &self.workload {
+            WorkloadSource::Synthetic(kind) => *kind,
+            WorkloadSource::Trace(trace) => trace.kind(),
+        }
+    }
+
+    /// The policy under test.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// The flow-override schedule.
+    pub fn flow_schedule_spec(&self) -> &FlowSchedule {
+        &self.flow_schedule
+    }
+
+    /// Simulated seconds.
+    pub fn duration(&self) -> usize {
+        self.seconds
+    }
+
+    /// Trace seed.
+    pub fn trace_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The label the scenario will report: the explicit one if set,
+    /// otherwise derived from the axes.
+    pub fn display_label(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        let stack = match &self.stack {
+            StackChoice::Preset { tiers } => format!("{tiers}-tier"),
+            StackChoice::Custom(s) => s.name().to_string(),
+        };
+        let mut label = format!(
+            "{stack}/{}/{}/{}",
+            self.coolant,
+            self.policy,
+            self.workload_kind()
+        );
+        if !self.flow_schedule.is_policy() {
+            label.push_str(match self.flow_schedule {
+                FlowSchedule::Fixed(_) => "/fixed-flow",
+                FlowSchedule::Cycle(_) => "/cycled-flow",
+                FlowSchedule::Sweep { .. } => "/swept-flow",
+                FlowSchedule::Policy => unreachable!("guarded by is_policy"),
+            });
+        }
+        label
+    }
+
+    /// Validates the spec and resolves it into a runnable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// [`CmosaicError::Config`] for every cross-field inconsistency:
+    /// policy/coolant cooling-mode mismatch, a custom stack whose
+    /// cavity/sink structure contradicts the coolant, a custom trace with
+    /// the wrong core count, a flow schedule on a stack whose flow is not
+    /// adjustable, non-positive timing parameters, or a zero-length run.
+    /// Stack-construction errors are forwarded.
+    pub fn build(&self) -> Result<Scenario, CmosaicError> {
+        let config = |detail: String| CmosaicError::Config { detail };
+        if self.seconds == 0 {
+            return Err(config("scenario duration must be at least 1 s".into()));
+        }
+        if !(self.thermal_dt > 0.0 && self.thermal_dt.is_finite()) {
+            return Err(config(format!(
+                "thermal step must be positive, got {}",
+                self.thermal_dt
+            )));
+        }
+        if !(self.control_interval > 0.0 && self.control_interval.is_finite()) {
+            return Err(config(format!(
+                "control interval must be positive, got {}",
+                self.control_interval
+            )));
+        }
+        if self.sensor_noise_std < 0.0 || !self.sensor_noise_std.is_finite() {
+            return Err(config(format!(
+                "sensor-noise sigma must be finite and non-negative, got {}",
+                self.sensor_noise_std
+            )));
+        }
+        if self.policy.is_liquid_cooled() != self.coolant.is_liquid() {
+            return Err(config(format!(
+                "policy {} does not match {} cooling",
+                self.policy, self.coolant
+            )));
+        }
+        self.flow_schedule.validate()?;
+        if !self.flow_schedule.is_policy() {
+            match &self.coolant {
+                CoolantChoice::Air => {
+                    return Err(config(
+                        "a flow schedule needs cavities; the scenario is air-cooled".into(),
+                    ));
+                }
+                CoolantChoice::TwoPhase(_) => {
+                    return Err(config(
+                        "two-phase operation fixes the mass flux; a flow schedule cannot \
+                         modulate it"
+                            .into(),
+                    ));
+                }
+                CoolantChoice::Water => {}
+            }
+        }
+
+        let stack = match &self.stack {
+            StackChoice::Preset { tiers } => {
+                if self.coolant.is_liquid() {
+                    presets::liquid_cooled_mpsoc(*tiers)?
+                } else {
+                    presets::air_cooled_mpsoc(*tiers)?
+                }
+            }
+            StackChoice::Custom(stack) => {
+                if stack.is_liquid_cooled() != self.coolant.is_liquid() {
+                    return Err(config(format!(
+                        "custom stack `{}` is {}, but the scenario selects {} cooling",
+                        stack.name(),
+                        if stack.is_liquid_cooled() {
+                            "liquid-cooled"
+                        } else {
+                            "air-cooled"
+                        },
+                        self.coolant
+                    )));
+                }
+                stack.clone()
+            }
+        };
+
+        let n_cores: usize = stack
+            .tiers()
+            .iter()
+            .map(|p| p.indices_of_kind(ElementKind::Core).len())
+            .sum();
+        if n_cores == 0 {
+            return Err(config(format!(
+                "stack `{}` has no cores to schedule work on",
+                stack.name()
+            )));
+        }
+        let trace = match &self.workload {
+            WorkloadSource::Synthetic(kind) => kind.generate(n_cores, self.seconds, self.seed),
+            WorkloadSource::Trace(trace) => {
+                if trace.cores() != n_cores {
+                    return Err(config(format!(
+                        "trace has {} cores, stack `{}` has {n_cores}",
+                        trace.cores(),
+                        stack.name()
+                    )));
+                }
+                trace.clone()
+            }
+        };
+
+        let coolant = match &self.coolant {
+            CoolantChoice::TwoPhase(op) => Coolant::TwoPhase(*op),
+            _ => Coolant::Water,
+        };
+        let sim_config = SimConfig {
+            grid: self.grid,
+            thermal_dt: self.thermal_dt,
+            control_interval: self.control_interval,
+            threshold: self.threshold,
+            thermal: ThermalParams {
+                coolant,
+                ..Default::default()
+            },
+            sensor_noise_std: self.sensor_noise_std,
+            sensor_seed: self.sensor_seed,
+        };
+        Ok(Scenario {
+            spec: self.clone(),
+            stack,
+            trace,
+            sim_config,
+            n_cores,
+        })
+    }
+}
+
+/// A validated, fully-resolved scenario: stack built, trace generated,
+/// simulation config frozen. Produced by [`ScenarioSpec::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+    stack: Stack3d,
+    trace: WorkloadTrace,
+    sim_config: SimConfig,
+    n_cores: usize,
+}
+
+impl Scenario {
+    /// The spec this scenario was built from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Scenario label (for reports).
+    pub fn label(&self) -> String {
+        self.spec.display_label()
+    }
+
+    /// The resolved stack.
+    pub fn stack(&self) -> &Stack3d {
+        &self.stack
+    }
+
+    /// The resolved workload trace.
+    pub fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    /// Number of cores across the stack.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Simulated seconds.
+    pub fn seconds(&self) -> usize {
+        self.spec.seconds
+    }
+
+    /// `true` when `other` shares this scenario's thermal-operator
+    /// sparsity pattern — same stack, grid and thermal parameters — so a
+    /// [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis) donated by one
+    /// is adoptable by the other.
+    pub fn same_operator_pattern(&self, other: &Scenario) -> bool {
+        self.stack == other.stack
+            && self.sim_config.grid == other.sim_config.grid
+            && self.sim_config.thermal == other.sim_config.thermal
+    }
+
+    /// Builds the simulator without running it — the entry point the batch
+    /// engine uses so it can donate a shared thermal analysis before
+    /// initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Forwards model-construction errors.
+    pub fn build_simulator(&self) -> Result<Simulator, CmosaicError> {
+        let mut sim = Simulator::new(
+            &self.stack,
+            make_policy(self.spec.policy, self.n_cores),
+            self.trace.clone(),
+            PowerModel::niagara(),
+            self.sim_config.clone(),
+        )?;
+        sim.set_flow_schedule(self.spec.flow_schedule.clone());
+        Ok(sim)
+    }
+
+    /// Runs the scenario end to end (steady-state init, then the closed
+    /// loop for the configured duration).
+    ///
+    /// # Errors
+    ///
+    /// Forwards simulation errors.
+    pub fn run(&self) -> Result<RunMetrics, CmosaicError> {
+        self.run_observed(&mut ())
+    }
+
+    /// Runs the scenario with an [`Observer`] hooked into every control
+    /// interval.
+    ///
+    /// # Errors
+    ///
+    /// Forwards simulation errors.
+    pub fn run_observed<O: Observer + ?Sized>(
+        &self,
+        observer: &mut O,
+    ) -> Result<RunMetrics, CmosaicError> {
+        let mut sim = self.build_simulator()?;
+        sim.initialize()?;
+        sim.run_observed(self.spec.seconds, observer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_materials::units::Kelvin;
+
+    #[test]
+    fn default_spec_builds_and_matches_the_paper_baseline() {
+        let scenario = ScenarioSpec::new().seconds(3).build().unwrap();
+        assert_eq!(scenario.n_cores(), 8);
+        assert_eq!(scenario.stack().tiers().len(), 2);
+        assert!(scenario.stack().is_liquid_cooled());
+        assert_eq!(scenario.trace().seconds(), 3);
+        assert_eq!(scenario.spec().policy_kind(), PolicyKind::LcFuzzy);
+    }
+
+    #[test]
+    fn mismatched_policy_and_coolant_fail_at_build_time() {
+        let r = ScenarioSpec::new().policy(PolicyKind::AcLb).build();
+        assert!(matches!(r, Err(CmosaicError::Config { .. })), "{r:?}");
+        let r = ScenarioSpec::new()
+            .air()
+            .policy(PolicyKind::LcFuzzy)
+            .build();
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+        // The matching pairs build.
+        assert!(ScenarioSpec::new()
+            .air()
+            .policy(PolicyKind::AcLb)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn custom_stack_must_match_the_coolant() {
+        let air_stack = presets::air_cooled_mpsoc(2).unwrap();
+        let r = ScenarioSpec::new().stack(air_stack.clone()).water().build();
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+        assert!(ScenarioSpec::new()
+            .stack(air_stack)
+            .air()
+            .policy(PolicyKind::AcLb)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn custom_traces_are_core_count_checked() {
+        let short =
+            WorkloadTrace::from_samples(WorkloadKind::Database, vec![vec![0.5; 4]; 3]).unwrap();
+        let r = ScenarioSpec::new().trace(short).seconds(3).build();
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+        let right =
+            WorkloadTrace::from_samples(WorkloadKind::Database, vec![vec![0.5; 8]; 3]).unwrap();
+        assert!(ScenarioSpec::new().trace(right).seconds(3).build().is_ok());
+    }
+
+    #[test]
+    fn flow_schedules_validate_against_the_coolant() {
+        let q = VolumetricFlow::from_ml_per_min(20.0);
+        // Air cooling has no pump to schedule.
+        let r = ScenarioSpec::new()
+            .air()
+            .policy(PolicyKind::AcLb)
+            .flow_schedule(FlowSchedule::Fixed(q))
+            .build();
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+        // Two-phase fixes the mass flux.
+        let r = ScenarioSpec::new()
+            .two_phase(TwoPhaseCoolant::r134a_30c(300.0))
+            .flow_schedule(FlowSchedule::Fixed(q))
+            .build();
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+        // Degenerate schedules are rejected outright.
+        for bad in [
+            FlowSchedule::Fixed(VolumetricFlow(0.0)),
+            FlowSchedule::Cycle(vec![]),
+            FlowSchedule::Cycle(vec![(0, q)]),
+            FlowSchedule::Sweep {
+                lo: q,
+                hi: VolumetricFlow(q.0 / 2.0),
+                period: 8,
+            },
+            FlowSchedule::Sweep {
+                lo: q,
+                hi: q,
+                period: 1,
+            },
+        ] {
+            let r = ScenarioSpec::new().flow_schedule(bad.clone()).build();
+            assert!(matches!(r, Err(CmosaicError::Config { .. })), "{bad:?}");
+        }
+        // A sane water schedule builds.
+        assert!(ScenarioSpec::new()
+            .flow_schedule(FlowSchedule::Cycle(vec![
+                (5, q),
+                (5, VolumetricFlow(q.0 / 2.0))
+            ]))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_timing_parameters_fail_at_build_time() {
+        assert!(ScenarioSpec::new().seconds(0).build().is_err());
+        assert!(ScenarioSpec::new().thermal_dt(0.0).build().is_err());
+        assert!(ScenarioSpec::new().control_interval(-1.0).build().is_err());
+        assert!(ScenarioSpec::new().sensor_noise(-2.0, 0).build().is_err());
+    }
+
+    #[test]
+    fn schedule_waveforms() {
+        let q1 = VolumetricFlow(1.0);
+        let q2 = VolumetricFlow(2.0);
+        assert_eq!(FlowSchedule::Policy.flow_at(5), None);
+        assert_eq!(FlowSchedule::Fixed(q1).flow_at(7), Some(q1));
+        let cycle = FlowSchedule::Cycle(vec![(2, q1), (1, q2)]);
+        let flows: Vec<f64> = (0..6).map(|t| cycle.flow_at(t).unwrap().0).collect();
+        assert_eq!(flows, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0]);
+        let sweep = FlowSchedule::Sweep {
+            lo: q1,
+            hi: q2,
+            period: 4,
+        };
+        assert_eq!(sweep.flow_at(0).unwrap().0, 1.0);
+        assert_eq!(sweep.flow_at(2).unwrap().0, 2.0);
+        assert_eq!(sweep.flow_at(1).unwrap(), sweep.flow_at(3).unwrap());
+        assert_eq!(sweep.flow_at(4).unwrap().0, 1.0);
+        // Degenerate unvalidated schedules never panic: they just decline
+        // to override.
+        let degenerate = FlowSchedule::Sweep {
+            lo: q1,
+            hi: q2,
+            period: 0,
+        };
+        assert_eq!(degenerate.flow_at(3), None);
+        assert_eq!(FlowSchedule::Cycle(vec![(0, q1)]).flow_at(3), None);
+    }
+
+    #[test]
+    fn pattern_grouping_follows_stack_grid_and_coolant() {
+        let a = ScenarioSpec::new().seconds(2).build().unwrap();
+        let b = ScenarioSpec::new()
+            .seconds(2)
+            .policy(PolicyKind::LcLb)
+            .workload(WorkloadKind::Database)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert!(
+            a.same_operator_pattern(&b),
+            "policy/workload/seed are pattern-neutral"
+        );
+        let four = ScenarioSpec::new().tiers(4).seconds(2).build().unwrap();
+        assert!(!a.same_operator_pattern(&four));
+        let tp = ScenarioSpec::new()
+            .two_phase(TwoPhaseCoolant::r134a_30c(300.0))
+            .seconds(2)
+            .build()
+            .unwrap();
+        assert!(!a.same_operator_pattern(&tp), "two-phase operators differ");
+    }
+
+    #[test]
+    fn labels_summarise_the_axes() {
+        let spec = ScenarioSpec::new().tiers(4).policy(PolicyKind::LcLb);
+        assert_eq!(spec.display_label(), "4-tier/water/LC_LB/web-server");
+        let named = spec.clone().label("my-run");
+        assert_eq!(named.display_label(), "my-run");
+        let swept = spec.flow_schedule(FlowSchedule::Sweep {
+            lo: VolumetricFlow(1e-8),
+            hi: VolumetricFlow(2e-8),
+            period: 16,
+        });
+        assert!(swept.display_label().ends_with("/swept-flow"));
+    }
+
+    #[test]
+    fn two_phase_scenarios_run_end_to_end() {
+        // Two-phase stacks were previously unreachable through the
+        // co-simulation (initialize() unconditionally set a flow rate).
+        let m = ScenarioSpec::new()
+            .two_phase(TwoPhaseCoolant::r134a_30c(2800.0))
+            .policy(PolicyKind::LcLb)
+            .workload(WorkloadKind::Multimedia)
+            .grid(GridSpec::new(6, 6).unwrap())
+            .thermal_dt(0.5)
+            .seconds(4)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.seconds, 4);
+        assert!(m.chip_energy > 0.0);
+        assert_eq!(m.pump_energy, 0.0, "no single-phase pump in the loop");
+        assert!(m.mean_flow.is_none());
+        assert!(m.peak_temperature > Kelvin(0.0));
+    }
+}

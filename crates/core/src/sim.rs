@@ -22,11 +22,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metrics::{MetricsAccumulator, RunMetrics};
+use crate::observe::{EpochCtx, Observer};
 use crate::policy::{Observation, Policy};
+use crate::scenario::FlowSchedule;
 use crate::CmosaicError;
 
 /// Static configuration of a co-simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Thermal grid per layer.
     pub grid: GridSpec,
@@ -83,6 +85,9 @@ pub struct Simulator {
     acc: MetricsAccumulator,
     seconds_run: usize,
     current_flow: Option<VolumetricFlow>,
+    /// Per-second flow override applied on top of the policy's commands
+    /// ([`FlowSchedule::Policy`] leaves the policy in charge).
+    flow_schedule: FlowSchedule,
     sensor_rng: StdRng,
     /// Reused temperature-field buffer of the sub-step loop (`None` until
     /// the first `run`), so warm sub-steps allocate nothing.
@@ -164,6 +169,7 @@ impl Simulator {
             acc: MetricsAccumulator::new(n_cores),
             seconds_run: 0,
             current_flow: None,
+            flow_schedule: FlowSchedule::Policy,
             sensor_rng: StdRng::seed_from_u64(sensor_seed),
             scratch_field: None,
             temp_scratch: Vec::new(),
@@ -185,6 +191,16 @@ impl Simulator {
     /// Number of cores across all tiers.
     pub fn n_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Installs a coolant-flow override schedule: whenever the schedule
+    /// yields a flow for a control interval, it replaces the policy's
+    /// pump command for that interval. Ignored on air-cooled and
+    /// two-phase stacks (the former has no pump, the latter a fixed mass
+    /// flux — [`ScenarioSpec::build`](crate::scenario::ScenarioSpec::build)
+    /// rejects those combinations up front).
+    pub fn set_flow_schedule(&mut self, schedule: FlowSchedule) {
+        self.flow_schedule = schedule;
     }
 
     /// Solver-path counters of the underlying thermal model: a healthy
@@ -284,7 +300,9 @@ impl Simulator {
     ///
     /// Forwards model errors.
     pub fn initialize(&mut self) -> Result<(), CmosaicError> {
-        if self.model.is_liquid_cooled() {
+        // Two-phase stacks fix their mass flux at model construction; only
+        // single-phase liquid cooling has a flow rate to set here.
+        if self.model.is_liquid_cooled() && !self.model.is_two_phase() {
             let q = VolumetricFlow::from_ml_per_min(32.3);
             self.model.set_flow_rate(q)?;
             self.current_flow = Some(q);
@@ -318,22 +336,39 @@ impl Simulator {
     ///
     /// Forwards policy/power/thermal errors.
     pub fn run(&mut self, seconds: usize) -> Result<RunMetrics, CmosaicError> {
+        self.run_observed(seconds, &mut ())
+    }
+
+    /// Runs `seconds` control intervals with an [`Observer`] invoked at
+    /// the end of every interval (see [`EpochCtx`] for what it sees).
+    /// Everything else behaves exactly like [`Simulator::run`]; the no-op
+    /// observer `()` compiles down to it.
+    ///
+    /// # Errors
+    ///
+    /// Forwards policy/power/thermal errors.
+    pub fn run_observed<O: Observer + ?Sized>(
+        &mut self,
+        seconds: usize,
+        observer: &mut O,
+    ) -> Result<RunMetrics, CmosaicError> {
         let mut field = self
             .scratch_field
             .take()
             .unwrap_or_else(|| self.model.current_field());
         let mut temps = std::mem::take(&mut self.temp_scratch);
-        let r = self.run_inner(seconds, &mut field, &mut temps);
+        let r = self.run_inner(seconds, &mut field, &mut temps, observer);
         self.scratch_field = Some(field);
         self.temp_scratch = temps;
         r
     }
 
-    fn run_inner(
+    fn run_inner<O: Observer + ?Sized>(
         &mut self,
         seconds: usize,
         field: &mut TemperatureField,
         temps: &mut Vec<Kelvin>,
+        observer: &mut O,
     ) -> Result<RunMetrics, CmosaicError> {
         let substeps = (self.config.control_interval / self.config.thermal_dt).round() as usize;
         let substeps = substeps.max(1);
@@ -352,10 +387,19 @@ impl Simulator {
             };
             let action = self.policy.decide(&obs);
 
-            if let Some(q) = action.flow {
-                if self.current_flow != Some(q) {
-                    self.model.set_flow_rate(q)?;
-                    self.current_flow = Some(q);
+            // The schedule (if any) outranks the policy's pump command;
+            // air-cooled stacks have no pump and two-phase stacks no
+            // adjustable flow, so commands are ignored on both.
+            let commanded = self
+                .flow_schedule
+                .flow_at(self.seconds_run + t)
+                .or(action.flow);
+            if self.model.is_liquid_cooled() && !self.model.is_two_phase() {
+                if let Some(q) = commanded {
+                    if self.current_flow != Some(q) {
+                        self.model.set_flow_rate(q)?;
+                        self.current_flow = Some(q);
+                    }
                 }
             }
 
@@ -363,8 +407,22 @@ impl Simulator {
             let (maps, chip_power) =
                 self.tier_power_maps(&action.assigned, &action.vf_levels, &element_temps)?;
 
-            for _ in 0..substeps {
-                self.model.step_into(&maps, dt, field)?;
+            // Two-phase stacks advance quasi-statically (one steady solve
+            // per interval): the thermal model deliberately refuses
+            // transient two-phase steps — the film's storage makes the
+            // quasi-static solution the conservative envelope.
+            let interval_steps = if self.model.is_two_phase() {
+                1
+            } else {
+                substeps
+            };
+            let mut epoch_peak = Kelvin(f64::NEG_INFINITY);
+            for _ in 0..interval_steps {
+                if self.model.is_two_phase() {
+                    *field = self.model.steady_state(&maps)?;
+                } else {
+                    self.model.step_into(&maps, dt, field)?;
+                }
                 // Sensor sampling at sub-step granularity (the paper's
                 // 100 ms sensors against our 250 ms steps).
                 self.core_temps_into(field, temps);
@@ -384,14 +442,16 @@ impl Simulator {
                 if peak.0 > self.acc.peak {
                     self.acc.peak = peak.0;
                 }
+                epoch_peak = peak;
             }
 
             // Energy and performance accounting over the interval.
             let interval = self.config.control_interval;
             self.acc.chip_energy += chip_power * interval;
+            let mut pump_power = 0.0;
             if let Some(q) = self.current_flow {
-                let pump_w = self.pump.power(q).0 * self.n_cavities as f64;
-                self.acc.pump_energy += pump_w * interval;
+                pump_power = self.pump.power(q).0 * self.n_cavities as f64;
+                self.acc.pump_energy += pump_power * interval;
                 self.acc.flow_integral += q.0;
                 self.acc.flow_samples += 1;
             }
@@ -405,6 +465,26 @@ impl Simulator {
                 self.acc.offered_work[slot] += demand * interval;
                 self.acc.deferred_work[slot] += deferred * interval;
             }
+
+            // Epoch hook: observers see the end-of-interval state with the
+            // true (noise-free) temperatures.
+            let epoch = self.seconds_run + t;
+            let ctx = EpochCtx {
+                epoch,
+                time: (epoch + 1) as f64 * interval,
+                interval,
+                field,
+                core_temps: temps,
+                peak: epoch_peak,
+                threshold: self.config.threshold,
+                chip_power,
+                pump_power,
+                flow: self.current_flow,
+                assigned: &action.assigned,
+                vf_levels: &action.vf_levels,
+                grid: self.config.grid,
+            };
+            observer.on_epoch(&ctx);
         }
         self.seconds_run += seconds;
         let liquid = self.model.is_liquid_cooled();
@@ -522,6 +602,29 @@ mod tests {
         // The bounded caches never exceed their capacity.
         let c = sim.cache_stats();
         assert!(c.steady_entries <= c.capacity && c.transient_entries <= c.capacity);
+    }
+
+    #[test]
+    fn flow_schedules_are_ignored_on_air_cooled_stacks() {
+        // Directly-built simulators bypass ScenarioSpec validation; a
+        // schedule on a pump-less stack must be a no-op, not a run error.
+        let stack = presets::air_cooled_mpsoc(2).unwrap();
+        let trace = WorkloadKind::WebServer.generate(8, 5, 11);
+        let mut sim = Simulator::new(
+            &stack,
+            make_policy(PolicyKind::AcLb, 8),
+            trace,
+            PowerModel::niagara(),
+            small_config(),
+        )
+        .unwrap();
+        sim.set_flow_schedule(crate::scenario::FlowSchedule::Fixed(
+            VolumetricFlow::from_ml_per_min(20.0),
+        ));
+        sim.initialize().unwrap();
+        let m = sim.run(5).unwrap();
+        assert_eq!(m.pump_energy, 0.0);
+        assert!(m.mean_flow.is_none());
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Scenario-family studies: expand axes into a matrix, execute it as one
+//! batch.
+//!
+//! A [`Study`] starts from one base [`ScenarioSpec`] and grows a scenario
+//! matrix by cartesian products: each `over_*` call multiplies the current
+//! scenario list by one axis (policies, tier counts, workloads, coolants,
+//! flow schedules, seeds, grids — or any custom transformation through
+//! [`Study::over_with`]). [`Study::retain`] prunes cells the experiment
+//! does not define (e.g. the paper's figures omit `AC_TDVFS_LB` at 4
+//! tiers), and [`Study::chain`] concatenates independently-built families.
+//!
+//! [`Study::run`] executes the matrix through a
+//! [`BatchRunner`], inheriting its guarantees:
+//! scenarios sharing a thermal-operator pattern pay **one** full pivoting
+//! factorisation between them (donated
+//! [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis)), and the report is
+//! bit-identical at any thread count. [`Study::run_observed`] additionally
+//! hooks one [`Observer`] per scenario into the loop.
+//!
+//! ```
+//! use cmosaic::scenario::ScenarioSpec;
+//! use cmosaic::study::Study;
+//! use cmosaic::batch::BatchRunner;
+//! use cmosaic::policy::PolicyKind;
+//! use cmosaic_power::trace::WorkloadKind;
+//! use cmosaic_floorplan::GridSpec;
+//!
+//! # fn main() -> Result<(), cmosaic::CmosaicError> {
+//! let base = ScenarioSpec::new()
+//!     .grid(GridSpec::new(6, 6).expect("static"))
+//!     .seconds(2);
+//! let report = Study::new(base)
+//!     .over_tiers([2, 4])
+//!     .over_policies([PolicyKind::LcLb, PolicyKind::LcFuzzy])
+//!     .over_workloads([WorkloadKind::WebServer])
+//!     .run(&BatchRunner::new(2))?;
+//! assert_eq!(report.len(), 4);
+//! assert_eq!(report.pattern_groups(), 2); // one per tier count
+//! # Ok(())
+//! # }
+//! ```
+
+use cmosaic_floorplan::stack::Stack3d;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_power::trace::WorkloadKind;
+
+use crate::batch::{BatchRunner, ScenarioOutcome};
+use crate::metrics::RunMetrics;
+use crate::observe::Observer;
+use crate::policy::PolicyKind;
+use crate::scenario::{CoolantChoice, FlowSchedule, Scenario, ScenarioSpec};
+use crate::CmosaicError;
+
+/// A family of scenarios built by axis expansion from one base spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Study {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl Study {
+    /// A study containing just the base scenario.
+    pub fn new(base: ScenarioSpec) -> Self {
+        Study { specs: vec![base] }
+    }
+
+    /// A study over an explicit list of specs (for families no cartesian
+    /// product expresses).
+    pub fn from_specs(specs: Vec<ScenarioSpec>) -> Self {
+        Study { specs }
+    }
+
+    /// Multiplies the matrix by a policy axis. For each existing scenario
+    /// and each policy, the air/water coolant choice follows the policy's
+    /// cooling mode (a two-phase coolant is preserved as-is and left to
+    /// build-time validation).
+    pub fn over_policies(self, policies: impl IntoIterator<Item = PolicyKind> + Clone) -> Self {
+        self.over_with(|spec| {
+            policies
+                .clone()
+                .into_iter()
+                .map(|p| {
+                    let s = spec.clone().policy(p);
+                    match (p.is_liquid_cooled(), s.coolant_choice()) {
+                        (false, CoolantChoice::Water) => s.air(),
+                        (true, CoolantChoice::Air) => s.water(),
+                        _ => s,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a preset tier-count axis.
+    pub fn over_tiers(self, tiers: impl IntoIterator<Item = usize> + Clone) -> Self {
+        self.over_with(|spec| {
+            tiers
+                .clone()
+                .into_iter()
+                .map(|t| spec.clone().tiers(t))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a workload axis.
+    pub fn over_workloads(self, workloads: impl IntoIterator<Item = WorkloadKind> + Clone) -> Self {
+        self.over_with(|spec| {
+            workloads
+                .clone()
+                .into_iter()
+                .map(|w| spec.clone().workload(w))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a coolant axis (pair with
+    /// [`Study::over_policies`] or a fixed policy of the matching cooling
+    /// mode).
+    pub fn over_coolants(self, coolants: impl IntoIterator<Item = CoolantChoice> + Clone) -> Self {
+        self.over_with(|spec| {
+            coolants
+                .clone()
+                .into_iter()
+                .map(|c| spec.clone().coolant(c))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a flow-schedule axis.
+    pub fn over_flow_schedules(
+        self,
+        schedules: impl IntoIterator<Item = FlowSchedule> + Clone,
+    ) -> Self {
+        self.over_with(|spec| {
+            schedules
+                .clone()
+                .into_iter()
+                .map(|f| spec.clone().flow_schedule(f))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a fixed per-cavity flow-rate axis
+    /// (shorthand for [`FlowSchedule::Fixed`] schedules).
+    pub fn over_flow_rates(
+        self,
+        rates: impl IntoIterator<Item = cmosaic_materials::units::VolumetricFlow> + Clone,
+    ) -> Self {
+        self.over_with(|spec| {
+            rates
+                .clone()
+                .into_iter()
+                .map(|q| spec.clone().flow_schedule(FlowSchedule::Fixed(q)))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a seed axis (statistical replication).
+    pub fn over_seeds(self, seeds: impl IntoIterator<Item = u64> + Clone) -> Self {
+        self.over_with(|spec| {
+            seeds
+                .clone()
+                .into_iter()
+                .map(|s| spec.clone().seed(s))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a thermal-grid axis (resolution studies).
+    pub fn over_grids(self, grids: impl IntoIterator<Item = GridSpec> + Clone) -> Self {
+        self.over_with(|spec| {
+            grids
+                .clone()
+                .into_iter()
+                .map(|g| spec.clone().grid(g))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a custom-stack axis (e.g. a cavity-width
+    /// sweep over hand-built stacks).
+    pub fn over_stacks(self, stacks: impl IntoIterator<Item = Stack3d> + Clone) -> Self {
+        self.over_with(|spec| {
+            stacks
+                .clone()
+                .into_iter()
+                .map(|st| spec.clone().stack(st))
+                .collect()
+        })
+    }
+
+    /// The general axis: replaces every scenario by `f(scenario)`,
+    /// preserving order (scenario-major, axis-minor). Returning an empty
+    /// vector drops the scenario.
+    pub fn over_with<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&ScenarioSpec) -> Vec<ScenarioSpec>,
+    {
+        self.specs = self.specs.iter().flat_map(&f).collect();
+        self
+    }
+
+    /// Keeps only the scenarios the predicate accepts.
+    pub fn retain<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&ScenarioSpec) -> bool,
+    {
+        self.specs.retain(|s| f(s));
+        self
+    }
+
+    /// Appends another study's scenarios after this one's.
+    pub fn chain(mut self, other: Study) -> Self {
+        self.specs.extend(other.specs);
+        self
+    }
+
+    /// The scenario specs, in execution order.
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.specs
+    }
+
+    /// Number of scenarios in the matrix.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` if the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Validates and resolves every spec (the all-or-nothing step: the
+    /// first invalid cell aborts with its error before anything runs).
+    ///
+    /// # Errors
+    ///
+    /// The build error of the first invalid scenario.
+    pub fn build(&self) -> Result<Vec<Scenario>, CmosaicError> {
+        self.specs.iter().map(ScenarioSpec::build).collect()
+    }
+
+    /// Builds and executes the whole matrix on `runner`.
+    ///
+    /// # Errors
+    ///
+    /// Build errors first, then the error of the lowest-indexed failing
+    /// scenario (deterministic regardless of thread count).
+    pub fn run(&self, runner: &BatchRunner) -> Result<StudyReport, CmosaicError> {
+        let scenarios = self.build()?;
+        let batch = runner.run_scenarios(&scenarios)?;
+        Ok(StudyReport {
+            specs: self.specs.clone(),
+            outcomes: batch.outcomes,
+            pattern_groups: batch.pattern_groups,
+            threads: batch.threads,
+        })
+    }
+
+    /// Like [`Study::run`], with one observer per scenario created by
+    /// `factory` (called with the scenario index and the resolved
+    /// scenario) and returned in scenario order alongside the report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Study::run`].
+    pub fn run_observed<O, F>(
+        &self,
+        runner: &BatchRunner,
+        factory: F,
+    ) -> Result<(StudyReport, Vec<O>), CmosaicError>
+    where
+        O: Observer + Send,
+        F: Fn(usize, &Scenario) -> O + Sync,
+    {
+        let scenarios = self.build()?;
+        let (batch, observers) = runner.run_scenarios_observed(&scenarios, factory)?;
+        Ok((
+            StudyReport {
+                specs: self.specs.clone(),
+                outcomes: batch.outcomes,
+                pattern_groups: batch.pattern_groups,
+                threads: batch.threads,
+            },
+            observers,
+        ))
+    }
+}
+
+/// Results of one study, index-aligned with [`Study::specs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyReport {
+    specs: Vec<ScenarioSpec>,
+    outcomes: Vec<ScenarioOutcome>,
+    pattern_groups: usize,
+    threads: usize,
+}
+
+impl StudyReport {
+    /// Scenario specs, in execution order.
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.specs
+    }
+
+    /// Scenario outcomes, index-aligned with the specs.
+    pub fn outcomes(&self) -> &[ScenarioOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` when the study was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// `(spec, outcome)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ScenarioSpec, &ScenarioOutcome)> {
+        self.specs.iter().zip(&self.outcomes)
+    }
+
+    /// Metrics of the first scenario the predicate accepts.
+    pub fn metrics_matching<F>(&self, pred: F) -> Option<&RunMetrics>
+    where
+        F: Fn(&ScenarioSpec) -> bool,
+    {
+        self.iter().find(|(s, _)| pred(s)).map(|(_, o)| &o.metrics)
+    }
+
+    /// Distinct thermal-operator pattern groups the study spanned.
+    pub fn pattern_groups(&self) -> usize {
+        self.pattern_groups
+    }
+
+    /// Worker threads used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total full pivoting factorisations across every scenario — with
+    /// analysis sharing this equals [`StudyReport::pattern_groups`].
+    pub fn total_full_factorizations(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.solver.full_factorizations)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::PeakTemperature;
+    use cmosaic_materials::units::VolumetricFlow;
+
+    fn tiny_base() -> ScenarioSpec {
+        ScenarioSpec::new()
+            .grid(GridSpec::new(6, 6).expect("static"))
+            .thermal_dt(0.5)
+            .seconds(2)
+            .seed(7)
+    }
+
+    #[test]
+    fn axes_expand_scenario_major() {
+        let study = Study::new(tiny_base())
+            .over_tiers([2, 4])
+            .over_policies([PolicyKind::AcLb, PolicyKind::LcFuzzy]);
+        let axes: Vec<(Option<usize>, PolicyKind)> = study
+            .specs()
+            .iter()
+            .map(|s| (s.preset_tiers(), s.policy_kind()))
+            .collect();
+        assert_eq!(
+            axes,
+            vec![
+                (Some(2), PolicyKind::AcLb),
+                (Some(2), PolicyKind::LcFuzzy),
+                (Some(4), PolicyKind::AcLb),
+                (Some(4), PolicyKind::LcFuzzy),
+            ]
+        );
+        // The coolant followed each policy's cooling mode.
+        assert!(study.specs()[0].coolant_choice() == &CoolantChoice::Air);
+        assert!(study.specs()[1].coolant_choice() == &CoolantChoice::Water);
+    }
+
+    #[test]
+    fn retain_prunes_and_chain_concatenates() {
+        let study = Study::new(tiny_base())
+            .over_tiers([2, 4])
+            .over_policies(PolicyKind::paper_policies())
+            .retain(|s| !(s.preset_tiers() == Some(4) && s.policy_kind() == PolicyKind::AcTdvfsLb));
+        assert_eq!(study.len(), 7, "the paper's seven configurations");
+        let extra = Study::new(tiny_base().policy(PolicyKind::LcFuzzyFlowOnly));
+        assert_eq!(study.chain(extra).len(), 8);
+    }
+
+    #[test]
+    fn study_runs_and_shares_analysis_per_pattern_group() {
+        let report = Study::new(tiny_base())
+            .over_policies([PolicyKind::LcLb, PolicyKind::LcFuzzy])
+            .over_workloads([WorkloadKind::WebServer, WorkloadKind::Database])
+            .run(&BatchRunner::new(2))
+            .unwrap();
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.pattern_groups(), 1);
+        assert_eq!(report.total_full_factorizations(), 1);
+        let m = report
+            .metrics_matching(|s| {
+                s.policy_kind() == PolicyKind::LcLb && s.workload_kind() == WorkloadKind::Database
+            })
+            .expect("cell exists");
+        assert_eq!(m.seconds, 2);
+    }
+
+    #[test]
+    fn invalid_cells_abort_before_anything_runs() {
+        let study = Study::new(tiny_base())
+            .over_with(|s| vec![s.clone(), s.clone().policy(PolicyKind::AcLb).water()]);
+        let r = study.run(&BatchRunner::new(1));
+        assert!(matches!(r, Err(CmosaicError::Config { .. })));
+    }
+
+    #[test]
+    fn observers_ride_the_batch() {
+        let (report, peaks) = Study::new(tiny_base())
+            .over_flow_rates([
+                VolumetricFlow::from_ml_per_min(12.0),
+                VolumetricFlow::from_ml_per_min(32.3),
+            ])
+            .run_observed(&BatchRunner::new(2), |_, _| PeakTemperature::new())
+            .unwrap();
+        assert_eq!(peaks.len(), 2);
+        for (o, p) in report.outcomes().iter().zip(&peaks) {
+            // Metrics sample every sub-step; observers see interval ends —
+            // the observed peak can therefore only be at or below it.
+            let seen = p.peak().expect("epochs observed");
+            assert!(seen.0 > 300.0 && seen.0 <= o.metrics.peak_temperature.0);
+        }
+        // More coolant, cooler stack.
+        assert!(peaks[0].peak().unwrap().0 > peaks[1].peak().unwrap().0);
+    }
+}

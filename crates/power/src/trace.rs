@@ -153,6 +153,42 @@ pub struct WorkloadTrace {
 }
 
 impl WorkloadTrace {
+    /// Builds a trace from raw per-second samples (`samples[t][core]`),
+    /// tagged with the benchmark class it represents — the entry point for
+    /// replaying recorded utilization traces instead of the synthetic
+    /// generators.
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerError::LengthMismatch`](crate::PowerError::LengthMismatch)
+    ///   — empty trace, or rows of unequal core counts.
+    /// * [`PowerError::InvalidUtilization`](crate::PowerError::InvalidUtilization)
+    ///   — a sample outside `[0, 1]`.
+    pub fn from_samples(
+        kind: WorkloadKind,
+        samples: Vec<Vec<f64>>,
+    ) -> Result<Self, crate::PowerError> {
+        let cores = samples.first().map_or(0, Vec::len);
+        if cores == 0 {
+            return Err(crate::PowerError::LengthMismatch {
+                detail: "a workload trace needs at least one second and one core".into(),
+            });
+        }
+        for (t, row) in samples.iter().enumerate() {
+            if row.len() != cores {
+                return Err(crate::PowerError::LengthMismatch {
+                    detail: format!("second {t} has {} cores, second 0 has {cores}", row.len()),
+                });
+            }
+            for &u in row {
+                if !(0.0..=1.0).contains(&u) {
+                    return Err(crate::PowerError::InvalidUtilization { value: u });
+                }
+            }
+        }
+        Ok(WorkloadTrace { kind, samples })
+    }
+
     /// The benchmark class this trace was generated from.
     pub fn kind(&self) -> WorkloadKind {
         self.kind
@@ -302,6 +338,27 @@ mod tests {
         let tr = WorkloadKind::MaxUtilization.generate(8, 10, 0);
         assert_eq!(tr.average_utilization(), 1.0);
         assert_eq!(tr.peak_utilization(), 1.0);
+    }
+
+    #[test]
+    fn custom_traces_validate_shape_and_range() {
+        let tr = WorkloadTrace::from_samples(
+            WorkloadKind::Database,
+            vec![vec![0.5, 0.25], vec![1.0, 0.0]],
+        )
+        .expect("valid trace");
+        assert_eq!(tr.cores(), 2);
+        assert_eq!(tr.seconds(), 2);
+        assert_eq!(tr.kind(), WorkloadKind::Database);
+        assert_eq!(tr.utilization(0, 1), 0.25);
+        // Empty, ragged, and out-of-range traces are rejected.
+        assert!(WorkloadTrace::from_samples(WorkloadKind::Database, vec![]).is_err());
+        assert!(WorkloadTrace::from_samples(
+            WorkloadKind::Database,
+            vec![vec![0.5, 0.5], vec![0.5]]
+        )
+        .is_err());
+        assert!(WorkloadTrace::from_samples(WorkloadKind::Database, vec![vec![1.5]]).is_err());
     }
 
     #[test]

@@ -144,6 +144,28 @@ impl TemperatureField {
         )
     }
 
+    /// Mean temperature of one tier's source layer — the per-epoch tier
+    /// summary observers record without walking the raw cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier does not exist.
+    pub fn tier_mean(&self, tier: usize) -> Kelvin {
+        let cells = self.tier(tier);
+        Kelvin(cells.iter().sum::<f64>() / cells.len() as f64)
+    }
+
+    /// Number of cells of one tier's source layer strictly above
+    /// `threshold` — the spatial extent of a hot spot, as opposed to the
+    /// temporal residency the run metrics track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier does not exist.
+    pub fn tier_cells_above(&self, tier: usize, threshold: Kelvin) -> usize {
+        self.tier(tier).iter().filter(|&&t| t > threshold.0).count()
+    }
+
     /// Sink-node temperature, for air-cooled stacks.
     pub fn sink(&self) -> Option<Kelvin> {
         self.has_sink
@@ -251,6 +273,14 @@ mod tests {
         assert_eq!(f.tier_max(0).0, 303.0);
         assert_eq!(f.sink().unwrap().0, 320.0);
         assert_eq!(f.n_tiers(), 1);
+    }
+
+    #[test]
+    fn tier_summaries() {
+        let f = field();
+        assert!((f.tier_mean(0).0 - 301.5).abs() < 1e-12);
+        assert_eq!(f.tier_cells_above(0, Kelvin(301.0)), 2);
+        assert_eq!(f.tier_cells_above(0, Kelvin(400.0)), 0);
     }
 
     #[test]

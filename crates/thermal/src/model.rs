@@ -5,7 +5,7 @@
 //! The sparsity pattern of the RC network is fixed by (stack, grid): flow
 //! rates, transient time steps and two-phase fixed-point sweeps change only
 //! matrix *values*. The model therefore assembles the flow-independent
-//! conduction/capacitance skeleton exactly once ([`OperatorSkeleton`]),
+//! conduction/capacitance skeleton exactly once (`OperatorSkeleton`),
 //! keeps a triplet→CSC scatter map so each new operating point is an
 //! O(nnz) value rewrite into the existing CSC, and runs exactly one full
 //! pivoting factorisation per configuration — every later operator is

@@ -1,81 +1,133 @@
-//! Electro-thermal co-design exploration (§II.C): sweep the coolant flow
-//! rate and the cavity channel width, and map the trade-off between peak
-//! junction temperature and pumping power — the design space the run-time
-//! fuzzy controller later navigates dynamically.
+//! Cooling design-space exploration with the `ScenarioSpec`/`Study` API:
+//! a cartesian sweep over coolants (single-phase water vs. two-phase
+//! R134a), open-loop flow schedules and tier counts — a scenario family
+//! the flat config plumbing could not express — with a custom per-epoch
+//! [`Observer`] measuring the *spatial* extent of hot spots, which the
+//! aggregate run metrics do not record.
 //!
 //! ```bash
 //! cargo run --release --example cooling_design_space
 //! ```
 
-use cmosaic_floorplan::stack::{presets, CavitySpec, StackBuilder};
-use cmosaic_floorplan::{niagara, GridSpec};
-use cmosaic_hydraulics::pump::PumpMap;
-use cmosaic_materials::solids::SolidMaterial;
+use cmosaic::observe::{EpochCtx, Observer};
+use cmosaic::policy::PolicyKind;
+use cmosaic::scenario::{CoolantChoice, FlowSchedule};
+use cmosaic::{BatchRunner, ScenarioSpec, Study};
+use cmosaic_floorplan::GridSpec;
 use cmosaic_materials::units::VolumetricFlow;
-use cmosaic_thermal::{ThermalModel, ThermalParams};
+use cmosaic_power::trace::WorkloadKind;
+use cmosaic_thermal::TwoPhaseCoolant;
 
-/// A realistic 2-tier heat load: busy cores below, caches above.
-fn power_maps(grid: GridSpec) -> Vec<Vec<f64>> {
-    let n = grid.cell_count();
-    vec![vec![38.0 / n as f64; n], vec![9.0 / n as f64; n]]
+/// Custom probe: worst spatial hot-spot extent (fraction of junction
+/// cells above the threshold on the worst tier) and when it occurred —
+/// per-epoch data no aggregate metric carries.
+#[derive(Default)]
+struct HotspotExtent {
+    worst_fraction: f64,
+    at_epoch: usize,
+}
+
+impl Observer for HotspotExtent {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        let threshold = ctx.threshold.to_kelvin();
+        let cells_per_tier = ctx.grid.cell_count();
+        for tier in 0..ctx.n_tiers() {
+            let frac = ctx.field.tier_cells_above(tier, threshold) as f64 / cells_per_tier as f64;
+            if frac > self.worst_fraction {
+                self.worst_fraction = frac;
+                self.at_epoch = ctx.epoch;
+            }
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let grid = GridSpec::new(12, 12)?;
-    let maps = power_maps(grid);
-    let pump = PumpMap::table1();
+    let ml = VolumetricFlow::from_ml_per_min;
+    let schedules = [
+        (FlowSchedule::Policy, "policy-controlled"),
+        (FlowSchedule::Fixed(ml(8.0)), "fixed 8 ml/min"),
+        (FlowSchedule::Fixed(ml(32.3)), "fixed 32.3 ml/min"),
+        (
+            FlowSchedule::Sweep {
+                lo: ml(10.0),
+                hi: ml(32.3),
+                period: 20,
+            },
+            "triangle 10-32.3 ml/min",
+        ),
+    ];
+    let schedule_name = |s: &FlowSchedule| {
+        schedules
+            .iter()
+            .find(|(sched, _)| sched == s)
+            .map_or("?", |(_, name)| *name)
+    };
 
-    println!("Flow-rate sweep (Table I cavity, 2-tier stack, 47 W):\n");
-    println!("  flow (ml/min)   peak °C   outlet °C   ΔP (bar)   pump power (W)");
-    let stack = presets::liquid_cooled_mpsoc(2)?;
-    let mut model = ThermalModel::new(&stack, grid, ThermalParams::default())?;
-    for ml in [10.0, 14.0, 18.0, 22.0, 26.0, 32.3] {
-        let q = VolumetricFlow::from_ml_per_min(ml);
-        model.set_flow_rate(q)?;
-        let field = model.steady_state(&maps)?;
+    // Coolant x flow-schedule x tiers, pruned of the one invalid slice:
+    // a two-phase operating point fixes its mass flux, so only the
+    // policy-neutral schedule survives there.
+    let base = ScenarioSpec::new()
+        .policy(PolicyKind::LcFuzzy)
+        .workload(WorkloadKind::MaxUtilization)
+        .grid(GridSpec::new(10, 10)?)
+        .seconds(40)
+        .seed(42);
+    let study = Study::new(base)
+        .over_coolants([
+            CoolantChoice::Water,
+            CoolantChoice::TwoPhase(TwoPhaseCoolant::r134a_30c(2800.0)),
+        ])
+        .over_flow_schedules(schedules.iter().map(|(s, _)| s.clone()))
+        .over_tiers([2, 4])
+        .retain(|s| {
+            !matches!(s.coolant_choice(), CoolantChoice::TwoPhase(_))
+                || s.flow_schedule_spec().is_policy()
+        });
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Sweeping {} scenarios on {threads} threads (water x 4 schedules x 2 tiers, \
+         plus two-phase x 2 tiers):\n",
+        study.len()
+    );
+    let (report, extents) =
+        study.run_observed(&BatchRunner::new(threads), |_, _| HotspotExtent::default())?;
+
+    println!(
+        "{:<10} {:<24} {:>6} {:>9} {:>9} {:>9} {:>12}",
+        "coolant", "flow schedule", "tiers", "peak °C", "chip J", "pump J", "hot extent %"
+    );
+    println!("{}", "-".repeat(84));
+    for ((spec, outcome), extent) in report.iter().zip(&extents) {
+        let m = &outcome.metrics;
         println!(
-            "  {ml:>10.1}   {:>8.1}   {:>8.1}   {:>8.3}   {:>10.2}",
-            field.max().to_celsius().0,
-            model.fluid_outlet_mean().to_celsius().0,
-            model.cavity_pressure_drop()?.to_bar(),
-            pump.power(q).0,
+            "{:<10} {:<24} {:>6} {:>9.1} {:>9.0} {:>9.0} {:>12}",
+            spec.coolant_choice().to_string(),
+            schedule_name(spec.flow_schedule_spec()),
+            spec.preset_tiers().expect("preset stacks"),
+            m.peak_temperature.to_celsius().0,
+            m.chip_energy,
+            m.pump_energy,
+            if extent.worst_fraction > 0.0 {
+                format!("{:.0} @{}s", extent.worst_fraction * 100.0, extent.at_epoch)
+            } else {
+                "none".into()
+            },
         );
     }
-    println!("\n  Over-cooling an under-utilised stack wastes pump power — the gap the");
-    println!("  LC_FUZZY controller closes at run time.\n");
 
-    println!("Channel-width sweep at 22 ml/min (pitch fixed at 150 µm):\n");
-    println!("  width (µm)   peak °C   ΔP (bar)");
-    for width_um in [30.0, 40.0, 50.0, 60.0, 80.0] {
-        let cavity = CavitySpec::new(width_um * 1e-6, 150e-6, 100e-6, SolidMaterial::silicon())?;
-        let mut b = StackBuilder::new(
-            format!("2-tier-w{width_um}"),
-            niagara::DIE_WIDTH,
-            niagara::DIE_HEIGHT,
-        );
-        b.tier(
-            niagara::core_tier()?,
-            presets::WIRING_THICKNESS,
-            presets::DIE_THICKNESS,
-        );
-        b.cavity(cavity);
-        b.tier(
-            niagara::cache_tier()?,
-            presets::WIRING_THICKNESS,
-            presets::DIE_THICKNESS,
-        );
-        let stack = b.build()?;
-        let mut model = ThermalModel::new(&stack, grid, ThermalParams::default())?;
-        model.set_flow_rate(VolumetricFlow::from_ml_per_min(22.0))?;
-        let field = model.steady_state(&maps)?;
-        println!(
-            "  {width_um:>9.0}   {:>8.1}   {:>8.3}",
-            field.max().to_celsius().0,
-            model.cavity_pressure_drop()?.to_bar(),
-        );
-    }
-    println!("\n  Narrower channels buy a few kelvin at a steep pressure-drop cost —");
-    println!("  §II.C's conclusion that the channel width 'should only be reduced at");
-    println!("  locations where the maximal junction temperature would be exceeded'.");
+    println!(
+        "\nOne batch, {} thermal pattern groups, {} full factorisations \
+         (one per group — every other scenario adopted a donor's analysis).",
+        report.pattern_groups(),
+        report.total_full_factorizations()
+    );
+    println!("Reading the table:");
+    println!("  * starving the pump (8 ml/min) leaves hot spots with real spatial extent,");
+    println!("    and the triangle sweep overheats whenever it dwells near its low end;");
+    println!("  * the fuzzy policy matches the 32.3 ml/min worst-case design thermally");
+    println!("    at a fraction of the pump energy;");
+    println!("  * two-phase R134a holds the stack near saturation with zero pump-loop");
+    println!("    energy in this model (the compressor loop is outside the boundary).");
     Ok(())
 }

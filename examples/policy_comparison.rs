@@ -6,9 +6,9 @@
 //! cargo run --release --example policy_comparison
 //! ```
 
-use cmosaic::experiments::{figure_configurations, run_policy, PolicyRunConfig};
+use cmosaic::experiments::fig6_study;
+use cmosaic::BatchRunner;
 use cmosaic_floorplan::GridSpec;
-use cmosaic_power::trace::WorkloadKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seconds = 60;
@@ -19,32 +19,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(96));
 
-    for (tiers, policy) in figure_configurations() {
-        for workload in [
-            WorkloadKind::WebServer,
-            WorkloadKind::Database,
-            WorkloadKind::Multimedia,
-            WorkloadKind::MaxUtilization,
-        ] {
-            let m = run_policy(&PolicyRunConfig {
-                tiers,
-                policy,
-                workload,
-                seconds,
-                seed: 42,
-                grid,
-            })?;
-            println!(
-                "{:<22} {:<16} {:>8.1} {:>10.1} {:>12.0} {:>12.0} {:>10.4}",
-                format!("{tiers}-tier {policy}"),
-                workload.to_string(),
-                m.peak_temperature.to_celsius().0,
-                m.hotspot_time_per_core * 100.0,
-                m.chip_energy,
-                m.pump_energy,
-                m.perf_loss_max * 100.0,
-            );
-        }
+    // The whole 28-scenario matrix runs as one batch: one full thermal
+    // factorisation per (stack, grid) pattern, bit-identical results at
+    // any thread count.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = fig6_study(seconds, 42, grid).run(&BatchRunner::new(threads))?;
+    for (spec, outcome) in report.iter() {
+        let m = &outcome.metrics;
+        println!(
+            "{:<22} {:<16} {:>8.1} {:>10.1} {:>12.0} {:>12.0} {:>10.4}",
+            format!(
+                "{}-tier {}",
+                spec.preset_tiers().expect("preset stacks"),
+                spec.policy_kind()
+            ),
+            spec.workload_kind().to_string(),
+            m.peak_temperature.to_celsius().0,
+            m.hotspot_time_per_core * 100.0,
+            m.chip_energy,
+            m.pump_energy,
+            m.perf_loss_max * 100.0,
+        );
     }
 
     println!("\nReading the table:");

@@ -6,25 +6,26 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cmosaic::experiments::{run_policy, PolicyRunConfig};
 use cmosaic::policy::PolicyKind;
+use cmosaic::ScenarioSpec;
 use cmosaic_power::trace::WorkloadKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cmosaic quickstart: 2-tier 3D MPSoC with inter-tier liquid cooling\n");
 
-    // One call runs the full co-simulation: stack construction, workload
-    // generation, steady-state initialisation, then the closed
+    // A scenario spec names the whole experiment; `build()` validates it
+    // and `run()` executes the full co-simulation: stack construction,
+    // workload generation, steady-state initialisation, then the closed
     // power→thermal→policy loop.
     for policy in [PolicyKind::LcLb, PolicyKind::LcFuzzy] {
-        let metrics = run_policy(&PolicyRunConfig {
-            tiers: 2,
-            policy,
-            workload: WorkloadKind::WebServer,
-            seconds: 60,
-            seed: 42,
-            ..Default::default()
-        })?;
+        let metrics = ScenarioSpec::new()
+            .tiers(2)
+            .policy(policy)
+            .workload(WorkloadKind::WebServer)
+            .seconds(60)
+            .seed(42)
+            .build()?
+            .run()?;
 
         println!("policy {policy}:");
         println!(

@@ -6,9 +6,9 @@
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc comments
 //!   and `pat in strategy` parameters),
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
-//! * range strategies over the primitive numeric types, [`Just`], tuples
-//!   of strategies, [`collection::vec`], and the [`Strategy::prop_map`] /
-//!   [`Strategy::prop_flat_map`] combinators.
+//! * range strategies over the primitive numeric types, `Just`, tuples
+//!   of strategies, [`collection::vec`], and the `Strategy::prop_map` /
+//!   `Strategy::prop_flat_map` combinators.
 //!
 //! Cases are generated from a deterministic per-test seed (FNV-1a of the
 //! test name), so failures reproduce exactly. There is no shrinking: a
@@ -241,7 +241,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Number-of-elements specification for [`vec`].
+    /// Number-of-elements specification for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

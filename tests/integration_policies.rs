@@ -1,29 +1,36 @@
 //! Cross-crate integration: the full co-simulation reproduces the paper's
 //! §IV.A qualitative results on small configurations (kept cheap enough
-//! for debug-mode CI).
+//! for debug-mode CI), driven through the `ScenarioSpec` API.
 
-use cmosaic::experiments::{run_policy, PolicyRunConfig};
 use cmosaic::policy::PolicyKind;
+use cmosaic::{RunMetrics, ScenarioSpec};
 use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
 
-fn cfg(tiers: usize, policy: PolicyKind, workload: WorkloadKind) -> PolicyRunConfig {
-    PolicyRunConfig {
-        tiers,
-        policy,
-        workload,
-        seconds: 15,
-        seed: 9,
-        grid: GridSpec::new(8, 8).expect("static dims"),
-    }
+fn run(tiers: usize, policy: PolicyKind, workload: WorkloadKind) -> RunMetrics {
+    ScenarioSpec::new()
+        .tiers(tiers)
+        .policy(policy)
+        .coolant(if policy.is_liquid_cooled() {
+            cmosaic::CoolantChoice::Water
+        } else {
+            cmosaic::CoolantChoice::Air
+        })
+        .workload(workload)
+        .seconds(15)
+        .seed(9)
+        .grid(GridSpec::new(8, 8).expect("static dims"))
+        .build()
+        .expect("valid spec")
+        .run()
+        .expect("run succeeds")
 }
 
 #[test]
 fn liquid_cooling_eliminates_hot_spots_on_both_stacks() {
     for tiers in [2, 4] {
         for policy in [PolicyKind::LcLb, PolicyKind::LcFuzzy] {
-            let m = run_policy(&cfg(tiers, policy, WorkloadKind::MaxUtilization))
-                .expect("run succeeds");
+            let m = run(tiers, policy, WorkloadKind::MaxUtilization);
             assert_eq!(
                 m.hotspot_time_per_core, 0.0,
                 "{tiers}-tier {policy} must have no hot spots"
@@ -35,7 +42,7 @@ fn liquid_cooling_eliminates_hot_spots_on_both_stacks() {
 
 #[test]
 fn air_cooled_4_tier_exceeds_110_celsius() {
-    let m = run_policy(&cfg(4, PolicyKind::AcLb, WorkloadKind::Database)).expect("run succeeds");
+    let m = run(4, PolicyKind::AcLb, WorkloadKind::Database);
     assert!(
         m.peak_temperature.to_celsius().0 > 110.0,
         "paper: 'the maximum temperature is much higher than 110 °C', got {}",
@@ -45,9 +52,8 @@ fn air_cooled_4_tier_exceeds_110_celsius() {
 
 #[test]
 fn tdvfs_reduces_hot_spots_at_a_performance_cost() {
-    let lb = run_policy(&cfg(2, PolicyKind::AcLb, WorkloadKind::MaxUtilization)).expect("runs");
-    let tdvfs =
-        run_policy(&cfg(2, PolicyKind::AcTdvfsLb, WorkloadKind::MaxUtilization)).expect("runs");
+    let lb = run(2, PolicyKind::AcLb, WorkloadKind::MaxUtilization);
+    let tdvfs = run(2, PolicyKind::AcTdvfsLb, WorkloadKind::MaxUtilization);
     assert!(
         tdvfs.hotspot_time_per_core < lb.hotspot_time_per_core,
         "TDVFS must reduce hot-spot residency ({} !< {})",
@@ -61,8 +67,8 @@ fn tdvfs_reduces_hot_spots_at_a_performance_cost() {
 #[test]
 fn fuzzy_saves_cooling_energy_on_every_application_workload() {
     for workload in WorkloadKind::applications() {
-        let lb = run_policy(&cfg(2, PolicyKind::LcLb, workload)).expect("runs");
-        let fz = run_policy(&cfg(2, PolicyKind::LcFuzzy, workload)).expect("runs");
+        let lb = run(2, PolicyKind::LcLb, workload);
+        let fz = run(2, PolicyKind::LcFuzzy, workload);
         assert!(
             fz.pump_energy < lb.pump_energy,
             "{workload}: fuzzy pump energy {} must beat max-flow {}",
@@ -79,8 +85,8 @@ fn fuzzy_saves_cooling_energy_on_every_application_workload() {
 
 #[test]
 fn four_tier_liquid_runs_cooler_than_two_tier() {
-    let two = run_policy(&cfg(2, PolicyKind::LcLb, WorkloadKind::Database)).expect("runs");
-    let four = run_policy(&cfg(4, PolicyKind::LcLb, WorkloadKind::Database)).expect("runs");
+    let two = run(2, PolicyKind::LcLb, WorkloadKind::Database);
+    let four = run(4, PolicyKind::LcLb, WorkloadKind::Database);
     assert!(
         four.peak_temperature.0 < two.peak_temperature.0,
         "4-tier {} must be cooler than 2-tier {}",
@@ -91,17 +97,35 @@ fn four_tier_liquid_runs_cooler_than_two_tier() {
 
 #[test]
 fn runs_are_fully_deterministic() {
-    let a = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer)).expect("runs");
-    let b = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer)).expect("runs");
+    let a = run(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer);
+    let b = run(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer);
     assert_eq!(a, b);
 }
 
 #[test]
 fn mean_fuzzy_flow_sits_inside_the_table1_envelope() {
-    let m = run_policy(&cfg(2, PolicyKind::LcFuzzy, WorkloadKind::Multimedia)).expect("runs");
+    let m = run(2, PolicyKind::LcFuzzy, WorkloadKind::Multimedia);
     let q = m.mean_flow.expect("liquid cooled").to_ml_per_min();
     assert!(
         (10.0 - 1e-9..=32.3 + 1e-9).contains(&q),
         "mean flow {q} ml/min"
     );
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_run_policy_shim_is_bit_identical_to_the_scenario_path() {
+    // The deprecated flat-config path is a pure adapter: same stack,
+    // trace, policy and grid, so bitwise-equal metrics.
+    use cmosaic::experiments::{run_policy, PolicyRunConfig};
+    let legacy = run_policy(&PolicyRunConfig {
+        tiers: 2,
+        policy: PolicyKind::LcFuzzy,
+        workload: WorkloadKind::WebServer,
+        seconds: 15,
+        seed: 9,
+        grid: GridSpec::new(8, 8).expect("static dims"),
+    })
+    .expect("runs");
+    assert_eq!(legacy, run(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer));
 }

@@ -1,0 +1,217 @@
+//! Integration tests of the `ScenarioSpec`/`Study` redesign:
+//!
+//! * the fig6/fig7 datasets produced through the new `Study` API are
+//!   bit-identical at 1 and 8 threads *and* to the pre-redesign batch
+//!   outputs (the deprecated `PolicyRunConfig` matrix), with exactly one
+//!   full factorisation per (stack, grid) pattern asserted via
+//!   `SolverStats`;
+//! * the thermal-analysis donation machinery falls back safely on a
+//!   shape mismatch;
+//! * continuous flow modulation exercises the bounded LRU operator
+//!   caches without unbounded growth.
+
+use cmosaic::experiments::{fig6_dataset, fig6_study, fig7_dataset, Fig6Row};
+use cmosaic::policy::PolicyKind;
+use cmosaic::scenario::FlowSchedule;
+use cmosaic::{BatchRunner, ScenarioSpec};
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::VolumetricFlow;
+use cmosaic_power::trace::WorkloadKind;
+
+fn tiny_grid() -> GridSpec {
+    GridSpec::new(6, 6).expect("static dims")
+}
+
+const SECONDS: usize = 4;
+const SEED: u64 = 7;
+
+/// The pre-redesign Fig. 6 aggregation, reproduced verbatim over the
+/// deprecated flat-config batch path.
+#[allow(deprecated)]
+fn fig6_rows_pre_redesign(threads: usize) -> Vec<Fig6Row> {
+    use cmosaic::experiments::{fig6_scenario_matrix, figure_configurations};
+    let scenarios = fig6_scenario_matrix(SECONDS, SEED, tiny_grid());
+    let report = BatchRunner::new(threads)
+        .run(&scenarios)
+        .expect("batch runs");
+    let metric = |tiers: usize, policy: PolicyKind, wk: WorkloadKind| {
+        scenarios
+            .iter()
+            .zip(&report.outcomes)
+            .find(|(c, _)| c.tiers == tiers && c.policy == policy && c.workload == wk)
+            .map(|(_, o)| &o.metrics)
+            .expect("cell present")
+    };
+    let mut rows = Vec::new();
+    for (tiers, policy) in figure_configurations() {
+        let mut avg_core = 0.0;
+        let mut avg_any = 0.0;
+        let mut peak: f64 = 0.0;
+        let apps = WorkloadKind::applications();
+        for wk in apps {
+            let m = metric(tiers, policy, wk);
+            avg_core += m.hotspot_time_per_core * 100.0 / apps.len() as f64;
+            avg_any += m.hotspot_time_any * 100.0 / apps.len() as f64;
+            peak = peak.max(m.peak_temperature.to_celsius().0);
+        }
+        let mx = metric(tiers, policy, WorkloadKind::MaxUtilization);
+        peak = peak.max(mx.peak_temperature.to_celsius().0);
+        rows.push(Fig6Row {
+            tiers,
+            policy,
+            hotspot_avg_workload_per_core: avg_core,
+            hotspot_avg_workload_any: avg_any,
+            hotspot_max_util_per_core: mx.hotspot_time_per_core * 100.0,
+            hotspot_max_util_any: mx.hotspot_time_any * 100.0,
+            peak_celsius: peak,
+        });
+    }
+    rows
+}
+
+#[test]
+fn fig6_dataset_is_bit_identical_across_threads_and_to_the_pre_redesign_path() {
+    let serial = fig6_dataset(&BatchRunner::new(1), SECONDS, SEED, tiny_grid()).unwrap();
+    let parallel = fig6_dataset(&BatchRunner::new(8), SECONDS, SEED, tiny_grid()).unwrap();
+    assert_eq!(
+        serial, parallel,
+        "fig6 rows must not depend on thread count"
+    );
+    assert_eq!(
+        serial,
+        fig6_rows_pre_redesign(1),
+        "the Study-based dataset must reproduce the pre-redesign outputs bitwise"
+    );
+    assert_eq!(serial, fig6_rows_pre_redesign(8));
+}
+
+#[test]
+fn fig7_dataset_is_bit_identical_across_threads() {
+    let serial = fig7_dataset(&BatchRunner::new(1), SECONDS, SEED, tiny_grid()).unwrap();
+    let parallel = fig7_dataset(&BatchRunner::new(8), SECONDS, SEED, tiny_grid()).unwrap();
+    assert_eq!(
+        serial, parallel,
+        "fig7 rows must not depend on thread count"
+    );
+    assert_eq!(serial.len(), 7);
+    let baseline = &serial[0];
+    assert_eq!((baseline.tiers, baseline.policy), (2, PolicyKind::AcLb));
+    assert!((baseline.system_energy_norm - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn fig6_study_factorises_once_per_pattern_at_any_thread_count() {
+    for threads in [1usize, 8] {
+        let report = fig6_study(SECONDS, SEED, tiny_grid())
+            .run(&BatchRunner::new(threads))
+            .unwrap();
+        // 2/4 tiers x air/liquid on one grid: four operator patterns, and
+        // the SolverStats across all 28 scenarios show exactly four full
+        // pivoting factorisations — everything else rode the donated
+        // symbolic analyses.
+        assert_eq!(report.pattern_groups(), 4);
+        assert_eq!(report.total_full_factorizations(), 4, "{threads} threads");
+        let adopted: u64 = report
+            .outcomes()
+            .iter()
+            .map(|o| o.solver.adopted_symbolics)
+            .sum();
+        assert_eq!(adopted, 24, "28 scenarios minus 4 donors");
+    }
+}
+
+#[test]
+fn adopting_a_mismatched_thermal_analysis_falls_back_safely() {
+    let scenario = |grid: GridSpec| {
+        ScenarioSpec::new()
+            .grid(grid)
+            .seconds(2)
+            .seed(3)
+            .build()
+            .expect("valid spec")
+    };
+    // Donor on a 6x6 grid.
+    let donor = scenario(tiny_grid());
+    let mut donor_sim = donor.build_simulator().unwrap();
+    donor_sim.initialize().unwrap();
+    donor_sim.run(2).unwrap();
+    let analysis = donor_sim
+        .export_thermal_analysis()
+        .expect("solved at least once");
+
+    // Same pattern: the analysis is adopted.
+    let mut twin_sim = donor.build_simulator().unwrap();
+    assert!(twin_sim.adopt_thermal_analysis(&analysis));
+    twin_sim.initialize().unwrap();
+    twin_sim.run(2).unwrap();
+    let stats = twin_sim.solver_stats();
+    assert_eq!(stats.full_factorizations, 0, "{stats:?}");
+    assert!(stats.adopted_symbolics >= 1, "{stats:?}");
+
+    // Different grid => different sparsity pattern: the adoption is
+    // refused, and the simulator transparently pays its own full
+    // factorisation instead of corrupting the solve.
+    let other = scenario(GridSpec::new(8, 8).expect("static dims"));
+    let mut other_sim = other.build_simulator().unwrap();
+    assert!(
+        !other_sim.adopt_thermal_analysis(&analysis),
+        "mismatched patterns must be rejected"
+    );
+    other_sim.initialize().unwrap();
+    let mismatched = other_sim.run(2).unwrap();
+    let stats = other_sim.solver_stats();
+    assert_eq!(stats.full_factorizations, 1, "{stats:?}");
+    assert_eq!(stats.adopted_symbolics, 0, "{stats:?}");
+    assert_eq!(stats.pivot_fallbacks, 0, "{stats:?}");
+
+    // And the fallback run is bit-identical to a never-adopting run.
+    let mut clean_sim = other.build_simulator().unwrap();
+    clean_sim.initialize().unwrap();
+    assert_eq!(mismatched, clean_sim.run(2).unwrap());
+}
+
+#[test]
+fn continuous_flow_modulation_stays_inside_the_bounded_operator_caches() {
+    // A triangle sweep that visits a fresh flow almost every second for a
+    // minute: far more distinct (flow, dt) operating points than the
+    // 8-entry LRU caches hold.
+    let seconds = 60;
+    let scenario = ScenarioSpec::new()
+        .policy(PolicyKind::LcLb)
+        .flow_schedule(FlowSchedule::Sweep {
+            lo: VolumetricFlow::from_ml_per_min(10.0),
+            hi: VolumetricFlow::from_ml_per_min(32.3),
+            period: seconds,
+        })
+        .grid(tiny_grid())
+        .thermal_dt(0.5)
+        .seconds(seconds)
+        .build()
+        .unwrap();
+    let mut sim = scenario.build_simulator().unwrap();
+    sim.initialize().unwrap();
+    let m = sim.run(seconds).unwrap();
+    assert!(m.chip_energy > 0.0);
+
+    let cache = sim.cache_stats();
+    assert!(
+        cache.transient_evictions > 0,
+        "a >8-level sweep must evict transient operators, got {cache:?}"
+    );
+    assert!(cache.transient_entries <= cache.capacity, "{cache:?}");
+    assert!(cache.steady_entries <= cache.capacity, "{cache:?}");
+
+    // Evictions cost refactorisations, never a new pivoting pass.
+    let stats = sim.solver_stats();
+    assert_eq!(stats.full_factorizations, 1, "{stats:?}");
+    assert_eq!(stats.pivot_fallbacks, 0, "{stats:?}");
+    assert!(
+        stats.refactorizations > cache.capacity as u64,
+        "every evicted operating point is rebuilt numerically: {stats:?}"
+    );
+
+    // The schedule actually modulated the pump: the mean flow sits
+    // strictly inside the sweep band.
+    let q = m.mean_flow.expect("liquid cooled").to_ml_per_min();
+    assert!(q > 10.0 && q < 32.3, "mean swept flow {q} ml/min");
+}
