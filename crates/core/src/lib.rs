@@ -38,6 +38,15 @@
 //! ([`observe::EnergyBreakdown`]) and field snapshots
 //! ([`observe::ThermalMap`]).
 //!
+//! On top of studies sits the [`optimize`] module — the paper's actual
+//! point, thermally-aware *design*: a [`optimize::DesignSpace`] of
+//! indexable axes, [`optimize::Constraints`] enforced in-loop by the
+//! early-abort [`optimize::ConstraintMonitor`], and seeded deterministic
+//! [`optimize::SearchStrategy`]s ([`optimize::GridSearch`],
+//! [`optimize::CoordinateDescent`]) returning the minimum-cooling-energy
+//! design plus the [`optimize::ParetoFront`] of (energy, peak-T)
+//! trade-offs.
+//!
 //! # Batch sweeps and the workspace-reuse contract
 //!
 //! Design-space exploration runs the same stack family at many operating
@@ -118,6 +127,7 @@ pub mod experiments;
 pub mod fuzzy;
 pub mod metrics;
 pub mod observe;
+pub mod optimize;
 pub mod policy;
 pub mod scenario;
 pub mod sim;
@@ -127,12 +137,22 @@ pub use batch::{BatchReport, BatchRunner, ScenarioOutcome};
 pub use fuzzy::FuzzyController;
 pub use metrics::RunMetrics;
 pub use observe::{EpochCtx, Observer};
+pub use optimize::{
+    ConstraintMonitor, Constraints, CoordinateDescent, DesignAxis, DesignSpace, GridSearch,
+    OptimizeReport, Optimizer, ParetoFront,
+};
 pub use policy::PolicyKind;
 pub use scenario::{CoolantChoice, FlowSchedule, Scenario, ScenarioSpec};
 pub use sim::{SimConfig, Simulator};
 pub use study::{Study, StudyReport};
 
+// Deprecated shim surface, re-exported for one release so legacy
+// `cmosaic::run_policy`-style paths keep compiling. The deprecation
+// travels with the items themselves, so any use — through this root
+// path or the `experiments` module — warns; in-workspace, only the
+// shims' own pinning tests `#[allow(deprecated)]` it.
 #[allow(deprecated)]
+#[deprecated(since = "0.2.0", note = "use `scenario::ScenarioSpec` instead")]
 pub use experiments::{run_policy, PolicyRunConfig};
 
 // Re-export the substrate crates so downstream users need only one

@@ -13,7 +13,10 @@
 //!
 //! Observers compose: tuples of observers are observers, `Vec<Box<dyn
 //! Observer>>` is an observer, and `()` is the no-op observer the plain
-//! [`Simulator::run`](crate::Simulator::run) uses.
+//! [`Simulator::run`](crate::Simulator::run) uses. An observer can also
+//! end a run early: the loop polls [`Observer::should_stop`] after every
+//! epoch, the hook behind the design-space optimizer's infeasibility
+//! abort ([`ConstraintMonitor`](crate::optimize::ConstraintMonitor)).
 //!
 //! [`Simulator::run_observed`]: crate::Simulator::run_observed
 //! [`Scenario::run_observed`]: crate::scenario::Scenario::run_observed
@@ -41,7 +44,9 @@ pub struct EpochCtx<'a> {
     pub field: &'a TemperatureField,
     /// Per-core junction temperatures (area-averaged source-layer cells).
     pub core_temps: &'a [Kelvin],
-    /// Hottest junction temperature anywhere in the stack.
+    /// Hottest junction temperature anywhere in the stack over the
+    /// interval (maximum across its thermal sub-steps, the same sampling
+    /// as the run metrics — not just the interval's endpoint).
     pub peak: Kelvin,
     /// The hot-spot threshold the run is judged against.
     pub threshold: Celsius,
@@ -78,6 +83,16 @@ impl EpochCtx<'_> {
 pub trait Observer {
     /// Called once at the end of every control interval.
     fn on_epoch(&mut self, ctx: &EpochCtx<'_>);
+
+    /// Polled by the loop right after every [`Observer::on_epoch`]; return
+    /// `true` to end the run early (the interval that was just observed is
+    /// the last one simulated and accounted). The default never stops —
+    /// only deliberately early-aborting observers such as
+    /// [`ConstraintMonitor`](crate::optimize::ConstraintMonitor) override
+    /// it. Composite observers stop as soon as *any* member asks to.
+    fn should_stop(&self) -> bool {
+        false
+    }
 }
 
 /// The no-op observer (what [`Simulator::run`](crate::Simulator::run)
@@ -90,11 +105,19 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
         (**self).on_epoch(ctx);
     }
+
+    fn should_stop(&self) -> bool {
+        (**self).should_stop()
+    }
 }
 
 impl<O: Observer + ?Sized> Observer for Box<O> {
     fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
         (**self).on_epoch(ctx);
+    }
+
+    fn should_stop(&self) -> bool {
+        (**self).should_stop()
     }
 }
 
@@ -102,6 +125,10 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
         self.0.on_epoch(ctx);
         self.1.on_epoch(ctx);
+    }
+
+    fn should_stop(&self) -> bool {
+        self.0.should_stop() || self.1.should_stop()
     }
 }
 
@@ -111,6 +138,10 @@ impl<A: Observer, B: Observer, C: Observer> Observer for (A, B, C) {
         self.1.on_epoch(ctx);
         self.2.on_epoch(ctx);
     }
+
+    fn should_stop(&self) -> bool {
+        self.0.should_stop() || self.1.should_stop() || self.2.should_stop()
+    }
 }
 
 impl Observer for Vec<Box<dyn Observer + Send>> {
@@ -118,6 +149,10 @@ impl Observer for Vec<Box<dyn Observer + Send>> {
         for o in self {
             o.on_epoch(ctx);
         }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.iter().any(|o| o.should_stop())
     }
 }
 
@@ -343,5 +378,43 @@ mod tests {
         ];
         boxed.on_epoch(&ctx(&f, 0));
         ().on_epoch(&ctx(&f, 0));
+    }
+
+    /// A stub that asks to stop after a fixed number of epochs.
+    struct StopAfter {
+        left: usize,
+    }
+
+    impl Observer for StopAfter {
+        fn on_epoch(&mut self, _ctx: &EpochCtx<'_>) {
+            self.left = self.left.saturating_sub(1);
+        }
+
+        fn should_stop(&self) -> bool {
+            self.left == 0
+        }
+    }
+
+    #[test]
+    fn stop_requests_propagate_through_composites() {
+        let f = hot_field(300.0);
+        assert!(!().should_stop(), "the no-op observer never stops");
+        assert!(!PeakTemperature::new().should_stop());
+
+        let mut pair = (PeakTemperature::new(), StopAfter { left: 2 });
+        pair.on_epoch(&ctx(&f, 0));
+        assert!(!pair.should_stop());
+        pair.on_epoch(&ctx(&f, 1));
+        assert!(pair.should_stop(), "any member stopping stops the tuple");
+
+        let mut boxed: Vec<Box<dyn Observer + Send>> = vec![
+            Box::new(EnergyBreakdown::new()),
+            Box::new(StopAfter { left: 1 }),
+        ];
+        assert!(!boxed.should_stop());
+        boxed.on_epoch(&ctx(&f, 0));
+        assert!(boxed.should_stop());
+        let mref = &mut boxed;
+        assert!(Observer::should_stop(&mref), "&mut delegates");
     }
 }

@@ -1,0 +1,252 @@
+//! Thermal feasibility constraints and the early-abort observer that
+//! enforces them inside the co-simulation loop.
+
+use std::fmt;
+
+use cmosaic_materials::units::{Celsius, Kelvin};
+
+use crate::observe::{EpochCtx, Observer};
+
+/// Temperature ceilings a design must respect to be feasible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraints {
+    peak_ceiling: Celsius,
+    tier_ceilings: Vec<(usize, Celsius)>,
+}
+
+impl Constraints {
+    /// Feasible iff the hottest junction stays at or below `ceiling`
+    /// (85 °C in the paper).
+    pub fn peak_below(ceiling: Celsius) -> Self {
+        Constraints {
+            peak_ceiling: ceiling,
+            tier_ceilings: Vec::new(),
+        }
+    }
+
+    /// Additionally caps one tier's junction temperature (e.g. a DRAM
+    /// tier rated below the logic tiers). Checked at control-interval
+    /// granularity; ceilings on tiers the stack does not have are
+    /// ignored.
+    pub fn with_tier_ceiling(mut self, tier: usize, ceiling: Celsius) -> Self {
+        self.tier_ceilings.push((tier, ceiling));
+        self
+    }
+
+    /// The stack-wide peak ceiling.
+    pub fn peak_ceiling(&self) -> Celsius {
+        self.peak_ceiling
+    }
+
+    /// The per-tier ceilings, as added.
+    pub fn tier_ceilings(&self) -> &[(usize, Celsius)] {
+        &self.tier_ceilings
+    }
+
+    /// The first constraint this epoch violates, if any (stack-wide peak
+    /// first, then tier ceilings in insertion order).
+    pub fn violation_of(&self, ctx: &EpochCtx<'_>) -> Option<Violation> {
+        if ctx.peak.0 > self.peak_ceiling.to_kelvin().0 {
+            return Some(Violation {
+                epoch: ctx.epoch,
+                tier: None,
+                temperature: ctx.peak,
+                limit: self.peak_ceiling,
+            });
+        }
+        for &(tier, ceiling) in &self.tier_ceilings {
+            if tier >= ctx.n_tiers() {
+                continue;
+            }
+            let t = ctx.field.tier_max(tier);
+            if t.0 > ceiling.to_kelvin().0 {
+                return Some(Violation {
+                    epoch: ctx.epoch,
+                    tier: Some(tier),
+                    temperature: t,
+                    limit: ceiling,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// One observed constraint violation: what got too hot, when, by how
+/// much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Control interval at which the violation was observed.
+    pub epoch: usize,
+    /// The violated tier ceiling, or `None` for the stack-wide peak.
+    pub tier: Option<usize>,
+    /// The offending temperature.
+    pub temperature: Kelvin,
+    /// The ceiling it crossed.
+    pub limit: Celsius,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tier {
+            Some(tier) => write!(
+                f,
+                "tier {tier} reached {:.1} °C (> {}) at epoch {}",
+                self.temperature.to_celsius().0,
+                self.limit,
+                self.epoch
+            ),
+            None => write!(
+                f,
+                "peak reached {:.1} °C (> {}) at epoch {}",
+                self.temperature.to_celsius().0,
+                self.limit,
+                self.epoch
+            ),
+        }
+    }
+}
+
+/// Observer enforcing [`Constraints`] inside the loop: it records the
+/// first violation and — unless switched to
+/// [`observe_only`](ConstraintMonitor::observe_only) — asks the simulator
+/// to stop right there via [`Observer::should_stop`], so an infeasible
+/// design costs only the epochs up to its first violation instead of the
+/// full run.
+#[derive(Debug, Clone)]
+pub struct ConstraintMonitor {
+    constraints: Constraints,
+    abort: bool,
+    violation: Option<Violation>,
+    epochs_seen: usize,
+}
+
+impl ConstraintMonitor {
+    /// A monitor that aborts the run at the first violation.
+    pub fn new(constraints: Constraints) -> Self {
+        ConstraintMonitor {
+            constraints,
+            abort: true,
+            violation: None,
+            epochs_seen: 0,
+        }
+    }
+
+    /// Keeps recording but never aborts (for measuring what the early
+    /// abort saves, or for post-hoc feasibility of a full run).
+    pub fn observe_only(mut self) -> Self {
+        self.abort = false;
+        self
+    }
+
+    /// The first violation observed, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+
+    /// `true` once any constraint was violated.
+    pub fn is_violated(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// Control intervals this monitor actually observed (with the abort
+    /// enabled, the epochs the run cost before stopping).
+    pub fn epochs_seen(&self) -> usize {
+        self.epochs_seen
+    }
+}
+
+impl Observer for ConstraintMonitor {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        self.epochs_seen += 1;
+        if self.violation.is_none() {
+            self.violation = self.constraints.violation_of(ctx);
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        self.abort && self.violation.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_floorplan::GridSpec;
+    use cmosaic_thermal::{TemperatureField, ThermalModel, ThermalParams};
+
+    fn field_at(t: f64) -> TemperatureField {
+        ThermalModel::new(
+            &cmosaic_floorplan::stack::presets::air_cooled_mpsoc(2).expect("preset"),
+            GridSpec::new(2, 2).expect("static"),
+            ThermalParams {
+                initial: Kelvin(t),
+                ..Default::default()
+            },
+        )
+        .expect("model")
+        .current_field()
+    }
+
+    fn ctx(field: &TemperatureField, epoch: usize) -> EpochCtx<'_> {
+        EpochCtx {
+            epoch,
+            time: (epoch + 1) as f64,
+            interval: 1.0,
+            field,
+            core_temps: &[],
+            peak: field.max(),
+            threshold: Celsius(85.0),
+            chip_power: 10.0,
+            pump_power: 1.0,
+            flow: None,
+            assigned: &[],
+            vf_levels: &[],
+            grid: GridSpec::new(2, 2).expect("static"),
+        }
+    }
+
+    #[test]
+    fn monitor_records_first_violation_and_stops() {
+        let cool = field_at(Celsius(60.0).to_kelvin().0);
+        let hot = field_at(Celsius(90.0).to_kelvin().0);
+        let mut m = ConstraintMonitor::new(Constraints::peak_below(Celsius(85.0)));
+        m.on_epoch(&ctx(&cool, 0));
+        assert!(!m.is_violated() && !m.should_stop());
+        m.on_epoch(&ctx(&hot, 1));
+        assert!(m.should_stop());
+        let v = m.violation().expect("violated").clone();
+        assert_eq!(v.epoch, 1);
+        assert_eq!(v.tier, None);
+        assert!(v.to_string().contains("> 85"));
+        // Later epochs do not overwrite the first violation.
+        m.on_epoch(&ctx(&cool, 2));
+        assert_eq!(m.violation(), Some(&v));
+        assert_eq!(m.epochs_seen(), 3);
+    }
+
+    #[test]
+    fn observe_only_never_stops() {
+        let hot = field_at(Celsius(90.0).to_kelvin().0);
+        let mut m = ConstraintMonitor::new(Constraints::peak_below(Celsius(85.0))).observe_only();
+        m.on_epoch(&ctx(&hot, 0));
+        assert!(m.is_violated());
+        assert!(!m.should_stop(), "observe-only records without aborting");
+    }
+
+    #[test]
+    fn tier_ceilings_bind_per_tier_and_skip_absent_tiers() {
+        let warm = field_at(Celsius(70.0).to_kelvin().0);
+        let c = Constraints::peak_below(Celsius(85.0))
+            .with_tier_ceiling(0, Celsius(65.0))
+            .with_tier_ceiling(9, Celsius(20.0)); // tier 9 does not exist
+        let v = c.violation_of(&ctx(&warm, 3)).expect("tier 0 too hot");
+        assert_eq!(v.tier, Some(0));
+        assert_eq!(v.limit, Celsius(65.0));
+        assert!(v.to_string().starts_with("tier 0"));
+        // The stack-wide peak outranks tier ceilings.
+        let hot = field_at(Celsius(90.0).to_kelvin().0);
+        let v = c.violation_of(&ctx(&hot, 0)).expect("peak violated");
+        assert_eq!(v.tier, None);
+    }
+}

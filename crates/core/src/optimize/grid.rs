@@ -1,0 +1,27 @@
+//! Exhaustive grid search: the whole design space as one batch.
+
+use super::{Evaluator, SearchStrategy};
+use crate::CmosaicError;
+
+/// Evaluates every design of the space in lexicographic order, as a
+/// single [`BatchRunner`](crate::batch::BatchRunner) batch — the same
+/// execution path a [`Study`](crate::study::Study) runs on, so scenarios
+/// sharing a thermal-operator pattern pay one full factorisation between
+/// them and the result is bit-identical at any thread count.
+///
+/// The reference strategy: exact by construction, cost = the full
+/// cartesian product. Use it to certify an adaptive strategy on a small
+/// space, or whenever the space is cheap enough to sweep outright.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridSearch;
+
+impl SearchStrategy for GridSearch {
+    fn name(&self) -> &str {
+        "grid"
+    }
+
+    fn explore(&mut self, evaluator: &mut Evaluator<'_>) -> Result<(), CmosaicError> {
+        let points = evaluator.space().points();
+        evaluator.evaluate_all(&points)
+    }
+}

@@ -1,0 +1,141 @@
+//! The energy/temperature Pareto front a design-space search returns.
+
+use cmosaic_materials::units::Kelvin;
+
+use super::space::DesignPoint;
+
+/// One non-dominated design: its cooling energy and peak temperature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The design's level indices.
+    pub design: DesignPoint,
+    /// Human-readable design label.
+    pub label: String,
+    /// Cooling (pump) energy over the run, joules — the objective.
+    pub pump_energy: f64,
+    /// Peak junction temperature over the run.
+    pub peak: Kelvin,
+}
+
+impl ParetoPoint {
+    /// `true` when `self` is at least as good as `other` on both
+    /// objectives and strictly better on one.
+    fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.pump_energy <= other.pump_energy
+            && self.peak.0 <= other.peak.0
+            && (self.pump_energy < other.pump_energy || self.peak.0 < other.peak.0)
+    }
+}
+
+/// The set of non-dominated (pump energy, peak temperature) designs,
+/// kept sorted by ascending energy (so descending peak) — cheapest
+/// cooling first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParetoFront {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a candidate: rejected (returning `false`) if any resident
+    /// point dominates it, otherwise inserted in rank order, evicting
+    /// every point it dominates. Ties on both objectives coexist,
+    /// ordered by design indices — the same tie-break as
+    /// [`Evaluation::better_than`](super::Evaluation::better_than), so
+    /// [`ParetoFront::min_energy`] and the evaluator's best design agree
+    /// regardless of evaluation order.
+    pub fn insert(&mut self, candidate: ParetoPoint) -> bool {
+        if self.points.iter().any(|p| p.dominates(&candidate)) {
+            return false;
+        }
+        self.points.retain(|p| !candidate.dominates(p));
+        let key = |p: &ParetoPoint| (p.pump_energy, p.peak.0);
+        let pos = self.points.partition_point(|p| {
+            key(p) < key(&candidate)
+                || (key(p) == key(&candidate) && p.design.indices() < candidate.design.indices())
+        });
+        self.points.insert(pos, candidate);
+        true
+    }
+
+    /// The front, sorted by ascending pump energy.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of non-dominated designs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no design was ever accepted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cheapest-cooling design on the front.
+    pub fn min_energy(&self) -> Option<&ParetoPoint> {
+        self.points.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(design: usize, energy: f64, peak_c: f64) -> ParetoPoint {
+        ParetoPoint {
+            design: DesignPoint::new(vec![design]),
+            label: format!("d{design}"),
+            pump_energy: energy,
+            peak: Kelvin(273.15 + peak_c),
+        }
+    }
+
+    #[test]
+    fn dominated_candidates_are_rejected_and_evicted() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(pt(0, 10.0, 80.0)));
+        // Strictly worse on both axes: rejected.
+        assert!(!front.insert(pt(1, 12.0, 82.0)));
+        // Trades energy for temperature: coexists.
+        assert!(front.insert(pt(2, 6.0, 84.0)));
+        assert_eq!(front.len(), 2);
+        // Dominates both residents: evicts them.
+        assert!(front.insert(pt(3, 5.0, 79.0)));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.min_energy().unwrap().label, "d3");
+    }
+
+    #[test]
+    fn front_stays_sorted_by_energy() {
+        let mut front = ParetoFront::new();
+        front.insert(pt(0, 30.0, 60.0));
+        front.insert(pt(1, 10.0, 80.0));
+        front.insert(pt(2, 20.0, 70.0));
+        let energies: Vec<f64> = front.points().iter().map(|p| p.pump_energy).collect();
+        assert_eq!(energies, vec![10.0, 20.0, 30.0]);
+        assert_eq!(front.min_energy().unwrap().pump_energy, 10.0);
+    }
+
+    #[test]
+    fn exact_ties_coexist_ordered_by_design() {
+        let mut front = ParetoFront::new();
+        // Insert the higher-indexed design first: the tie must still rank
+        // the lower-indexed design ahead (matching `Evaluation::better_than`,
+        // whatever order a strategy evaluated them in).
+        assert!(front.insert(pt(1, 10.0, 80.0)));
+        assert!(
+            front.insert(pt(0, 10.0, 80.0)),
+            "equal point is not dominated"
+        );
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.min_energy().unwrap().label, "d0");
+        assert_eq!(front.points()[1].label, "d1");
+        assert!(ParetoFront::new().min_energy().is_none());
+    }
+}

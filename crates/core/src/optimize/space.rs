@@ -1,0 +1,355 @@
+//! The discrete design space an optimizer searches: a base
+//! [`ScenarioSpec`] plus named axes of spec transformations.
+//!
+//! Unlike a [`Study`](crate::study::Study) — which eagerly expands a flat
+//! scenario list — a [`DesignSpace`] keeps its axes *indexable*, so an
+//! adaptive strategy can move coordinate-wise ("same design, one level
+//! more coolant") without materialising the whole cartesian product. A
+//! design is a [`DesignPoint`]: one level index per axis; the space turns
+//! it back into a concrete, labelled [`ScenarioSpec`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use cmosaic_materials::units::VolumetricFlow;
+
+use crate::scenario::{CoolantChoice, FlowSchedule, ScenarioSpec};
+
+/// A spec transformation shared by every design that selects this level.
+type ApplyFn = Arc<dyn Fn(ScenarioSpec) -> ScenarioSpec + Send + Sync>;
+
+/// One selectable value of a design axis: a label plus the spec
+/// transformation it stands for.
+#[derive(Clone)]
+pub struct DesignLevel {
+    label: String,
+    apply: ApplyFn,
+}
+
+impl DesignLevel {
+    /// A level applying `f` to the spec, displayed as `label`.
+    pub fn new<F>(label: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(ScenarioSpec) -> ScenarioSpec + Send + Sync + 'static,
+    {
+        DesignLevel {
+            label: label.into(),
+            apply: Arc::new(f),
+        }
+    }
+
+    /// The level's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Debug for DesignLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("DesignLevel").field(&self.label).finish()
+    }
+}
+
+/// One named, ordered dimension of a design space.
+#[derive(Debug, Clone)]
+pub struct DesignAxis {
+    name: String,
+    levels: Vec<DesignLevel>,
+}
+
+impl DesignAxis {
+    /// A custom axis from explicit levels.
+    pub fn new(name: impl Into<String>, levels: Vec<DesignLevel>) -> Self {
+        DesignAxis {
+            name: name.into(),
+            levels,
+        }
+    }
+
+    /// A preset tier-count axis.
+    pub fn tiers(counts: impl IntoIterator<Item = usize>) -> Self {
+        Self::new(
+            "tiers",
+            counts
+                .into_iter()
+                .map(|t| DesignLevel::new(format!("{t}-tier"), move |s: ScenarioSpec| s.tiers(t)))
+                .collect(),
+        )
+    }
+
+    /// A fixed per-cavity flow-rate axis ([`FlowSchedule::Fixed`]
+    /// schedules, ordered as given).
+    pub fn flow_rates(rates: impl IntoIterator<Item = VolumetricFlow>) -> Self {
+        Self::new(
+            "flow",
+            rates
+                .into_iter()
+                .map(|q| {
+                    DesignLevel::new(format!("{:.1} ml/min", q.to_ml_per_min()), move |s| {
+                        s.flow_schedule(FlowSchedule::Fixed(q))
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    /// A coolant axis.
+    pub fn coolants(choices: impl IntoIterator<Item = CoolantChoice>) -> Self {
+        Self::new(
+            "coolant",
+            choices
+                .into_iter()
+                .map(|c| DesignLevel::new(c.to_string(), move |s| s.coolant(c.clone())))
+                .collect(),
+        )
+    }
+
+    /// A labelled flow-schedule axis.
+    pub fn flow_schedules(
+        entries: impl IntoIterator<Item = (impl Into<String>, FlowSchedule)>,
+    ) -> Self {
+        Self::new(
+            "schedule",
+            entries
+                .into_iter()
+                .map(|(label, sched)| {
+                    DesignLevel::new(label, move |s: ScenarioSpec| s.flow_schedule(sched.clone()))
+                })
+                .collect(),
+        )
+    }
+
+    /// The axis name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The axis levels, in index order.
+    pub fn levels(&self) -> &[DesignLevel] {
+        &self.levels
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` when the axis has no levels (it annihilates the space).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// One design: a level index per axis of its [`DesignSpace`], in axis
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DesignPoint(Vec<usize>);
+
+impl DesignPoint {
+    /// A point from explicit level indices.
+    pub fn new(indices: Vec<usize>) -> Self {
+        DesignPoint(indices)
+    }
+
+    /// The level indices, in axis order.
+    pub fn indices(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+/// A discrete design space: base spec × named axes.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    base: ScenarioSpec,
+    axes: Vec<DesignAxis>,
+}
+
+impl DesignSpace {
+    /// A space containing only the base design (no axes yet).
+    pub fn new(base: ScenarioSpec) -> Self {
+        DesignSpace {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Appends one axis (applied after every axis already present, so
+    /// later axes win conflicting spec fields).
+    pub fn with_axis(mut self, axis: DesignAxis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// The base spec every design starts from.
+    pub fn base(&self) -> &ScenarioSpec {
+        &self.base
+    }
+
+    /// The axes, in application order.
+    pub fn axes(&self) -> &[DesignAxis] {
+        &self.axes
+    }
+
+    /// Number of axes.
+    pub fn n_axes(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Number of designs in the space (the product of the axis sizes; 1
+    /// for an axis-less space, 0 if any axis is empty).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(DesignAxis::len).product()
+    }
+
+    /// `true` when the space contains no design at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every design of the space in lexicographic order (first axis
+    /// slowest), the order an exhaustive grid search evaluates.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let total = self.len();
+        let mut points = Vec::with_capacity(total);
+        if total == 0 {
+            return points;
+        }
+        let mut odometer = vec![0usize; self.axes.len()];
+        loop {
+            points.push(DesignPoint::new(odometer.clone()));
+            // Advance the last axis first; carry leftwards.
+            let mut axis = self.axes.len();
+            loop {
+                if axis == 0 {
+                    return points;
+                }
+                axis -= 1;
+                odometer[axis] += 1;
+                if odometer[axis] < self.axes[axis].len() {
+                    break;
+                }
+                odometer[axis] = 0;
+            }
+        }
+    }
+
+    /// The human-readable label of a design ("2-tier, 12.0 ml/min").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point does not index this space (wrong axis count or
+    /// a level index out of range).
+    pub fn label_of(&self, point: &DesignPoint) -> String {
+        self.check(point);
+        if self.axes.is_empty() {
+            return "base design".into();
+        }
+        self.axes
+            .iter()
+            .zip(point.indices())
+            .map(|(axis, &level)| axis.levels()[level].label().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Resolves a design into its concrete [`ScenarioSpec`], labelled with
+    /// [`DesignSpace::label_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point does not index this space (wrong axis count or
+    /// a level index out of range).
+    pub fn spec(&self, point: &DesignPoint) -> ScenarioSpec {
+        self.check(point);
+        let mut spec = self.base.clone();
+        for (axis, &level) in self.axes.iter().zip(point.indices()) {
+            spec = (axis.levels()[level].apply)(spec);
+        }
+        spec.label(self.label_of(point))
+    }
+
+    fn check(&self, point: &DesignPoint) {
+        assert_eq!(
+            point.indices().len(),
+            self.axes.len(),
+            "design point has {} indices, space has {} axes",
+            point.indices().len(),
+            self.axes.len()
+        );
+        for (axis, &level) in self.axes.iter().zip(point.indices()) {
+            assert!(
+                level < axis.len(),
+                "level {level} out of range for axis `{}` ({} levels)",
+                axis.name(),
+                axis.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn ml(x: f64) -> VolumetricFlow {
+        VolumetricFlow::from_ml_per_min(x)
+    }
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace::new(ScenarioSpec::new().policy(PolicyKind::LcLb).seconds(2))
+            .with_axis(DesignAxis::tiers([2, 4]))
+            .with_axis(DesignAxis::flow_rates([ml(8.0), ml(16.0), ml(32.3)]))
+    }
+
+    #[test]
+    fn points_enumerate_lexicographically() {
+        let space = tiny_space();
+        assert_eq!(space.len(), 6);
+        let pts = space.points();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0].indices(), &[0, 0]);
+        assert_eq!(pts[1].indices(), &[0, 1]);
+        assert_eq!(pts[3].indices(), &[1, 0]);
+        assert_eq!(pts[5].indices(), &[1, 2]);
+    }
+
+    #[test]
+    fn specs_resolve_with_labels() {
+        let space = tiny_space();
+        let p = DesignPoint::new(vec![1, 2]);
+        assert_eq!(space.label_of(&p), "4-tier, 32.3 ml/min");
+        let spec = space.spec(&p);
+        assert_eq!(spec.preset_tiers(), Some(4));
+        assert_eq!(
+            spec.flow_schedule_spec(),
+            &FlowSchedule::Fixed(ml(32.3)),
+            "the flow axis installs a fixed schedule"
+        );
+        assert_eq!(spec.display_label(), "4-tier, 32.3 ml/min");
+        assert!(spec.build().is_ok());
+    }
+
+    #[test]
+    fn empty_axis_annihilates_and_axisless_is_singleton() {
+        let dead = tiny_space().with_axis(DesignAxis::new("void", vec![]));
+        assert_eq!(dead.len(), 0);
+        assert!(dead.is_empty());
+        assert!(dead.points().is_empty());
+
+        let base_only = DesignSpace::new(ScenarioSpec::new().seconds(2));
+        assert_eq!(base_only.len(), 1);
+        let pts = base_only.points();
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].indices().is_empty());
+        assert_eq!(base_only.label_of(&pts[0]), "base design");
+        assert!(base_only.spec(&pts[0]).build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_levels_panic() {
+        let space = tiny_space();
+        space.spec(&DesignPoint::new(vec![0, 9]));
+    }
+}

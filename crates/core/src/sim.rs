@@ -344,6 +344,13 @@ impl Simulator {
     /// Everything else behaves exactly like [`Simulator::run`]; the no-op
     /// observer `()` compiles down to it.
     ///
+    /// After each epoch the loop polls [`Observer::should_stop`]: a `true`
+    /// ends the run right there (the epoch that was just observed is the
+    /// last one simulated), and the returned metrics cover only the
+    /// intervals that actually ran — the mechanism behind the design-space
+    /// optimizer's infeasibility early abort
+    /// ([`ConstraintMonitor`](crate::optimize::ConstraintMonitor)).
+    ///
     /// # Errors
     ///
     /// Forwards policy/power/thermal errors.
@@ -374,6 +381,7 @@ impl Simulator {
         let substeps = substeps.max(1);
         let dt = self.config.control_interval / substeps as f64;
         let threshold_k = self.config.threshold.to_kelvin();
+        let mut executed = 0;
 
         for t in 0..seconds {
             self.model.current_field_into(field);
@@ -442,7 +450,7 @@ impl Simulator {
                 if peak.0 > self.acc.peak {
                     self.acc.peak = peak.0;
                 }
-                epoch_peak = peak;
+                epoch_peak = epoch_peak.max(peak);
             }
 
             // Energy and performance accounting over the interval.
@@ -485,8 +493,12 @@ impl Simulator {
                 grid: self.config.grid,
             };
             observer.on_epoch(&ctx);
+            executed = t + 1;
+            if observer.should_stop() {
+                break;
+            }
         }
-        self.seconds_run += seconds;
+        self.seconds_run += executed;
         let liquid = self.model.is_liquid_cooled();
         Ok(self.acc.clone().finish(self.seconds_run, liquid))
     }

@@ -1,0 +1,250 @@
+//! Integration tests of the design-space optimizer:
+//!
+//! * grid search and coordinate descent agree on the optimum of the
+//!   small reference space (pinned to the known answer);
+//! * the optimize report is bit-identical at 1 vs 8 threads and across
+//!   reruns with the same seed;
+//! * the infeasibility early abort truncates infeasible runs without
+//!   changing the optimum or the Pareto front;
+//! * invalid design-space corners are skipped, not fatal;
+//! * the `ConstraintMonitor` stop request propagates through
+//!   `Simulator::run_observed` and truncates the run's metrics.
+
+use cmosaic::batch::BatchRunner;
+use cmosaic::optimize::{
+    ConstraintMonitor, Constraints, CoordinateDescent, DesignAxis, DesignPoint, DesignSpace,
+    Evaluator, GridSearch, Optimizer, SearchStrategy,
+};
+use cmosaic::policy::PolicyKind;
+use cmosaic::scenario::{CoolantChoice, FlowSchedule, ScenarioSpec};
+use cmosaic::CmosaicError;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_materials::units::{Celsius, VolumetricFlow};
+use cmosaic_power::trace::WorkloadKind;
+use cmosaic_thermal::TwoPhaseCoolant;
+
+fn ml(x: f64) -> VolumetricFlow {
+    VolumetricFlow::from_ml_per_min(x)
+}
+
+/// The small reference space: 2 tier counts x 6 fixed flow rates under
+/// the worst-case workload — low flows overheat, high flows waste pump
+/// energy, so the optimum is the lowest flow that stays under 85 °C.
+fn reference_space() -> DesignSpace {
+    let base = ScenarioSpec::new()
+        .policy(PolicyKind::LcLb)
+        .workload(WorkloadKind::MaxUtilization)
+        .grid(GridSpec::new(6, 6).expect("static"))
+        .thermal_dt(0.5)
+        .seconds(12)
+        .seed(7);
+    DesignSpace::new(base)
+        .with_axis(DesignAxis::tiers([2, 4]))
+        .with_axis(DesignAxis::flow_rates([
+            ml(6.0),
+            ml(10.0),
+            ml(14.0),
+            ml(20.0),
+            ml(26.0),
+            ml(32.3),
+        ]))
+}
+
+fn ceiling() -> Constraints {
+    Constraints::peak_below(Celsius(85.0))
+}
+
+#[test]
+fn grid_and_descent_agree_on_the_reference_optimum() {
+    let runner = BatchRunner::new(4);
+    let optimizer = Optimizer::new(reference_space(), ceiling(), &runner);
+    let grid = optimizer.run(&mut GridSearch).expect("grid runs");
+    let descent = optimizer
+        .run(&mut CoordinateDescent::seeded(3))
+        .expect("descent runs");
+
+    // Pinned optimum: the 2-tier stack at 20 ml/min — the lowest flow
+    // meeting the ceiling on the shorter stack.
+    let best = grid.best.as_ref().expect("feasible designs exist");
+    assert_eq!(best.design, DesignPoint::new(vec![0, 3]), "{}", best.label);
+    assert_eq!(best.label, "2-tier, 20.0 ml/min");
+    assert!(best.feasible && best.peak.to_celsius().0 < 85.0);
+    assert_eq!(
+        descent.best.as_ref().expect("descent feasible").design,
+        best.design,
+        "both strategies must land on the same optimum"
+    );
+    // The exhaustive sweep covered the whole space; the adaptive one at
+    // most that (memoized line sweeps).
+    assert_eq!(grid.n_evaluations(), 12);
+    assert!(descent.n_evaluations() <= 12);
+    // Every design cheaper than the optimum is infeasible (that is what
+    // makes it the optimum).
+    for e in &grid.evaluations {
+        if e.pump_energy < best.pump_energy {
+            assert!(!e.feasible, "{} undercuts the optimum feasibly", e.label);
+        }
+    }
+    // The front is ranked by energy and its cheapest point is the best.
+    let front = grid.front.points();
+    assert!(front.len() >= 2, "a trade-off curve, not a single point");
+    assert_eq!(front[0].design, best.design);
+    assert!(front
+        .windows(2)
+        .all(|w| w[0].pump_energy <= w[1].pump_energy));
+}
+
+#[test]
+fn reports_are_bit_identical_across_threads_and_reruns() {
+    let space = reference_space;
+    let serial = Optimizer::new(space(), ceiling(), &BatchRunner::new(1))
+        .run(&mut GridSearch)
+        .expect("serial grid");
+    let parallel = Optimizer::new(space(), ceiling(), &BatchRunner::new(8))
+        .run(&mut GridSearch)
+        .expect("parallel grid");
+    assert_eq!(serial, parallel, "thread count must not leak into results");
+
+    let d1 = Optimizer::new(space(), ceiling(), &BatchRunner::new(8))
+        .run(&mut CoordinateDescent::seeded(11).restarts(2))
+        .expect("descent");
+    let d2 = Optimizer::new(space(), ceiling(), &BatchRunner::new(2))
+        .run(&mut CoordinateDescent::seeded(11).restarts(2))
+        .expect("descent rerun");
+    assert_eq!(d1, d2, "same seed, same trajectory, any thread count");
+    assert_eq!(
+        d1.best.as_ref().map(|b| b.design.clone()),
+        serial.best.as_ref().map(|b| b.design.clone()),
+    );
+}
+
+#[test]
+fn early_abort_saves_epochs_without_changing_the_answer() {
+    let runner = BatchRunner::new(4);
+    let aborting = Optimizer::new(reference_space(), ceiling(), &runner)
+        .run(&mut GridSearch)
+        .expect("aborting grid");
+    let full = Optimizer::new(reference_space(), ceiling(), &runner)
+        .without_early_abort()
+        .run(&mut GridSearch)
+        .expect("non-aborting grid");
+
+    // Without the abort every design runs to its full budget.
+    assert_eq!(full.epochs_run, full.epochs_budget);
+    assert_eq!(full.early_abort_savings(), 0.0);
+    // With it, infeasible designs stop at their first violation — the
+    // reference space has 5 infeasible designs that all violate within a
+    // couple of epochs, so well under half the budget is simulated.
+    assert!(
+        aborting.epochs_run < aborting.epochs_budget,
+        "abort must truncate infeasible runs ({} vs {})",
+        aborting.epochs_run,
+        aborting.epochs_budget
+    );
+    assert!(aborting.early_abort_savings() > 0.3);
+    // Feasible designs are untouched, so best and front agree exactly.
+    assert_eq!(aborting.best, full.best);
+    assert_eq!(aborting.front, full.front);
+    // And each infeasible evaluation stopped right at its violation.
+    for e in aborting.evaluations.iter().filter(|e| !e.feasible) {
+        let v = e.violation.as_ref().expect("infeasible has a violation");
+        assert_eq!(e.epochs_run, v.epoch + 1, "{}", e.label);
+        assert_eq!(
+            e.metrics.seconds, e.epochs_run,
+            "metrics cover the truncated run"
+        );
+    }
+}
+
+/// A probing strategy used to exercise `Evaluator` corners no built-in
+/// strategy hits: skipped designs and the memoizing cache.
+struct Probe {
+    checked: bool,
+}
+
+impl SearchStrategy for Probe {
+    fn name(&self) -> &str {
+        "probe"
+    }
+
+    fn explore(&mut self, evaluator: &mut Evaluator<'_>) -> Result<(), CmosaicError> {
+        let points = evaluator.space().points();
+        // Evaluate everything twice: the second pass must be free (the
+        // cache absorbs it) and change nothing.
+        evaluator.evaluate_all(&points)?;
+        let n = evaluator.evaluations().len();
+        evaluator.evaluate_all(&points)?;
+        assert_eq!(evaluator.evaluations().len(), n, "revisits are memoized");
+        // Two-phase x fixed-flow corners are skipped with a Config error.
+        assert!(!evaluator.skipped().is_empty());
+        for (point, err) in evaluator.skipped() {
+            assert!(matches!(err, CmosaicError::Config { .. }));
+            assert!(evaluator.evaluation(point).is_none());
+            assert!(evaluator.skip_reason(point).is_some());
+        }
+        self.checked = true;
+        Ok(())
+    }
+}
+
+#[test]
+fn invalid_design_corners_are_skipped_not_fatal() {
+    let base = ScenarioSpec::new()
+        .policy(PolicyKind::LcLb)
+        .workload(WorkloadKind::WebServer)
+        .grid(GridSpec::new(6, 6).expect("static"))
+        .thermal_dt(0.5)
+        .seconds(2)
+        .seed(1);
+    let space = DesignSpace::new(base)
+        .with_axis(DesignAxis::coolants([
+            CoolantChoice::Water,
+            CoolantChoice::TwoPhase(TwoPhaseCoolant::r134a_30c(2800.0)),
+        ]))
+        .with_axis(DesignAxis::flow_schedules([
+            ("policy", FlowSchedule::Policy),
+            ("fixed", FlowSchedule::Fixed(ml(20.0))),
+        ]));
+    let runner = BatchRunner::new(2);
+    let mut probe = Probe { checked: false };
+    let report = Optimizer::new(space, ceiling(), &runner)
+        .run(&mut probe)
+        .expect("skipped corners are not errors");
+    assert!(probe.checked);
+    assert_eq!(report.skipped, 1, "exactly the two-phase x fixed cell");
+    assert_eq!(report.n_evaluations(), 3);
+    assert!(report.best.is_some());
+}
+
+#[test]
+fn constraint_monitor_truncates_a_direct_scenario_run() {
+    // An under-pumped 2-tier stack under full load violates 85 °C within
+    // a few seconds; the monitor must stop the run right there.
+    let scenario = ScenarioSpec::new()
+        .policy(PolicyKind::LcLb)
+        .workload(WorkloadKind::MaxUtilization)
+        .grid(GridSpec::new(6, 6).expect("static"))
+        .thermal_dt(0.5)
+        .flow_schedule(FlowSchedule::Fixed(ml(6.0)))
+        .seconds(30)
+        .seed(7)
+        .build()
+        .expect("valid spec");
+    let mut monitor = ConstraintMonitor::new(Constraints::peak_below(Celsius(85.0)));
+    let metrics = scenario.run_observed(&mut monitor).expect("run completes");
+    let violation = monitor.violation().expect("the design is infeasible");
+    assert!(metrics.seconds < 30, "the run was truncated");
+    assert_eq!(metrics.seconds, violation.epoch + 1);
+    assert_eq!(metrics.seconds, monitor.epochs_seen());
+    assert!(metrics.peak_temperature.to_celsius().0 > 85.0);
+
+    // The observe-only variant sees the same violation but runs in full.
+    let mut watcher = ConstraintMonitor::new(Constraints::peak_below(Celsius(85.0))).observe_only();
+    let full = scenario.run_observed(&mut watcher).expect("full run");
+    assert_eq!(full.seconds, 30);
+    assert_eq!(
+        watcher.violation().map(|v| v.epoch),
+        Some(violation.epoch),
+        "the first violation is the same either way"
+    );
+}
