@@ -26,17 +26,19 @@
 //!   [`RunMetrics`] whether it ran on 1 thread or 8 (asserted by the
 //!   tests).
 //!
-//! The donor phase is a global barrier: adopters start only after *every*
-//! donor has finished, which idles workers briefly when one group's donor
-//! is much slower than the rest (e.g. the 4-tier stacks of the fig6
-//! matrix). With donors at most one scenario per pattern group this costs
-//! a small fraction of the sweep; per-group release (adopters of group
-//! `g` unblocked as soon as donor `g` completes) would remove it without
-//! changing the deterministic structure, and is the natural next step if
-//! profiles ever show the stall mattering.
+//! Donor release is **per group**, not a global barrier: the job queue is
+//! ordered donors-first, and an adopter of pattern group `g` waits (on a
+//! condvar) only until donor `g` has published its analysis — adopters of
+//! a fast group start while a slow group's donor (e.g. the 4-tier stacks
+//! of the fig6 matrix) is still factorising. The wait is deadlock-free by
+//! construction: every donor precedes every adopter in the queue, a
+//! worker executing a donor never waits, and a failed donor publishes an
+//! empty analysis so its adopters proceed unshared. None of this changes
+//! the deterministic structure — who donates to whom is fixed by scenario
+//! order alone.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use cmosaic_thermal::{SharedAnalysis, SolverStats};
 
@@ -171,22 +173,72 @@ impl BatchRunner {
             (r, observer)
         };
         if self.share_analysis {
-            // Phase 1: donors (one per pattern group) run first and
-            // capture the group's symbolic analysis.
-            self.par_run(donors, &slots, |i| run_one(i, None));
-            let mut analyses: Vec<Option<SharedAnalysis>> = vec![None; group_reps.len()];
-            {
-                let guard = slots.lock().expect("result slots poisoned");
-                for (g, &d) in donors.iter().enumerate() {
-                    if let Some((Ok((_, _, a)), _)) = &guard[d] {
-                        analyses[g] = a.clone();
-                    }
+            // Donors-first job order plus per-group release: an adopter
+            // only ever waits for its *own* group's donor. `published[g]`
+            // is `None` until donor `g` finishes, then `Some(analysis)`
+            // (`Some(None)` for a donor that failed or had nothing to
+            // share, so adopters proceed unshared instead of waiting
+            // forever).
+            let mut jobs: Vec<usize> = donors.clone();
+            jobs.extend((0..n).filter(|i| !donors.contains(i)));
+            let published: Mutex<Vec<Option<Option<SharedAnalysis>>>> =
+                Mutex::new(vec![None; group_reps.len()]);
+            let ready = Condvar::new();
+            // Publishes a group's analysis on drop, so a donor that
+            // *panics* mid-run (not just one that returns Err) still
+            // releases its adopters — otherwise they would wait on the
+            // condvar forever and the scoped join could never complete.
+            struct PublishOnDrop<'a> {
+                g: usize,
+                table: &'a Mutex<Vec<Option<Option<SharedAnalysis>>>>,
+                ready: &'a Condvar,
+                analysis: Option<SharedAnalysis>,
+            }
+            impl Drop for PublishOnDrop<'_> {
+                fn drop(&mut self) {
+                    // Keep publishing even if another panicking worker
+                    // poisoned the lock: stranding adopters is worse.
+                    let mut guard = match self.table.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard[self.g] = Some(self.analysis.take());
+                    drop(guard);
+                    self.ready.notify_all();
                 }
             }
-            // Phase 2: everything else adopts its group's analysis.
-            let rest: Vec<usize> = (0..n).filter(|i| !donors.contains(i)).collect();
-            self.par_run(&rest, &slots, |i| {
-                run_one(i, analyses[group_of[i]].as_ref())
+            self.par_run(&jobs, &slots, |i| {
+                let g = group_of[i];
+                if donors[g] == i {
+                    let mut publish = PublishOnDrop {
+                        g,
+                        table: &published,
+                        ready: &ready,
+                        analysis: None,
+                    };
+                    let out = run_one(i, None);
+                    if let Ok((_, _, a)) = &out.0 {
+                        publish.analysis = a.clone();
+                    }
+                    drop(publish);
+                    out
+                } else {
+                    // Recover from a poisoned table the same way the drop
+                    // guard does: a panicking donor poisons the mutex as
+                    // it publishes, and adopters — this group's and every
+                    // healthy group's — must still proceed rather than
+                    // cascade a misleading secondary panic.
+                    let guard = published
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let guard = ready
+                        .wait_while(guard, |p| p[g].is_none())
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // SharedAnalysis is Arc-backed; the clone is cheap.
+                    let analysis = guard[g].clone().expect("donor published");
+                    drop(guard);
+                    run_one(i, analysis.as_ref())
+                }
             });
         } else {
             let all: Vec<usize> = (0..n).collect();
@@ -359,6 +411,71 @@ mod tests {
             .run_scenarios(&scenarios)
             .unwrap();
         assert_eq!(unshared.total_full_factorizations(), scenarios.len() as u64);
+    }
+
+    #[test]
+    fn per_group_release_keeps_identity_and_sharing_on_interleaved_groups() {
+        // Scenarios deliberately interleave two pattern groups (2-tier and
+        // 4-tier) so the donors are not the first two entries of the input
+        // order; per-group release must still hand each adopter its own
+        // group's analysis, factorise once per group, and stay
+        // bit-identical across thread counts.
+        let mk = |tiers: usize, seed: u64| {
+            ScenarioSpec::new()
+                .tiers(tiers)
+                .seed(seed)
+                .seconds(2)
+                .grid(tiny_grid())
+                .build()
+                .expect("valid spec")
+        };
+        let scenarios = vec![mk(2, 1), mk(4, 1), mk(2, 2), mk(4, 2), mk(2, 3), mk(4, 3)];
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios).unwrap();
+        let parallel = BatchRunner::new(4).run_scenarios(&scenarios).unwrap();
+        assert_eq!(serial.outcomes, parallel.outcomes);
+        assert_eq!(serial.pattern_groups, 2);
+        assert_eq!(serial.total_full_factorizations(), 2);
+        // Donors are the first scenario of each group in input order.
+        for (idx, o) in serial.outcomes.iter().enumerate() {
+            if idx < 2 {
+                assert_eq!(o.solver.full_factorizations, 1, "donor {idx}");
+            } else {
+                assert_eq!(o.solver.full_factorizations, 0, "adopter {idx}");
+                assert_eq!(o.solver.adopted_symbolics, 1, "adopter {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_donor_releases_its_adopters() {
+        // A donor that fails at run time must publish an empty analysis so
+        // its adopters are not stranded on the condvar; the batch then
+        // reports the donor's error (lowest failing index) after every
+        // scenario ran.
+        let good = ScenarioSpec::new()
+            .seconds(2)
+            .grid(tiny_grid())
+            .build()
+            .unwrap();
+        // A two-phase scenario starved to dry-out fails inside the run.
+        let failing = ScenarioSpec::new()
+            .two_phase(cmosaic_thermal::TwoPhaseCoolant::r134a_30c(8.0))
+            .policy(PolicyKind::LcLb)
+            .seconds(2)
+            .grid(tiny_grid())
+            .build()
+            .unwrap();
+        // Failing donor first, then its (also failing) group-mate, then a
+        // healthy group.
+        let scenarios = vec![failing.clone(), failing, good];
+        let r = BatchRunner::new(2).run_scenarios(&scenarios);
+        assert!(r.is_err(), "the failing donor's error must surface");
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios).unwrap_err();
+        assert_eq!(
+            r.unwrap_err().to_string(),
+            serial.to_string(),
+            "deterministic error selection across thread counts"
+        );
     }
 
     #[test]

@@ -29,8 +29,14 @@
 //! [`CmosaicError::Config`], not deep inside the simulator.
 //!
 //! Scenario *families* are [`study::Study`] values: axis products over
-//! policies, tier counts, workloads, coolants, flow schedules, seeds,
-//! grids or custom stacks, pruned with `retain` and executed as one batch.
+//! policies, tier counts, workloads, coolants, flow schedules, solver
+//! backends, seeds, grids or custom stacks, pruned with `retain` and
+//! executed as one batch. The thermal linear solver itself is selectable
+//! per scenario ([`scenario::ScenarioSpec::solver`]): direct sparse LU
+//! (default) or ILU(0)-preconditioned BiCGSTAB with automatic direct
+//! fallback — the iterative backend keeps operator setup O(nnz) on fine
+//! grids where LU fill bites (see `BENCH_iterative.json` for the
+//! measured crossover).
 //! [`observe::Observer`] hooks ride along: per-epoch callbacks receiving
 //! an [`observe::EpochCtx`] (temperature field, powers, flow, the policy's
 //! action) without forking the simulation loop — built-ins cover peak

@@ -12,6 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use cmosaic_materials::units::VolumetricFlow;
+use cmosaic_thermal::SolverBackend;
 
 use crate::scenario::{CoolantChoice, FlowSchedule, ScenarioSpec};
 
@@ -100,6 +101,19 @@ impl DesignAxis {
             choices
                 .into_iter()
                 .map(|c| DesignLevel::new(c.to_string(), move |s| s.coolant(c.clone())))
+                .collect(),
+        )
+    }
+
+    /// A thermal solver-backend axis (labels from the backend's
+    /// `Display`: `direct-lu` / `bicgstab-ilu0(tol …, cap …)`, so two
+    /// iterative operating points stay distinguishable).
+    pub fn solvers(backends: impl IntoIterator<Item = SolverBackend>) -> Self {
+        Self::new(
+            "solver",
+            backends
+                .into_iter()
+                .map(|b| DesignLevel::new(b.to_string(), move |s: ScenarioSpec| s.solver(b)))
                 .collect(),
         )
     }
@@ -344,6 +358,24 @@ mod tests {
         assert!(pts[0].indices().is_empty());
         assert_eq!(base_only.label_of(&pts[0]), "base design");
         assert!(base_only.spec(&pts[0]).build().is_ok());
+    }
+
+    #[test]
+    fn solver_axis_resolves_backends() {
+        let space =
+            DesignSpace::new(ScenarioSpec::new().policy(PolicyKind::LcLb).seconds(2)).with_axis(
+                DesignAxis::solvers([SolverBackend::DirectLu, SolverBackend::iterative()]),
+            );
+        assert_eq!(space.len(), 2);
+        let pts = space.points();
+        assert_eq!(space.label_of(&pts[0]), "direct-lu");
+        assert_eq!(
+            space.label_of(&pts[1]),
+            "bicgstab-ilu0(tol 1e-10, cap 2000)"
+        );
+        assert!(!space.spec(&pts[0]).solver_backend().is_iterative());
+        assert!(space.spec(&pts[1]).solver_backend().is_iterative());
+        assert!(space.spec(&pts[1]).build().is_ok());
     }
 
     #[test]

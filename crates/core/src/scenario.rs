@@ -41,7 +41,7 @@ use cmosaic_floorplan::GridSpec;
 use cmosaic_materials::units::{Celsius, VolumetricFlow};
 use cmosaic_power::trace::{WorkloadKind, WorkloadTrace};
 use cmosaic_power::PowerModel;
-use cmosaic_thermal::{Coolant, ThermalParams, TwoPhaseCoolant};
+use cmosaic_thermal::{Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
 
 use crate::metrics::RunMetrics;
 use crate::observe::Observer;
@@ -132,8 +132,35 @@ pub enum FlowSchedule {
 }
 
 impl FlowSchedule {
-    /// The flow override for control interval `t` (`None` leaves the
-    /// policy's command in force).
+    /// `true` when the waveform has no well-defined value at any instant:
+    /// a [`FlowSchedule::Cycle`] whose steps sum to zero seconds
+    /// (including the empty cycle) or a [`FlowSchedule::Sweep`] with a
+    /// zero period.
+    ///
+    /// [`ScenarioSpec::build`] rejects degenerate schedules outright, so
+    /// validated scenarios never carry one. `flow_at` is nevertheless
+    /// callable on *unvalidated* schedules (a `Simulator` can be handed
+    /// one directly); both degenerate shapes then take the same documented
+    /// path — no override, the policy keeps the pump — rather than
+    /// panicking or each inventing its own behaviour.
+    pub fn is_degenerate(&self) -> bool {
+        match self {
+            FlowSchedule::Policy | FlowSchedule::Fixed(_) => false,
+            FlowSchedule::Cycle(steps) => steps.iter().map(|(s, _)| s).sum::<usize>() == 0,
+            FlowSchedule::Sweep { period, .. } => *period == 0,
+        }
+    }
+
+    /// The flow override for control interval `t`.
+    ///
+    /// # Contract
+    ///
+    /// `None` means "the policy's pump command stays in force". That is
+    /// the answer for [`FlowSchedule::Policy`] always, and — deliberately,
+    /// see [`FlowSchedule::is_degenerate`] — for degenerate `Cycle`/
+    /// `Sweep` specs that slipped past validation: policy fallback on a
+    /// malformed schedule is the defined behaviour, not an accident of
+    /// the arithmetic.
     pub fn flow_at(&self, t: usize) -> Option<VolumetricFlow> {
         match self {
             FlowSchedule::Policy => None,
@@ -141,6 +168,7 @@ impl FlowSchedule {
             FlowSchedule::Cycle(steps) => {
                 let total: usize = steps.iter().map(|(s, _)| s).sum();
                 if total == 0 {
+                    // Degenerate (`is_degenerate`): no override.
                     return None;
                 }
                 let mut tt = t % total;
@@ -154,8 +182,7 @@ impl FlowSchedule {
             }
             FlowSchedule::Sweep { lo, hi, period } => {
                 if *period == 0 {
-                    // Degenerate (rejected by validation, but flow_at is
-                    // callable on unvalidated schedules): no override.
+                    // Degenerate (`is_degenerate`): no override.
                     return None;
                 }
                 let frac = (t % period) as f64 / *period as f64;
@@ -179,15 +206,17 @@ impl FlowSchedule {
                 bad(format!("flow-schedule rate must be positive, got {q}"))
             }
         };
+        // The degeneracy test is shared with `flow_at`, so validation and
+        // the unvalidated-call fallback can never drift apart.
+        if self.is_degenerate() {
+            return bad(format!(
+                "degenerate flow schedule (zero total duration): {self:?}"
+            ));
+        }
         match self {
             FlowSchedule::Policy => Ok(()),
             FlowSchedule::Fixed(q) => check_flow(*q),
-            FlowSchedule::Cycle(steps) => {
-                if steps.is_empty() || steps.iter().all(|(s, _)| *s == 0) {
-                    return bad("flow-schedule cycle needs at least one non-empty step".into());
-                }
-                steps.iter().try_for_each(|&(_, q)| check_flow(q))
-            }
+            FlowSchedule::Cycle(steps) => steps.iter().try_for_each(|&(_, q)| check_flow(q)),
             FlowSchedule::Sweep { lo, hi, period } => {
                 check_flow(*lo)?;
                 check_flow(*hi)?;
@@ -219,6 +248,7 @@ pub struct ScenarioSpec {
     workload: WorkloadSource,
     policy: PolicyKind,
     flow_schedule: FlowSchedule,
+    solver: SolverBackend,
     seconds: usize,
     seed: u64,
     thermal_dt: f64,
@@ -239,6 +269,7 @@ impl Default for ScenarioSpec {
             workload: WorkloadSource::Synthetic(WorkloadKind::WebServer),
             policy: PolicyKind::LcFuzzy,
             flow_schedule: FlowSchedule::Policy,
+            solver: SolverBackend::DirectLu,
             seconds: 120,
             seed: 42,
             thermal_dt: sim.thermal_dt,
@@ -325,6 +356,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Selects the thermal linear-solver backend (default
+    /// [`SolverBackend::DirectLu`]; see the [`SolverBackend`] docs for
+    /// when the ILU(0)-BiCGSTAB backend wins and its automatic direct
+    /// fallback).
+    pub fn solver(mut self, backend: SolverBackend) -> Self {
+        self.solver = backend;
+        self
+    }
+
     /// Sets the simulated duration in seconds.
     pub fn seconds(mut self, seconds: usize) -> Self {
         self.seconds = seconds;
@@ -406,6 +446,11 @@ impl ScenarioSpec {
         &self.flow_schedule
     }
 
+    /// The thermal solver backend.
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.solver
+    }
+
     /// Simulated seconds.
     pub fn duration(&self) -> usize {
         self.seconds
@@ -439,6 +484,9 @@ impl ScenarioSpec {
                 FlowSchedule::Sweep { .. } => "/swept-flow",
                 FlowSchedule::Policy => unreachable!("guarded by is_policy"),
             });
+        }
+        if self.solver.is_iterative() {
+            label.push_str("/bicgstab");
         }
         label
     }
@@ -562,6 +610,7 @@ impl ScenarioSpec {
             threshold: self.threshold,
             thermal: ThermalParams {
                 coolant,
+                solver: self.solver,
                 ..Default::default()
             },
             sensor_noise_std: self.sensor_noise_std,
@@ -801,15 +850,75 @@ mod tests {
         assert_eq!(sweep.flow_at(2).unwrap().0, 2.0);
         assert_eq!(sweep.flow_at(1).unwrap(), sweep.flow_at(3).unwrap());
         assert_eq!(sweep.flow_at(4).unwrap().0, 1.0);
-        // Degenerate unvalidated schedules never panic: they just decline
-        // to override.
-        let degenerate = FlowSchedule::Sweep {
+        // Degenerate unvalidated schedules never panic: both shapes take
+        // the same documented path — no override, the policy keeps the
+        // pump — and `is_degenerate` is the shared test behind it.
+        let degenerate_sweep = FlowSchedule::Sweep {
             lo: q1,
             hi: q2,
             period: 0,
         };
-        assert_eq!(degenerate.flow_at(3), None);
-        assert_eq!(FlowSchedule::Cycle(vec![(0, q1)]).flow_at(3), None);
+        for t in [0usize, 3, 17] {
+            assert_eq!(degenerate_sweep.flow_at(t), None);
+            assert_eq!(FlowSchedule::Cycle(vec![(0, q1)]).flow_at(t), None);
+            assert_eq!(FlowSchedule::Cycle(vec![(0, q1), (0, q2)]).flow_at(t), None);
+            assert_eq!(FlowSchedule::Cycle(vec![]).flow_at(t), None);
+        }
+        assert!(degenerate_sweep.is_degenerate());
+        assert!(FlowSchedule::Cycle(vec![]).is_degenerate());
+        assert!(FlowSchedule::Cycle(vec![(0, q1)]).is_degenerate());
+        assert!(!FlowSchedule::Policy.is_degenerate());
+        assert!(!FlowSchedule::Fixed(q1).is_degenerate());
+        assert!(!cycle.is_degenerate());
+        // Validation rejects exactly what flow_at declines to evaluate
+        // (plus the stricter period >= 2 bound on sweeps).
+        assert!(degenerate_sweep.validate().is_err());
+        assert!(FlowSchedule::Cycle(vec![]).validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_schedule_on_a_simulator_falls_back_to_the_policy() {
+        // A Simulator handed an unvalidated degenerate schedule directly
+        // must behave exactly like the policy-owned run.
+        let with_schedule = |schedule: Option<FlowSchedule>| {
+            let scenario = ScenarioSpec::new()
+                .grid(GridSpec::new(6, 6).expect("static"))
+                .seconds(3)
+                .build()
+                .unwrap();
+            let mut sim = scenario.build_simulator().unwrap();
+            if let Some(s) = schedule {
+                sim.set_flow_schedule(s);
+            }
+            sim.initialize().unwrap();
+            sim.run(3).unwrap()
+        };
+        let baseline = with_schedule(None);
+        let degenerate = with_schedule(Some(FlowSchedule::Cycle(vec![])));
+        assert_eq!(baseline, degenerate, "policy fallback must be exact");
+    }
+
+    #[test]
+    fn solver_backend_rides_the_spec() {
+        use cmosaic_materials::units::Kelvin;
+        let spec = ScenarioSpec::new().solver(SolverBackend::iterative());
+        assert!(spec.solver_backend().is_iterative());
+        assert!(spec.display_label().ends_with("/bicgstab"));
+        assert_eq!(
+            ScenarioSpec::new().solver_backend(),
+            SolverBackend::DirectLu,
+            "direct LU is the default"
+        );
+        // An iterative-backend scenario runs end to end.
+        let m = spec
+            .grid(GridSpec::new(6, 6).expect("static"))
+            .seconds(3)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.seconds, 3);
+        assert!(m.peak_temperature > Kelvin(0.0));
     }
 
     #[test]

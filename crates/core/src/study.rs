@@ -43,6 +43,7 @@
 use cmosaic_floorplan::stack::Stack3d;
 use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
+use cmosaic_thermal::SolverBackend;
 
 use crate::batch::{BatchRunner, ScenarioOutcome};
 use crate::metrics::RunMetrics;
@@ -150,6 +151,20 @@ impl Study {
                 .clone()
                 .into_iter()
                 .map(|q| spec.clone().flow_schedule(FlowSchedule::Fixed(q)))
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a thermal solver-backend axis
+    /// (direct-vs-iterative comparison studies). Scenarios differing only
+    /// in backend form separate operator-pattern groups, so each backend
+    /// keeps its own bit-reproducibility guarantee.
+    pub fn over_solvers(self, backends: impl IntoIterator<Item = SolverBackend> + Clone) -> Self {
+        self.over_with(|spec| {
+            backends
+                .clone()
+                .into_iter()
+                .map(|b| spec.clone().solver(b))
                 .collect()
         })
     }
@@ -385,6 +400,30 @@ mod tests {
         // The coolant followed each policy's cooling mode.
         assert!(study.specs()[0].coolant_choice() == &CoolantChoice::Air);
         assert!(study.specs()[1].coolant_choice() == &CoolantChoice::Water);
+    }
+
+    #[test]
+    fn solver_axis_expands_and_splits_pattern_groups() {
+        let study = Study::new(tiny_base())
+            .over_solvers([SolverBackend::DirectLu, SolverBackend::iterative()]);
+        assert_eq!(study.len(), 2);
+        assert!(!study.specs()[0].solver_backend().is_iterative());
+        assert!(study.specs()[1].solver_backend().is_iterative());
+        let report = study.run(&BatchRunner::new(2)).unwrap();
+        assert_eq!(report.len(), 2);
+        // Same stack/grid but different thermal params: two groups, and
+        // only the direct cell pays a full factorisation.
+        assert_eq!(report.pattern_groups(), 2);
+        let direct = &report.outcomes()[0].solver;
+        let iterative = &report.outcomes()[1].solver;
+        assert!(direct.full_factorizations >= 1);
+        assert_eq!(direct.iterative_solves, 0);
+        assert!(iterative.iterative_solves >= 1, "{iterative:?}");
+        assert_eq!(iterative.iterative_fallbacks, 0, "{iterative:?}");
+        // The two backends agree on the physics to solver tolerance.
+        let pd = report.outcomes()[0].metrics.peak_temperature.0;
+        let pi = report.outcomes()[1].metrics.peak_temperature.0;
+        assert!((pd - pi).abs() < 1e-4, "{pd} vs {pi}");
     }
 
     #[test]

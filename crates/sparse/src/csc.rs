@@ -200,8 +200,22 @@ impl CscMatrix {
     ///
     /// Panics if `x.len() != ncols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
         let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-owned buffer: `y = A·x`,
+    /// overwriting `y` completely. Bit-identical to [`CscMatrix::matvec`]
+    /// without the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec_into: x dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec_into: y dimension mismatch");
+        y.fill(0.0);
         for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
@@ -210,7 +224,6 @@ impl CscMatrix {
                 y[self.row_idx[k]] += self.values[k] * xc;
             }
         }
-        y
     }
 
     /// In-place `y += alpha · A·x`.

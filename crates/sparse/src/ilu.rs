@@ -9,6 +9,15 @@ use crate::SparseError;
 ///
 /// Intended for diagonally dominant matrices (the thermal operators are);
 /// for general matrices prefer the exact [`crate::lu`].
+///
+/// The factorisation performs no pivoting, so a diagonal entry that is
+/// structurally missing — or numerically vanishes relative to the matrix
+/// scale during elimination — is reported as [`SparseError::Singular`]
+/// rather than silently dividing by a meaningless pivot. The singularity
+/// guard is *scale-relative* (`|pivot| ≤ ε·max|A|`): a perfectly
+/// conditioned system whose entries all sit at 1e-160 factorises fine,
+/// while a pivot that has cancelled down to round-off of the largest entry
+/// is refused at any magnitude.
 #[derive(Debug, Clone)]
 pub struct Ilu0 {
     n: usize,
@@ -28,8 +37,9 @@ impl Ilu0 {
     /// # Errors
     ///
     /// Returns [`SparseError::Shape`] for non-square input and
-    /// [`SparseError::Singular`] if a diagonal entry vanishes during the
-    /// factorisation (e.g. a structurally missing diagonal).
+    /// [`SparseError::Singular`] if a diagonal entry is structurally
+    /// missing or vanishes relative to the matrix scale during the
+    /// factorisation.
     pub fn new(a: &CscMatrix) -> Result<Self, SparseError> {
         if a.nrows() != a.ncols() {
             return Err(SparseError::Shape {
@@ -41,6 +51,12 @@ impl Ilu0 {
             });
         }
         let n = a.nrows();
+
+        // Scale-relative pivot floor: a pivot at or below round-off of the
+        // largest entry is numerically zero whatever the absolute
+        // magnitude of the matrix.
+        let scale = a.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let tiny = scale * f64::EPSILON;
 
         // Convert to CSR (row-major) working form with sorted column indices.
         let at = a.transpose(); // columns of Aᵀ are rows of A
@@ -80,7 +96,7 @@ impl Ilu0 {
                     break; // columns are sorted
                 }
                 let dk = vals[diag_pos[k]];
-                if dk.abs() < 1e-300 {
+                if dk.abs() <= tiny {
                     return Err(SparseError::Singular { column: k });
                 }
                 let factor = vals[kk] / dk;
@@ -98,7 +114,7 @@ impl Ilu0 {
             for k in rowptr[i]..rowptr[i + 1] {
                 colmap[cols[k]] = usize::MAX;
             }
-            if vals[diag_pos[i]].abs() < 1e-300 {
+            if vals[diag_pos[i]].abs() <= tiny {
                 return Err(SparseError::Singular { column: i });
             }
         }
@@ -140,14 +156,37 @@ impl Ilu0 {
         self.n
     }
 
-    /// Applies the preconditioner: solves `L·U·z = r`.
+    /// Applies the preconditioner: solves `L·U·z = r` into a fresh vector.
     ///
-    /// # Panics
+    /// Prefer [`Ilu0::apply_into`] in iteration loops — it reuses a
+    /// caller-owned buffer and performs no heap allocation once warm.
     ///
-    /// Panics if `r.len() != n`.
-    pub fn apply(&self, r: &[f64]) -> Vec<f64> {
-        assert_eq!(r.len(), self.n);
-        let mut z = r.to_vec();
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] if `r.len() != n`.
+    pub fn apply(&self, r: &[f64]) -> Result<Vec<f64>, SparseError> {
+        let mut z = Vec::with_capacity(self.n);
+        self.apply_into(r, &mut z)?;
+        Ok(z)
+    }
+
+    /// Applies the preconditioner into a caller-owned buffer: solves
+    /// `L·U·z = r`, overwriting `z` completely (it is resized to `n`).
+    /// After `z` has warmed to this dimension the call performs no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] if `r.len() != n` (the buffer is
+    /// left untouched in that case).
+    pub fn apply_into(&self, r: &[f64], z: &mut Vec<f64>) -> Result<(), SparseError> {
+        if r.len() != self.n {
+            return Err(SparseError::Shape {
+                detail: format!("ILU0 apply: vector length {} != {}", r.len(), self.n),
+            });
+        }
+        z.clear();
+        z.extend_from_slice(r);
         // Forward solve (unit lower).
         for i in 0..self.n {
             let mut acc = z[i];
@@ -156,7 +195,7 @@ impl Ilu0 {
             }
             z[i] = acc;
         }
-        // Backward solve (upper, diagonal first entry of each row part).
+        // Backward solve (upper, diagonal somewhere in each row part).
         for i in (0..self.n).rev() {
             let lo = self.u_rowptr[i];
             let hi = self.u_rowptr[i + 1];
@@ -172,7 +211,7 @@ impl Ilu0 {
             }
             z[i] = acc / diag;
         }
-        z
+        Ok(())
     }
 }
 
@@ -181,23 +220,27 @@ mod tests {
     use super::*;
     use crate::triplet::TripletMatrix;
 
+    fn tridiagonal(n: usize, scale: f64) -> CscMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5 * scale);
+            if i + 1 < n {
+                t.push(i, i + 1, -scale);
+                t.push(i + 1, i, -scale);
+            }
+        }
+        t.to_csc()
+    }
+
     #[test]
     fn ilu0_is_exact_for_tridiagonal() {
         // Tridiagonal matrices have no fill, so ILU(0) == LU and the
         // preconditioner solve is the exact solve.
         let n = 9;
-        let mut t = TripletMatrix::new(n, n);
-        for i in 0..n {
-            t.push(i, i, 2.5);
-            if i + 1 < n {
-                t.push(i, i + 1, -1.0);
-                t.push(i + 1, i, -1.0);
-            }
-        }
-        let a = t.to_csc();
+        let a = tridiagonal(n, 1.0);
         let ilu = Ilu0::new(&a).unwrap();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
-        let x = ilu.apply(&b);
+        let x = ilu.apply(&b).unwrap();
         let r = a.matvec(&x);
         for (u, v) in r.iter().zip(&b) {
             assert!((u - v).abs() < 1e-10, "{u} vs {v}");
@@ -205,9 +248,74 @@ mod tests {
     }
 
     #[test]
+    fn apply_into_reuses_the_buffer_and_matches_apply() {
+        let n = 12;
+        let a = tridiagonal(n, 1.0);
+        let ilu = Ilu0::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let fresh = ilu.apply(&b).unwrap();
+        let mut z = Vec::new();
+        ilu.apply_into(&b, &mut z).unwrap();
+        assert_eq!(z, fresh, "identical bits through either entry point");
+        let cap = z.capacity();
+        for _ in 0..10 {
+            ilu.apply_into(&b, &mut z).unwrap();
+        }
+        assert_eq!(z.capacity(), cap, "warm applies must not reallocate");
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error_not_a_panic() {
+        let a = tridiagonal(4, 1.0);
+        let ilu = Ilu0::new(&a).unwrap();
+        assert!(matches!(
+            ilu.apply(&[1.0, 2.0]),
+            Err(SparseError::Shape { .. })
+        ));
+        let mut z = vec![9.0; 3];
+        assert!(matches!(
+            ilu.apply_into(&[1.0; 7], &mut z),
+            Err(SparseError::Shape { .. })
+        ));
+        assert_eq!(z, vec![9.0; 3], "buffer untouched on shape error");
+    }
+
+    #[test]
     fn missing_diagonal_is_singular() {
         let a = CscMatrix::from_triplets(2, 2, &[1, 0], &[0, 1], &[1.0, 1.0]);
         assert!(matches!(Ilu0::new(&a), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn zero_diagonal_is_singular() {
+        // The diagonal slot exists structurally but holds an exact zero.
+        let a = CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[0.0, 1.0, 1.0, 4.0]);
+        assert!(matches!(Ilu0::new(&a), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn near_zero_diagonal_relative_to_scale_is_singular() {
+        // A pivot at round-off of the matrix scale: |d| <= eps * max|A|.
+        let a =
+            CscMatrix::from_triplets(2, 2, &[0, 1, 0, 1], &[0, 0, 1, 1], &[1e-18, 1.0, 1.0, 4.0]);
+        assert!(matches!(Ilu0::new(&a), Err(SparseError::Singular { .. })));
+    }
+
+    #[test]
+    fn tiny_magnitude_systems_factor_fine() {
+        // A perfectly conditioned system scaled down to 1e-160: the old
+        // absolute 1e-300 pivot guard fired on its elimination products;
+        // the scale-relative guard must not.
+        let n = 9;
+        let a = tridiagonal(n, 1e-160);
+        let ilu = Ilu0::new(&a).expect("tiny but well-conditioned");
+        let b: Vec<f64> = (0..n).map(|i| (1.0 + i as f64) * 1e-160).collect();
+        let x = ilu.apply(&b).unwrap();
+        // Tridiagonal => exact solve: residual at the scale of b.
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10 * 1e-160, "{u} vs {v}");
+        }
     }
 
     #[test]

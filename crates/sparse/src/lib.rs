@@ -18,8 +18,12 @@
 //! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction used as a
 //!   fill-reducing column pre-ordering.
 //! * [`bicgstab`](mod@bicgstab) — BiCGSTAB with an [`ilu::Ilu0`]
-//!   preconditioner, used to cross-validate the direct solver and for
-//!   very large steady-state problems.
+//!   preconditioner: the iterative solver backend for fine grids where
+//!   direct-LU fill is a burden, also used to cross-validate the direct
+//!   solver. Breakdown detection is scale-relative (see the module docs)
+//!   and the [`bicgstab_into`] entry point performs zero heap allocation
+//!   once its [`IterativeWorkspace`] is warm — the iterative counterpart
+//!   of [`LuFactors::solve_with`] + [`SolveWorkspace`].
 //! * [`dense`] — small dense LU used by tests as an oracle.
 //!
 //! # Symbolic/numeric split
@@ -85,9 +89,12 @@ pub mod lu;
 pub mod ordering;
 pub mod triplet;
 
-pub use bicgstab::{bicgstab, BicgstabOptions, BicgstabOutcome};
+pub use bicgstab::{
+    bicgstab, bicgstab_into, BicgstabOptions, BicgstabOutcome, BicgstabSummary, IterativeWorkspace,
+};
 pub use csc::CscMatrix;
 pub use dense::DenseMatrix;
+pub use ilu::Ilu0;
 pub use lu::{LuFactors, SolveWorkspace, SymbolicLu};
 pub use triplet::TripletMatrix;
 

@@ -35,6 +35,51 @@ fn dominant_system() -> impl Strategy<Value = (CscMatrix, Vec<f64>)> {
         })
 }
 
+/// Strategy: a thermal-like 2D grid operator — a symmetric conduction
+/// Laplacian, a one-directional (upwind) advection coupling along +x and a
+/// distributed sink to ambient — with random dimensions and coefficient
+/// scales, plus a random non-negative power-like right-hand side. This is
+/// exactly the diagonally-dominant nonsymmetric structure the thermal
+/// model assembles.
+fn thermal_like_system() -> impl Strategy<Value = (CscMatrix, Vec<f64>)> {
+    (
+        2usize..=7,
+        2usize..=7,
+        0.2f64..4.0,
+        0.0f64..2.0,
+        0.02f64..0.5,
+    )
+        .prop_flat_map(|(nx, ny, g, adv, sink)| {
+            let n = nx * ny;
+            let rhs = proptest::collection::vec(0.0f64..10.0, n..=n);
+            (Just((nx, ny, g, adv, sink)), rhs)
+        })
+        .prop_map(|((nx, ny, g, adv, sink), rhs)| {
+            let n = nx * ny;
+            let mut t = TripletMatrix::new(n, n);
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = y * nx + x;
+                    if x + 1 < nx {
+                        t.stamp_conductance(i, i + 1, g);
+                    }
+                    if y + 1 < ny {
+                        t.stamp_conductance(i, i + nx, 0.7 * g);
+                    }
+                    // Upwind advection: this cell's balance gains mdot*cp
+                    // on the diagonal and couples to the upstream cell
+                    // only.
+                    if x > 0 {
+                        t.push(i, i, adv);
+                        t.push(i, i - 1, -adv);
+                    }
+                    t.push(i, i, sink); // distributed sink to ambient
+                }
+            }
+            (t.to_csc(), rhs)
+        })
+}
+
 fn dense_oracle(a: &CscMatrix, b: &[f64]) -> Vec<f64> {
     let rows = a.to_dense();
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
@@ -93,6 +138,47 @@ proptest! {
             Err(cmosaic_sparse::SparseError::Breakdown { .. }) => {}
             Err(e) => prop_assert!(false, "unexpected error {e}"),
         }
+    }
+
+    /// BiCGSTAB — preconditioned and bare — must agree with the direct LU
+    /// on every thermal-like operator. These systems are diagonally
+    /// dominant and well conditioned, so breakdown is *not* an acceptable
+    /// outcome here (unlike the fully random systems above): both solver
+    /// configurations must converge.
+    #[test]
+    fn bicgstab_cross_validates_lu_on_thermal_like_operators(
+        (a, b) in thermal_like_system(),
+    ) {
+        let direct = lu::factor(&a).unwrap().solve(&b).unwrap();
+        for use_ilu0 in [true, false] {
+            let opts = BicgstabOptions { use_ilu0, ..Default::default() };
+            let out = bicgstab(&a, &b, &opts);
+            let out = match out {
+                Ok(o) => o,
+                Err(e) => return Err(TestCaseError::fail(
+                    format!("{} solve failed: {e}", if use_ilu0 { "ILU(0)" } else { "bare" }),
+                )),
+            };
+            prop_assert!(out.residual < 1e-9, "residual {}", out.residual);
+            for (u, v) in out.x.iter().zip(&direct) {
+                prop_assert!((u - v).abs() < 1e-6 * (1.0 + v.abs()), "{u} vs {v}");
+            }
+        }
+    }
+
+    /// The zero-allocation entry point is bit-identical to the allocating
+    /// one on the same thermal-like operators.
+    #[test]
+    fn bicgstab_into_matches_bicgstab_bitwise((a, b) in thermal_like_system()) {
+        use cmosaic_sparse::{bicgstab_into, Ilu0, IterativeWorkspace};
+        let opts = BicgstabOptions::default();
+        let fresh = bicgstab(&a, &b, &opts).unwrap();
+        let m = Ilu0::new(&a).unwrap();
+        let mut ws = IterativeWorkspace::new();
+        let mut x = vec![0.0; a.nrows()];
+        let summary = bicgstab_into(&a, &b, Some(&m), &opts, &mut ws, &mut x).unwrap();
+        prop_assert_eq!(x, fresh.x);
+        prop_assert_eq!(summary.iterations, fresh.iterations);
     }
 
     /// A numeric refactorisation over the frozen pattern must agree with a

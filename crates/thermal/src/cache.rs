@@ -37,11 +37,7 @@ impl<K: Eq + Copy, V> LruCache<K, V> {
     /// already-most-recent entry (the common case in a control loop that
     /// dwells on one operating point) skips the recency move entirely.
     pub fn get(&mut self, k: &K) -> Option<&V> {
-        let idx = self.entries.iter().position(|(key, _)| key == k)?;
-        if idx + 1 != self.entries.len() {
-            self.entries[idx..].rotate_left(1);
-        }
-        Some(&self.entries.last().expect("non-empty after hit").1)
+        self.get_mut(k).map(|v| &*v)
     }
 
     /// Looks up `k` without touching recency (usable through `&self`).
@@ -50,6 +46,15 @@ impl<K: Eq + Copy, V> LruCache<K, V> {
             .iter()
             .find(|(key, _)| key == k)
             .map(|(_, v)| v)
+    }
+
+    /// Mutable lookup, marking `k` most recently used.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        let idx = self.entries.iter().position(|(key, _)| key == k)?;
+        if idx + 1 != self.entries.len() {
+            self.entries[idx..].rotate_left(1);
+        }
+        Some(&mut self.entries.last_mut().expect("non-empty after hit").1)
     }
 
     /// Inserts or replaces `k`, evicting the least recently used entry if

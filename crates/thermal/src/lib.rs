@@ -53,6 +53,28 @@
 //! [`ThermalModel::solver_stats`] and [`ThermalModel::cached_operators`]
 //! expose the full/refactor/fallback counters and cache evictions.
 //!
+//! # Solver backends
+//!
+//! [`ThermalParams::solver`] selects how each cached operator is solved:
+//!
+//! * [`SolverBackend::DirectLu`] (default) — the split direct solver
+//!   described above. Fastest at the paper's 12×12-per-layer grids.
+//! * [`SolverBackend::IterativeIlu0`] — ILU(0)-preconditioned BiCGSTAB.
+//!   The preconditioner reuses the operator's own sparsity pattern (zero
+//!   fill), so cost and memory stay O(nnz) as the grid refines — the
+//!   regime where direct-LU fill becomes the bottleneck (see
+//!   `BENCH_iterative.json` for the measured crossover).
+//!
+//! **Fallback contract.** The iterative backend never fails where the
+//! direct backend would succeed: on BiCGSTAB `Breakdown`/`NoConvergence`
+//! (or an ILU(0) construction failure) the model transparently re-solves
+//! through direct LU — factorising that operator lazily, once — and
+//! counts the event in [`SolverStats::iterative_fallbacks`]. Both
+//! backends run through the same persistent workspace, so the warm path
+//! stays allocation-free either way, and each backend is bit-reproducible
+//! across runs and thread counts (the two backends agree with each other
+//! to the configured iteration tolerance, not bitwise).
+//!
 //! # Zero-allocation hot path and analysis sharing
 //!
 //! Every model owns a persistent workspace (operator values, RHS, the
@@ -107,7 +129,7 @@ pub use field::TemperatureField;
 pub use model::{
     CacheStats, PatternSignature, SharedAnalysis, SolverStats, ThermalModel, TwoPhaseSummary,
 };
-pub use params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
+pub use params::{AdvectionScheme, Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
 
 use cmosaic_floorplan::FloorplanError;
 use cmosaic_materials::MaterialError;

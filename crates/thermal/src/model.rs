@@ -21,12 +21,13 @@ use cmosaic_hydraulics::duct::ChannelGeometry;
 use cmosaic_hydraulics::LiquidProperties;
 use cmosaic_materials::units::{Kelvin, Pressure, VolumetricFlow};
 use cmosaic_sparse::{
-    lu, CscMatrix, LuFactors, SolveWorkspace, SparseError, SymbolicLu, TripletMatrix,
+    bicgstab_into, lu, BicgstabOptions, CscMatrix, Ilu0, IterativeWorkspace, LuFactors,
+    SolveWorkspace, SparseError, SymbolicLu, TripletMatrix,
 };
 
 use crate::cache::LruCache;
 use crate::field::TemperatureField;
-use crate::params::{AdvectionScheme, Coolant, ThermalParams, TwoPhaseCoolant};
+use crate::params::{AdvectionScheme, Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
 use crate::ThermalError;
 
 /// Bound on each operator cache (steady and transient separately): a
@@ -47,9 +48,29 @@ enum LayerModel {
     },
 }
 
+/// The iterative half of a cached operator: the assembled matrix (kept for
+/// matvecs — the direct path only needs its factors) and the ILU(0)
+/// preconditioner built from it.
+#[derive(Debug, Clone)]
+struct IterativeOperator {
+    csc: CscMatrix,
+    ilu: Ilu0,
+}
+
+/// One factorised/preconditioned operator at one exact operating point.
+///
+/// Under [`SolverBackend::DirectLu`], `factors` is always present and
+/// `iterative` absent. Under [`SolverBackend::IterativeIlu0`],
+/// `iterative` is present and `factors` starts out `None` — the expensive
+/// LU is built lazily, only if a solve at this operating point ever has
+/// to fall back to the direct path; the first fallback also *retires*
+/// `iterative` (set back to `None`), so later solves at this operating
+/// point go straight to the cached factors instead of re-running a
+/// doomed iteration.
 #[derive(Debug, Clone)]
 struct CachedOperator {
-    factors: LuFactors,
+    factors: Option<LuFactors>,
+    iterative: Option<IterativeOperator>,
     /// Flow-dependent constant RHS (advection inlet terms, sink ambient).
     rhs_base: Vec<f64>,
 }
@@ -106,6 +127,8 @@ struct ModelWorkspace {
     refactor_scratch: Vec<f64>,
     /// Forward/backward triangular-solve scratch.
     lu: SolveWorkspace,
+    /// BiCGSTAB scratch of the iterative backend.
+    iter: IterativeWorkspace,
     /// Buffer (re)allocations since the last drain into `SolverStats`.
     grows: u64,
 }
@@ -161,6 +184,18 @@ pub struct SolverStats {
     /// Symbolic analyses adopted from a [`SharedAnalysis`] donor instead
     /// of being captured by a local full factorisation.
     pub adopted_symbolics: u64,
+    /// Solves served by the ILU(0)-BiCGSTAB backend.
+    pub iterative_solves: u64,
+    /// Total BiCGSTAB iterations across those solves (diagnosing
+    /// preconditioner quality and the direct-vs-iterative crossover).
+    pub iterative_iterations: u64,
+    /// Times the iterative backend handed an operator to the direct
+    /// path: BiCGSTAB breakdown, non-convergence, or an ILU(0)
+    /// construction failure. Each event retires that cached operator to
+    /// direct solves for the rest of its cache lifetime, so the counter
+    /// advances once per retirement, not once per subsequent solve. A
+    /// healthy diagonally-dominant model keeps this at zero.
+    pub iterative_fallbacks: u64,
 }
 
 /// Occupancy and eviction statistics of the bounded operator caches.
@@ -285,11 +320,8 @@ impl OperatorSkeleton {
 
     /// Rewrites the operator values and factorises into `target`, reusing
     /// `target`'s allocations when its shapes already match the frozen
-    /// pattern: a numeric refactorisation whenever a symbolic analysis
-    /// exists, with automatic fallback to (and capture of) a fresh
-    /// pivoting factorisation on pivot-growth degradation — or on a
-    /// pattern mismatch of an *adopted* symbolic analysis, which makes
-    /// adoption always safe.
+    /// pattern. See [`factorize_pattern_into`] for the refactor/fallback
+    /// behaviour.
     fn factorize_into(
         &mut self,
         vals: &[f64],
@@ -299,42 +331,95 @@ impl OperatorSkeleton {
     ) -> Result<(), SparseError> {
         self.csc.update_values(&self.map, vals);
         stats.value_updates += 1;
-        if let Some(sym) = &self.symbolic {
-            // The refactorisation sizes `scratch` to n internally; account
-            // for the growth here so `workspace_grows` covers every
-            // persistent buffer, as its documentation promises.
-            if scratch.capacity() < sym.n() {
-                stats.workspace_grows += 1;
-            }
-            let shapes_fit = target.as_ref().is_some_and(|f| {
-                f.n() == sym.n() && f.nnz_l() == sym.nnz_l() && f.nnz_u() == sym.nnz_u()
-            });
-            if !shapes_fit {
-                *target = Some(sym.allocate_factors());
-            }
-            let f = target.as_mut().expect("just ensured");
-            match sym.refactor_into_with(&self.csc, f, scratch) {
-                Ok(()) => {
-                    stats.refactorizations += 1;
-                    return Ok(());
-                }
-                Err(SparseError::UnstablePivot { .. }) => {
-                    stats.pivot_fallbacks += 1;
-                }
-                Err(SparseError::Shape { .. }) if self.adopted => {
-                    // The donor's signature matched but its pattern does
-                    // not: discard the adoption and re-analyse locally.
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        let (factors, symbolic) = lu::factor_with_symbolic(&self.csc, lu::ColumnOrdering::Rcm)?;
-        stats.full_factorizations += 1;
-        self.symbolic = Some(Arc::new(symbolic));
-        self.adopted = false;
-        *target = Some(factors);
-        Ok(())
+        factorize_pattern_into(
+            &mut self.symbolic,
+            &mut self.adopted,
+            &self.csc,
+            target,
+            stats,
+            scratch,
+        )
     }
+}
+
+/// Builds the direct-LU flavour of a cached operator from the skeleton's
+/// freshly value-updated matrix: the primary [`SolverBackend::DirectLu`]
+/// path, and the build-time fallback when an ILU(0) preconditioner cannot
+/// be constructed.
+fn direct_operator(
+    skel: &mut OperatorSkeleton,
+    ws: &mut ModelWorkspace,
+    stats: &mut SolverStats,
+) -> Result<CachedOperator, SparseError> {
+    let mut factors = None;
+    factorize_pattern_into(
+        &mut skel.symbolic,
+        &mut skel.adopted,
+        &skel.csc,
+        &mut factors,
+        stats,
+        &mut ws.refactor_scratch,
+    )?;
+    Ok(CachedOperator {
+        factors,
+        iterative: None,
+        rhs_base: ws.rhs.clone(),
+    })
+}
+
+/// Factorises `a` into `target` over the skeleton's frozen symbolic
+/// analysis: a numeric refactorisation whenever an analysis exists, with
+/// automatic fallback to (and capture of) a fresh pivoting factorisation
+/// on pivot-growth degradation — or on a pattern mismatch of an *adopted*
+/// analysis, which makes adoption always safe.
+///
+/// A free function over the skeleton's fields (rather than a method) so
+/// callers can factorise a matrix held elsewhere — e.g. the CSC snapshot
+/// inside a cached iterative operator when a BiCGSTAB solve falls back to
+/// direct LU — while the skeleton and the cache are borrowed side by side.
+fn factorize_pattern_into(
+    symbolic: &mut Option<Arc<SymbolicLu>>,
+    adopted: &mut bool,
+    a: &CscMatrix,
+    target: &mut Option<LuFactors>,
+    stats: &mut SolverStats,
+    scratch: &mut Vec<f64>,
+) -> Result<(), SparseError> {
+    if let Some(sym) = &*symbolic {
+        // The refactorisation sizes `scratch` to n internally; account
+        // for the growth here so `workspace_grows` covers every
+        // persistent buffer, as its documentation promises.
+        if scratch.capacity() < sym.n() {
+            stats.workspace_grows += 1;
+        }
+        let shapes_fit = target.as_ref().is_some_and(|f| {
+            f.n() == sym.n() && f.nnz_l() == sym.nnz_l() && f.nnz_u() == sym.nnz_u()
+        });
+        if !shapes_fit {
+            *target = Some(sym.allocate_factors());
+        }
+        let f = target.as_mut().expect("just ensured");
+        match sym.refactor_into_with(a, f, scratch) {
+            Ok(()) => {
+                stats.refactorizations += 1;
+                return Ok(());
+            }
+            Err(SparseError::UnstablePivot { .. }) => {
+                stats.pivot_fallbacks += 1;
+            }
+            Err(SparseError::Shape { .. }) if *adopted => {
+                // The donor's signature matched but its pattern does
+                // not: discard the adoption and re-analyse locally.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let (factors, sym) = lu::factor_with_symbolic(a, lu::ColumnOrdering::Rcm)?;
+    stats.full_factorizations += 1;
+    *symbolic = Some(Arc::new(sym));
+    *adopted = false;
+    *target = Some(factors);
+    Ok(())
 }
 
 /// The compact transient thermal model of one 3D stack.
@@ -945,57 +1030,147 @@ impl ThermalModel {
     }
 
     fn ensure_steady(&mut self, ws: &mut ModelWorkspace) -> Result<(), ThermalError> {
-        let key = self.steady_key();
-        if self.steady_cache.get(&key).is_some() {
-            return Ok(());
-        }
-        self.check_flow_set()?;
-        if self.skeleton.is_none() {
-            self.skeleton = Some(self.build_skeleton());
-        }
-        self.operator_values_into(self.flow, None, ws)?;
-        let mut factors = None;
-        self.skeleton.as_mut().expect("just built").factorize_into(
-            &ws.vals,
-            &mut factors,
-            &mut self.stats,
-            &mut ws.refactor_scratch,
-        )?;
-        self.steady_cache.insert(
-            key,
-            CachedOperator {
-                factors: factors.expect("factorised"),
-                rhs_base: ws.rhs.clone(),
-            },
-        );
-        Ok(())
+        self.ensure_operator(self.steady_key(), None, ws)
     }
 
     fn ensure_transient(&mut self, dt: f64, ws: &mut ModelWorkspace) -> Result<(), ThermalError> {
-        let key = self.transient_key(dt);
-        if self.transient_cache.get(&key).is_some() {
+        self.ensure_operator(self.transient_key(dt), Some(dt), ws)
+    }
+
+    /// Builds (or confirms) the cached operator for one exact operating
+    /// point: an O(nnz) value rewrite of the skeleton, then either a
+    /// direct-LU factorisation or — under the iterative backend — an
+    /// ILU(0) preconditioner plus a snapshot of the assembled matrix,
+    /// with the LU deferred until a solve actually falls back.
+    fn ensure_operator(
+        &mut self,
+        key: OperatorKey,
+        dt: Option<f64>,
+        ws: &mut ModelWorkspace,
+    ) -> Result<(), ThermalError> {
+        let cache = if dt.is_some() {
+            &mut self.transient_cache
+        } else {
+            &mut self.steady_cache
+        };
+        if cache.get(&key).is_some() {
             return Ok(());
         }
         self.check_flow_set()?;
         if self.skeleton.is_none() {
             self.skeleton = Some(self.build_skeleton());
         }
-        self.operator_values_into(self.flow, Some(dt), ws)?;
-        let mut factors = None;
-        self.skeleton.as_mut().expect("just built").factorize_into(
-            &ws.vals,
-            &mut factors,
-            &mut self.stats,
-            &mut ws.refactor_scratch,
-        )?;
-        self.transient_cache.insert(
-            key,
-            CachedOperator {
-                factors: factors.expect("factorised"),
-                rhs_base: ws.rhs.clone(),
+        self.operator_values_into(self.flow, dt, ws)?;
+        let skel = self.skeleton.as_mut().expect("just built");
+        skel.csc.update_values(&skel.map, &ws.vals);
+        self.stats.value_updates += 1;
+        let op = match self.params.solver {
+            SolverBackend::DirectLu => direct_operator(skel, ws, &mut self.stats)?,
+            SolverBackend::IterativeIlu0 { .. } => match Ilu0::new(&skel.csc) {
+                Ok(ilu) => CachedOperator {
+                    factors: None,
+                    iterative: Some(IterativeOperator {
+                        csc: skel.csc.clone(),
+                        ilu,
+                    }),
+                    rhs_base: ws.rhs.clone(),
+                },
+                Err(SparseError::Singular { .. }) => {
+                    // The preconditioner could not be built: this operating
+                    // point runs on the direct path from the start.
+                    self.stats.iterative_fallbacks += 1;
+                    direct_operator(skel, ws, &mut self.stats)?
+                }
+                Err(e) => return Err(e.into()),
             },
-        );
+        };
+        let cache = if dt.is_some() {
+            &mut self.transient_cache
+        } else {
+            &mut self.steady_cache
+        };
+        cache.insert(key, op);
         Ok(())
+    }
+
+    /// Solves the cached operator at `key` for the RHS already assembled
+    /// in `ws.rhs`, writing the solution into `dst` (fully overwritten).
+    ///
+    /// Under the iterative backend this runs ILU(0)-BiCGSTAB through the
+    /// persistent workspace; on `Breakdown`/`NoConvergence` it falls back
+    /// to direct LU — factorising (and caching) the operator's LU on
+    /// first need — and records the event in
+    /// [`SolverStats::iterative_fallbacks`]. An associated function over
+    /// disjoint fields so both solve paths can borrow the cache, the
+    /// skeleton and the workspace side by side.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_operator(
+        cache: &mut LruCache<OperatorKey, CachedOperator>,
+        skel: &mut OperatorSkeleton,
+        backend: SolverBackend,
+        key: OperatorKey,
+        ws: &mut ModelWorkspace,
+        dst: &mut [f64],
+        stats: &mut SolverStats,
+    ) -> Result<(), SparseError> {
+        let op = cache.get_mut(&key).expect("operator ensured");
+        let CachedOperator {
+            factors, iterative, ..
+        } = op;
+        if let (
+            SolverBackend::IterativeIlu0 {
+                tolerance,
+                max_iterations,
+            },
+            Some(itop),
+        ) = (backend, iterative.as_ref())
+        {
+            let opts = BicgstabOptions {
+                tolerance,
+                max_iterations,
+                use_ilu0: true,
+            };
+            match bicgstab_into(
+                &itop.csc,
+                &ws.rhs,
+                Some(&itop.ilu),
+                &opts,
+                &mut ws.iter,
+                dst,
+            ) {
+                Ok(summary) => {
+                    stats.iterative_solves += 1;
+                    stats.iterative_iterations += summary.iterations as u64;
+                    return Ok(());
+                }
+                Err(SparseError::Breakdown { .. } | SparseError::NoConvergence { .. }) => {
+                    // Automatic direct fallback: factorise this operator's
+                    // matrix snapshot and solve exactly. The operator is
+                    // then *retired* to the direct path for the rest of
+                    // its cache lifetime — re-running a doomed BiCGSTAB
+                    // attempt (up to max_iterations of matvecs) before
+                    // every warm repeat solve would be far slower than
+                    // DirectLu with nothing but a counter as a clue. An
+                    // eviction-and-rebuild gives the iterative path a
+                    // fresh chance.
+                    stats.iterative_fallbacks += 1;
+                    if factors.is_none() {
+                        factorize_pattern_into(
+                            &mut skel.symbolic,
+                            &mut skel.adopted,
+                            &itop.csc,
+                            factors,
+                            stats,
+                            &mut ws.refactor_scratch,
+                        )?;
+                    }
+                    *iterative = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let f = factors.as_ref().expect("direct factors present");
+        f.solve_with(&mut ws.lu, &ws.rhs, dst)
     }
 
     fn scatter_powers(
@@ -1083,7 +1258,8 @@ impl ThermalModel {
     }
 
     /// The workspace-routed steady solve: cached operator lookup, RHS
-    /// assembly and triangular solve without any per-call allocation.
+    /// assembly and backend-selected solve without any per-call
+    /// allocation.
     fn steady_core(
         &mut self,
         ws: &mut ModelWorkspace,
@@ -1091,11 +1267,21 @@ impl ThermalModel {
     ) -> Result<(), ThermalError> {
         self.ensure_steady(ws)?;
         let key = self.steady_key();
-        let op = self.steady_cache.peek(&key).expect("ensured above");
-        copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
+        {
+            let op = self.steady_cache.peek(&key).expect("ensured above");
+            copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
+        }
         self.scatter_powers(tier_powers, &mut ws.rhs)?;
-        op.factors
-            .solve_with(&mut ws.lu, &ws.rhs, &mut self.state)?;
+        let skel = self.skeleton.as_mut().expect("ensured above");
+        Self::solve_operator(
+            &mut self.steady_cache,
+            skel,
+            self.params.solver,
+            key,
+            ws,
+            &mut self.state,
+            &mut self.stats,
+        )?;
         self.stats.in_place_solves += 1;
         Ok(())
     }
@@ -1524,15 +1710,31 @@ impl ThermalModel {
     ) -> Result<(), ThermalError> {
         self.ensure_transient(dt, ws)?;
         let key = self.transient_key(dt);
-        let op = self.transient_cache.peek(&key).expect("ensured above");
-        copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
+        {
+            let op = self.transient_cache.peek(&key).expect("ensured above");
+            copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
+        }
         self.scatter_powers(tier_powers, &mut ws.rhs)?;
         for ((r, &c), &s) in ws.rhs.iter_mut().zip(&self.capacitance).zip(&self.state) {
             *r += c / dt * s;
         }
         ensure_len(&mut ws.next_state, self.n_nodes, &mut ws.grows);
-        op.factors
-            .solve_with(&mut ws.lu, &ws.rhs, &mut ws.next_state)?;
+        // The solution target is lifted out of the workspace for the call
+        // (mem::take of a Vec is pointer-swap, not allocation) so the
+        // solver can borrow the rest of the workspace alongside it.
+        let mut next = std::mem::take(&mut ws.next_state);
+        let skel = self.skeleton.as_mut().expect("ensured above");
+        let r = Self::solve_operator(
+            &mut self.transient_cache,
+            skel,
+            self.params.solver,
+            key,
+            ws,
+            &mut next,
+            &mut self.stats,
+        );
+        ws.next_state = next;
+        r?;
         // Ping-pong: the solved buffer becomes the state, the old state
         // becomes next step's solution target.
         std::mem::swap(&mut self.state, &mut ws.next_state);
@@ -1627,7 +1829,7 @@ impl ThermalModel {
     /// contract.
     pub fn solver_stats(&self) -> SolverStats {
         let mut s = self.stats;
-        s.workspace_grows += self.workspace.lu.grows();
+        s.workspace_grows += self.workspace.lu.grows() + self.workspace.iter.grows();
         s
     }
 
@@ -2346,6 +2548,173 @@ mod tests {
         let mut other = ThermalModel::new(&stack, g2, ThermalParams::default()).unwrap();
         assert!(!other.adopt_analysis(&analysis));
         assert_eq!(other.solver_stats().adopted_symbolics, 0);
+    }
+
+    fn iterative_params() -> ThermalParams {
+        ThermalParams {
+            solver: SolverBackend::iterative(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn iterative_backend_matches_direct_steady_state() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(25.0);
+
+        let mut direct = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        direct.set_flow_rate(q).unwrap();
+        let fd = direct.steady_state(&powers).unwrap();
+
+        let mut iter = ThermalModel::new(&stack, g, iterative_params()).unwrap();
+        iter.set_flow_rate(q).unwrap();
+        let fi = iter.steady_state(&powers).unwrap();
+
+        for (u, v) in fi.cells().iter().zip(fd.cells()) {
+            assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+        }
+        let s = iter.solver_stats();
+        assert_eq!(s.iterative_solves, 1, "{s:?}");
+        assert_eq!(s.iterative_fallbacks, 0, "{s:?}");
+        assert_eq!(
+            s.full_factorizations, 0,
+            "a clean iterative run never pays for an LU: {s:?}"
+        );
+        assert!(s.iterative_iterations >= 1);
+    }
+
+    #[test]
+    fn iterative_backend_matches_direct_transient_march() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(25.0);
+
+        let mut direct = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        direct.set_flow_rate(q).unwrap();
+        let mut iter = ThermalModel::new(&stack, g, iterative_params()).unwrap();
+        iter.set_flow_rate(q).unwrap();
+
+        for _ in 0..40 {
+            let fd = direct.step(&powers, 0.25).unwrap();
+            let fi = iter.step(&powers, 0.25).unwrap();
+            for (u, v) in fi.cells().iter().zip(fd.cells()) {
+                assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+            }
+        }
+        let s = iter.solver_stats();
+        assert_eq!(s.iterative_solves, 40, "{s:?}");
+        assert_eq!(s.iterative_fallbacks, 0, "{s:?}");
+        assert_eq!(s.full_factorizations, 0, "{s:?}");
+    }
+
+    #[test]
+    fn warm_iterative_transient_path_is_allocation_free() {
+        // The zero-allocation contract holds for the iterative backend
+        // too: once the operator, preconditioner and BiCGSTAB workspace
+        // are warm, stepping grows no buffer.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let mut m = ThermalModel::new(&stack, g, iterative_params()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let mut field = m.current_field();
+        m.step_into(&powers, 0.25, &mut field).unwrap();
+        m.step_into(&powers, 0.25, &mut field).unwrap();
+        let warm = m.solver_stats();
+        for _ in 0..100 {
+            m.step_into(&powers, 0.25, &mut field).unwrap();
+        }
+        let s = m.solver_stats();
+        assert_eq!(
+            s.workspace_grows, warm.workspace_grows,
+            "warm iterative sub-steps must not grow any workspace buffer: {s:?}"
+        );
+        assert_eq!(s.iterative_solves, warm.iterative_solves + 100);
+        assert_eq!(s.iterative_fallbacks, 0);
+    }
+
+    #[test]
+    fn iterative_runs_are_bit_reproducible() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 25.0, g.cell_count());
+        let run = || {
+            let mut m = ThermalModel::new(&stack, g, iterative_params()).unwrap();
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+                .unwrap();
+            let mut out = m.steady_state(&powers).unwrap().raw().to_vec();
+            for _ in 0..5 {
+                out = m.step(&powers, 0.25).unwrap().raw().to_vec();
+            }
+            out
+        };
+        assert_eq!(run(), run(), "identical bits run to run");
+    }
+
+    #[test]
+    fn impossible_iteration_cap_falls_back_to_direct() {
+        // A zero-iteration cap can never converge: the first solve lands
+        // on the direct-LU fallback, which retires the operator to the
+        // direct path — one lazy factorisation, one recorded fallback,
+        // and later solves skip the doomed BiCGSTAB attempt entirely.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(6, 6).unwrap();
+        let params = ThermalParams {
+            solver: SolverBackend::IterativeIlu0 {
+                tolerance: 1e-10,
+                max_iterations: 0,
+            },
+            ..Default::default()
+        };
+        let powers = uniform_powers(2, 15.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(20.0);
+
+        let mut m = ThermalModel::new(&stack, g, params).unwrap();
+        m.set_flow_rate(q).unwrap();
+        let fa = m.steady_state(&powers).unwrap();
+        m.steady_state(&powers).unwrap();
+        let s = m.solver_stats();
+        assert_eq!(s.iterative_solves, 0, "{s:?}");
+        assert_eq!(
+            s.iterative_fallbacks, 1,
+            "the operator is retired after its first fallback: {s:?}"
+        );
+        assert_eq!(
+            s.full_factorizations, 1,
+            "the fallback LU is cached after the first use: {s:?}"
+        );
+
+        let mut direct = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        direct.set_flow_rate(q).unwrap();
+        let fb = direct.steady_state(&powers).unwrap();
+        for (u, v) in fa.cells().iter().zip(fb.cells()) {
+            assert!(
+                (u - v).abs() < 1e-9,
+                "fallback must match direct: {u} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn iterative_two_phase_rides_the_direct_path() {
+        // The two-phase fixed-point sweeps always use direct LU; selecting
+        // the iterative backend must not change their behaviour.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let params = ThermalParams {
+            solver: SolverBackend::iterative(),
+            ..two_phase_params(2500.0)
+        };
+        let mut m = ThermalModel::new(&stack, g, params).unwrap();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+        m.steady_state(&powers).unwrap();
+        let s = m.solver_stats();
+        assert_eq!(s.iterative_solves, 0, "{s:?}");
+        assert_eq!(s.full_factorizations, 1, "{s:?}");
     }
 
     #[test]

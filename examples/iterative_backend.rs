@@ -1,0 +1,72 @@
+//! Choosing a thermal solver backend.
+//!
+//! Every scenario runs on direct sparse LU by default. For fine grids —
+//! where the pivoting factorisation's fill makes the first solve at each
+//! operating point expensive — `ScenarioSpec::solver` switches the
+//! thermal model to ILU(0)-preconditioned BiCGSTAB, which keeps setup
+//! cost O(nnz) and falls back to direct LU automatically if an iterative
+//! solve ever breaks down (see `BENCH_iterative.json` for the measured
+//! crossover).
+//!
+//! This example runs the same fig6-style scenario under both backends,
+//! shows they agree to solver tolerance, and sweeps the backend as a
+//! `Study` axis.
+
+use cmosaic::policy::PolicyKind;
+use cmosaic::{BatchRunner, ScenarioSpec, Study};
+use cmosaic_floorplan::GridSpec;
+use cmosaic_power::trace::WorkloadKind;
+use cmosaic_thermal::SolverBackend;
+
+fn main() -> Result<(), cmosaic::CmosaicError> {
+    let base = ScenarioSpec::new()
+        .tiers(2)
+        .policy(PolicyKind::LcFuzzy)
+        .workload(WorkloadKind::WebServer)
+        .grid(GridSpec::new(8, 8).expect("static dims"))
+        .seconds(10)
+        .seed(42);
+
+    // One axis, two backends, executed as one batch.
+    let report = Study::new(base)
+        .over_solvers([SolverBackend::DirectLu, SolverBackend::iterative()])
+        .run(&BatchRunner::new(2))?;
+
+    println!("backend comparison (2-tier water-cooled LC_FUZZY, 10 s):");
+    for (spec, outcome) in report.iter() {
+        let m = &outcome.metrics;
+        let s = &outcome.solver;
+        println!(
+            "  {:<34} peak {:6.2} °C  chip {:7.1} J  pump {:5.1} J  \
+             full-LU {}  bicgstab solves {} ({} iters)",
+            spec.solver_backend().to_string(),
+            m.peak_temperature.to_celsius().0,
+            m.chip_energy,
+            m.pump_energy,
+            s.full_factorizations,
+            s.iterative_solves,
+            s.iterative_iterations,
+        );
+    }
+
+    let direct = &report.outcomes()[0];
+    let iterative = &report.outcomes()[1];
+
+    // The two backends agree on the physics to the iteration tolerance.
+    let dp = direct.metrics.peak_temperature.0;
+    let ip = iterative.metrics.peak_temperature.0;
+    assert!(
+        (dp - ip).abs() < 1e-4,
+        "backends must agree: {dp} K vs {ip} K"
+    );
+    // The iterative run never paid for a pivoting factorisation and never
+    // fell back to one.
+    assert_eq!(iterative.solver.full_factorizations, 0);
+    assert_eq!(iterative.solver.iterative_fallbacks, 0);
+    assert!(iterative.solver.iterative_solves > 0);
+    println!(
+        "\nbackends agree within {:.1e} K; the iterative run used zero LU factorisations",
+        (dp - ip).abs()
+    );
+    Ok(())
+}

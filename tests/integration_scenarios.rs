@@ -215,3 +215,66 @@ fn continuous_flow_modulation_stays_inside_the_bounded_operator_caches() {
     let q = m.mean_flow.expect("liquid cooled").to_ml_per_min();
     assert!(q > 10.0 && q < 32.3, "mean swept flow {q} ml/min");
 }
+
+#[test]
+fn iterative_backend_matches_the_direct_backend_on_a_fig6_cell() {
+    // The acceptance test of the solver-backend tentpole: a fig6-style
+    // scenario (2-tier water-cooled LC_FUZZY under the web-server
+    // workload) run under ILU(0)-BiCGSTAB must reproduce the direct-LU
+    // run within the iteration tolerance — across the whole closed loop,
+    // not just one solve — while never paying for a pivoting
+    // factorisation and never falling back.
+    use cmosaic_thermal::SolverBackend;
+
+    let base = ScenarioSpec::new()
+        .policy(PolicyKind::LcFuzzy)
+        .workload(WorkloadKind::WebServer)
+        .grid(tiny_grid())
+        .seconds(8)
+        .seed(SEED);
+
+    let run = |spec: &ScenarioSpec| {
+        let scenario = spec.build().expect("valid spec");
+        let mut sim = scenario.build_simulator().expect("builds");
+        sim.initialize().expect("initialises");
+        let metrics = sim.run(8).expect("runs");
+        (metrics, sim.solver_stats())
+    };
+
+    let (direct, direct_stats) = run(&base);
+    let (iterative, iter_stats) = run(&base.clone().solver(SolverBackend::iterative()));
+
+    // Physics agreement to solver tolerance (1e-10 relative residual on
+    // ~300 K fields leaves micro-kelvin slack; 1e-4 K is generous).
+    let pd = direct.peak_temperature.0;
+    let pi = iterative.peak_temperature.0;
+    assert!((pd - pi).abs() < 1e-4, "peak {pd} K vs {pi} K");
+    assert!(
+        (direct.chip_energy - iterative.chip_energy).abs() < 1e-3 * direct.chip_energy,
+        "chip energy {} vs {}",
+        direct.chip_energy,
+        iterative.chip_energy
+    );
+    assert!(
+        (direct.pump_energy - iterative.pump_energy).abs() < 1e-3 * direct.pump_energy.max(1.0),
+        "pump energy {} vs {}",
+        direct.pump_energy,
+        iterative.pump_energy
+    );
+    assert_eq!(
+        direct.hotspot_time_per_core,
+        iterative.hotspot_time_per_core
+    );
+
+    // Solver-path counters: the direct run factorises once; the iterative
+    // run factorises never and serves every solve by BiCGSTAB.
+    assert_eq!(direct_stats.full_factorizations, 1, "{direct_stats:?}");
+    assert_eq!(direct_stats.iterative_solves, 0, "{direct_stats:?}");
+    assert_eq!(iter_stats.full_factorizations, 0, "{iter_stats:?}");
+    assert!(iter_stats.iterative_solves > 0, "{iter_stats:?}");
+    assert_eq!(iter_stats.iterative_fallbacks, 0, "{iter_stats:?}");
+
+    // Each backend is independently reproducible bit for bit.
+    let (iterative2, _) = run(&base.clone().solver(SolverBackend::iterative()));
+    assert_eq!(iterative, iterative2, "iterative runs are deterministic");
+}
