@@ -1,13 +1,14 @@
 //! Parallel batch sweep engine: fan a matrix of co-simulation scenarios
 //! across a worker pool, sharing the one-per-pattern thermal symbolic
-//! analysis, with results that are bit-identical at any thread count.
+//! analysis, with results that are bit-identical at any thread count —
+//! and with every failure contained to its own slot.
 //!
 //! Design-space exploration (the paper's Figs. 6–8, a thermally-aware
 //! floorplanner's inner loop) evaluates the same stack family at many
 //! operating points: the [`Scenario`] matrices a
 //! [`Study`](crate::study::Study) expands. [`BatchRunner`] executes such a
 //! matrix on a `std::thread::scope` pool with a work-stealing index
-//! cursor, and layers two guarantees on top:
+//! cursor, and layers three guarantees on top:
 //!
 //! * **One full factorisation per pattern.** Scenarios are grouped by
 //!   thermal-operator pattern ([`Scenario::same_operator_pattern`]: stack,
@@ -25,6 +26,16 @@
 //!   [`BatchRunner::run_scenarios`] returns bit-identical
 //!   [`RunMetrics`] whether it ran on 1 thread or 8 (asserted by the
 //!   tests).
+//! * **Fault isolation.** One scenario panicking, diverging or erroring
+//!   never takes the batch down: every attempt runs under
+//!   `catch_unwind`, retryable failures walk a deterministic
+//!   degradation ladder (iterative→direct backend demotion, then up to
+//!   two Δt halvings — see [`RecoveryRecord`]), and the final
+//!   [`BatchReport`] carries a per-slot `Result` so healthy outcomes
+//!   survive alongside structured [`SlotError`]s. Because the ladder is
+//!   a pure function of the scenario (never of thread scheduling), the
+//!   per-slot results — including the errors — stay bit-identical
+//!   across thread counts.
 //!
 //! Donor release is **per group**, not a global barrier: the job queue is
 //! ordered donors-first, and an adopter of pattern group `g` waits (on a
@@ -32,25 +43,162 @@
 //! a fast group start while a slow group's donor (e.g. the 4-tier stacks
 //! of the fig6 matrix) is still factorising. The wait is deadlock-free by
 //! construction: every donor precedes every adopter in the queue, a
-//! worker executing a donor never waits, and a failed donor publishes an
-//! empty analysis so its adopters proceed unshared. None of this changes
-//! the deterministic structure — who donates to whom is fixed by scenario
-//! order alone.
+//! worker executing a donor never waits, and a failed or panicking donor
+//! publishes an empty analysis (via a drop guard) so its adopters proceed
+//! unshared. None of this changes the deterministic structure — who
+//! donates to whom is fixed by scenario order alone.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
-use cmosaic_thermal::{SharedAnalysis, SolverStats};
+use cmosaic_thermal::{SharedAnalysis, SolverStats, ThermalError};
 
 use crate::metrics::RunMetrics;
 use crate::observe::Observer;
 use crate::scenario::Scenario;
 use crate::CmosaicError;
 
-/// What one worker produces for one scenario, alongside its observer.
-type JobResult = Result<(RunMetrics, SolverStats, Option<SharedAnalysis>), CmosaicError>;
+/// Maximum Δt halvings the retry ladder applies to one scenario.
+const MAX_DT_HALVINGS: u32 = 2;
 
-/// The outcome of one scenario of a batch.
+/// How hard the retry/degradation ladder worked for one slot.
+///
+/// A clean run is `attempts: 1` with zero demotions and halvings. The
+/// ladder is deterministic per scenario: after a retryable failure it
+/// first demotes an iterative backend to the direct solver (at most
+/// once, and sticky thereafter), then halves the thermal timestep up to
+/// two times, re-running the whole scenario from scratch
+/// at each rung. Non-retryable failures (panics, config errors, dry-out)
+/// stop the ladder immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryRecord {
+    /// Full scenario attempts made (1 = clean first try; 0 only for
+    /// slots that were never scheduled).
+    pub attempts: u32,
+    /// Iterative→direct backend demotions taken (0 or 1).
+    pub backend_demotions: u32,
+    /// Thermal-timestep halvings applied (at most two).
+    pub dt_halvings: u32,
+}
+
+impl RecoveryRecord {
+    /// `true` when the slot succeeded or failed on its first attempt
+    /// with no degradation applied.
+    pub fn clean(&self) -> bool {
+        self.attempts <= 1 && self.backend_demotions == 0 && self.dt_halvings == 0
+    }
+}
+
+/// Why one scenario of a batch failed — the structured taxonomy carried
+/// per slot in a [`BatchReport`].
+///
+/// Equality is *bitwise* on the diverged value (`f64::to_bits`), so two
+/// reports carrying the same NaN compare equal — required for the
+/// bit-identity contract across thread counts and resumes.
+#[derive(Debug, Clone)]
+pub enum ScenarioError {
+    /// The scenario's worker caught a panic (isolated via
+    /// `catch_unwind`; the rest of the batch is unaffected). Panics are
+    /// never retried.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The per-epoch divergence guard found a non-finite or physically
+    /// implausible cell temperature, on every rung of the retry ladder.
+    Diverged {
+        /// Control interval at which the guard tripped (last attempt).
+        epoch: usize,
+        /// Offending cell (layer-major, lowest index wins).
+        cell: usize,
+        /// The offending temperature in kelvin (NaN, ±∞, or out of the
+        /// physical band).
+        value: f64,
+    },
+    /// Any other simulation failure, carried as its rendered message so
+    /// the error stays `Clone`/`Send` across worker boundaries.
+    Failed {
+        /// The underlying error's display rendering.
+        detail: String,
+    },
+}
+
+impl PartialEq for ScenarioError {
+    fn eq(&self, other: &Self) -> bool {
+        use ScenarioError::*;
+        match (self, other) {
+            (Panicked { message: a }, Panicked { message: b }) => a == b,
+            (
+                Diverged {
+                    epoch: e1,
+                    cell: c1,
+                    value: v1,
+                },
+                Diverged {
+                    epoch: e2,
+                    cell: c2,
+                    value: v2,
+                },
+            ) => e1 == e2 && c1 == c2 && v1.to_bits() == v2.to_bits(),
+            (Failed { detail: a }, Failed { detail: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl ScenarioError {
+    /// Maps a simulation error into the slot taxonomy.
+    fn from_error(e: CmosaicError) -> Self {
+        match e {
+            CmosaicError::Diverged { epoch, cell, value } => {
+                ScenarioError::Diverged { epoch, cell, value }
+            }
+            other => ScenarioError::Failed {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Panicked { message } => write!(f, "scenario panicked: {message}"),
+            ScenarioError::Diverged { epoch, cell, value } => write!(
+                f,
+                "simulation diverged at epoch {epoch}: cell {cell} reached {value} K"
+            ),
+            ScenarioError::Failed { detail } => f.write_str(detail),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A failed batch slot: the final error after the retry ladder gave up,
+/// plus the ladder's footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotError {
+    /// Why the last attempt failed.
+    pub error: ScenarioError,
+    /// What the ladder tried before giving up.
+    pub recovery: RecoveryRecord,
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (after {} attempts)",
+            self.error, self.recovery.attempts
+        )
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// The outcome of one successful scenario of a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
     /// Position in the scenario slice handed to the runner.
@@ -60,13 +208,17 @@ pub struct ScenarioOutcome {
     /// Thermal solver-path counters: donors show one full factorisation,
     /// adopters show zero (refactor-only).
     pub solver: SolverStats,
+    /// What the retry ladder did to get here (clean on the happy path).
+    pub recovery: RecoveryRecord,
 }
 
-/// Results of one batch sweep, in scenario order.
+/// Results of one batch sweep, in scenario order. Always complete: a
+/// failed scenario occupies its slot as a [`SlotError`] instead of
+/// discarding the batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
-    /// One outcome per scenario, index-aligned with the input slice.
-    pub outcomes: Vec<ScenarioOutcome>,
+    /// One result per scenario, index-aligned with the input slice.
+    pub slots: Vec<Result<ScenarioOutcome, SlotError>>,
     /// Distinct operator-pattern groups the batch contained.
     pub pattern_groups: usize,
     /// Worker threads used.
@@ -74,23 +226,112 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Total full pivoting factorisations across every scenario — with
-    /// analysis sharing enabled this equals `pattern_groups`.
+    /// The successful outcomes, in scenario order (indexable; failed
+    /// slots are skipped — their indices live in
+    /// [`ScenarioOutcome::index`]).
+    pub fn outcomes(&self) -> Vec<&ScenarioOutcome> {
+        self.slots.iter().filter_map(|s| s.as_ref().ok()).collect()
+    }
+
+    /// The failed slots as `(scenario index, error)`, in scenario order.
+    pub fn errors(&self) -> Vec<(usize, &SlotError)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().err().map(|e| (i, e)))
+            .collect()
+    }
+
+    /// The lowest-indexed failure, if any — deterministic regardless of
+    /// thread count.
+    pub fn first_error(&self) -> Option<(usize, &SlotError)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// `true` when every scenario succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.slots.iter().all(Result::is_ok)
+    }
+
+    /// Number of scenarios in the batch (successful or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total full pivoting factorisations across every successful
+    /// scenario — with analysis sharing enabled and no failures this
+    /// equals `pattern_groups`.
     pub fn total_full_factorizations(&self) -> u64 {
-        self.outcomes
+        self.outcomes()
             .iter()
             .map(|o| o.solver.full_factorizations)
             .sum()
     }
 }
 
+/// What one successful attempt produces.
+struct JobSuccess {
+    metrics: RunMetrics,
+    solver: SolverStats,
+    analysis: Option<SharedAnalysis>,
+}
+
+/// Locks a mutex, recovering the guard even when another worker panicked
+/// while holding it — the data is index-sloted and each slot is written
+/// once, so a poisoned lock carries no torn state worth propagating.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload (string payloads verbatim).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// `true` for failures the degradation ladder may retry: divergence and
+/// linear-solver breakdowns. Panics, config errors and physical limits
+/// (e.g. two-phase dry-out) are final.
+fn retryable(e: &CmosaicError) -> bool {
+    matches!(
+        e,
+        CmosaicError::Diverged { .. } | CmosaicError::Thermal(ThermalError::Solver(_))
+    )
+}
+
+/// One job of a batch run.
+#[derive(Clone, Copy)]
+enum Job {
+    /// Run scenario `i` (donor or adopter by group structure).
+    Run(usize),
+    /// Rebuild and publish the frozen analysis of an already-completed
+    /// donor (resumed runs only): build + initialise reproduces the
+    /// identical symbolic analysis the donor exported originally, so
+    /// pending adopters of a resumed study adopt bit-identically.
+    Regen(usize),
+}
+
 /// Runs a set of independent co-simulation scenarios across a thread
-/// pool. See the [module docs](self) for the sharing and determinism
-/// guarantees.
+/// pool. See the [module docs](self) for the sharing, determinism and
+/// fault-isolation guarantees.
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
     threads: usize,
     share_analysis: bool,
+    job_limit: Option<usize>,
 }
 
 impl BatchRunner {
@@ -102,6 +343,7 @@ impl BatchRunner {
         BatchRunner {
             threads: threads.max(1),
             share_analysis: true,
+            job_limit: None,
         }
     }
 
@@ -113,43 +355,77 @@ impl BatchRunner {
         self
     }
 
+    /// Caps how many jobs this run executes, leaving later scenarios
+    /// unscheduled (their slots report a `Failed` error). Because the
+    /// job order is fixed by scenario order (donors first), the set of
+    /// executed jobs — and hence the report — is deterministic at any
+    /// thread count. This is the checkpoint drill hook: it emulates a
+    /// run killed partway so resume paths can be exercised exactly.
+    pub fn with_job_limit(mut self, limit: usize) -> Self {
+        self.job_limit = Some(limit);
+        self
+    }
+
     /// Worker threads this runner will use.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Executes every scenario and returns the outcomes in scenario
-    /// order.
-    ///
-    /// # Errors
-    ///
-    /// If any scenario fails, the error of the lowest-indexed failing
-    /// scenario is returned (deterministic regardless of thread count).
-    pub fn run_scenarios(&self, scenarios: &[Scenario]) -> Result<BatchReport, CmosaicError> {
-        self.run_scenarios_observed(scenarios, |_, _| ())
-            .map(|(report, _)| report)
+    /// Executes every scenario and returns the per-slot results in
+    /// scenario order. Never fails as a whole: panicking, diverging or
+    /// erroring scenarios surface as [`SlotError`]s in their own slots
+    /// while healthy scenarios complete normally.
+    pub fn run_scenarios(&self, scenarios: &[Scenario]) -> BatchReport {
+        self.run_scenarios_observed(scenarios, |_, _| ()).0
     }
 
     /// Executes every scenario with one observer apiece, created by
     /// `factory(index, scenario)` inside the worker that runs the
-    /// scenario; the observers are returned in scenario order.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`BatchRunner::run_scenarios`] (observers of failed
-    /// scenarios are discarded with the batch).
+    /// scenario; the observers are returned in scenario order, `None`
+    /// for slots that failed (each retry attempt gets a fresh observer;
+    /// the returned one belongs to the successful attempt).
     pub fn run_scenarios_observed<O, F>(
         &self,
         scenarios: &[Scenario],
         factory: F,
-    ) -> Result<(BatchReport, Vec<O>), CmosaicError>
+    ) -> (BatchReport, Vec<Option<O>>)
     where
         O: Observer + Send,
         F: Fn(usize, &Scenario) -> O + Sync,
     {
+        self.run_scenarios_resumed(scenarios, &[], factory, |_, _| {})
+    }
+
+    /// The full engine: optionally resumes from prior per-slot results
+    /// (`completed`, index-aligned or empty) and reports each freshly
+    /// finished slot through `record` from inside the worker — the hook
+    /// the study journal appends from, so an interrupted process has
+    /// every finished scenario on disk.
+    ///
+    /// Completed slots are not re-run; their prior results are merged
+    /// into the report verbatim. A completed *donor* whose group still
+    /// has pending adopters gets a cheap regeneration job
+    /// ([`Job::Regen`]) when its journaled result shows it had published
+    /// (succeeded without backend demotion), keeping resumed adopters
+    /// bit-identical to the uninterrupted run.
+    pub(crate) fn run_scenarios_resumed<O, F, R>(
+        &self,
+        scenarios: &[Scenario],
+        completed: &[Option<Result<ScenarioOutcome, SlotError>>],
+        factory: F,
+        record: R,
+    ) -> (BatchReport, Vec<Option<O>>)
+    where
+        O: Observer + Send,
+        F: Fn(usize, &Scenario) -> O + Sync,
+        R: Fn(usize, &Result<ScenarioOutcome, SlotError>) + Sync,
+    {
         let n = scenarios.len();
+        debug_assert!(completed.is_empty() || completed.len() == n);
+        let done = |i: usize| completed.get(i).is_some_and(Option::is_some);
         // Group scenarios by operator pattern; the first of each group is
-        // its donor.
+        // its donor. Grouping runs over the full slice (not just pending
+        // scenarios) so a resumed run sees the identical structure.
         let mut group_reps: Vec<usize> = Vec::new();
         let mut group_of = vec![0usize; n];
         for (i, s) in scenarios.iter().enumerate() {
@@ -166,23 +442,62 @@ impl BatchRunner {
         }
         let donors = &group_reps;
 
-        let slots: Mutex<Vec<Option<(JobResult, O)>>> = Mutex::new((0..n).map(|_| None).collect());
+        type Slot<O> = Option<(Result<ScenarioOutcome, SlotError>, Option<O>)>;
+        let slots: Mutex<Vec<Slot<O>>> = Mutex::new((0..n).map(|_| None).collect());
         let run_one = |i: usize, adopt: Option<&SharedAnalysis>| {
-            let mut observer = factory(i, &scenarios[i]);
-            let r = run_scenario(&scenarios[i], adopt, &mut observer);
-            (r, observer)
+            run_with_recovery(&scenarios[i], adopt, || factory(i, &scenarios[i]))
         };
+        // Converts an attempt result into the slot shape, reports it,
+        // and stores it.
+        let finish = |i: usize,
+                      result: Result<(JobSuccess, RecoveryRecord), SlotError>,
+                      observer: Option<O>| {
+            let slot = result.map(|(success, recovery)| ScenarioOutcome {
+                index: i,
+                metrics: success.metrics,
+                solver: success.solver,
+                recovery,
+            });
+            record(i, &slot);
+            lock_unpoisoned(&slots)[i] = Some((slot, observer));
+        };
+
         if self.share_analysis {
             // Donors-first job order plus per-group release: an adopter
             // only ever waits for its *own* group's donor. `published[g]`
             // is `None` until donor `g` finishes, then `Some(analysis)`
-            // (`Some(None)` for a donor that failed or had nothing to
-            // share, so adopters proceed unshared instead of waiting
-            // forever).
-            let mut jobs: Vec<usize> = donors.clone();
-            jobs.extend((0..n).filter(|i| !donors.contains(i)));
-            let published: Mutex<Vec<Option<Option<SharedAnalysis>>>> =
-                Mutex::new(vec![None; group_reps.len()]);
+            // (`Some(None)` for a donor that failed, panicked, demoted
+            // its backend, or had nothing to share — adopters proceed
+            // unshared instead of waiting forever).
+            let mut prepublished = vec![None; group_reps.len()];
+            let mut jobs: Vec<Job> = Vec::new();
+            for (g, &d) in donors.iter().enumerate() {
+                if !done(d) {
+                    jobs.push(Job::Run(d));
+                    continue;
+                }
+                let pending_adopters = (0..n).any(|i| group_of[i] == g && i != d && !done(i));
+                let had_published = matches!(
+                    completed.get(d).and_then(Option::as_ref),
+                    Some(Ok(o)) if o.recovery.backend_demotions == 0
+                );
+                if pending_adopters && had_published {
+                    jobs.push(Job::Regen(d));
+                } else {
+                    // Nothing to regenerate (the donor never published,
+                    // or nobody is waiting): release the group up front.
+                    prepublished[g] = Some(None);
+                }
+            }
+            jobs.extend(
+                (0..n)
+                    .filter(|&i| donors[group_of[i]] != i && !done(i))
+                    .map(Job::Run),
+            );
+            if let Some(limit) = self.job_limit {
+                jobs.truncate(limit);
+            }
+            let published: Mutex<Vec<Option<Option<SharedAnalysis>>>> = Mutex::new(prepublished);
             let ready = Condvar::new();
             // Publishes a group's analysis on drop, so a donor that
             // *panics* mid-run (not just one that returns Err) still
@@ -196,76 +511,114 @@ impl BatchRunner {
             }
             impl Drop for PublishOnDrop<'_> {
                 fn drop(&mut self) {
-                    // Keep publishing even if another panicking worker
-                    // poisoned the lock: stranding adopters is worse.
-                    let mut guard = match self.table.lock() {
-                        Ok(guard) => guard,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
+                    let mut guard = lock_unpoisoned(self.table);
                     guard[self.g] = Some(self.analysis.take());
                     drop(guard);
                     self.ready.notify_all();
                 }
             }
-            self.par_run(&jobs, &slots, |i| {
-                let g = group_of[i];
-                if donors[g] == i {
+            self.par_run(&jobs, |job| match *job {
+                Job::Run(i) => {
+                    let g = group_of[i];
+                    if donors[g] == i {
+                        let mut publish = PublishOnDrop {
+                            g,
+                            table: &published,
+                            ready: &ready,
+                            analysis: None,
+                        };
+                        let (mut result, observer) = run_one(i, None);
+                        if let Ok((success, recovery)) = &mut result {
+                            // A backend demotion changed the operator
+                            // pattern mid-ladder; the exported analysis
+                            // no longer matches the group, so publish
+                            // nothing and let adopters run unshared.
+                            if recovery.backend_demotions == 0 {
+                                publish.analysis = success.analysis.take();
+                            }
+                        }
+                        drop(publish);
+                        finish(i, result, observer);
+                    } else {
+                        let guard = lock_unpoisoned(&published);
+                        let guard = ready
+                            .wait_while(guard, |p| p[g].is_none())
+                            .unwrap_or_else(PoisonError::into_inner);
+                        // SharedAnalysis is Arc-backed; the clone is
+                        // cheap. `flatten` turns a failed donor's empty
+                        // publication into an unshared run.
+                        let analysis = guard[g].clone().flatten();
+                        drop(guard);
+                        let (result, observer) = run_one(i, analysis.as_ref());
+                        finish(i, result, observer);
+                    }
+                }
+                Job::Regen(d) => {
                     let mut publish = PublishOnDrop {
-                        g,
+                        g: group_of[d],
                         table: &published,
                         ready: &ready,
                         analysis: None,
                     };
-                    let out = run_one(i, None);
-                    if let Ok((_, _, a)) = &out.0 {
-                        publish.analysis = a.clone();
+                    // Initialisation alone reproduces the donor's frozen
+                    // symbolic analysis (it is fixed at the first
+                    // factorisation and timestep-independent). If the
+                    // rebuild fails — it succeeded in the original run —
+                    // the guard releases the group unshared.
+                    let regenerated =
+                        catch_unwind(AssertUnwindSafe(|| regenerate_analysis(&scenarios[d])));
+                    if let Ok(Ok(analysis)) = regenerated {
+                        publish.analysis = analysis;
                     }
                     drop(publish);
-                    out
-                } else {
-                    // Recover from a poisoned table the same way the drop
-                    // guard does: a panicking donor poisons the mutex as
-                    // it publishes, and adopters — this group's and every
-                    // healthy group's — must still proceed rather than
-                    // cascade a misleading secondary panic.
-                    let guard = published
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    let guard = ready
-                        .wait_while(guard, |p| p[g].is_none())
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    // SharedAnalysis is Arc-backed; the clone is cheap.
-                    let analysis = guard[g].clone().expect("donor published");
-                    drop(guard);
-                    run_one(i, analysis.as_ref())
                 }
             });
         } else {
-            let all: Vec<usize> = (0..n).collect();
-            self.par_run(&all, &slots, |i| run_one(i, None));
+            let mut jobs: Vec<Job> = (0..n).filter(|&i| !done(i)).map(Job::Run).collect();
+            if let Some(limit) = self.job_limit {
+                jobs.truncate(limit);
+            }
+            self.par_run(&jobs, |job| {
+                if let Job::Run(i) = *job {
+                    let (result, observer) = run_one(i, None);
+                    finish(i, result, observer);
+                }
+            });
         }
 
-        let mut outcomes = Vec::with_capacity(n);
+        let mut report_slots = Vec::with_capacity(n);
         let mut observers = Vec::with_capacity(n);
-        let slots = slots.into_inner().expect("result slots poisoned");
+        let slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
         for (index, slot) in slots.into_iter().enumerate() {
-            let (result, observer) = slot.expect("every scenario was scheduled");
-            let (metrics, solver, _) = result?;
-            outcomes.push(ScenarioOutcome {
-                index,
-                metrics,
-                solver,
-            });
-            observers.push(observer);
+            match slot {
+                Some((result, observer)) => {
+                    report_slots.push(result);
+                    observers.push(observer);
+                }
+                // Not run this time: either journaled earlier (merge the
+                // prior result verbatim) or cut off by the job limit.
+                None => {
+                    let prior = completed.get(index).and_then(Clone::clone);
+                    report_slots.push(prior.unwrap_or_else(|| {
+                        Err(SlotError {
+                            error: ScenarioError::Failed {
+                                detail: "interrupted before the scenario was scheduled".to_string(),
+                            },
+                            recovery: RecoveryRecord::default(),
+                        })
+                    }));
+                    observers.push(None);
+                }
+            }
         }
-        Ok((
+        (
             BatchReport {
-                outcomes,
+                slots: report_slots,
                 pattern_groups: group_reps.len(),
                 threads: self.threads,
             },
             observers,
-        ))
+        )
     }
 
     /// Executes a matrix of legacy flat configs (the pre-`ScenarioSpec`
@@ -274,8 +627,9 @@ impl BatchRunner {
     ///
     /// # Errors
     ///
-    /// Build errors first, then the error of the lowest-indexed failing
-    /// scenario.
+    /// Build errors first, then — restoring this shim's historical
+    /// all-or-nothing contract — the lowest-indexed slot failure as
+    /// [`CmosaicError::Scenario`].
     #[allow(deprecated)]
     #[deprecated(
         since = "0.2.0",
@@ -289,16 +643,21 @@ impl BatchRunner {
             .iter()
             .map(|c| c.to_spec().build())
             .collect::<Result<_, _>>()?;
-        self.run_scenarios(&scenarios)
+        let report = self.run_scenarios(&scenarios);
+        if let Some((index, e)) = report.first_error() {
+            return Err(CmosaicError::Scenario {
+                index,
+                detail: e.to_string(),
+            });
+        }
+        Ok(report)
     }
 
-    /// Runs `f` over `jobs` (scenario indices) on up to `self.threads`
-    /// scoped workers with a shared work-stealing cursor, writing each
-    /// result into its scenario's slot.
-    fn par_run<T, F>(&self, jobs: &[usize], slots: &Mutex<Vec<Option<T>>>, f: F)
+    /// Runs `f` over `jobs` on up to `self.threads` scoped workers with
+    /// a shared work-stealing cursor.
+    fn par_run<F>(&self, jobs: &[Job], f: F)
     where
-        T: Send,
-        F: Fn(usize) -> T + Sync,
+        F: Fn(&Job) + Sync,
     {
         if jobs.is_empty() {
             return;
@@ -309,12 +668,86 @@ impl BatchRunner {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let j = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&idx) = jobs.get(j) else { break };
-                    let out = f(idx);
-                    slots.lock().expect("result slots poisoned")[idx] = Some(out);
+                    let Some(job) = jobs.get(j) else { break };
+                    f(job);
                 });
             }
         });
+    }
+}
+
+/// Runs one scenario through the deterministic retry/degradation ladder,
+/// isolating panics per attempt. Returns the final result plus the
+/// observer of the successful attempt (failed slots yield no observer).
+fn run_with_recovery<O, F>(
+    scenario: &Scenario,
+    adopt: Option<&SharedAnalysis>,
+    factory: F,
+) -> (Result<(JobSuccess, RecoveryRecord), SlotError>, Option<O>)
+where
+    O: Observer,
+    F: Fn() -> O,
+{
+    let mut recovery = RecoveryRecord::default();
+    let mut current = scenario.clone();
+    let mut adopt = adopt;
+    loop {
+        recovery.attempts += 1;
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut observer = factory();
+            let result = run_scenario(&current, adopt, &mut observer);
+            (result, observer)
+        }));
+        let (result, observer) = match attempt {
+            Err(payload) => {
+                return (
+                    Err(SlotError {
+                        error: ScenarioError::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        },
+                        recovery,
+                    }),
+                    None,
+                );
+            }
+            Ok(pair) => pair,
+        };
+        match result {
+            Ok(success) => return (Ok((success, recovery)), Some(observer)),
+            Err(e) if retryable(&e) => {
+                // Retries restart the scenario from scratch; the adopted
+                // analysis belongs to the original configuration only.
+                adopt = None;
+                if recovery.backend_demotions == 0 {
+                    if let Some(demoted) = current.demoted_direct() {
+                        current = demoted;
+                        recovery.backend_demotions += 1;
+                        continue;
+                    }
+                }
+                if recovery.dt_halvings < MAX_DT_HALVINGS {
+                    current = current.halved_dt();
+                    recovery.dt_halvings += 1;
+                    continue;
+                }
+                return (
+                    Err(SlotError {
+                        error: ScenarioError::from_error(e),
+                        recovery,
+                    }),
+                    None,
+                );
+            }
+            Err(e) => {
+                return (
+                    Err(SlotError {
+                        error: ScenarioError::from_error(e),
+                        recovery,
+                    }),
+                    None,
+                );
+            }
+        }
     }
 }
 
@@ -324,7 +757,7 @@ fn run_scenario<O: Observer>(
     scenario: &Scenario,
     adopt: Option<&SharedAnalysis>,
     observer: &mut O,
-) -> JobResult {
+) -> Result<JobSuccess, CmosaicError> {
     let mut sim = scenario.build_simulator()?;
     if let Some(analysis) = adopt {
         sim.adopt_thermal_analysis(analysis);
@@ -332,12 +765,25 @@ fn run_scenario<O: Observer>(
     sim.initialize()?;
     let metrics = sim.run_observed(scenario.seconds(), observer)?;
     let analysis = sim.export_thermal_analysis();
-    Ok((metrics, sim.solver_stats(), analysis))
+    Ok(JobSuccess {
+        metrics,
+        solver: sim.solver_stats(),
+        analysis,
+    })
+}
+
+/// Rebuilds an already-completed donor's frozen analysis for a resumed
+/// run's pending adopters (see [`Job::Regen`]).
+fn regenerate_analysis(scenario: &Scenario) -> Result<Option<SharedAnalysis>, CmosaicError> {
+    let mut sim = scenario.build_simulator()?;
+    sim.initialize()?;
+    Ok(sim.export_thermal_analysis())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
     use crate::observe::EnergyBreakdown;
     use crate::policy::PolicyKind;
     use crate::scenario::ScenarioSpec;
@@ -359,11 +805,12 @@ mod tests {
         // The core guarantee: the fig6 scenario matrix at 1 thread and at
         // 8 threads yields bit-identical RunMetrics per scenario.
         let scenarios = tiny_matrix();
-        let serial = BatchRunner::new(1).run_scenarios(&scenarios).unwrap();
-        let parallel = BatchRunner::new(8).run_scenarios(&scenarios).unwrap();
-        assert_eq!(serial.outcomes.len(), scenarios.len());
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios);
+        let parallel = BatchRunner::new(8).run_scenarios(&scenarios);
+        assert_eq!(serial.len(), scenarios.len());
+        assert!(serial.all_ok());
         assert_eq!(
-            serial.outcomes, parallel.outcomes,
+            serial.slots, parallel.slots,
             "scenario outcomes must not depend on thread count"
         );
         assert_eq!(serial.pattern_groups, parallel.pattern_groups);
@@ -392,14 +839,17 @@ mod tests {
                 .expect("valid spec")
         })
         .collect();
-        let report = BatchRunner::new(4).run_scenarios(&scenarios).unwrap();
+        let report = BatchRunner::new(4).run_scenarios(&scenarios);
+        assert!(report.all_ok());
         assert_eq!(report.pattern_groups, 1);
         assert_eq!(report.total_full_factorizations(), 1);
-        assert_eq!(report.outcomes[0].solver.full_factorizations, 1);
-        for o in &report.outcomes[1..] {
+        let outcomes = report.outcomes();
+        assert_eq!(outcomes[0].solver.full_factorizations, 1);
+        for o in &outcomes[1..] {
             assert_eq!(o.solver.full_factorizations, 0, "adopter {}", o.index);
             assert_eq!(o.solver.adopted_symbolics, 1);
             assert!(o.solver.refactorizations >= 1);
+            assert!(o.recovery.clean());
         }
 
         // Without sharing, every scenario pays its own factorisation —
@@ -408,8 +858,7 @@ mod tests {
         // the counter is asserted here.
         let unshared = BatchRunner::new(2)
             .without_shared_analysis()
-            .run_scenarios(&scenarios)
-            .unwrap();
+            .run_scenarios(&scenarios);
         assert_eq!(unshared.total_full_factorizations(), scenarios.len() as u64);
     }
 
@@ -430,13 +879,13 @@ mod tests {
                 .expect("valid spec")
         };
         let scenarios = vec![mk(2, 1), mk(4, 1), mk(2, 2), mk(4, 2), mk(2, 3), mk(4, 3)];
-        let serial = BatchRunner::new(1).run_scenarios(&scenarios).unwrap();
-        let parallel = BatchRunner::new(4).run_scenarios(&scenarios).unwrap();
-        assert_eq!(serial.outcomes, parallel.outcomes);
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios);
+        let parallel = BatchRunner::new(4).run_scenarios(&scenarios);
+        assert_eq!(serial.slots, parallel.slots);
         assert_eq!(serial.pattern_groups, 2);
         assert_eq!(serial.total_full_factorizations(), 2);
         // Donors are the first scenario of each group in input order.
-        for (idx, o) in serial.outcomes.iter().enumerate() {
+        for (idx, o) in serial.outcomes().iter().enumerate() {
             if idx < 2 {
                 assert_eq!(o.solver.full_factorizations, 1, "donor {idx}");
             } else {
@@ -448,16 +897,16 @@ mod tests {
 
     #[test]
     fn failed_donor_releases_its_adopters() {
-        // A donor that fails at run time must publish an empty analysis so
-        // its adopters are not stranded on the condvar; the batch then
-        // reports the donor's error (lowest failing index) after every
-        // scenario ran.
+        // A donor that fails at run time must publish an empty analysis
+        // so its adopters are not stranded on the condvar; the failures
+        // stay in their own slots while the healthy group completes.
         let good = ScenarioSpec::new()
             .seconds(2)
             .grid(tiny_grid())
             .build()
             .unwrap();
-        // A two-phase scenario starved to dry-out fails inside the run.
+        // A two-phase scenario starved to dry-out fails inside the run —
+        // a physical limit, so the retry ladder must not retry it.
         let failing = ScenarioSpec::new()
             .two_phase(cmosaic_thermal::TwoPhaseCoolant::r134a_30c(8.0))
             .policy(PolicyKind::LcLb)
@@ -468,14 +917,84 @@ mod tests {
         // Failing donor first, then its (also failing) group-mate, then a
         // healthy group.
         let scenarios = vec![failing.clone(), failing, good];
-        let r = BatchRunner::new(2).run_scenarios(&scenarios);
-        assert!(r.is_err(), "the failing donor's error must surface");
-        let serial = BatchRunner::new(1).run_scenarios(&scenarios).unwrap_err();
+        let parallel = BatchRunner::new(2).run_scenarios(&scenarios);
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios);
         assert_eq!(
-            r.unwrap_err().to_string(),
-            serial.to_string(),
-            "deterministic error selection across thread counts"
+            serial.slots, parallel.slots,
+            "per-slot results (including errors) are thread-count invariant"
         );
+        assert_eq!(serial.errors().len(), 2);
+        let (index, first) = serial.first_error().expect("the dry-out surfaces");
+        assert_eq!(index, 0);
+        assert!(
+            matches!(&first.error, ScenarioError::Failed { detail } if detail.contains("dry")),
+            "dry-out is carried as a structured failure: {first}"
+        );
+        assert_eq!(
+            first.recovery.attempts, 1,
+            "physical limits are not retried"
+        );
+        // The healthy scenario still produced its outcome.
+        let outcomes = serial.outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].index, 2);
+    }
+
+    #[test]
+    fn panicking_scenario_is_isolated_to_its_slot() {
+        let good = ScenarioSpec::new()
+            .seconds(2)
+            .grid(tiny_grid())
+            .build()
+            .unwrap();
+        let panicking = ScenarioSpec::new()
+            .seconds(2)
+            .grid(tiny_grid())
+            .fault_plan(FaultPlan::none().at(0, FaultKind::Panic))
+            .build()
+            .unwrap();
+        let scenarios = vec![panicking, good];
+        let report = BatchRunner::new(2).run_scenarios(&scenarios);
+        let (index, e) = report.first_error().expect("the panic is captured");
+        assert_eq!(index, 0);
+        assert!(
+            matches!(&e.error, ScenarioError::Panicked { message } if message.contains("injected")),
+            "panic payload is carried: {e}"
+        );
+        assert_eq!(e.recovery.attempts, 1, "panics are never retried");
+        assert_eq!(report.outcomes().len(), 1);
+        assert_eq!(
+            report.slots,
+            BatchRunner::new(1).run_scenarios(&scenarios).slots
+        );
+    }
+
+    #[test]
+    fn job_limit_leaves_trailing_slots_unscheduled() {
+        let scenarios: Vec<Scenario> = (0..3)
+            .map(|seed| {
+                ScenarioSpec::new()
+                    .seconds(2)
+                    .seed(seed)
+                    .grid(tiny_grid())
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let partial = BatchRunner::new(2)
+            .with_job_limit(2)
+            .run_scenarios(&scenarios);
+        assert_eq!(partial.outcomes().len(), 2);
+        let (index, e) = partial.first_error().expect("the cut-off slot errors");
+        assert_eq!(index, 2);
+        assert!(matches!(&e.error, ScenarioError::Failed { detail }
+            if detail.contains("interrupted")));
+        assert_eq!(e.recovery.attempts, 0, "never attempted");
+        // Deterministic at any thread count.
+        let serial = BatchRunner::new(1)
+            .with_job_limit(2)
+            .run_scenarios(&scenarios);
+        assert_eq!(serial.slots, partial.slots);
     }
 
     #[test]
@@ -484,15 +1003,16 @@ mod tests {
         // patterns on one grid.
         let scenarios = tiny_matrix();
         assert_eq!(scenarios.len(), 28);
-        let report = BatchRunner::new(2).run_scenarios(&scenarios).unwrap();
+        let report = BatchRunner::new(2).run_scenarios(&scenarios);
         assert_eq!(report.pattern_groups, 4);
         assert_eq!(report.total_full_factorizations(), 4);
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let report = BatchRunner::new(3).run_scenarios(&[]).unwrap();
-        assert!(report.outcomes.is_empty());
+        let report = BatchRunner::new(3).run_scenarios(&[]);
+        assert!(report.is_empty());
+        assert!(report.all_ok());
         assert_eq!(report.pattern_groups, 0);
     }
 
@@ -508,8 +1028,9 @@ mod tests {
             .grid(tiny_grid())
             .build()
             .unwrap()];
-        let report = runner.run_scenarios(&scenarios).unwrap();
-        assert_eq!(report.outcomes.len(), 1);
+        let report = runner.run_scenarios(&scenarios);
+        assert_eq!(report.len(), 1);
+        assert!(report.all_ok());
         assert_eq!(report.threads, 1);
     }
 
@@ -525,13 +1046,16 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let (report, energies) = BatchRunner::new(2)
-            .run_scenarios_observed(&scenarios, |_, _| EnergyBreakdown::new())
-            .unwrap();
+        let (report, energies) =
+            BatchRunner::new(2).run_scenarios_observed(&scenarios, |_, _| EnergyBreakdown::new());
+        let energies: Vec<EnergyBreakdown> = energies
+            .into_iter()
+            .map(|e| e.expect("all scenarios succeed"))
+            .collect();
         assert_eq!(energies.len(), 2);
         assert_eq!(energies[0].trajectory().len(), 4);
         assert_eq!(energies[1].trajectory().len(), 2);
-        for (o, e) in report.outcomes.iter().zip(&energies) {
+        for (o, e) in report.outcomes().iter().zip(&energies) {
             assert_eq!(
                 o.metrics.chip_energy,
                 e.chip_joules(),
@@ -548,7 +1072,7 @@ mod tests {
         use crate::experiments::fig6_scenario_matrix;
         let legacy = fig6_scenario_matrix(2, 7, tiny_grid());
         let via_shim = BatchRunner::new(2).run(&legacy).unwrap();
-        let via_scenarios = BatchRunner::new(2).run_scenarios(&tiny_matrix()).unwrap();
+        let via_scenarios = BatchRunner::new(2).run_scenarios(&tiny_matrix());
         assert_eq!(via_shim, via_scenarios);
     }
 }

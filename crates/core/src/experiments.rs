@@ -195,6 +195,20 @@ pub struct Fig6Row {
     pub peak_celsius: f64,
 }
 
+/// Figure datasets are all-or-nothing: a single failed cell invalidates
+/// the derived table (normalisations, averages), so surface the
+/// lowest-indexed slot failure as a hard [`CmosaicError::Scenario`]
+/// instead of letting it resurface as a confusing missing-cell error.
+fn strict(report: StudyReport) -> Result<StudyReport, CmosaicError> {
+    if let Some((index, e)) = report.first_error() {
+        return Err(CmosaicError::Scenario {
+            index,
+            detail: e.to_string(),
+        });
+    }
+    Ok(report)
+}
+
 /// Pulls the metrics of one (tiers, policy, workload) cell out of a
 /// figure-study report.
 fn cell(
@@ -225,7 +239,7 @@ pub fn fig6_dataset(
     seed: u64,
     grid: GridSpec,
 ) -> Result<Vec<Fig6Row>, CmosaicError> {
-    let report = fig6_study(seconds, seed, grid).run(runner)?;
+    let report = strict(fig6_study(seconds, seed, grid).run(runner)?)?;
     let mut rows = Vec::new();
     for (tiers, policy) in figure_configurations() {
         let mut avg_core = 0.0;
@@ -285,9 +299,11 @@ pub fn fig7_dataset(
     grid: GridSpec,
 ) -> Result<Vec<Fig7Row>, CmosaicError> {
     let apps = WorkloadKind::applications();
-    let report = figure_study(seconds, seed, grid)
-        .over_workloads(apps)
-        .run(runner)?;
+    let report = strict(
+        figure_study(seconds, seed, grid)
+            .over_workloads(apps)
+            .run(runner)?,
+    )?;
     let mut raw: Vec<(usize, PolicyKind, f64, f64, f64, f64)> = Vec::new();
     for (tiers, policy) in figure_configurations() {
         let mut system = 0.0;
@@ -354,16 +370,18 @@ pub fn headline_savings(
     grid: GridSpec,
 ) -> Result<HeadlineSavings, CmosaicError> {
     let apps = WorkloadKind::applications();
-    let report = Study::new(
-        ScenarioSpec::new()
-            .tiers(tiers)
-            .seconds(seconds)
-            .seed(seed)
-            .grid(grid),
-    )
-    .over_policies([PolicyKind::LcLb, PolicyKind::LcFuzzy])
-    .over_workloads(apps)
-    .run(runner)?;
+    let report = strict(
+        Study::new(
+            ScenarioSpec::new()
+                .tiers(tiers)
+                .seconds(seconds)
+                .seed(seed)
+                .grid(grid),
+        )
+        .over_policies([PolicyKind::LcLb, PolicyKind::LcFuzzy])
+        .over_workloads(apps)
+        .run(runner)?,
+    )?;
     let mut lb_pump = 0.0;
     let mut lb_total = 0.0;
     let mut fz_pump = 0.0;

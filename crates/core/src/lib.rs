@@ -80,6 +80,34 @@
 //!   pattern across the whole batch. Outcomes are aggregated by scenario
 //!   index and are bit-identical at any thread count.
 //!
+//! # Fault tolerance and resumable studies
+//!
+//! Long sweeps must survive their worst cell. The batch engine makes
+//! three promises:
+//!
+//! * **Partial reports.** [`batch::BatchReport`] (and
+//!   [`study::StudyReport`]) always covers the whole matrix: each slot
+//!   is a `Result`, so one scenario panicking (isolated per attempt via
+//!   `catch_unwind`), tripping the per-epoch divergence guard
+//!   ([`CmosaicError::Diverged`]) or otherwise failing leaves a
+//!   structured [`batch::SlotError`] in its own slot while every healthy
+//!   scenario completes and aggregates normally. A failed donor releases
+//!   its adopters (they run unshared) — no deadlocks, no poisoned-lock
+//!   cascades.
+//! * **A deterministic degradation ladder.** Retryable failures
+//!   (divergence, linear-solver breakdown) re-run the scenario down a
+//!   fixed ladder — iterative→direct backend demotion (once, sticky),
+//!   then up to two thermal-timestep halvings — recorded per slot in
+//!   [`batch::RecoveryRecord`]. The ladder depends only on the scenario,
+//!   never on thread scheduling, so reports (including the errors) stay
+//!   bit-identical across thread counts.
+//! * **Checkpoint/resume.** [`study::Study::run_checkpointed`] journals
+//!   every finished slot to an append-only, fingerprint-validated file
+//!   ([`checkpoint::StudyJournal`]); a killed study resumes where it
+//!   left off and the merged report is bit-identical to an uninterrupted
+//!   run at any thread count. Deterministic fault *injection* for
+//!   exercising all of this lives in [`fault::FaultPlan`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -120,7 +148,8 @@
 //!     .run_observed(&BatchRunner::new(2), |_, _| PeakTemperature::new())?;
 //! assert_eq!(report.len(), 4);
 //! assert_eq!(report.total_full_factorizations(), 2); // one per tier count
-//! assert!(peaks.iter().all(|p| p.peak().is_some()));
+//! // Healthy slots keep their observers (`None` marks failed slots).
+//! assert!(peaks.iter().all(|p| p.as_ref().is_some_and(|p| p.peak().is_some())));
 //! # Ok(())
 //! # }
 //! ```
@@ -129,7 +158,9 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod experiments;
+pub mod fault;
 pub mod fuzzy;
 pub mod metrics;
 pub mod observe;
@@ -139,7 +170,11 @@ pub mod scenario;
 pub mod sim;
 pub mod study;
 
-pub use batch::{BatchReport, BatchRunner, ScenarioOutcome};
+pub use batch::{
+    BatchReport, BatchRunner, RecoveryRecord, ScenarioError, ScenarioOutcome, SlotError,
+};
+pub use checkpoint::StudyJournal;
+pub use fault::{FaultKind, FaultPlan};
 pub use fuzzy::FuzzyController;
 pub use metrics::RunMetrics;
 pub use observe::{EpochCtx, Observer};
@@ -183,6 +218,39 @@ pub enum CmosaicError {
         /// Explanation.
         detail: String,
     },
+    /// The simulation produced a non-finite or physically implausible
+    /// temperature — the per-epoch divergence guard tripped (a NaN/Inf
+    /// from a numerically broken solve, or a cell outside the plausible
+    /// band). The field is reported at the first offending epoch, so the
+    /// bad values never reach observers, metrics or Pareto fronts.
+    Diverged {
+        /// Control interval at which the guard tripped.
+        epoch: usize,
+        /// Lowest offending cell index (layer-major).
+        cell: usize,
+        /// The offending temperature, kelvin (may be NaN/Inf).
+        value: f64,
+    },
+    /// A scenario inside a batch failed — the strict wrappers of the
+    /// fault-tolerant batch API ([`Study::run`](study::Study::run), the
+    /// deprecated `BatchRunner::run`) surface the lowest-indexed slot
+    /// error this way. The fault-tolerant path itself
+    /// ([`BatchRunner::run_scenarios`](batch::BatchRunner::run_scenarios))
+    /// never returns this: it reports per-slot
+    /// [`SlotError`]s instead.
+    Scenario {
+        /// Position of the failing scenario in the batch.
+        index: usize,
+        /// Rendered slot error.
+        detail: String,
+    },
+    /// Reading or writing a study checkpoint journal failed, or an
+    /// existing journal does not belong to the study being resumed
+    /// (version, fingerprint or scenario-count mismatch).
+    Journal {
+        /// Explanation.
+        detail: String,
+    },
     /// Floorplan/stack construction failed.
     Floorplan(cmosaic_floorplan::FloorplanError),
     /// Power-model failure.
@@ -197,6 +265,14 @@ impl fmt::Display for CmosaicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CmosaicError::Config { detail } => write!(f, "configuration error: {detail}"),
+            CmosaicError::Diverged { epoch, cell, value } => write!(
+                f,
+                "simulation diverged at epoch {epoch}: cell {cell} reached {value} K"
+            ),
+            CmosaicError::Scenario { index, detail } => {
+                write!(f, "scenario {index} failed: {detail}")
+            }
+            CmosaicError::Journal { detail } => write!(f, "journal error: {detail}"),
             CmosaicError::Floorplan(e) => write!(f, "floorplan error: {e}"),
             CmosaicError::Power(e) => write!(f, "power model error: {e}"),
             CmosaicError::Thermal(e) => write!(f, "thermal model error: {e}"),
@@ -209,6 +285,9 @@ impl Error for CmosaicError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CmosaicError::Config { .. } => None,
+            CmosaicError::Diverged { .. } => None,
+            CmosaicError::Scenario { .. } => None,
+            CmosaicError::Journal { .. } => None,
             CmosaicError::Floorplan(e) => Some(e),
             CmosaicError::Power(e) => Some(e),
             CmosaicError::Thermal(e) => Some(e),

@@ -74,7 +74,7 @@ use std::collections::{HashMap, HashSet};
 
 use cmosaic_materials::units::Kelvin;
 
-use crate::batch::BatchRunner;
+use crate::batch::{BatchRunner, SlotError};
 use crate::metrics::RunMetrics;
 use crate::observe::{EnergyBreakdown, PeakTemperature};
 use crate::CmosaicError;
@@ -133,6 +133,9 @@ enum Slot {
     Done(usize),
     /// Index into `skipped`: the spec failed build-time validation.
     Invalid(usize),
+    /// Index into `failed`: the scenario failed at *run* time (panic,
+    /// divergence, exhausted retry ladder) and the batch isolated it.
+    Failed(usize),
 }
 
 /// Memoizing batch evaluator handed to a [`SearchStrategy`].
@@ -152,6 +155,7 @@ pub struct Evaluator<'a> {
     slots: HashMap<DesignPoint, Slot>,
     evaluations: Vec<Evaluation>,
     skipped: Vec<(DesignPoint, CmosaicError)>,
+    failed: Vec<(DesignPoint, SlotError)>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -169,6 +173,7 @@ impl<'a> Evaluator<'a> {
             slots: HashMap::new(),
             evaluations: Vec::new(),
             skipped: Vec::new(),
+            failed: Vec::new(),
         }
     }
 
@@ -178,12 +183,15 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates every not-yet-seen design in `points` as one batch
-    /// (cached and invalid designs cost nothing).
+    /// (cached, invalid and previously-failed designs cost nothing).
     ///
     /// # Errors
     ///
-    /// Forwards *run* errors; build-time validation failures are recorded
-    /// as skipped designs instead.
+    /// Currently none: build-time validation failures are recorded as
+    /// *skipped* designs, and run-time failures (the batch isolates
+    /// panics/divergence per slot) as *failed* designs — both queryable
+    /// afterwards, neither aborting the search. The signature stays
+    /// fallible for [`SearchStrategy`] implementations.
     pub fn evaluate_all(&mut self, points: &[DesignPoint]) -> Result<(), CmosaicError> {
         let mut batch: Vec<DesignPoint> = Vec::new();
         let mut queued: HashSet<&DesignPoint> = HashSet::new();
@@ -225,14 +233,26 @@ impl<'a> Evaluator<'a> {
                     monitor.observe_only()
                 },
             )
-        })?;
+        });
         let ceiling_k = self.constraints.peak_ceiling().to_kelvin();
-        for (((point, outcome), (peak_obs, energy, monitor)), scenario) in valid
+        for (((point, slot), observer), scenario) in valid
             .into_iter()
-            .zip(&report.outcomes)
+            .zip(&report.slots)
             .zip(observers)
             .zip(&scenarios)
         {
+            let (outcome, (peak_obs, energy, monitor)) = match (slot, observer) {
+                (Ok(outcome), Some(obs)) => (outcome, obs),
+                // The batch isolated a run-time failure to this design's
+                // slot; record it and keep searching.
+                (Err(e), _) => {
+                    self.slots
+                        .insert(point.clone(), Slot::Failed(self.failed.len()));
+                    self.failed.push((point, e.clone()));
+                    continue;
+                }
+                (Ok(_), None) => unreachable!("successful slots keep their observers"),
+            };
             let budget = scenario.seconds();
             let metrics = outcome.metrics.clone();
             let peak = metrics.peak_temperature;
@@ -259,19 +279,27 @@ impl<'a> Evaluator<'a> {
         Ok(())
     }
 
-    /// The cached evaluation of one design, if it ran.
+    /// The cached evaluation of one design, if it ran to completion.
     pub fn evaluation(&self, point: &DesignPoint) -> Option<&Evaluation> {
         match self.slots.get(point)? {
             Slot::Done(i) => Some(&self.evaluations[*i]),
-            Slot::Invalid(_) => None,
+            Slot::Invalid(_) | Slot::Failed(_) => None,
         }
     }
 
     /// Why a design was skipped, if its spec failed validation.
     pub fn skip_reason(&self, point: &DesignPoint) -> Option<&CmosaicError> {
         match self.slots.get(point)? {
-            Slot::Done(_) => None,
             Slot::Invalid(i) => Some(&self.skipped[*i].1),
+            Slot::Done(_) | Slot::Failed(_) => None,
+        }
+    }
+
+    /// Why a design failed at run time, if the batch isolated it.
+    pub fn failure_reason(&self, point: &DesignPoint) -> Option<&SlotError> {
+        match self.slots.get(point)? {
+            Slot::Failed(i) => Some(&self.failed[*i].1),
+            Slot::Done(_) | Slot::Invalid(_) => None,
         }
     }
 
@@ -283,6 +311,12 @@ impl<'a> Evaluator<'a> {
     /// Designs whose spec failed build-time validation, with the error.
     pub fn skipped(&self) -> &[(DesignPoint, CmosaicError)] {
         &self.skipped
+    }
+
+    /// Designs that failed at run time (panic, divergence, exhausted
+    /// retry ladder), with the structured slot error.
+    pub fn failures(&self) -> &[(DesignPoint, SlotError)] {
+        &self.failed
     }
 
     /// The best feasible evaluation so far (see
@@ -320,6 +354,7 @@ impl<'a> Evaluator<'a> {
             epochs_run: self.evaluations.iter().map(|e| e.epochs_run).sum(),
             epochs_budget: self.evaluations.iter().map(|e| e.epochs_budget).sum(),
             skipped: self.skipped.len(),
+            failed: self.failed.len(),
             best,
             front,
             evals_to_best,
@@ -358,6 +393,9 @@ pub struct OptimizeReport {
     pub evaluations: Vec<Evaluation>,
     /// Designs skipped because their spec failed build-time validation.
     pub skipped: usize,
+    /// Designs that failed at run time and were isolated to their slots
+    /// by the fault-tolerant batch (never aborting the search).
+    pub failed: usize,
     /// 1-based position of the best design in the evaluation order — the
     /// "evaluations-to-optimum" cost of the strategy.
     pub evals_to_best: Option<usize>,
@@ -436,6 +474,37 @@ impl<'a> Optimizer<'a> {
             self.runner,
             self.early_abort,
         );
+        strategy.explore(&mut evaluator)?;
+        Ok(evaluator.into_report(strategy.name()))
+    }
+
+    /// Runs one strategy with the evaluation cache warm-started from a
+    /// prior report — the in-memory resume path: designs the prior run
+    /// already evaluated cost nothing, so an interrupted or extended
+    /// search picks up where it stopped. The prior report must come from
+    /// the same space, constraints and scenario parameters; cached
+    /// evaluations are trusted verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Forwards evaluation errors.
+    pub fn run_seeded(
+        &self,
+        strategy: &mut dyn SearchStrategy,
+        prior: &OptimizeReport,
+    ) -> Result<OptimizeReport, CmosaicError> {
+        let mut evaluator = Evaluator::new(
+            &self.space,
+            &self.constraints,
+            self.runner,
+            self.early_abort,
+        );
+        for e in &prior.evaluations {
+            evaluator
+                .slots
+                .insert(e.design.clone(), Slot::Done(evaluator.evaluations.len()));
+            evaluator.evaluations.push(e.clone());
+        }
         strategy.explore(&mut evaluator)?;
         Ok(evaluator.into_report(strategy.name()))
     }

@@ -43,6 +43,7 @@ use cmosaic_power::trace::{WorkloadKind, WorkloadTrace};
 use cmosaic_power::PowerModel;
 use cmosaic_thermal::{Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
 
+use crate::fault::FaultPlan;
 use crate::metrics::RunMetrics;
 use crate::observe::Observer;
 use crate::policy::{make_policy, PolicyKind};
@@ -256,6 +257,7 @@ pub struct ScenarioSpec {
     threshold: Celsius,
     sensor_noise_std: f64,
     sensor_seed: u64,
+    fault_plan: FaultPlan,
 }
 
 impl Default for ScenarioSpec {
@@ -277,6 +279,7 @@ impl Default for ScenarioSpec {
             threshold: sim.threshold,
             sensor_noise_std: sim.sensor_noise_std,
             sensor_seed: sim.sensor_seed,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -400,6 +403,13 @@ impl ScenarioSpec {
     pub fn sensor_noise(mut self, std: f64, seed: u64) -> Self {
         self.sensor_noise_std = std;
         self.sensor_seed = seed;
+        self
+    }
+
+    /// Schedules deterministic injected faults (test harness; see
+    /// [`FaultPlan`]). The default plan is empty and injects nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -595,6 +605,16 @@ impl ScenarioSpec {
                         stack.name()
                     )));
                 }
+                // Belt-and-braces: the trace constructor rejects samples
+                // outside [0, 1], but a non-finite utilization would NaN
+                // the whole power map, so re-check before freezing.
+                for t in 0..trace.seconds() {
+                    if let Some(&u) = trace.row(t).iter().find(|u| !u.is_finite()) {
+                        return Err(config(format!(
+                            "trace sample at second {t} is non-finite ({u})"
+                        )));
+                    }
+                }
                 trace.clone()
             }
         };
@@ -615,6 +635,7 @@ impl ScenarioSpec {
             },
             sensor_noise_std: self.sensor_noise_std,
             sensor_seed: self.sensor_seed,
+            fault_plan: self.fault_plan.clone(),
         };
         Ok(Scenario {
             spec: self.clone(),
@@ -676,6 +697,29 @@ impl Scenario {
         self.stack == other.stack
             && self.sim_config.grid == other.sim_config.grid
             && self.sim_config.thermal == other.sim_config.thermal
+    }
+
+    /// A copy with the solver demoted to the direct backend — the retry
+    /// ladder's first rung. `None` when the backend is already direct.
+    /// Demotion changes the operator pattern, so demoted retries never
+    /// adopt or donate a shared analysis.
+    pub(crate) fn demoted_direct(&self) -> Option<Scenario> {
+        if !self.sim_config.thermal.solver.is_iterative() {
+            return None;
+        }
+        let mut s = self.clone();
+        s.spec.solver = SolverBackend::DirectLu;
+        s.sim_config.thermal.solver = SolverBackend::DirectLu;
+        Some(s)
+    }
+
+    /// A copy with the thermal timestep halved — the retry ladder's
+    /// Δt rung for marginal operating points.
+    pub(crate) fn halved_dt(&self) -> Scenario {
+        let mut s = self.clone();
+        s.spec.thermal_dt /= 2.0;
+        s.sim_config.thermal_dt /= 2.0;
+        s
     }
 
     /// Builds the simulator without running it — the entry point the batch

@@ -21,11 +21,20 @@ use cmosaic_thermal::{TemperatureField, ThermalModel, ThermalParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::FaultPlan;
 use crate::metrics::{MetricsAccumulator, RunMetrics};
 use crate::observe::{EpochCtx, Observer};
 use crate::policy::{Observation, Policy};
 use crate::scenario::FlowSchedule;
 use crate::CmosaicError;
+
+/// Lower bound of the plausible-temperature band the per-epoch divergence
+/// guard enforces (well below any coolant inlet; a cell colder than this
+/// is numerics, not physics).
+pub const PHYSICAL_MIN_KELVIN: f64 = 150.0;
+/// Upper bound of the plausible band (far beyond silicon survival; even
+/// the 4-tier air-cooled runaway stays hundreds of kelvin below).
+pub const PHYSICAL_MAX_KELVIN: f64 = 2000.0;
 
 /// Static configuration of a co-simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +56,9 @@ pub struct SimConfig {
     pub sensor_noise_std: f64,
     /// Seed of the sensor-noise stream (independent of the trace seed).
     pub sensor_seed: u64,
+    /// Injected faults (test harness; empty in production — see
+    /// [`FaultPlan`]).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -59,6 +71,7 @@ impl Default for SimConfig {
             thermal: ThermalParams::default(),
             sensor_noise_std: 0.0,
             sensor_seed: 0x5e_a5,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -282,7 +295,16 @@ impl Simulator {
             let powers = self
                 .power
                 .tier_powers(plan, &demands, &vf, &element_temps[tier])?;
-            chip_power += powers.iter().sum::<f64>();
+            let tier_power: f64 = powers.iter().sum();
+            if !tier_power.is_finite() {
+                // A non-finite power map (leakage feedback off a diverged
+                // field, or a corrupt trace that slipped past validation)
+                // must not reach the thermal operator.
+                return Err(CmosaicError::Config {
+                    detail: format!("non-finite power ({tier_power}) on tier {tier}"),
+                });
+            }
+            chip_power += tier_power;
             maps.push(
                 self.config
                     .grid
@@ -384,6 +406,24 @@ impl Simulator {
         let mut executed = 0;
 
         for t in 0..seconds {
+            let epoch = self.seconds_run + t;
+            // Injected faults (empty plan in production): a panic models a
+            // policy/observer bug, a breakdown models the iterative solver
+            // giving up — both anchored to a deterministic epoch.
+            if self.config.fault_plan.panics_at(epoch) {
+                panic!("injected fault: panic at epoch {epoch}");
+            }
+            if self
+                .config
+                .fault_plan
+                .breaks_down_at(epoch, &self.config.thermal.solver)
+            {
+                return Err(CmosaicError::Thermal(
+                    cmosaic_thermal::ThermalError::Solver(cmosaic_sparse::SparseError::Breakdown {
+                        iteration: 0,
+                    }),
+                ));
+            }
             self.model.current_field_into(field);
             self.core_temps_into(field, temps);
             let sensed: Vec<Kelvin> = temps.iter().map(|&k| self.noisy(k)).collect();
@@ -453,6 +493,27 @@ impl Simulator {
                 epoch_peak = epoch_peak.max(peak);
             }
 
+            // Injected NaN (test harness): poison the field right where a
+            // numerically broken solve would have left one, so the guard
+            // below is exercised on the real detection path.
+            if let Some(cell) = self
+                .config
+                .fault_plan
+                .nan_cell_at(epoch, self.config.thermal_dt)
+            {
+                field.set_cell(cell, Kelvin(f64::NAN));
+            }
+
+            // Per-epoch divergence guard: one O(cells) scan per control
+            // interval, so a non-finite or physically implausible field
+            // surfaces as a structured error instead of NaN-poisoning the
+            // observers, metrics and downstream Pareto fronts.
+            if let Some((cell, value)) =
+                field.first_non_physical(Kelvin(PHYSICAL_MIN_KELVIN), Kelvin(PHYSICAL_MAX_KELVIN))
+            {
+                return Err(CmosaicError::Diverged { epoch, cell, value });
+            }
+
             // Energy and performance accounting over the interval.
             let interval = self.config.control_interval;
             self.acc.chip_energy += chip_power * interval;
@@ -476,7 +537,6 @@ impl Simulator {
 
             // Epoch hook: observers see the end-of-interval state with the
             // true (noise-free) temperatures.
-            let epoch = self.seconds_run + t;
             let ctx = EpochCtx {
                 epoch,
                 time: (epoch + 1) as f64 * interval,

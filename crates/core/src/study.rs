@@ -13,9 +13,14 @@
 //! [`BatchRunner`], inheriting its guarantees:
 //! scenarios sharing a thermal-operator pattern pay **one** full pivoting
 //! factorisation between them (donated
-//! [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis)), and the report is
-//! bit-identical at any thread count. [`Study::run_observed`] additionally
-//! hooks one [`Observer`] per scenario into the loop.
+//! [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis)), the report is
+//! bit-identical at any thread count, and run-time failures (panics,
+//! divergence, exhausted retry ladders) stay in their own slots
+//! ([`StudyReport::slots`]) instead of discarding the family's healthy
+//! results. [`Study::run_observed`] additionally hooks one [`Observer`]
+//! per scenario into the loop, and [`Study::run_checkpointed`] journals
+//! every finished slot to disk so a killed study resumes where it left
+//! off — bit-identical to the uninterrupted run.
 //!
 //! ```
 //! use cmosaic::scenario::ScenarioSpec;
@@ -45,7 +50,10 @@ use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
 use cmosaic_thermal::SolverBackend;
 
-use crate::batch::{BatchRunner, ScenarioOutcome};
+use std::path::Path;
+
+use crate::batch::{BatchRunner, ScenarioOutcome, SlotError};
+use crate::checkpoint::{self, StudyJournal};
 use crate::metrics::RunMetrics;
 use crate::observe::Observer;
 use crate::policy::PolicyKind;
@@ -258,14 +266,17 @@ impl Study {
     ///
     /// # Errors
     ///
-    /// Build errors first, then the error of the lowest-indexed failing
-    /// scenario (deterministic regardless of thread count).
+    /// Only build errors abort (the first invalid cell, before anything
+    /// runs). Run-time failures are isolated per slot: the report always
+    /// covers the whole matrix, with [`StudyReport::slots`] carrying a
+    /// structured [`SlotError`] for each failed scenario — deterministic
+    /// regardless of thread count.
     pub fn run(&self, runner: &BatchRunner) -> Result<StudyReport, CmosaicError> {
         let scenarios = self.build()?;
-        let batch = runner.run_scenarios(&scenarios)?;
+        let batch = runner.run_scenarios(&scenarios);
         Ok(StudyReport {
             specs: self.specs.clone(),
-            outcomes: batch.outcomes,
+            slots: batch.slots,
             pattern_groups: batch.pattern_groups,
             threads: batch.threads,
         })
@@ -273,7 +284,8 @@ impl Study {
 
     /// Like [`Study::run`], with one observer per scenario created by
     /// `factory` (called with the scenario index and the resolved
-    /// scenario) and returned in scenario order alongside the report.
+    /// scenario) and returned in scenario order alongside the report
+    /// (`None` for failed slots).
     ///
     /// # Errors
     ///
@@ -282,30 +294,74 @@ impl Study {
         &self,
         runner: &BatchRunner,
         factory: F,
-    ) -> Result<(StudyReport, Vec<O>), CmosaicError>
+    ) -> Result<(StudyReport, Vec<Option<O>>), CmosaicError>
     where
         O: Observer + Send,
         F: Fn(usize, &Scenario) -> O + Sync,
     {
         let scenarios = self.build()?;
-        let (batch, observers) = runner.run_scenarios_observed(&scenarios, factory)?;
+        let (batch, observers) = runner.run_scenarios_observed(&scenarios, factory);
         Ok((
             StudyReport {
                 specs: self.specs.clone(),
-                outcomes: batch.outcomes,
+                slots: batch.slots,
                 pattern_groups: batch.pattern_groups,
                 threads: batch.threads,
             },
             observers,
         ))
     }
+
+    /// Like [`Study::run`], journaling every finished slot to
+    /// `journal_path` (created on first use, validated against this
+    /// study's fingerprint thereafter — see
+    /// [`checkpoint`]). Slots already in the journal
+    /// are not re-run; their recorded results merge into the report
+    /// verbatim, so a study killed partway resumes where it left off and
+    /// the final report is bit-identical to an uninterrupted run at any
+    /// thread count. Returns the report plus how many slots were resumed
+    /// from the journal.
+    ///
+    /// # Errors
+    ///
+    /// Build errors, or [`CmosaicError::Journal`] when the journal
+    /// cannot be opened or belongs to a different study.
+    pub fn run_checkpointed(
+        &self,
+        runner: &BatchRunner,
+        journal_path: &Path,
+    ) -> Result<(StudyReport, usize), CmosaicError> {
+        let scenarios = self.build()?;
+        let journal = StudyJournal::open(
+            journal_path,
+            checkpoint::fingerprint(&self.specs),
+            scenarios.len(),
+        )?;
+        let resumed = journal.completed_count();
+        let (batch, _) = runner.run_scenarios_resumed(
+            &scenarios,
+            journal.completed(),
+            |_, _| (),
+            |i, slot| journal.record(i, slot),
+        );
+        Ok((
+            StudyReport {
+                specs: self.specs.clone(),
+                slots: batch.slots,
+                pattern_groups: batch.pattern_groups,
+                threads: batch.threads,
+            },
+            resumed,
+        ))
+    }
 }
 
-/// Results of one study, index-aligned with [`Study::specs`].
+/// Results of one study, index-aligned with [`Study::specs`]. Always
+/// complete: failed scenarios occupy their slots as [`SlotError`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudyReport {
     specs: Vec<ScenarioSpec>,
-    outcomes: Vec<ScenarioOutcome>,
+    slots: Vec<Result<ScenarioOutcome, SlotError>>,
     pattern_groups: usize,
     threads: usize,
 }
@@ -316,27 +372,50 @@ impl StudyReport {
         &self.specs
     }
 
-    /// Scenario outcomes, index-aligned with the specs.
-    pub fn outcomes(&self) -> &[ScenarioOutcome] {
-        &self.outcomes
+    /// Per-scenario results, index-aligned with the specs.
+    pub fn slots(&self) -> &[Result<ScenarioOutcome, SlotError>] {
+        &self.slots
     }
 
-    /// Number of scenarios.
+    /// The successful outcomes, in execution order (failed slots are
+    /// skipped; their indices live in [`ScenarioOutcome::index`]).
+    pub fn outcomes(&self) -> Vec<&ScenarioOutcome> {
+        self.slots.iter().filter_map(|s| s.as_ref().ok()).collect()
+    }
+
+    /// The lowest-indexed failure, if any.
+    pub fn first_error(&self) -> Option<(usize, &SlotError)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// `true` when every scenario succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.slots.iter().all(Result::is_ok)
+    }
+
+    /// Number of scenarios (successful or not).
     pub fn len(&self) -> usize {
-        self.outcomes.len()
+        self.slots.len()
     }
 
     /// `true` when the study was empty.
     pub fn is_empty(&self) -> bool {
-        self.outcomes.is_empty()
+        self.slots.is_empty()
     }
 
-    /// `(spec, outcome)` pairs in execution order.
+    /// `(spec, outcome)` pairs of the successful slots, in execution
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (&ScenarioSpec, &ScenarioOutcome)> {
-        self.specs.iter().zip(&self.outcomes)
+        self.specs
+            .iter()
+            .zip(&self.slots)
+            .filter_map(|(s, slot)| slot.as_ref().ok().map(|o| (s, o)))
     }
 
-    /// Metrics of the first scenario the predicate accepts.
+    /// Metrics of the first successful scenario the predicate accepts.
     pub fn metrics_matching<F>(&self, pred: F) -> Option<&RunMetrics>
     where
         F: Fn(&ScenarioSpec) -> bool,
@@ -354,10 +433,11 @@ impl StudyReport {
         self.threads
     }
 
-    /// Total full pivoting factorisations across every scenario — with
-    /// analysis sharing this equals [`StudyReport::pattern_groups`].
+    /// Total full pivoting factorisations across every successful
+    /// scenario — with analysis sharing and no failures this equals
+    /// [`StudyReport::pattern_groups`].
     pub fn total_full_factorizations(&self) -> u64 {
-        self.outcomes
+        self.outcomes()
             .iter()
             .map(|o| o.solver.full_factorizations)
             .sum()
@@ -529,6 +609,75 @@ mod tests {
     }
 
     #[test]
+    fn runtime_failures_stay_in_their_slots() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let study = Study::from_specs(vec![
+            tiny_base(),
+            tiny_base().fault_plan(FaultPlan::none().at(0, FaultKind::Panic)),
+            tiny_base().seed(9),
+        ]);
+        let report = study.run(&BatchRunner::new(2)).expect("builds fine");
+        assert_eq!(report.len(), 3);
+        assert!(!report.all_ok());
+        let (index, e) = report.first_error().expect("the panic is captured");
+        assert_eq!(index, 1);
+        assert!(e.to_string().contains("panicked"));
+        assert_eq!(report.outcomes().len(), 2);
+        // The healthy slots still share one factorisation and the
+        // Ok-only iterator skips the hole.
+        assert_eq!(report.iter().count(), 2);
+        assert!(report.metrics_matching(|s| s.trace_seed() == 9).is_some());
+    }
+
+    fn temp_journal_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "cmosaic-study-{}-{tag}-{}.log",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn interrupted_study_resumes_bit_identically() {
+        let study = Study::new(tiny_base()).over_seeds([1, 2, 3, 4]);
+        let baseline = study.run(&BatchRunner::new(2)).unwrap();
+        assert!(baseline.all_ok());
+
+        let path = temp_journal_path("resume");
+        // "Kill" the first run after two jobs (donor + one adopter)...
+        let (partial, resumed_first) = study
+            .run_checkpointed(&BatchRunner::new(2).with_job_limit(2), &path)
+            .unwrap();
+        assert_eq!(resumed_first, 0);
+        assert_eq!(partial.outcomes().len(), 2);
+        // ...then resume with a different thread count.
+        let (full, resumed) = study.run_checkpointed(&BatchRunner::new(1), &path).unwrap();
+        assert_eq!(resumed, 2, "journaled slots are skipped");
+        assert!(full.all_ok());
+        assert_eq!(
+            full.slots(),
+            baseline.slots(),
+            "resumed report is bit-identical to the uninterrupted run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journals_from_other_studies_are_refused() {
+        let path = temp_journal_path("mismatch");
+        let study = Study::new(tiny_base()).over_seeds([1, 2]);
+        study.run_checkpointed(&BatchRunner::new(1), &path).unwrap();
+        let other = Study::new(tiny_base()).over_seeds([1, 3]);
+        assert!(matches!(
+            other.run_checkpointed(&BatchRunner::new(1), &path),
+            Err(CmosaicError::Journal { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn observers_ride_the_batch() {
         let (report, peaks) = Study::new(tiny_base())
             .over_flow_rates([
@@ -537,6 +686,10 @@ mod tests {
             ])
             .run_observed(&BatchRunner::new(2), |_, _| PeakTemperature::new())
             .unwrap();
+        let peaks: Vec<PeakTemperature> = peaks
+            .into_iter()
+            .map(|p| p.expect("healthy scenarios keep their observers"))
+            .collect();
         assert_eq!(peaks.len(), 2);
         for (o, p) in report.outcomes().iter().zip(&peaks) {
             // `EpochCtx::peak` max-accumulates over each interval's

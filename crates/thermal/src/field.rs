@@ -166,6 +166,36 @@ impl TemperatureField {
         self.tier(tier).iter().filter(|&&t| t > threshold.0).count()
     }
 
+    /// Overwrites one cell temperature (layer-major index, excluding the
+    /// sink node). The hook fault-injection harnesses use to poison a
+    /// field with NaN and exercise divergence guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn set_cell(&mut self, cell: usize, value: Kelvin) {
+        let n = self.nx * self.ny * self.n_layers;
+        assert!(cell < n, "cell {cell} out of range ({n} cells)");
+        self.data[cell] = value.0;
+    }
+
+    /// First cell whose temperature is non-finite or outside the
+    /// `(lo, hi)` physical band, as `(cell index, value)` — the cheap
+    /// O(cells) divergence guard the co-simulation loop runs once per
+    /// control interval. `None` means every cell is finite and plausible.
+    ///
+    /// The scan is layer-major over [`TemperatureField::cells`] (the sink
+    /// node is excluded: it is bounded by the ambient model by
+    /// construction), so the reported cell index is deterministic — the
+    /// lowest offending index — regardless of how the field was produced.
+    pub fn first_non_physical(&self, lo: Kelvin, hi: Kelvin) -> Option<(usize, f64)> {
+        self.cells()
+            .iter()
+            .copied()
+            .enumerate()
+            .find(|&(_, t)| !t.is_finite() || t < lo.0 || t > hi.0)
+    }
+
     /// Sink-node temperature, for air-cooled stacks.
     pub fn sink(&self) -> Option<Kelvin> {
         self.has_sink
@@ -281,6 +311,26 @@ mod tests {
         assert!((f.tier_mean(0).0 - 301.5).abs() < 1e-12);
         assert_eq!(f.tier_cells_above(0, Kelvin(301.0)), 2);
         assert_eq!(f.tier_cells_above(0, Kelvin(400.0)), 0);
+    }
+
+    #[test]
+    fn non_physical_cells_are_flagged_by_lowest_index() {
+        let lo = Kelvin(200.0);
+        let hi = Kelvin(1000.0);
+        let f = field();
+        assert_eq!(f.first_non_physical(lo, hi), None);
+        let mut data = vec![
+            300.0, 301.0, 302.0, 303.0, 310.0, 311.0, 312.0, 313.0, 320.0,
+        ];
+        data[5] = f64::NAN;
+        data[7] = 1e6;
+        let bad = TemperatureField::new(2, 2, 2, vec![0], 1.0, 1.0, data, true);
+        let (cell, value) = bad.first_non_physical(lo, hi).expect("flagged");
+        assert_eq!(cell, 5, "lowest offending cell wins");
+        assert!(value.is_nan());
+        // The sink node is outside the scan.
+        let sink_hot = TemperatureField::new(1, 1, 1, vec![0], 1.0, 1.0, vec![300.0, 1e9], true);
+        assert_eq!(sink_hot.first_non_physical(lo, hi), None);
     }
 
     #[test]

@@ -99,6 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(84));
     for ((spec, outcome), extent) in report.iter().zip(&extents) {
+        let extent = extent.as_ref().expect("healthy slot keeps its observer");
         let m = &outcome.metrics;
         println!(
             "{:<10} {:<24} {:>6} {:>9.1} {:>9.0} {:>9.0} {:>12}",

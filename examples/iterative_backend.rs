@@ -49,8 +49,9 @@ fn main() -> Result<(), cmosaic::CmosaicError> {
         );
     }
 
-    let direct = &report.outcomes()[0];
-    let iterative = &report.outcomes()[1];
+    let outcomes = report.outcomes();
+    let direct = outcomes[0];
+    let iterative = outcomes[1];
 
     // The two backends agree on the physics to the iteration tolerance.
     let dp = direct.metrics.peak_temperature.0;

@@ -34,10 +34,11 @@ fn fig6_rows_pre_redesign(threads: usize) -> Vec<Fig6Row> {
     let report = BatchRunner::new(threads)
         .run(&scenarios)
         .expect("batch runs");
+    let outcomes = report.outcomes();
     let metric = |tiers: usize, policy: PolicyKind, wk: WorkloadKind| {
         scenarios
             .iter()
-            .zip(&report.outcomes)
+            .zip(&outcomes)
             .find(|(c, _)| c.tiers == tiers && c.policy == policy && c.workload == wk)
             .map(|(_, o)| &o.metrics)
             .expect("cell present")
