@@ -29,8 +29,9 @@
 //! * **Fault isolation.** One scenario panicking, diverging or erroring
 //!   never takes the batch down: every attempt runs under
 //!   `catch_unwind`, retryable failures walk a deterministic
-//!   degradation ladder (iterative→direct backend demotion, then up to
-//!   two Δt halvings — see [`RecoveryRecord`]), and the final
+//!   degradation ladder (stepwise backend demotion multigrid→ILU(0)→
+//!   direct, then up to two Δt halvings — see [`RecoveryRecord`]), and
+//!   the final
 //!   [`BatchReport`] carries a per-slot `Result` so healthy outcomes
 //!   survive alongside structured [`SlotError`]s. Because the ladder is
 //!   a pure function of the scenario (never of thread scheduling), the
@@ -62,21 +63,26 @@ use crate::CmosaicError;
 /// Maximum Δt halvings the retry ladder applies to one scenario.
 const MAX_DT_HALVINGS: u32 = 2;
 
+/// Maximum backend demotions the retry ladder applies to one scenario —
+/// enough to walk the full multigrid → ILU(0) → direct ladder.
+const MAX_BACKEND_DEMOTIONS: u32 = 2;
+
 /// How hard the retry/degradation ladder worked for one slot.
 ///
 /// A clean run is `attempts: 1` with zero demotions and halvings. The
 /// ladder is deterministic per scenario: after a retryable failure it
-/// first demotes an iterative backend to the direct solver (at most
-/// once, and sticky thereafter), then halves the thermal timestep up to
-/// two times, re-running the whole scenario from scratch
-/// at each rung. Non-retryable failures (panics, config errors, dry-out)
-/// stop the ladder immediately.
+/// first demotes the backend one rung down the solver ladder (multigrid
+/// → ILU(0) at the same operating point → direct LU, each demotion
+/// sticky), then halves the thermal timestep up to two times, re-running
+/// the whole scenario from scratch at each rung. Non-retryable failures
+/// (panics, config errors, dry-out) stop the ladder immediately.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryRecord {
     /// Full scenario attempts made (1 = clean first try; 0 only for
     /// slots that were never scheduled).
     pub attempts: u32,
-    /// Iterative→direct backend demotions taken (0 or 1).
+    /// Backend demotions taken (up to 2: multigrid → ILU(0) → direct;
+    /// ILU(0) starts one rung in, direct starts at the bottom).
     pub backend_demotions: u32,
     /// Thermal-timestep halvings applied (at most two).
     pub dt_halvings: u32,
@@ -718,8 +724,8 @@ where
                 // Retries restart the scenario from scratch; the adopted
                 // analysis belongs to the original configuration only.
                 adopt = None;
-                if recovery.backend_demotions == 0 {
-                    if let Some(demoted) = current.demoted_direct() {
+                if recovery.backend_demotions < MAX_BACKEND_DEMOTIONS {
+                    if let Some(demoted) = current.demoted_backend() {
                         current = demoted;
                         recovery.backend_demotions += 1;
                         continue;
@@ -966,6 +972,95 @@ mod tests {
         assert_eq!(
             report.slots,
             BatchRunner::new(1).run_scenarios(&scenarios).slots
+        );
+    }
+
+    #[test]
+    fn iterative_breakdown_walks_the_stepwise_demotion_ladder() {
+        // An injected breakdown fires while the backend is iterative, so
+        // a multigrid scenario must take *two* demotions (mg → ILU(0) →
+        // direct) before it clears, while an ILU(0) scenario takes one —
+        // and neither scenario burns a Δt halving on the way down.
+        let mk = |backend| {
+            ScenarioSpec::new()
+                .seconds(2)
+                .grid(tiny_grid())
+                .solver(backend)
+                .fault_plan(FaultPlan::none().at(0, FaultKind::IterativeBreakdown))
+                .build()
+                .unwrap()
+        };
+        let scenarios = vec![
+            mk(cmosaic_thermal::SolverBackend::multigrid()),
+            mk(cmosaic_thermal::SolverBackend::iterative()),
+        ];
+        let report = BatchRunner::new(2).run_scenarios(&scenarios);
+        assert!(report.all_ok(), "{:?}", report.errors());
+        let outcomes = report.outcomes();
+        let mg = &outcomes[0].recovery;
+        assert_eq!(
+            (mg.attempts, mg.backend_demotions, mg.dt_halvings),
+            (3, 2, 0)
+        );
+        let ilu = &outcomes[1].recovery;
+        assert_eq!(
+            (ilu.attempts, ilu.backend_demotions, ilu.dt_halvings),
+            (2, 1, 0)
+        );
+        // The ladder depends only on the scenario, never on scheduling.
+        assert_eq!(
+            report.slots,
+            BatchRunner::new(1).run_scenarios(&scenarios).slots
+        );
+    }
+
+    #[test]
+    fn multigrid_backend_rides_the_batch_bit_identically() {
+        // A fig6-style LC_FUZZY scenario under the multigrid backend:
+        // agrees with direct LU to solver tolerance, never assembles or
+        // factorises the fine level, never falls back, and the outcomes
+        // are bit-identical across thread counts.
+        let mk = |backend| {
+            ScenarioSpec::new()
+                .policy(PolicyKind::LcFuzzy)
+                .workload(WorkloadKind::WebServer)
+                .seconds(4)
+                .seed(11)
+                .grid(tiny_grid())
+                .solver(backend)
+                .build()
+                .unwrap()
+        };
+        let scenarios = vec![
+            mk(cmosaic_thermal::SolverBackend::multigrid()),
+            mk(cmosaic_thermal::SolverBackend::DirectLu),
+        ];
+        let serial = BatchRunner::new(1).run_scenarios(&scenarios);
+        let parallel = BatchRunner::new(8).run_scenarios(&scenarios);
+        assert!(serial.all_ok(), "{:?}", serial.errors());
+        assert_eq!(
+            serial.slots, parallel.slots,
+            "multigrid outcomes must not depend on thread count"
+        );
+        // Different solver params split the pattern groups, so the mg
+        // scenario is its own donor and still pays no fine factorisation.
+        assert_eq!(serial.pattern_groups, 2);
+        let outcomes = serial.outcomes();
+        let (mg, direct) = (&outcomes[0], &outcomes[1]);
+        assert!(mg.recovery.clean(), "{:?}", mg.recovery);
+        assert_eq!(mg.solver.full_factorizations, 0, "{:?}", mg.solver);
+        assert_eq!(mg.solver.iterative_fallbacks, 0, "{:?}", mg.solver);
+        assert!(mg.solver.mg_cycles >= 1, "{:?}", mg.solver);
+        assert!(mg.solver.iterative_solves >= 1, "{:?}", mg.solver);
+        let (pm, pd) = (
+            mg.metrics.peak_temperature.0,
+            direct.metrics.peak_temperature.0,
+        );
+        assert!((pm - pd).abs() < 1e-4, "mg {pm} vs direct {pd}");
+        assert!(
+            (mg.metrics.pump_energy - direct.metrics.pump_energy).abs()
+                < 1e-6 * direct.metrics.pump_energy.max(1.0),
+            "the fuzzy controller must make the same decisions under mg"
         );
     }
 

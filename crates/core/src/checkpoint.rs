@@ -35,7 +35,7 @@ use crate::metrics::RunMetrics;
 use crate::scenario::ScenarioSpec;
 use crate::CmosaicError;
 
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// FNV-1a fingerprint binding a journal to its study: hashes every
 /// spec's debug rendering in order, plus the count. Any change to a
@@ -194,7 +194,7 @@ fn render_slot_line(index: usize, slot: &Result<ScenarioOutcome, SlotError>) -> 
             let m = &o.metrics;
             let s = &o.solver;
             format!(
-                "slot {index} ok {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+                "slot {index} ok {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
                 render_recovery(&o.recovery),
                 hex_f64(m.hotspot_time_per_core),
                 hex_f64(m.hotspot_time_any),
@@ -215,6 +215,10 @@ fn render_slot_line(index: usize, slot: &Result<ScenarioOutcome, SlotError>) -> 
                 s.iterative_solves,
                 s.iterative_iterations,
                 s.iterative_fallbacks,
+                s.ilu_refreshes,
+                s.mg_cycles,
+                s.mg_smooth_sweeps,
+                s.mg_coarse_solves,
             )
         }
         Err(e) => {
@@ -245,7 +249,7 @@ fn parse_slot_line(line: &str) -> Option<(usize, Result<ScenarioOutcome, SlotErr
     };
     match toks[2] {
         "ok" => {
-            if toks.len() != 25 {
+            if toks.len() != 29 {
                 return None;
             }
             let f = |i: usize| parse_hex_f64(toks[i]);
@@ -276,6 +280,10 @@ fn parse_slot_line(line: &str) -> Option<(usize, Result<ScenarioOutcome, SlotErr
                 iterative_solves: u(22)?,
                 iterative_iterations: u(23)?,
                 iterative_fallbacks: u(24)?,
+                ilu_refreshes: u(25)?,
+                mg_cycles: u(26)?,
+                mg_smooth_sweeps: u(27)?,
+                mg_coarse_solves: u(28)?,
             };
             Some((
                 index,

@@ -43,9 +43,12 @@ pub enum FaultKind {
         dt_above: f64,
     },
     /// Surface an iterative-solver breakdown at the start of the epoch,
-    /// but only while the configured backend is
-    /// [`SolverBackend::IterativeIlu0`] — cleared by the retry ladder's
-    /// iterative→direct demotion.
+    /// but only while the configured backend is iterative
+    /// ([`SolverBackend::IterativeIlu0`] or [`SolverBackend::IterativeMg`])
+    /// — cleared once the retry ladder's stepwise demotion reaches the
+    /// direct backend. On an ILU(0) scenario that takes one demotion; on a
+    /// multigrid scenario the fault persists through the multigrid→ILU(0)
+    /// rung (still iterative) and exercises the full two-rung ladder.
     IterativeBreakdown,
 }
 
@@ -134,8 +137,9 @@ mod tests {
             );
         assert!(!p.is_empty());
         assert!(p.panics_at(1) && !p.panics_at(2));
-        // Breakdown fires only under an iterative backend.
+        // Breakdown fires only under an iterative backend (either one).
         assert!(p.breaks_down_at(2, &SolverBackend::iterative()));
+        assert!(p.breaks_down_at(2, &SolverBackend::multigrid()));
         assert!(!p.breaks_down_at(2, &SolverBackend::DirectLu));
         assert!(!p.breaks_down_at(1, &SolverBackend::iterative()));
         // Plain NaN ignores the timestep; the dt-gated one clears when

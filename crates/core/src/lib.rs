@@ -96,8 +96,9 @@
 //!   cascades.
 //! * **A deterministic degradation ladder.** Retryable failures
 //!   (divergence, linear-solver breakdown) re-run the scenario down a
-//!   fixed ladder — iterative→direct backend demotion (once, sticky),
-//!   then up to two thermal-timestep halvings — recorded per slot in
+//!   fixed ladder — stepwise backend demotion (multigrid → ILU(0) →
+//!   direct LU, each rung sticky), then up to two thermal-timestep
+//!   halvings — recorded per slot in
 //!   [`batch::RecoveryRecord`]. The ladder depends only on the scenario,
 //!   never on thread scheduling, so reports (including the errors) stay
 //!   bit-identical across thread counts.

@@ -106,8 +106,9 @@ impl DesignAxis {
     }
 
     /// A thermal solver-backend axis (labels from the backend's
-    /// `Display`: `direct-lu` / `bicgstab-ilu0(tol …, cap …)`, so two
-    /// iterative operating points stay distinguishable).
+    /// `Display`: `direct-lu` / `bicgstab-ilu0(tol …, cap …)` /
+    /// `bicgstab-mg(tol …, cap …)`, so two iterative operating points
+    /// stay distinguishable).
     pub fn solvers(backends: impl IntoIterator<Item = SolverBackend>) -> Self {
         Self::new(
             "solver",
@@ -362,20 +363,25 @@ mod tests {
 
     #[test]
     fn solver_axis_resolves_backends() {
-        let space =
-            DesignSpace::new(ScenarioSpec::new().policy(PolicyKind::LcLb).seconds(2)).with_axis(
-                DesignAxis::solvers([SolverBackend::DirectLu, SolverBackend::iterative()]),
-            );
-        assert_eq!(space.len(), 2);
+        let space = DesignSpace::new(ScenarioSpec::new().policy(PolicyKind::LcLb).seconds(2))
+            .with_axis(DesignAxis::solvers([
+                SolverBackend::DirectLu,
+                SolverBackend::iterative(),
+                SolverBackend::multigrid(),
+            ]));
+        assert_eq!(space.len(), 3);
         let pts = space.points();
         assert_eq!(space.label_of(&pts[0]), "direct-lu");
         assert_eq!(
             space.label_of(&pts[1]),
             "bicgstab-ilu0(tol 1e-10, cap 2000)"
         );
+        assert_eq!(space.label_of(&pts[2]), "bicgstab-mg(tol 1e-10, cap 2000)");
         assert!(!space.spec(&pts[0]).solver_backend().is_iterative());
         assert!(space.spec(&pts[1]).solver_backend().is_iterative());
+        assert!(space.spec(&pts[2]).solver_backend().is_iterative());
         assert!(space.spec(&pts[1]).build().is_ok());
+        assert!(space.spec(&pts[2]).build().is_ok());
     }
 
     #[test]

@@ -495,8 +495,10 @@ impl ScenarioSpec {
                 FlowSchedule::Policy => unreachable!("guarded by is_policy"),
             });
         }
-        if self.solver.is_iterative() {
-            label.push_str("/bicgstab");
+        match self.solver {
+            SolverBackend::DirectLu => {}
+            SolverBackend::IterativeIlu0 { .. } => label.push_str("/bicgstab"),
+            SolverBackend::IterativeMg { .. } => label.push_str("/bicgstab-mg"),
         }
         label
     }
@@ -699,17 +701,27 @@ impl Scenario {
             && self.sim_config.thermal == other.sim_config.thermal
     }
 
-    /// A copy with the solver demoted to the direct backend — the retry
-    /// ladder's first rung. `None` when the backend is already direct.
-    /// Demotion changes the operator pattern, so demoted retries never
-    /// adopt or donate a shared analysis.
-    pub(crate) fn demoted_direct(&self) -> Option<Scenario> {
-        if !self.sim_config.thermal.solver.is_iterative() {
-            return None;
-        }
+    /// A copy with the solver demoted one rung down the backend ladder:
+    /// multigrid → ILU(0) at the same operating point (a breakdown of the
+    /// V-cycle does not implicate the Krylov iteration itself) → direct
+    /// LU. `None` when the backend is already direct. Demotion changes
+    /// the operator pattern, so demoted retries never adopt or donate a
+    /// shared analysis.
+    pub(crate) fn demoted_backend(&self) -> Option<Scenario> {
+        let next = match self.sim_config.thermal.solver {
+            SolverBackend::DirectLu => return None,
+            SolverBackend::IterativeIlu0 { .. } => SolverBackend::DirectLu,
+            SolverBackend::IterativeMg {
+                tolerance,
+                max_iterations,
+            } => SolverBackend::IterativeIlu0 {
+                tolerance,
+                max_iterations,
+            },
+        };
         let mut s = self.clone();
-        s.spec.solver = SolverBackend::DirectLu;
-        s.sim_config.thermal.solver = SolverBackend::DirectLu;
+        s.spec.solver = next;
+        s.sim_config.thermal.solver = next;
         Some(s)
     }
 
@@ -963,6 +975,51 @@ mod tests {
             .unwrap();
         assert_eq!(m.seconds, 3);
         assert!(m.peak_temperature > Kelvin(0.0));
+        // The multigrid backend gets its own label suffix and also runs
+        // end to end (6×6 coarsens once, to a 3×3 assembled level).
+        let mg = ScenarioSpec::new().solver(SolverBackend::multigrid());
+        assert!(mg.solver_backend().is_iterative());
+        assert!(mg.display_label().ends_with("/bicgstab-mg"));
+        let m = mg
+            .grid(GridSpec::new(6, 6).expect("static"))
+            .seconds(3)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.seconds, 3);
+        assert!(m.peak_temperature > Kelvin(0.0));
+    }
+
+    #[test]
+    fn backend_demotion_steps_one_rung_at_a_time() {
+        let tol = 1e-8;
+        let cap = 500;
+        let s = ScenarioSpec::new()
+            .seconds(2)
+            .solver(SolverBackend::IterativeMg {
+                tolerance: tol,
+                max_iterations: cap,
+            })
+            .build()
+            .unwrap();
+        // Multigrid demotes to ILU(0) at the *same* operating point...
+        let ilu = s.demoted_backend().expect("mg has a rung below");
+        assert_eq!(
+            ilu.spec().solver_backend(),
+            SolverBackend::IterativeIlu0 {
+                tolerance: tol,
+                max_iterations: cap,
+            }
+        );
+        // ...which demotes to direct LU, which is the bottom of the ladder.
+        let direct = ilu.demoted_backend().expect("ilu0 has a rung below");
+        assert_eq!(direct.spec().solver_backend(), SolverBackend::DirectLu);
+        assert!(direct.demoted_backend().is_none());
+        // Each demotion changes the operator pattern, so demoted retries
+        // never share a symbolic analysis with their original group.
+        assert!(!s.same_operator_pattern(&ilu));
+        assert!(!ilu.same_operator_pattern(&direct));
     }
 
     #[test]

@@ -484,26 +484,36 @@ mod tests {
 
     #[test]
     fn solver_axis_expands_and_splits_pattern_groups() {
-        let study = Study::new(tiny_base())
-            .over_solvers([SolverBackend::DirectLu, SolverBackend::iterative()]);
-        assert_eq!(study.len(), 2);
+        let study = Study::new(tiny_base()).over_solvers([
+            SolverBackend::DirectLu,
+            SolverBackend::iterative(),
+            SolverBackend::multigrid(),
+        ]);
+        assert_eq!(study.len(), 3);
         assert!(!study.specs()[0].solver_backend().is_iterative());
         assert!(study.specs()[1].solver_backend().is_iterative());
+        assert!(study.specs()[2].solver_backend().is_iterative());
         let report = study.run(&BatchRunner::new(2)).unwrap();
-        assert_eq!(report.len(), 2);
-        // Same stack/grid but different thermal params: two groups, and
+        assert_eq!(report.len(), 3);
+        // Same stack/grid but different thermal params: three groups, and
         // only the direct cell pays a full factorisation.
-        assert_eq!(report.pattern_groups(), 2);
+        assert_eq!(report.pattern_groups(), 3);
         let direct = &report.outcomes()[0].solver;
         let iterative = &report.outcomes()[1].solver;
+        let mg = &report.outcomes()[2].solver;
         assert!(direct.full_factorizations >= 1);
         assert_eq!(direct.iterative_solves, 0);
         assert!(iterative.iterative_solves >= 1, "{iterative:?}");
         assert_eq!(iterative.iterative_fallbacks, 0, "{iterative:?}");
-        // The two backends agree on the physics to solver tolerance.
+        assert!(mg.iterative_solves >= 1, "{mg:?}");
+        assert_eq!(mg.iterative_fallbacks, 0, "{mg:?}");
+        assert!(mg.mg_cycles >= 1, "{mg:?}");
+        // The backends agree on the physics to solver tolerance.
         let pd = report.outcomes()[0].metrics.peak_temperature.0;
         let pi = report.outcomes()[1].metrics.peak_temperature.0;
+        let pm = report.outcomes()[2].metrics.peak_temperature.0;
         assert!((pd - pi).abs() < 1e-4, "{pd} vs {pi}");
+        assert!((pd - pm).abs() < 1e-4, "{pd} vs {pm}");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use crate::csc::CscMatrix;
 use crate::ilu::Ilu0;
+use crate::operator::{LinearOperator, Preconditioner};
 use crate::{dot, norm2, SparseError};
 
 /// Relative breakdown threshold: an inner product smaller than
@@ -47,6 +48,17 @@ pub struct BicgstabOptions {
     /// preconditioner. Ignored by [`bicgstab_into`], whose preconditioner
     /// is caller-owned.
     pub use_ilu0: bool,
+    /// When set, [`bicgstab_into`] starts from the incoming contents of
+    /// `x` instead of the zero guess (`r = b − A·x`), and may return in
+    /// zero iterations if the guess already meets the tolerance.
+    ///
+    /// **Determinism contract:** off (the default), every solve of the
+    /// same `(A, b)` is bit-identical regardless of history. On, the
+    /// trajectory depends on the incoming guess — runs are still
+    /// deterministic for a fixed solve sequence, but results are no
+    /// longer independent of prior solves. Leave off where bit-stable
+    /// reports are required.
+    pub warm_start: bool,
 }
 
 impl Default for BicgstabOptions {
@@ -55,6 +67,7 @@ impl Default for BicgstabOptions {
             tolerance: 1e-10,
             max_iterations: 2000,
             use_ilu0: true,
+            warm_start: false,
         }
     }
 }
@@ -186,14 +199,14 @@ pub fn bicgstab(
             detail: format!("rhs length {} != {}", b.len(), a.nrows()),
         });
     }
-    let precond = if options.use_ilu0 && a.nrows() == a.ncols() {
+    let mut precond = if options.use_ilu0 && a.nrows() == a.ncols() {
         Some(Ilu0::new(a)?)
     } else {
         None
     };
     let mut ws = IterativeWorkspace::new();
     let mut x = vec![0.0f64; a.nrows()];
-    let summary = bicgstab_into(a, b, precond.as_ref(), options, &mut ws, &mut x)?;
+    let summary = bicgstab_into(a, b, precond.as_mut(), options, &mut ws, &mut x)?;
     Ok(BicgstabOutcome {
         x,
         iterations: summary.iterations,
@@ -202,9 +215,18 @@ pub fn bicgstab(
 }
 
 /// Solves `A·x = b` by BiCGSTAB with a caller-owned preconditioner and
-/// workspace, writing the solution into `x` (fully overwritten; the
-/// iteration starts from the zero guess, so the result is independent of
-/// `x`'s incoming contents).
+/// workspace, writing the solution into `x`.
+///
+/// Generic over the [`LinearOperator`] being solved (assembled
+/// [`CscMatrix`] or a matrix-free stencil form) and the
+/// [`Preconditioner`] applied ([`Ilu0`] or
+/// [`Multigrid`](crate::Multigrid)).
+///
+/// By default `x` is fully overwritten — the iteration starts from the
+/// zero guess, so the result is independent of `x`'s incoming contents.
+/// With [`BicgstabOptions::warm_start`] set, `x`'s incoming contents are
+/// the initial guess instead; see the field docs for the determinism
+/// trade-off.
 ///
 /// `precond` is applied as-is — build it once per operator
 /// ([`Ilu0::new`]) and reuse it across every solve of that operator.
@@ -220,14 +242,18 @@ pub fn bicgstab(
 /// * [`SparseError::Breakdown`] — a scale-relative vanishing inner
 ///   product (see the [module docs](self)); fall back to the direct
 ///   solver.
-pub fn bicgstab_into(
-    a: &CscMatrix,
+pub fn bicgstab_into<A, M>(
+    a: &A,
     b: &[f64],
-    precond: Option<&Ilu0>,
+    precond: Option<&mut M>,
     options: &BicgstabOptions,
     ws: &mut IterativeWorkspace,
     x: &mut [f64],
-) -> Result<BicgstabSummary, SparseError> {
+) -> Result<BicgstabSummary, SparseError>
+where
+    A: LinearOperator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
     if a.nrows() != a.ncols() {
         return Err(SparseError::Shape {
             detail: format!(
@@ -247,7 +273,8 @@ pub fn bicgstab_into(
             ),
         });
     }
-    if let Some(m) = precond {
+    let mut precond = precond;
+    if let Some(m) = &precond {
         if m.n() != n {
             return Err(SparseError::Shape {
                 detail: format!("preconditioner dimension {} != {n}", m.n()),
@@ -256,8 +283,8 @@ pub fn bicgstab_into(
     }
 
     let bnorm = norm2(b);
-    x.fill(0.0);
     if bnorm == 0.0 {
+        x.fill(0.0);
         return Ok(BicgstabSummary {
             iterations: 0,
             residual: 0.0,
@@ -266,13 +293,36 @@ pub fn bicgstab_into(
 
     // Scale of the operator, the reference for the `t = A·ŝ` vanishing
     // test below (‖t‖ must be judged against ‖A‖·‖ŝ‖, not ‖ŝ‖ alone).
-    let a_scale = a.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let a_scale = a.max_abs();
 
     ws.ensure(n);
-    ws.r.copy_from_slice(b); // r = b - A·0
-    ws.r0.copy_from_slice(b);
-    let r0_norm = bnorm;
-    let mut r_norm = bnorm;
+    let r0_norm;
+    let mut r_norm;
+    if options.warm_start {
+        // r = b − A·x from the caller-supplied guess. Everything below is
+        // unchanged; a zero incoming x reproduces the cold path exactly
+        // (r = b bit-for-bit, and ‖r₀‖ = ‖b‖ through the same `norm2`).
+        a.matvec_into(x, &mut ws.t);
+        for (ri, (&bi, &ti)) in ws.r.iter_mut().zip(b.iter().zip(&ws.t)) {
+            *ri = bi - ti;
+        }
+        ws.r0.copy_from_slice(&ws.r);
+        r0_norm = norm2(&ws.r0);
+        r_norm = r0_norm;
+        if r_norm / bnorm < options.tolerance {
+            let res = relative_residual_into(a, x, b, bnorm, &mut ws.t);
+            return Ok(BicgstabSummary {
+                iterations: 0,
+                residual: res,
+            });
+        }
+    } else {
+        x.fill(0.0);
+        ws.r.copy_from_slice(b); // r = b - A·0
+        ws.r0.copy_from_slice(b);
+        r0_norm = bnorm;
+        r_norm = bnorm;
+    }
     let mut rho = 1.0f64;
     let mut alpha = 1.0f64;
     let mut omega = 1.0f64;
@@ -291,7 +341,7 @@ pub fn bicgstab_into(
         for i in 0..n {
             ws.p[i] = ws.r[i] + beta * (ws.p[i] - omega * ws.v[i]);
         }
-        apply_precond(precond, &ws.p, &mut ws.p_hat)?;
+        apply_precond(precond.as_deref_mut(), &ws.p, &mut ws.p_hat)?;
         a.matvec_into(&ws.p_hat, &mut ws.v);
         let denom = dot(&ws.r0, &ws.v);
         let v_norm = norm2(&ws.v);
@@ -313,7 +363,7 @@ pub fn bicgstab_into(
                 residual: res,
             });
         }
-        apply_precond(precond, &ws.s, &mut ws.s_hat)?;
+        apply_precond(precond.as_deref_mut(), &ws.s, &mut ws.s_hat)?;
         let s_hat_norm = norm2(&ws.s_hat);
         a.matvec_into(&ws.s_hat, &mut ws.t);
         let tt = dot(&ws.t, &ws.t);
@@ -351,7 +401,11 @@ pub fn bicgstab_into(
 }
 
 /// `z = M⁻¹·r`, or a plain copy when unpreconditioned.
-fn apply_precond(m: Option<&Ilu0>, r: &[f64], z: &mut Vec<f64>) -> Result<(), SparseError> {
+fn apply_precond<M: Preconditioner + ?Sized>(
+    m: Option<&mut M>,
+    r: &[f64],
+    z: &mut Vec<f64>,
+) -> Result<(), SparseError> {
     match m {
         Some(m) => m.apply_into(r, z),
         None => {
@@ -363,8 +417,8 @@ fn apply_precond(m: Option<&Ilu0>, r: &[f64], z: &mut Vec<f64>) -> Result<(), Sp
 }
 
 /// ‖A·x − b‖ / ‖b‖ computed through a caller-owned scratch vector.
-fn relative_residual_into(
-    a: &CscMatrix,
+fn relative_residual_into<A: LinearOperator + ?Sized>(
+    a: &A,
     x: &[f64],
     b: &[f64],
     bnorm: f64,
@@ -470,6 +524,7 @@ mod tests {
             tolerance: 1e-14,
             max_iterations: 1,
             use_ilu0: false,
+            warm_start: false,
         };
         assert!(matches!(
             bicgstab(&a, &b, &opts),
@@ -491,7 +546,7 @@ mod tests {
         assert!(bicgstab_into(
             &a,
             &[1.0; 4],
-            None,
+            None::<&mut Ilu0>,
             &BicgstabOptions::default(),
             &mut ws,
             &mut x
@@ -501,18 +556,18 @@ mod tests {
         assert!(bicgstab_into(
             &a,
             &[1.0; 9],
-            None,
+            None::<&mut Ilu0>,
             &BicgstabOptions::default(),
             &mut ws,
             &mut short
         )
         .is_err());
-        let wrong_m = Ilu0::new(&grid_with_sink(2, 2)).unwrap();
+        let mut wrong_m = Ilu0::new(&grid_with_sink(2, 2)).unwrap();
         assert!(matches!(
             bicgstab_into(
                 &a,
                 &[1.0; 9],
-                Some(&wrong_m),
+                Some(&mut wrong_m),
                 &BicgstabOptions::default(),
                 &mut ws,
                 &mut x
@@ -528,10 +583,10 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).cos() + 1.1).collect();
         let opts = BicgstabOptions::default();
         let fresh = bicgstab(&a, &b, &opts).unwrap();
-        let m = Ilu0::new(&a).unwrap();
+        let mut m = Ilu0::new(&a).unwrap();
         let mut ws = IterativeWorkspace::with_dimension(n);
         let mut x = vec![7.0; n]; // stale contents must not matter
-        let summary = bicgstab_into(&a, &b, Some(&m), &opts, &mut ws, &mut x).unwrap();
+        let summary = bicgstab_into(&a, &b, Some(&mut m), &opts, &mut ws, &mut x).unwrap();
         assert_eq!(x, fresh.x, "identical bits through either entry point");
         assert_eq!(summary.iterations, fresh.iterations);
         assert_eq!(summary.residual, fresh.residual);
@@ -543,17 +598,64 @@ mod tests {
         let a = grid_with_sink(9, 9);
         let n = a.nrows();
         let b = vec![1.0; n];
-        let m = Ilu0::new(&a).unwrap();
+        let mut m = Ilu0::new(&a).unwrap();
         let opts = BicgstabOptions::default();
         let mut ws = IterativeWorkspace::new();
         let mut x = vec![0.0; n];
-        bicgstab_into(&a, &b, Some(&m), &opts, &mut ws, &mut x).unwrap();
+        bicgstab_into(&a, &b, Some(&mut m), &opts, &mut ws, &mut x).unwrap();
         let warm = ws.grows();
         assert!(warm >= 1, "first use must grow the buffers");
         for _ in 0..20 {
-            bicgstab_into(&a, &b, Some(&m), &opts, &mut ws, &mut x).unwrap();
+            bicgstab_into(&a, &b, Some(&mut m), &opts, &mut ws, &mut x).unwrap();
         }
         assert_eq!(ws.grows(), warm, "warm solves must never reallocate");
+    }
+
+    #[test]
+    fn warm_start_from_zero_guess_matches_cold_path_bitwise() {
+        // The determinism contract's boundary case: a zero incoming guess
+        // under warm_start reproduces the cold path exactly.
+        let a = grid_with_sink(8, 7);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.2).collect();
+        let mut m = Ilu0::new(&a).unwrap();
+        let cold = BicgstabOptions::default();
+        let warm = BicgstabOptions {
+            warm_start: true,
+            ..Default::default()
+        };
+        let mut ws = IterativeWorkspace::new();
+        let mut x_cold = vec![3.0; n];
+        let s_cold = bicgstab_into(&a, &b, Some(&mut m), &cold, &mut ws, &mut x_cold).unwrap();
+        let mut x_warm = vec![0.0; n];
+        let s_warm = bicgstab_into(&a, &b, Some(&mut m), &warm, &mut ws, &mut x_warm).unwrap();
+        assert_eq!(x_cold, x_warm, "zero guess must reproduce the cold bits");
+        assert_eq!(s_cold, s_warm);
+    }
+
+    #[test]
+    fn warm_start_from_converged_guess_exits_in_zero_iterations() {
+        let a = grid_with_sink(8, 7);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).cos() + 1.1).collect();
+        let mut m = Ilu0::new(&a).unwrap();
+        let opts = BicgstabOptions {
+            warm_start: true,
+            ..Default::default()
+        };
+        let mut ws = IterativeWorkspace::new();
+        let mut x = vec![0.0; n];
+        let first = bicgstab_into(&a, &b, Some(&mut m), &opts, &mut ws, &mut x).unwrap();
+        assert!(first.iterations > 0);
+        // Re-solving from the converged solution is (near-)free: either the
+        // guess already meets the tolerance (0 iterations) or one cleanup
+        // iteration closes the gap between recursive and true residual.
+        let again = bicgstab_into(&a, &b, Some(&mut m), &opts, &mut ws, &mut x).unwrap();
+        assert!(
+            again.iterations <= 1,
+            "warm restart took {} iterations",
+            again.iterations
+        );
     }
 
     #[test]

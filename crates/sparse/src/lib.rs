@@ -24,7 +24,30 @@
 //!   and the [`bicgstab_into`] entry point performs zero heap allocation
 //!   once its [`IterativeWorkspace`] is warm — the iterative counterpart
 //!   of [`LuFactors::solve_with`] + [`SolveWorkspace`].
+//! * [`operator`] — the [`LinearOperator`] / [`Preconditioner`] traits
+//!   that [`bicgstab_into`] is generic over, so the Krylov loop runs
+//!   unchanged against an assembled [`CscMatrix`] or a matrix-free
+//!   stencil operator supplied by a downstream crate.
+//! * [`multigrid`] — a seeded, deterministic geometric V-cycle
+//!   [`Multigrid`] preconditioner (full-weighting restriction, bilinear
+//!   prolongation, damped-Jacobi smoothing, direct-LU coarse solve) for
+//!   structured-grid operators, giving (near-)resolution-independent
+//!   BiCGSTAB iteration counts.
 //! * [`dense`] — small dense LU used by tests as an oracle.
+//!
+//! # Operator and preconditioner contracts
+//!
+//! [`LinearOperator::matvec_into`] must fully overwrite its output, be
+//! allocation-free once warm, and — for two representations of the same
+//! matrix to be interchangeable mid-run — produce **bit-identical**
+//! results, which pins the accumulation order (see the trait docs).
+//! [`Preconditioner::apply_into`] must be a pure function of the residual
+//! (its `&mut self` is scratch, not state), so a preconditioned solve is
+//! reproducible bit-for-bit across repeats. A preconditioner that cannot
+//! be *built* (singular ILU pivot, singular coarse operator) fails at
+//! construction, never mid-solve; failures mid-solve surface as
+//! [`SparseError::Breakdown`]/[`SparseError::NoConvergence`] and callers
+//! (the thermal crate's backend ladder) fall back to the direct solver.
 //!
 //! # Symbolic/numeric split
 //!
@@ -86,6 +109,8 @@ pub mod csc;
 pub mod dense;
 pub mod ilu;
 pub mod lu;
+pub mod multigrid;
+pub mod operator;
 pub mod ordering;
 pub mod triplet;
 
@@ -96,6 +121,8 @@ pub use csc::CscMatrix;
 pub use dense::DenseMatrix;
 pub use ilu::Ilu0;
 pub use lu::{LuFactors, SolveWorkspace, SymbolicLu};
+pub use multigrid::{GridShape, Multigrid, MultigridOptions, MultigridStats};
+pub use operator::{LinearOperator, Preconditioner};
 pub use triplet::TripletMatrix;
 
 use std::error::Error;

@@ -1,0 +1,696 @@
+//! Geometric multigrid preconditioner for structured-grid operators.
+//!
+//! A [`Multigrid`] runs V-cycles over a caller-supplied hierarchy of
+//! [`LinearOperator`] levels living on nested cell-centered grids
+//! ([`GridShape`]): operator-defined smoothing on every level (damped
+//! Jacobi by default, via [`LinearOperator::smooth_pass`]), aggregation
+//! (full-weighting) restriction of the residual, cell-centered bilinear
+//! prolongation of the correction, and a small direct-LU coarse solve
+//! reusing the existing [`SymbolicLu`] machinery. Implemented against the
+//! [`Preconditioner`] trait, so [`crate::bicgstab_into`] accepts it
+//! anywhere an [`crate::Ilu0`] is accepted.
+//!
+//! # Why geometric, and who builds the hierarchy
+//!
+//! The thermal operators live on a structured per-tier grid with a fixed
+//! stencil; re-discretising the physics on a 2×-coarser grid is exact and
+//! O(n), so the *caller* owns coarsening (it knows the physics) and this
+//! module owns the cycle (it knows the numerics). Coarsening halves the
+//! in-plane dimensions only — layers and trailing lumped nodes (the heat
+//! sink) pass through every level unchanged.
+//!
+//! # Determinism
+//!
+//! The cycle contains no randomness and every loop runs in a fixed order,
+//! so an apply is a pure function of the residual vector and the
+//! construction inputs: repeated applies return bit-identical results,
+//! independent of thread count. This is the contract
+//! [`Preconditioner::apply_into`] requires.
+//!
+//! # Transfer-operator conventions
+//!
+//! Residuals in an RC thermal network are *extensive* (watts), so
+//! restriction **sums** the four fine children of each coarse cell —
+//! consistent with coarse couplings re-discretised for 4× the cell area.
+//! Prolongation interpolates the (intensive) correction bilinearly with
+//! weights 3/4 and 1/4 per axis, clamped at boundaries; trailing lumped
+//! nodes restrict and prolongate by injection.
+
+use std::sync::Arc;
+
+use crate::csc::CscMatrix;
+use crate::lu::{self, ColumnOrdering, LuFactors, SolveWorkspace, SymbolicLu};
+use crate::operator::{LinearOperator, Preconditioner};
+use crate::SparseError;
+
+/// Cell-centered structured-grid shape of one multigrid level:
+/// `nz` tiers of `nx × ny` cells plus `extra` trailing lumped nodes
+/// (heat-sink node), for `nx·ny·nz + extra` unknowns, cells numbered
+/// `z·nx·ny + y·nx + x` with the lumped nodes last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    /// Cells along x within each tier.
+    pub nx: usize,
+    /// Cells along y within each tier.
+    pub ny: usize,
+    /// Number of tiers (never coarsened).
+    pub nz: usize,
+    /// Trailing lumped nodes (never coarsened).
+    pub extra: usize,
+}
+
+impl GridShape {
+    /// Total number of unknowns on this level.
+    pub fn n(&self) -> usize {
+        self.nx * self.ny * self.nz + self.extra
+    }
+
+    /// Number of grid cells (excluding the trailing lumped nodes).
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// The 2×-coarser in-plane shape, or `None` when either in-plane
+    /// dimension is odd or would drop below one cell.
+    pub fn coarsened(&self) -> Option<GridShape> {
+        if self.nx < 2 || self.ny < 2 || !self.nx.is_multiple_of(2) || !self.ny.is_multiple_of(2) {
+            return None;
+        }
+        Some(GridShape {
+            nx: self.nx / 2,
+            ny: self.ny / 2,
+            nz: self.nz,
+            extra: self.extra,
+        })
+    }
+}
+
+/// Tuning knobs for the V-cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultigridOptions {
+    /// Smoothing sweeps before restriction on each level.
+    pub pre_sweeps: usize,
+    /// Smoothing sweeps after prolongation on each level.
+    pub post_sweeps: usize,
+    /// Jacobi damping factor ω in `x ← x + ω·D⁻¹·(b − A·x)`.
+    pub damping: f64,
+    /// V-cycles per preconditioner application.
+    pub cycles: usize,
+}
+
+impl Default for MultigridOptions {
+    fn default() -> Self {
+        MultigridOptions {
+            pre_sweeps: 1,
+            post_sweeps: 1,
+            damping: 0.8,
+            cycles: 1,
+        }
+    }
+}
+
+/// Cumulative work counters, drained with [`Multigrid::take_stats`] so a
+/// caller can attribute V-cycle work to individual solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultigridStats {
+    /// V-cycles executed.
+    pub cycles: u64,
+    /// Smoothing sweeps across all levels.
+    pub smooth_sweeps: u64,
+    /// Direct solves on the coarsest level.
+    pub coarse_solves: u64,
+}
+
+/// One smoothed level of the hierarchy.
+#[derive(Debug, Clone)]
+struct MgLevel<A> {
+    op: A,
+    shape: GridShape,
+    inv_diag: Vec<f64>,
+    x: Vec<f64>,
+    b: Vec<f64>,
+    r: Vec<f64>,
+}
+
+/// Geometric V-cycle preconditioner over a caller-built operator
+/// hierarchy; see the [module docs](self) for the scheme and contracts.
+///
+/// Apply it through [`Preconditioner::apply_into`]; applies are
+/// allocation-free once the output buffer is warm (the level scratch and
+/// the coarse [`SolveWorkspace`] are pre-sized at construction).
+#[derive(Debug, Clone)]
+pub struct Multigrid<A> {
+    levels: Vec<MgLevel<A>>,
+    coarse_shape: GridShape,
+    coarse_factors: LuFactors,
+    coarse_symbolic: Arc<SymbolicLu>,
+    coarse_ws: SolveWorkspace,
+    coarse_x: Vec<f64>,
+    coarse_b: Vec<f64>,
+    options: MultigridOptions,
+    stats: MultigridStats,
+}
+
+impl<A: LinearOperator> Multigrid<A> {
+    /// Builds a multigrid preconditioner from smoothed levels (finest
+    /// first, each exactly the in-plane coarsening of its predecessor)
+    /// plus the assembled coarsest-level operator, which is LU-factored
+    /// here.
+    ///
+    /// `levels` entries are `(operator, shape, diagonal)`; the diagonal
+    /// drives the Jacobi smoother. `coarse_symbolic` is an optional
+    /// symbolic factorisation captured from a previous build on the same
+    /// coarse pattern (an operating-point refresh): when valid it turns
+    /// the coarse factorisation into a numeric-only
+    /// [`SymbolicLu::refactor`]; when stale or unstable the build falls
+    /// back to a fresh pivoting factorisation transparently. Retrieve the
+    /// current symbolic with [`Multigrid::coarse_symbolic`] for reuse.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::Shape`] — empty `levels`, an operator/shape/
+    ///   diagonal dimension mismatch, a level that is not the coarsening
+    ///   of its predecessor, or a coarse operator of the wrong dimension.
+    /// * [`SparseError::Singular`] — a zero or non-finite smoother
+    ///   diagonal entry, or a singular coarse operator.
+    pub fn new(
+        levels: Vec<(A, GridShape, Vec<f64>)>,
+        coarse_op: &CscMatrix,
+        coarse_symbolic: Option<Arc<SymbolicLu>>,
+        options: MultigridOptions,
+    ) -> Result<Self, SparseError> {
+        if levels.is_empty() {
+            return Err(SparseError::Shape {
+                detail: "multigrid needs at least one smoothed level".into(),
+            });
+        }
+        let mut built = Vec::with_capacity(levels.len());
+        let mut expected: Option<GridShape> = None;
+        for (op, shape, diag) in levels {
+            let n = shape.n();
+            if op.nrows() != n || op.ncols() != n || diag.len() != n {
+                return Err(SparseError::Shape {
+                    detail: format!(
+                        "multigrid level: operator {}x{} / diagonal {} vs shape {n}",
+                        op.nrows(),
+                        op.ncols(),
+                        diag.len()
+                    ),
+                });
+            }
+            if let Some(want) = expected {
+                if shape != want {
+                    return Err(SparseError::Shape {
+                        detail: format!("multigrid level shape {shape:?}, expected {want:?}"),
+                    });
+                }
+            }
+            expected = Some(shape.coarsened().ok_or_else(|| SparseError::Shape {
+                detail: format!("multigrid level shape {shape:?} cannot coarsen further"),
+            })?);
+            let mut inv_diag = Vec::with_capacity(n);
+            for (i, &d) in diag.iter().enumerate() {
+                if d == 0.0 || !d.is_finite() {
+                    return Err(SparseError::Singular { column: i });
+                }
+                inv_diag.push(1.0 / d);
+            }
+            built.push(MgLevel {
+                op,
+                shape,
+                inv_diag,
+                x: vec![0.0; n],
+                b: vec![0.0; n],
+                r: vec![0.0; n],
+            });
+        }
+        let coarse_shape = expected.expect("levels nonempty");
+        let nc = coarse_shape.n();
+        if coarse_op.nrows() != nc || coarse_op.ncols() != nc {
+            return Err(SparseError::Shape {
+                detail: format!(
+                    "coarse operator {}x{} vs coarse shape {nc}",
+                    coarse_op.nrows(),
+                    coarse_op.ncols()
+                ),
+            });
+        }
+        // Numeric-only refactorisation through a donated symbolic when it
+        // still fits; silently fall back to a fresh pivoting
+        // factorisation when it does not (different pattern or degraded
+        // pivots) — the preconditioner must never be *wrong*, only
+        // occasionally slower to build.
+        let (coarse_factors, coarse_symbolic) = match coarse_symbolic {
+            Some(sym) if sym.n() == nc => match sym.refactor(coarse_op) {
+                Ok(f) => (f, sym),
+                Err(SparseError::Singular { column }) => {
+                    return Err(SparseError::Singular { column })
+                }
+                Err(_) => {
+                    let (f, s) = lu::factor_with_symbolic(coarse_op, ColumnOrdering::Rcm)?;
+                    (f, Arc::new(s))
+                }
+            },
+            _ => {
+                let (f, s) = lu::factor_with_symbolic(coarse_op, ColumnOrdering::Rcm)?;
+                (f, Arc::new(s))
+            }
+        };
+        Ok(Multigrid {
+            levels: built,
+            coarse_shape,
+            coarse_factors,
+            coarse_symbolic,
+            coarse_ws: SolveWorkspace::with_dimension(nc),
+            coarse_x: vec![0.0; nc],
+            coarse_b: vec![0.0; nc],
+            options,
+            stats: MultigridStats::default(),
+        })
+    }
+
+    /// Number of smoothed levels (the direct-solved coarsest level not
+    /// included).
+    pub fn smoothed_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Shape of the direct-solved coarsest level.
+    pub fn coarse_shape(&self) -> GridShape {
+        self.coarse_shape
+    }
+
+    /// The symbolic factorisation of the coarsest operator — cache it and
+    /// donate it to the next [`Multigrid::new`] on the same `(stack,
+    /// grid)` so operating-point refreshes skip the symbolic LU work.
+    pub fn coarse_symbolic(&self) -> Arc<SymbolicLu> {
+        Arc::clone(&self.coarse_symbolic)
+    }
+
+    /// Returns the work counters accumulated since the last call and
+    /// resets them to zero.
+    pub fn take_stats(&mut self) -> MultigridStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// `sweeps` smoothing passes on level `l`, delegated to the
+    /// operator's [`LinearOperator::smooth_pass`] (damped Jacobi
+    /// `x += ω·D⁻¹·(b − A·x)` unless the operator overrides it).
+    fn smooth(&mut self, l: usize, sweeps: usize) {
+        let omega = self.options.damping;
+        let lev = &mut self.levels[l];
+        for _ in 0..sweeps {
+            lev.op
+                .smooth_pass(&mut lev.x, &lev.b, &lev.inv_diag, omega, &mut lev.r);
+            self.stats.smooth_sweeps += 1;
+        }
+    }
+
+    /// One V-cycle starting at level `l` (level 0 = finest). Expects
+    /// `levels[l].b` set; refines `levels[l].x` in place.
+    fn v_cycle(&mut self, l: usize) {
+        self.smooth(l, self.options.pre_sweeps);
+        // Residual r = b − A·x on this level.
+        {
+            let lev = &mut self.levels[l];
+            lev.op.matvec_into(&lev.x, &mut lev.r);
+            for i in 0..lev.r.len() {
+                lev.r[i] = lev.b[i] - lev.r[i];
+            }
+        }
+        if l + 1 < self.levels.len() {
+            let (fine, rest) = self.levels.split_at_mut(l + 1);
+            let fine = &fine[l];
+            let next = &mut rest[0];
+            restrict(fine.shape, &fine.r, next.shape, &mut next.b);
+            next.x.fill(0.0);
+            self.v_cycle(l + 1);
+            let (fine, rest) = self.levels.split_at_mut(l + 1);
+            prolong_add(rest[0].shape, &rest[0].x, fine[l].shape, &mut fine[l].x);
+        } else {
+            let fine = &self.levels[l];
+            restrict(fine.shape, &fine.r, self.coarse_shape, &mut self.coarse_b);
+            self.coarse_factors
+                .solve_with(&mut self.coarse_ws, &self.coarse_b, &mut self.coarse_x)
+                .expect("coarse dimensions validated at construction");
+            self.stats.coarse_solves += 1;
+            let fine = &mut self.levels[l];
+            prolong_add(self.coarse_shape, &self.coarse_x, fine.shape, &mut fine.x);
+        }
+        self.smooth(l, self.options.post_sweeps);
+    }
+}
+
+impl<A: LinearOperator> Preconditioner for Multigrid<A> {
+    fn n(&self) -> usize {
+        self.levels[0].shape.n()
+    }
+
+    fn apply_into(&mut self, r: &[f64], z: &mut Vec<f64>) -> Result<(), SparseError> {
+        let n = self.n();
+        if r.len() != n {
+            return Err(SparseError::Shape {
+                detail: format!("multigrid apply: vector length {} != {n}", r.len()),
+            });
+        }
+        {
+            let fine = &mut self.levels[0];
+            fine.b.copy_from_slice(r);
+            fine.x.fill(0.0);
+        }
+        for _ in 0..self.options.cycles {
+            self.v_cycle(0);
+            self.stats.cycles += 1;
+        }
+        z.clear();
+        z.extend_from_slice(&self.levels[0].x);
+        Ok(())
+    }
+}
+
+/// Aggregation (full-weighting) restriction of an extensive residual:
+/// each coarse cell receives the **sum** of its four fine children;
+/// trailing lumped nodes are injected.
+fn restrict(fine: GridShape, rf: &[f64], coarse: GridShape, rc: &mut [f64]) {
+    debug_assert_eq!(Some(coarse), fine.coarsened());
+    debug_assert_eq!(rf.len(), fine.n());
+    debug_assert_eq!(rc.len(), coarse.n());
+    let (fnx, fny) = (fine.nx, fine.ny);
+    let (cnx, cny) = (coarse.nx, coarse.ny);
+    let f_cells = fnx * fny;
+    let c_cells = cnx * cny;
+    for z in 0..fine.nz {
+        let fz = z * f_cells;
+        let cz = z * c_cells;
+        for cy in 0..cny {
+            let f0 = fz + (2 * cy) * fnx;
+            let f1 = fz + (2 * cy + 1) * fnx;
+            let c0 = cz + cy * cnx;
+            for cx in 0..cnx {
+                let fx = 2 * cx;
+                rc[c0 + cx] = (rf[f0 + fx] + rf[f0 + fx + 1]) + (rf[f1 + fx] + rf[f1 + fx + 1]);
+            }
+        }
+    }
+    for e in 0..fine.extra {
+        rc[coarse.cells() + e] = rf[fine.cells() + e];
+    }
+}
+
+/// Weight pair for cell-centered bilinear interpolation along one axis:
+/// fine cell `i` interpolates between coarse cell `i/2` (weight 3/4) and
+/// its nearer neighbour (weight 1/4), clamped at the boundary.
+fn axis_neighbors(i: usize, cn: usize) -> (usize, usize) {
+    let main = i / 2;
+    let side = if i.is_multiple_of(2) {
+        main.saturating_sub(1)
+    } else {
+        (main + 1).min(cn - 1)
+    };
+    (main, side)
+}
+
+/// Cell-centered bilinear prolongation, *added* into the fine vector
+/// (coarse-grid correction); trailing lumped nodes are injected.
+fn prolong_add(coarse: GridShape, xc: &[f64], fine: GridShape, xf: &mut [f64]) {
+    debug_assert_eq!(Some(coarse), fine.coarsened());
+    debug_assert_eq!(xc.len(), coarse.n());
+    debug_assert_eq!(xf.len(), fine.n());
+    const W_MAIN: f64 = 0.75;
+    const W_SIDE: f64 = 0.25;
+    let (fnx, fny) = (fine.nx, fine.ny);
+    let (cnx, cny) = (coarse.nx, coarse.ny);
+    let f_cells = fnx * fny;
+    let c_cells = cnx * cny;
+    for z in 0..fine.nz {
+        let fz = z * f_cells;
+        let cz = z * c_cells;
+        for fy in 0..fny {
+            let (ym, ys) = axis_neighbors(fy, cny);
+            let row_m = cz + ym * cnx;
+            let row_s = cz + ys * cnx;
+            let frow = fz + fy * fnx;
+            for fx in 0..fnx {
+                let (xm, xs) = axis_neighbors(fx, cnx);
+                let v = W_MAIN * (W_MAIN * xc[row_m + xm] + W_SIDE * xc[row_m + xs])
+                    + W_SIDE * (W_MAIN * xc[row_s + xm] + W_SIDE * xc[row_s + xs]);
+                xf[frow + fx] += v;
+            }
+        }
+    }
+    for e in 0..fine.extra {
+        xf[fine.cells() + e] += xc[coarse.cells() + e];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicgstab::{bicgstab_into, BicgstabOptions, IterativeWorkspace};
+    use crate::triplet::TripletMatrix;
+
+    /// 2D 5-point Poisson-with-sink operator on an nx×ny grid (single
+    /// tier, no lumped nodes), plus its shape and diagonal.
+    fn poisson(
+        nx: usize,
+        ny: usize,
+        gx: f64,
+        gy: f64,
+        leak: f64,
+    ) -> (CscMatrix, GridShape, Vec<f64>) {
+        let n = nx * ny;
+        let mut t = TripletMatrix::new(n, n);
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = y * nx + x;
+                if x + 1 < nx {
+                    t.stamp_conductance(i, i + 1, gx);
+                }
+                if y + 1 < ny {
+                    t.stamp_conductance(i, i + nx, gy);
+                }
+                t.push(i, i, leak);
+            }
+        }
+        let a = t.to_csc();
+        let shape = GridShape {
+            nx,
+            ny,
+            nz: 1,
+            extra: 0,
+        };
+        let diag = a.diagonal();
+        (a, shape, diag)
+    }
+
+    /// Two-level hierarchy for a Poisson problem, coarse level
+    /// re-discretised with the cell-area scaling the thermal crate uses
+    /// (lateral conductances unchanged, leak ×4).
+    fn two_level(nx: usize, ny: usize) -> (CscMatrix, Multigrid<CscMatrix>) {
+        let (fine, fshape, fdiag) = poisson(nx, ny, 1.3, 0.7, 0.05);
+        let (coarse, _, _) = poisson(nx / 2, ny / 2, 1.3, 0.7, 0.2);
+        let mg = Multigrid::new(
+            vec![(fine.clone(), fshape, fdiag)],
+            &coarse,
+            None,
+            MultigridOptions::default(),
+        )
+        .unwrap();
+        (fine, mg)
+    }
+
+    #[test]
+    fn restriction_sums_children_and_injects_extras() {
+        let fine = GridShape {
+            nx: 4,
+            ny: 2,
+            nz: 1,
+            extra: 1,
+        };
+        let coarse = fine.coarsened().unwrap();
+        let rf: Vec<f64> = (1..=9).map(|v| v as f64).collect(); // 8 cells + 1 extra
+        let mut rc = vec![0.0; coarse.n()];
+        restrict(fine, &rf, coarse, &mut rc);
+        // Children of coarse (0,0): fine 1,2,5,6; coarse (1,0): 3,4,7,8.
+        assert_eq!(rc, vec![14.0, 22.0, 9.0]);
+    }
+
+    #[test]
+    fn prolongation_is_exact_for_constants() {
+        // Constant coarse corrections must prolongate to the same
+        // constant (the boundary-clamped weights sum to one everywhere).
+        let fine = GridShape {
+            nx: 8,
+            ny: 6,
+            nz: 2,
+            extra: 1,
+        };
+        let coarse = fine.coarsened().unwrap();
+        let xc = vec![3.5; coarse.n()];
+        let mut xf = vec![1.0; fine.n()];
+        prolong_add(coarse, &xc, fine, &mut xf);
+        for &v in &xf {
+            assert!((v - 4.5).abs() < 1e-14, "{v}");
+        }
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_allocation_free_once_warm() {
+        let (_, mut mg) = two_level(16, 12);
+        let n = Preconditioner::n(&mg);
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin() + 0.3).collect();
+        let mut z1 = Vec::new();
+        mg.apply_into(&r, &mut z1).unwrap();
+        let mut z2 = Vec::with_capacity(n);
+        mg.apply_into(&r, &mut z2).unwrap();
+        assert_eq!(z1, z2, "repeat applies must be bit-identical");
+        let cap = z2.capacity();
+        for _ in 0..5 {
+            mg.apply_into(&r, &mut z2).unwrap();
+        }
+        assert_eq!(z2.capacity(), cap, "warm applies must not reallocate");
+        assert_eq!(z1, z2, "state leaks across applies");
+        let stats = mg.take_stats();
+        assert_eq!(stats.cycles, 7);
+        assert_eq!(stats.coarse_solves, 7);
+        assert_eq!(stats.smooth_sweeps, 14);
+        assert_eq!(mg.take_stats(), MultigridStats::default());
+    }
+
+    #[test]
+    fn one_v_cycle_contracts_the_error() {
+        // The V-cycle must reduce the residual of A·z = r substantially
+        // in a single application — the property that makes it a useful
+        // preconditioner at all.
+        let (a, mut mg) = two_level(32, 32);
+        let n = a.nrows();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 13 % 29) as f64) * 0.1 + 0.2).collect();
+        let mut z = Vec::new();
+        mg.apply_into(&r, &mut z).unwrap();
+        let az = a.matvec(&z);
+        let num: f64 = az
+            .iter()
+            .zip(&r)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(num / den < 0.5, "V-cycle residual ratio {}", num / den);
+    }
+
+    #[test]
+    fn preconditions_bicgstab_with_flat_iteration_growth() {
+        // The headline property: MG-preconditioned BiCGSTAB iteration
+        // counts barely grow when the grid is refined 2× per axis.
+        let mut iters = Vec::new();
+        for s in [16usize, 32, 64] {
+            let (a, mut mg) = two_level(s, s);
+            let n = a.nrows();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() + 1.5).collect();
+            let mut ws = IterativeWorkspace::new();
+            let mut x = vec![0.0; n];
+            let summary = bicgstab_into(
+                &a,
+                &b,
+                Some(&mut mg),
+                &BicgstabOptions::default(),
+                &mut ws,
+                &mut x,
+            )
+            .unwrap();
+            assert!(summary.residual < 1e-9);
+            iters.push(summary.iterations as f64);
+        }
+        assert!(
+            iters[2] <= 1.5 * iters[0],
+            "iterations not resolution-independent: {iters:?}"
+        );
+    }
+
+    #[test]
+    fn shape_and_hierarchy_validation() {
+        let (fine, fshape, fdiag) = poisson(8, 8, 1.0, 1.0, 0.1);
+        let (coarse, _, _) = poisson(4, 4, 1.0, 1.0, 0.4);
+        // Wrong coarse dimension.
+        let (too_small, _, _) = poisson(2, 2, 1.0, 1.0, 1.0);
+        assert!(matches!(
+            Multigrid::new(
+                vec![(fine.clone(), fshape, fdiag.clone())],
+                &too_small,
+                None,
+                MultigridOptions::default(),
+            ),
+            Err(SparseError::Shape { .. })
+        ));
+        // Odd in-plane dimension cannot coarsen.
+        let (odd, odd_shape, odd_diag) = poisson(7, 8, 1.0, 1.0, 0.1);
+        assert!(matches!(
+            Multigrid::new(
+                vec![(odd, odd_shape, odd_diag)],
+                &coarse,
+                None,
+                MultigridOptions::default(),
+            ),
+            Err(SparseError::Shape { .. })
+        ));
+        // Zero smoother diagonal is singular.
+        let mut bad_diag = fdiag.clone();
+        bad_diag[5] = 0.0;
+        assert!(matches!(
+            Multigrid::new(
+                vec![(fine.clone(), fshape, bad_diag)],
+                &coarse,
+                None,
+                MultigridOptions::default(),
+            ),
+            Err(SparseError::Singular { column: 5 })
+        ));
+        // Mismatched apply length.
+        let mut mg = Multigrid::new(
+            vec![(fine, fshape, fdiag)],
+            &coarse,
+            None,
+            MultigridOptions::default(),
+        )
+        .unwrap();
+        let mut z = Vec::new();
+        assert!(matches!(
+            mg.apply_into(&[1.0; 3], &mut z),
+            Err(SparseError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn donated_symbolic_is_reused_and_stale_symbolic_falls_back() {
+        let (fine, fshape, fdiag) = poisson(8, 8, 1.0, 1.0, 0.1);
+        let (coarse, _, _) = poisson(4, 4, 1.0, 1.0, 0.4);
+        let mg1 = Multigrid::new(
+            vec![(fine.clone(), fshape, fdiag.clone())],
+            &coarse,
+            None,
+            MultigridOptions::default(),
+        )
+        .unwrap();
+        let sym = mg1.coarse_symbolic();
+        // Same pattern: the donated symbolic is kept.
+        let mg2 = Multigrid::new(
+            vec![(fine.clone(), fshape, fdiag.clone())],
+            &coarse,
+            Some(Arc::clone(&sym)),
+            MultigridOptions::default(),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(&sym, &mg2.coarse_symbolic()));
+        // Wrong-dimension symbolic: silently replaced, same results.
+        let (big_fine, big_shape, big_diag) = poisson(16, 16, 1.0, 1.0, 0.1);
+        let (big_coarse, _, _) = poisson(8, 8, 1.0, 1.0, 0.4);
+        let mg3 = Multigrid::new(
+            vec![(big_fine, big_shape, big_diag)],
+            &big_coarse,
+            Some(sym.clone()),
+            MultigridOptions::default(),
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(&sym, &mg3.coarse_symbolic()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Operator and preconditioner abstractions for the iterative solvers.
+//!
+//! [`bicgstab_into`](crate::bicgstab_into) is generic over these two
+//! traits so the same Krylov loop runs against an assembled
+//! [`CscMatrix`] or a matrix-free stencil form (the thermal crate's
+//! `StencilOperator`), and against any preconditioner — [`Ilu0`] or the
+//! geometric [`Multigrid`](crate::Multigrid).
+//!
+//! # Contracts
+//!
+//! * [`LinearOperator::matvec_into`] must fully overwrite `y` and, once
+//!   warm, perform **zero heap allocation** — it sits on the innermost
+//!   solver path.
+//! * Two operators representing the same matrix must produce
+//!   **bit-identical** `matvec_into` results for the Krylov trajectory to
+//!   be reproducible across representations; implementations therefore
+//!   document their accumulation order.
+//! * [`LinearOperator::max_abs`] is the operator scale used by the
+//!   scale-relative breakdown guards; it must equal the maximum absolute
+//!   value over the *stored/emitted* entries (the same fold a CSC form
+//!   would compute over its value array).
+//! * [`Preconditioner::apply_into`] takes `&mut self` so implementations
+//!   may use internal scratch (the multigrid level buffers); applying the
+//!   preconditioner twice to the same residual must still produce
+//!   identical results — the mutation is scratch, not state.
+
+use crate::csc::CscMatrix;
+use crate::ilu::Ilu0;
+use crate::SparseError;
+
+/// A linear operator `A` that can be applied to a dense vector.
+///
+/// Implemented by [`CscMatrix`] (assembled form) and by matrix-free
+/// stencil operators in downstream crates.
+pub trait LinearOperator {
+    /// Number of rows of the operator.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the operator.
+    fn ncols(&self) -> usize;
+
+    /// `y = A·x`, fully overwriting `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols()` or `y.len() != nrows()` (programmer
+    /// error, mirroring [`CscMatrix::matvec_into`]).
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]);
+
+    /// Maximum absolute value over the operator's stored entries — the
+    /// operator scale used by scale-relative breakdown tests.
+    fn max_abs(&self) -> f64;
+
+    /// One relaxation pass of the multigrid smoother: by default a damped
+    /// Jacobi update `x ← x + ω·D⁻¹·(b − A·x)`, computing `A·x` into
+    /// `scratch`. `inv_diag` holds the reciprocal operator diagonal.
+    ///
+    /// Implementations may override this with a stronger pass that
+    /// exploits their structure (the thermal stencil chases advection
+    /// chains downstream with a Gauss–Seidel substitution), provided the
+    /// pass remains a deterministic, allocation-free function of `(x, b)`
+    /// that is linear in both — the properties the V-cycle's
+    /// [`Preconditioner`] contract rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the operator dimension
+    /// (programmer error, as in [`LinearOperator::matvec_into`]).
+    fn smooth_pass(
+        &self,
+        x: &mut [f64],
+        b: &[f64],
+        inv_diag: &[f64],
+        omega: f64,
+        scratch: &mut [f64],
+    ) {
+        self.matvec_into(x, scratch);
+        for i in 0..x.len() {
+            x[i] += omega * inv_diag[i] * (b[i] - scratch[i]);
+        }
+    }
+}
+
+impl LinearOperator for CscMatrix {
+    fn nrows(&self) -> usize {
+        CscMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CscMatrix::ncols(self)
+    }
+
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        CscMatrix::matvec_into(self, x, y);
+    }
+
+    fn max_abs(&self) -> f64 {
+        self.values().iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+/// A preconditioner `M` approximating `A⁻¹`, applied as `z = M⁻¹·r`.
+///
+/// Takes `&mut self` so implementations may keep internal scratch (the
+/// multigrid V-cycle's per-level buffers); the application must still be
+/// a pure function of `r` — repeated applies on the same residual return
+/// identical bits.
+pub trait Preconditioner {
+    /// Dimension of the preconditioned system.
+    fn n(&self) -> usize;
+
+    /// Applies the preconditioner: `z = M⁻¹·r`, overwriting `z`
+    /// completely (resized to `n`). Once `z` and the internal scratch
+    /// have warmed to this dimension the call performs no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Shape`] if `r.len() != n`.
+    fn apply_into(&mut self, r: &[f64], z: &mut Vec<f64>) -> Result<(), SparseError>;
+}
+
+impl Preconditioner for Ilu0 {
+    fn n(&self) -> usize {
+        Ilu0::n(self)
+    }
+
+    fn apply_into(&mut self, r: &[f64], z: &mut Vec<f64>) -> Result<(), SparseError> {
+        Ilu0::apply_into(self, r, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn small() -> CscMatrix {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 4.0);
+        t.push(1, 1, -5.0);
+        t.push(2, 2, 3.0);
+        t.push(1, 0, -1.5);
+        t.push(0, 2, 2.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn csc_trait_impl_matches_inherent_methods() {
+        let a = small();
+        let x = [1.0, 2.0, -3.0];
+        let mut y_trait = [0.0; 3];
+        let mut y_inherent = [0.0; 3];
+        LinearOperator::matvec_into(&a, &x, &mut y_trait);
+        CscMatrix::matvec_into(&a, &x, &mut y_inherent);
+        assert_eq!(y_trait, y_inherent);
+        assert_eq!(LinearOperator::nrows(&a), 3);
+        assert_eq!(LinearOperator::ncols(&a), 3);
+        assert_eq!(a.max_abs(), 5.0, "largest |entry| regardless of sign");
+    }
+
+    #[test]
+    fn ilu0_precond_impl_delegates_to_apply_into() {
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 2.0);
+        }
+        let a = t.to_csc();
+        let mut m = Ilu0::new(&a).unwrap();
+        assert_eq!(Preconditioner::n(&m), 3);
+        let mut z_trait = Vec::new();
+        Preconditioner::apply_into(&mut m, &[2.0, 4.0, 6.0], &mut z_trait).unwrap();
+        let z_inherent = m.apply(&[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(z_trait, z_inherent);
+    }
+}

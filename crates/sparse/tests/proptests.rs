@@ -173,10 +173,10 @@ proptest! {
         use cmosaic_sparse::{bicgstab_into, Ilu0, IterativeWorkspace};
         let opts = BicgstabOptions::default();
         let fresh = bicgstab(&a, &b, &opts).unwrap();
-        let m = Ilu0::new(&a).unwrap();
+        let mut m = Ilu0::new(&a).unwrap();
         let mut ws = IterativeWorkspace::new();
         let mut x = vec![0.0; a.nrows()];
-        let summary = bicgstab_into(&a, &b, Some(&m), &opts, &mut ws, &mut x).unwrap();
+        let summary = bicgstab_into(&a, &b, Some(&mut m), &opts, &mut ws, &mut x).unwrap();
         prop_assert_eq!(x, fresh.x);
         prop_assert_eq!(summary.iterations, fresh.iterations);
     }

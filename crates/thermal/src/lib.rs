@@ -63,17 +63,37 @@
 //!   The preconditioner reuses the operator's own sparsity pattern (zero
 //!   fill), so cost and memory stay O(nnz) as the grid refines — the
 //!   regime where direct-LU fill becomes the bottleneck (see
-//!   `BENCH_iterative.json` for the measured crossover).
+//!   `BENCH_iterative.json` for the measured crossover). The symbolic
+//!   ILU(0) analysis is performed once per model; later operating points
+//!   refresh only the factor values
+//!   ([`SolverStats::ilu_refreshes`](crate::SolverStats::ilu_refreshes)).
+//! * [`SolverBackend::IterativeMg`] — BiCGSTAB over the **matrix-free**
+//!   [`StencilOperator`], preconditioned by a geometric multigrid V-cycle
+//!   built by re-discretising the stack physics on 2×-coarser in-plane
+//!   grids. The fine level is never assembled: the operator is O(nz)
+//!   scalars applied straight from the grid geometry (bit-identical to
+//!   the assembled CSC product — the `LinearOperator` contract), so
+//!   per-operating-point setup cost is independent of nnz, and iteration
+//!   counts stay resolution-independent where ILU(0)'s local error
+//!   reduction degrades with refinement. Only the small coarsest level is
+//!   assembled and LU-factored (reusing a frozen symbolic analysis across
+//!   operating points).
 //!
-//! **Fallback contract.** The iterative backend never fails where the
+//! **Fallback contract.** The iterative backends never fail where the
 //! direct backend would succeed: on BiCGSTAB `Breakdown`/`NoConvergence`
 //! (or an ILU(0) construction failure) the model transparently re-solves
 //! through direct LU — factorising that operator lazily, once — and
-//! counts the event in [`SolverStats::iterative_fallbacks`]. Both
-//! backends run through the same persistent workspace, so the warm path
-//! stays allocation-free either way, and each backend is bit-reproducible
-//! across runs and thread counts (the two backends agree with each other
-//! to the configured iteration tolerance, not bitwise).
+//! counts the event in [`SolverStats::iterative_fallbacks`]. The
+//! multigrid backend additionally falls back at operator *build* when the
+//! grid cannot coarsen (odd in-plane dimensions) or the coarse operator
+//! is singular, counted the same way, so every grid is solvable under
+//! every backend. All backends run through the same persistent workspace,
+//! so the warm path stays allocation-free either way, and each backend is
+//! bit-reproducible across runs and thread counts (the backends agree
+//! with each other to the configured iteration tolerance, not bitwise).
+//! Iterative solves start cold by default; [`ThermalParams::warm_start`]
+//! opts into seeding them from the previous temperature state (fewer
+//! iterations, same tolerance, history-dependent trajectories).
 //!
 //! # Zero-allocation hot path and analysis sharing
 //!
@@ -124,12 +144,14 @@ mod cache;
 pub mod field;
 pub mod model;
 pub mod params;
+pub mod stencil;
 
 pub use field::TemperatureField;
 pub use model::{
     CacheStats, PatternSignature, SharedAnalysis, SolverStats, ThermalModel, TwoPhaseSummary,
 };
 pub use params::{AdvectionScheme, Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
+pub use stencil::{StencilInterface, StencilLayer, StencilLayerKind, StencilOperator, StencilSink};
 
 use cmosaic_floorplan::FloorplanError;
 use cmosaic_materials::MaterialError;

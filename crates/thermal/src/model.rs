@@ -21,13 +21,16 @@ use cmosaic_hydraulics::duct::ChannelGeometry;
 use cmosaic_hydraulics::LiquidProperties;
 use cmosaic_materials::units::{Kelvin, Pressure, VolumetricFlow};
 use cmosaic_sparse::{
-    bicgstab_into, lu, BicgstabOptions, CscMatrix, Ilu0, IterativeWorkspace, LuFactors,
-    SolveWorkspace, SparseError, SymbolicLu, TripletMatrix,
+    bicgstab_into, lu, BicgstabOptions, CscMatrix, GridShape, Ilu0, IterativeWorkspace, LuFactors,
+    Multigrid, MultigridOptions, SolveWorkspace, SparseError, SymbolicLu, TripletMatrix,
 };
 
 use crate::cache::LruCache;
 use crate::field::TemperatureField;
 use crate::params::{AdvectionScheme, Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
+use crate::stencil::{
+    StencilInterface, StencilLayer, StencilLayerKind, StencilOperator, StencilSink,
+};
 use crate::ThermalError;
 
 /// Bound on each operator cache (steady and transient separately): a
@@ -35,6 +38,13 @@ use crate::ThermalError;
 /// points, and evicted operators cost only a cheap refactorisation to
 /// rebuild.
 const OPERATOR_CACHE_CAPACITY: usize = 8;
+
+/// Multigrid coarsening floor: levels keep descending while the current
+/// level has at least this many in-plane cells, so the direct-solved
+/// coarsest level stays trivially small without over-deepening the
+/// hierarchy on already-small grids (which always get at least one
+/// smoothed level when the grid can coarsen at all).
+const MG_COARSEN_FLOOR: usize = 64;
 
 /// Per-layer data derived from the stack description.
 #[derive(Debug, Clone)]
@@ -57,20 +67,32 @@ struct IterativeOperator {
     ilu: Ilu0,
 }
 
+/// The multigrid half of a cached operator: the matrix-free fine-level
+/// stencil (BiCGSTAB matvecs run straight off the grid geometry — the
+/// fine operator is never assembled) and the geometric V-cycle
+/// preconditioner built over its coarsening hierarchy.
+#[derive(Debug, Clone)]
+struct MgOperator {
+    stencil: StencilOperator,
+    mg: Multigrid<StencilOperator>,
+}
+
 /// One factorised/preconditioned operator at one exact operating point.
 ///
 /// Under [`SolverBackend::DirectLu`], `factors` is always present and
-/// `iterative` absent. Under [`SolverBackend::IterativeIlu0`],
-/// `iterative` is present and `factors` starts out `None` — the expensive
-/// LU is built lazily, only if a solve at this operating point ever has
-/// to fall back to the direct path; the first fallback also *retires*
-/// `iterative` (set back to `None`), so later solves at this operating
-/// point go straight to the cached factors instead of re-running a
-/// doomed iteration.
+/// the iterative halves absent. Under [`SolverBackend::IterativeIlu0`],
+/// `iterative` is present (under [`SolverBackend::IterativeMg`], `mg`)
+/// and `factors` starts out `None` — the expensive LU is built lazily,
+/// only if a solve at this operating point ever has to fall back to the
+/// direct path; the first fallback also *retires* the iterative half
+/// (set back to `None`), so later solves at this operating point go
+/// straight to the cached factors instead of re-running a doomed
+/// iteration.
 #[derive(Debug, Clone)]
 struct CachedOperator {
     factors: Option<LuFactors>,
     iterative: Option<IterativeOperator>,
+    mg: Option<MgOperator>,
     /// Flow-dependent constant RHS (advection inlet terms, sink ambient).
     rhs_base: Vec<f64>,
 }
@@ -190,12 +212,25 @@ pub struct SolverStats {
     /// preconditioner quality and the direct-vs-iterative crossover).
     pub iterative_iterations: u64,
     /// Times the iterative backend handed an operator to the direct
-    /// path: BiCGSTAB breakdown, non-convergence, or an ILU(0)
-    /// construction failure. Each event retires that cached operator to
-    /// direct solves for the rest of its cache lifetime, so the counter
-    /// advances once per retirement, not once per subsequent solve. A
-    /// healthy diagonally-dominant model keeps this at zero.
+    /// path: BiCGSTAB breakdown, non-convergence, an ILU(0) construction
+    /// failure, or a multigrid hierarchy that could not be built (odd
+    /// in-plane grid dimensions, singular coarse operator). Each event
+    /// retires that cached operator to direct solves for the rest of its
+    /// cache lifetime, so the counter advances once per retirement, not
+    /// once per subsequent solve. A healthy diagonally-dominant model
+    /// keeps this at zero.
     pub iterative_fallbacks: u64,
+    /// ILU(0) preconditioners produced by cloning the analysed template
+    /// and re-running only the numeric elimination
+    /// ([`cmosaic_sparse::Ilu0::refresh`]) — every warm operating-point
+    /// change after the first skips the symbolic analysis this way.
+    pub ilu_refreshes: u64,
+    /// Multigrid V-cycles applied under [`SolverBackend::IterativeMg`].
+    pub mg_cycles: u64,
+    /// Damped-Jacobi smoother sweeps across all V-cycle levels.
+    pub mg_smooth_sweeps: u64,
+    /// Direct solves on the multigrid coarsest level.
+    pub mg_coarse_solves: u64,
 }
 
 /// Occupancy and eviction statistics of the bounded operator caches.
@@ -363,6 +398,7 @@ fn direct_operator(
     Ok(CachedOperator {
         factors,
         iterative: None,
+        mg: None,
         rhs_base: ws.rhs.clone(),
     })
 }
@@ -455,6 +491,15 @@ pub struct ThermalModel {
     /// Persistent factor object of the two-phase fixed-point sweeps,
     /// reused across sweeps and solves via `refactor_into`.
     tp_factors: Option<LuFactors>,
+    /// Frozen symbolic analysis of the multigrid *coarsest* level,
+    /// donated to every subsequent hierarchy build so operating-point
+    /// changes under [`SolverBackend::IterativeMg`] pay only a numeric
+    /// coarse refactorisation.
+    mg_coarse_symbolic: Option<Arc<SymbolicLu>>,
+    /// First successfully analysed ILU(0), kept as the symbolic template:
+    /// later operating points clone it and run the value-only
+    /// [`Ilu0::refresh`] instead of repeating the pattern analysis.
+    ilu_template: Option<Ilu0>,
     /// Persistent solve/assembly scratch — the zero-allocation hot path.
     workspace: ModelWorkspace,
     stats: SolverStats,
@@ -566,6 +611,8 @@ impl ThermalModel {
             skeleton: None,
             tp_skeleton: None,
             tp_factors: None,
+            mg_coarse_symbolic: None,
+            ilu_template: None,
             workspace: ModelWorkspace::default(),
             stats: SolverStats::default(),
             two_phase_summary: None,
@@ -1020,6 +1067,152 @@ impl ThermalModel {
         self.fill_flow_values(flow, skel.dyn_start, &mut ws.vals, &mut ws.rhs)
     }
 
+    /// Builds the matrix-free stencil form of the single-phase operator
+    /// at the current flow (and, for transients, `Δt = dt`) — the exact
+    /// physics of [`ThermalModel::build_skeleton`] +
+    /// [`ThermalModel::fill_flow_values`] expressed per layer instead of
+    /// per nonzero, so an operating-point change is an O(nz) scalar
+    /// update instead of an O(nnz) value rewrite plus factorisation.
+    fn build_stencil(&self, dt: Option<f64>) -> Result<StencilOperator, ThermalError> {
+        let nz = self.layers.len();
+        let nxy = self.grid.cell_count();
+        let shape = GridShape {
+            nx: self.grid.nx(),
+            ny: self.grid.ny(),
+            nz,
+            extra: usize::from(self.sink.is_some()),
+        };
+        let a_cell = self.cell_area();
+        let mut layers = Vec::with_capacity(nz);
+        let mut interfaces = vec![StencilInterface::symmetric(0.0); nz.saturating_sub(1)];
+        let mut walls = vec![0.0; nz];
+        for (z, l) in self.layers.iter().enumerate() {
+            // Every cell of a layer shares one capacitance value.
+            let diag_extra = dt.map_or(0.0, |dt| self.capacitance[z * nxy] / dt);
+            match l {
+                LayerModel::Solid { conductivity, .. } => {
+                    let tz = self.thicknesses[z];
+                    layers.push(StencilLayer {
+                        kind: StencilLayerKind::Solid,
+                        gx: conductivity * self.dy * tz / self.dx,
+                        gy: conductivity * self.dx * tz / self.dy,
+                        adv: 0.0,
+                        diag_extra,
+                    });
+                }
+                LayerModel::Cavity { spec } => {
+                    let (q_ch, h) = self.channel_operating_point(spec, self.flow)?;
+                    let a_eff = self.effective_wetted_area(spec, h);
+                    let g_conv = h * a_eff;
+                    let (below, above) = self.cavity_neighbours(z);
+                    if let Some(b) = below {
+                        interfaces[z - 1] = StencilInterface::symmetric(Self::series(&[
+                            g_conv,
+                            self.half_conductance(b, 1.0),
+                        ]));
+                    }
+                    if let Some(a) = above {
+                        interfaces[z] = StencilInterface::symmetric(Self::series(&[
+                            g_conv,
+                            self.half_conductance(a, 1.0),
+                        ]));
+                    }
+                    if let (Some(b), Some(a)) = (below, above) {
+                        let phi = spec.porosity();
+                        let k_wall = spec.wall().thermal_conductivity();
+                        walls[z] = Self::series(&[
+                            self.half_conductance(b, 1.0 - phi),
+                            k_wall * a_cell * (1.0 - phi) / self.thicknesses[z],
+                            self.half_conductance(a, 1.0 - phi),
+                        ]);
+                    }
+                    let n_ch_cell = self.dy / spec.pitch();
+                    let mdot_cp =
+                        self.coolant.density * q_ch * n_ch_cell * self.coolant.specific_heat;
+                    let adv = match self.params.advection {
+                        AdvectionScheme::Upwind => mdot_cp,
+                        AdvectionScheme::LinearProfile => 2.0 * mdot_cp,
+                    };
+                    layers.push(StencilLayer {
+                        kind: StencilLayerKind::Cavity,
+                        gx: 0.0,
+                        gy: 0.0,
+                        adv,
+                        diag_extra,
+                    });
+                }
+            }
+        }
+        for (z, itf) in interfaces.iter_mut().enumerate() {
+            let both_solid = matches!(self.layers[z], LayerModel::Solid { .. })
+                && matches!(self.layers[z + 1], LayerModel::Solid { .. });
+            if both_solid {
+                *itf = StencilInterface::symmetric(Self::series(&[
+                    self.half_conductance(z, 1.0),
+                    self.half_conductance(z + 1, 1.0),
+                ]));
+            }
+        }
+        let sink = self.sink.as_ref().map(|s| StencilSink {
+            g_top: self.half_conductance(nz - 1, 1.0),
+            lumped: s.conductance,
+            diag_extra: dt.map_or(0.0, |dt| s.capacitance / dt),
+        });
+        Ok(StencilOperator::new(shape, layers, interfaces, walls, sink))
+    }
+
+    /// Flow-dependent constant RHS of the stencil operator — the sink's
+    /// ambient pull plus the advection inlet terms — matching what the
+    /// assembled path accumulates into `skeleton.base_rhs` and
+    /// [`ThermalModel::fill_flow_values`] writes per operating point.
+    fn stencil_rhs_base(&self, stencil: &StencilOperator) -> Vec<f64> {
+        let mut rhs = vec![0.0; self.n_nodes];
+        if let Some(sink) = &self.sink {
+            rhs[self.n_cells] += sink.conductance * sink.ambient.0;
+        }
+        for (z, layer) in stencil.layers().iter().enumerate() {
+            if layer.adv != 0.0 {
+                for iy in 0..self.grid.ny() {
+                    rhs[self.node(z, iy, 0)] += layer.adv * self.params.inlet.0;
+                }
+            }
+        }
+        rhs
+    }
+
+    /// Builds the multigrid flavour of a cached operator: the matrix-free
+    /// fine-level stencil plus a geometric V-cycle over its coarsening
+    /// hierarchy, with only the (small) coarsest level ever assembled and
+    /// LU-factored — through the donated frozen symbolic analysis after
+    /// the first build. Returns `Ok(None)` when the grid cannot coarsen
+    /// (odd in-plane dimensions) or the coarse operator is singular; the
+    /// caller then falls back to the direct path.
+    fn mg_operator(&mut self, dt: Option<f64>) -> Result<Option<MgOperator>, ThermalError> {
+        let stencil = self.build_stencil(dt)?;
+        let mut levels = Vec::new();
+        let mut cur = stencil.clone();
+        while levels.is_empty() || cur.shape().nx * cur.shape().ny >= MG_COARSEN_FLOOR {
+            let Some(next) = cur.coarsen() else { break };
+            let shape = cur.shape();
+            let diag = cur.diagonal().to_vec();
+            levels.push((cur, shape, diag));
+            cur = next;
+        }
+        if levels.is_empty() {
+            return Ok(None);
+        }
+        let coarse = cur.assemble();
+        let donated = self.mg_coarse_symbolic.take();
+        match Multigrid::new(levels, &coarse, donated, MultigridOptions::default()) {
+            Ok(mg) => {
+                self.mg_coarse_symbolic = Some(mg.coarse_symbolic());
+                Ok(Some(MgOperator { stencil, mg }))
+            }
+            Err(SparseError::Singular { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     fn check_flow_set(&self) -> Result<(), ThermalError> {
         if self.is_liquid_cooled() && self.flow.0 <= 0.0 {
             return Err(ThermalError::InvalidFlow {
@@ -1038,10 +1231,14 @@ impl ThermalModel {
     }
 
     /// Builds (or confirms) the cached operator for one exact operating
-    /// point: an O(nnz) value rewrite of the skeleton, then either a
-    /// direct-LU factorisation or — under the iterative backend — an
-    /// ILU(0) preconditioner plus a snapshot of the assembled matrix,
-    /// with the LU deferred until a solve actually falls back.
+    /// point. Under [`SolverBackend::IterativeMg`] the happy path never
+    /// touches the assembled skeleton at all: it builds the matrix-free
+    /// stencil (O(nz) scalars per operating point) and the V-cycle
+    /// hierarchy over it. The other backends run an O(nnz) value rewrite
+    /// of the skeleton, then either a direct-LU factorisation or an
+    /// ILU(0) preconditioner (symbolic analysis once, value-only
+    /// refreshes after) plus a snapshot of the assembled matrix, with
+    /// the LU deferred until a solve actually falls back.
     fn ensure_operator(
         &mut self,
         key: OperatorKey,
@@ -1057,6 +1254,28 @@ impl ThermalModel {
             return Ok(());
         }
         self.check_flow_set()?;
+        if matches!(self.params.solver, SolverBackend::IterativeMg { .. }) {
+            if let Some(mgop) = self.mg_operator(dt)? {
+                let rhs_base = self.stencil_rhs_base(&mgop.stencil);
+                let op = CachedOperator {
+                    factors: None,
+                    iterative: None,
+                    mg: Some(mgop),
+                    rhs_base,
+                };
+                let cache = if dt.is_some() {
+                    &mut self.transient_cache
+                } else {
+                    &mut self.steady_cache
+                };
+                cache.insert(key, op);
+                return Ok(());
+            }
+            // The hierarchy could not be built (uncoarsenable grid or a
+            // singular coarse operator): this operating point runs on the
+            // direct path from the start, via the skeleton below.
+            self.stats.iterative_fallbacks += 1;
+        }
         if self.skeleton.is_none() {
             self.skeleton = Some(self.build_skeleton());
         }
@@ -1065,24 +1284,46 @@ impl ThermalModel {
         skel.csc.update_values(&skel.map, &ws.vals);
         self.stats.value_updates += 1;
         let op = match self.params.solver {
-            SolverBackend::DirectLu => direct_operator(skel, ws, &mut self.stats)?,
-            SolverBackend::IterativeIlu0 { .. } => match Ilu0::new(&skel.csc) {
-                Ok(ilu) => CachedOperator {
-                    factors: None,
-                    iterative: Some(IterativeOperator {
-                        csc: skel.csc.clone(),
-                        ilu,
-                    }),
-                    rhs_base: ws.rhs.clone(),
-                },
-                Err(SparseError::Singular { .. }) => {
-                    // The preconditioner could not be built: this operating
-                    // point runs on the direct path from the start.
-                    self.stats.iterative_fallbacks += 1;
-                    direct_operator(skel, ws, &mut self.stats)?
+            SolverBackend::DirectLu | SolverBackend::IterativeMg { .. } => {
+                direct_operator(skel, ws, &mut self.stats)?
+            }
+            SolverBackend::IterativeIlu0 { .. } => {
+                let built = match &self.ilu_template {
+                    // Warm operating-point change: clone the analysed
+                    // pattern and re-run only the numeric elimination.
+                    Some(template) => {
+                        let mut ilu = template.clone();
+                        ilu.refresh(&skel.csc).map(|()| {
+                            self.stats.ilu_refreshes += 1;
+                            ilu
+                        })
+                    }
+                    None => Ilu0::new(&skel.csc),
+                };
+                match built {
+                    Ok(ilu) => {
+                        if self.ilu_template.is_none() {
+                            self.ilu_template = Some(ilu.clone());
+                        }
+                        CachedOperator {
+                            factors: None,
+                            iterative: Some(IterativeOperator {
+                                csc: skel.csc.clone(),
+                                ilu,
+                            }),
+                            mg: None,
+                            rhs_base: ws.rhs.clone(),
+                        }
+                    }
+                    Err(SparseError::Singular { .. }) => {
+                        // The preconditioner could not be built: this operating
+                        // point runs on the direct path from the start.
+                        self.stats.iterative_fallbacks += 1;
+                        direct_operator(skel, ws, &mut self.stats)?
+                    }
+                    Err(e) => return Err(e.into()),
                 }
-                Err(e) => return Err(e.into()),
-            },
+            }
         };
         let cache = if dt.is_some() {
             &mut self.transient_cache
@@ -1094,20 +1335,28 @@ impl ThermalModel {
     }
 
     /// Solves the cached operator at `key` for the RHS already assembled
-    /// in `ws.rhs`, writing the solution into `dst` (fully overwritten).
+    /// in `ws.rhs`, writing the solution into `dst` (fully overwritten —
+    /// unless `warm_start` seeds the iteration from `dst`'s current
+    /// contents).
     ///
-    /// Under the iterative backend this runs ILU(0)-BiCGSTAB through the
-    /// persistent workspace; on `Breakdown`/`NoConvergence` it falls back
-    /// to direct LU — factorising (and caching) the operator's LU on
-    /// first need — and records the event in
-    /// [`SolverStats::iterative_fallbacks`]. An associated function over
-    /// disjoint fields so both solve paths can borrow the cache, the
-    /// skeleton and the workspace side by side.
+    /// Under the iterative backends this runs BiCGSTAB through the
+    /// persistent workspace — preconditioned by the multigrid V-cycle
+    /// over the matrix-free stencil ([`SolverBackend::IterativeMg`]) or
+    /// by ILU(0) over the assembled snapshot
+    /// ([`SolverBackend::IterativeIlu0`]); on
+    /// `Breakdown`/`NoConvergence` it falls back to direct LU —
+    /// factorising (and caching) the operator's LU on first need — and
+    /// records the event in [`SolverStats::iterative_fallbacks`]. An
+    /// associated function over disjoint fields so both solve paths can
+    /// borrow the cache, the skeleton and the workspace side by side;
+    /// the skeleton is optional because the multigrid happy path never
+    /// builds one.
     #[allow(clippy::too_many_arguments)]
     fn solve_operator(
         cache: &mut LruCache<OperatorKey, CachedOperator>,
-        skel: &mut OperatorSkeleton,
+        skel: &mut Option<OperatorSkeleton>,
         backend: SolverBackend,
+        warm_start: bool,
         key: OperatorKey,
         ws: &mut ModelWorkspace,
         dst: &mut [f64],
@@ -1115,25 +1364,67 @@ impl ThermalModel {
     ) -> Result<(), SparseError> {
         let op = cache.get_mut(&key).expect("operator ensured");
         let CachedOperator {
-            factors, iterative, ..
+            factors,
+            iterative,
+            mg,
+            ..
         } = op;
-        if let (
-            SolverBackend::IterativeIlu0 {
-                tolerance,
-                max_iterations,
-            },
-            Some(itop),
-        ) = (backend, iterative.as_ref())
-        {
+        let limits = backend.iteration_limits();
+        if let (Some((tolerance, max_iterations)), Some(mgop)) = (limits, mg.as_mut()) {
             let opts = BicgstabOptions {
                 tolerance,
                 max_iterations,
                 use_ilu0: true,
+                warm_start,
+            };
+            let outcome = bicgstab_into(
+                &mgop.stencil,
+                &ws.rhs,
+                Some(&mut mgop.mg),
+                &opts,
+                &mut ws.iter,
+                dst,
+            );
+            let mg_stats = mgop.mg.take_stats();
+            stats.mg_cycles += mg_stats.cycles;
+            stats.mg_smooth_sweeps += mg_stats.smooth_sweeps;
+            stats.mg_coarse_solves += mg_stats.coarse_solves;
+            match outcome {
+                Ok(summary) => {
+                    stats.iterative_solves += 1;
+                    stats.iterative_iterations += summary.iterations as u64;
+                    return Ok(());
+                }
+                Err(SparseError::Breakdown { .. } | SparseError::NoConvergence { .. }) => {
+                    // Same retirement policy as the ILU(0) branch below,
+                    // except the multigrid path never built the shared
+                    // skeleton: the fallback assembles the fine stencil
+                    // on the spot and pays one fresh pivoting
+                    // factorisation.
+                    stats.iterative_fallbacks += 1;
+                    if factors.is_none() {
+                        let fine = mgop.stencil.assemble();
+                        let (f, _symbolic) =
+                            lu::factor_with_symbolic(&fine, lu::ColumnOrdering::Rcm)?;
+                        stats.full_factorizations += 1;
+                        *factors = Some(f);
+                    }
+                    *mg = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let (Some((tolerance, max_iterations)), Some(itop)) = (limits, iterative.as_mut()) {
+            let opts = BicgstabOptions {
+                tolerance,
+                max_iterations,
+                use_ilu0: true,
+                warm_start,
             };
             match bicgstab_into(
                 &itop.csc,
                 &ws.rhs,
-                Some(&itop.ilu),
+                Some(&mut itop.ilu),
                 &opts,
                 &mut ws.iter,
                 dst,
@@ -1155,6 +1446,9 @@ impl ThermalModel {
                     // fresh chance.
                     stats.iterative_fallbacks += 1;
                     if factors.is_none() {
+                        let skel = skel
+                            .as_mut()
+                            .expect("the ILU(0) build path assembled the skeleton");
                         factorize_pattern_into(
                             &mut skel.symbolic,
                             &mut skel.adopted,
@@ -1272,11 +1566,13 @@ impl ThermalModel {
             copy_into(&mut ws.rhs, &op.rhs_base, &mut ws.grows);
         }
         self.scatter_powers(tier_powers, &mut ws.rhs)?;
-        let skel = self.skeleton.as_mut().expect("ensured above");
+        // `dst` is the model state, so an iterative warm start naturally
+        // seeds from the previous steady (or transient) field.
         Self::solve_operator(
             &mut self.steady_cache,
-            skel,
+            &mut self.skeleton,
             self.params.solver,
+            self.params.warm_start,
             key,
             ws,
             &mut self.state,
@@ -1723,11 +2019,18 @@ impl ThermalModel {
         // (mem::take of a Vec is pointer-swap, not allocation) so the
         // solver can borrow the rest of the workspace alongside it.
         let mut next = std::mem::take(&mut ws.next_state);
-        let skel = self.skeleton.as_mut().expect("ensured above");
+        if self.params.warm_start {
+            // Seed the iterative solve from the current state (the
+            // ping-pong buffer otherwise holds the state of two steps
+            // ago). With the flag off, BiCGSTAB overwrites `next`
+            // unconditionally and stays bit-identical per solve.
+            next.copy_from_slice(&self.state);
+        }
         let r = Self::solve_operator(
             &mut self.transient_cache,
-            skel,
+            &mut self.skeleton,
             self.params.solver,
+            self.params.warm_start,
             key,
             ws,
             &mut next,
@@ -2737,5 +3040,316 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
             .expect("non-empty");
         assert_eq!(imax, hot_cell);
+    }
+
+    fn multigrid_params() -> ThermalParams {
+        ThermalParams {
+            solver: SolverBackend::multigrid(),
+            ..Default::default()
+        }
+    }
+
+    fn dense(a: &CscMatrix) -> Vec<f64> {
+        let (nr, nc) = (a.nrows(), a.ncols());
+        let mut d = vec![0.0; nr * nc];
+        for c in 0..nc {
+            for k in a.col_ptr()[c]..a.col_ptr()[c + 1] {
+                d[a.row_idx()[k] * nc + c] += a.values()[k];
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn stencil_matches_assembled_skeleton_entrywise() {
+        // The matrix-free stencil and the triplet-assembled skeleton are
+        // two encodings of the same physics: their assembled operators
+        // must agree entry by entry (to rounding — the diagonal sums its
+        // terms in a different order), for both the steady and the
+        // backward-Euler transient operator, and so must the constant
+        // right-hand sides (bitwise: every entry is a single product).
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let mut m = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
+        let mut ws = ModelWorkspace::default();
+        m.skeleton = Some(m.build_skeleton());
+        for dt in [None, Some(0.25)] {
+            m.operator_values_into(m.flow, dt, &mut ws).unwrap();
+            let skel = m.skeleton.as_mut().unwrap();
+            skel.csc.update_values(&skel.map, &ws.vals);
+            let stencil = m.build_stencil(dt).unwrap();
+            let da = dense(&m.skeleton.as_ref().unwrap().csc);
+            let db = dense(&stencil.assemble());
+            assert_eq!(da.len(), db.len());
+            for (i, (u, v)) in da.iter().zip(&db).enumerate() {
+                let scale = u.abs().max(v.abs()).max(1.0);
+                assert!(
+                    (u - v).abs() <= 1e-12 * scale,
+                    "entry {i} (dt {dt:?}): skeleton {u} vs stencil {v}"
+                );
+            }
+            assert_eq!(
+                ws.rhs,
+                m.stencil_rhs_base(&stencil),
+                "constant RHS must match bitwise (dt {dt:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn multigrid_backend_matches_direct_steady_state() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = grid();
+        let powers = uniform_powers(2, 30.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(25.0);
+
+        let mut direct = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        direct.set_flow_rate(q).unwrap();
+        let fd = direct.steady_state(&powers).unwrap();
+
+        let mut mg = ThermalModel::new(&stack, g, multigrid_params()).unwrap();
+        mg.set_flow_rate(q).unwrap();
+        let fm = mg.steady_state(&powers).unwrap();
+
+        for (u, v) in fm.cells().iter().zip(fd.cells()) {
+            assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+        }
+        let s = mg.solver_stats();
+        assert_eq!(s.iterative_solves, 1, "{s:?}");
+        assert_eq!(s.iterative_fallbacks, 0, "{s:?}");
+        assert_eq!(
+            s.full_factorizations, 0,
+            "the fine level is never assembled, let alone factorised: {s:?}"
+        );
+        assert_eq!(
+            s.value_updates, 0,
+            "the multigrid happy path never rewrites the skeleton: {s:?}"
+        );
+        assert!(s.mg_cycles >= 1, "{s:?}");
+        assert!(s.mg_smooth_sweeps >= s.mg_cycles, "{s:?}");
+        assert!(s.mg_coarse_solves >= s.mg_cycles, "{s:?}");
+    }
+
+    #[test]
+    fn multigrid_backend_matches_direct_transient_march() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(25.0);
+
+        let mut direct = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        direct.set_flow_rate(q).unwrap();
+        let mut mg = ThermalModel::new(&stack, g, multigrid_params()).unwrap();
+        mg.set_flow_rate(q).unwrap();
+
+        for _ in 0..40 {
+            let fd = direct.step(&powers, 0.25).unwrap();
+            let fm = mg.step(&powers, 0.25).unwrap();
+            for (u, v) in fm.cells().iter().zip(fd.cells()) {
+                assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+            }
+        }
+        let s = mg.solver_stats();
+        assert_eq!(s.iterative_solves, 40, "{s:?}");
+        assert_eq!(s.iterative_fallbacks, 0, "{s:?}");
+        assert_eq!(s.full_factorizations, 0, "{s:?}");
+    }
+
+    #[test]
+    fn warm_multigrid_transient_path_is_allocation_free() {
+        // The zero-allocation contract extends to the multigrid backend:
+        // once the stencil, hierarchy and BiCGSTAB workspace are warm,
+        // stepping grows no buffer.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let mut m = ThermalModel::new(&stack, g, multigrid_params()).unwrap();
+        m.set_flow_rate(VolumetricFlow::from_ml_per_min(25.0))
+            .unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let mut field = m.current_field();
+        m.step_into(&powers, 0.25, &mut field).unwrap();
+        m.step_into(&powers, 0.25, &mut field).unwrap();
+        let warm = m.solver_stats();
+        for _ in 0..100 {
+            m.step_into(&powers, 0.25, &mut field).unwrap();
+        }
+        let s = m.solver_stats();
+        assert_eq!(
+            s.workspace_grows, warm.workspace_grows,
+            "warm multigrid sub-steps must not grow any workspace buffer: {s:?}"
+        );
+        assert_eq!(s.iterative_solves, warm.iterative_solves + 100);
+        assert_eq!(s.iterative_fallbacks, 0);
+    }
+
+    #[test]
+    fn multigrid_runs_are_bit_reproducible() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 25.0, g.cell_count());
+        let run = || {
+            let mut m = ThermalModel::new(&stack, g, multigrid_params()).unwrap();
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(20.0))
+                .unwrap();
+            let mut out = m.steady_state(&powers).unwrap().raw().to_vec();
+            for _ in 0..5 {
+                out = m.step(&powers, 0.25).unwrap().raw().to_vec();
+            }
+            out
+        };
+        assert_eq!(run(), run(), "identical bits run to run");
+    }
+
+    #[test]
+    fn multigrid_on_uncoarsenable_grid_falls_back_to_direct() {
+        // A 7×7 in-plane grid cannot halve: the hierarchy build bails
+        // out, the fallback is recorded once, and the operating point
+        // runs on the direct path — matching a direct model exactly.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(7, 7).unwrap();
+        let powers = uniform_powers(2, 15.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(20.0);
+
+        let mut m = ThermalModel::new(&stack, g, multigrid_params()).unwrap();
+        m.set_flow_rate(q).unwrap();
+        let fa = m.steady_state(&powers).unwrap();
+        let s = m.solver_stats();
+        assert_eq!(s.iterative_solves, 0, "{s:?}");
+        assert_eq!(s.iterative_fallbacks, 1, "{s:?}");
+        assert_eq!(s.full_factorizations, 1, "{s:?}");
+        assert_eq!(s.mg_cycles, 0, "{s:?}");
+
+        let mut direct = ThermalModel::new(&stack, g, ThermalParams::default()).unwrap();
+        direct.set_flow_rate(q).unwrap();
+        let fb = direct.steady_state(&powers).unwrap();
+        assert_eq!(fa.raw(), fb.raw(), "fallback rides the exact direct path");
+    }
+
+    #[test]
+    fn warm_ilu_refresh_skips_the_symbolic_analysis() {
+        // Operating-point changes under the ILU(0) backend reuse the
+        // analysed pattern: the first build analyses, every later build
+        // is a value-only refresh — and the refreshed preconditioner
+        // behaves exactly like a fresh one (bit-identical fields).
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let flows = [20.0, 26.0, 33.0].map(VolumetricFlow::from_ml_per_min);
+
+        let mut m = ThermalModel::new(&stack, g, iterative_params()).unwrap();
+        let mut warm_fields = Vec::new();
+        for q in flows {
+            m.set_flow_rate(q).unwrap();
+            warm_fields.push(m.steady_state(&powers).unwrap().raw().to_vec());
+        }
+        let s = m.solver_stats();
+        assert_eq!(
+            s.ilu_refreshes, 2,
+            "first build analyses, the rest refresh: {s:?}"
+        );
+        assert_eq!(s.iterative_fallbacks, 0, "{s:?}");
+
+        for (q, warm) in flows.iter().zip(&warm_fields) {
+            let mut fresh = ThermalModel::new(&stack, g, iterative_params()).unwrap();
+            fresh.set_flow_rate(*q).unwrap();
+            let f = fresh.steady_state(&powers).unwrap();
+            assert_eq!(
+                f.raw(),
+                &warm[..],
+                "refresh must be bit-identical to analyse"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_iterative_solves_are_history_independent() {
+        // The determinism contract behind `warm_start: false` (the
+        // default): every solve's Krylov trajectory is a pure function
+        // of its operator and right-hand side, so repeating a solve
+        // reproduces it bitwise regardless of what was solved before.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 25.0, g.cell_count());
+        let other = uniform_powers(2, 10.0, g.cell_count());
+        for params in [iterative_params(), multigrid_params()] {
+            let mut m = ThermalModel::new(&stack, g, params).unwrap();
+            m.set_flow_rate(VolumetricFlow::from_ml_per_min(22.0))
+                .unwrap();
+            let f1 = m.steady_state(&powers).unwrap().raw().to_vec();
+            m.steady_state(&other).unwrap();
+            let f2 = m.steady_state(&powers).unwrap().raw().to_vec();
+            assert_eq!(f1, f2, "cold starts must not see solve history");
+        }
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations_and_stays_within_tolerance() {
+        // Seeding each transient solve from the previous state must pay
+        // off where it matters — a long march of small steps — while the
+        // fields stay within the iteration tolerance of the cold runs.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let g = GridSpec::new(8, 8).unwrap();
+        let powers = uniform_powers(2, 20.0, g.cell_count());
+        let q = VolumetricFlow::from_ml_per_min(25.0);
+        for params in [iterative_params(), multigrid_params()] {
+            let warm_params = ThermalParams {
+                warm_start: true,
+                ..params.clone()
+            };
+            let mut cold = ThermalModel::new(&stack, g, params).unwrap();
+            cold.set_flow_rate(q).unwrap();
+            let mut warm = ThermalModel::new(&stack, g, warm_params).unwrap();
+            warm.set_flow_rate(q).unwrap();
+            for _ in 0..30 {
+                let fc = cold.step(&powers, 0.25).unwrap();
+                let fw = warm.step(&powers, 0.25).unwrap();
+                for (u, v) in fw.cells().iter().zip(fc.cells()) {
+                    assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+                }
+            }
+            let sc = cold.solver_stats();
+            let sw = warm.solver_stats();
+            assert!(
+                sw.iterative_iterations < sc.iterative_iterations,
+                "warm {} vs cold {} iterations",
+                sw.iterative_iterations,
+                sc.iterative_iterations
+            );
+            assert_eq!(sw.iterative_fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn multigrid_iterations_stay_flat_as_the_grid_refines() {
+        // The point of the V-cycle: from 32×32 to 128×128 the BiCGSTAB
+        // iteration count under multigrid preconditioning must grow by
+        // at most 1.5×, while ILU(0) — whose error reduction is local —
+        // degrades by at least 2×.
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let q = VolumetricFlow::from_ml_per_min(25.0);
+        let iters = |n: usize, params: ThermalParams| {
+            let g = GridSpec::new(n, n).unwrap();
+            let powers = uniform_powers(2, 30.0, g.cell_count());
+            let mut m = ThermalModel::new(&stack, g, params).unwrap();
+            m.set_flow_rate(q).unwrap();
+            m.steady_state(&powers).unwrap();
+            let s = m.solver_stats();
+            assert_eq!(s.iterative_fallbacks, 0, "{n}x{n}: {s:?}");
+            s.iterative_iterations
+        };
+        let mg_ratio = iters(128, multigrid_params()) as f64 / iters(32, multigrid_params()) as f64;
+        let ilu_ratio =
+            iters(128, iterative_params()) as f64 / iters(32, iterative_params()) as f64;
+        assert!(
+            mg_ratio <= 1.5,
+            "multigrid iterations grew {mg_ratio:.2}x from 32^2 to 128^2"
+        );
+        assert!(
+            ilu_ratio >= 2.0,
+            "ILU(0) should degrade with resolution (grew {ilu_ratio:.2}x) — \
+             if it stopped degrading, the multigrid backend may be obsolete"
+        );
     }
 }

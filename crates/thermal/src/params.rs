@@ -36,6 +36,15 @@ pub enum AdvectionScheme {
 ///   [`SolverStats::iterative_fallbacks`](crate::SolverStats::iterative_fallbacks)),
 ///   so results are always delivered; per backend the results are
 ///   bit-reproducible across runs and thread counts.
+/// * [`SolverBackend::IterativeMg`] — BiCGSTAB preconditioned by a
+///   geometric multigrid V-cycle over the **matrix-free**
+///   [`StencilOperator`](crate::StencilOperator): the fine level is never
+///   assembled, operating-point setup is O(nz) scalar updates instead of
+///   an O(nnz) numeric ILU factorisation, and iteration counts stay
+///   (near-)resolution-independent as the grid refines. The same
+///   automatic direct-LU fallback applies. Unavailable grids (odd
+///   in-plane dimensions that cannot coarsen) fall back to direct LU at
+///   operator build, counted the same way.
 ///
 /// Two-phase (Dirichlet-fluid) fixed-point sweeps always use the direct
 /// solver: their operator is re-factorised each sweep anyway and the
@@ -54,12 +63,21 @@ pub enum SolverBackend {
         /// the direct fallback takes over).
         max_iterations: usize,
     },
+    /// Matrix-free BiCGSTAB with a geometric-multigrid V-cycle
+    /// preconditioner and automatic direct-LU fallback.
+    IterativeMg {
+        /// Relative residual tolerance (‖r‖/‖b‖) of the iteration.
+        tolerance: f64,
+        /// Iteration cap before the solve is declared non-convergent (and
+        /// the direct fallback takes over).
+        max_iterations: usize,
+    },
 }
 
 impl SolverBackend {
-    /// The iterative backend at its default operating point (tolerance
-    /// `1e-10`, cap 2000 — tight enough that steady fields agree with the
-    /// direct backend to micro-kelvins).
+    /// The ILU(0) iterative backend at its default operating point
+    /// (tolerance `1e-10`, cap 2000 — tight enough that steady fields
+    /// agree with the direct backend to micro-kelvins).
     pub fn iterative() -> Self {
         SolverBackend::IterativeIlu0 {
             tolerance: 1e-10,
@@ -67,9 +85,37 @@ impl SolverBackend {
         }
     }
 
-    /// `true` for the BiCGSTAB backend.
+    /// The multigrid iterative backend at the same default operating
+    /// point as [`SolverBackend::iterative`].
+    pub fn multigrid() -> Self {
+        SolverBackend::IterativeMg {
+            tolerance: 1e-10,
+            max_iterations: 2000,
+        }
+    }
+
+    /// `true` for either BiCGSTAB backend (ILU(0) or multigrid).
     pub fn is_iterative(&self) -> bool {
-        matches!(self, SolverBackend::IterativeIlu0 { .. })
+        matches!(
+            self,
+            SolverBackend::IterativeIlu0 { .. } | SolverBackend::IterativeMg { .. }
+        )
+    }
+
+    /// The iterative operating point `(tolerance, max_iterations)`, or
+    /// `None` for the direct backend.
+    pub fn iteration_limits(&self) -> Option<(f64, usize)> {
+        match *self {
+            SolverBackend::DirectLu => None,
+            SolverBackend::IterativeIlu0 {
+                tolerance,
+                max_iterations,
+            }
+            | SolverBackend::IterativeMg {
+                tolerance,
+                max_iterations,
+            } => Some((tolerance, max_iterations)),
+        }
     }
 }
 
@@ -84,6 +130,10 @@ impl std::fmt::Display for SolverBackend {
                 tolerance,
                 max_iterations,
             } => write!(f, "bicgstab-ilu0(tol {tolerance:e}, cap {max_iterations})"),
+            SolverBackend::IterativeMg {
+                tolerance,
+                max_iterations,
+            } => write!(f, "bicgstab-mg(tol {tolerance:e}, cap {max_iterations})"),
         }
     }
 }
@@ -147,6 +197,17 @@ pub struct ThermalParams {
     pub coolant: Coolant,
     /// Linear-solver backend for the steady/transient solves.
     pub solver: SolverBackend,
+    /// Seed each iterative solve from the model's previous temperature
+    /// state instead of a zero initial guess. **Off by default** to
+    /// preserve the determinism contract: with the flag off every solve's
+    /// Krylov trajectory is a pure function of its own operator and
+    /// right-hand side, bit-identical across runs, thread counts and
+    /// solve *histories*. Turning it on keeps runs bit-reproducible
+    /// (the state sequence itself is deterministic) but makes each
+    /// solve's iteration count depend on what was solved before — results
+    /// still agree with cold starts to the configured tolerance, not
+    /// bitwise. Ignored by the direct backend.
+    pub warm_start: bool,
 }
 
 impl Default for ThermalParams {
@@ -157,6 +218,7 @@ impl Default for ThermalParams {
             advection: AdvectionScheme::default(),
             coolant: Coolant::Water,
             solver: SolverBackend::default(),
+            warm_start: false,
         }
     }
 }
@@ -171,6 +233,7 @@ mod tests {
         assert!((p.inlet.to_celsius().0 - 27.0).abs() < 1e-12);
         assert_eq!(p.advection, AdvectionScheme::Upwind);
         assert_eq!(p.solver, SolverBackend::DirectLu);
+        assert!(!p.warm_start, "warm starts are opt-in (determinism)");
     }
 
     #[test]
@@ -187,5 +250,13 @@ mod tests {
         };
         assert_eq!(loose.to_string(), "bicgstab-ilu0(tol 1e-6, cap 500)");
         assert_ne!(loose.to_string(), it.to_string());
+        // The multigrid backend mirrors the ILU(0) helper surface.
+        let mg = SolverBackend::multigrid();
+        assert!(mg.is_iterative());
+        assert_eq!(mg.to_string(), "bicgstab-mg(tol 1e-10, cap 2000)");
+        assert_ne!(mg, it);
+        assert_eq!(mg.iteration_limits(), Some((1e-10, 2000)));
+        assert_eq!(it.iteration_limits(), Some((1e-10, 2000)));
+        assert_eq!(SolverBackend::DirectLu.iteration_limits(), None);
     }
 }

@@ -3,14 +3,16 @@
 //! Every scenario runs on direct sparse LU by default. For fine grids —
 //! where the pivoting factorisation's fill makes the first solve at each
 //! operating point expensive — `ScenarioSpec::solver` switches the
-//! thermal model to ILU(0)-preconditioned BiCGSTAB, which keeps setup
-//! cost O(nnz) and falls back to direct LU automatically if an iterative
-//! solve ever breaks down (see `BENCH_iterative.json` for the measured
-//! crossover).
+//! thermal model to ILU(0)-preconditioned BiCGSTAB (setup stays O(nnz))
+//! or to geometric-multigrid-preconditioned BiCGSTAB on the matrix-free
+//! stencil operator (setup O(n), iteration counts resolution-independent,
+//! and the fine operator is never assembled at all). Both fall back to
+//! direct LU automatically if an iterative solve ever breaks down (see
+//! `BENCH_iterative.json` for the measured crossover).
 //!
-//! This example runs the same fig6-style scenario under both backends,
-//! shows they agree to solver tolerance, and sweeps the backend as a
-//! `Study` axis.
+//! This example runs the same fig6-style scenario under all three
+//! backends, shows they agree to solver tolerance, and sweeps the
+//! backend as a `Study` axis.
 
 use cmosaic::policy::PolicyKind;
 use cmosaic::{BatchRunner, ScenarioSpec, Study};
@@ -27,9 +29,13 @@ fn main() -> Result<(), cmosaic::CmosaicError> {
         .seconds(10)
         .seed(42);
 
-    // One axis, two backends, executed as one batch.
+    // One axis, three backends, executed as one batch.
     let report = Study::new(base)
-        .over_solvers([SolverBackend::DirectLu, SolverBackend::iterative()])
+        .over_solvers([
+            SolverBackend::DirectLu,
+            SolverBackend::iterative(),
+            SolverBackend::multigrid(),
+        ])
         .run(&BatchRunner::new(2))?;
 
     println!("backend comparison (2-tier water-cooled LC_FUZZY, 10 s):");
@@ -37,8 +43,8 @@ fn main() -> Result<(), cmosaic::CmosaicError> {
         let m = &outcome.metrics;
         let s = &outcome.solver;
         println!(
-            "  {:<34} peak {:6.2} °C  chip {:7.1} J  pump {:5.1} J  \
-             full-LU {}  bicgstab solves {} ({} iters)",
+            "  {:<33} peak {:6.2} °C  chip {:7.1} J  pump {:5.1} J  \
+             full-LU {}  bicgstab solves {} ({} iters)  V-cycles {}",
             spec.solver_backend().to_string(),
             m.peak_temperature.to_celsius().0,
             m.chip_energy,
@@ -46,28 +52,33 @@ fn main() -> Result<(), cmosaic::CmosaicError> {
             s.full_factorizations,
             s.iterative_solves,
             s.iterative_iterations,
+            s.mg_cycles,
         );
     }
 
     let outcomes = report.outcomes();
     let direct = outcomes[0];
-    let iterative = outcomes[1];
 
-    // The two backends agree on the physics to the iteration tolerance.
+    // All backends agree on the physics to the iteration tolerance, and
+    // neither iterative run ever paid for a pivoting factorisation of the
+    // fine operator nor fell back to one.
     let dp = direct.metrics.peak_temperature.0;
-    let ip = iterative.metrics.peak_temperature.0;
-    assert!(
-        (dp - ip).abs() < 1e-4,
-        "backends must agree: {dp} K vs {ip} K"
-    );
-    // The iterative run never paid for a pivoting factorisation and never
-    // fell back to one.
-    assert_eq!(iterative.solver.full_factorizations, 0);
-    assert_eq!(iterative.solver.iterative_fallbacks, 0);
-    assert!(iterative.solver.iterative_solves > 0);
+    let mut worst = 0.0f64;
+    for (name, o) in [("ilu0", outcomes[1]), ("multigrid", outcomes[2])] {
+        let p = o.metrics.peak_temperature.0;
+        assert!((dp - p).abs() < 1e-4, "{name} must agree: {dp} K vs {p} K");
+        worst = worst.max((dp - p).abs());
+        assert_eq!(o.solver.full_factorizations, 0, "{name} factorised");
+        assert_eq!(o.solver.iterative_fallbacks, 0, "{name} fell back");
+        assert!(o.solver.iterative_solves > 0);
+    }
+    // The multigrid run really ran V-cycles, and fewer Krylov iterations
+    // than the ILU(0) run needed.
+    assert!(outcomes[2].solver.mg_cycles > 0);
+    assert!(outcomes[2].solver.iterative_iterations <= outcomes[1].solver.iterative_iterations);
     println!(
-        "\nbackends agree within {:.1e} K; the iterative run used zero LU factorisations",
-        (dp - ip).abs()
+        "\nbackends agree within {worst:.1e} K; \
+         neither iterative run used a single fine-level LU factorisation"
     );
     Ok(())
 }

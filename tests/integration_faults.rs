@@ -4,9 +4,10 @@
 //!   and the batch still returns a complete, partial `BatchReport`;
 //! * an injected NaN at epoch `k` exhausts the retry ladder and surfaces
 //!   `ScenarioError::Diverged` with the correct epoch and cell;
-//! * an iterative-solver breakdown is healed by exactly one
-//!   iterative→direct demotion, a dt-gated NaN by exactly one
-//!   Δt-halving;
+//! * an iterative-solver breakdown is healed by stepwise backend
+//!   demotion — one rung (ILU(0)→direct) on an ILU(0) scenario, two
+//!   rungs (multigrid→ILU(0)→direct) on a multigrid scenario — and a
+//!   dt-gated NaN by exactly one Δt-halving;
 //! * a mixed batch (panicking + diverging + self-healing + healthy
 //!   scenarios) is bit-identical across thread counts with the healthy
 //!   aggregates intact;
@@ -134,6 +135,88 @@ fn breakdown_is_healed_by_exactly_one_backend_demotion() {
         "{:?}",
         outcome.solver
     );
+}
+
+#[test]
+fn mg_breakdown_walks_both_rungs_of_the_ladder() {
+    // The injected breakdown fires while the backend is iterative, so a
+    // multigrid scenario demotes twice — mg → ILU(0) (still iterative,
+    // fires again) → direct — before it clears, burning no Δt halving.
+    // The walk is a per-scenario property, so it must be bit-identical
+    // at every thread count.
+    let scenario = base_spec()
+        .solver(SolverBackend::multigrid())
+        .fault_plan(FaultPlan::none().at(1, FaultKind::IterativeBreakdown))
+        .build()
+        .unwrap();
+    let scenarios = vec![scenario];
+    let mut reports = Vec::new();
+    for threads in thread_counts() {
+        let report = BatchRunner::new(threads).run_scenarios(&scenarios);
+        assert!(report.all_ok(), "{:?}", report.first_error());
+        let outcome = report.outcomes()[0];
+        assert_eq!(outcome.recovery.attempts, 3, "{threads} threads");
+        assert_eq!(outcome.recovery.backend_demotions, 2, "mg walks both rungs");
+        assert_eq!(outcome.recovery.dt_halvings, 0);
+        // The final attempt really ran direct LU.
+        assert_eq!(outcome.solver.iterative_solves, 0, "{:?}", outcome.solver);
+        assert_eq!(outcome.solver.mg_cycles, 0, "{:?}", outcome.solver);
+        assert!(outcome.solver.full_factorizations >= 1);
+        reports.push(report);
+    }
+    for r in &reports[1..] {
+        assert_eq!(reports[0].slots, r.slots);
+    }
+}
+
+#[test]
+fn mg_backend_is_bit_identical_across_thread_counts() {
+    // The multigrid happy path in a mixed group layout: two mg scenarios
+    // (donor + adopter of their pattern group) next to a direct pair.
+    // Every slot must be bit-identical across thread counts, and the mg
+    // slots must complete without a single fine-level factorisation or
+    // fallback.
+    let mk = |backend, seed| {
+        base_spec()
+            .policy(cmosaic::PolicyKind::LcFuzzy)
+            .solver(backend)
+            .seed(seed)
+            .build()
+            .unwrap()
+    };
+    let scenarios = vec![
+        mk(SolverBackend::multigrid(), 1),
+        mk(SolverBackend::DirectLu, 1),
+        mk(SolverBackend::multigrid(), 2),
+        mk(SolverBackend::DirectLu, 2),
+    ];
+    let mut reports = Vec::new();
+    for threads in thread_counts() {
+        let report = BatchRunner::new(threads).run_scenarios(&scenarios);
+        assert!(report.all_ok(), "{:?}", report.first_error());
+        for o in report.outcomes() {
+            if o.index.is_multiple_of(2) {
+                assert_eq!(o.solver.full_factorizations, 0, "mg slot {}", o.index);
+                assert_eq!(o.solver.iterative_fallbacks, 0, "mg slot {}", o.index);
+                assert!(o.solver.mg_cycles >= 1, "mg slot {}", o.index);
+            }
+        }
+        // The backends agree on the physics to solver tolerance.
+        let peaks: Vec<f64> = report
+            .outcomes()
+            .iter()
+            .map(|o| o.metrics.peak_temperature.0)
+            .collect();
+        assert!((peaks[0] - peaks[1]).abs() < 1e-4, "{peaks:?}");
+        assert!((peaks[2] - peaks[3]).abs() < 1e-4, "{peaks:?}");
+        reports.push(report);
+    }
+    for r in &reports[1..] {
+        assert_eq!(
+            reports[0].slots, r.slots,
+            "multigrid outcomes are thread-count invariant"
+        );
+    }
 }
 
 #[test]
