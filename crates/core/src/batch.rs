@@ -402,6 +402,35 @@ impl BatchRunner {
         self.run_scenarios_resumed(scenarios, &[], factory, |_, _| {})
     }
 
+    /// [`run_scenarios_observed`](Self::run_scenarios_observed) with a
+    /// cross-batch analysis cache spliced in: before a pattern group's
+    /// donor runs, `seed(scenario)` is consulted with the group's
+    /// representative; a `Some` analysis is adopted by *every* scenario
+    /// of the group — donor included — so a warm pattern costs zero full
+    /// factorisations in this batch. Fresh analyses donated by unseeded
+    /// groups are returned as `(scenario index, analysis)` pairs for the
+    /// caller to keep (the index is the group representative's, so
+    /// `scenarios[i].pattern_fingerprint()` keys it).
+    ///
+    /// Seeding is bit-neutral: since analysis donation normalises donor
+    /// and adopter onto the same numeric sweep, a scenario's outcome is
+    /// the same bitwise whether its pattern was seeded, donated within
+    /// the batch, or factorised standalone. Only the [`SolverStats`]
+    /// counters observe the difference.
+    pub fn run_scenarios_seeded_observed<O, F, S>(
+        &self,
+        scenarios: &[Scenario],
+        seed: S,
+        factory: F,
+    ) -> (BatchReport, Vec<Option<O>>, Vec<(usize, SharedAnalysis)>)
+    where
+        O: Observer + Send,
+        F: Fn(usize, &Scenario) -> O + Sync,
+        S: Fn(&Scenario) -> Option<SharedAnalysis> + Sync,
+    {
+        self.run_scenarios_engine(scenarios, &[], &seed, factory, |_, _| {})
+    }
+
     /// The full engine: optionally resumes from prior per-slot results
     /// (`completed`, index-aligned or empty) and reports each freshly
     /// finished slot through `record` from inside the worker — the hook
@@ -421,6 +450,27 @@ impl BatchRunner {
         factory: F,
         record: R,
     ) -> (BatchReport, Vec<Option<O>>)
+    where
+        O: Observer + Send,
+        F: Fn(usize, &Scenario) -> O + Sync,
+        R: Fn(usize, &Result<ScenarioOutcome, SlotError>) + Sync,
+    {
+        let (report, observers, _) =
+            self.run_scenarios_engine(scenarios, completed, &|_| None, factory, record);
+        (report, observers)
+    }
+
+    /// The innermost engine behind every run flavour: resume merging,
+    /// analysis seeding, per-slot observers and the record hook in one
+    /// place (see the public wrappers for the individual contracts).
+    fn run_scenarios_engine<O, F, R>(
+        &self,
+        scenarios: &[Scenario],
+        completed: &[Option<Result<ScenarioOutcome, SlotError>>],
+        seed: &(dyn Fn(&Scenario) -> Option<SharedAnalysis> + Sync),
+        factory: F,
+        record: R,
+    ) -> (BatchReport, Vec<Option<O>>, Vec<(usize, SharedAnalysis)>)
     where
         O: Observer + Send,
         F: Fn(usize, &Scenario) -> O + Sync,
@@ -468,17 +518,26 @@ impl BatchRunner {
             lock_unpoisoned(&slots)[i] = Some((slot, observer));
         };
 
+        let mut harvested: Vec<(usize, SharedAnalysis)> = Vec::new();
         if self.share_analysis {
             // Donors-first job order plus per-group release: an adopter
             // only ever waits for its *own* group's donor. `published[g]`
             // is `None` until donor `g` finishes, then `Some(analysis)`
             // (`Some(None)` for a donor that failed, panicked, demoted
             // its backend, or had nothing to share — adopters proceed
-            // unshared instead of waiting forever).
+            // unshared instead of waiting forever). A group whose pattern
+            // the `seed` lookup already knows is published before any job
+            // runs, and its donor takes the adopter path like everyone
+            // else.
             let mut prepublished = vec![None; group_reps.len()];
+            let mut seeded = vec![false; group_reps.len()];
             let mut jobs: Vec<Job> = Vec::new();
             for (g, &d) in donors.iter().enumerate() {
                 if !done(d) {
+                    if let Some(analysis) = seed(&scenarios[d]) {
+                        prepublished[g] = Some(Some(analysis));
+                        seeded[g] = true;
+                    }
                     jobs.push(Job::Run(d));
                     continue;
                 }
@@ -526,7 +585,7 @@ impl BatchRunner {
             self.par_run(&jobs, |job| match *job {
                 Job::Run(i) => {
                     let g = group_of[i];
-                    if donors[g] == i {
+                    if donors[g] == i && !seeded[g] {
                         let mut publish = PublishOnDrop {
                             g,
                             table: &published,
@@ -579,6 +638,19 @@ impl BatchRunner {
                     drop(publish);
                 }
             });
+            // Hand freshly donated analyses (not the ones the caller
+            // seeded in — it already has those) back for cross-batch
+            // reuse.
+            let published = published
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            harvested.extend(
+                published
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(g, _)| !seeded[*g])
+                    .filter_map(|(g, slot)| slot.flatten().map(|a| (donors[g], a))),
+            );
         } else {
             let mut jobs: Vec<Job> = (0..n).filter(|&i| !done(i)).map(Job::Run).collect();
             if let Some(limit) = self.job_limit {
@@ -624,6 +696,7 @@ impl BatchRunner {
                 threads: self.threads,
             },
             observers,
+            harvested,
         )
     }
 

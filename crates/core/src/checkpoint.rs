@@ -32,29 +32,25 @@ use cmosaic_thermal::SolverStats;
 
 use crate::batch::{RecoveryRecord, ScenarioError, ScenarioOutcome, SlotError};
 use crate::metrics::RunMetrics;
-use crate::scenario::ScenarioSpec;
+use crate::scenario::{Fnv1a, ScenarioSpec};
 use crate::CmosaicError;
 
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
-/// FNV-1a fingerprint binding a journal to its study: hashes every
-/// spec's debug rendering in order, plus the count. Any change to a
-/// scenario — axes, seeds, duration, fault plans — changes the
-/// fingerprint and invalidates old journals.
+/// FNV-1a fingerprint binding a journal to its study: folds the ordered
+/// per-spec [`ScenarioSpec::fingerprint`] values, plus the count, so the
+/// journal key and any per-spec cache key derive from the same identity.
+/// Any change to a scenario — axes, seeds, duration, fault plans —
+/// changes the fingerprint and invalidates old journals. (v3 bumped the
+/// version when the composition moved onto the public per-spec
+/// fingerprints.)
 pub fn fingerprint(specs: &[ScenarioSpec]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(&(specs.len() as u64).to_le_bytes());
+    let mut h = Fnv1a::new();
+    h.eat(&(specs.len() as u64).to_le_bytes());
     for spec in specs {
-        eat(format!("{spec:?}").as_bytes());
-        eat(b"\n");
+        h.eat(&spec.fingerprint().to_le_bytes());
     }
-    h
+    h.finish()
 }
 
 /// An append-only on-disk record of finished study slots (see the

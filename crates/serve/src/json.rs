@@ -1,0 +1,581 @@
+//! Minimal self-contained JSON: the wire format of the serve protocol.
+//!
+//! Hand-rolled because the build environment has no crates.io access, and
+//! deliberately tiny — one value enum, one encoder, one recursive-descent
+//! parser — but with a property the usual libraries do not give:
+//! **bit-exact `f64` round-trips**. Finite floats are emitted through
+//! Rust's shortest-round-trip `Display` and re-read by the standard
+//! library's correctly-rounded parser, so `encode(parse(encode(x)))` is
+//! the identity on the *bit pattern*, not just the approximate value.
+//! Non-finite floats, which plain JSON cannot carry at all, travel as a
+//! single-key escape object `{"$hexf64":"<16 hex digits>"}` holding the
+//! IEEE-754 bits — the same hex-bits convention the checkpoint journal
+//! uses on disk. The parser folds the escape back into a number, so the
+//! escape is invisible above this module.
+//!
+//! Object keys keep their insertion order (an object is a `Vec` of
+//! pairs): encoding is deterministic, which the serve determinism
+//! contract — identical request, bit-identical response bytes — relies
+//! on.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts; deeper input is rejected
+/// rather than risking a stack overflow on hostile requests.
+const MAX_DEPTH: usize = 64;
+
+/// Key of the escape object carrying an `f64` as its IEEE-754 bits.
+const HEX_F64_KEY: &str = "$hexf64";
+
+/// A JSON value. Numbers are always `f64` (the only number JSON has);
+/// integers that cannot survive the `f64` mantissa are sent as strings by
+/// [`Json::u64`] and read back by [`Json::as_u64`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, including non-finite values (see the module docs).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key/value pairs, first match wins on lookup.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset plus what was expected there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// String value (shorthand constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A `u64` as JSON: a plain number while the value fits the `f64`
+    /// mantissa exactly, a decimal string beyond that (seeds and
+    /// fingerprints may use all 64 bits).
+    pub fn u64(v: u64) -> Json {
+        if v <= (1u64 << 53) {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(v.to_string())
+        }
+    }
+
+    /// Object member by key (first match), `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`: accepts an integral in-range number,
+    /// or a decimal string (the [`Json::u64`] overflow form).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) => {
+                if v.fract() == 0.0 && *v >= 0.0 && *v <= (1u64 << 53) as f64 {
+                    Some(*v as u64)
+                } else {
+                    None
+                }
+            }
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize` (via [`Json::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The ordered key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialises to compact JSON (no whitespace). Deterministic: equal
+    /// values — including NaN bit patterns — produce equal bytes.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip decimal; `str::parse::<f64>` is
+                    // correctly rounded, so this is bit-exact.
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str(&format!("{{\"{HEX_F64_KEY}\":\"{:016x}\"}}", v.to_bits()));
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one complete JSON value; trailing non-whitespace is an
+    /// error. The `{"$hexf64":...}` escape decodes back to [`Json::Num`].
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Convenience constructor for ordered objects.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    // Fold the non-finite escape back into a number.
+                    if let [(k, Json::Str(hex))] = &fields[..] {
+                        if k == HEX_F64_KEY && hex.len() == 16 {
+                            if let Ok(bits) = u64::from_str_radix(hex, 16) {
+                                return Ok(Json::Num(f64::from_bits(bits)));
+                            }
+                        }
+                    }
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let n = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(n)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits (after `\u`), advancing past them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            offset: start,
+            detail: format!("invalid number '{text}'"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1.5", "\"hi\"", "[]", "{}"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.encode(), text);
+        }
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        let text =
+            r#"{"op":"run","specs":[{"seed":42,"grid":{"rows":6,"cols":6}}],"ok":true,"x":null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.encode(), text);
+        assert_eq!(
+            v.get("specs").unwrap().as_arr().unwrap()[0]
+                .get("seed")
+                .unwrap()
+                .as_u64(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quote\" back\\slash tab\t nul\u{0} é 日本 \u{1F600}";
+        let encoded = Json::Str(original.to_string()).encode();
+        assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(original));
+        // Foreign encoders may use \u escapes and surrogate pairs.
+        assert_eq!(
+            Json::parse(r#""\u00e9 \ud83d\ude00 \/""#).unwrap().as_str(),
+            Some("é 😀 /")
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_use_the_hex_escape() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let encoded = Json::Num(v).encode();
+            assert!(encoded.contains("$hexf64"), "{encoded}");
+            let back = Json::parse(&encoded).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // A genuine single-key object that merely resembles the escape
+        // (wrong hex width) stays an object.
+        let v = Json::parse(r#"{"$hexf64":"zz"}"#).unwrap();
+        assert!(matches!(v, Json::Obj(_)));
+    }
+
+    #[test]
+    fn u64_values_survive_beyond_the_mantissa() {
+        for v in [0u64, 53, 1 << 53, u64::MAX, 0xadde_c23b_3d36_bb47] {
+            let back = Json::parse(&Json::u64(v).encode()).unwrap();
+            assert_eq!(back.as_u64(), Some(v));
+        }
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "\"open",
+            "01x",
+            "nul",
+            "[1]2",
+            "{\"a\":}",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err(), "depth cap");
+    }
+
+    proptest! {
+        /// Every f64 bit pattern — subnormals, NaN payloads, infinities —
+        /// survives encode→parse bit-exactly.
+        #[test]
+        fn f64_bits_round_trip(bits in 0u64..=u64::MAX) {
+            let v = f64::from_bits(bits);
+            let back = Json::parse(&Json::Num(v).encode()).unwrap();
+            prop_assert_eq!(back.as_f64().unwrap().to_bits(), bits);
+        }
+
+        /// Randomly composed values re-encode to the same bytes after a
+        /// parse round trip (encoding is canonical).
+        #[test]
+        fn composite_values_round_trip(
+            seeds in collection::vec(0u64..=u64::MAX, 1..8),
+            flag in 0u8..2,
+            text in -1.0e18f64..1.0e18,
+        ) {
+            let value = obj(vec![
+                ("op", Json::str("run")),
+                ("flag", Json::Bool(flag == 1)),
+                ("x", Json::Num(text)),
+                ("specs", Json::Arr(
+                    seeds.iter().map(|&s| obj(vec![
+                        ("seed", Json::u64(s)),
+                        ("f", Json::Num(f64::from_bits(s))),
+                    ])).collect(),
+                )),
+            ]);
+            let encoded = value.encode();
+            let reparsed = Json::parse(&encoded).unwrap();
+            prop_assert_eq!(reparsed.encode(), encoded);
+        }
+    }
+}

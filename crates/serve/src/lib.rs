@@ -1,0 +1,51 @@
+//! Simulation-as-a-service: a long-running daemon over the CMOSAIC batch
+//! engine.
+//!
+//! One-shot processes pay the whole cold-start bill — symbolic analysis,
+//! operator caches, memoized evaluations — on every invocation. This
+//! crate keeps a process warm and shares that work across callers:
+//!
+//! * **Coalescing** ([`scheduler`]): requests arriving within a short
+//!   window are merged into one [`BatchRunner`](cmosaic::BatchRunner)
+//!   batch, so one symbolic factorisation serves every in-flight request
+//!   of the same `(stack, grid)` operator pattern.
+//! * **Cross-request caching** ([`cache`]): an LRU keeps donated
+//!   [`SharedAnalysis`](cmosaic_thermal::SharedAnalysis) instances keyed
+//!   by pattern fingerprint, and finished per-scenario results keyed by
+//!   the spec's stable [`fingerprint`](cmosaic::ScenarioSpec::fingerprint)
+//!   — a warm pattern costs zero full factorisations, a repeated spec
+//!   costs zero simulation.
+//! * **Protocol** ([`protocol`], [`server`]): newline-delimited JSON over
+//!   a unix socket, plus HTTP/1.1 on localhost (`POST /run` streaming
+//!   chunked NDJSON, `GET /stats`, `POST /shutdown`). The JSON itself is
+//!   the hand-rolled [`json`] module with bit-exact `f64` round-trips.
+//!
+//! # Determinism contract
+//!
+//! An identical request yields a bit-identical `done` payload regardless
+//! of batching, concurrency, coalescing-window timing, or cache warmth.
+//! This leans on a property of the engine underneath: analysis donation
+//! is bit-neutral (donor and adopter normalise onto the same numeric
+//! sweep), so every scenario outcome is a pure bitwise function of its
+//! spec. Run responses therefore carry only spec-pure data — metrics,
+//! fingerprints, deterministic failure reports; solver and cache
+//! counters, which *do* depend on scheduling, live on the separate
+//! `stats` endpoint.
+//!
+//! # Fault isolation
+//!
+//! A panicking or diverging scenario fails only its own slot, through the
+//! batch engine's retry ladder and `catch_unwind` isolation; co-batched
+//! requests complete normally and the daemon keeps serving.
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::{CacheStats, Lru};
+pub use json::Json;
+pub use protocol::Request;
+pub use scheduler::{Scheduler, SchedulerConfig, StatsSnapshot};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,517 @@
+//! The coalescing scheduler: merges concurrent requests into shared
+//! batches and owns the cross-request caches.
+//!
+//! A single worker thread drains a submission queue. When a request
+//! arrives it opens a *coalescing window*; every request arriving within
+//! the window joins the same batch. The batch's scenarios are
+//! deduplicated by spec [`fingerprint`](cmosaic::ScenarioSpec::fingerprint)
+//! (two requests asking for the same scenario share one simulation),
+//! resolved against the result LRU (a repeated spec costs nothing), and
+//! the remainder executes as **one** [`BatchRunner`] batch — so one symbolic
+//! factorisation serves every in-flight request of the same operator
+//! pattern, and patterns already in the analysis LRU cost zero full
+//! factorisations (the batch engine adopts the cached analysis via
+//! [`run_scenarios_seeded_observed`](cmosaic::BatchRunner::run_scenarios_seeded_observed)).
+//!
+//! None of this machinery is observable in the run responses themselves:
+//! analysis donation is bit-neutral in the engine, so a scenario's
+//! outcome — and the serialized slot payload built from it — is a pure
+//! bitwise function of its spec, whatever the batching, window timing or
+//! cache warmth did. Per-epoch streams are captured alongside the result
+//! (including the epochs of retried attempts, which the deterministic
+//! retry ladder replays identically), so a warm cache hit streams the
+//! same per-slot event sequence a cold run streamed live.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cmosaic::batch::{RecoveryRecord, ScenarioError, SlotError};
+use cmosaic::observe::{EpochCtx, Observer};
+use cmosaic::{BatchRunner, Scenario, ScenarioSpec};
+use cmosaic_thermal::{SharedAnalysis, SolverStats};
+
+use crate::cache::{CacheStats, Lru};
+use crate::json::Json;
+use crate::protocol::slot_json;
+
+/// Tuning knobs of a [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads of the shared [`BatchRunner`].
+    pub threads: usize,
+    /// Coalescing window: how long the scheduler waits, after the first
+    /// request of a batch, for more requests to join it. Zero disables
+    /// coalescing (every request runs alone).
+    pub window: Duration,
+    /// Capacity of the pattern → [`SharedAnalysis`] LRU (0 disables).
+    pub analysis_cache: usize,
+    /// Capacity of the spec-fingerprint → result LRU (0 disables).
+    pub result_cache: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 4,
+            window: Duration::from_millis(10),
+            analysis_cache: 32,
+            result_cache: 256,
+        }
+    }
+}
+
+/// One captured control interval of a scenario — the payload of a
+/// streamed `epoch` event, kept spec-pure so live streams and cached
+/// replays are indistinguishable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnap {
+    /// Control-interval index.
+    pub epoch: usize,
+    /// Simulated time at the end of the interval, seconds.
+    pub time: f64,
+    /// Hottest junction temperature over the interval, kelvin.
+    pub peak_k: f64,
+    /// Chip power over the interval, watts.
+    pub chip_w: f64,
+    /// Pump power over the interval, watts.
+    pub pump_w: f64,
+    /// Per-cavity coolant flow, m³/s, if any.
+    pub flow_m3s: Option<f64>,
+}
+
+/// What a submission receives on its reply channel: any number of
+/// [`Reply::Epoch`] events (streaming submissions only), then exactly one
+/// [`Reply::Done`].
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// One control interval of one scenario, keyed by spec fingerprint
+    /// (the submitter maps fingerprints back to its own slot indices).
+    Epoch {
+        /// The scenario's spec fingerprint.
+        fingerprint: u64,
+        /// The captured interval.
+        snap: EpochSnap,
+    },
+    /// Per-slot results in the submission's spec order; terminal.
+    Done {
+        /// One serialized slot payload per requested spec.
+        slots: Vec<Json>,
+    },
+}
+
+/// Point-in-time counters for the `stats` endpoint.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Cache and coalescing counters.
+    pub cache: CacheStats,
+    /// Solver counters summed over every executed scenario.
+    pub solver: SolverStats,
+    /// Shape of the most recent coalesced batch.
+    pub last_batch: BatchSummary,
+}
+
+/// Shape of one coalesced batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSummary {
+    /// Requests merged into the batch.
+    pub requests: u64,
+    /// Unique scenarios after fingerprint dedup (including cache hits).
+    pub unique_scenarios: u64,
+    /// Distinct operator patterns among the scenarios actually executed.
+    pub pattern_groups: u64,
+    /// Full factorisations the executed scenarios performed — with a
+    /// cold analysis cache this equals `pattern_groups`, with a warm one
+    /// it drops to zero.
+    pub full_factorizations: u64,
+}
+
+struct Submission {
+    specs: Vec<ScenarioSpec>,
+    stream: bool,
+    reply: Sender<Reply>,
+}
+
+enum Msg {
+    Submit(Submission),
+    Shutdown,
+}
+
+/// Everything memoized about one finished (or failed) scenario: the
+/// serialized slot payload and the captured epoch stream.
+#[derive(Clone)]
+struct CachedResult {
+    slot: Json,
+    epochs: Arc<Vec<EpochSnap>>,
+}
+
+/// The coalescing scheduler. Create with [`Scheduler::start`], feed with
+/// [`Scheduler::submit`], stop with [`Scheduler::shutdown`] (drains
+/// everything already accepted).
+pub struct Scheduler {
+    tx: Sender<Msg>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    accepting: Arc<AtomicBool>,
+    stats: Arc<Mutex<StatsSnapshot>>,
+}
+
+impl Scheduler {
+    /// Spawns the worker thread and returns the handle.
+    pub fn start(config: SchedulerConfig) -> Scheduler {
+        let (tx, rx) = mpsc::channel();
+        let accepting = Arc::new(AtomicBool::new(true));
+        let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
+        let stats_w = Arc::clone(&stats);
+        let worker = std::thread::spawn(move || {
+            Worker {
+                runner: BatchRunner::new(config.threads),
+                window: config.window,
+                analyses: Mutex::new(Lru::new(config.analysis_cache)),
+                results: Lru::new(config.result_cache),
+                stats: stats_w,
+            }
+            .run(rx);
+        });
+        Scheduler {
+            tx,
+            worker: Mutex::new(Some(worker)),
+            accepting,
+            stats,
+        }
+    }
+
+    /// Submits one request's scenarios. Returns the reply channel, or
+    /// `None` when the scheduler is shutting down (the caller should
+    /// answer with a refusal). `stream` opts into per-epoch events.
+    pub fn submit(&self, specs: Vec<ScenarioSpec>, stream: bool) -> Option<Receiver<Reply>> {
+        if !self.accepting.load(Ordering::SeqCst) {
+            return None;
+        }
+        let (reply, rx) = mpsc::channel();
+        let sub = Submission {
+            specs,
+            stream,
+            reply,
+        };
+        self.tx.send(Msg::Submit(sub)).ok()?;
+        Some(rx)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        lock_unpoisoned(&self.stats).clone()
+    }
+
+    /// Graceful shutdown: stop accepting, let the worker drain every
+    /// already-accepted submission, and join it. Idempotent.
+    pub fn shutdown(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(worker) = lock_unpoisoned(&self.worker).take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-scenario observer: forwards every epoch to the live subscribers
+/// and appends it to the scenario's capture log (shared across retry
+/// attempts, so the log holds exactly what was streamed).
+struct StreamObserver {
+    fingerprint: u64,
+    log: Arc<Mutex<Vec<EpochSnap>>>,
+    subs: Arc<Vec<Sender<Reply>>>,
+}
+
+impl Observer for StreamObserver {
+    fn on_epoch(&mut self, ctx: &EpochCtx<'_>) {
+        let snap = EpochSnap {
+            epoch: ctx.epoch,
+            time: ctx.time,
+            peak_k: ctx.peak.0,
+            chip_w: ctx.chip_power,
+            pump_w: ctx.pump_power,
+            flow_m3s: ctx.flow.map(|q| q.0),
+        };
+        for sub in self.subs.iter() {
+            let _ = sub.send(Reply::Epoch {
+                fingerprint: self.fingerprint,
+                snap: snap.clone(),
+            });
+        }
+        lock_unpoisoned(&self.log).push(snap);
+    }
+}
+
+struct Worker {
+    runner: BatchRunner,
+    window: Duration,
+    analyses: Mutex<Lru<SharedAnalysis>>,
+    results: Lru<CachedResult>,
+    stats: Arc<Mutex<StatsSnapshot>>,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Msg>) {
+        loop {
+            // Block for the batch opener.
+            let first = match rx.recv() {
+                Ok(Msg::Submit(sub)) => sub,
+                Ok(Msg::Shutdown) | Err(_) => break,
+            };
+            let mut batch = vec![first];
+            let mut shutting_down = false;
+            // Coalesce: accept joiners until the window closes.
+            let deadline = Instant::now() + self.window;
+            while !shutting_down {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok(Msg::Submit(sub)) => batch.push(sub),
+                    Ok(Msg::Shutdown) => shutting_down = true,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        shutting_down = true;
+                    }
+                }
+            }
+            self.execute(batch);
+            if shutting_down {
+                break;
+            }
+        }
+        // Drain: everything already accepted still runs (one final
+        // coalesced batch), then the worker exits.
+        let leftovers: Vec<Submission> = rx
+            .try_iter()
+            .filter_map(|m| match m {
+                Msg::Submit(sub) => Some(sub),
+                Msg::Shutdown => None,
+            })
+            .collect();
+        if !leftovers.is_empty() {
+            self.execute(leftovers);
+        }
+    }
+
+    fn execute(&mut self, submissions: Vec<Submission>) {
+        // 1. Deduplicate scenarios across the batch by spec fingerprint,
+        //    registering each streaming submission once per fingerprint.
+        struct UniqueJob {
+            fingerprint: u64,
+            spec: ScenarioSpec,
+            subs: Vec<Sender<Reply>>,
+        }
+        let mut index_of: HashMap<u64, usize> = HashMap::new();
+        let mut jobs: Vec<UniqueJob> = Vec::new();
+        for sub in &submissions {
+            let mut seen_here: HashSet<u64> = HashSet::new();
+            for spec in &sub.specs {
+                let fp = spec.fingerprint();
+                let j = *index_of.entry(fp).or_insert_with(|| {
+                    jobs.push(UniqueJob {
+                        fingerprint: fp,
+                        spec: spec.clone(),
+                        subs: Vec::new(),
+                    });
+                    jobs.len() - 1
+                });
+                // Subscribe a streaming submission once per unique spec,
+                // even if it asked for the same spec twice.
+                if sub.stream && seen_here.insert(fp) {
+                    jobs[j].subs.push(sub.reply.clone());
+                }
+            }
+        }
+        let duplicates = submissions
+            .iter()
+            .map(|s| s.specs.len() as u64)
+            .sum::<u64>()
+            .saturating_sub(jobs.len() as u64);
+
+        // 2. Resolve against the result cache; build the rest.
+        let mut resolved: HashMap<u64, CachedResult> = HashMap::new();
+        let mut to_run: Vec<(usize, Scenario)> = Vec::new();
+        let mut result_hits = 0u64;
+        let mut result_misses = 0u64;
+        for (j, job) in jobs.iter().enumerate() {
+            if let Some(entry) = self.results.get(job.fingerprint) {
+                result_hits += 1;
+                let entry = entry.clone();
+                // Replay the captured stream to this batch's subscribers.
+                for sub in &job.subs {
+                    for snap in entry.epochs.iter() {
+                        let _ = sub.send(Reply::Epoch {
+                            fingerprint: job.fingerprint,
+                            snap: snap.clone(),
+                        });
+                    }
+                }
+                resolved.insert(job.fingerprint, entry);
+                continue;
+            }
+            result_misses += 1;
+            match job.spec.build() {
+                Ok(scenario) => to_run.push((j, scenario)),
+                Err(e) => {
+                    // A build failure is as deterministic as a simulated
+                    // result: serialize and memoize it the same way.
+                    let slot = slot_json(
+                        &job.spec.display_label(),
+                        job.fingerprint,
+                        &Err(SlotError {
+                            error: ScenarioError::Failed {
+                                detail: e.to_string(),
+                            },
+                            recovery: RecoveryRecord::default(),
+                        }),
+                    );
+                    let entry = CachedResult {
+                        slot,
+                        epochs: Arc::new(Vec::new()),
+                    };
+                    self.put_result(job.fingerprint, entry.clone());
+                    resolved.insert(job.fingerprint, entry);
+                }
+            }
+        }
+
+        // 3. Execute the misses as one shared batch, seeding pattern
+        //    groups from the analysis LRU.
+        let mut summary = BatchSummary {
+            requests: submissions.len() as u64,
+            unique_scenarios: jobs.len() as u64,
+            ..BatchSummary::default()
+        };
+        let mut analysis_hits = 0u64;
+        let mut solver_sum = SolverStats::default();
+        if !to_run.is_empty() {
+            let scenarios: Vec<Scenario> = to_run.iter().map(|(_, s)| s.clone()).collect();
+            let logs: Vec<Arc<Mutex<Vec<EpochSnap>>>> = (0..scenarios.len())
+                .map(|_| Arc::new(Mutex::new(Vec::new())))
+                .collect();
+            let subs: Vec<Arc<Vec<Sender<Reply>>>> = to_run
+                .iter()
+                .map(|(j, _)| Arc::new(jobs[*j].subs.clone()))
+                .collect();
+            let fps: Vec<u64> = to_run.iter().map(|(j, _)| jobs[*j].fingerprint).collect();
+            let seed_hits = Mutex::new(0u64);
+            let (report, _observers, fresh) = self.runner.run_scenarios_seeded_observed(
+                &scenarios,
+                |s: &Scenario| {
+                    let got = lock_unpoisoned(&self.analyses)
+                        .get(s.pattern_fingerprint())
+                        .cloned();
+                    if got.is_some() {
+                        *lock_unpoisoned(&seed_hits) += 1;
+                    }
+                    got
+                },
+                |i, _s| StreamObserver {
+                    fingerprint: fps[i],
+                    log: Arc::clone(&logs[i]),
+                    subs: Arc::clone(&subs[i]),
+                },
+            );
+            analysis_hits = seed_hits
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Keep freshly donated analyses for future batches.
+            let mut evictions = 0u64;
+            for (rep, analysis) in fresh {
+                if lock_unpoisoned(&self.analyses)
+                    .put(scenarios[rep].pattern_fingerprint(), analysis)
+                {
+                    evictions += 1;
+                }
+            }
+            summary.pattern_groups = report.pattern_groups as u64;
+            summary.full_factorizations = report.total_full_factorizations();
+            for outcome in report.outcomes() {
+                accumulate(&mut solver_sum, &outcome.solver);
+            }
+            // Serialize, memoize, resolve.
+            for (run_i, (j, scenario)) in to_run.iter().enumerate() {
+                let fp = jobs[*j].fingerprint;
+                let slot = slot_json(&scenario.label(), fp, &report.slots[run_i]);
+                let epochs = Arc::new(lock_unpoisoned(&logs[run_i]).clone());
+                let entry = CachedResult { slot, epochs };
+                self.put_result(fp, entry.clone());
+                resolved.insert(fp, entry);
+            }
+            {
+                let mut stats = lock_unpoisoned(&self.stats);
+                stats.cache.analysis_evictions += evictions;
+            }
+        }
+
+        // 4. Publish counters *before* replying, so a client that reads
+        //    `stats` right after its `done` event sees this batch.
+        let analysis_misses = summary.pattern_groups.saturating_sub(analysis_hits);
+        {
+            let mut stats = lock_unpoisoned(&self.stats);
+            stats.cache.requests += summary.requests;
+            stats.cache.scenarios += jobs.len() as u64;
+            stats.cache.batches += 1;
+            stats.cache.coalesced_duplicates += duplicates;
+            stats.cache.result_hits += result_hits;
+            stats.cache.result_misses += result_misses;
+            stats.cache.analysis_hits += analysis_hits;
+            stats.cache.analysis_misses += analysis_misses;
+            accumulate(&mut stats.solver, &solver_sum);
+            stats.last_batch = summary;
+        }
+
+        // 5. Answer every submission in its own spec order.
+        for sub in &submissions {
+            let slots: Vec<Json> = sub
+                .specs
+                .iter()
+                .map(|spec| {
+                    resolved
+                        .get(&spec.fingerprint())
+                        .map(|e| e.slot.clone())
+                        .expect("every fingerprint was resolved")
+                })
+                .collect();
+            let _ = sub.reply.send(Reply::Done { slots });
+        }
+    }
+
+    fn put_result(&mut self, fp: u64, entry: CachedResult) {
+        if self.results.put(fp, entry) {
+            lock_unpoisoned(&self.stats).cache.result_evictions += 1;
+        }
+    }
+}
+
+fn accumulate(into: &mut SolverStats, from: &SolverStats) {
+    into.full_factorizations += from.full_factorizations;
+    into.refactorizations += from.refactorizations;
+    into.pivot_fallbacks += from.pivot_fallbacks;
+    into.value_updates += from.value_updates;
+    into.in_place_solves += from.in_place_solves;
+    into.workspace_grows += from.workspace_grows;
+    into.adopted_symbolics += from.adopted_symbolics;
+    into.iterative_solves += from.iterative_solves;
+    into.iterative_iterations += from.iterative_iterations;
+    into.iterative_fallbacks += from.iterative_fallbacks;
+    into.ilu_refreshes += from.ilu_refreshes;
+    into.mg_cycles += from.mg_cycles;
+    into.mg_smooth_sweeps += from.mg_smooth_sweeps;
+    into.mg_coarse_solves += from.mg_coarse_solves;
+}

@@ -1,0 +1,445 @@
+//! The daemon's listeners: newline-delimited JSON over a unix socket and
+//! HTTP/1.1 on localhost, both hand-rolled over the standard library.
+//!
+//! Every connection speaks the [`protocol`](crate::protocol) event
+//! vocabulary. The unix transport is symmetric NDJSON — one request per
+//! line in, one event per line out. The HTTP transport maps the same
+//! operations onto `POST /run` (response streamed as chunked NDJSON),
+//! `GET /stats`, `GET /ping` and `POST /shutdown`.
+//!
+//! Shutdown is graceful by construction: the `shutdown` operation flips
+//! the accept loops' stop flag, then drains the scheduler — every
+//! already-accepted request still runs to completion and receives its
+//! `done` event — before the acknowledgement is written. New submissions
+//! arriving during the drain are refused with an `error` event.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::{obj, Json};
+use crate::protocol::{done_event, epoch_event, error_event, solver_json, Request};
+use crate::scheduler::{Reply, Scheduler, SchedulerConfig, StatsSnapshot};
+
+/// Where and how a [`Server`] listens.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Unix-socket path (NDJSON transport). `None` disables it.
+    pub socket: Option<PathBuf>,
+    /// HTTP bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    /// `None` disables the HTTP transport.
+    pub http: Option<String>,
+    /// Scheduler tuning (threads, coalescing window, cache capacities).
+    pub scheduler: SchedulerConfig,
+}
+
+/// A running daemon. Dropping it (or calling [`Server::shutdown`] then
+/// [`Server::wait`]) stops the listeners and drains the scheduler.
+pub struct Server {
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    socket: Option<PathBuf>,
+    http_addr: Option<SocketAddr>,
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds the configured listeners and spawns their accept loops.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let scheduler = Arc::new(Scheduler::start(config.scheduler));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut acceptors = Vec::new();
+        let mut http_addr = None;
+
+        if let Some(path) = &config.socket {
+            // A stale socket file from a previous run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            let shared = Shared {
+                scheduler: Arc::clone(&scheduler),
+                stop: Arc::clone(&stop),
+            };
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(|| listener.accept().map(|(s, _)| s), &shared, serve_ndjson);
+            }));
+        }
+
+        if let Some(addr) = &config.http {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            http_addr = Some(listener.local_addr()?);
+            let shared = Shared {
+                scheduler: Arc::clone(&scheduler),
+                stop: Arc::clone(&stop),
+            };
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(|| listener.accept().map(|(s, _)| s), &shared, serve_http);
+            }));
+        }
+
+        Ok(Server {
+            scheduler,
+            stop,
+            socket: config.socket,
+            http_addr,
+            acceptors: Mutex::new(acceptors),
+        })
+    }
+
+    /// The bound HTTP address (useful with an ephemeral `:0` port).
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The unix-socket path, when that transport is enabled.
+    pub fn socket_path(&self) -> Option<&Path> {
+        self.socket.as_deref()
+    }
+
+    /// Scheduler counters (what the `stats` operation reports).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.scheduler.stats()
+    }
+
+    /// Initiates a graceful shutdown from the host process: stops the
+    /// accept loops and drains the scheduler. Idempotent; also triggered
+    /// remotely by the protocol's `shutdown` operation.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.scheduler.shutdown();
+    }
+
+    /// Blocks until the accept loops exit (after [`Server::shutdown`] or
+    /// a remote `shutdown` request), then removes the socket file.
+    pub fn wait(&self) {
+        let handles: Vec<_> = self
+            .acceptors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.socket {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+#[derive(Clone)]
+struct Shared {
+    scheduler: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Polls a nonblocking listener until the stop flag flips, handing every
+/// connection to its own thread. Connection threads are detached — they
+/// exit when their client disconnects or the request completes, and the
+/// scheduler drain guarantees in-flight runs finish before the daemon's
+/// shutdown acknowledgement.
+fn accept_loop<S, A, H>(mut accept: A, shared: &Shared, handle: H)
+where
+    S: Send + 'static,
+    A: FnMut() -> io::Result<S>,
+    H: Fn(S, Shared) + Copy + Send + 'static,
+{
+    while !shared.stop.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(stream) => {
+                let shared = shared.clone();
+                std::thread::spawn(move || handle(stream, shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The unix transport: one JSON request per line, events back as lines.
+fn serve_ndjson(stream: UnixStream, shared: Shared) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let emit = &mut |event: &Json| writeln!(writer, "{}", event.encode());
+        let done = dispatch_line(&line, &shared, emit);
+        let _ = writer.flush();
+        if done {
+            break;
+        }
+    }
+}
+
+/// Parses one NDJSON line and runs the request, emitting events through
+/// `emit`. Returns `true` when the connection should close (shutdown).
+fn dispatch_line(
+    line: &str,
+    shared: &Shared,
+    emit: &mut dyn FnMut(&Json) -> io::Result<()>,
+) -> bool {
+    let parsed = Json::parse(line)
+        .map_err(|e| format!("malformed JSON: {e}"))
+        .and_then(|v| Request::parse(&v));
+    match parsed {
+        Err(detail) => {
+            let _ = emit(&error_event(None, &detail));
+            false
+        }
+        Ok(Request::Ping) => {
+            let _ = emit(&obj(vec![("event", Json::str("pong"))]));
+            false
+        }
+        Ok(Request::Stats) => {
+            let _ = emit(&stats_event(&shared.scheduler.stats()));
+            false
+        }
+        Ok(Request::Shutdown) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.scheduler.shutdown(); // drains in-flight work
+            let _ = emit(&obj(vec![("event", Json::str("bye"))]));
+            true
+        }
+        Ok(Request::Run { id, stream, specs }) => {
+            run_request(id.as_deref(), stream, specs, shared, emit);
+            false
+        }
+    }
+}
+
+/// Submits a run and relays its reply stream to the client.
+fn run_request(
+    id: Option<&str>,
+    stream: bool,
+    specs: Vec<cmosaic::ScenarioSpec>,
+    shared: &Shared,
+    emit: &mut dyn FnMut(&Json) -> io::Result<()>,
+) {
+    // A spec may occupy several slots of one request; every slot gets
+    // the (identical) epoch events of its fingerprint.
+    let mut slots_of: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, spec) in specs.iter().enumerate() {
+        slots_of.entry(spec.fingerprint()).or_default().push(i);
+    }
+    let rx: Receiver<Reply> = match shared.scheduler.submit(specs, stream) {
+        Some(rx) => rx,
+        None => {
+            let _ = emit(&error_event(id, "server is shutting down"));
+            return;
+        }
+    };
+    for reply in rx {
+        match reply {
+            Reply::Epoch { fingerprint, snap } => {
+                for &slot in slots_of.get(&fingerprint).map(Vec::as_slice).unwrap_or(&[]) {
+                    let event = epoch_event(
+                        id,
+                        slot,
+                        snap.epoch,
+                        snap.time,
+                        snap.peak_k,
+                        snap.chip_w,
+                        snap.pump_w,
+                        snap.flow_m3s,
+                    );
+                    if emit(&event).is_err() {
+                        return;
+                    }
+                }
+            }
+            Reply::Done { slots } => {
+                let _ = emit(&done_event(id, slots));
+                return;
+            }
+        }
+    }
+    // Channel closed without a Done: the worker is gone mid-drain.
+    let _ = emit(&error_event(id, "server is shutting down"));
+}
+
+/// A [`StatsSnapshot`] as a `stats` event.
+fn stats_event(s: &StatsSnapshot) -> Json {
+    obj(vec![
+        ("event", Json::str("stats")),
+        (
+            "cache",
+            obj(vec![
+                ("result_hits", Json::u64(s.cache.result_hits)),
+                ("result_misses", Json::u64(s.cache.result_misses)),
+                ("analysis_hits", Json::u64(s.cache.analysis_hits)),
+                ("analysis_misses", Json::u64(s.cache.analysis_misses)),
+                ("result_evictions", Json::u64(s.cache.result_evictions)),
+                ("analysis_evictions", Json::u64(s.cache.analysis_evictions)),
+                ("requests", Json::u64(s.cache.requests)),
+                ("scenarios", Json::u64(s.cache.scenarios)),
+                ("batches", Json::u64(s.cache.batches)),
+                (
+                    "coalesced_duplicates",
+                    Json::u64(s.cache.coalesced_duplicates),
+                ),
+            ]),
+        ),
+        ("solver", solver_json(&s.solver)),
+        (
+            "last_batch",
+            obj(vec![
+                ("requests", Json::u64(s.last_batch.requests)),
+                ("unique_scenarios", Json::u64(s.last_batch.unique_scenarios)),
+                ("pattern_groups", Json::u64(s.last_batch.pattern_groups)),
+                (
+                    "full_factorizations",
+                    Json::u64(s.last_batch.full_factorizations),
+                ),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------- HTTP --
+
+/// The HTTP transport: one request per connection (`Connection: close`).
+fn serve_http(stream: TcpStream, shared: Shared) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return,
+    };
+
+    // Headers: we only care about Content-Length.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return;
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    match (method.as_str(), path.as_str()) {
+        ("POST", "/run") => http_run(&body, &shared, &mut writer),
+        ("GET", "/stats") => {
+            let payload = stats_event(&shared.scheduler.stats()).encode();
+            let _ = write_http_json(&mut writer, "200 OK", &payload);
+        }
+        ("GET", "/ping") => {
+            let payload = obj(vec![("event", Json::str("pong"))]).encode();
+            let _ = write_http_json(&mut writer, "200 OK", &payload);
+        }
+        ("POST", "/shutdown") => {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.scheduler.shutdown();
+            let payload = obj(vec![("event", Json::str("bye"))]).encode();
+            let _ = write_http_json(&mut writer, "200 OK", &payload);
+        }
+        _ => {
+            let payload = error_event(None, "no such endpoint").encode();
+            let _ = write_http_json(&mut writer, "404 Not Found", &payload);
+        }
+    }
+}
+
+/// `POST /run`: body is the run request object (the `op` field is
+/// implied by the path and may be omitted); the response streams every
+/// event as chunked NDJSON.
+fn http_run(body: &str, shared: &Shared, writer: &mut TcpStream) {
+    let parsed = Json::parse(body)
+        .map_err(|e| format!("malformed JSON body: {e}"))
+        .map(|v| match v {
+            Json::Obj(mut fields) => {
+                if !fields.iter().any(|(k, _)| k == "op") {
+                    fields.push(("op".to_string(), Json::str("run")));
+                }
+                Json::Obj(fields)
+            }
+            other => other,
+        })
+        .and_then(|v| Request::parse(&v));
+
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if writer.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    {
+        let mut emit = |event: &Json| write_chunk(writer, &event.encode());
+        match parsed {
+            Ok(Request::Run { id, stream, specs }) => {
+                run_request(id.as_deref(), stream, specs, shared, &mut emit);
+            }
+            Ok(_) => {
+                let _ = emit(&error_event(None, "POST /run only accepts run requests"));
+            }
+            Err(detail) => {
+                let _ = emit(&error_event(None, &detail));
+            }
+        }
+    }
+    let _ = writer.write_all(b"0\r\n\r\n");
+    let _ = writer.flush();
+}
+
+fn write_chunk(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    // One NDJSON line (payload + '\n') per HTTP chunk.
+    write!(writer, "{:x}\r\n{line}\n\r\n", line.len() + 1)?;
+    writer.flush()
+}
+
+fn write_http_json(writer: &mut TcpStream, status: &str, payload: &str) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    writer.flush()
+}

@@ -452,9 +452,24 @@ fn factorize_pattern_into(
     }
     let (factors, sym) = lu::factor_with_symbolic(a, lu::ColumnOrdering::Rcm)?;
     stats.full_factorizations += 1;
-    *symbolic = Some(Arc::new(sym));
+    let sym = Arc::new(sym);
+    // Immediately re-sweep the same matrix over the just-captured
+    // analysis and keep *those* values: the pivoting factorisation and
+    // the frozen-pattern sweep accumulate updates in different orders,
+    // so their results can differ in the last ULP. Normalising the fresh
+    // path onto the refactor sweep makes analysis donation bit-neutral —
+    // a donor's operator is bitwise what any adopter computes — so every
+    // run is a pure function of its inputs regardless of sharing. The
+    // sweep cannot degrade (pivot growth is judged against the pivots
+    // just chosen for this very matrix), but if it ever errors, keep the
+    // pivoting factorisation's values as before.
+    let mut swept = sym.allocate_factors();
+    match sym.refactor_into_with(a, &mut swept, scratch) {
+        Ok(()) => *target = Some(swept),
+        Err(_) => *target = Some(factors),
+    }
+    *symbolic = Some(sym);
     *adopted = false;
-    *target = Some(factors);
     Ok(())
 }
 

@@ -122,6 +122,38 @@ fn fig6_study_factorises_once_per_pattern_at_any_thread_count() {
 }
 
 #[test]
+fn analysis_donation_is_bit_neutral_against_standalone_runs() {
+    use cmosaic::study::Study;
+    // Two specs of the same operator pattern: in a shared batch the
+    // first donates its symbolic analysis and the second adopts it.
+    let spec = |seed: u64| {
+        ScenarioSpec::new()
+            .label(format!("seed-{seed}"))
+            .grid(tiny_grid())
+            .seconds(SECONDS)
+            .seed(seed)
+    };
+    let solo = |seed: u64| {
+        let report = Study::from_specs(vec![spec(seed)])
+            .run(&BatchRunner::new(1))
+            .unwrap();
+        report.outcomes()[0].metrics.clone()
+    };
+    let batch = Study::from_specs(vec![spec(1), spec(2)])
+        .run(&BatchRunner::new(2))
+        .unwrap();
+    let outcomes = batch.outcomes();
+    // The batch really exercised donation: one pivoting factorisation,
+    // and the second slot rode the donated analysis.
+    assert_eq!(batch.total_full_factorizations(), 1);
+    assert!(outcomes[1].solver.adopted_symbolics >= 1);
+    // Donation is bit-neutral: each slot is bitwise what a standalone
+    // run of the same spec produces, donor and adopter alike.
+    assert_eq!(outcomes[0].metrics, solo(1), "donor != standalone");
+    assert_eq!(outcomes[1].metrics, solo(2), "adopter != standalone");
+}
+
+#[test]
 fn adopting_a_mismatched_thermal_analysis_falls_back_safely() {
     let scenario = |grid: GridSpec| {
         ScenarioSpec::new()

@@ -1,0 +1,422 @@
+//! Integration tests of the `cmosaic-serve` daemon:
+//!
+//! * concurrent overlapping requests coalesce into one batch with exactly
+//!   one full factorisation per distinct operator pattern — not per
+//!   request — asserted via the `stats` counters;
+//! * every served result is bit-identical (at the serialized-slot level)
+//!   to an offline `BatchRunner` run of the same spec, cold or warm, and
+//!   warm cache hits replay the identical per-epoch stream;
+//! * a panicking scenario fails only its own slot while co-batched
+//!   requests complete, and the daemon keeps serving afterwards;
+//! * both transports speak the protocol end to end: NDJSON over a unix
+//!   socket and chunked NDJSON over HTTP/1.1, with graceful shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cmosaic::fault::{FaultKind, FaultPlan};
+use cmosaic::{BatchRunner, ScenarioSpec};
+use cmosaic_floorplan::GridSpec;
+use cmosaic_serve::json::Json;
+use cmosaic_serve::protocol::slot_json;
+use cmosaic_serve::scheduler::{Reply, Scheduler, SchedulerConfig};
+use cmosaic_serve::server::{Server, ServerConfig};
+
+/// All seeds share one `(stack, grid, thermal)` operator pattern.
+fn spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new()
+        .tiers(2)
+        .grid(GridSpec::new(6, 6).expect("static dims"))
+        .seconds(3)
+        .seed(seed)
+}
+
+fn config(window_ms: u64) -> SchedulerConfig {
+    SchedulerConfig {
+        threads: 2,
+        window: Duration::from_millis(window_ms),
+        analysis_cache: 8,
+        result_cache: 32,
+    }
+}
+
+/// The serialized slot an offline single-scenario batch produces — the
+/// byte-level ground truth every daemon answer must match.
+fn offline_slot(spec: &ScenarioSpec) -> String {
+    let scenario = spec.build().expect("spec builds");
+    let report = BatchRunner::new(1).run_scenarios(std::slice::from_ref(&scenario));
+    slot_json(&scenario.label(), spec.fingerprint(), &report.slots[0]).encode()
+}
+
+/// Drains a reply channel into (epoch events, done slots).
+fn drain(rx: std::sync::mpsc::Receiver<Reply>) -> (Vec<Reply>, Vec<Json>) {
+    let mut epochs = Vec::new();
+    for reply in rx {
+        match reply {
+            e @ Reply::Epoch { .. } => epochs.push(e),
+            Reply::Done { slots } => return (epochs, slots),
+        }
+    }
+    panic!("reply channel closed without a done event");
+}
+
+#[test]
+fn coalesced_requests_share_one_factorization_and_match_offline_runs() {
+    let scheduler = Scheduler::start(config(400));
+    // Four overlapping requests, three distinct specs, one pattern. The
+    // fourth request asks for the same spec twice in one request.
+    let rx_a = scheduler.submit(vec![spec(1), spec(2)], false).unwrap();
+    let rx_b = scheduler.submit(vec![spec(2), spec(3)], false).unwrap();
+    let rx_c = scheduler.submit(vec![spec(1)], false).unwrap();
+    let rx_d = scheduler.submit(vec![spec(3), spec(3)], false).unwrap();
+
+    let (_, a) = drain(rx_a);
+    let (_, b) = drain(rx_b);
+    let (_, c) = drain(rx_c);
+    let (_, d) = drain(rx_d);
+
+    // One coalesced batch: 4 requests, 7 requested slots, 3 unique
+    // scenarios, 1 pattern group, exactly 1 full factorisation.
+    let stats = scheduler.stats();
+    assert_eq!(stats.cache.batches, 1, "requests must coalesce: {stats:?}");
+    assert_eq!(stats.cache.requests, 4);
+    assert_eq!(stats.cache.scenarios, 3);
+    assert_eq!(stats.cache.coalesced_duplicates, 4);
+    assert_eq!(stats.cache.result_misses, 3);
+    assert_eq!(stats.cache.result_hits, 0);
+    assert_eq!(stats.last_batch.pattern_groups, 1);
+    assert_eq!(
+        stats.last_batch.full_factorizations, 1,
+        "one factorisation per pattern, not per request: {stats:?}"
+    );
+    assert_eq!(stats.solver.full_factorizations, 1);
+    assert!(stats.solver.adopted_symbolics >= 2, "{stats:?}");
+
+    // Every slot is bit-identical to the offline ground truth.
+    let (o1, o2, o3) = (
+        offline_slot(&spec(1)),
+        offline_slot(&spec(2)),
+        offline_slot(&spec(3)),
+    );
+    assert_eq!(a[0].encode(), o1);
+    assert_eq!(a[1].encode(), o2);
+    assert_eq!(b[0].encode(), o2);
+    assert_eq!(b[1].encode(), o3);
+    assert_eq!(c[0].encode(), o1);
+    assert_eq!(d[0].encode(), o3);
+    assert_eq!(d[1].encode(), o3);
+
+    scheduler.shutdown();
+}
+
+#[test]
+fn warm_cache_replays_bit_identical_results_and_epoch_streams() {
+    let scheduler = Scheduler::start(config(5));
+    let rx = scheduler.submit(vec![spec(11)], true).unwrap();
+    let (cold_epochs, cold) = drain(rx);
+    assert!(!cold_epochs.is_empty(), "streaming run emits epoch events");
+
+    let rx = scheduler.submit(vec![spec(11)], true).unwrap();
+    let (warm_epochs, warm) = drain(rx);
+
+    // The warm answer comes from the result cache ...
+    let stats = scheduler.stats();
+    assert_eq!(stats.cache.result_hits, 1, "{stats:?}");
+    assert_eq!(stats.cache.result_misses, 1);
+    assert_eq!(
+        stats.last_batch.full_factorizations, 0,
+        "warm batch ran nothing"
+    );
+    // ... and is indistinguishable from the cold one, epochs included.
+    assert_eq!(cold[0].encode(), warm[0].encode());
+    assert_eq!(cold_epochs.len(), warm_epochs.len());
+    for (c, w) in cold_epochs.iter().zip(&warm_epochs) {
+        let (
+            Reply::Epoch {
+                fingerprint: cf,
+                snap: cs,
+            },
+            Reply::Epoch {
+                fingerprint: wf,
+                snap: ws,
+            },
+        ) = (c, w)
+        else {
+            unreachable!("drain only returns epoch events here");
+        };
+        assert_eq!(cf, wf);
+        assert_eq!(cs, ws);
+    }
+    // Both equal the offline ground truth.
+    assert_eq!(cold[0].encode(), offline_slot(&spec(11)));
+
+    scheduler.shutdown();
+}
+
+#[test]
+fn panicking_scenario_fails_only_its_slot() {
+    let scheduler = Scheduler::start(config(400));
+    let faulty = spec(21).fault_plan(FaultPlan::none().at(1, FaultKind::Panic));
+    let rx_bad = scheduler.submit(vec![faulty], false).unwrap();
+    let rx_ok = scheduler.submit(vec![spec(22)], false).unwrap();
+
+    let (_, bad) = drain(rx_bad);
+    let (_, ok) = drain(rx_ok);
+
+    // Same coalesced batch: the panic is isolated to its own slot.
+    let stats = scheduler.stats();
+    assert_eq!(stats.cache.batches, 1, "{stats:?}");
+    assert_eq!(
+        bad[0].get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{}",
+        bad[0].encode()
+    );
+    assert!(
+        bad[0].get("error").is_some(),
+        "failed slot reports its error: {}",
+        bad[0].encode()
+    );
+    assert_eq!(
+        ok[0].get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        ok[0].encode()
+    );
+    assert_eq!(ok[0].encode(), offline_slot(&spec(22)));
+
+    // The daemon survives and keeps serving — including a warm replay of
+    // the deterministic failure itself.
+    let rx = scheduler.submit(
+        vec![spec(21).fault_plan(FaultPlan::none().at(1, FaultKind::Panic))],
+        false,
+    );
+    let (_, again) = drain(rx.expect("scheduler still accepts work"));
+    assert_eq!(
+        again[0].encode(),
+        bad[0].encode(),
+        "failures memoize deterministically"
+    );
+    assert_eq!(scheduler.stats().cache.result_hits, 1);
+
+    scheduler.shutdown();
+}
+
+#[test]
+fn shutdown_drains_inflight_work_and_refuses_new_submissions() {
+    let scheduler = Scheduler::start(config(300));
+    let rx = scheduler.submit(vec![spec(31)], false).unwrap();
+    scheduler.shutdown(); // arrives inside the coalescing window
+    let (_, slots) = drain(rx);
+    assert_eq!(
+        slots[0].encode(),
+        offline_slot(&spec(31)),
+        "drained, not dropped"
+    );
+    assert!(
+        scheduler.submit(vec![spec(32)], false).is_none(),
+        "new work is refused after shutdown"
+    );
+}
+
+// ------------------------------------------------------------ transports --
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cmosaic-serve-{tag}-{}.sock", std::process::id()))
+}
+
+fn send_line(stream: &mut UnixStream, line: &str) {
+    writeln!(stream, "{line}").expect("request written");
+    stream.flush().expect("request flushed");
+}
+
+#[test]
+fn unix_socket_ndjson_round_trip_with_graceful_shutdown() {
+    let path = socket_path("ndjson");
+    let server = Server::start(ServerConfig {
+        socket: Some(path.clone()),
+        http: None,
+        scheduler: config(5),
+    })
+    .expect("server starts");
+
+    let mut stream = UnixStream::connect(&path).expect("client connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    let mut next = |reader: &mut BufReader<UnixStream>| {
+        line.clear();
+        reader.read_line(&mut line).expect("response line");
+        Json::parse(line.trim()).expect("response is valid JSON")
+    };
+
+    send_line(&mut stream, r#"{"op":"ping"}"#);
+    assert_eq!(
+        next(&mut reader).get("event").and_then(Json::as_str),
+        Some("pong")
+    );
+
+    // Malformed request: error event, connection stays usable.
+    send_line(&mut stream, "{nope");
+    assert_eq!(
+        next(&mut reader).get("event").and_then(Json::as_str),
+        Some("error")
+    );
+
+    let run = r#"{"op":"run","id":"r1","specs":[
+        {"tiers":2,"grid":{"nx":6,"ny":6},"seconds":3,"seed":41},
+        {"tiers":2,"grid":{"nx":6,"ny":6},"seconds":3,"seed":42}]}"#
+        .replace('\n', " ");
+    send_line(&mut stream, &run);
+    let done = next(&mut reader);
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(done.get("id").and_then(Json::as_str), Some("r1"));
+    let results = done
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array");
+    let (o41, o42) = (offline_slot(&spec(41)), offline_slot(&spec(42)));
+    assert_eq!(results[0].encode(), o41);
+    assert_eq!(results[1].encode(), o42);
+
+    // The identical request again: byte-identical answer off the cache.
+    send_line(&mut stream, &run);
+    let warm = next(&mut reader);
+    assert_eq!(
+        warm.encode(),
+        done.encode(),
+        "cache warmth must be invisible"
+    );
+
+    send_line(&mut stream, r#"{"op":"stats"}"#);
+    let stats = next(&mut reader);
+    assert_eq!(stats.get("event").and_then(Json::as_str), Some("stats"));
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("result_hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(cache.get("result_misses").and_then(Json::as_u64), Some(2));
+
+    send_line(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(
+        next(&mut reader).get("event").and_then(Json::as_str),
+        Some("bye")
+    );
+    drop(stream);
+
+    server.wait();
+    assert!(!path.exists(), "socket file removed on clean shutdown");
+}
+
+/// Minimal HTTP client: one request, returns (status line, body with
+/// chunked framing stripped when present).
+fn http_roundtrip(addr: std::net::SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("tcp connect");
+    stream
+        .write_all(request.as_bytes())
+        .expect("request written");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    let body = if head.lines().any(|l| {
+        l.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+    }) {
+        let mut out = String::new();
+        let mut rest = body;
+        loop {
+            let (size_line, tail) = rest.split_once("\r\n").expect("chunk size line");
+            let n = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+            if n == 0 {
+                break;
+            }
+            out.push_str(&tail[..n]);
+            rest = tail[n..].strip_prefix("\r\n").expect("chunk terminator");
+        }
+        out
+    } else {
+        body.to_string()
+    };
+    (status, body)
+}
+
+#[test]
+fn http_transport_streams_epochs_and_serves_stats() {
+    let server = Server::start(ServerConfig {
+        socket: None,
+        http: Some("127.0.0.1:0".to_string()),
+        scheduler: config(5),
+    })
+    .expect("server starts");
+    let addr = server.http_addr().expect("bound http address");
+
+    let (status, body) = http_roundtrip(
+        addr,
+        "GET /ping HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("event")
+            .and_then(Json::as_str),
+        Some("pong")
+    );
+
+    let payload =
+        r#"{"stream":true,"specs":[{"tiers":2,"grid":{"nx":6,"ny":6},"seconds":3,"seed":51}]}"#;
+    let request = format!(
+        "POST /run HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    let (status, body) = http_roundtrip(addr, &request);
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let events: Vec<Json> = body
+        .lines()
+        .map(|l| Json::parse(l).expect("NDJSON event line"))
+        .collect();
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert!(kinds.len() >= 2, "epochs then done: {kinds:?}");
+    assert!(
+        kinds[..kinds.len() - 1].iter().all(|k| *k == "epoch"),
+        "{kinds:?}"
+    );
+    assert_eq!(kinds[kinds.len() - 1], "done");
+    let results = events[events.len() - 1]
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array");
+    assert_eq!(results[0].encode(), offline_slot(&spec(51)));
+
+    let (status, body) = http_roundtrip(
+        addr,
+        "GET /stats HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let stats = Json::parse(&body).unwrap();
+    assert_eq!(
+        stats
+            .get("last_batch")
+            .and_then(|b| b.get("full_factorizations"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+
+    let (status, body) = http_roundtrip(
+        addr,
+        "POST /shutdown HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("event")
+            .and_then(Json::as_str),
+        Some("bye")
+    );
+    server.wait();
+}
