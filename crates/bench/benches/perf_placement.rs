@@ -1,0 +1,239 @@
+//! **Performance** — thermal-aware placement optimization on the
+//! reference 2-tier Niagara space: pump operating point x block
+//! placement x inter-tier channel geometry under the database workload.
+//!
+//! Two measurements:
+//!
+//! 1. *evaluations-to-optimum*: the exhaustive grid vs seeded simulated
+//!    annealing — distinct designs simulated before the known optimum is
+//!    in hand. The nightly gate pins the annealer at <= 40% of the
+//!    grid's evaluations;
+//! 2. *memoization*: the share of the annealer's evaluation requests
+//!    served from the evaluator's cache instead of re-simulated.
+//!
+//! Writes machine-readable results to `BENCH_placement.json` at the repo
+//! root. Wall-clock assertions only fire on a quiet dedicated machine
+//! (see `strict_timing`); deterministic assertions (same optimum, the
+//! 40% evaluation budget, bit-identity across thread counts) always
+//! apply.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cmosaic::batch::BatchRunner;
+use cmosaic::optimize::{
+    Constraints, DesignAxis, DesignSpace, GridSearch, OptimizeReport, Optimizer,
+    SimulatedAnnealing, StackTransform,
+};
+use cmosaic::policy::PolicyKind;
+use cmosaic::scenario::ScenarioSpec;
+use cmosaic_bench::{banner, f, kv, section, strict_timing};
+use cmosaic_floorplan::transform::{set_gap_cavity, spread_hotspots_in_tier, swap_in_tier};
+use cmosaic_floorplan::{CavitySpec, ElementKind, GridSpec};
+use cmosaic_materials::units::{Celsius, VolumetricFlow};
+use cmosaic_power::trace::WorkloadKind;
+
+const SECONDS: usize = 12;
+const SA_SEED: u64 = 11;
+const SA_STEPS: usize = 12;
+
+/// The reference 2-tier Niagara placement space shared with
+/// `examples/optimize_placement.rs` and `tests/integration_placement.rs`.
+fn placement_space() -> DesignSpace {
+    let ml = VolumetricFlow::from_ml_per_min;
+    let base = ScenarioSpec::new()
+        .policy(PolicyKind::LcLb)
+        .workload(WorkloadKind::Database)
+        .grid(GridSpec::new(6, 6).expect("static dims"))
+        .thermal_dt(0.5)
+        .tiers(2)
+        .seconds(SECONDS)
+        .seed(7);
+    let identity: StackTransform = Arc::new(|s| Ok(s.clone()));
+    let swap: StackTransform = Arc::new(|s| swap_in_tier(s, 0, "core0", "core7"));
+    let spread: StackTransform = Arc::new(|s| {
+        spread_hotspots_in_tier(
+            s,
+            0,
+            ElementKind::Core,
+            &[8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0],
+        )
+    });
+    let table1: StackTransform = Arc::new(|s| set_gap_cavity(s, 0, Some(CavitySpec::table1())));
+    let wide: StackTransform = Arc::new(|s| {
+        let spec = CavitySpec::new(
+            0.1e-3,
+            0.15e-3,
+            0.1e-3,
+            cmosaic_materials::solids::SolidMaterial::silicon(),
+        )?;
+        set_gap_cavity(s, 0, Some(spec))
+    });
+    DesignSpace::new(base)
+        .with_axis(DesignAxis::flow_rates([
+            ml(14.0),
+            ml(20.0),
+            ml(26.0),
+            ml(32.3),
+        ]))
+        .with_axis(DesignAxis::stack_transforms(
+            "placement",
+            [
+                ("as-designed", identity),
+                ("swap(core0,core7)", swap),
+                ("spread(core)", spread),
+            ],
+        ))
+        .with_axis(DesignAxis::stack_transforms(
+            "channel",
+            [("table1 channels", table1), ("wide channels", wide)],
+        ))
+}
+
+fn timed(
+    runner: &BatchRunner,
+    strategy: &mut dyn cmosaic::optimize::SearchStrategy,
+) -> (OptimizeReport, f64) {
+    let opt = Optimizer::new(
+        placement_space(),
+        Constraints::peak_below(Celsius(85.0)),
+        runner,
+    );
+    let t = Instant::now();
+    let report = opt.run(strategy).expect("optimization completes");
+    (report, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    banner("Perf: placement optimization (exhaustive grid vs seeded annealing)");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runner = BatchRunner::new(host);
+    let n_designs = placement_space().len();
+
+    // ---- 1. Ground truth: the exhaustive grid.
+    let (grid, wall_grid) = timed(&runner, &mut GridSearch);
+    let best = grid.best.as_ref().expect("feasible design exists");
+    section(&format!(
+        "exhaustive grid ({n_designs} designs x {SECONDS} s, {host} workers)"
+    ));
+    kv("grid evaluations", grid.n_evaluations());
+    kv(
+        "grid evals to optimum",
+        grid.evals_to_best.expect("grid finds it"),
+    );
+    kv("grid wall (ms)", f(wall_grid * 1e3, 0));
+    kv("optimum", &best.label);
+
+    // ---- 2. Seeded annealing over the same memoized evaluator.
+    let (sa, wall_sa) = timed(
+        &runner,
+        &mut SimulatedAnnealing::seeded(SA_SEED).steps(SA_STEPS),
+    );
+    let sa_best = sa.best.as_ref().expect("annealer lands feasible");
+    let evals_ratio = sa.n_evaluations() as f64 / grid.n_evaluations() as f64;
+    section(&format!(
+        "simulated annealing (seed {SA_SEED}, {SA_STEPS} steps)"
+    ));
+    kv("anneal evaluations", sa.n_evaluations());
+    kv(
+        "anneal evals to optimum",
+        sa.evals_to_best.expect("annealer finds it"),
+    );
+    kv("evaluation requests", sa.eval_requests);
+    kv("memoized hits", sa.memo_hits);
+    kv(
+        "memo hit rate",
+        format!("{:.1} %", sa.memo_hit_rate() * 100.0),
+    );
+    kv("evals vs grid", format!("{:.1} %", evals_ratio * 100.0));
+    kv("anneal wall (ms)", f(wall_sa * 1e3, 0));
+
+    // ---- 3. Thread-count bit identity on the annealing trajectory.
+    let (serial, wall_1) = timed(
+        &BatchRunner::new(1),
+        &mut SimulatedAnnealing::seeded(SA_SEED).steps(SA_STEPS),
+    );
+    let (eight, wall_8) = timed(
+        &BatchRunner::new(8),
+        &mut SimulatedAnnealing::seeded(SA_SEED).steps(SA_STEPS),
+    );
+    section("thread-count bit identity (annealing)");
+    kv("1 thread wall (ms)", f(wall_1 * 1e3, 0));
+    kv("8 threads wall (ms)", f(wall_8 * 1e3, 0));
+
+    // ---- Machine-readable record.
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"scenario\": \"placement_2tier_niagara_db_85C_6x6\","
+    );
+    let _ = writeln!(json, "  \"n_designs\": {n_designs},");
+    let _ = writeln!(json, "  \"seconds_per_design\": {SECONDS},");
+    let _ = writeln!(json, "  \"host_parallelism\": {host},");
+    let _ = writeln!(json, "  \"sa_seed\": {SA_SEED},");
+    let _ = writeln!(json, "  \"sa_steps\": {SA_STEPS},");
+    let _ = writeln!(json, "  \"grid_evaluations\": {},", grid.n_evaluations());
+    let _ = writeln!(
+        json,
+        "  \"grid_evals_to_best\": {},",
+        grid.evals_to_best.expect("grid finds it")
+    );
+    let _ = writeln!(json, "  \"anneal_evaluations\": {},", sa.n_evaluations());
+    let _ = writeln!(
+        json,
+        "  \"anneal_evals_to_best\": {},",
+        sa.evals_to_best.expect("annealer finds it")
+    );
+    let _ = writeln!(json, "  \"anneal_eval_requests\": {},", sa.eval_requests);
+    let _ = writeln!(json, "  \"anneal_memo_hits\": {},", sa.memo_hits);
+    let _ = writeln!(
+        json,
+        "  \"anneal_memo_hit_rate\": {:.3},",
+        sa.memo_hit_rate()
+    );
+    let _ = writeln!(json, "  \"anneal_evals_ratio\": {evals_ratio:.3},");
+    let _ = writeln!(json, "  \"optimum\": \"{}\",", best.label);
+    let _ = writeln!(
+        json,
+        "  \"optimum_matched\": {},",
+        sa_best.design == best.design
+    );
+    let _ = writeln!(json, "  \"wall_ms_grid\": {:.3},", wall_grid * 1e3);
+    let _ = writeln!(json, "  \"wall_ms_anneal\": {:.3},", wall_sa * 1e3);
+    let _ = writeln!(json, "  \"wall_ms_1_threads\": {:.3},", wall_1 * 1e3);
+    let _ = writeln!(json, "  \"wall_ms_8_threads\": {:.3}", wall_8 * 1e3);
+    json.push_str("}\n");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_placement.json");
+    std::fs::write(out, &json).expect("write BENCH_placement.json");
+    section("record");
+    kv("written", out);
+
+    // ---- Hard guarantees.
+    assert_eq!(
+        sa_best.design, best.design,
+        "annealing must land on the grid optimum ({} vs {})",
+        sa_best.label, best.label
+    );
+    assert!(
+        sa.n_evaluations() as f64 <= 0.40 * grid.n_evaluations() as f64,
+        "annealing must reach the optimum within 40% of the grid's evaluations \
+         ({} of {})",
+        sa.n_evaluations(),
+        grid.n_evaluations()
+    );
+    assert!(sa.memo_hits > 0, "revisits must be served from the cache");
+    assert_eq!(
+        serial, eight,
+        "the annealing report must be bit-identical at 1 vs 8 threads"
+    );
+    assert_eq!(serial, sa, "same seed, same trajectory at any worker count");
+    if strict_timing() {
+        assert!(
+            wall_sa < wall_grid,
+            "annealing ({:.0} ms) must beat the exhaustive grid ({:.0} ms)",
+            wall_sa * 1e3,
+            wall_grid * 1e3
+        );
+    }
+}

@@ -700,38 +700,6 @@ impl BatchRunner {
         )
     }
 
-    /// Executes a matrix of legacy flat configs (the pre-`ScenarioSpec`
-    /// API). Thin adapter: every config is converted to a spec, built,
-    /// and run through [`BatchRunner::run_scenarios`].
-    ///
-    /// # Errors
-    ///
-    /// Build errors first, then — restoring this shim's historical
-    /// all-or-nothing contract — the lowest-indexed slot failure as
-    /// [`CmosaicError::Scenario`].
-    #[allow(deprecated)]
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `Study` (or `ScenarioSpec`s) and call `run_scenarios`"
-    )]
-    pub fn run(
-        &self,
-        scenarios: &[crate::experiments::PolicyRunConfig],
-    ) -> Result<BatchReport, CmosaicError> {
-        let scenarios: Vec<Scenario> = scenarios
-            .iter()
-            .map(|c| c.to_spec().build())
-            .collect::<Result<_, _>>()?;
-        let report = self.run_scenarios(&scenarios);
-        if let Some((index, e)) = report.first_error() {
-            return Err(CmosaicError::Scenario {
-                index,
-                detail: e.to_string(),
-            });
-        }
-        Ok(report)
-    }
-
     /// Runs `f` over `jobs` on up to `self.threads` scoped workers with
     /// a shared work-stealing cursor.
     fn par_run<F>(&self, jobs: &[Job], f: F)
@@ -1230,17 +1198,5 @@ mod tests {
                 "observer integration matches the run metrics"
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_config_adapter_matches_the_scenario_path() {
-        // The deprecated `run(&[PolicyRunConfig])` shim must produce
-        // bit-identical outcomes to the ScenarioSpec path it wraps.
-        use crate::experiments::fig6_scenario_matrix;
-        let legacy = fig6_scenario_matrix(2, 7, tiny_grid());
-        let via_shim = BatchRunner::new(2).run(&legacy).unwrap();
-        let via_scenarios = BatchRunner::new(2).run_scenarios(&tiny_matrix());
-        assert_eq!(via_shim, via_scenarios);
     }
 }

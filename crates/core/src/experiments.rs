@@ -9,9 +9,9 @@
 //! cooling / 30 % system energy" comparison of `LC_FUZZY` against
 //! worst-case maximum flow.
 //!
-//! The flat [`PolicyRunConfig`] plumbing these runners used to be built on
-//! survives as a deprecated shim for one release; every entry point now
-//! converts to a [`ScenarioSpec`] internally.
+//! (The flat `PolicyRunConfig` plumbing these runners were originally
+//! built on has been removed; every entry point is expressed directly on
+//! [`ScenarioSpec`]/[`Study`].)
 
 use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
@@ -20,106 +20,13 @@ use crate::batch::BatchRunner;
 use crate::metrics::RunMetrics;
 use crate::policy::PolicyKind;
 use crate::scenario::ScenarioSpec;
-use crate::sim::Simulator;
 use crate::study::{Study, StudyReport};
 use crate::CmosaicError;
-
-/// Configuration of one policy experiment.
-///
-/// Deprecated: the flat struct can only name the hard-coded figure
-/// matrices. [`ScenarioSpec`] expresses the same run — and every axis the
-/// struct cannot (coolant choice, flow schedules, custom stacks and
-/// traces) — with build-time validation.
-#[deprecated(since = "0.2.0", note = "use `scenario::ScenarioSpec` instead")]
-#[derive(Debug, Clone)]
-pub struct PolicyRunConfig {
-    /// Number of tiers (2 or 4 in the paper).
-    pub tiers: usize,
-    /// Policy under test.
-    pub policy: PolicyKind,
-    /// Workload class.
-    pub workload: WorkloadKind,
-    /// Simulated seconds ("several minutes" in the paper).
-    pub seconds: usize,
-    /// Trace seed.
-    pub seed: u64,
-    /// Thermal grid (default 12×12).
-    pub grid: GridSpec,
-}
-
-#[allow(deprecated)]
-impl Default for PolicyRunConfig {
-    fn default() -> Self {
-        PolicyRunConfig {
-            tiers: 2,
-            policy: PolicyKind::LcFuzzy,
-            workload: WorkloadKind::WebServer,
-            seconds: 120,
-            seed: 42,
-            grid: GridSpec::new(12, 12).expect("static dims"),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl PolicyRunConfig {
-    /// The equivalent [`ScenarioSpec`]: same stack preset, trace, policy
-    /// and grid, with the cooling medium following the policy's mode.
-    ///
-    /// One intentional narrowing: `seconds == 0` (which the legacy path
-    /// silently accepted and answered with zeroed metrics) now fails
-    /// [`ScenarioSpec::build`] validation like every other degenerate
-    /// input.
-    pub fn to_spec(&self) -> ScenarioSpec {
-        let spec = ScenarioSpec::new()
-            .tiers(self.tiers)
-            .policy(self.policy)
-            .workload(self.workload)
-            .seconds(self.seconds)
-            .seed(self.seed)
-            .grid(self.grid);
-        if self.policy.is_liquid_cooled() {
-            spec.water()
-        } else {
-            spec.air()
-        }
-    }
-}
 
 /// Number of cores in an n-tier stack (8 per core tier, core tiers on even
 /// indices).
 pub fn cores_for_tiers(tiers: usize) -> usize {
     tiers.div_ceil(2) * 8
-}
-
-/// Builds the simulator for one legacy policy experiment without running
-/// it.
-///
-/// # Errors
-///
-/// Forwards configuration and model errors.
-#[allow(deprecated)]
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ScenarioSpec::build` and `Scenario::build_simulator`"
-)]
-pub fn build_simulator(config: &PolicyRunConfig) -> Result<Simulator, CmosaicError> {
-    config.to_spec().build()?.build_simulator()
-}
-
-/// Runs one legacy policy experiment end to end (build stack, generate
-/// trace, steady-state init, simulate).
-///
-/// # Errors
-///
-/// Forwards configuration and model errors.
-#[allow(deprecated)]
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ScenarioSpec::build` and `Scenario::run`"
-)]
-pub fn run_policy(config: &PolicyRunConfig) -> Result<RunMetrics, CmosaicError> {
-    config.to_spec().build()?.run()
 }
 
 /// The canonical study of the paper's figures: tier counts {2, 4} crossed
@@ -154,24 +61,6 @@ pub fn fig6_study(seconds: usize, seed: u64, grid: GridSpec) -> Study {
             .into_iter()
             .chain([WorkloadKind::MaxUtilization]),
     )
-}
-
-/// The flat fig6 scenario matrix in the legacy config representation.
-#[allow(deprecated)]
-#[deprecated(since = "0.2.0", note = "use `fig6_study` instead")]
-pub fn fig6_scenario_matrix(seconds: usize, seed: u64, grid: GridSpec) -> Vec<PolicyRunConfig> {
-    fig6_study(seconds, seed, grid)
-        .specs()
-        .iter()
-        .map(|s| PolicyRunConfig {
-            tiers: s.preset_tiers().expect("preset stacks"),
-            policy: s.policy_kind(),
-            workload: s.workload_kind(),
-            seconds: s.duration(),
-            seed: s.trace_seed(),
-            grid: s.grid_spec(),
-        })
-        .collect()
 }
 
 /// One bar group of Fig. 6: hot-spot residency for a configuration, for
@@ -424,19 +313,6 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        assert_eq!(m.seconds, 5);
-        assert!(m.chip_energy > 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_run_policy_shim_still_works() {
-        let m = run_policy(&PolicyRunConfig {
-            seconds: 5,
-            grid: tiny_grid(),
-            ..Default::default()
-        })
-        .unwrap();
         assert_eq!(m.seconds, 5);
         assert!(m.chip_energy > 0.0);
     }

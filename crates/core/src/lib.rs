@@ -46,12 +46,15 @@
 //!
 //! On top of studies sits the [`optimize`] module — the paper's actual
 //! point, thermally-aware *design*: a [`optimize::DesignSpace`] of
-//! indexable axes, [`optimize::Constraints`] enforced in-loop by the
-//! early-abort [`optimize::ConstraintMonitor`], and seeded deterministic
-//! [`optimize::SearchStrategy`]s ([`optimize::GridSearch`],
-//! [`optimize::CoordinateDescent`]) returning the minimum-cooling-energy
-//! design plus the [`optimize::ParetoFront`] of (energy, peak-T)
-//! trade-offs.
+//! indexable axes (including placement axes built from the deterministic
+//! floorplan/stack transformations of `cmosaic_floorplan::transform` via
+//! [`optimize::DesignAxis::stack_transforms`]), [`optimize::Constraints`]
+//! enforced in-loop by the early-abort [`optimize::ConstraintMonitor`],
+//! and seeded deterministic [`optimize::SearchStrategy`]s
+//! ([`optimize::GridSearch`], [`optimize::CoordinateDescent`], and the
+//! neighbor-move-driven [`optimize::SimulatedAnnealing`]) returning the
+//! minimum-cooling-energy design plus the [`optimize::ParetoFront`] of
+//! (energy, peak-T, silicon-area) trade-offs.
 //!
 //! # Batch sweeps and the workspace-reuse contract
 //!
@@ -181,21 +184,12 @@ pub use metrics::RunMetrics;
 pub use observe::{EpochCtx, Observer};
 pub use optimize::{
     ConstraintMonitor, Constraints, CoordinateDescent, DesignAxis, DesignSpace, GridSearch,
-    OptimizeReport, Optimizer, ParetoFront,
+    NeighborMove, OptimizeReport, Optimizer, ParetoFront, SimulatedAnnealing,
 };
 pub use policy::PolicyKind;
 pub use scenario::{CoolantChoice, FlowSchedule, Scenario, ScenarioSpec};
 pub use sim::{SimConfig, Simulator};
 pub use study::{Study, StudyReport};
-
-// Deprecated shim surface, re-exported for one release so legacy
-// `cmosaic::run_policy`-style paths keep compiling. The deprecation
-// travels with the items themselves, so any use — through this root
-// path or the `experiments` module — warns; in-workspace, only the
-// shims' own pinning tests `#[allow(deprecated)]` it.
-#[allow(deprecated)]
-#[deprecated(since = "0.2.0", note = "use `scenario::ScenarioSpec` instead")]
-pub use experiments::{run_policy, PolicyRunConfig};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
@@ -233,8 +227,8 @@ pub enum CmosaicError {
         value: f64,
     },
     /// A scenario inside a batch failed — the strict wrappers of the
-    /// fault-tolerant batch API ([`Study::run`](study::Study::run), the
-    /// deprecated `BatchRunner::run`) surface the lowest-indexed slot
+    /// fault-tolerant batch API ([`Study::run`](study::Study::run))
+    /// surface the lowest-indexed slot
     /// error this way. The fault-tolerant path itself
     /// ([`BatchRunner::run_scenarios`](batch::BatchRunner::run_scenarios))
     /// never returns this: it reports per-slot

@@ -1,0 +1,291 @@
+//! Seeded, bit-reproducible simulated annealing with pluggable neighbor
+//! moves — the strategy for placement-valued design spaces whose
+//! cartesian product is too large to enumerate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::space::DesignPoint;
+use super::{Evaluation, Evaluator, SearchStrategy};
+use crate::CmosaicError;
+
+/// A neighborhood move: given the current design's level indices and the
+/// axis sizes, proposes the next candidate. Implementations must be
+/// deterministic functions of `(current, axis_lens, rng)` — all
+/// randomness comes from the shim [`StdRng`], so a seeded trajectory is
+/// bit-identical across platforms, thread counts and reruns.
+///
+/// This is how placement axes expose *moves* rather than exhaustively
+/// enumerated levels: an axis built from
+/// [`DesignAxis::stack_transforms`](super::DesignAxis::stack_transforms)
+/// lists candidate placements, and the move decides which neighbor to
+/// try next.
+pub trait NeighborMove: Send + Sync {
+    /// Short move name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Proposes a neighbor of `current` (one level index per axis).
+    /// Returning `current` unchanged is allowed — it costs one memoized
+    /// (free) evaluation.
+    fn propose(&self, current: &[usize], axis_lens: &[usize], rng: &mut StdRng) -> Vec<usize>;
+}
+
+/// The default move: pick a uniformly random axis with more than one
+/// level, then jump to a uniformly random *different* level of it.
+#[derive(Debug, Clone, Default)]
+pub struct AxisStep;
+
+impl NeighborMove for AxisStep {
+    fn name(&self) -> &str {
+        "axis-step"
+    }
+
+    fn propose(&self, current: &[usize], axis_lens: &[usize], rng: &mut StdRng) -> Vec<usize> {
+        let movable: Vec<usize> = axis_lens
+            .iter()
+            .enumerate()
+            .filter(|(_, &len)| len > 1)
+            .map(|(i, _)| i)
+            .collect();
+        let mut next = current.to_vec();
+        if movable.is_empty() {
+            return next;
+        }
+        let axis = movable[(rng.random::<u64>() % movable.len() as u64) as usize];
+        let len = axis_lens[axis];
+        let offset = 1 + (rng.random::<u64>() % (len as u64 - 1)) as usize;
+        next[axis] = (current[axis] + offset) % len;
+        next
+    }
+}
+
+/// A local move for ordered axes (flow rates, tier counts): pick a random
+/// axis with more than one level and step its index by ±1, clamped to
+/// the axis range.
+#[derive(Debug, Clone, Default)]
+pub struct AxisNudge;
+
+impl NeighborMove for AxisNudge {
+    fn name(&self) -> &str {
+        "axis-nudge"
+    }
+
+    fn propose(&self, current: &[usize], axis_lens: &[usize], rng: &mut StdRng) -> Vec<usize> {
+        let movable: Vec<usize> = axis_lens
+            .iter()
+            .enumerate()
+            .filter(|(_, &len)| len > 1)
+            .map(|(i, _)| i)
+            .collect();
+        let mut next = current.to_vec();
+        if movable.is_empty() {
+            return next;
+        }
+        let axis = movable[(rng.random::<u64>() % movable.len() as u64) as usize];
+        let up = rng.random::<bool>();
+        let len = axis_lens[axis];
+        next[axis] = if up {
+            (current[axis] + 1).min(len - 1)
+        } else {
+            current[axis].saturating_sub(1)
+        };
+        next
+    }
+}
+
+/// Seeded simulated annealing over a [`DesignSpace`](super::DesignSpace).
+///
+/// Starting from a random design, each step draws a [`NeighborMove`],
+/// evaluates the proposed neighbor (memoized — revisits are free), and
+/// accepts it if it is better ([`Evaluation::better_than`]) or, when
+/// worse, with the Metropolis probability `exp(-Δ/T)` under a geometric
+/// cooling schedule. Skipped/failed proposals are always rejected.
+///
+/// Determinism: the trajectory is a pure function of the seed and the
+/// (deterministic) evaluations, so a fixed-seed run is bit-identical
+/// across reruns and `BatchRunner` thread counts. Because evaluations
+/// are memoized per design, the simulation cost is the number of
+/// *distinct* designs visited, typically far below the grid's
+/// exhaustive count.
+pub struct SimulatedAnnealing {
+    seed: u64,
+    steps: usize,
+    initial_temperature: f64,
+    cooling: f64,
+    moves: Vec<Box<dyn NeighborMove>>,
+}
+
+impl SimulatedAnnealing {
+    /// An annealer with the given RNG seed and defaults: 48 steps,
+    /// initial temperature 5.0 (objective units: joules of pump energy),
+    /// geometric cooling ×0.9 per step, and the [`AxisStep`] move.
+    pub fn seeded(seed: u64) -> Self {
+        SimulatedAnnealing {
+            seed,
+            steps: 48,
+            initial_temperature: 5.0,
+            cooling: 0.9,
+            moves: vec![Box::new(AxisStep)],
+        }
+    }
+
+    /// Sets the number of annealing steps (clamped to at least 1).
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps.max(1);
+        self
+    }
+
+    /// Sets the initial temperature in objective units (clamped positive).
+    pub fn initial_temperature(mut self, t0: f64) -> Self {
+        self.initial_temperature = t0.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// Sets the geometric cooling factor per step (clamped to (0, 1]).
+    pub fn cooling(mut self, factor: f64) -> Self {
+        self.cooling = factor.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Replaces the move set (ignored if empty). Each step draws one move
+    /// uniformly from the set.
+    pub fn moves(mut self, moves: Vec<Box<dyn NeighborMove>>) -> Self {
+        if !moves.is_empty() {
+            self.moves = moves;
+        }
+        self
+    }
+
+    /// Scalar energy the Metropolis criterion works on: feasible designs
+    /// cost their pump energy; infeasible ones a large constant plus
+    /// their peak temperature, so the annealer walks downhill back into
+    /// the feasible region.
+    fn energy(e: &Evaluation) -> f64 {
+        if e.feasible {
+            e.pump_energy
+        } else {
+            1.0e6 + e.peak.0
+        }
+    }
+}
+
+impl SearchStrategy for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+
+    fn explore(&mut self, evaluator: &mut Evaluator<'_>) -> Result<(), CmosaicError> {
+        let axis_lens: Vec<usize> = evaluator.space().axes().iter().map(|a| a.len()).collect();
+        if axis_lens.contains(&0) {
+            return Ok(()); // annihilated space: nothing to search
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Start from a random design; if it lands on an invalid corner,
+        // re-draw (deterministically) a bounded number of times.
+        let mut current = DesignPoint::new(
+            axis_lens
+                .iter()
+                .map(|&len| (rng.random::<u64>() % len as u64) as usize)
+                .collect(),
+        );
+        evaluator.evaluate_all(std::slice::from_ref(&current))?;
+        let mut redraws = 0;
+        while evaluator.evaluation(&current).is_none() && redraws < 16 {
+            current = DesignPoint::new(
+                axis_lens
+                    .iter()
+                    .map(|&len| (rng.random::<u64>() % len as u64) as usize)
+                    .collect(),
+            );
+            evaluator.evaluate_all(std::slice::from_ref(&current))?;
+            redraws += 1;
+        }
+        let mut temperature = self.initial_temperature;
+        for _ in 0..self.steps {
+            let mv = &self.moves[(rng.random::<u64>() % self.moves.len() as u64) as usize];
+            let candidate = DesignPoint::new(mv.propose(current.indices(), &axis_lens, &mut rng));
+            evaluator.evaluate_all(std::slice::from_ref(&candidate))?;
+            let accept = match (
+                evaluator.evaluation(&candidate),
+                evaluator.evaluation(&current),
+            ) {
+                (Some(cand), Some(cur)) => {
+                    if cand.better_than(cur) {
+                        true
+                    } else {
+                        let delta = Self::energy(cand) - Self::energy(cur);
+                        // delta >= 0 here; the acceptance draw keeps the
+                        // rng stream aligned regardless of the outcome.
+                        rng.random::<f64>() < (-delta / temperature).exp()
+                    }
+                }
+                // Leaving an invalid corner is always an improvement.
+                (Some(_), None) => true,
+                // Skipped/failed proposals are never accepted.
+                (None, _) => false,
+            };
+            if accept {
+                current = candidate;
+            }
+            temperature *= self.cooling;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_step_proposes_in_range_and_differs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lens = [4usize, 1, 3];
+        let current = [2usize, 0, 1];
+        for _ in 0..64 {
+            let next = AxisStep.propose(&current, &lens, &mut rng);
+            assert_eq!(next.len(), 3);
+            assert_ne!(next, current, "axis-step always moves somewhere");
+            for (i, (&n, &len)) in next.iter().zip(&lens).enumerate() {
+                assert!(n < len, "axis {i} proposal {n} out of range {len}");
+            }
+            assert_eq!(next[1], 0, "single-level axes never move");
+        }
+    }
+
+    #[test]
+    fn axis_nudge_stays_adjacent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let lens = [5usize];
+        let mut current = vec![2usize];
+        for _ in 0..64 {
+            let next = AxisNudge.propose(&current, &lens, &mut rng);
+            let d = next[0].abs_diff(current[0]);
+            assert!(d <= 1, "nudge moved {d} levels");
+            assert!(next[0] < 5);
+            current = next;
+        }
+    }
+
+    #[test]
+    fn degenerate_spaces_propose_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(AxisStep.propose(&[0], &[1], &mut rng), vec![0]);
+        assert_eq!(AxisNudge.propose(&[0], &[1], &mut rng), vec![0]);
+        assert_eq!(AxisStep.name(), "axis-step");
+        assert_eq!(AxisNudge.name(), "axis-nudge");
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let sa = SimulatedAnnealing::seeded(1)
+            .steps(0)
+            .initial_temperature(-4.0)
+            .cooling(7.0)
+            .moves(vec![]);
+        assert_eq!(sa.steps, 1);
+        assert!(sa.initial_temperature > 0.0);
+        assert!(sa.cooling <= 1.0 && sa.cooling > 0.0);
+        assert_eq!(sa.moves.len(), 1, "empty move set is ignored");
+    }
+}

@@ -7,9 +7,15 @@
 //!
 //! * a [`DesignSpace`]: a base [`ScenarioSpec`](crate::ScenarioSpec) plus
 //!   indexable axes (tier counts, coolants, flow rates/schedules, or any
-//!   custom transformation) — unlike a [`Study`](crate::study::Study)'s
-//!   flat expansion, designs stay addressable by per-axis level indices,
-//!   so adaptive strategies can move coordinate-wise;
+//!   custom transformation — all built through the one generalized
+//!   [`DesignAxis::over`] constructor) — unlike a
+//!   [`Study`](crate::study::Study)'s flat expansion, designs stay
+//!   addressable by per-axis level indices, so adaptive strategies can
+//!   move coordinate-wise. [`DesignAxis::stack_transforms`] makes
+//!   *physical design* an axis: levels are deterministic placement moves
+//!   (block swaps, hot-spot spreads, per-gap cavity toggles from
+//!   [`cmosaic_floorplan::transform`]) applied to the design's resolved
+//!   stack;
 //! * [`Constraints`]: the peak-temperature ceiling (85 °C in the paper)
 //!   plus optional per-tier ceilings, enforced *inside* the loop by the
 //!   early-abort [`ConstraintMonitor`] observer — an infeasible design
@@ -20,12 +26,15 @@
 //!   any-thread-count bit-identity), memoizing every evaluation so
 //!   revisits are free;
 //! * [`SearchStrategy`] implementations sharing that evaluator:
-//!   exhaustive [`GridSearch`] and the adaptive, seeded
-//!   [`CoordinateDescent`];
+//!   exhaustive [`GridSearch`], the adaptive, seeded
+//!   [`CoordinateDescent`], and the seeded, bit-reproducible
+//!   [`SimulatedAnnealing`] whose [`NeighborMove`] trait lets placement
+//!   axes expose *moves* instead of exhaustively enumerated levels;
 //! * an [`OptimizeReport`]: the best feasible design, the ranked
-//!   [`ParetoFront`] of (cooling energy, peak temperature) trade-offs,
-//!   and the search-cost counters (evaluations, evaluations-to-optimum,
-//!   epochs saved by the early abort).
+//!   [`ParetoFront`] of (cooling energy, peak temperature, silicon area)
+//!   trade-offs, and the search-cost counters (evaluations,
+//!   evaluations-to-optimum, memo hits, epochs saved by the early
+//!   abort).
 //!
 //! Everything is deterministic: given the same space, constraints, seed
 //! and strategy, the report is bit-identical across reruns and across
@@ -58,17 +67,19 @@
 //! # }
 //! ```
 
+mod anneal;
 mod constraints;
 mod descent;
 mod grid;
 mod pareto;
 mod space;
 
+pub use anneal::{AxisNudge, AxisStep, NeighborMove, SimulatedAnnealing};
 pub use constraints::{ConstraintMonitor, Constraints, Violation};
 pub use descent::CoordinateDescent;
 pub use grid::GridSearch;
 pub use pareto::{ParetoFront, ParetoPoint};
-pub use space::{DesignAxis, DesignLevel, DesignPoint, DesignSpace};
+pub use space::{DesignAxis, DesignLevel, DesignPoint, DesignSpace, StackTransform};
 
 use std::collections::{HashMap, HashSet};
 
@@ -91,6 +102,10 @@ pub struct Evaluation {
     pub pump_energy: f64,
     /// Peak junction temperature over the run (sub-step granularity).
     pub peak: Kelvin,
+    /// Silicon/stack area of the design, m² (see
+    /// [`Stack3d::silicon_area`](cmosaic_floorplan::Stack3d::silicon_area))
+    /// — the third objective of the multi-objective front.
+    pub area: f64,
     /// Per-tier peak junction temperatures at control-interval
     /// granularity (from [`PeakTemperature`]).
     pub per_tier_peak: Vec<Kelvin>,
@@ -110,15 +125,25 @@ pub struct Evaluation {
 impl Evaluation {
     /// Strategy-facing total order: feasible beats infeasible; among
     /// feasible designs lower cooling energy wins (ties: lower peak, then
-    /// lower level indices); among infeasible designs the cooler one wins
-    /// (the gradient an adaptive search climbs back to feasibility on).
+    /// smaller silicon area, then lower level indices); among infeasible
+    /// designs the cooler one wins (the gradient an adaptive search
+    /// climbs back to feasibility on).
     pub fn better_than(&self, other: &Evaluation) -> bool {
         match (self.feasible, other.feasible) {
             (true, false) => true,
             (false, true) => false,
             (true, true) => {
-                (self.pump_energy, self.peak.0, self.design.indices())
-                    < (other.pump_energy, other.peak.0, other.design.indices())
+                (
+                    self.pump_energy,
+                    self.peak.0,
+                    self.area,
+                    self.design.indices(),
+                ) < (
+                    other.pump_energy,
+                    other.peak.0,
+                    other.area,
+                    other.design.indices(),
+                )
             }
             (false, false) => {
                 (self.peak.0, self.design.indices()) < (other.peak.0, other.design.indices())
@@ -156,6 +181,8 @@ pub struct Evaluator<'a> {
     evaluations: Vec<Evaluation>,
     skipped: Vec<(DesignPoint, CmosaicError)>,
     failed: Vec<(DesignPoint, SlotError)>,
+    eval_requests: usize,
+    memo_hits: usize,
 }
 
 impl<'a> Evaluator<'a> {
@@ -174,6 +201,8 @@ impl<'a> Evaluator<'a> {
             evaluations: Vec::new(),
             skipped: Vec::new(),
             failed: Vec::new(),
+            eval_requests: 0,
+            memo_hits: 0,
         }
     }
 
@@ -196,16 +225,21 @@ impl<'a> Evaluator<'a> {
         let mut batch: Vec<DesignPoint> = Vec::new();
         let mut queued: HashSet<&DesignPoint> = HashSet::new();
         for p in points {
+            self.eval_requests += 1;
             if !self.slots.contains_key(p) && queued.insert(p) {
                 batch.push(p.clone());
+            } else {
+                self.memo_hits += 1;
             }
         }
         let mut valid = Vec::with_capacity(batch.len());
         let mut scenarios = Vec::with_capacity(batch.len());
         for p in batch {
-            // Build once: the resolved Scenario is what the runner
-            // executes (a rebuild would regenerate every workload trace).
-            match self.space.spec(&p).build() {
+            // Resolve and build once: the resolved Scenario is what the
+            // runner executes (a rebuild would regenerate every workload
+            // trace). A failing level transform (a placement move that
+            // does not apply) is a skip, exactly like a build failure.
+            match self.space.spec(&p).and_then(|spec| spec.build()) {
                 Ok(scenario) => {
                     valid.push(p);
                     scenarios.push(scenario);
@@ -266,6 +300,7 @@ impl<'a> Evaluator<'a> {
                 design: point.clone(),
                 pump_energy: energy.pump_joules(),
                 peak,
+                area: scenario.stack().silicon_area(),
                 per_tier_peak: peak_obs.per_tier().to_vec(),
                 feasible,
                 violation,
@@ -319,6 +354,18 @@ impl<'a> Evaluator<'a> {
         &self.failed
     }
 
+    /// Total designs requested through [`Evaluator::evaluate_all`]
+    /// (including revisits).
+    pub fn eval_requests(&self) -> usize {
+        self.eval_requests
+    }
+
+    /// Requests satisfied from the memo (already-seen designs, including
+    /// duplicates inside one batch) — the work the memoization saved.
+    pub fn memo_hits(&self) -> usize {
+        self.memo_hits
+    }
+
     /// The best feasible evaluation so far (see
     /// [`Evaluation::better_than`]), if any design was feasible.
     pub fn best(&self) -> Option<&Evaluation> {
@@ -340,6 +387,7 @@ impl<'a> Evaluator<'a> {
                 label: e.label.clone(),
                 pump_energy: e.pump_energy,
                 peak: e.peak,
+                area: e.area,
             });
         }
         let evals_to_best = best.as_ref().map(|b| {
@@ -355,6 +403,8 @@ impl<'a> Evaluator<'a> {
             epochs_budget: self.evaluations.iter().map(|e| e.epochs_budget).sum(),
             skipped: self.skipped.len(),
             failed: self.failed.len(),
+            eval_requests: self.eval_requests,
+            memo_hits: self.memo_hits,
             best,
             front,
             evals_to_best,
@@ -386,8 +436,8 @@ pub struct OptimizeReport {
     pub strategy: String,
     /// The best feasible design found, if any.
     pub best: Option<Evaluation>,
-    /// The (cooling energy, peak temperature) Pareto front over every
-    /// feasible design evaluated, cheapest cooling first.
+    /// The (cooling energy, peak temperature, silicon area) Pareto front
+    /// over every feasible design evaluated, cheapest cooling first.
     pub front: ParetoFront,
     /// Every design evaluated, in evaluation order.
     pub evaluations: Vec<Evaluation>,
@@ -399,6 +449,11 @@ pub struct OptimizeReport {
     /// 1-based position of the best design in the evaluation order — the
     /// "evaluations-to-optimum" cost of the strategy.
     pub evals_to_best: Option<usize>,
+    /// Total design evaluations the strategy requested (revisits
+    /// included).
+    pub eval_requests: usize,
+    /// Requests the memoization satisfied without simulating anything.
+    pub memo_hits: usize,
     /// Control intervals actually simulated across all evaluations.
     pub epochs_run: usize,
     /// Control intervals the same evaluations would have cost without the
@@ -410,6 +465,16 @@ impl OptimizeReport {
     /// Number of designs evaluated.
     pub fn n_evaluations(&self) -> usize {
         self.evaluations.len()
+    }
+
+    /// Fraction of evaluation requests the memoization satisfied without
+    /// simulating anything (0 when nothing was requested).
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.eval_requests == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.eval_requests as f64
+        }
     }
 
     /// Fraction of the epoch budget the early abort saved (0 when every

@@ -1,35 +1,44 @@
-//! The energy/temperature Pareto front a design-space search returns.
+//! The multi-objective Pareto front a design-space search returns:
+//! non-dominated trade-offs over (cooling energy, peak temperature,
+//! silicon/stack area).
 
 use cmosaic_materials::units::Kelvin;
 
 use super::space::DesignPoint;
 
-/// One non-dominated design: its cooling energy and peak temperature.
+/// One non-dominated design: its cooling energy, peak temperature and
+/// silicon/stack area.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParetoPoint {
     /// The design's level indices.
     pub design: DesignPoint,
     /// Human-readable design label.
     pub label: String,
-    /// Cooling (pump) energy over the run, joules — the objective.
+    /// Cooling (pump) energy over the run, joules.
     pub pump_energy: f64,
     /// Peak junction temperature over the run.
     pub peak: Kelvin,
+    /// Silicon/stack area of the design, m² (see
+    /// [`Stack3d::silicon_area`](cmosaic_floorplan::Stack3d::silicon_area)).
+    pub area: f64,
 }
 
 impl ParetoPoint {
-    /// `true` when `self` is at least as good as `other` on both
-    /// objectives and strictly better on one.
+    /// `true` when `self` is at least as good as `other` on all three
+    /// objectives and strictly better on at least one.
     fn dominates(&self, other: &ParetoPoint) -> bool {
         self.pump_energy <= other.pump_energy
             && self.peak.0 <= other.peak.0
-            && (self.pump_energy < other.pump_energy || self.peak.0 < other.peak.0)
+            && self.area <= other.area
+            && (self.pump_energy < other.pump_energy
+                || self.peak.0 < other.peak.0
+                || self.area < other.area)
     }
 }
 
-/// The set of non-dominated (pump energy, peak temperature) designs,
-/// kept sorted by ascending energy (so descending peak) — cheapest
-/// cooling first.
+/// The set of non-dominated (pump energy, peak temperature, area)
+/// designs, kept sorted by ascending energy (ties: peak, then area) —
+/// cheapest cooling first.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ParetoFront {
     points: Vec<ParetoPoint>,
@@ -43,7 +52,7 @@ impl ParetoFront {
 
     /// Offers a candidate: rejected (returning `false`) if any resident
     /// point dominates it, otherwise inserted in rank order, evicting
-    /// every point it dominates. Ties on both objectives coexist,
+    /// every point it dominates. Ties on all objectives coexist,
     /// ordered by design indices — the same tie-break as
     /// [`Evaluation::better_than`](super::Evaluation::better_than), so
     /// [`ParetoFront::min_energy`] and the evaluator's best design agree
@@ -53,7 +62,7 @@ impl ParetoFront {
             return false;
         }
         self.points.retain(|p| !candidate.dominates(p));
-        let key = |p: &ParetoPoint| (p.pump_energy, p.peak.0);
+        let key = |p: &ParetoPoint| (p.pump_energy, p.peak.0, p.area);
         let pos = self.points.partition_point(|p| {
             key(p) < key(&candidate)
                 || (key(p) == key(&candidate) && p.design.indices() < candidate.design.indices())
@@ -77,7 +86,8 @@ impl ParetoFront {
         self.points.is_empty()
     }
 
-    /// The cheapest-cooling design on the front.
+    /// The cheapest-cooling design on the front (ties broken by peak,
+    /// then area, then design indices).
     pub fn min_energy(&self) -> Option<&ParetoPoint> {
         self.points.first()
     }
@@ -88,11 +98,16 @@ mod tests {
     use super::*;
 
     fn pt(design: usize, energy: f64, peak_c: f64) -> ParetoPoint {
+        pt3(design, energy, peak_c, 1.0)
+    }
+
+    fn pt3(design: usize, energy: f64, peak_c: f64, area: f64) -> ParetoPoint {
         ParetoPoint {
             design: DesignPoint::new(vec![design]),
             label: format!("d{design}"),
             pump_energy: energy,
             peak: Kelvin(273.15 + peak_c),
+            area,
         }
     }
 
@@ -100,7 +115,7 @@ mod tests {
     fn dominated_candidates_are_rejected_and_evicted() {
         let mut front = ParetoFront::new();
         assert!(front.insert(pt(0, 10.0, 80.0)));
-        // Strictly worse on both axes: rejected.
+        // Strictly worse on both thermal axes, equal area: rejected.
         assert!(!front.insert(pt(1, 12.0, 82.0)));
         // Trades energy for temperature: coexists.
         assert!(front.insert(pt(2, 6.0, 84.0)));
@@ -109,6 +124,23 @@ mod tests {
         assert!(front.insert(pt(3, 5.0, 79.0)));
         assert_eq!(front.len(), 1);
         assert_eq!(front.min_energy().unwrap().label, "d3");
+    }
+
+    #[test]
+    fn area_is_a_real_third_objective() {
+        let mut front = ParetoFront::new();
+        assert!(front.insert(pt3(0, 10.0, 80.0, 2.0)));
+        // Worse on energy and peak, but smaller silicon: survives.
+        assert!(front.insert(pt3(1, 12.0, 82.0, 1.0)));
+        assert_eq!(front.len(), 2);
+        // Same thermals as d0 with more silicon: dominated.
+        assert!(!front.insert(pt3(2, 10.0, 80.0, 3.0)));
+        // Smaller area than everyone at middling thermals: survives and
+        // evicts d1 (better than it on every objective).
+        assert!(front.insert(pt3(3, 11.0, 81.0, 0.5)));
+        assert_eq!(front.len(), 2);
+        let labels: Vec<&str> = front.points().iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["d0", "d3"]);
     }
 
     #[test]

@@ -11,13 +11,28 @@
 use std::fmt;
 use std::sync::Arc;
 
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::{FloorplanError, Stack3d};
 use cmosaic_materials::units::VolumetricFlow;
 use cmosaic_thermal::SolverBackend;
 
-use crate::scenario::{CoolantChoice, FlowSchedule, ScenarioSpec};
+use crate::scenario::{CoolantChoice, FlowSchedule, ScenarioSpec, StackChoice};
+use crate::CmosaicError;
 
 /// A spec transformation shared by every design that selects this level.
-type ApplyFn = Arc<dyn Fn(ScenarioSpec) -> ScenarioSpec + Send + Sync>;
+///
+/// Fallible: placement-valued levels (see
+/// [`DesignAxis::stack_transforms`]) may legitimately fail on some
+/// combinations of upstream axes — the [`Evaluator`](super::Evaluator)
+/// records such designs as *skipped*, exactly like build-time validation
+/// failures.
+type ApplyFn = Arc<dyn Fn(ScenarioSpec) -> Result<ScenarioSpec, CmosaicError> + Send + Sync>;
+
+/// A stack transformation used by [`DesignAxis::stack_transforms`]: maps
+/// the design's current (resolved) stack to a new one, e.g. the
+/// deterministic placement moves of
+/// [`cmosaic_floorplan::transform`].
+pub type StackTransform = Arc<dyn Fn(&Stack3d) -> Result<Stack3d, FloorplanError> + Send + Sync>;
 
 /// One selectable value of a design axis: a label plus the spec
 /// transformation it stands for.
@@ -28,10 +43,21 @@ pub struct DesignLevel {
 }
 
 impl DesignLevel {
-    /// A level applying `f` to the spec, displayed as `label`.
+    /// A level applying the infallible `f` to the spec, displayed as
+    /// `label`.
     pub fn new<F>(label: impl Into<String>, f: F) -> Self
     where
         F: Fn(ScenarioSpec) -> ScenarioSpec + Send + Sync + 'static,
+    {
+        Self::fallible(label, move |s| Ok(f(s)))
+    }
+
+    /// A level whose transformation may fail (an invalid-by-construction
+    /// corner of the space); the evaluator skips such designs instead of
+    /// aborting the search.
+    pub fn fallible<F>(label: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(ScenarioSpec) -> Result<ScenarioSpec, CmosaicError> + Send + Sync + 'static,
     {
         DesignLevel {
             label: label.into(),
@@ -67,68 +93,118 @@ impl DesignAxis {
         }
     }
 
-    /// A preset tier-count axis.
-    pub fn tiers(counts: impl IntoIterator<Item = usize>) -> Self {
+    /// The one generalized axis builder every preset constructor forwards
+    /// through: an axis named `name` with one level per value, labelled by
+    /// `label` and applying `apply(spec, &value)`.
+    ///
+    /// ```
+    /// use cmosaic::optimize::DesignAxis;
+    ///
+    /// let axis = DesignAxis::over("seed", [1u64, 7], |s| format!("seed {s}"), |spec, s| {
+    ///     spec.seed(*s)
+    /// });
+    /// assert_eq!(axis.len(), 2);
+    /// assert_eq!(axis.levels()[1].label(), "seed 7");
+    /// ```
+    pub fn over<T, L, F>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = T>,
+        label: L,
+        apply: F,
+    ) -> Self
+    where
+        T: Send + Sync + 'static,
+        L: Fn(&T) -> String,
+        F: Fn(ScenarioSpec, &T) -> ScenarioSpec + Send + Sync + Clone + 'static,
+    {
         Self::new(
-            "tiers",
-            counts
+            name,
+            values
                 .into_iter()
-                .map(|t| DesignLevel::new(format!("{t}-tier"), move |s: ScenarioSpec| s.tiers(t)))
-                .collect(),
-        )
-    }
-
-    /// A fixed per-cavity flow-rate axis ([`FlowSchedule::Fixed`]
-    /// schedules, ordered as given).
-    pub fn flow_rates(rates: impl IntoIterator<Item = VolumetricFlow>) -> Self {
-        Self::new(
-            "flow",
-            rates
-                .into_iter()
-                .map(|q| {
-                    DesignLevel::new(format!("{:.1} ml/min", q.to_ml_per_min()), move |s| {
-                        s.flow_schedule(FlowSchedule::Fixed(q))
-                    })
+                .map(|v| {
+                    let f = apply.clone();
+                    let text = label(&v);
+                    DesignLevel::new(text, move |s| f(s, &v))
                 })
                 .collect(),
         )
     }
 
-    /// A coolant axis.
-    pub fn coolants(choices: impl IntoIterator<Item = CoolantChoice>) -> Self {
-        Self::new(
-            "coolant",
-            choices
-                .into_iter()
-                .map(|c| DesignLevel::new(c.to_string(), move |s| s.coolant(c.clone())))
-                .collect(),
+    /// A preset tier-count axis (forwards through [`DesignAxis::over`]).
+    pub fn tiers(counts: impl IntoIterator<Item = usize>) -> Self {
+        Self::over("tiers", counts, |t| format!("{t}-tier"), |s, t| s.tiers(*t))
+    }
+
+    /// A fixed per-cavity flow-rate axis ([`FlowSchedule::Fixed`]
+    /// schedules, ordered as given; forwards through
+    /// [`DesignAxis::over`]).
+    pub fn flow_rates(rates: impl IntoIterator<Item = VolumetricFlow>) -> Self {
+        Self::over(
+            "flow",
+            rates,
+            |q| format!("{:.1} ml/min", q.to_ml_per_min()),
+            |s, q| s.flow_schedule(FlowSchedule::Fixed(*q)),
         )
+    }
+
+    /// A coolant axis (forwards through [`DesignAxis::over`]).
+    pub fn coolants(choices: impl IntoIterator<Item = CoolantChoice>) -> Self {
+        Self::over("coolant", choices, CoolantChoice::to_string, |s, c| {
+            s.coolant(c.clone())
+        })
     }
 
     /// A thermal solver-backend axis (labels from the backend's
     /// `Display`: `direct-lu` / `bicgstab-ilu0(tol …, cap …)` /
     /// `bicgstab-mg(tol …, cap …)`, so two iterative operating points
-    /// stay distinguishable).
+    /// stay distinguishable; forwards through [`DesignAxis::over`]).
     pub fn solvers(backends: impl IntoIterator<Item = SolverBackend>) -> Self {
-        Self::new(
-            "solver",
-            backends
-                .into_iter()
-                .map(|b| DesignLevel::new(b.to_string(), move |s: ScenarioSpec| s.solver(b)))
-                .collect(),
-        )
+        Self::over("solver", backends, SolverBackend::to_string, |s, b| {
+            s.solver(*b)
+        })
     }
 
-    /// A labelled flow-schedule axis.
+    /// A labelled flow-schedule axis (forwards through
+    /// [`DesignAxis::over`]).
     pub fn flow_schedules(
         entries: impl IntoIterator<Item = (impl Into<String>, FlowSchedule)>,
     ) -> Self {
-        Self::new(
+        Self::over(
             "schedule",
             entries
                 .into_iter()
-                .map(|(label, sched)| {
-                    DesignLevel::new(label, move |s: ScenarioSpec| s.flow_schedule(sched.clone()))
+                .map(|(label, sched)| (label.into(), sched))
+                .collect::<Vec<(String, FlowSchedule)>>(),
+            |e| e.0.clone(),
+            |s, e| s.flow_schedule(e.1.clone()),
+        )
+    }
+
+    /// A placement axis: each level resolves the design's current stack
+    /// (custom, or the preset implied by tier count and coolant), passes
+    /// it through a deterministic [`StackTransform`] — e.g. the block
+    /// swaps, hot-spot spreads and per-gap cavity toggles of
+    /// [`cmosaic_floorplan::transform`] — and installs the re-validated
+    /// result as a custom stack.
+    ///
+    /// Order matters: place this axis *after* any `tiers`/`coolants` axis
+    /// so the transform sees the stack those axes select. Transform
+    /// failures make the design an invalid-by-construction corner (the
+    /// evaluator skips it), not a search-aborting error.
+    pub fn stack_transforms(
+        name: impl Into<String>,
+        entries: impl IntoIterator<Item = (impl Into<String>, StackTransform)>,
+    ) -> Self {
+        Self::new(
+            name,
+            entries
+                .into_iter()
+                .map(|(label, transform)| {
+                    DesignLevel::fallible(label, move |spec: ScenarioSpec| {
+                        let stack = DesignSpace::resolve_stack(&spec)?;
+                        let transformed = transform(&stack).map_err(CmosaicError::from)?;
+                        Ok(spec.stack(transformed))
+                    })
                 })
                 .collect(),
         )
@@ -270,17 +346,46 @@ impl DesignSpace {
     /// Resolves a design into its concrete [`ScenarioSpec`], labelled with
     /// [`DesignSpace::label_of`].
     ///
+    /// # Errors
+    ///
+    /// Forwards the first failing level transformation (e.g. a placement
+    /// move that does not apply to the stack selected by earlier axes) —
+    /// an invalid-by-construction corner of the space, which the
+    /// [`Evaluator`](super::Evaluator) records as *skipped*.
+    ///
     /// # Panics
     ///
     /// Panics if the point does not index this space (wrong axis count or
     /// a level index out of range).
-    pub fn spec(&self, point: &DesignPoint) -> ScenarioSpec {
+    pub fn spec(&self, point: &DesignPoint) -> Result<ScenarioSpec, CmosaicError> {
         self.check(point);
         let mut spec = self.base.clone();
         for (axis, &level) in self.axes.iter().zip(point.indices()) {
-            spec = (axis.levels()[level].apply)(spec);
+            spec = (axis.levels()[level].apply)(spec)?;
         }
-        spec.label(self.label_of(point))
+        Ok(spec.label(self.label_of(point)))
+    }
+
+    /// The stack a design with this spec would simulate: the custom stack
+    /// if one is installed, otherwise the Niagara preset implied by the
+    /// spec's tier count and coolant — the same resolution
+    /// `ScenarioSpec::build` performs.
+    ///
+    /// # Errors
+    ///
+    /// Forwards preset-construction failures (e.g. a zero tier count).
+    pub fn resolve_stack(spec: &ScenarioSpec) -> Result<Stack3d, CmosaicError> {
+        match spec.stack_choice() {
+            StackChoice::Custom(stack) => Ok(stack.clone()),
+            StackChoice::Preset { tiers } => {
+                let stack = if spec.coolant_choice().is_liquid() {
+                    presets::liquid_cooled_mpsoc(*tiers)
+                } else {
+                    presets::air_cooled_mpsoc(*tiers)
+                }?;
+                Ok(stack)
+            }
+        }
     }
 
     fn check(&self, point: &DesignPoint) {
@@ -334,7 +439,7 @@ mod tests {
         let space = tiny_space();
         let p = DesignPoint::new(vec![1, 2]);
         assert_eq!(space.label_of(&p), "4-tier, 32.3 ml/min");
-        let spec = space.spec(&p);
+        let spec = space.spec(&p).unwrap();
         assert_eq!(spec.preset_tiers(), Some(4));
         assert_eq!(
             spec.flow_schedule_spec(),
@@ -358,7 +463,7 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!(pts[0].indices().is_empty());
         assert_eq!(base_only.label_of(&pts[0]), "base design");
-        assert!(base_only.spec(&pts[0]).build().is_ok());
+        assert!(base_only.spec(&pts[0]).unwrap().build().is_ok());
     }
 
     #[test]
@@ -377,17 +482,66 @@ mod tests {
             "bicgstab-ilu0(tol 1e-10, cap 2000)"
         );
         assert_eq!(space.label_of(&pts[2]), "bicgstab-mg(tol 1e-10, cap 2000)");
-        assert!(!space.spec(&pts[0]).solver_backend().is_iterative());
-        assert!(space.spec(&pts[1]).solver_backend().is_iterative());
-        assert!(space.spec(&pts[2]).solver_backend().is_iterative());
-        assert!(space.spec(&pts[1]).build().is_ok());
-        assert!(space.spec(&pts[2]).build().is_ok());
+        assert!(!space.spec(&pts[0]).unwrap().solver_backend().is_iterative());
+        assert!(space.spec(&pts[1]).unwrap().solver_backend().is_iterative());
+        assert!(space.spec(&pts[2]).unwrap().solver_backend().is_iterative());
+        assert!(space.spec(&pts[1]).unwrap().build().is_ok());
+        assert!(space.spec(&pts[2]).unwrap().build().is_ok());
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_levels_panic() {
         let space = tiny_space();
-        space.spec(&DesignPoint::new(vec![0, 9]));
+        space.spec(&DesignPoint::new(vec![0, 9])).unwrap();
+    }
+
+    #[test]
+    fn stack_transform_axis_installs_custom_stacks() {
+        use cmosaic_floorplan::transform::swap_in_tier;
+
+        let baseline: StackTransform = Arc::new(|s: &Stack3d| Ok(s.clone()));
+        let swap: StackTransform = Arc::new(|s: &Stack3d| swap_in_tier(s, 0, "core0", "core7"));
+        let bad: StackTransform = Arc::new(|s: &Stack3d| swap_in_tier(s, 0, "core0", "nope"));
+        let space = DesignSpace::new(ScenarioSpec::new().policy(PolicyKind::LcLb).seconds(2))
+            .with_axis(DesignAxis::tiers([2]))
+            .with_axis(DesignAxis::stack_transforms(
+                "placement",
+                [
+                    ("baseline", baseline),
+                    ("swap core0<->core7", swap),
+                    ("broken", bad),
+                ],
+            ));
+        assert_eq!(space.len(), 3);
+        let pts = space.points();
+        assert_eq!(space.label_of(&pts[1]), "2-tier, swap core0<->core7");
+
+        // The baseline level resolves the 2-tier liquid preset as a custom
+        // stack; the swap level moves core0 to core7's rectangle.
+        let base_spec = space.spec(&pts[0]).unwrap();
+        let swap_spec = space.spec(&pts[1]).unwrap();
+        let base_stack = match base_spec.stack_choice() {
+            StackChoice::Custom(s) => s.clone(),
+            StackChoice::Preset { .. } => panic!("transform installs a custom stack"),
+        };
+        assert_eq!(base_stack.tiers().len(), 2);
+        assert!(swap_spec.build().is_ok());
+        assert!(base_spec.build().is_ok());
+
+        // The failing transform is an invalid corner, not a panic.
+        assert!(space.spec(&pts[2]).is_err());
+    }
+
+    #[test]
+    fn resolve_stack_matches_build_resolution() {
+        let liquid = ScenarioSpec::new().tiers(4);
+        let s = DesignSpace::resolve_stack(&liquid).unwrap();
+        assert_eq!(s.name(), "4-tier-liquid-cooled");
+        let air = ScenarioSpec::new().tiers(2).coolant(CoolantChoice::Air);
+        assert_eq!(
+            DesignSpace::resolve_stack(&air).unwrap().name(),
+            "2-tier-air-cooled"
+        );
     }
 }

@@ -882,6 +882,19 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_swapped_block_placements() {
+        // Placement axes install custom stacks that differ only in where
+        // two blocks sit; memoization keys (and checkpoint journals) must
+        // see those as distinct scenarios.
+        use cmosaic_floorplan::transform::swap_in_tier;
+        let base = presets::liquid_cooled_mpsoc(2).unwrap();
+        let swapped = swap_in_tier(&base, 0, "core0", "core7").unwrap();
+        let a = ScenarioSpec::new().stack(base);
+        let b = ScenarioSpec::new().stack(swapped);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
     fn pattern_fingerprint_matches_same_operator_pattern() {
         let build = |spec: ScenarioSpec| spec.seconds(2).build().unwrap();
         let a = build(ScenarioSpec::new());

@@ -16,6 +16,11 @@
 //!   presets of §IV.
 //! * [`grid`] — area-weighted mapping between floorplan elements and the
 //!   regular thermal grid.
+//! * [`transform`] — deterministic placement transformations (block
+//!   swaps/permutations, hot-spot spreading, per-gap cavity on/off) that
+//!   turn physical design into an optimizer axis, each re-validated and
+//!   relabelled; [`Stack3d::silicon_area`] supplies the silicon-cost
+//!   objective for multi-objective search.
 //!
 //! # Example
 //!
@@ -36,6 +41,7 @@ pub mod grid;
 pub mod niagara;
 pub mod plan;
 pub mod stack;
+pub mod transform;
 
 pub use geometry::Rect;
 pub use grid::GridSpec;
@@ -78,6 +84,17 @@ pub enum FloorplanError {
         /// Explanation.
         detail: String,
     },
+    /// A placement transform referenced an element that does not exist.
+    UnknownElement {
+        /// The missing element name.
+        name: String,
+    },
+    /// A placement transform was given inconsistent arguments (bad
+    /// permutation, out-of-range tier/gap index, weight mismatch, …).
+    InvalidTransform {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FloorplanError {
@@ -96,6 +113,12 @@ impl fmt::Display for FloorplanError {
                 write!(f, "{what} must be positive, got {value}")
             }
             FloorplanError::InvalidStack { detail } => write!(f, "invalid stack: {detail}"),
+            FloorplanError::UnknownElement { name } => {
+                write!(f, "no element named `{name}` in the floorplan")
+            }
+            FloorplanError::InvalidTransform { detail } => {
+                write!(f, "invalid placement transform: {detail}")
+            }
         }
     }
 }

@@ -253,6 +253,56 @@ impl Stack3d {
     pub fn total_thickness(&self) -> f64 {
         self.layers.iter().map(|l| l.thickness).sum()
     }
+
+    /// Silicon/stack area model for the cost objective of multi-objective
+    /// placement search (the silicon-area angle of Menon & Pangracious,
+    /// arXiv:1201.3332): every tier contributes one die footprint, and every
+    /// micro-channel cavity contributes the silicon *walls* between its
+    /// channels — `(1 − porosity) × footprint` — since the walls are etched
+    /// from (and carry TSVs through) additional silicon. Units: m².
+    ///
+    /// Air-cooled stacks therefore cost `tiers × footprint`; each cavity
+    /// adds a porosity-dependent surcharge, so wider channels (higher
+    /// porosity) trade thermal capacity against silicon cost.
+    pub fn silicon_area(&self) -> f64 {
+        let footprint = self.width * self.height;
+        let tier_area = self.tiers.len() as f64 * footprint;
+        let wall_area: f64 = self
+            .layers
+            .iter()
+            .map(|l| match &l.kind {
+                LayerKind::Cavity { spec } => (1.0 - spec.porosity()) * footprint,
+                _ => 0.0,
+            })
+            .sum();
+        tier_area + wall_area
+    }
+
+    /// Reassembles a stack from explicit parts, running the same validation
+    /// as [`StackBuilder::build`]. This is the re-validation entry point for
+    /// the placement transforms in [`crate::transform`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StackBuilder::build`].
+    pub fn from_parts(
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        tiers: Vec<Floorplan>,
+        layers: Vec<Layer>,
+        sink: Option<HeatSinkSpec>,
+    ) -> Result<Stack3d, FloorplanError> {
+        let builder = StackBuilder {
+            name: name.into(),
+            width,
+            height,
+            tiers,
+            layers,
+            sink,
+        };
+        builder.build()
+    }
 }
 
 /// Incremental builder for [`Stack3d`] (layers are added bottom-up).
@@ -362,6 +412,16 @@ impl StackBuilder {
                 return Err(FloorplanError::InvalidStack {
                     detail: format!("layer {i} has non-positive thickness {}", l.thickness),
                 });
+            }
+            if let LayerKind::Source { tier, .. } = l.kind {
+                if tier >= self.tiers.len() {
+                    return Err(FloorplanError::InvalidStack {
+                        detail: format!(
+                            "source layer {i} refers to tier {tier} but the stack has {}",
+                            self.tiers.len()
+                        ),
+                    });
+                }
             }
         }
         if self.sink.is_some() {
@@ -571,6 +631,48 @@ mod tests {
         b.sink(HeatSinkSpec::table1());
         assert!(matches!(
             b.build(),
+            Err(FloorplanError::InvalidStack { .. })
+        ));
+    }
+
+    #[test]
+    fn silicon_area_counts_tiers_and_cavity_walls() {
+        let footprint = niagara::DIE_WIDTH * niagara::DIE_HEIGHT;
+        let air = presets::air_cooled_mpsoc(2).unwrap();
+        assert!((air.silicon_area() - 2.0 * footprint).abs() < 1e-12);
+        // Liquid 2-tier: 2 dies + 1 cavity whose walls fill (1 - 1/3) of the
+        // footprint.
+        let wet = presets::liquid_cooled_mpsoc(2).unwrap();
+        let expected = 2.0 * footprint + (1.0 - 1.0 / 3.0) * footprint;
+        assert!((wet.silicon_area() - expected).abs() < 1e-12);
+        // More cavities, more silicon.
+        let wet4 = presets::liquid_cooled_mpsoc(4).unwrap();
+        assert!(wet4.silicon_area() > wet.silicon_area());
+    }
+
+    #[test]
+    fn from_parts_revalidates() {
+        let s = presets::liquid_cooled_mpsoc(2).unwrap();
+        let rebuilt = Stack3d::from_parts(
+            "copy",
+            s.width(),
+            s.height(),
+            s.tiers().to_vec(),
+            s.layers().to_vec(),
+            s.sink().cloned(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.layers(), s.layers());
+        // Dropping the tiers breaks the source-layer references.
+        assert!(matches!(
+            Stack3d::from_parts(
+                "bad",
+                s.width(),
+                s.height(),
+                vec![s.tiers()[0].clone()],
+                s.layers().to_vec(),
+                None,
+            ),
             Err(FloorplanError::InvalidStack { .. })
         ));
     }

@@ -1,0 +1,492 @@
+//! Deterministic placement transformations over floorplans and stacks.
+//!
+//! The optimizer treats physical design as a search axis: every function in
+//! this module maps a valid [`Floorplan`] / [`Stack3d`] to a *new* valid one
+//! (re-validated against overlap/bounds and stack-consistency rules) with a
+//! stable, human-readable name suffix, so transformed designs have
+//! distinguishable labels and `Debug`-based fingerprints.
+//!
+//! Three families of moves are provided, following the co-design space of
+//! Cuesta et al. (arXiv:2402.14627):
+//!
+//! * **Block placement** — [`swap_elements`] / [`permute_kind`] rearrange
+//!   which named block occupies which rectangle of a tier.
+//! * **Hot-spot spreading** — [`spread_hotspots`] deterministically assigns
+//!   the hottest blocks (by caller-supplied power weight) to the most
+//!   peripheral rectangles, pushing power away from the die centre.
+//! * **Channel topology** — [`set_gap_cavity`] switches an inter-tier gap
+//!   between a micro-channel cavity and a conventional bonded (solid) gap of
+//!   the same thickness.
+//!
+//! All transforms are pure functions of their inputs: no randomness, no
+//! global state, bit-identical results across platforms and reruns.
+
+use crate::plan::{Element, ElementKind, Floorplan};
+use crate::stack::{CavitySpec, Layer, LayerKind, Stack3d};
+use crate::FloorplanError;
+use cmosaic_materials::solids::SolidMaterial;
+
+/// Returns a copy of `plan` with the rectangles of elements `a` and `b`
+/// swapped (names and kinds stay with their blocks), re-validated.
+///
+/// The result is renamed `"{plan}+swap(a,b)"` so that transformed plans are
+/// distinguishable by name and fingerprint.
+///
+/// # Errors
+///
+/// * [`FloorplanError::UnknownElement`] — `a` or `b` is not in the plan.
+/// * Any validation error from [`Floorplan::new`] if the swapped layout is
+///   invalid (possible when the two rectangles differ in size).
+pub fn swap_elements(plan: &Floorplan, a: &str, b: &str) -> Result<Floorplan, FloorplanError> {
+    let ia = plan
+        .index_of(a)
+        .ok_or_else(|| FloorplanError::UnknownElement { name: a.into() })?;
+    let ib = plan
+        .index_of(b)
+        .ok_or_else(|| FloorplanError::UnknownElement { name: b.into() })?;
+    let mut elements: Vec<Element> = plan.elements().to_vec();
+    let ra = elements[ia].rect().to_owned();
+    let rb = elements[ib].rect().to_owned();
+    elements[ia] = Element::new(elements[ia].name(), elements[ia].kind(), rb);
+    elements[ib] = Element::new(elements[ib].name(), elements[ib].kind(), ra);
+    Floorplan::new(
+        format!("{}+swap({a},{b})", plan.name()),
+        *plan.outline(),
+        elements,
+    )
+}
+
+/// Returns a copy of `plan` where the elements of `kind` are re-assigned to
+/// each other's rectangles according to `perm`: the `i`-th element of that
+/// kind (in insertion order) takes the rectangle currently held by the
+/// `perm[i]`-th.
+///
+/// The result is renamed `"{plan}+perm(kind:p0-p1-…)"`.
+///
+/// # Errors
+///
+/// * [`FloorplanError::InvalidTransform`] — `perm` is not a permutation of
+///   `0..n` where `n` is the number of elements of `kind`.
+/// * Any validation error from [`Floorplan::new`].
+pub fn permute_kind(
+    plan: &Floorplan,
+    kind: ElementKind,
+    perm: &[usize],
+) -> Result<Floorplan, FloorplanError> {
+    let idx = plan.indices_of_kind(kind);
+    if perm.len() != idx.len() {
+        return Err(FloorplanError::InvalidTransform {
+            detail: format!(
+                "permutation length {} does not match {} `{kind}` elements",
+                perm.len(),
+                idx.len()
+            ),
+        });
+    }
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return Err(FloorplanError::InvalidTransform {
+                detail: format!("{perm:?} is not a permutation of 0..{}", perm.len()),
+            });
+        }
+        seen[p] = true;
+    }
+    let mut elements: Vec<Element> = plan.elements().to_vec();
+    for (i, &p) in perm.iter().enumerate() {
+        let e = &plan.elements()[idx[i]];
+        let target = plan.elements()[idx[p]].rect().to_owned();
+        elements[idx[i]] = Element::new(e.name(), e.kind(), target);
+    }
+    let tag: Vec<String> = perm.iter().map(usize::to_string).collect();
+    Floorplan::new(
+        format!("{}+perm({kind}:{})", plan.name(), tag.join("-")),
+        *plan.outline(),
+        elements,
+    )
+}
+
+/// Hot-spot-aware shuffle: re-assigns the elements of `kind` to rectangles
+/// so that the heaviest `weights[i]` (power proxy of the `i`-th element of
+/// that kind, insertion order) land on the rectangles farthest from the die
+/// centre. Spreading high-power blocks towards the periphery reduces the
+/// central hot spot that stacking multiplies (§IV.A of the paper).
+///
+/// Fully deterministic: weight ties break towards the lower element index,
+/// slot-distance ties towards the lower slot index. The result is renamed
+/// `"{plan}+spread(kind)"`.
+///
+/// # Errors
+///
+/// * [`FloorplanError::InvalidTransform`] — `weights` length mismatch or a
+///   non-finite weight.
+/// * Any validation error from [`Floorplan::new`].
+pub fn spread_hotspots(
+    plan: &Floorplan,
+    kind: ElementKind,
+    weights: &[f64],
+) -> Result<Floorplan, FloorplanError> {
+    let idx = plan.indices_of_kind(kind);
+    if weights.len() != idx.len() {
+        return Err(FloorplanError::InvalidTransform {
+            detail: format!(
+                "{} weights supplied for {} `{kind}` elements",
+                weights.len(),
+                idx.len()
+            ),
+        });
+    }
+    if let Some(w) = weights.iter().find(|w| !w.is_finite()) {
+        return Err(FloorplanError::InvalidTransform {
+            detail: format!("non-finite power weight {w}"),
+        });
+    }
+    let (cx, cy) = plan.outline().center();
+    // Slots ranked most-peripheral first; elements ranked heaviest first.
+    let mut slots: Vec<usize> = (0..idx.len()).collect();
+    slots.sort_by(|&a, &b| {
+        let d = |s: usize| {
+            let (ex, ey) = plan.elements()[idx[s]].rect().center();
+            (ex - cx).hypot(ey - cy)
+        };
+        d(b).total_cmp(&d(a)).then(a.cmp(&b))
+    });
+    let mut heavy: Vec<usize> = (0..weights.len()).collect();
+    heavy.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+    // heaviest element -> most peripheral slot, i.e. perm[element] = slot.
+    let mut perm = vec![0usize; idx.len()];
+    for (rank, &e) in heavy.iter().enumerate() {
+        perm[e] = slots[rank];
+    }
+    let permuted = permute_kind(plan, kind, &perm)?;
+    Floorplan::new(
+        format!("{}+spread({kind})", plan.name()),
+        *plan.outline(),
+        permuted.elements().to_vec(),
+    )
+}
+
+/// Returns a copy of `stack` with tier `tier` replaced by `plan`
+/// (re-validated: the plan outline must match the stack footprint).
+///
+/// The result is renamed `"{stack}/t{tier}={plan-name}"`.
+///
+/// # Errors
+///
+/// * [`FloorplanError::InvalidTransform`] — `tier` out of range.
+/// * [`FloorplanError::InvalidStack`] — outline/footprint mismatch.
+pub fn with_tier_plan(
+    stack: &Stack3d,
+    tier: usize,
+    plan: Floorplan,
+) -> Result<Stack3d, FloorplanError> {
+    if tier >= stack.tiers().len() {
+        return Err(FloorplanError::InvalidTransform {
+            detail: format!(
+                "tier {tier} out of range (stack has {})",
+                stack.tiers().len()
+            ),
+        });
+    }
+    let mut tiers = stack.tiers().to_vec();
+    let name = format!("{}/t{tier}={}", stack.name(), plan.name());
+    tiers[tier] = plan;
+    Stack3d::from_parts(
+        name,
+        stack.width(),
+        stack.height(),
+        tiers,
+        stack.layers().to_vec(),
+        stack.sink().cloned(),
+    )
+}
+
+/// Convenience: [`swap_elements`] applied to tier `tier` of `stack`.
+///
+/// # Errors
+///
+/// Propagates errors from [`swap_elements`] and [`with_tier_plan`].
+pub fn swap_in_tier(
+    stack: &Stack3d,
+    tier: usize,
+    a: &str,
+    b: &str,
+) -> Result<Stack3d, FloorplanError> {
+    let plan = stack
+        .tiers()
+        .get(tier)
+        .ok_or_else(|| FloorplanError::InvalidTransform {
+            detail: format!(
+                "tier {tier} out of range (stack has {})",
+                stack.tiers().len()
+            ),
+        })?;
+    with_tier_plan(stack, tier, swap_elements(plan, a, b)?)
+}
+
+/// Convenience: [`spread_hotspots`] applied to tier `tier` of `stack`.
+///
+/// # Errors
+///
+/// Propagates errors from [`spread_hotspots`] and [`with_tier_plan`].
+pub fn spread_hotspots_in_tier(
+    stack: &Stack3d,
+    tier: usize,
+    kind: ElementKind,
+    weights: &[f64],
+) -> Result<Stack3d, FloorplanError> {
+    let plan = stack
+        .tiers()
+        .get(tier)
+        .ok_or_else(|| FloorplanError::InvalidTransform {
+            detail: format!(
+                "tier {tier} out of range (stack has {})",
+                stack.tiers().len()
+            ),
+        })?;
+    with_tier_plan(stack, tier, spread_hotspots(plan, kind, weights)?)
+}
+
+/// Switches inter-tier gap `gap` (between tiers `gap` and `gap + 1`) to a
+/// micro-channel cavity (`Some(spec)`) or to a conventional bonded gap
+/// (`None`: a solid thermal-interface layer of the same thickness, so total
+/// stack height is preserved).
+///
+/// When the gap currently holds a cavity, `Some(spec)` replaces its channel
+/// geometry in place; when it holds only solid layers, a cavity layer of
+/// `spec.height()` is inserted just below tier `gap + 1`'s source layer.
+/// The result is renamed `"{stack}/g{gap}=cavity"` or `"…=bond"`.
+///
+/// # Errors
+///
+/// * [`FloorplanError::InvalidTransform`] — `gap` out of range.
+/// * [`FloorplanError::InvalidStack`] — the modified layer list fails stack
+///   validation.
+pub fn set_gap_cavity(
+    stack: &Stack3d,
+    gap: usize,
+    cavity: Option<CavitySpec>,
+) -> Result<Stack3d, FloorplanError> {
+    let n_tiers = stack.tiers().len();
+    if gap + 1 >= n_tiers {
+        return Err(FloorplanError::InvalidTransform {
+            detail: format!(
+                "gap {gap} out of range (stack has {} inter-tier gaps)",
+                n_tiers.saturating_sub(1)
+            ),
+        });
+    }
+    let src_pos: Vec<usize> = stack
+        .layers()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l.kind, LayerKind::Source { .. }).then_some(i))
+        .collect();
+    let lo = src_pos[gap];
+    let hi = src_pos[gap + 1];
+    let mut layers = stack.layers().to_vec();
+    let existing = (lo + 1..hi).find(|&i| matches!(layers[i].kind, LayerKind::Cavity { .. }));
+    let state = if cavity.is_some() { "cavity" } else { "bond" };
+    match (existing, cavity) {
+        (Some(i), Some(spec)) => {
+            layers[i] = Layer {
+                thickness: spec.height(),
+                kind: LayerKind::Cavity { spec },
+            };
+        }
+        (None, Some(spec)) => {
+            // A bonded gap left behind by a previous `None` toggle shows up
+            // as a thermal-interface solid between the tiers; reclaim it
+            // rather than growing the stack.
+            let bond = (lo + 1..hi).find(|&i| {
+                matches!(
+                    &layers[i].kind,
+                    LayerKind::Solid { material } if *material == SolidMaterial::thermal_interface()
+                )
+            });
+            let layer = Layer {
+                thickness: spec.height(),
+                kind: LayerKind::Cavity { spec },
+            };
+            match bond {
+                Some(i) => layers[i] = layer,
+                None => layers.insert(hi, layer),
+            }
+        }
+        (Some(i), None) => {
+            layers[i] = Layer {
+                kind: LayerKind::Solid {
+                    material: SolidMaterial::thermal_interface(),
+                },
+                thickness: layers[i].thickness,
+            };
+        }
+        (None, None) => {} // already a conventional gap; keep layers, rename only
+    }
+    Stack3d::from_parts(
+        format!("{}/g{gap}={state}", stack.name()),
+        stack.width(),
+        stack.height(),
+        stack.tiers().to_vec(),
+        layers,
+        stack.sink().cloned(),
+    )
+}
+
+/// Whether each inter-tier gap of `stack` currently holds a cavity, bottom
+/// gap first (`gap_states(&s).len() == s.tiers().len() - 1`).
+pub fn gap_states(stack: &Stack3d) -> Vec<bool> {
+    let src_pos: Vec<usize> = stack
+        .layers()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| matches!(l.kind, LayerKind::Source { .. }).then_some(i))
+        .collect();
+    src_pos
+        .windows(2)
+        .map(|w| {
+            (w[0] + 1..w[1]).any(|i| matches!(stack.layers()[i].kind, LayerKind::Cavity { .. }))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::niagara;
+    use crate::stack::presets;
+
+    fn core_plan() -> Floorplan {
+        niagara::core_tier().unwrap()
+    }
+
+    #[test]
+    fn swap_preserves_validity_and_renames() {
+        let plan = core_plan();
+        let swapped = swap_elements(&plan, "core0", "core5").unwrap();
+        assert!(swapped.name().ends_with("+swap(core0,core5)"));
+        assert_eq!(swapped.elements().len(), plan.elements().len());
+        // core0 now sits where core5 used to be, and vice versa.
+        let i0 = swapped.index_of("core0").unwrap();
+        let i5 = plan.index_of("core5").unwrap();
+        assert_eq!(swapped.elements()[i0].rect(), plan.elements()[i5].rect());
+        // Same total area, same utilization.
+        assert!((swapped.occupied_area() - plan.occupied_area()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swap_unknown_element_rejected() {
+        assert!(matches!(
+            swap_elements(&core_plan(), "core0", "nope"),
+            Err(FloorplanError::UnknownElement { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let plan = core_plan();
+        let twice = swap_elements(
+            &swap_elements(&plan, "core1", "core6").unwrap(),
+            "core1",
+            "core6",
+        )
+        .unwrap();
+        assert_eq!(twice.elements(), plan.elements());
+    }
+
+    #[test]
+    fn permute_validates_permutation() {
+        let plan = core_plan();
+        let n = plan.indices_of_kind(ElementKind::Core).len();
+        assert!(matches!(
+            permute_kind(&plan, ElementKind::Core, &[0, 0, 1, 2, 3, 4, 5, 6]),
+            Err(FloorplanError::InvalidTransform { .. })
+        ));
+        assert!(matches!(
+            permute_kind(&plan, ElementKind::Core, &[0]),
+            Err(FloorplanError::InvalidTransform { .. })
+        ));
+        let identity: Vec<usize> = (0..n).collect();
+        let same = permute_kind(&plan, ElementKind::Core, &identity).unwrap();
+        assert_eq!(same.elements(), plan.elements());
+        assert!(same.name().contains("+perm(core:"));
+    }
+
+    #[test]
+    fn spread_puts_heaviest_core_on_periphery() {
+        let plan = core_plan();
+        let n = plan.indices_of_kind(ElementKind::Core).len();
+        // Element 3 is by far the hottest.
+        let mut weights = vec![1.0; n];
+        weights[3] = 50.0;
+        let spread = spread_hotspots(&plan, ElementKind::Core, &weights).unwrap();
+        let (cx, cy) = plan.outline().center();
+        let dist = |p: &Floorplan, name: &str| {
+            let (x, y) = p.elements()[p.index_of(name).unwrap()].rect().center();
+            (x - cx).hypot(y - cy)
+        };
+        // core3 is now at least as far from centre as every other core.
+        let d3 = dist(&spread, "core3");
+        for i in 0..n {
+            assert!(d3 >= dist(&spread, &format!("core{i}")) - 1e-12);
+        }
+        assert!(spread.name().ends_with("+spread(core)"));
+        // Deterministic: same inputs, identical output.
+        let again = spread_hotspots(&plan, ElementKind::Core, &weights).unwrap();
+        assert_eq!(again.elements(), spread.elements());
+    }
+
+    #[test]
+    fn swap_in_tier_produces_valid_stack_with_new_label() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        let swapped = swap_in_tier(&stack, 0, "core0", "core7").unwrap();
+        assert_eq!(swapped.tiers().len(), 2);
+        assert!(swapped.name().contains("+swap(core0,core7)"));
+        assert_ne!(swapped.tiers()[0], stack.tiers()[0]);
+        assert_eq!(swapped.tiers()[1], stack.tiers()[1]);
+        assert_eq!(swapped.cavity_count(), stack.cavity_count());
+    }
+
+    #[test]
+    fn gap_cavity_toggle_round_trips() {
+        let stack = presets::liquid_cooled_mpsoc(4).unwrap();
+        assert_eq!(gap_states(&stack), vec![true, true, true]);
+        let bonded = set_gap_cavity(&stack, 1, None).unwrap();
+        assert_eq!(gap_states(&bonded), vec![true, false, true]);
+        assert_eq!(bonded.cavity_count(), 2);
+        // Total height unchanged: cavity replaced by an equal-thickness bond.
+        assert!((bonded.total_thickness() - stack.total_thickness()).abs() < 1e-12);
+        assert!(bonded.name().ends_with("/g1=bond"));
+        let back = set_gap_cavity(&bonded, 1, Some(CavitySpec::table1())).unwrap();
+        assert_eq!(gap_states(&back), vec![true, true, true]);
+        assert_eq!(back.layers().len(), stack.layers().len());
+    }
+
+    #[test]
+    fn gap_cavity_insertion_into_air_stack() {
+        let stack = presets::air_cooled_mpsoc(2).unwrap();
+        assert_eq!(gap_states(&stack), vec![false]);
+        let wet = set_gap_cavity(&stack, 0, Some(CavitySpec::table1())).unwrap();
+        assert_eq!(gap_states(&wet), vec![true]);
+        assert!(wet.is_liquid_cooled());
+        // The cavity adds its height to the stack.
+        assert!(
+            (wet.total_thickness() - stack.total_thickness() - CavitySpec::table1().height()).abs()
+                < 1e-12
+        );
+        assert!(wet.sink().is_some(), "sink is preserved");
+    }
+
+    #[test]
+    fn gap_out_of_range_rejected() {
+        let stack = presets::liquid_cooled_mpsoc(2).unwrap();
+        assert!(matches!(
+            set_gap_cavity(&stack, 1, None),
+            Err(FloorplanError::InvalidTransform { .. })
+        ));
+        assert!(matches!(
+            with_tier_plan(&stack, 5, core_plan()),
+            Err(FloorplanError::InvalidTransform { .. })
+        ));
+    }
+}

@@ -154,6 +154,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             label: e.label.clone(),
             pump_energy: e.pump_energy,
             peak: e.peak,
+            area: e.area,
         });
     }
     for p in water_front.points() {

@@ -111,21 +111,3 @@ fn mean_fuzzy_flow_sits_inside_the_table1_envelope() {
         "mean flow {q} ml/min"
     );
 }
-
-#[test]
-#[allow(deprecated)]
-fn legacy_run_policy_shim_is_bit_identical_to_the_scenario_path() {
-    // The deprecated flat-config path is a pure adapter: same stack,
-    // trace, policy and grid, so bitwise-equal metrics.
-    use cmosaic::experiments::{run_policy, PolicyRunConfig};
-    let legacy = run_policy(&PolicyRunConfig {
-        tiers: 2,
-        policy: PolicyKind::LcFuzzy,
-        workload: WorkloadKind::WebServer,
-        seconds: 15,
-        seed: 9,
-        grid: GridSpec::new(8, 8).expect("static dims"),
-    })
-    .expect("runs");
-    assert_eq!(legacy, run(2, PolicyKind::LcFuzzy, WorkloadKind::WebServer));
-}
