@@ -296,6 +296,85 @@ pub fn headline_savings(
     })
 }
 
+/// The three actuation strategies the per-block power layer compares on
+/// identical traces, in plot order: flow modulation only
+/// (`LC_FUZZY_FLOW`), task migration only at maximum flow (`LC_MIG`),
+/// and the combination (`LC_MIG_FUZZY`) — migration flattens the
+/// hotspots, the fuzzy rule base then lowers the flow they no longer
+/// require. The migration policies draw their randomized transfer
+/// fractions from `seed`, so the whole comparison is reproducible.
+pub fn actuation_policies(seed: u64) -> [PolicyKind; 3] {
+    [
+        PolicyKind::LcFuzzyFlowOnly,
+        PolicyKind::LcMigration { seed },
+        PolicyKind::LcMigrationFuzzy { seed },
+    ]
+}
+
+/// The pinned reference study of the actuation layer: a 4-tier
+/// liquid-cooled stack under the bursty `WebServer` workload, the three
+/// [`actuation_policies`] on the *same* trace (same `seed`). The report
+/// is bit-identical at any thread count and across reruns. On this
+/// operating point migration measurably flattens the inter-tier
+/// asymmetry, so the combined controller's fuzzy rule base settles on a
+/// strictly lower flow level than flow modulation alone.
+pub fn actuation_study(seconds: usize, seed: u64, grid: GridSpec) -> Study {
+    Study::new(
+        ScenarioSpec::new()
+            .tiers(4)
+            .workload(WorkloadKind::WebServer)
+            .seconds(seconds)
+            .seed(seed)
+            .grid(grid),
+    )
+    .over_policies(actuation_policies(seed))
+}
+
+/// One row of the actuation comparison: how a strategy spends pump
+/// energy to hold the thermal constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActuationRow {
+    /// The actuation strategy.
+    pub policy: PolicyKind,
+    /// Pump energy over the run, joules.
+    pub pump_energy: f64,
+    /// Chip + pump energy over the run, joules.
+    pub system_energy: f64,
+    /// Peak junction temperature, °C.
+    pub peak_celsius: f64,
+    /// Fraction of time any core sat above the hot-spot threshold,
+    /// percent.
+    pub hotspot_pct_any: f64,
+    /// Mean performance loss from deferred work, percent.
+    pub perf_loss_mean_pct: f64,
+}
+
+/// Executes [`actuation_study`] on `runner` and assembles one
+/// [`ActuationRow`] per strategy, in [`actuation_policies`] order.
+///
+/// # Errors
+///
+/// Forwards run errors (all-or-nothing, like the figure datasets).
+pub fn actuation_dataset(
+    runner: &BatchRunner,
+    seconds: usize,
+    seed: u64,
+    grid: GridSpec,
+) -> Result<Vec<ActuationRow>, CmosaicError> {
+    let report = strict(actuation_study(seconds, seed, grid).run(runner)?)?;
+    Ok(report
+        .iter()
+        .map(|(spec, o)| ActuationRow {
+            policy: spec.policy_kind(),
+            pump_energy: o.metrics.pump_energy,
+            system_energy: o.metrics.total_energy(),
+            peak_celsius: o.metrics.peak_temperature.to_celsius().0,
+            hotspot_pct_any: o.metrics.hotspot_time_any * 100.0,
+            perf_loss_mean_pct: o.metrics.perf_loss_mean * 100.0,
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +414,40 @@ mod tests {
         );
         assert!(s.system_saving_pct > 0.0);
         assert!(s.fuzzy_peak_celsius < 85.0);
+    }
+
+    #[test]
+    fn actuation_dataset_ranks_combined_control_cheapest() {
+        let rows = actuation_dataset(&BatchRunner::new(2), 20, 42, tiny_grid()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].policy, PolicyKind::LcFuzzyFlowOnly);
+        assert_eq!(rows[1].policy, PolicyKind::LcMigration { seed: 42 });
+        assert_eq!(rows[2].policy, PolicyKind::LcMigrationFuzzy { seed: 42 });
+        // Every strategy holds the constraint on this workload...
+        for r in &rows {
+            assert!(
+                r.peak_celsius < 85.0,
+                "{}: peak {:.1} °C",
+                r.policy,
+                r.peak_celsius
+            );
+        }
+        // ...migration-only pays worst-case pump energy (max flow), and
+        // the combined controller strictly undercuts both single-actuator
+        // strategies: migration flattens the hotspots, the fuzzy rule
+        // base then drops a flow level they no longer require.
+        assert!(
+            rows[2].pump_energy < rows[1].pump_energy,
+            "combined ({:.1} J) must beat max-flow migration ({:.1} J)",
+            rows[2].pump_energy,
+            rows[1].pump_energy
+        );
+        assert!(
+            rows[2].pump_energy < rows[0].pump_energy,
+            "combined ({:.1} J) must beat flow-only ({:.1} J)",
+            rows[2].pump_energy,
+            rows[0].pump_energy
+        );
     }
 
     #[test]

@@ -14,8 +14,10 @@ use std::sync::Arc;
 use cmosaic_floorplan::stack::presets;
 use cmosaic_floorplan::{FloorplanError, Stack3d};
 use cmosaic_materials::units::VolumetricFlow;
+use cmosaic_power::AllocatorPreset;
 use cmosaic_thermal::SolverBackend;
 
+use crate::policy::PolicyKind;
 use crate::scenario::{CoolantChoice, FlowSchedule, ScenarioSpec, StackChoice};
 use crate::CmosaicError;
 
@@ -145,6 +147,32 @@ impl DesignAxis {
             |q| format!("{:.1} ml/min", q.to_ml_per_min()),
             |s, q| s.flow_schedule(FlowSchedule::Fixed(*q)),
         )
+    }
+
+    /// A runtime-policy axis (labels from the policy's `Display`:
+    /// `AC_LB`, `LC_MIG`, …). Like
+    /// [`Study::over_policies`](crate::study::Study::over_policies), the
+    /// air/water coolant choice follows each policy's cooling mode, so a
+    /// policy axis composes with preset stacks without hand-pairing a
+    /// coolant axis. Forwards through [`DesignAxis::over`].
+    pub fn policies(kinds: impl IntoIterator<Item = PolicyKind>) -> Self {
+        Self::over("policy", kinds, PolicyKind::to_string, |s, p| {
+            let s = s.policy(*p);
+            match (p.is_liquid_cooled(), s.coolant_choice()) {
+                (false, CoolantChoice::Water) => s.air(),
+                (true, CoolantChoice::Air) => s.water(),
+                _ => s,
+            }
+        })
+    }
+
+    /// A power-allocator preset axis (labels from the preset's
+    /// `Display`: `niagara`, `memory-on-logic`, `mixed-accelerator`;
+    /// forwards through [`DesignAxis::over`]).
+    pub fn allocators(presets: impl IntoIterator<Item = AllocatorPreset>) -> Self {
+        Self::over("allocator", presets, AllocatorPreset::to_string, |s, a| {
+            s.allocator(*a)
+        })
     }
 
     /// A coolant axis (forwards through [`DesignAxis::over`]).
@@ -487,6 +515,28 @@ mod tests {
         assert!(space.spec(&pts[2]).unwrap().solver_backend().is_iterative());
         assert!(space.spec(&pts[1]).unwrap().build().is_ok());
         assert!(space.spec(&pts[2]).unwrap().build().is_ok());
+    }
+
+    #[test]
+    fn policy_and_allocator_axes_resolve() {
+        let space = DesignSpace::new(ScenarioSpec::new().seconds(2))
+            .with_axis(DesignAxis::policies([
+                PolicyKind::AcLb,
+                PolicyKind::LcMigration { seed: 42 },
+            ]))
+            .with_axis(DesignAxis::allocators(AllocatorPreset::all()));
+        assert_eq!(space.len(), 6);
+        let pts = space.points();
+        assert_eq!(space.label_of(&pts[0]), "AC_LB, niagara");
+        assert_eq!(space.label_of(&pts[5]), "LC_MIG, mixed-accelerator");
+        // The policy axis steers the coolant the way a study would.
+        let air = space.spec(&pts[0]).unwrap();
+        assert_eq!(air.coolant_choice(), &CoolantChoice::Air);
+        let wet = space.spec(&pts[5]).unwrap();
+        assert_eq!(wet.coolant_choice(), &CoolantChoice::Water);
+        assert_eq!(wet.allocator_preset(), AllocatorPreset::MixedAccelerator);
+        assert!(air.build().is_ok());
+        assert!(wet.build().is_ok());
     }
 
     #[test]

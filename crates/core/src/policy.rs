@@ -1,7 +1,16 @@
-//! Run-time thermal-management policies (§IV.A).
+//! Run-time thermal-management policies (§IV.A), generalized to per-block
+//! actuation: per-core DVFS levels, task migration as demand reassignment
+//! across cores (and therefore across tiers), and coolant flow.
+//!
+//! The DVFS mathematics (level selection, occupancy, dynamic scaling) live
+//! in `cmosaic_power::VfTable` — policies only pick levels through
+//! [`VfTable::level_for_demand`], so the power model and the policies can
+//! never disagree about what a level means.
 
 use cmosaic_materials::units::{Kelvin, VolumetricFlow};
 use cmosaic_power::dvfs::VfTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::fuzzy::FuzzyController;
 
@@ -12,9 +21,16 @@ pub const RELEASE: f64 = 82.0;
 /// Queue-imbalance threshold of the load balancer (fraction of nominal
 /// throughput).
 pub const LB_THRESHOLD: f64 = 0.1;
+/// Minimum donor/recipient temperature gap (K) that still justifies a
+/// migration; below it the migration policies leave the assignment alone.
+pub const MIGRATION_DELTA: f64 = 2.0;
+/// DVFS head-room: demand margin added before choosing the slowest
+/// adequate V/f point, shared by every utilization-guided policy.
+pub const VF_MARGIN: f64 = 0.05;
 
-/// The policy configurations evaluated in Figs. 6–7, plus the
-/// flow-only ablation used to isolate the benefit of joint control.
+/// The policy configurations evaluated in Figs. 6–7, the flow-only
+/// ablation, and the per-block actuation policies (task migration,
+/// tier-granular DVFS).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// `AC_LB`: air-cooled, load balancing only.
@@ -31,15 +47,31 @@ pub enum PolicyKind {
     /// attributes LC_FUZZY's win to "the joint control of flow rate and
     /// DVFS"; this variant quantifies that claim.
     LcFuzzyFlowOnly,
+    /// `LC_MIG`: liquid-cooled at maximum flow, temperature-driven task
+    /// migration (hot cores shed work to the coolest cores, across
+    /// tiers). The seed drives the randomized migration fraction and
+    /// makes runs reproducible.
+    LcMigration {
+        /// Seed of the migration-fraction RNG.
+        seed: u64,
+    },
+    /// `LC_MIG_FUZZY`: task migration combined with the fuzzy flow
+    /// controller — migration flattens the hotspots, the fuzzy rule base
+    /// then lowers the flow they no longer require.
+    LcMigrationFuzzy {
+        /// Seed of the migration-fraction RNG.
+        seed: u64,
+    },
+    /// `LC_TDVFS`: liquid-cooled at maximum flow with *tier-granular*
+    /// temperature-triggered DVFS — every core of a tier shares one V/f
+    /// level, stepped on the tier's hottest core.
+    LcTierDvfs,
 }
 
 impl PolicyKind {
     /// `true` for the liquid-cooled configurations.
     pub fn is_liquid_cooled(self) -> bool {
-        matches!(
-            self,
-            PolicyKind::LcLb | PolicyKind::LcFuzzy | PolicyKind::LcFuzzyFlowOnly
-        )
+        !matches!(self, PolicyKind::AcLb | PolicyKind::AcTdvfsLb)
     }
 
     /// The four policies of the paper's figures, in plot order.
@@ -52,14 +84,18 @@ impl PolicyKind {
         ]
     }
 
-    /// Every implemented policy, including ablations.
-    pub fn all() -> [PolicyKind; 5] {
+    /// Every implemented policy, including ablations and the per-block
+    /// actuation policies (migration variants at the default seed).
+    pub fn all() -> [PolicyKind; 8] {
         [
             PolicyKind::AcLb,
             PolicyKind::AcTdvfsLb,
             PolicyKind::LcLb,
             PolicyKind::LcFuzzy,
             PolicyKind::LcFuzzyFlowOnly,
+            PolicyKind::LcMigration { seed: 42 },
+            PolicyKind::LcMigrationFuzzy { seed: 42 },
+            PolicyKind::LcTierDvfs,
         ]
     }
 }
@@ -72,12 +108,15 @@ impl std::fmt::Display for PolicyKind {
             PolicyKind::LcLb => "LC_LB",
             PolicyKind::LcFuzzy => "LC_FUZZY",
             PolicyKind::LcFuzzyFlowOnly => "LC_FUZZY_FLOW",
+            PolicyKind::LcMigration { .. } => "LC_MIG",
+            PolicyKind::LcMigrationFuzzy { .. } => "LC_MIG_FUZZY",
+            PolicyKind::LcTierDvfs => "LC_TDVFS",
         })
     }
 }
 
 /// What the policy observes at a control step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Observation {
     /// Offered per-core demand from the workload trace (fraction of
     /// nominal throughput).
@@ -86,10 +125,15 @@ pub struct Observation {
     pub core_temps: Vec<Kelvin>,
     /// Maximum junction temperature anywhere in the stack.
     pub max_temp: Kelvin,
+    /// Tier index of each core (same order as `demands`), so policies can
+    /// act at tier granularity and migrations can cross tiers knowingly.
+    /// Empty means "topology unknown" — single-tier behaviour.
+    pub tier_of: Vec<usize>,
 }
 
-/// What the policy decides for the next interval.
-#[derive(Debug, Clone, PartialEq)]
+/// What the policy decides for the next interval: the per-block actuation
+/// state the simulator re-prices the power map from.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Action {
     /// Per-core demand after migration/balancing.
     pub assigned: Vec<f64>,
@@ -99,27 +143,27 @@ pub struct Action {
     pub flow: Option<VolumetricFlow>,
 }
 
-/// Dynamic load balancing: move work from the longest queue to the
-/// shortest until the spread falls below [`LB_THRESHOLD`].
+/// Dynamic load balancing in place: move work from the longest queue to
+/// the shortest until the spread falls below [`LB_THRESHOLD`].
 ///
-/// This is the `LB` building block every evaluated policy uses ("moves
-/// threads from a core's queue to another if the difference in queue
-/// lengths is over a threshold").
-pub fn load_balance(demands: &[f64]) -> Vec<f64> {
-    let mut q = demands.to_vec();
+/// This is the `LB` building block ("moves threads from a core's queue to
+/// another if the difference in queue lengths is over a threshold").
+/// Ties break on the index through the iteration order, and `total_cmp`
+/// keeps the ordering total, so the result is deterministic.
+pub fn load_balance_in_place(q: &mut [f64]) {
     if q.is_empty() {
-        return q;
+        return;
     }
     for _ in 0..q.len() * 4 {
         let (imax, &dmax) = q
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty");
         let (imin, &dmin) = q
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty");
         if dmax - dmin <= LB_THRESHOLD {
             break;
@@ -128,17 +172,52 @@ pub fn load_balance(demands: &[f64]) -> Vec<f64> {
         q[imax] -= transfer;
         q[imin] += transfer;
     }
+}
+
+/// Allocating convenience wrapper over [`load_balance_in_place`].
+pub fn load_balance(demands: &[f64]) -> Vec<f64> {
+    let mut q = demands.to_vec();
+    load_balance_in_place(&mut q);
     q
 }
 
-/// A run-time thermal management policy: one `decide` call per control
+/// Thermal guard shared by the DVFS-capable policies: any core over
+/// [`THRESHOLD`] is forced down one more level regardless of its load.
+fn thermal_guard(vf: &VfTable, levels: &mut [usize], temps: &[Kelvin]) {
+    for (lvl, t) in levels.iter_mut().zip(temps) {
+        if t.to_celsius().0 > THRESHOLD {
+            *lvl = (*lvl + 1).min(vf.slowest());
+        }
+    }
+}
+
+/// A run-time thermal management policy: one decision per control
 /// interval.
 pub trait Policy {
     /// Policy name for reports.
     fn kind(&self) -> PolicyKind;
 
-    /// Computes the action for the next interval.
-    fn decide(&mut self, obs: &Observation) -> Action;
+    /// Computes the action for the next interval into a reused buffer.
+    /// Implementations `clear()` and refill the action's vectors, so the
+    /// warm path allocates nothing once the buffers have grown.
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action);
+
+    /// Allocating convenience wrapper over
+    /// [`Policy::decide_into`].
+    fn decide(&mut self, obs: &Observation) -> Action {
+        let mut action = Action::default();
+        self.decide_into(obs, &mut action);
+        action
+    }
+}
+
+/// Resets an action's buffers and copies the balanced demands in.
+fn fill_balanced(obs: &Observation, action: &mut Action) {
+    action.assigned.clear();
+    action.assigned.extend_from_slice(&obs.demands);
+    load_balance_in_place(&mut action.assigned);
+    action.vf_levels.clear();
+    action.flow = None;
 }
 
 /// `AC_LB` — load balancing only, nominal V/f, no coolant.
@@ -150,12 +229,9 @@ impl Policy for AcLbPolicy {
         PolicyKind::AcLb
     }
 
-    fn decide(&mut self, obs: &Observation) -> Action {
-        Action {
-            assigned: load_balance(&obs.demands),
-            vf_levels: vec![0; obs.demands.len()],
-            flow: None,
-        }
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action) {
+        fill_balanced(obs, action);
+        action.vf_levels.resize(obs.demands.len(), 0);
     }
 }
 
@@ -183,7 +259,7 @@ impl Policy for AcTdvfsLbPolicy {
         PolicyKind::AcTdvfsLb
     }
 
-    fn decide(&mut self, obs: &Observation) -> Action {
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action) {
         debug_assert_eq!(obs.core_temps.len(), self.levels.len());
         for (lvl, t) in self.levels.iter_mut().zip(&obs.core_temps) {
             let t_c = t.to_celsius().0;
@@ -193,11 +269,8 @@ impl Policy for AcTdvfsLbPolicy {
                 *lvl -= 1;
             }
         }
-        Action {
-            assigned: load_balance(&obs.demands),
-            vf_levels: self.levels.clone(),
-            flow: None,
-        }
+        fill_balanced(obs, action);
+        action.vf_levels.extend_from_slice(&self.levels);
     }
 }
 
@@ -228,12 +301,10 @@ impl Policy for LcLbPolicy {
         PolicyKind::LcLb
     }
 
-    fn decide(&mut self, obs: &Observation) -> Action {
-        Action {
-            assigned: load_balance(&obs.demands),
-            vf_levels: vec![0; obs.demands.len()],
-            flow: Some(self.flow),
-        }
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action) {
+        fill_balanced(obs, action);
+        action.vf_levels.resize(obs.demands.len(), 0);
+        action.flow = Some(self.flow);
     }
 }
 
@@ -244,9 +315,6 @@ impl Policy for LcLbPolicy {
 pub struct LcFuzzyPolicy {
     fuzzy: FuzzyController,
     vf: VfTable,
-    /// Head-room added to the demand before choosing the slowest adequate
-    /// V/f point, so utilization tracking stays performance-neutral.
-    margin: f64,
     /// When `false`, cores stay at nominal V/f (the flow-only ablation).
     use_dvfs: bool,
 }
@@ -257,7 +325,6 @@ impl LcFuzzyPolicy {
         LcFuzzyPolicy {
             fuzzy: FuzzyController::table1(),
             vf: VfTable::niagara(),
-            margin: 0.05,
             use_dvfs: true,
         }
     }
@@ -268,19 +335,6 @@ impl LcFuzzyPolicy {
             use_dvfs: false,
             ..LcFuzzyPolicy::new()
         }
-    }
-
-    /// The slowest V/f level that still serves `demand` with margin.
-    fn vf_for_demand(&self, demand: f64) -> usize {
-        let need = (demand + self.margin).min(1.0);
-        let mut best = 0;
-        for lvl in (0..=self.vf.slowest()).rev() {
-            if self.vf.speed(lvl) >= need {
-                best = lvl;
-                break;
-            }
-        }
-        best
     }
 }
 
@@ -299,37 +353,198 @@ impl Policy for LcFuzzyPolicy {
         }
     }
 
-    fn decide(&mut self, obs: &Observation) -> Action {
-        let assigned = load_balance(&obs.demands);
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action) {
+        fill_balanced(obs, action);
+        let assigned = &action.assigned;
         let mean_util = if assigned.is_empty() {
             0.0
         } else {
             assigned.iter().sum::<f64>() / assigned.len() as f64
         };
-        let flow = self.fuzzy.flow_rate(obs.max_temp, mean_util);
-        let mut vf_levels: Vec<usize> = if self.use_dvfs {
-            assigned.iter().map(|&d| self.vf_for_demand(d)).collect()
-        } else {
-            vec![0; assigned.len()]
-        };
-        // Thermal guard: a core over the threshold is forced down one more
-        // level regardless of its load (kept even in the flow-only
-        // ablation — it is a safety net, not an energy feature).
-        for (lvl, t) in vf_levels.iter_mut().zip(&obs.core_temps) {
-            if t.to_celsius().0 > THRESHOLD {
-                *lvl = (*lvl + 1).min(self.vf.slowest());
+        if self.use_dvfs {
+            for i in 0..action.assigned.len() {
+                let lvl = self.vf.level_for_demand(action.assigned[i], VF_MARGIN);
+                action.vf_levels.push(lvl);
             }
+        } else {
+            action.vf_levels.resize(action.assigned.len(), 0);
         }
-        Action {
-            assigned,
-            vf_levels,
-            flow: Some(flow),
+        // The thermal safety net applies even in the flow-only ablation.
+        thermal_guard(&self.vf, &mut action.vf_levels, &obs.core_temps);
+        action.flow = Some(self.fuzzy.flow_rate(obs.max_temp, mean_util));
+    }
+}
+
+/// `LC_MIG` / `LC_MIG_FUZZY` — temperature-driven task migration.
+///
+/// Each interval the cores are sorted hottest-first (`total_cmp`, index
+/// tie-break) and paired hottest-with-coolest; every pair whose gap
+/// exceeds [`MIGRATION_DELTA`] migrates a randomized fraction
+/// (≈ 37–63 %) of the transferable demand from the hot donor to the cool
+/// recipient. The randomization de-synchronizes the policy from periodic
+/// workloads (a fixed fraction can lock onto a ping-pong oscillation);
+/// seeding the RNG keeps every run bit-reproducible.
+///
+/// The combined variant routes the post-migration state through the fuzzy
+/// flow controller: migration flattens the hotspots, the rule base then
+/// lowers the flow they no longer require. The plain variant pumps at the
+/// Table I maximum, isolating migration's effect.
+#[derive(Debug, Clone)]
+pub struct TaskMigrationPolicy {
+    seed: u64,
+    rng: StdRng,
+    fuzzy: Option<FuzzyController>,
+    max_flow: VolumetricFlow,
+    /// Scratch: core indices sorted hottest-first.
+    order: Vec<usize>,
+}
+
+impl TaskMigrationPolicy {
+    /// Migration at the fixed Table I maximum flow.
+    pub fn new(seed: u64) -> Self {
+        TaskMigrationPolicy {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            fuzzy: None,
+            max_flow: VolumetricFlow::from_ml_per_min(32.3),
+            order: Vec::new(),
+        }
+    }
+
+    /// Migration combined with the fuzzy flow controller.
+    pub fn with_fuzzy(seed: u64) -> Self {
+        TaskMigrationPolicy {
+            fuzzy: Some(FuzzyController::table1()),
+            ..TaskMigrationPolicy::new(seed)
         }
     }
 }
 
+impl Policy for TaskMigrationPolicy {
+    fn kind(&self) -> PolicyKind {
+        match self.fuzzy {
+            None => PolicyKind::LcMigration { seed: self.seed },
+            Some(_) => PolicyKind::LcMigrationFuzzy { seed: self.seed },
+        }
+    }
+
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action) {
+        let n = obs.demands.len();
+        action.assigned.clear();
+        action.assigned.extend_from_slice(&obs.demands);
+        action.vf_levels.clear();
+        action.vf_levels.resize(n, 0);
+
+        debug_assert_eq!(obs.core_temps.len(), n);
+        self.order.clear();
+        self.order.extend(0..n);
+        let temps = &obs.core_temps;
+        self.order
+            .sort_unstable_by(|&a, &b| temps[b].0.total_cmp(&temps[a].0).then(a.cmp(&b)));
+
+        let (mut hot, mut cool) = (0usize, n.saturating_sub(1));
+        while hot < cool {
+            let donor = self.order[hot];
+            let recip = self.order[cool];
+            if temps[donor].0 - temps[recip].0 < MIGRATION_DELTA {
+                break;
+            }
+            // Randomized migration fraction in [0.375, 0.625].
+            let frac = 0.5 * (0.75 + 0.5 * self.rng.random::<f64>());
+            let room = (1.0 - action.assigned[recip]).max(0.0);
+            let transfer = frac * action.assigned[donor].min(room);
+            action.assigned[donor] -= transfer;
+            action.assigned[recip] += transfer;
+            hot += 1;
+            cool -= 1;
+        }
+
+        action.flow = Some(match &self.fuzzy {
+            Some(fuzzy) => {
+                let mean_util = if n == 0 {
+                    0.0
+                } else {
+                    action.assigned.iter().sum::<f64>() / n as f64
+                };
+                fuzzy.flow_rate(obs.max_temp, mean_util)
+            }
+            None => self.max_flow,
+        });
+    }
+}
+
+/// `LC_TDVFS` — tier-granular temperature-triggered DVFS: every core of a
+/// tier shares one V/f level, stepped up/down on the tier's hottest core
+/// with the paper's 85 °C / 82 °C hysteresis, at the fixed maximum flow.
+/// The shared level models a per-tier voltage rail — the common
+/// constraint in TSV-stacked designs where each die has its own supply.
+#[derive(Debug, Clone)]
+pub struct TierDvfsPolicy {
+    vf: VfTable,
+    /// One V/f level per tier (grown on demand from `tier_of`).
+    levels: Vec<usize>,
+    /// Scratch: per-tier hottest core temperature, °C.
+    tier_max_c: Vec<f64>,
+    flow: VolumetricFlow,
+}
+
+impl TierDvfsPolicy {
+    /// Creates the policy with the Niagara VF table.
+    pub fn new() -> Self {
+        TierDvfsPolicy {
+            vf: VfTable::niagara(),
+            levels: Vec::new(),
+            tier_max_c: Vec::new(),
+            flow: VolumetricFlow::from_ml_per_min(32.3),
+        }
+    }
+}
+
+impl Default for TierDvfsPolicy {
+    fn default() -> Self {
+        TierDvfsPolicy::new()
+    }
+}
+
+impl Policy for TierDvfsPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LcTierDvfs
+    }
+
+    fn decide_into(&mut self, obs: &Observation, action: &mut Action) {
+        fill_balanced(obs, action);
+        let n = obs.demands.len();
+        let n_tiers = obs.tier_of.iter().copied().max().map_or(1, |m| m + 1);
+        if self.levels.len() < n_tiers {
+            self.levels.resize(n_tiers, 0);
+        }
+        self.tier_max_c.clear();
+        self.tier_max_c.resize(n_tiers, f64::NEG_INFINITY);
+        for (i, t) in obs.core_temps.iter().enumerate() {
+            let tier = obs.tier_of.get(i).copied().unwrap_or(0);
+            let t_c = t.to_celsius().0;
+            if t_c > self.tier_max_c[tier] {
+                self.tier_max_c[tier] = t_c;
+            }
+        }
+        for (lvl, &t_c) in self.levels.iter_mut().zip(&self.tier_max_c) {
+            if t_c > THRESHOLD {
+                *lvl = (*lvl + 1).min(self.vf.slowest());
+            } else if t_c < RELEASE && *lvl > 0 {
+                *lvl -= 1;
+            }
+        }
+        for i in 0..n {
+            let tier = obs.tier_of.get(i).copied().unwrap_or(0);
+            action.vf_levels.push(self.levels[tier]);
+        }
+        action.flow = Some(self.flow);
+    }
+}
+
 /// Instantiates the policy implementation for a configuration with
-/// `cores` cores.
+/// `cores` cores. This is the only construction path the simulator and
+/// the scenario layer use.
 pub fn make_policy(kind: PolicyKind, cores: usize) -> Box<dyn Policy> {
     match kind {
         PolicyKind::AcLb => Box::new(AcLbPolicy),
@@ -337,6 +552,9 @@ pub fn make_policy(kind: PolicyKind, cores: usize) -> Box<dyn Policy> {
         PolicyKind::LcLb => Box::new(LcLbPolicy::new()),
         PolicyKind::LcFuzzy => Box::new(LcFuzzyPolicy::new()),
         PolicyKind::LcFuzzyFlowOnly => Box::new(LcFuzzyPolicy::flow_only()),
+        PolicyKind::LcMigration { seed } => Box::new(TaskMigrationPolicy::new(seed)),
+        PolicyKind::LcMigrationFuzzy { seed } => Box::new(TaskMigrationPolicy::with_fuzzy(seed)),
+        PolicyKind::LcTierDvfs => Box::new(TierDvfsPolicy::new()),
     }
 }
 
@@ -350,6 +568,7 @@ mod tests {
             demands: demands.to_vec(),
             core_temps: temps_c.iter().map(|&t| Celsius(t).to_kelvin()).collect(),
             max_temp: Celsius(temps_c.iter().copied().fold(0.0, f64::max)).to_kelvin(),
+            tier_of: vec![0; demands.len()],
         }
     }
 
@@ -439,13 +658,83 @@ mod tests {
     }
 
     #[test]
+    fn migration_moves_work_from_hot_to_cool() {
+        let mut p = TaskMigrationPolicy::new(7);
+        // Core 0 hot and loaded, core 3 cool and idle.
+        let a = p.decide(&obs(&[0.9, 0.5, 0.5, 0.1], &[92.0, 70.0, 71.0, 50.0]));
+        assert!(a.assigned[0] < 0.9, "hot donor sheds work");
+        assert!(a.assigned[3] > 0.1, "cool recipient gains work");
+        let total: f64 = a.assigned.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9, "work is conserved");
+        assert_eq!(a.vf_levels, vec![0; 4], "migration keeps nominal V/f");
+        let q = a.flow.expect("liquid cooled").to_ml_per_min();
+        assert!((q - 32.3).abs() < 1e-9, "plain variant pumps at max");
+    }
+
+    #[test]
+    fn migration_respects_the_temperature_gap() {
+        let mut p = TaskMigrationPolicy::new(7);
+        // All cores within MIGRATION_DELTA: nothing moves.
+        let a = p.decide(&obs(&[0.9, 0.1], &[60.0, 59.5]));
+        assert_eq!(a.assigned, vec![0.9, 0.1]);
+    }
+
+    #[test]
+    fn migration_is_deterministic_per_seed() {
+        let o = obs(&[0.9, 0.8, 0.2, 0.1], &[92.0, 90.0, 55.0, 50.0]);
+        let run = |seed: u64| {
+            let mut p = TaskMigrationPolicy::new(seed);
+            (0..5).map(|_| p.decide(&o).assigned).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42), "same seed, same trajectory");
+        assert_ne!(run(42), run(43), "different seed, different fractions");
+    }
+
+    #[test]
+    fn combined_variant_lowers_flow_when_cool() {
+        let mut p = TaskMigrationPolicy::with_fuzzy(42);
+        assert_eq!(p.kind(), PolicyKind::LcMigrationFuzzy { seed: 42 });
+        let a = p.decide(&obs(&[0.2, 0.2], &[50.0, 51.0]));
+        let q = a.flow.expect("liquid cooled").to_ml_per_min();
+        assert!(q < 15.0, "cool chip should not pump at max, got {q}");
+    }
+
+    #[test]
+    fn tier_dvfs_steps_the_hot_tier_only() {
+        let mut p = TierDvfsPolicy::new();
+        let mut o = obs(&[0.5; 4], &[90.0, 88.0, 60.0, 61.0]);
+        o.tier_of = vec![0, 0, 1, 1];
+        let a = p.decide(&o);
+        assert_eq!(a.vf_levels, vec![1, 1, 0, 0], "only tier 0 scales down");
+        // Tier 0 cools below release: it steps back up.
+        let mut o2 = obs(&[0.5; 4], &[70.0, 71.0, 60.0, 61.0]);
+        o2.tier_of = vec![0, 0, 1, 1];
+        let a = p.decide(&o2);
+        assert_eq!(a.vf_levels, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn decide_into_reuses_buffers() {
+        let mut p = LcFuzzyPolicy::new();
+        let o = obs(&[0.5, 0.6], &[60.0, 61.0]);
+        let mut action = Action::default();
+        p.decide_into(&o, &mut action);
+        let first = action.clone();
+        p.decide_into(&o, &mut action);
+        assert_eq!(action, first, "refilling the buffer is idempotent");
+    }
+
+    #[test]
     fn policy_kind_helpers() {
         assert!(PolicyKind::LcFuzzy.is_liquid_cooled());
         assert!(PolicyKind::LcFuzzyFlowOnly.is_liquid_cooled());
+        assert!(PolicyKind::LcMigration { seed: 1 }.is_liquid_cooled());
+        assert!(PolicyKind::LcTierDvfs.is_liquid_cooled());
         assert!(!PolicyKind::AcLb.is_liquid_cooled());
         assert_eq!(PolicyKind::AcTdvfsLb.to_string(), "AC_TDVFS_LB");
+        assert_eq!(PolicyKind::LcMigration { seed: 9 }.to_string(), "LC_MIG");
         assert_eq!(PolicyKind::paper_policies().len(), 4);
-        assert_eq!(PolicyKind::all().len(), 5);
+        assert_eq!(PolicyKind::all().len(), 8);
         for kind in PolicyKind::all() {
             let mut p = make_policy(kind, 4);
             assert_eq!(p.kind(), kind);

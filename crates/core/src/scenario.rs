@@ -40,7 +40,7 @@ use cmosaic_floorplan::stack::{presets, Stack3d};
 use cmosaic_floorplan::GridSpec;
 use cmosaic_materials::units::{Celsius, VolumetricFlow};
 use cmosaic_power::trace::{WorkloadKind, WorkloadTrace};
-use cmosaic_power::PowerModel;
+use cmosaic_power::AllocatorPreset;
 use cmosaic_thermal::{Coolant, SolverBackend, ThermalParams, TwoPhaseCoolant};
 
 use crate::fault::FaultPlan;
@@ -240,7 +240,7 @@ impl FlowSchedule {
 /// spec reproduces the paper's baseline experiment: a 2-tier water-cooled
 /// stack under `LC_FUZZY` on the web-server workload, 12×12 grid, 120 s,
 /// seed 42.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct ScenarioSpec {
     label: Option<String>,
     stack: StackChoice,
@@ -258,6 +258,41 @@ pub struct ScenarioSpec {
     sensor_noise_std: f64,
     sensor_seed: u64,
     fault_plan: FaultPlan,
+    allocator: AllocatorPreset,
+}
+
+/// Fingerprint-stability contract: [`ScenarioSpec::fingerprint`] hashes
+/// this rendering, and fingerprints are cross-process cache keys and
+/// checkpoint identities. The impl therefore replicates the *derived*
+/// rendering for the original fields in declared order, and appends later
+/// additions (`allocator`) **only when they differ from their default** —
+/// so every spec expressible before an addition keeps its exact
+/// fingerprint, while specs exercising the new axis get distinct ones.
+/// Extend the same way: append new fields conditionally, at the end.
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ScenarioSpec");
+        d.field("label", &self.label)
+            .field("stack", &self.stack)
+            .field("coolant", &self.coolant)
+            .field("grid", &self.grid)
+            .field("workload", &self.workload)
+            .field("policy", &self.policy)
+            .field("flow_schedule", &self.flow_schedule)
+            .field("solver", &self.solver)
+            .field("seconds", &self.seconds)
+            .field("seed", &self.seed)
+            .field("thermal_dt", &self.thermal_dt)
+            .field("control_interval", &self.control_interval)
+            .field("threshold", &self.threshold)
+            .field("sensor_noise_std", &self.sensor_noise_std)
+            .field("sensor_seed", &self.sensor_seed)
+            .field("fault_plan", &self.fault_plan);
+        if self.allocator != AllocatorPreset::default() {
+            d.field("allocator", &self.allocator);
+        }
+        d.finish()
+    }
 }
 
 impl Default for ScenarioSpec {
@@ -280,6 +315,7 @@ impl Default for ScenarioSpec {
             sensor_noise_std: sim.sensor_noise_std,
             sensor_seed: sim.sensor_seed,
             fault_plan: FaultPlan::default(),
+            allocator: AllocatorPreset::default(),
         }
     }
 }
@@ -437,6 +473,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Selects the per-block power allocator preset (default
+    /// [`AllocatorPreset::Niagara`]) — the calibration that prices every
+    /// block kind, including heterogeneous DRAM/accelerator tiers.
+    pub fn allocator(mut self, preset: AllocatorPreset) -> Self {
+        self.allocator = preset;
+        self
+    }
+
     // ---- Inspection (what Study axes and aggregators match on).
 
     /// The preset tier count, or `None` for a custom stack.
@@ -483,6 +527,11 @@ impl ScenarioSpec {
     /// The thermal solver backend.
     pub fn solver_backend(&self) -> SolverBackend {
         self.solver
+    }
+
+    /// The per-block power allocator preset.
+    pub fn allocator_preset(&self) -> AllocatorPreset {
+        self.allocator
     }
 
     /// Simulated seconds.
@@ -801,7 +850,7 @@ impl Scenario {
             &self.stack,
             make_policy(self.spec.policy, self.n_cores),
             self.trace.clone(),
-            PowerModel::niagara(),
+            self.spec.allocator.build(),
             self.sim_config.clone(),
         )?;
         sim.set_flow_schedule(self.spec.flow_schedule.clone());
@@ -879,6 +928,53 @@ mod tests {
         fps.push(base.fingerprint());
         let distinct: std::collections::HashSet<u64> = fps.iter().copied().collect();
         assert_eq!(distinct.len(), fps.len(), "{fps:?}");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_actuation_axes_without_moving_the_golden() {
+        // New per-block actuation axes must move the fingerprint — while
+        // the default-spec golden (checked above) stays put because the
+        // manual Debug impl appends `allocator` only when non-default.
+        let base = ScenarioSpec::new();
+        assert!(
+            !format!("{base:?}").contains("allocator"),
+            "default rendering must not mention the allocator axis"
+        );
+        let variants = [
+            base.clone().allocator(AllocatorPreset::MemoryOnLogic),
+            base.clone().allocator(AllocatorPreset::MixedAccelerator),
+            base.clone().policy(PolicyKind::LcMigration { seed: 42 }),
+            base.clone().policy(PolicyKind::LcMigration { seed: 43 }),
+            base.clone()
+                .policy(PolicyKind::LcMigrationFuzzy { seed: 42 }),
+            base.clone().policy(PolicyKind::LcTierDvfs),
+            base.clone()
+                .stack(presets::memory_on_logic(4).unwrap())
+                .allocator(AllocatorPreset::MemoryOnLogic),
+            base.clone().stack(presets::accelerated_mpsoc(4).unwrap()),
+        ];
+        let mut fps: Vec<u64> = variants.iter().map(ScenarioSpec::fingerprint).collect();
+        fps.push(base.fingerprint());
+        let distinct: std::collections::HashSet<u64> = fps.iter().copied().collect();
+        assert_eq!(distinct.len(), fps.len(), "{fps:?}");
+        assert_eq!(base.fingerprint(), GOLDEN_DEFAULT_FP);
+    }
+
+    #[test]
+    fn heterogeneous_preset_scenarios_build_and_run() {
+        let m = ScenarioSpec::new()
+            .stack(presets::memory_on_logic(4).unwrap())
+            .allocator(AllocatorPreset::MemoryOnLogic)
+            .policy(PolicyKind::LcLb)
+            .grid(GridSpec::new(6, 6).unwrap())
+            .thermal_dt(0.5)
+            .seconds(3)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.seconds, 3);
+        assert!(m.chip_energy > 0.0);
     }
 
     #[test]

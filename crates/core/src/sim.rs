@@ -9,6 +9,15 @@
 //! (four sub-steps per control interval). Leakage is re-evaluated from the
 //! current temperatures every interval, closing the electrothermal loop
 //! that produces the 4-tier air-cooled runaway.
+//!
+//! Power is priced per *block*: every control interval the simulator
+//! refreshes one [`BlockState`] per floorplan element (demand, V/f level,
+//! kind) from the policy's action and re-evaluates the per-tier power maps
+//! through the [`PowerAllocator`] — heterogeneous tiers (DRAM,
+//! accelerators) price exactly like homogeneous ones. The whole epoch
+//! pipeline (sensors → observation → decision → block states → power maps)
+//! runs over buffers precomputed at construction, so warm epochs touch the
+//! heap zero times.
 
 use cmosaic_floorplan::plan::ElementKind;
 use cmosaic_floorplan::stack::Stack3d;
@@ -16,7 +25,7 @@ use cmosaic_floorplan::{Floorplan, GridSpec};
 use cmosaic_hydraulics::pump::PumpMap;
 use cmosaic_materials::units::{Celsius, Kelvin, VolumetricFlow};
 use cmosaic_power::trace::WorkloadTrace;
-use cmosaic_power::PowerModel;
+use cmosaic_power::{BlockKind, BlockState, PowerAllocator};
 use cmosaic_thermal::{TemperatureField, ThermalModel, ThermalParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +33,7 @@ use rand::{Rng, SeedableRng};
 use crate::fault::FaultPlan;
 use crate::metrics::{MetricsAccumulator, RunMetrics};
 use crate::observe::{EpochCtx, Observer};
-use crate::policy::{Observation, Policy};
+use crate::policy::{Action, Observation, Policy};
 use crate::scenario::FlowSchedule;
 use crate::CmosaicError;
 
@@ -79,14 +88,31 @@ impl Default for SimConfig {
 /// One core's location in the stack: `(tier index, element index)`.
 type CoreRef = (usize, usize);
 
+/// Reused per-epoch buffers of the control loop: the observation and
+/// action the policy fills, the per-block actuation states, and the
+/// per-tier power vectors and maps derived from them. Everything is sized
+/// once at construction, so re-evaluating the power map from block state
+/// every epoch allocates nothing.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    obs: Observation,
+    action: Action,
+    /// Per-tier, per-element junction temperatures (leakage feedback).
+    element_temps: Vec<Vec<Kelvin>>,
+    /// Per-tier, per-element actuation states.
+    states: Vec<Vec<BlockState>>,
+    /// Per-element power scratch of the tier currently being priced.
+    powers: Vec<f64>,
+    /// Per-tier power maps fed to the thermal operator.
+    maps: Vec<Vec<f64>>,
+}
+
 /// The co-simulation of one 3D MPSoC under one policy and one workload.
 pub struct Simulator {
     stack_name: String,
     tier_plans: Vec<Floorplan>,
-    width: f64,
-    height: f64,
     model: ThermalModel,
-    power: PowerModel,
+    allocator: PowerAllocator,
     policy: Box<dyn Policy>,
     trace: WorkloadTrace,
     config: SimConfig,
@@ -95,6 +121,10 @@ pub struct Simulator {
     cores: Vec<CoreRef>,
     /// Per-tier list of positions into `cores` (for demand slicing).
     tier_core_slots: Vec<Vec<usize>>,
+    /// Per-tier, per-element `(cell, weight)` lists on the thermal grid,
+    /// precomputed once so per-epoch averaging and power-map scatter
+    /// never re-derive geometry (or allocate).
+    elem_weights: Vec<Vec<Vec<(usize, f64)>>>,
     acc: MetricsAccumulator,
     seconds_run: usize,
     current_flow: Option<VolumetricFlow>,
@@ -107,6 +137,8 @@ pub struct Simulator {
     scratch_field: Option<TemperatureField>,
     /// Reused per-core sensor-reading buffer of the sub-step loop.
     temp_scratch: Vec<Kelvin>,
+    /// Reused per-epoch control-loop buffers.
+    scratch: EpochScratch,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -131,16 +163,18 @@ impl Simulator {
         stack: &Stack3d,
         policy: Box<dyn Policy>,
         trace: WorkloadTrace,
-        power: PowerModel,
+        allocator: PowerAllocator,
         config: SimConfig,
     ) -> Result<Self, CmosaicError> {
         let tier_plans: Vec<Floorplan> = stack.tiers().to_vec();
         let mut cores = Vec::new();
         let mut tier_core_slots = vec![Vec::new(); tier_plans.len()];
+        let mut tier_of = Vec::new();
         for (tier, plan) in tier_plans.iter().enumerate() {
             for e in plan.indices_of_kind(ElementKind::Core) {
                 tier_core_slots[tier].push(cores.len());
                 cores.push((tier, e));
+                tier_of.push(tier);
             }
         }
         if trace.cores() != cores.len() {
@@ -163,15 +197,48 @@ impl Simulator {
             });
         }
         let model = ThermalModel::new(stack, config.grid, config.thermal.clone())?;
+        let (width, height) = (stack.width(), stack.height());
+        let elem_weights: Vec<Vec<Vec<(usize, f64)>>> = tier_plans
+            .iter()
+            .map(|plan| {
+                plan.elements()
+                    .iter()
+                    .map(|e| config.grid.region_weights(e.rect(), width, height))
+                    .collect()
+            })
+            .collect();
+        let scratch = EpochScratch {
+            obs: Observation {
+                tier_of,
+                ..Observation::default()
+            },
+            action: Action::default(),
+            element_temps: tier_plans
+                .iter()
+                .map(|p| vec![Kelvin::default(); p.elements().len()])
+                .collect(),
+            states: tier_plans
+                .iter()
+                .map(|p| {
+                    p.elements()
+                        .iter()
+                        .map(|e| BlockState::idle(BlockKind::from(e.kind())))
+                        .collect()
+                })
+                .collect(),
+            powers: Vec::new(),
+            maps: tier_plans
+                .iter()
+                .map(|_| vec![0.0; config.grid.cell_count()])
+                .collect(),
+        };
         let n_cores = cores.len();
         let sensor_seed = config.sensor_seed;
         Ok(Simulator {
             stack_name: stack.name().to_string(),
             tier_plans,
-            width: stack.width(),
-            height: stack.height(),
             model,
-            power,
+            allocator,
             policy,
             trace,
             config,
@@ -179,6 +246,7 @@ impl Simulator {
             n_cavities: stack.cavity_count(),
             cores,
             tier_core_slots,
+            elem_weights,
             acc: MetricsAccumulator::new(n_cores),
             seconds_run: 0,
             current_flow: None,
@@ -186,6 +254,7 @@ impl Simulator {
             sensor_rng: StdRng::seed_from_u64(sensor_seed),
             scratch_field: None,
             temp_scratch: Vec::new(),
+            scratch,
         })
     }
 
@@ -228,13 +297,27 @@ impl Simulator {
         self.model.cached_operators()
     }
 
+    /// Area-weighted average of one element's source-layer cells through
+    /// the precomputed weight list (allocation-free).
+    fn element_average(&self, field: &TemperatureField, tier: usize, element: usize) -> Kelvin {
+        let cells = field.tier(tier);
+        Kelvin(
+            self.elem_weights[tier][element]
+                .iter()
+                .map(|&(c, f)| cells[c] * f)
+                .sum(),
+        )
+    }
+
     /// Per-core sensor readings (area-averaged junction temperature) into
     /// a reused buffer — allocation-free once `out` has warmed up.
     fn core_temps_into(&self, field: &TemperatureField, out: &mut Vec<Kelvin>) {
         out.clear();
-        out.extend(self.cores.iter().map(|&(tier, e)| {
-            field.element_average(&self.config.grid, &self.tier_plans[tier], tier, e)
-        }));
+        out.extend(
+            self.cores
+                .iter()
+                .map(|&(tier, e)| self.element_average(field, tier, e)),
+        );
     }
 
     /// Thermal-solver analysis snapshot for sharing with other simulators
@@ -259,43 +342,65 @@ impl Simulator {
             .fold(Kelvin(f64::NEG_INFINITY), Kelvin::max)
     }
 
-    /// Per-tier element temperatures (for the leakage model).
-    fn element_temps(&self, field: &TemperatureField) -> Vec<Vec<Kelvin>> {
-        self.tier_plans
-            .iter()
-            .enumerate()
-            .map(|(tier, plan)| {
-                (0..plan.elements().len())
-                    .map(|e| field.element_average(&self.config.grid, plan, tier, e))
-                    .collect()
-            })
-            .collect()
+    /// Per-tier element temperatures (for the leakage model) into the
+    /// pre-sized scratch — allocation-free.
+    fn element_temps_into(&self, field: &TemperatureField, out: &mut [Vec<Kelvin>]) {
+        for (tier, temps) in out.iter_mut().enumerate() {
+            for (e, slot) in temps.iter_mut().enumerate() {
+                *slot = self.element_average(field, tier, e);
+            }
+        }
     }
 
-    /// Per-tier power maps for the given assignment.
-    fn tier_power_maps(
-        &self,
-        assigned: &[f64],
-        vf_levels: &[usize],
-        element_temps: &[Vec<Kelvin>],
-    ) -> Result<(Vec<Vec<f64>>, f64), CmosaicError> {
-        let mut maps = Vec::with_capacity(self.tier_plans.len());
+    /// Refreshes the per-block actuation states from the policy's action:
+    /// cores take their assigned demand and V/f level; uncore blocks (L2,
+    /// crossbar, DRAM, accelerators) see the mean demand of the tier's
+    /// cores — or the chip-wide mean on tiers without cores (a cache or
+    /// memory tier serves the whole chip).
+    fn fill_block_states(&mut self, assigned: &[f64], vf_levels: &[usize]) {
+        let chip_mean = if assigned.is_empty() {
+            0.0
+        } else {
+            assigned.iter().sum::<f64>() / assigned.len() as f64
+        };
+        for (tier, states) in self.scratch.states.iter_mut().enumerate() {
+            let slots = &self.tier_core_slots[tier];
+            let mean = if slots.is_empty() {
+                chip_mean
+            } else {
+                slots.iter().map(|&s| assigned[s]).sum::<f64>() / slots.len() as f64
+            };
+            let mut core_cursor = 0;
+            for state in states.iter_mut() {
+                match state.kind {
+                    BlockKind::Core => {
+                        let slot = slots[core_cursor];
+                        core_cursor += 1;
+                        state.demand = assigned[slot];
+                        state.vf_level = vf_levels[slot];
+                    }
+                    _ => {
+                        state.demand = mean;
+                        state.vf_level = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-prices every tier from the current block states and element
+    /// temperatures and scatters the result onto the per-tier power maps.
+    /// Returns the total chip power. Allocation-free on the warm path.
+    fn power_maps_into(&mut self) -> Result<f64, CmosaicError> {
         let mut chip_power = 0.0;
         for (tier, plan) in self.tier_plans.iter().enumerate() {
-            let slots = &self.tier_core_slots[tier];
-            let (demands, vf): (Vec<f64>, Vec<usize>) = if slots.is_empty() {
-                // Cache tier: the power model only needs the mean demand.
-                (assigned.to_vec(), vec![0; assigned.len()])
-            } else {
-                (
-                    slots.iter().map(|&s| assigned[s]).collect(),
-                    slots.iter().map(|&s| vf_levels[s]).collect(),
-                )
-            };
-            let powers = self
-                .power
-                .tier_powers(plan, &demands, &vf, &element_temps[tier])?;
-            let tier_power: f64 = powers.iter().sum();
+            self.allocator.tier_powers_into(
+                plan,
+                &self.scratch.states[tier],
+                &self.scratch.element_temps[tier],
+                &mut self.scratch.powers,
+            )?;
+            let tier_power: f64 = self.scratch.powers.iter().sum();
             if !tier_power.is_finite() {
                 // A non-finite power map (leakage feedback off a diverged
                 // field, or a corrupt trace that slipped past validation)
@@ -305,13 +410,18 @@ impl Simulator {
                 });
             }
             chip_power += tier_power;
-            maps.push(
-                self.config
-                    .grid
-                    .power_map(plan, &powers, self.width, self.height)?,
-            );
+            let map = &mut self.scratch.maps[tier];
+            map.iter_mut().for_each(|c| *c = 0.0);
+            for (weights, &p) in self.elem_weights[tier].iter().zip(&self.scratch.powers) {
+                if p == 0.0 {
+                    continue;
+                }
+                for &(cell, frac) in weights {
+                    map[cell] += p * frac;
+                }
+            }
         }
-        Ok((maps, chip_power))
+        Ok(chip_power)
     }
 
     /// Initialises the thermal state with a steady-state solve at the
@@ -330,29 +440,30 @@ impl Simulator {
             self.current_flow = Some(q);
         }
         let demands = self.trace.row(0).to_vec();
+        let vf = vec![0usize; self.cores.len()];
         let warm = Celsius(55.0).to_kelvin();
-        let mut element_temps: Vec<Vec<Kelvin>> = self
-            .tier_plans
-            .iter()
-            .map(|p| vec![warm; p.elements().len()])
-            .collect();
+        for temps in self.scratch.element_temps.iter_mut() {
+            temps.iter_mut().for_each(|t| *t = warm);
+        }
         // Two fixed-point sweeps couple leakage and temperature.
         for _ in 0..2 {
-            let vf = vec![0usize; self.cores.len()];
-            let (maps, _) = self.tier_power_maps(&demands, &vf, &element_temps)?;
-            let field = self.model.steady_state(&maps)?;
-            element_temps = self.element_temps(&field);
+            self.fill_block_states(&demands, &vf);
+            self.power_maps_into()?;
+            let field = self.model.steady_state(&self.scratch.maps)?;
+            let mut element_temps = std::mem::take(&mut self.scratch.element_temps);
+            self.element_temps_into(&field, &mut element_temps);
+            self.scratch.element_temps = element_temps;
         }
         Ok(())
     }
 
     /// Runs `seconds` control intervals, accumulating metrics.
     ///
-    /// The sub-step hot loop runs through the thermal model's
-    /// zero-allocation path ([`ThermalModel::step_into`]) with one reused
-    /// temperature-field buffer and one reused sensor buffer, so warm
-    /// sub-steps touch the heap zero times; per-interval work (policy
-    /// observation, power-map assembly) allocates a small constant amount.
+    /// The whole epoch pipeline — sensing, observation, policy decision,
+    /// block-state refresh, power-map assembly and the thermal sub-steps —
+    /// runs over buffers precomputed at construction
+    /// ([`ThermalModel::step_into`] for the field, an internal epoch
+    /// scratch for the control loop), so warm epochs allocate nothing.
     ///
     /// # Errors
     ///
@@ -426,22 +537,25 @@ impl Simulator {
             }
             self.model.current_field_into(field);
             self.core_temps_into(field, temps);
-            let sensed: Vec<Kelvin> = temps.iter().map(|&k| self.noisy(k)).collect();
-            let sensed_max = self.noisy(self.junction_max(field));
-            let obs = Observation {
-                demands: self.trace.row(self.seconds_run + t).to_vec(),
-                core_temps: sensed,
-                max_temp: sensed_max,
-            };
-            let action = self.policy.decide(&obs);
+            // Refill the reused observation: demands straight from the
+            // trace, sensor readings through the noise model (same RNG
+            // draw order as the readings are listed).
+            let mut obs = std::mem::take(&mut self.scratch.obs);
+            obs.demands.clear();
+            obs.demands.extend_from_slice(self.trace.row(epoch));
+            obs.core_temps.clear();
+            for epoch_t in temps.iter() {
+                let noisy = self.noisy(*epoch_t);
+                obs.core_temps.push(noisy);
+            }
+            obs.max_temp = self.noisy(self.junction_max(field));
+            let mut action = std::mem::take(&mut self.scratch.action);
+            self.policy.decide_into(&obs, &mut action);
 
             // The schedule (if any) outranks the policy's pump command;
             // air-cooled stacks have no pump and two-phase stacks no
             // adjustable flow, so commands are ignored on both.
-            let commanded = self
-                .flow_schedule
-                .flow_at(self.seconds_run + t)
-                .or(action.flow);
+            let commanded = self.flow_schedule.flow_at(epoch).or(action.flow);
             if self.model.is_liquid_cooled() && !self.model.is_two_phase() {
                 if let Some(q) = commanded {
                     if self.current_flow != Some(q) {
@@ -451,9 +565,18 @@ impl Simulator {
                 }
             }
 
-            let element_temps = self.element_temps(field);
-            let (maps, chip_power) =
-                self.tier_power_maps(&action.assigned, &action.vf_levels, &element_temps)?;
+            let mut element_temps = std::mem::take(&mut self.scratch.element_temps);
+            self.element_temps_into(field, &mut element_temps);
+            self.scratch.element_temps = element_temps;
+            self.fill_block_states(&action.assigned, &action.vf_levels);
+            let chip_power = match self.power_maps_into() {
+                Ok(p) => p,
+                Err(e) => {
+                    self.scratch.obs = obs;
+                    self.scratch.action = action;
+                    return Err(e);
+                }
+            };
 
             // Two-phase stacks advance quasi-statically (one steady solve
             // per interval): the thermal model deliberately refuses
@@ -466,10 +589,17 @@ impl Simulator {
             };
             let mut epoch_peak = Kelvin(f64::NEG_INFINITY);
             for _ in 0..interval_steps {
-                if self.model.is_two_phase() {
-                    *field = self.model.steady_state(&maps)?;
+                let step = if self.model.is_two_phase() {
+                    self.model
+                        .steady_state(&self.scratch.maps)
+                        .map(|f| *field = f)
                 } else {
-                    self.model.step_into(&maps, dt, field)?;
+                    self.model.step_into(&self.scratch.maps, dt, field)
+                };
+                if let Err(e) = step {
+                    self.scratch.obs = obs;
+                    self.scratch.action = action;
+                    return Err(e.into());
                 }
                 // Sensor sampling at sub-step granularity (the paper's
                 // 100 ms sensors against our 250 ms steps).
@@ -511,6 +641,8 @@ impl Simulator {
             if let Some((cell, value)) =
                 field.first_non_physical(Kelvin(PHYSICAL_MIN_KELVIN), Kelvin(PHYSICAL_MAX_KELVIN))
             {
+                self.scratch.obs = obs;
+                self.scratch.action = action;
                 return Err(CmosaicError::Diverged { epoch, cell, value });
             }
 
@@ -529,7 +661,7 @@ impl Simulator {
                 // work; serving capacity is determined by the assignment
                 // and V/f level.
                 let assigned = action.assigned[slot];
-                let speed = self.power.vf.speed(action.vf_levels[slot]);
+                let speed = self.allocator.vf().speed(action.vf_levels[slot]);
                 let deferred = (assigned - speed).max(0.0);
                 self.acc.offered_work[slot] += demand * interval;
                 self.acc.deferred_work[slot] += deferred * interval;
@@ -553,6 +685,8 @@ impl Simulator {
                 grid: self.config.grid,
             };
             observer.on_epoch(&ctx);
+            self.scratch.obs = obs;
+            self.scratch.action = action;
             executed = t + 1;
             if observer.should_stop() {
                 break;
@@ -588,8 +722,14 @@ mod tests {
         let n_cores = tiers.div_ceil(2) * 8;
         let trace = workload.generate(n_cores, secs, 11);
         let policy = make_policy(kind, n_cores);
-        let mut sim =
-            Simulator::new(&stack, policy, trace, PowerModel::niagara(), small_config()).unwrap();
+        let mut sim = Simulator::new(
+            &stack,
+            policy,
+            trace,
+            PowerAllocator::niagara(),
+            small_config(),
+        )
+        .unwrap();
         sim.initialize().unwrap();
         sim.run(secs).unwrap()
     }
@@ -634,7 +774,7 @@ mod tests {
             &stack,
             make_policy(PolicyKind::AcLb, 4),
             trace,
-            PowerModel::niagara(),
+            PowerAllocator::niagara(),
             small_config(),
         );
         assert!(matches!(r, Err(CmosaicError::Config { .. })));
@@ -644,7 +784,7 @@ mod tests {
             &stack,
             make_policy(PolicyKind::LcLb, 8),
             trace,
-            PowerModel::niagara(),
+            PowerAllocator::niagara(),
             small_config(),
         );
         assert!(matches!(r, Err(CmosaicError::Config { .. })));
@@ -661,7 +801,7 @@ mod tests {
             &stack,
             make_policy(PolicyKind::LcFuzzy, 8),
             trace,
-            PowerModel::niagara(),
+            PowerAllocator::niagara(),
             small_config(),
         )
         .unwrap();
@@ -686,7 +826,7 @@ mod tests {
             &stack,
             make_policy(PolicyKind::AcLb, 8),
             trace,
-            PowerModel::niagara(),
+            PowerAllocator::niagara(),
             small_config(),
         )
         .unwrap();
@@ -704,6 +844,39 @@ mod tests {
         let a = run(PolicyKind::LcFuzzy, 2, WorkloadKind::Database, 8);
         let b = run(PolicyKind::LcFuzzy, 2, WorkloadKind::Database, 8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn migration_runs_end_to_end_and_conserves_safety() {
+        let m = run(
+            PolicyKind::LcMigration { seed: 42 },
+            2,
+            WorkloadKind::Database,
+            10,
+        );
+        assert_eq!(m.hotspot_time_per_core, 0.0);
+        assert!(m.peak_temperature.to_celsius().0 < 85.0);
+    }
+
+    #[test]
+    fn heterogeneous_stacks_simulate_end_to_end() {
+        // Memory-on-logic: DRAM tiers carry no cores, so the trace spans
+        // only the logic tiers' cores; the allocator prices the DRAM banks.
+        let stack = presets::memory_on_logic(4).unwrap();
+        let n_cores = 16; // 2 core tiers × 8
+        let trace = WorkloadKind::WebServer.generate(n_cores, 5, 11);
+        let mut sim = Simulator::new(
+            &stack,
+            make_policy(PolicyKind::LcLb, n_cores),
+            trace,
+            PowerAllocator::memory_on_logic(),
+            small_config(),
+        )
+        .unwrap();
+        sim.initialize().unwrap();
+        let m = sim.run(5).unwrap();
+        assert!(m.peak_temperature.to_celsius().0 < 85.0);
+        assert!(m.chip_energy > 0.0);
     }
 
     #[test]
@@ -747,7 +920,7 @@ mod tests {
             &stack,
             make_policy(PolicyKind::LcFuzzy, 8),
             trace,
-            PowerModel::niagara(),
+            PowerAllocator::niagara(),
             config,
         )
         .unwrap();

@@ -48,6 +48,7 @@
 use cmosaic_floorplan::stack::Stack3d;
 use cmosaic_floorplan::GridSpec;
 use cmosaic_power::trace::WorkloadKind;
+use cmosaic_power::AllocatorPreset;
 use cmosaic_thermal::SolverBackend;
 
 use std::path::Path;
@@ -95,6 +96,24 @@ impl Study {
                         _ => s,
                     }
                 })
+                .collect()
+        })
+    }
+
+    /// Multiplies the matrix by a power-allocator preset axis
+    /// (homogeneous Niagara vs. the heterogeneous pricing presets).
+    /// Usually paired with [`Study::over_stacks`] over the matching
+    /// heterogeneous floorplans — the allocator prices whatever block
+    /// kinds the stack declares.
+    pub fn over_allocators(
+        self,
+        presets: impl IntoIterator<Item = AllocatorPreset> + Clone,
+    ) -> Self {
+        self.over_with(|spec| {
+            presets
+                .clone()
+                .into_iter()
+                .map(|a| spec.clone().allocator(a))
                 .collect()
         })
     }
@@ -480,6 +499,40 @@ mod tests {
         // The coolant followed each policy's cooling mode.
         assert!(study.specs()[0].coolant_choice() == &CoolantChoice::Air);
         assert!(study.specs()[1].coolant_choice() == &CoolantChoice::Water);
+    }
+
+    #[test]
+    fn allocator_axis_expands_and_runs_in_one_pattern_group() {
+        let study = Study::new(tiny_base())
+            .over_allocators(AllocatorPreset::all())
+            .over_policies([PolicyKind::LcLb]);
+        assert_eq!(study.len(), 3);
+        let presets: Vec<AllocatorPreset> =
+            study.specs().iter().map(|s| s.allocator_preset()).collect();
+        assert_eq!(
+            presets,
+            vec![
+                AllocatorPreset::Niagara,
+                AllocatorPreset::MemoryOnLogic,
+                AllocatorPreset::MixedAccelerator,
+            ]
+        );
+        // Same stack and thermal params: the allocator axis re-prices
+        // power but shares the one factorisation.
+        let report = study.run(&BatchRunner::new(2)).unwrap();
+        assert!(report.all_ok());
+        assert_eq!(report.pattern_groups(), 1);
+        assert_eq!(report.total_full_factorizations(), 1);
+        // On the homogeneous Niagara preset stack the three allocators
+        // price core tiers identically and only differ on memory /
+        // accelerator blocks — which this stack does not have — so the
+        // physics agrees; the axis still fingerprints distinctly.
+        let peaks: Vec<f64> = report
+            .outcomes()
+            .iter()
+            .map(|o| o.metrics.peak_temperature.0)
+            .collect();
+        assert!((peaks[0] - peaks[1]).abs() < 1e-9);
     }
 
     #[test]

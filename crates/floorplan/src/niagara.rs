@@ -89,6 +89,98 @@ pub fn cache_tier() -> Result<Floorplan, FloorplanError> {
     Floorplan::new("niagara-cache-tier", outline, elements)
 }
 
+/// Stacked-DRAM bank area of the memory tier (19 mm², matching the L2
+/// footprint so the memory tier drops into the cache tier's slot).
+pub const MEM_AREA: f64 = L2_AREA;
+/// Number of DRAM banks per memory tier.
+pub const MEM_PER_TIER: usize = 4;
+/// Process node of the stacked DRAM dies, nm (memory-on-logic stacks bond a
+/// denser DRAM die onto the 90 nm logic die).
+pub const MEM_TECH_NM: u32 = 45;
+/// Accelerator area (20 mm², two cores' worth of silicon per engine).
+pub const ACCEL_AREA: f64 = 20.0e-6;
+/// Number of accelerators per mixed core/accelerator tier.
+pub const ACCEL_PER_TIER: usize = 2;
+/// Process node of the accelerator engines, nm.
+pub const ACCEL_TECH_NM: u32 = 65;
+
+/// The stacked-memory tier: 4 DRAM banks of 19 mm² in two rows of two
+/// (mirroring the cache tier's bank grid) with the memory
+/// controller/TSV-field band in the die centre. Total area 4·19 + 39 =
+/// 115 mm², so the tier is interchangeable with the cache tier in any
+/// stack preset. The DRAM dies are tagged with the 45 nm node
+/// ([`MEM_TECH_NM`]) — the power allocator scales leakage density with the
+/// node (memory-on-logic integration, Cherian et al. arXiv:1109.0708).
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is forwarded from floorplan
+/// validation.
+pub fn memory_tier() -> Result<Floorplan, FloorplanError> {
+    let outline = Rect::new(0.0, 0.0, DIE_WIDTH, DIE_HEIGHT)?;
+    let mem_w = DIE_WIDTH / 2.0;
+    let mem_h = MEM_AREA / mem_w;
+    let top_y = DIE_HEIGHT - mem_h;
+    let mut elements = Vec::new();
+    for i in 0..MEM_PER_TIER {
+        let (row, col) = (i / 2, i % 2);
+        let y = if row == 0 { 0.0 } else { top_y };
+        elements.push(Element::with_tech(
+            format!("mem{i}"),
+            ElementKind::Memory,
+            Rect::new(col as f64 * mem_w, y, mem_w, mem_h)?,
+            MEM_TECH_NM,
+        ));
+    }
+    elements.push(Element::new(
+        "memctl",
+        ElementKind::Other,
+        Rect::new(0.0, mem_h, DIE_WIDTH, DIE_HEIGHT - 2.0 * mem_h)?,
+    ));
+    Floorplan::new("niagara-memory-tier", outline, elements)
+}
+
+/// The mixed core/accelerator tier: 4 cores of 10 mm² in the bottom row,
+/// 2 throughput accelerators of 20 mm² ([`ACCEL_AREA`], 65 nm) in the top
+/// row, and the NoC band in the centre. Total area 4·10 + 2·20 + 35 =
+/// 115 mm² — same die budget as the core tier, half the cores traded for
+/// accelerator silicon (mixed budgets in the style of lumos's `MPSoC`).
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is forwarded from floorplan
+/// validation.
+pub fn accelerator_tier() -> Result<Floorplan, FloorplanError> {
+    let outline = Rect::new(0.0, 0.0, DIE_WIDTH, DIE_HEIGHT)?;
+    let core_w = DIE_WIDTH / 4.0;
+    let core_h = CORE_AREA / core_w;
+    let accel_w = DIE_WIDTH / 2.0;
+    let accel_h = ACCEL_AREA / accel_w;
+    let top_y = DIE_HEIGHT - accel_h;
+    let mut elements = Vec::new();
+    for i in 0..4 {
+        elements.push(Element::new(
+            format!("core{i}"),
+            ElementKind::Core,
+            Rect::new(i as f64 * core_w, 0.0, core_w, core_h)?,
+        ));
+    }
+    for i in 0..ACCEL_PER_TIER {
+        elements.push(Element::with_tech(
+            format!("acc{i}"),
+            ElementKind::Accelerator,
+            Rect::new(i as f64 * accel_w, top_y, accel_w, accel_h)?,
+            ACCEL_TECH_NM,
+        ));
+    }
+    elements.push(Element::new(
+        "noc",
+        ElementKind::Crossbar,
+        Rect::new(0.0, core_h, DIE_WIDTH, DIE_HEIGHT - core_h - accel_h)?,
+    ));
+    Floorplan::new("niagara-accelerator-tier", outline, elements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +225,38 @@ mod tests {
         let c = core_tier().unwrap();
         let l = cache_tier().unwrap();
         assert_eq!(c.outline(), l.outline());
+        assert_eq!(c.outline(), memory_tier().unwrap().outline());
+        assert_eq!(c.outline(), accelerator_tier().unwrap().outline());
+    }
+
+    #[test]
+    fn memory_tier_mirrors_cache_tier_budget() {
+        let plan = memory_tier().unwrap();
+        let banks = plan.indices_of_kind(ElementKind::Memory);
+        assert_eq!(banks.len(), MEM_PER_TIER);
+        for &i in &banks {
+            let e = &plan.elements()[i];
+            assert!((e.area() - MEM_AREA).abs() < 1e-10);
+            assert_eq!(e.tech_nm(), MEM_TECH_NM);
+        }
+        // Same die budget as the cache tier it replaces.
+        assert!((plan.occupied_area() - 115.0e-6).abs() < 1e-9);
+        // The controller band stays on the logic node.
+        let ctl = plan.index_of("memctl").unwrap();
+        assert_eq!(plan.elements()[ctl].tech_nm(), crate::plan::DEFAULT_TECH_NM);
+    }
+
+    #[test]
+    fn accelerator_tier_trades_cores_for_engines() {
+        let plan = accelerator_tier().unwrap();
+        assert_eq!(plan.indices_of_kind(ElementKind::Core).len(), 4);
+        let accels = plan.indices_of_kind(ElementKind::Accelerator);
+        assert_eq!(accels.len(), ACCEL_PER_TIER);
+        for &i in &accels {
+            let e = &plan.elements()[i];
+            assert!((e.area() - ACCEL_AREA).abs() < 1e-10);
+            assert_eq!(e.tech_nm(), ACCEL_TECH_NM);
+        }
+        assert!((plan.occupied_area() - 115.0e-6).abs() < 1e-9);
     }
 }

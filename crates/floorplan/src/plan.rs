@@ -14,6 +14,12 @@ pub enum ElementKind {
     Core,
     /// A shared L2 cache bank.
     L2Cache,
+    /// A stacked DRAM bank (memory-on-logic integration, Cherian et al.
+    /// arXiv:1109.0708).
+    Memory,
+    /// A fixed-function / throughput accelerator (mixed core/accelerator
+    /// budgets in the style of lumos's `MPSoC` model).
+    Accelerator,
     /// The crossbar / on-chip interconnect.
     Crossbar,
     /// Anything else (I/O, memory controllers, pad ring…).
@@ -25,6 +31,8 @@ impl std::fmt::Display for ElementKind {
         let s = match self {
             ElementKind::Core => "core",
             ElementKind::L2Cache => "l2-cache",
+            ElementKind::Memory => "memory",
+            ElementKind::Accelerator => "accelerator",
             ElementKind::Crossbar => "crossbar",
             ElementKind::Other => "other",
         };
@@ -32,21 +40,34 @@ impl std::fmt::Display for ElementKind {
     }
 }
 
+/// The process node the Niagara tiers are manufactured at (§II.A), and the
+/// default for every element that does not declare one.
+pub const DEFAULT_TECH_NM: u32 = 90;
+
 /// A named, placed floorplan element.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Element {
     name: String,
     kind: ElementKind,
     rect: Rect,
+    tech_nm: u32,
 }
 
 impl Element {
-    /// Creates a new element.
+    /// Creates a new element at the default 90 nm node.
     pub fn new(name: impl Into<String>, kind: ElementKind, rect: Rect) -> Self {
+        Element::with_tech(name, kind, rect, DEFAULT_TECH_NM)
+    }
+
+    /// Creates a new element manufactured at `tech_nm` (heterogeneous 3D
+    /// integration stacks dies of different process nodes; the leakage
+    /// density of the power allocator scales with the node).
+    pub fn with_tech(name: impl Into<String>, kind: ElementKind, rect: Rect, tech_nm: u32) -> Self {
         Element {
             name: name.into(),
             kind,
             rect,
+            tech_nm: tech_nm.max(1),
         }
     }
 
@@ -58,6 +79,11 @@ impl Element {
     /// Architectural role.
     pub fn kind(&self) -> ElementKind {
         self.kind
+    }
+
+    /// Process node in nanometres (90 for the Niagara dies).
+    pub fn tech_nm(&self) -> u32 {
+        self.tech_nm
     }
 
     /// Placement rectangle.

@@ -525,6 +525,73 @@ pub mod presets {
         b.sink(HeatSinkSpec::table1());
         b.build()
     }
+
+    fn liquid_stack_of(name: String, tiers: Vec<Floorplan>) -> Result<Stack3d, FloorplanError> {
+        let mut b = StackBuilder::new(name, niagara::DIE_WIDTH, niagara::DIE_HEIGHT);
+        for (i, t) in tiers.into_iter().enumerate() {
+            if i > 0 {
+                b.cavity(CavitySpec::table1());
+            }
+            b.tier(t, WIRING_THICKNESS, DIE_THICKNESS);
+        }
+        b.build()
+    }
+
+    /// A liquid-cooled memory-on-logic stack: core tiers alternate with
+    /// stacked-DRAM tiers (45 nm banks, [`niagara::memory_tier`]) instead
+    /// of cache tiers, with a Table I cavity between consecutive tiers —
+    /// the 3D memory-integration arrangement of Cherian et al.
+    /// (arXiv:1109.0708). Pair with the `MemoryOnLogic` power-allocator
+    /// preset so the DRAM banks get refresh/activate power instead of SRAM
+    /// power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidStack`] if `n_tiers == 0`.
+    pub fn memory_on_logic(n_tiers: usize) -> Result<Stack3d, FloorplanError> {
+        if n_tiers == 0 {
+            return Err(FloorplanError::InvalidStack {
+                detail: "n_tiers must be at least 1".into(),
+            });
+        }
+        let tiers = (0..n_tiers)
+            .map(|i| {
+                if i % 2 == 0 {
+                    niagara::core_tier()
+                } else {
+                    niagara::memory_tier()
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        liquid_stack_of(format!("{n_tiers}-tier-memory-on-logic"), tiers)
+    }
+
+    /// A liquid-cooled mixed core/accelerator stack: accelerator tiers
+    /// (4 cores + 2 throughput engines, [`niagara::accelerator_tier`])
+    /// alternate with cache tiers, Table I cavities in between. Pair with
+    /// the `MixedAccelerator` power-allocator preset for the
+    /// accelerator-heavy power budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidStack`] if `n_tiers == 0`.
+    pub fn accelerated_mpsoc(n_tiers: usize) -> Result<Stack3d, FloorplanError> {
+        if n_tiers == 0 {
+            return Err(FloorplanError::InvalidStack {
+                detail: "n_tiers must be at least 1".into(),
+            });
+        }
+        let tiers = (0..n_tiers)
+            .map(|i| {
+                if i % 2 == 0 {
+                    niagara::accelerator_tier()
+                } else {
+                    niagara::cache_tier()
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        liquid_stack_of(format!("{n_tiers}-tier-accelerated"), tiers)
+    }
 }
 
 #[cfg(test)]

@@ -47,8 +47,18 @@ pub fn swap_elements(plan: &Floorplan, a: &str, b: &str) -> Result<Floorplan, Fl
     let mut elements: Vec<Element> = plan.elements().to_vec();
     let ra = elements[ia].rect().to_owned();
     let rb = elements[ib].rect().to_owned();
-    elements[ia] = Element::new(elements[ia].name(), elements[ia].kind(), rb);
-    elements[ib] = Element::new(elements[ib].name(), elements[ib].kind(), ra);
+    elements[ia] = Element::with_tech(
+        elements[ia].name(),
+        elements[ia].kind(),
+        rb,
+        elements[ia].tech_nm(),
+    );
+    elements[ib] = Element::with_tech(
+        elements[ib].name(),
+        elements[ib].kind(),
+        ra,
+        elements[ib].tech_nm(),
+    );
     Floorplan::new(
         format!("{}+swap({a},{b})", plan.name()),
         *plan.outline(),
@@ -96,7 +106,7 @@ pub fn permute_kind(
     for (i, &p) in perm.iter().enumerate() {
         let e = &plan.elements()[idx[i]];
         let target = plan.elements()[idx[p]].rect().to_owned();
-        elements[idx[i]] = Element::new(e.name(), e.kind(), target);
+        elements[idx[i]] = Element::with_tech(e.name(), e.kind(), target, e.tech_nm());
     }
     let tag: Vec<String> = perm.iter().map(usize::to_string).collect();
     Floorplan::new(

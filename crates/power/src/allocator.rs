@@ -1,0 +1,516 @@
+//! The per-block power actuation layer.
+//!
+//! The homogeneous [`PowerModel`] prices Niagara cores, L2 banks and the
+//! crossbar; heterogeneous 3D integration adds block kinds it cannot
+//! express — stacked DRAM (Cherian et al., arXiv:1109.0708) and
+//! fixed-function accelerators (mixed core/accelerator budgets in the
+//! style of lumos's `MPSoC` model). A [`PowerAllocator`] maps a
+//! [`BlockState`] (demand, DVFS level, kind) to watts for *every* block
+//! kind, with temperature-dependent leakage wired through each of them and
+//! the floorplan's per-element process node scaling the leakage density
+//! (a 45 nm DRAM die over a 90 nm logic die leaks at a different density).
+//!
+//! The simulator re-evaluates the per-block powers from block state every
+//! control epoch through [`PowerAllocator::tier_powers_into`] — an
+//! allocation-free bulk path over reused buffers, so closed-loop actuation
+//! (DVFS, task migration) costs nothing on the warm path.
+
+use crate::model::PowerModel;
+use crate::PowerError;
+use cmosaic_floorplan::plan::{Element, ElementKind, Floorplan, DEFAULT_TECH_NM};
+use cmosaic_materials::units::Kelvin;
+
+/// The architectural role of a powered block — the power-side mirror of
+/// [`ElementKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A processing core (DVFS-scaled, per-core demand).
+    Core,
+    /// A shared L2 SRAM bank.
+    L2Cache,
+    /// A stacked DRAM bank (refresh + activate power).
+    Memory,
+    /// A throughput accelerator (DVFS-scaled like a core, its own budget).
+    Accelerator,
+    /// The crossbar / on-chip interconnect.
+    Crossbar,
+    /// Anything else (I/O, controllers, pad ring…).
+    Other,
+}
+
+impl From<ElementKind> for BlockKind {
+    fn from(kind: ElementKind) -> Self {
+        match kind {
+            ElementKind::Core => BlockKind::Core,
+            ElementKind::L2Cache => BlockKind::L2Cache,
+            ElementKind::Memory => BlockKind::Memory,
+            ElementKind::Accelerator => BlockKind::Accelerator,
+            ElementKind::Crossbar => BlockKind::Crossbar,
+            ElementKind::Other => BlockKind::Other,
+        }
+    }
+}
+
+impl std::fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BlockKind::Core => "core",
+            BlockKind::L2Cache => "l2-cache",
+            BlockKind::Memory => "memory",
+            BlockKind::Accelerator => "accelerator",
+            BlockKind::Crossbar => "crossbar",
+            BlockKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-block actuation state for one control epoch: what the policy layer
+/// decided this block should do. The power map is re-derived from these
+/// every epoch, so DVFS and task migration act on power with one interval
+/// of latency — exactly the paper's control loop, generalized beyond
+/// cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockState {
+    /// Architectural role (must match the floorplan element it is paired
+    /// with in bulk calls).
+    pub kind: BlockKind,
+    /// Offered/assigned load as a fraction of nominal throughput,
+    /// clamped to `[0, 1]` when priced.
+    pub demand: f64,
+    /// DVFS level (0 = nominal). Only cores and accelerators are
+    /// V/f-scaled; other kinds ignore it.
+    pub vf_level: usize,
+}
+
+impl BlockState {
+    /// An idle block of the given kind at nominal V/f.
+    pub fn idle(kind: BlockKind) -> Self {
+        BlockState {
+            kind,
+            demand: 0.0,
+            vf_level: 0,
+        }
+    }
+
+    /// A block of `kind` serving `demand` at nominal V/f.
+    pub fn loaded(kind: BlockKind, demand: f64) -> Self {
+        BlockState {
+            kind,
+            demand,
+            vf_level: 0,
+        }
+    }
+}
+
+/// Power parameters of a DRAM bank stack (W/m² densities so banks of any
+/// area price consistently).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryParams {
+    /// Idle (refresh + standby) power density, W/m².
+    pub idle_density: f64,
+    /// Additional activate/precharge density at full utilization, W/m².
+    pub active_density: f64,
+    /// Fraction of the logic leakage density that applies to the DRAM
+    /// arrays (access transistors are leakage-optimised).
+    pub leakage_scale: f64,
+}
+
+/// Power parameters of a throughput accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorParams {
+    /// Idle (clock-gated) power density, W/m².
+    pub idle_density: f64,
+    /// Power density at full throughput, W/m².
+    pub active_density: f64,
+    /// Fraction of the logic leakage density that applies to the
+    /// accelerator silicon.
+    pub leakage_scale: f64,
+}
+
+/// Identifies one of the calibrated [`PowerAllocator`] presets — the value
+/// a `ScenarioSpec`/`Study`/`DesignAxis` carries for its allocator axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocatorPreset {
+    /// The homogeneous Niagara calibration with mid-range heterogeneous
+    /// budgets (the default; identical to [`PowerModel::niagara`] on
+    /// core/cache tiers).
+    #[default]
+    Niagara,
+    /// Low-power stacked DRAM (memory-on-logic integration).
+    MemoryOnLogic,
+    /// Accelerator-heavy budget: dark-silicon idle, high peak density.
+    MixedAccelerator,
+}
+
+impl std::fmt::Display for AllocatorPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AllocatorPreset::Niagara => "niagara",
+            AllocatorPreset::MemoryOnLogic => "memory-on-logic",
+            AllocatorPreset::MixedAccelerator => "mixed-accelerator",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AllocatorPreset {
+    /// Builds the allocator this preset names.
+    pub fn build(self) -> PowerAllocator {
+        match self {
+            AllocatorPreset::Niagara => PowerAllocator::niagara(),
+            AllocatorPreset::MemoryOnLogic => PowerAllocator::memory_on_logic(),
+            AllocatorPreset::MixedAccelerator => PowerAllocator::mixed_accelerator(),
+        }
+    }
+
+    /// All presets, for axis enumeration.
+    pub fn all() -> [AllocatorPreset; 3] {
+        [
+            AllocatorPreset::Niagara,
+            AllocatorPreset::MemoryOnLogic,
+            AllocatorPreset::MixedAccelerator,
+        ]
+    }
+}
+
+/// Maps block states to per-block watts, every epoch.
+///
+/// Wraps the calibrated [`PowerModel`] for the homogeneous kinds and adds
+/// DRAM and accelerator budgets, plus per-element process-node leakage
+/// scaling: leakage density grows as the node shrinks (`90/tech_nm`), so a
+/// 45 nm DRAM die or a 65 nm accelerator die contributes its own leakage
+/// character to the electrothermal loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerAllocator {
+    /// The core/L2/crossbar/other calibration.
+    pub model: PowerModel,
+    /// DRAM bank parameters.
+    pub memory: MemoryParams,
+    /// Accelerator parameters.
+    pub accelerator: AcceleratorParams,
+}
+
+impl Default for PowerAllocator {
+    fn default() -> Self {
+        PowerAllocator::niagara()
+    }
+}
+
+impl PowerAllocator {
+    /// The default allocator: [`PowerModel::niagara`] for the homogeneous
+    /// kinds, mid-range DRAM and accelerator budgets.
+    pub fn niagara() -> Self {
+        PowerAllocator {
+            model: PowerModel::niagara(),
+            memory: MemoryParams {
+                idle_density: 5.0e3,   // ~0.10 W refresh per 19 mm² bank
+                active_density: 2.5e4, // ~0.48 W activate at full load
+                leakage_scale: 0.05,
+            },
+            accelerator: AcceleratorParams {
+                idle_density: 2.0e4,   // ~0.4 W clock-gated per 20 mm²
+                active_density: 2.0e5, // ~4 W at full throughput
+                leakage_scale: 0.6,
+            },
+        }
+    }
+
+    /// Low-power stacked DRAM: mobile-class refresh/activate densities and
+    /// leakage-optimised arrays.
+    pub fn memory_on_logic() -> Self {
+        PowerAllocator {
+            memory: MemoryParams {
+                idle_density: 3.0e3,
+                active_density: 1.5e4,
+                leakage_scale: 0.03,
+            },
+            ..PowerAllocator::niagara()
+        }
+    }
+
+    /// Accelerator-heavy budget: dark-silicon idle (power-gated engines)
+    /// with a high peak density when streaming.
+    pub fn mixed_accelerator() -> Self {
+        PowerAllocator {
+            accelerator: AcceleratorParams {
+                idle_density: 1.0e4,
+                active_density: 3.0e5,
+                leakage_scale: 0.8,
+            },
+            ..PowerAllocator::niagara()
+        }
+    }
+
+    /// The DVFS table shared with the policies.
+    pub fn vf(&self) -> &crate::dvfs::VfTable {
+        &self.model.vf
+    }
+
+    /// Leakage density multiplier of a process node: 1 at the 90 nm
+    /// Niagara node, growing as the node shrinks.
+    fn tech_factor(tech_nm: u32) -> f64 {
+        f64::from(DEFAULT_TECH_NM) / f64::from(tech_nm.max(1))
+    }
+
+    /// Power (W) of one block in `state`, occupying `area` m² of a
+    /// `tech_nm` die, at junction temperature `t`.
+    ///
+    /// Core and L2/crossbar/other blocks at the 90 nm node price exactly
+    /// as the wrapped [`PowerModel`]; finer nodes add a leakage surcharge
+    /// proportional to the node's density multiplier.
+    pub fn block_power(&self, state: &BlockState, area: f64, tech_nm: u32, t: Kelvin) -> f64 {
+        let demand = state.demand.clamp(0.0, 1.0);
+        let leak = &self.model.leakage;
+        let excess = Self::tech_factor(tech_nm) - 1.0;
+        match state.kind {
+            BlockKind::Core => {
+                let base = self.model.core_power(demand, state.vf_level, t);
+                base + excess * leak.power(area, t, 1.0)
+            }
+            BlockKind::L2Cache => {
+                let base = self.model.l2_power(demand, t);
+                base + excess * leak.power(area * self.model.uncore_leakage_scale, t, 1.0)
+            }
+            BlockKind::Crossbar => {
+                let base = self.model.xbar_power(demand, area, t);
+                base + excess * leak.power(area * self.model.uncore_leakage_scale, t, 1.0)
+            }
+            BlockKind::Other => {
+                let base = self.model.other_power(area, t);
+                base + excess * leak.power(area * self.model.uncore_leakage_scale, t, 1.0)
+            }
+            BlockKind::Memory => {
+                let m = &self.memory;
+                m.idle_density * area
+                    + m.active_density * area * demand
+                    + leak.power(area * m.leakage_scale * Self::tech_factor(tech_nm), t, 1.0)
+            }
+            BlockKind::Accelerator => {
+                let a = &self.accelerator;
+                let vf = &self.model.vf;
+                let occ = vf.occupancy(demand, state.vf_level);
+                let scale = vf.dynamic_scale(state.vf_level);
+                let v_ratio = {
+                    let lvl = state.vf_level.min(vf.slowest());
+                    vf.point(lvl).expect("clamped level").voltage
+                        / vf.point(0).expect("nominal").voltage
+                };
+                let dynamic =
+                    (a.idle_density + (a.active_density - a.idle_density) * occ) * area * scale;
+                dynamic
+                    + leak.power(
+                        area * a.leakage_scale * Self::tech_factor(tech_nm),
+                        t,
+                        v_ratio,
+                    )
+            }
+        }
+    }
+
+    /// Validates one (element, state) pairing.
+    fn check_pair(index: usize, e: &Element, state: &BlockState) -> Result<(), PowerError> {
+        let expected = BlockKind::from(e.kind());
+        if state.kind != expected {
+            return Err(PowerError::BlockMismatch {
+                detail: format!(
+                    "element {index} `{}` is a {expected} block but its state says {}",
+                    e.name(),
+                    state.kind
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-element powers for one tier, into a reused buffer —
+    /// allocation-free once `out` has warmed up. `states` and `temps` hold
+    /// one entry per element of the plan, in element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] on count mismatches and
+    /// [`PowerError::BlockMismatch`] when a state's kind disagrees with
+    /// its element.
+    pub fn tier_powers_into(
+        &self,
+        plan: &Floorplan,
+        states: &[BlockState],
+        temps: &[Kelvin],
+        out: &mut Vec<f64>,
+    ) -> Result<(), PowerError> {
+        let n = plan.elements().len();
+        if states.len() != n || temps.len() != n {
+            return Err(PowerError::LengthMismatch {
+                detail: format!(
+                    "{} states / {} temps for {n} elements of `{}`",
+                    states.len(),
+                    temps.len(),
+                    plan.name()
+                ),
+            });
+        }
+        out.clear();
+        for (i, (e, state)) in plan.elements().iter().zip(states).enumerate() {
+            Self::check_pair(i, e, state)?;
+            out.push(self.block_power(state, e.area(), e.tech_nm(), temps[i]));
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`PowerAllocator::tier_powers_into`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PowerAllocator::tier_powers_into`].
+    pub fn tier_powers(
+        &self,
+        plan: &Floorplan,
+        states: &[BlockState],
+        temps: &[Kelvin],
+    ) -> Result<Vec<f64>, PowerError> {
+        let mut out = Vec::with_capacity(plan.elements().len());
+        self.tier_powers_into(plan, states, temps, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmosaic_floorplan::niagara;
+
+    fn t60() -> Kelvin {
+        Kelvin::from_celsius(60.0)
+    }
+
+    fn states_for(plan: &Floorplan, demand: f64) -> Vec<BlockState> {
+        plan.elements()
+            .iter()
+            .map(|e| BlockState::loaded(BlockKind::from(e.kind()), demand))
+            .collect()
+    }
+
+    #[test]
+    fn niagara_preset_matches_the_homogeneous_model_on_niagara_tiers() {
+        let alloc = PowerAllocator::niagara();
+        let model = PowerModel::niagara();
+        let cores = niagara::core_tier().unwrap();
+        let temps = vec![t60(); cores.elements().len()];
+        // Uncore blocks see the *mean* core demand, computed exactly as
+        // the homogeneous model computes it.
+        let demands = [0.7; 8];
+        let mean = demands.iter().sum::<f64>() / demands.len() as f64;
+        let states: Vec<BlockState> = cores
+            .elements()
+            .iter()
+            .map(|e| match BlockKind::from(e.kind()) {
+                BlockKind::Core => BlockState::loaded(BlockKind::Core, 0.7),
+                k => BlockState::loaded(k, mean),
+            })
+            .collect();
+        let via_alloc = alloc.tier_powers(&cores, &states, &temps).unwrap();
+        let via_model = model
+            .tier_powers(&cores, &[0.7; 8], &[0; 8], &temps)
+            .unwrap();
+        // 90 nm elements carry no tech surcharge, so the two paths agree
+        // bit for bit on the homogeneous tiers.
+        assert_eq!(via_alloc, via_model);
+    }
+
+    #[test]
+    fn every_block_kind_is_temperature_dependent() {
+        let alloc = PowerAllocator::niagara();
+        let cool = Kelvin::from_celsius(45.0);
+        let hot = Kelvin::from_celsius(95.0);
+        for kind in [
+            BlockKind::Core,
+            BlockKind::L2Cache,
+            BlockKind::Memory,
+            BlockKind::Accelerator,
+            BlockKind::Crossbar,
+            BlockKind::Other,
+        ] {
+            let s = BlockState::loaded(kind, 0.5);
+            let p_cool = alloc.block_power(&s, 15e-6, 90, cool);
+            let p_hot = alloc.block_power(&s, 15e-6, 90, hot);
+            assert!(
+                p_hot > p_cool,
+                "{kind} power must rise with temperature ({p_cool} vs {p_hot})"
+            );
+        }
+    }
+
+    #[test]
+    fn finer_nodes_leak_more() {
+        let alloc = PowerAllocator::niagara();
+        let s = BlockState::loaded(BlockKind::Memory, 0.5);
+        let p90 = alloc.block_power(&s, 19e-6, 90, t60());
+        let p45 = alloc.block_power(&s, 19e-6, 45, t60());
+        assert!(p45 > p90, "45 nm must leak more than 90 nm");
+    }
+
+    #[test]
+    fn presets_price_heterogeneous_tiers_differently() {
+        let mem_plan = niagara::memory_tier().unwrap();
+        let acc_plan = niagara::accelerator_tier().unwrap();
+        let temps_mem = vec![t60(); mem_plan.elements().len()];
+        let temps_acc = vec![t60(); acc_plan.elements().len()];
+        let busy_mem = states_for(&mem_plan, 0.8);
+        let busy_acc = states_for(&acc_plan, 0.8);
+
+        let base = PowerAllocator::niagara();
+        let lp = PowerAllocator::memory_on_logic();
+        let hx = PowerAllocator::mixed_accelerator();
+
+        let sum = |v: Vec<f64>| v.iter().sum::<f64>();
+        let mem_base = sum(base.tier_powers(&mem_plan, &busy_mem, &temps_mem).unwrap());
+        let mem_lp = sum(lp.tier_powers(&mem_plan, &busy_mem, &temps_mem).unwrap());
+        assert!(mem_lp < mem_base, "low-power DRAM must draw less");
+
+        let acc_base = sum(base.tier_powers(&acc_plan, &busy_acc, &temps_acc).unwrap());
+        let acc_hx = sum(hx.tier_powers(&acc_plan, &busy_acc, &temps_acc).unwrap());
+        assert!(
+            acc_hx > acc_base,
+            "the accelerator-heavy budget peaks higher"
+        );
+
+        // Memory tier stays a fraction of a busy core tier's draw.
+        assert!(
+            mem_base > 0.5 && mem_base < 15.0,
+            "memory tier = {mem_base}"
+        );
+    }
+
+    #[test]
+    fn dvfs_scales_accelerators() {
+        let alloc = PowerAllocator::niagara();
+        let nominal = BlockState {
+            kind: BlockKind::Accelerator,
+            demand: 0.5,
+            vf_level: 0,
+        };
+        let slow = BlockState {
+            vf_level: 3,
+            ..nominal
+        };
+        let p0 = alloc.block_power(&nominal, 20e-6, 65, t60());
+        let p3 = alloc.block_power(&slow, 20e-6, 65, t60());
+        assert!(p3 < p0, "DVFS must reduce accelerator power");
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let alloc = PowerAllocator::niagara();
+        let cores = niagara::core_tier().unwrap();
+        let temps = vec![t60(); cores.elements().len()];
+        let mut states = states_for(&cores, 0.5);
+        states[0].kind = BlockKind::Memory;
+        let err = alloc.tier_powers(&cores, &states, &temps);
+        assert!(matches!(err, Err(PowerError::BlockMismatch { .. })));
+
+        let short = alloc.tier_powers(&cores, &states[..2], &temps);
+        assert!(matches!(short, Err(PowerError::LengthMismatch { .. })));
+    }
+}

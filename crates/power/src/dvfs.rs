@@ -139,6 +139,19 @@ impl VfTable {
         }
         ((demand - self.speed(level)).max(0.0)) / demand
     }
+
+    /// The slowest (most energy-efficient) level that still serves
+    /// `demand` with `margin` headroom: the largest level whose speed is
+    /// at least `demand + margin`, or level 0 when even nominal speed is
+    /// too slow. This is the single source of truth for utilization-guided
+    /// DVFS across the policies.
+    pub fn level_for_demand(&self, demand: f64, margin: f64) -> usize {
+        let need = demand + margin;
+        (0..self.points.len())
+            .rev()
+            .find(|&lvl| self.speed(lvl) >= need)
+            .unwrap_or(0)
+    }
 }
 
 impl Default for VfTable {
@@ -186,6 +199,18 @@ mod tests {
         assert!(t.point(4).is_err());
         // speed()/dynamic_scale() clamp instead of panicking.
         assert_eq!(t.speed(99), t.speed(3));
+    }
+
+    #[test]
+    fn level_for_demand_picks_the_slowest_sufficient_point() {
+        let t = VfTable::niagara();
+        // Speeds are 1.0, 5/6, 2/3, 0.5.
+        assert_eq!(t.level_for_demand(0.1, 0.05), 3);
+        assert_eq!(t.level_for_demand(0.6, 0.05), 2);
+        assert_eq!(t.level_for_demand(0.75, 0.05), 1);
+        assert_eq!(t.level_for_demand(0.9, 0.05), 0);
+        // Overload still lands on nominal.
+        assert_eq!(t.level_for_demand(1.5, 0.05), 0);
     }
 
     #[test]

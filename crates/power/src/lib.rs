@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocator;
 pub mod dvfs;
 pub mod model;
 pub mod trace;
 
+pub use allocator::{AllocatorPreset, BlockKind, BlockState, PowerAllocator};
 pub use dvfs::{VfPoint, VfTable};
 pub use model::{LeakageModel, PowerModel};
 pub use trace::{WorkloadKind, WorkloadTrace};
@@ -62,6 +64,14 @@ pub enum PowerError {
         /// Explanation.
         detail: String,
     },
+    /// A block kind the model cannot price (e.g. the homogeneous
+    /// [`PowerModel`] asked about a DRAM bank — use a [`PowerAllocator`]
+    /// for heterogeneous tiers), or a [`BlockState`] whose kind disagrees
+    /// with the floorplan element it is paired with.
+    BlockMismatch {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PowerError {
@@ -74,6 +84,7 @@ impl fmt::Display for PowerError {
                 write!(f, "VF level {level} out of range (have {available})")
             }
             PowerError::LengthMismatch { detail } => write!(f, "length mismatch: {detail}"),
+            PowerError::BlockMismatch { detail } => write!(f, "block mismatch: {detail}"),
         }
     }
 }

@@ -75,6 +75,13 @@ pub struct PowerModel {
     pub xbar_idle: f64,
     /// Constant power of `Other` blocks, W per m² (small I/O load).
     pub other_density: f64,
+    /// Fraction of the core leakage *density* that applies to uncore
+    /// blocks (L2 SRAM, crossbar wiring, I/O). SRAM and interconnect leak
+    /// far less per unit area than high-speed logic; the calibrated idle
+    /// terms above anchor the uncore power at the leakage reference
+    /// temperature, and this scale sets how much of it swings with T (see
+    /// [`PowerModel::l2_power`]).
+    pub uncore_leakage_scale: f64,
     /// Leakage model.
     pub leakage: LeakageModel,
     /// DVFS operating points.
@@ -96,9 +103,24 @@ impl PowerModel {
             xbar_dynamic_max: 2.0,
             xbar_idle: 0.5,
             other_density: 2.0e4, // 0.2 W per 10 mm²
+            uncore_leakage_scale: 0.15,
             leakage: LeakageModel::niagara_90nm(),
             vf: VfTable::niagara(),
         }
+    }
+
+    /// Temperature-dependent *excess* leakage of an uncore block over its
+    /// calibrated anchor at the leakage reference temperature: zero at
+    /// `t_ref`, positive when hotter, slightly negative when colder (the
+    /// anchor terms below already include the reference-temperature
+    /// leakage). Shares the exponential/saturation shape of
+    /// [`LeakageModel`], scaled down by [`PowerModel::uncore_leakage_scale`].
+    fn uncore_leakage_excess(&self, area: f64, t: Kelvin) -> f64 {
+        let at_t = self.leakage.power(area * self.uncore_leakage_scale, t, 1.0);
+        let at_ref = self
+            .leakage
+            .power(area * self.uncore_leakage_scale, self.leakage.t_ref, 1.0);
+        at_t - at_ref
     }
 
     /// Dynamic + leakage power of one core.
@@ -123,27 +145,36 @@ impl PowerModel {
         dynamic + leak
     }
 
-    /// Dynamic power of one L2 bank serving cores at mean utilization
-    /// `util` (clamped to `[0, 1]`). Caches are not DVFS-scaled (they run
-    /// on the uncore supply); §IV.A models temperature-dependent leakage
-    /// for the *processing cores*, so the (small, weakly
-    /// temperature-dependent) SRAM leakage is folded into the idle term.
-    pub fn l2_power(&self, util: f64, _t: Kelvin) -> f64 {
+    /// Power of one L2 bank serving cores at mean utilization `util`
+    /// (clamped to `[0, 1]`), at junction temperature `t`. Caches are not
+    /// DVFS-scaled (they run on the uncore supply). The idle term anchors
+    /// the bank's power — including its SRAM leakage — at the leakage
+    /// reference temperature; away from it the leakage share swings with
+    /// the usual exponential (at [`PowerModel::uncore_leakage_scale`] of
+    /// the logic density, SRAM leaking far less per area), closing the
+    /// electrothermal loop for every block kind, not just the cores.
+    pub fn l2_power(&self, util: f64, t: Kelvin) -> f64 {
         let util = util.clamp(0.0, 1.0);
-        self.l2_idle + (self.l2_dynamic_max - self.l2_idle) * util
+        self.l2_idle
+            + (self.l2_dynamic_max - self.l2_idle) * util
+            + self.uncore_leakage_excess(cmosaic_floorplan::niagara::L2_AREA, t)
     }
 
     /// Crossbar power at mean system utilization `util` over an element of
-    /// `area` m² (leakage folded into the idle term, see
+    /// `area` m² at temperature `t` (temperature-dependent interconnect
+    /// leakage on top of the calibrated anchor, see
     /// [`PowerModel::l2_power`]).
-    pub fn xbar_power(&self, util: f64, _area: f64, _t: Kelvin) -> f64 {
+    pub fn xbar_power(&self, util: f64, area: f64, t: Kelvin) -> f64 {
         let util = util.clamp(0.0, 1.0);
-        self.xbar_idle + (self.xbar_dynamic_max - self.xbar_idle) * util
+        self.xbar_idle
+            + (self.xbar_dynamic_max - self.xbar_idle) * util
+            + self.uncore_leakage_excess(area, t)
     }
 
-    /// Power of an `Other` block of `area` m² (constant density).
-    pub fn other_power(&self, area: f64, _t: Kelvin) -> f64 {
-        self.other_density * area
+    /// Power of an `Other` block of `area` m² at temperature `t` (constant
+    /// dynamic density plus temperature-dependent leakage excess).
+    pub fn other_power(&self, area: f64, t: Kelvin) -> f64 {
+        self.other_density * area + self.uncore_leakage_excess(area, t)
     }
 
     /// Per-element powers for one tier.
@@ -210,6 +241,19 @@ impl PowerModel {
                 ElementKind::L2Cache => self.l2_power(mean_demand, temps[i]),
                 ElementKind::Crossbar => self.xbar_power(mean_demand, e.area(), temps[i]),
                 ElementKind::Other => self.other_power(e.area(), temps[i]),
+                ElementKind::Memory | ElementKind::Accelerator => {
+                    // The homogeneous Niagara model has no DRAM/accelerator
+                    // budget — heterogeneous tiers go through the
+                    // `PowerAllocator`, which prices every kind.
+                    return Err(PowerError::BlockMismatch {
+                        detail: format!(
+                            "element `{}` is a {} block; use a PowerAllocator for \
+                             heterogeneous tiers",
+                            e.name(),
+                            e.kind()
+                        ),
+                    });
+                }
             };
             out.push(p);
         }
@@ -270,6 +314,39 @@ mod tests {
         let p300 = l.power(10e-6, Kelvin::from_celsius(300.0), 1.0);
         assert_eq!(p200, p300, "leakage must saturate");
         assert!((p200 / p60 - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_power_rises_with_temperature() {
+        // Satellite fix: l2/xbar/other used to ignore their temperature
+        // argument entirely — every block kind must now close the
+        // electrothermal loop.
+        let m = PowerModel::niagara();
+        let cool = Kelvin::from_celsius(45.0);
+        let ref_t = m.leakage.t_ref;
+        let hot = Kelvin::from_celsius(95.0);
+        assert!(m.l2_power(0.5, hot) > m.l2_power(0.5, cool));
+        assert!(m.xbar_power(0.5, 35e-6, hot) > m.xbar_power(0.5, 35e-6, cool));
+        assert!(m.other_power(39e-6, hot) > m.other_power(39e-6, cool));
+        // The calibrated anchors are exact at the leakage reference
+        // temperature (the excess term vanishes there), so the Niagara
+        // calibration bands are untouched.
+        assert!((m.l2_power(0.0, ref_t) - m.l2_idle).abs() < 1e-12);
+        assert!((m.l2_power(1.0, ref_t) - m.l2_dynamic_max).abs() < 1e-12);
+        assert!((m.xbar_power(0.0, 35e-6, ref_t) - m.xbar_idle).abs() < 1e-12);
+        // The swing saturates with the same cap as core leakage.
+        let p200 = m.l2_power(0.5, Kelvin::from_celsius(200.0));
+        let p300 = m.l2_power(0.5, Kelvin::from_celsius(300.0));
+        assert_eq!(p200, p300);
+    }
+
+    #[test]
+    fn heterogeneous_tier_is_rejected_by_the_homogeneous_model() {
+        let m = PowerModel::niagara();
+        let mem = niagara::memory_tier().unwrap();
+        let t = vec![Kelvin::from_celsius(60.0); mem.elements().len()];
+        let err = m.tier_powers(&mem, &[], &[], &t);
+        assert!(matches!(err, Err(crate::PowerError::BlockMismatch { .. })));
     }
 
     #[test]

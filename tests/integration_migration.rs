@@ -1,0 +1,215 @@
+//! Integration tests of the per-block actuation layer:
+//!
+//! * the pinned actuation study (flow modulation vs. task migration vs.
+//!   both on identical traces) is bit-identical across the
+//!   `CMOSAIC_TEST_THREADS` sweep and across reruns, holds the thermal
+//!   constraint under every strategy, and the combined controller spends
+//!   the least pump energy;
+//! * heterogeneous stacks (memory-on-logic, mixed core/accelerator)
+//!   simulate end-to-end under the matching allocator presets and the
+//!   actuation policies;
+//! * every new actuation axis (allocator preset, migration seed, policy
+//!   variant, heterogeneous stack) produces a distinct scenario
+//!   fingerprint.
+
+use cmosaic::batch::BatchRunner;
+use cmosaic::experiments::{actuation_dataset, actuation_policies, actuation_study, ActuationRow};
+use cmosaic::policy::PolicyKind;
+use cmosaic::scenario::ScenarioSpec;
+use cmosaic::study::{Study, StudyReport};
+use cmosaic_floorplan::stack::presets;
+use cmosaic_floorplan::GridSpec;
+use cmosaic_power::trace::WorkloadKind;
+use cmosaic_power::AllocatorPreset;
+
+/// Thread counts to sweep: `CMOSAIC_TEST_THREADS` (comma-separated) or
+/// the default `[1, 8]`.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("CMOSAIC_TEST_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("CMOSAIC_TEST_THREADS is numeric"))
+            .collect(),
+        Err(_) => vec![1, 8],
+    }
+}
+
+/// The reference operating point shared with `examples/policy_actuation.rs`
+/// and the `perf_policies` bench.
+const SECONDS: usize = 20;
+const SEED: u64 = 42;
+
+fn reference_grid() -> GridSpec {
+    GridSpec::new(8, 8).expect("static dims")
+}
+
+fn run_reference(threads: usize) -> StudyReport {
+    actuation_study(SECONDS, SEED, reference_grid())
+        .run(&BatchRunner::new(threads))
+        .expect("reference study runs")
+}
+
+#[test]
+fn actuation_study_is_bit_identical_across_threads_and_reruns() {
+    let reports: Vec<StudyReport> = thread_counts().into_iter().map(run_reference).collect();
+    // `StudyReport` records the worker-thread count it ran on; the
+    // *results* — per-slot metrics and solver statistics — must not.
+    for pair in reports.windows(2) {
+        assert_eq!(
+            pair[0].slots(),
+            pair[1].slots(),
+            "thread count must not leak into results"
+        );
+    }
+    let rerun = run_reference(thread_counts()[0]);
+    assert_eq!(
+        reports[0].slots(),
+        rerun.slots(),
+        "same seed, same trajectory"
+    );
+    assert_eq!(
+        reports[0], rerun,
+        "full reports match on an identical rerun"
+    );
+}
+
+#[test]
+fn combined_control_holds_the_constraint_at_the_lowest_pump_energy() {
+    let rows: Vec<ActuationRow> =
+        actuation_dataset(&BatchRunner::new(2), SECONDS, SEED, reference_grid())
+            .expect("reference dataset runs");
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].policy, PolicyKind::LcFuzzyFlowOnly);
+    assert_eq!(rows[1].policy, PolicyKind::LcMigration { seed: SEED });
+    assert_eq!(rows[2].policy, PolicyKind::LcMigrationFuzzy { seed: SEED });
+    for r in &rows {
+        assert!(
+            r.peak_celsius < 85.0,
+            "{} breaches the constraint: {:.1} °C",
+            r.policy,
+            r.peak_celsius
+        );
+        assert!(
+            r.hotspot_pct_any < 1.0,
+            "{} spends {:.2} % above the hot-spot threshold",
+            r.policy,
+            r.hotspot_pct_any
+        );
+    }
+    // Migration-only runs at worst-case maximum flow; the combined
+    // controller strictly undercuts both single-actuator strategies.
+    let combined = &rows[2];
+    assert!(
+        combined.pump_energy < rows[1].pump_energy,
+        "combined ({:.1} J) vs max-flow migration ({:.1} J)",
+        combined.pump_energy,
+        rows[1].pump_energy
+    );
+    assert!(
+        combined.pump_energy < rows[0].pump_energy,
+        "combined ({:.1} J) vs flow-only ({:.1} J)",
+        combined.pump_energy,
+        rows[0].pump_energy
+    );
+}
+
+#[test]
+fn heterogeneous_stacks_run_the_actuation_policies_end_to_end() {
+    // Each heterogeneous preset stack is priced by its matching allocator
+    // and driven through all three actuation strategies on one trace.
+    let cases = [
+        (
+            presets::memory_on_logic(4).expect("preset"),
+            AllocatorPreset::MemoryOnLogic,
+        ),
+        (
+            presets::accelerated_mpsoc(4).expect("preset"),
+            AllocatorPreset::MixedAccelerator,
+        ),
+    ];
+    let runner = BatchRunner::new(2);
+    for (stack, allocator) in cases {
+        let name = stack.name().to_string();
+        let report = Study::new(
+            ScenarioSpec::new()
+                .stack(stack)
+                .allocator(allocator)
+                .workload(WorkloadKind::WebServer)
+                .seconds(10)
+                .seed(SEED)
+                .grid(GridSpec::new(6, 6).expect("static dims")),
+        )
+        .over_policies(actuation_policies(SEED))
+        .run(&runner)
+        .expect("heterogeneous study runs");
+        assert!(report.all_ok(), "{name}: {:?}", report.first_error());
+        assert_eq!(report.len(), 3);
+        for (spec, outcome) in report.iter() {
+            let m = &outcome.metrics;
+            let peak = m.peak_temperature.to_celsius().0;
+            assert!(
+                peak > 30.0 && peak < 85.0,
+                "{name}/{}: implausible peak {peak:.1} °C",
+                spec.policy_kind()
+            );
+            assert!(m.chip_energy > 0.0 && m.pump_energy > 0.0);
+        }
+        // Migration at max flow pays more pump energy than the fuzzy
+        // variants on heterogeneous floorplans too.
+        let pump_of = |p: PolicyKind| {
+            report
+                .metrics_matching(|s| s.policy_kind() == p)
+                .expect("cell exists")
+                .pump_energy
+        };
+        let migration = pump_of(PolicyKind::LcMigration { seed: SEED });
+        let combined = pump_of(PolicyKind::LcMigrationFuzzy { seed: SEED });
+        assert!(
+            combined < migration,
+            "{name}: combined {combined:.1} J vs migration {migration:.1} J"
+        );
+    }
+}
+
+#[test]
+fn every_actuation_axis_moves_the_scenario_fingerprint() {
+    let base = ScenarioSpec::new()
+        .tiers(4)
+        .workload(WorkloadKind::WebServer)
+        .seconds(SECONDS)
+        .seed(SEED)
+        .grid(reference_grid());
+    let variants = [
+        base.clone(),
+        base.clone().allocator(AllocatorPreset::MemoryOnLogic),
+        base.clone().allocator(AllocatorPreset::MixedAccelerator),
+        base.clone().policy(PolicyKind::LcFuzzyFlowOnly),
+        base.clone().policy(PolicyKind::LcMigration { seed: SEED }),
+        base.clone()
+            .policy(PolicyKind::LcMigration { seed: SEED + 1 }),
+        base.clone()
+            .policy(PolicyKind::LcMigrationFuzzy { seed: SEED }),
+        base.clone().policy(PolicyKind::LcTierDvfs),
+        base.clone()
+            .stack(presets::memory_on_logic(4).expect("preset"))
+            .allocator(AllocatorPreset::MemoryOnLogic),
+    ];
+    let fps: Vec<u64> = variants.iter().map(ScenarioSpec::fingerprint).collect();
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len() {
+            assert_ne!(
+                fps[i], fps[j],
+                "variants {i} and {j} collide on fingerprint {:#x}",
+                fps[i]
+            );
+        }
+    }
+    // The pinned study itself spans three distinct cells.
+    let study = actuation_study(SECONDS, SEED, reference_grid());
+    let study_fps: std::collections::BTreeSet<u64> = study
+        .specs()
+        .iter()
+        .map(ScenarioSpec::fingerprint)
+        .collect();
+    assert_eq!(study_fps.len(), 3);
+}
